@@ -1,0 +1,53 @@
+//===- BenchUtils.h - Shared benchmark helpers -------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_BENCH_BENCHUTILS_H
+#define TDL_BENCH_BENCHUTILS_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+namespace tdl {
+namespace benchutil {
+
+/// Wall-clock seconds of one invocation.
+inline double timeSeconds(const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Median of \p Repeats timed invocations.
+inline double medianSeconds(int Repeats, const std::function<void()> &Fn) {
+  std::vector<double> Samples;
+  for (int I = 0; I < Repeats; ++I)
+    Samples.push_back(timeSeconds(Fn));
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+/// Minimum of \p Repeats timed invocations (standard for noisy hosts).
+inline double minSeconds(int Repeats, const std::function<void()> &Fn) {
+  double Best = 1e300;
+  for (int I = 0; I < Repeats; ++I)
+    Best = std::min(Best, timeSeconds(Fn));
+  return Best;
+}
+
+inline void printHeader(const char *Title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", Title);
+  std::printf("================================================================\n");
+}
+
+} // namespace benchutil
+} // namespace tdl
+
+#endif // TDL_BENCH_BENCHUTILS_H

@@ -1,0 +1,162 @@
+//===- bench_cs3_pattern_bisect.cpp - Case Study 3 ------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Case Study 3: finding a counter-productive peephole pattern
+/// by binary search over the pattern set. The paper contrasts two
+/// workflows: editing the C++ pattern set (requiring a rebuild: 31 s link +
+/// 164 s packaging per iteration on their machine) vs. editing a Transform
+/// script (~4 s per iteration on their model; milliseconds here). The
+/// pattern corpus contains one pattern — "fold transpose/reshape into full
+/// reduce" — that is locally work-reducing but defeats the backend fusion
+/// heuristic (modeled by an XLA-style cost model).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "exec/Workloads.h"
+#include "ir/Builder.h"
+
+using namespace tdl;
+using namespace tdl::benchutil;
+
+namespace {
+
+/// Applies the pattern subset [0, Count) of \p Names to a fresh model via a
+/// transform.apply_patterns script; returns the backend cost model value.
+/// \p OutSeconds receives the wall time of one script interpretation (the
+/// "recompile" analogue in the Transform workflow).
+double evaluatePrefix(Context &Ctx, const std::vector<std::string> &Names,
+                      size_t Count, double &OutSeconds) {
+  OwningOpRef Model = workloads::buildStableHloModel(Ctx, 6, 11);
+
+  // Build the script: apply_patterns with the first Count pattern ops.
+  Location Loc = Location::name("bisect");
+  OperationState SeqState(Loc, "transform.named_sequence");
+  SeqState.NumRegions = 1;
+  SeqState.addAttribute("sym_name",
+                        StringAttr::get(Ctx, "__transform_main"));
+  OwningOpRef Script(Operation::create(Ctx, SeqState));
+  Block *Body = Script->getRegion(0).addBlock();
+  Value Root = Body->addArgument(TransformAnyOpType::get(Ctx));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToEnd(Body);
+  OperationState ApplyState(Loc, "transform.apply_patterns");
+  ApplyState.Operands = {Root};
+  ApplyState.NumRegions = 1;
+  Operation *Apply = B.create(ApplyState);
+  Block *PatternBlock = Apply->getRegion(0).addBlock();
+  OpBuilder PB(Ctx);
+  PB.setInsertionPointToEnd(PatternBlock);
+  for (size_t I = 0; I < Count; ++I) {
+    OperationState PatternState(Loc, "transform.pattern." + Names[I]);
+    PB.create(PatternState);
+  }
+  B.setInsertionPointToEnd(Body);
+  OperationState YieldState(Loc, "transform.yield");
+  B.create(YieldState);
+
+  OutSeconds = timeSeconds([&] {
+    (void)applyTransforms(Model.get(), Script.get());
+  });
+  return workloads::estimateHloExecutionCost(Model.get());
+}
+
+} // namespace
+
+int main() {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+  std::vector<std::string> Names = workloads::registerHloPatternCorpus(Ctx);
+
+  printHeader("Case Study 3: locating a counter-productive pattern by "
+              "bisection over the Transform script");
+  std::printf("pattern corpus: %zu patterns (one counter-productive)\n",
+              Names.size());
+
+  // Reference costs.
+  double T;
+  double CostNone = evaluatePrefix(Ctx, Names, 0, T);
+  double CostAll = evaluatePrefix(Ctx, Names, Names.size(), T);
+  std::printf("model cost, no patterns:  %.1f\n", CostNone);
+  std::printf("model cost, all patterns: %.1f\n", CostAll);
+
+  // A prefix is "bad" if enabling it makes the model slower than enabling
+  // one pattern fewer — bisect for the smallest bad prefix.
+  auto PrefixCost = [&](size_t Count, double &Seconds) {
+    return evaluatePrefix(Ctx, Names, Count, Seconds);
+  };
+
+  // The regression criterion: a prefix is regressed if its cost exceeds the
+  // pattern-free run MINUS the expected improvement... simplest monotone
+  // criterion: cost(prefix) > cost(prefix without the counter-productive
+  // pattern). We bisect on "cost(prefix) > cost(0..k-1)": find the first k
+  // whose inclusion increases cost.
+  size_t Lo = 0, Hi = Names.size();
+  double CostLo = CostNone;
+  int Iterations = 0;
+  double TransformWorkflowSeconds = 0;
+  while (Hi - Lo > 1) {
+    size_t Mid = (Lo + Hi) / 2;
+    double Seconds;
+    double CostMid = PrefixCost(Mid, Seconds);
+    TransformWorkflowSeconds += Seconds;
+    ++Iterations;
+    std::printf("  bisect step %d: prefix [0, %zu) -> cost %.1f (%.2f ms "
+                "per script run)\n",
+                Iterations, Mid, CostMid, Seconds * 1e3);
+    // The bad pattern makes cost jump above the monotonically decreasing
+    // trend; compare against the best possible (all-good-patterns) cost.
+    if (CostMid > CostLo) {
+      Hi = Mid; // the culprit is in [Lo, Mid)
+    } else {
+      Lo = Mid;
+      CostLo = CostMid;
+    }
+  }
+  // One final evaluation distinguishes the boundary.
+  double Seconds;
+  double WithCulprit = PrefixCost(Hi, Seconds);
+  double WithoutCulprit = PrefixCost(Hi - 1, Seconds);
+  ++Iterations;
+  size_t Culprit = WithCulprit > WithoutCulprit ? Hi - 1 : Lo;
+
+  std::printf("\nidentified counter-productive pattern: '%s'\n",
+              Names[Culprit].c_str());
+  std::printf("expected (injected) culprit:            '%s'\n",
+              std::string(workloads::getCounterproductivePatternName())
+                  .c_str());
+  std::printf("match: %s\n",
+              Names[Culprit] == workloads::getCounterproductivePatternName()
+                  ? "YES"
+                  : "NO");
+
+  printHeader("Workflow cost comparison (per bisection iteration)");
+  const double PaperLinkSeconds = 31.0;
+  const double PaperPackageSeconds = 164.0;
+  const double PaperTransformIterSeconds = 4.0;
+  double RebuildWorkflow = Iterations * (PaperLinkSeconds + PaperPackageSeconds);
+  std::printf("iterations of binary search: %d\n", Iterations);
+  std::printf("rebuild-the-compiler workflow (paper constants, not slept): "
+              "%d x (31 s link + 164 s packaging) = %.0f s\n",
+              Iterations, RebuildWorkflow);
+  std::printf("Transform-script workflow, paper: %d x <= 4 s = %d s\n",
+              Iterations, Iterations * 4);
+  std::printf("Transform-script workflow, measured here: %.3f ms total "
+              "(%.3f ms/iteration)\n",
+              1e3 * TransformWorkflowSeconds,
+              1e3 * TransformWorkflowSeconds / Iterations);
+  std::printf("\nShape check vs paper: script-level bisection is orders of "
+              "magnitude cheaper per iteration than rebuilding\n(the paper's "
+              "hermetic build: ~10 min; script: seconds), and isolates the "
+              "single counter-productive pattern.\n");
+  (void)PaperTransformIterSeconds;
+  return 0;
+}

@@ -1,0 +1,250 @@
+//===- bench_cs4_matmul.cpp - Section 4.4: fine-grained control -----------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the Section 4.4 experiment: a ResNet-50 layer's batch matmul
+/// (paper size 6 x 196 x 256 x 2305) optimized three ways:
+///   1. pragma-style tiling (the OpenMP `#pragma omp tile sizes(32,32)`
+///      analogue: a fixed annotation-driven tiling, Fig. 7),
+///   2. the Transform script of Fig. 8 (match/split/tile/unroll) without
+///      the library call,
+///   3. the same script with `transform.to_library` replacing the tiled
+///      inner matmul with the xsmm-lite microkernel inside
+///      `transform.alternatives`.
+/// Paper numbers: OpenMP 0.48 s ~ Transform 0.49 s >> microkernel 0.017 s
+/// (>20x). The shape to check: pragma ~ script-tiled >> script+library.
+/// Default sizes are scaled for CI speed; pass --full for the paper's.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "exec/Executor.h"
+#include "exec/Workloads.h"
+#include "ir/Parser.h"
+#include "loops/LoopUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace tdl;
+using namespace tdl::benchutil;
+using exec::Buffer;
+using exec::RuntimeValue;
+
+namespace {
+
+struct Sizes {
+  int64_t B, M, N, K;
+};
+
+Buffer makeInput(const std::vector<int64_t> &Shape, uint64_t Seed) {
+  Buffer Result = Buffer::alloc(Shape);
+  uint64_t State = Seed;
+  for (double &V : *Result.Data) {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    V = static_cast<double>((State >> 33) % 1000) / 1000.0 - 0.5;
+  }
+  return Result;
+}
+
+double checksum(const Buffer &Buf) {
+  double Sum = 0;
+  int64_t I = 0;
+  for (double V : *Buf.Data)
+    Sum += V * ((I++ % 7) + 1);
+  return Sum;
+}
+
+/// Runs @bmm from \p Module on fresh inputs; returns (seconds, checksum).
+/// Timing is the min of three runs (the container is noisy); the checksum
+/// uses a single accumulation pass so repeated C += A*B runs are detected.
+std::pair<double, double> runBmm(Operation *Module, const Sizes &S) {
+  exec::Executor Exec(Module);
+  Buffer A = makeInput({S.B, S.M, S.K}, 1);
+  Buffer Bm = makeInput({S.B, S.K, S.N}, 2);
+  Buffer C = Buffer::alloc({S.B, S.M, S.N});
+  double Best = 1e300;
+  double Sum = 0;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    std::fill(C.Data->begin(), C.Data->end(), 0.0);
+    double Seconds = timeSeconds([&] {
+      auto Result = Exec.run("bmm", {RuntimeValue::makeBuffer(A),
+                                     RuntimeValue::makeBuffer(Bm),
+                                     RuntimeValue::makeBuffer(C)});
+      if (failed(Result))
+        std::printf("execution FAILED\n");
+    });
+    Best = std::min(Best, Seconds);
+    Sum = checksum(C);
+  }
+  return {Best, Sum};
+}
+
+/// The Fig. 8 script, with or without the library alternative.
+std::string fig8Script(bool WithLibrary) {
+  std::string Library =
+      WithLibrary ? R"(
+    "transform.alternatives"(%points) ({
+    ^alt(%scope: !transform.any_op):
+      %calls = "transform.to_library"(%scope) {library = "libxsmm"}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }, {
+    }) : (!transform.any_op) -> ()
+  )"
+                  : "";
+  return R"("transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %i_loop = "transform.match.op"(%root) {op_name = "scf.for", second}
+      : (!transform.any_op) -> (!transform.any_op)
+    %main, %rest = "transform.loop.split"(%i_loop) {divisor = 32 : index}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %tiles, %points = "transform.loop.tile"(%main)
+      {tile_sizes = [32 : index, 32 : index]}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+)" + Library + R"(
+    "transform.loop.unroll"(%rest) {full} : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+)";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  Sizes S = Full ? Sizes{6, 196, 256, 2305} : Sizes{2, 66, 64, 128};
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+
+  printHeader("Section 4.4: batch matmul, pragma vs Transform vs "
+              "Transform + microkernel");
+  std::printf("sizes: B=%lld M=%lld N=%lld K=%lld%s\n",
+              (long long)S.B, (long long)S.M, (long long)S.N, (long long)S.K,
+              Full ? " (paper sizes)" : " (scaled; --full for paper sizes)");
+
+  // Reference: untransformed loop nest.
+  double RefChecksum;
+  double NaiveSeconds;
+  {
+    OwningOpRef Module =
+        workloads::buildBatchMatmulModule(Ctx, S.B, S.M, S.N, S.K);
+    auto [Sec, Sum] = runBmm(Module.get(), S);
+    NaiveSeconds = Sec;
+    RefChecksum = Sum;
+  }
+
+  // Arm 1: pragma-style tiling (annotation-driven; same tiling the OpenMP
+  // directive requests, applied by a fixed pass with no composability).
+  double PragmaSeconds;
+  {
+    OwningOpRef Module =
+        workloads::buildBatchMatmulModule(Ctx, S.B, S.M, S.N, S.K);
+    // Find the i-loop (second scf.for) and tile (32, 32), as the pragma
+    // sits on the loop below the batch loop in Fig. 7.
+    std::vector<Operation *> Loops;
+    Module->walkPre([&](Operation *Op) {
+      if (Op->getName() == "scf.for")
+        Loops.push_back(Op);
+      return WalkResult::Advance;
+    });
+    if (failed(loops::tileLoopNest(Loops[1], {32, 32}))) {
+      std::printf("pragma tiling failed\n");
+      return 1;
+    }
+    auto [Sec, Sum] = runBmm(Module.get(), S);
+    PragmaSeconds = Sec;
+    if (std::fabs(Sum - RefChecksum) > 1e-6 * std::fabs(RefChecksum)) {
+      std::printf("pragma arm MISCOMPILED (checksum %.6f vs %.6f)\n", Sum,
+                  RefChecksum);
+      return 1;
+    }
+  }
+
+  // Arm 2: the Fig. 8 Transform script without the library call.
+  double ScriptSeconds;
+  {
+    OwningOpRef Module =
+        workloads::buildBatchMatmulModule(Ctx, S.B, S.M, S.N, S.K);
+    OwningOpRef Script = parseSourceString(Ctx, fig8Script(false), "fig8");
+    if (!Script || failed(applyTransforms(Module.get(), Script.get()))) {
+      std::printf("transform script failed\n");
+      return 1;
+    }
+    auto [Sec, Sum] = runBmm(Module.get(), S);
+    ScriptSeconds = Sec;
+    if (std::fabs(Sum - RefChecksum) > 1e-6 * std::fabs(RefChecksum)) {
+      std::printf("script arm MISCOMPILED\n");
+      return 1;
+    }
+  }
+
+  // Arm 3: Fig. 8 with transform.to_library inside transform.alternatives.
+  double LibrarySeconds;
+  int64_t NumKernelCalls = 0;
+  {
+    OwningOpRef Module =
+        workloads::buildBatchMatmulModule(Ctx, S.B, S.M, S.N, S.K);
+    OwningOpRef Script = parseSourceString(Ctx, fig8Script(true), "fig8lib");
+    if (!Script || failed(applyTransforms(Module.get(), Script.get()))) {
+      std::printf("transform+library script failed\n");
+      return 1;
+    }
+    Module->walk([&](Operation *Op) {
+      NumKernelCalls += Op->getName() == "xsmm.matmul";
+    });
+    auto [Sec, Sum] = runBmm(Module.get(), S);
+    LibrarySeconds = Sec;
+    if (std::fabs(Sum - RefChecksum) > 1e-6 * std::fabs(RefChecksum)) {
+      std::printf("library arm MISCOMPILED\n");
+      return 1;
+    }
+  }
+
+  std::printf("\n%-34s %12s %14s\n", "variant", "time (s)", "vs pragma");
+  std::printf("------------------------------------------------------------\n");
+  std::printf("%-34s %12.4f %13.2fx\n", "untransformed loops", NaiveSeconds,
+              PragmaSeconds / NaiveSeconds);
+  std::printf("%-34s %12.4f %13.2fx\n", "pragma-style tile (32,32)",
+              PragmaSeconds, 1.0);
+  std::printf("%-34s %12.4f %13.2fx\n", "Transform split+tile+unroll",
+              ScriptSeconds, PragmaSeconds / ScriptSeconds);
+  std::printf("%-34s %12.4f %13.2fx  (%lld xsmm calls)\n",
+              "Transform + to_library (xsmm)", LibrarySeconds,
+              PragmaSeconds / LibrarySeconds,
+              (long long)NumKernelCalls);
+  std::printf("\npaper: OpenMP 0.48 s ~ Transform 0.49 s >> microkernel "
+              "0.017 s (>20x).\n");
+  std::printf("shape check: pragma ~ Transform-tiled (ratio %.2f), and the "
+              "microkernel version is %.1fx faster than the tiled ones.\n",
+              ScriptSeconds / PragmaSeconds, ScriptSeconds / LibrarySeconds);
+
+  // The alternatives fallback of Fig. 8: with an unsupported size (N not a
+  // multiple of the library vector width) the library call fails
+  // silenceably and the empty alternative leaves the tiled code.
+  {
+    Sizes Odd{1, 34, 30, 16};
+    OwningOpRef Module =
+        workloads::buildBatchMatmulModule(Ctx, Odd.B, Odd.M, Odd.N, Odd.K);
+    OwningOpRef Script = parseSourceString(Ctx, fig8Script(true), "fb");
+    bool Ok = succeeded(applyTransforms(Module.get(), Script.get()));
+    int64_t Calls = 0;
+    Module->walk([&](Operation *Op) {
+      Calls += Op->getName() == "xsmm.matmul";
+    });
+    std::printf("\nfallback check (N=30, no kernel available): script %s, "
+                "%lld xsmm calls -> tiled code kept unchanged: %s\n",
+                Ok ? "succeeded" : "failed", (long long)Calls,
+                Calls == 0 && Ok ? "YES" : "NO");
+  }
+  return 0;
+}

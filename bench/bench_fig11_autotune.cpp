@@ -1,0 +1,175 @@
+//===- bench_fig11_autotune.cpp - Section 4.5 / Figs. 9-11 ----------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Section 4.5: autotuning the tile sizes of the Fig. 9
+/// parametric Transform script under the Fig. 10 constraints (tile sizes
+/// divide their dimensions; vectorization only when the innermost tile is
+/// a multiple of the vector width). The BaCO substitute searches for 200
+/// evaluations and the best-so-far speedup evolution is printed (Fig. 11;
+/// the paper reaches ~1.68x over the default schedule).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "autotune/AutoTuner.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "exec/Executor.h"
+#include "exec/Workloads.h"
+#include "loops/LoopUtils.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace tdl;
+using namespace tdl::benchutil;
+using exec::Buffer;
+using exec::RuntimeValue;
+
+namespace {
+
+struct Sizes {
+  int64_t B, M, N, K;
+};
+
+/// Instantiates the Fig. 9 script for one configuration and measures the
+/// resulting kernel. Config = [tile0..tile3, vect].
+double evaluateConfig(Context &Ctx, const Sizes &S,
+                      const std::vector<int64_t> &Config) {
+  OwningOpRef Module =
+      workloads::buildBatchMatmulModule(Ctx, S.B, S.M, S.N, S.K);
+  // Find the batch loop (outermost) and tile the 4-deep nest.
+  Operation *BatchLoop = nullptr;
+  Module->walkPre([&](Operation *Op) {
+    if (Op->getName() == "scf.for") {
+      BatchLoop = Op;
+      return WalkResult::Interrupt;
+    }
+    return WalkResult::Advance;
+  });
+  std::vector<int64_t> TileSizes(Config.begin(), Config.begin() + 4);
+  // A tile equal to the full extent means "do not tile this dimension".
+  const int64_t Extents[4] = {S.B, S.M, S.N, S.K};
+  for (int I = 0; I < 4; ++I)
+    if (TileSizes[I] == Extents[I])
+      TileSizes[I] = 0;
+  FailureOr<std::vector<Operation *>> Tiled =
+      loops::tileLoopNest(BatchLoop, TileSizes);
+  if (failed(Tiled))
+    return 1e9;
+  // Fig. 9's alternatives: first try the microkernel library on the point
+  // nest; else vectorize when the `vect` parameter allows it; else keep the
+  // tiled loops. Library availability depends on the tile sizes (static
+  // sizes with the N dimension a multiple of the vector width), so the
+  // search explores a landscape where tile choices gate the big win.
+  size_t NumTileLoops = 0;
+  for (int64_t Size : TileSizes)
+    NumTileLoops += (Size != 0);
+  bool LibraryUsed = false;
+  for (size_t I = NumTileLoops; I < Tiled->size(); ++I) { // point loops
+    if (succeeded(loops::replaceWithMicrokernelCall((*Tiled)[I], "libxsmm"))) {
+      LibraryUsed = true;
+      break;
+    }
+  }
+  if (!LibraryUsed && Config[4]) {
+    Operation *Innermost = (*Tiled)[Tiled->size() - 1];
+    if (failed(loops::vectorizeLoop(Innermost, 4)))
+      return 1e9; // constraint violation; should be filtered statically
+  }
+
+  exec::Executor Exec(Module.get());
+  Buffer A = Buffer::alloc({S.B, S.M, S.K});
+  Buffer Bm = Buffer::alloc({S.B, S.K, S.N});
+  Buffer C = Buffer::alloc({S.B, S.M, S.N});
+  for (size_t I = 0; I < A.Data->size(); ++I)
+    (*A.Data)[I] = 0.25 + (I % 5) * 0.1;
+  for (size_t I = 0; I < Bm.Data->size(); ++I)
+    (*Bm.Data)[I] = 0.5 - (I % 3) * 0.2;
+  // Min of two runs: the objective must reflect the schedule, not OS noise.
+  return minSeconds(2, [&] {
+    (void)Exec.run("bmm", {RuntimeValue::makeBuffer(A),
+                           RuntimeValue::makeBuffer(Bm),
+                           RuntimeValue::makeBuffer(C)});
+  });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Sizes S{4, 32, 32, 64};
+  int Budget = Quick ? 40 : 200;
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+
+  printHeader("Figs. 9-11: autotuning the parametric tile sizes of the "
+              "Transform script");
+
+  // Fig. 10: tuning parameters with divisibility constraints.
+  autotune::TuningSpace Space;
+  Space.Params = {
+      {"tile0", autotune::TuningSpace::divisorsOf(S.B)},
+      {"tile1", autotune::TuningSpace::divisorsOf(S.M)},
+      {"tile2", autotune::TuningSpace::divisorsOf(S.N)},
+      {"tile3", autotune::TuningSpace::divisorsOf(S.K)},
+      {"vect", {0, 1}},
+  };
+  Space.Constraint = [](const std::vector<int64_t> &Config) {
+    // where(tile3 % vector_size != 0, vect == 0)  — Fig. 10's last row.
+    if (Config[4] && (Config[3] % 4) != 0)
+      return false;
+    return true;
+  };
+  std::printf("tuning space (Fig. 10):\n");
+  for (const autotune::TuningParam &Param : Space.Params)
+    std::printf("  %-6s: %zu candidate values\n", Param.Name.c_str(),
+                Param.Candidates.size());
+  std::printf("  constraint: vect == 0 unless tile3 %% 4 == 0\n");
+
+  // Baseline: the default schedule (untiled nest, no vectorization).
+  double Baseline = 1e300;
+  for (int I = 0; I < 3; ++I)
+    Baseline =
+        std::min(Baseline, evaluateConfig(Ctx, S, {S.B, S.M, S.N, S.K, 0}));
+  std::printf("baseline (default schedule): %.4f s\n\n", Baseline);
+
+  autotune::TunerOptions Options;
+  Options.Seed = 2026;
+  autotune::AutoTuner Tuner(Space, Options);
+  int Step = 0;
+  double BestSoFar = 1e300;
+  std::printf("Figure 11 series (evaluation -> best-so-far speedup):\n");
+  std::vector<autotune::Evaluation> History = Tuner.optimize(
+      [&](const std::vector<int64_t> &Config) {
+        double Cost = evaluateConfig(Ctx, S, Config);
+        ++Step;
+        if (Cost < BestSoFar)
+          BestSoFar = Cost;
+        if (Step % 10 == 0 || Step == 1)
+          std::printf("  %3d  %.3fx\n", Step, Baseline / BestSoFar);
+        return Cost;
+      },
+      Budget);
+
+  const autotune::Evaluation &Best = Tuner.getBest();
+  std::printf("\nbest configuration after %d evaluations:\n", Budget);
+  std::printf("  tile_sizes = [%lld, %lld, %lld, %lld], vect = %lld\n",
+              (long long)Best.Config[0], (long long)Best.Config[1],
+              (long long)Best.Config[2], (long long)Best.Config[3],
+              (long long)Best.Config[4]);
+  std::printf("  time %.4f s -> final speedup %.2fx over the default "
+              "schedule\n",
+              Best.Cost, Baseline / Best.Cost);
+  std::printf("\npaper (Fig. 11): speedup rises over ~200 evaluations and "
+              "settles around 1.68x.\nshape check: the search discovers "
+              "monotonically better schedules and ends well above 1x.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+//===- bench_fig5_ad_introspect.cpp - Fig. 5: AD level introspection -------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Fig. 5: the reverse-mode AD transform must emit "add"
+/// operations of the dialect matching its position in the lowering ladder
+/// (Option 1: after mhlo->arith; Option 2: after stablehlo->mhlo;
+/// Option 3: before any legalization). `transform.autodiff` introspects the
+/// transform script to infer the right option automatically (Section 3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "ad/AutoDiff.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "exec/Workloads.h"
+#include "ir/Parser.h"
+
+using namespace tdl;
+using namespace tdl::benchutil;
+
+namespace {
+
+/// f(x, y) = x * y + x over tensors, at the StableHLO level.
+OwningOpRef makePayload(Context &Ctx) {
+  return parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: tensor<4xf32>, %y: tensor<4xf32>):
+        %p = "stablehlo.multiply"(%x, %y)
+          : (tensor<4xf32>, tensor<4xf32>) -> (tensor<4xf32>)
+        %s = "stablehlo.add"(%p, %x)
+          : (tensor<4xf32>, tensor<4xf32>) -> (tensor<4xf32>)
+        "func.return"(%s) : (tensor<4xf32>) -> ()
+      }) {sym_name = "f",
+          function_type = (tensor<4xf32>, tensor<4xf32>) -> tensor<4xf32>}
+        : () -> ()
+    }) : () -> ()
+  )");
+}
+
+/// A script running the given legalizations, then transform.autodiff with
+/// no explicit add kind (forcing introspection).
+OwningOpRef makeScript(Context &Ctx, const std::vector<std::string> &Passes) {
+  std::string Body;
+  std::string Current = "%root";
+  int Counter = 0;
+  for (const std::string &Pass : Passes) {
+    std::string Next = "%h" + std::to_string(Counter++);
+    Body += "    " + Next +
+            " = \"transform.apply_registered_pass\"(" + Current +
+            ") {pass_name = \"" + Pass +
+            "\"} : (!transform.any_op) -> (!transform.any_op)\n";
+    Current = Next;
+  }
+  Body += "    \"transform.autodiff\"(" + Current +
+          ") : (!transform.any_op) -> ()\n";
+  std::string Source = R"("transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+)" + Body + R"(    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+)";
+  return parseSourceString(Ctx, Source, "ad-script");
+}
+
+int64_t countOps(Operation *Root, std::string_view Name) {
+  int64_t Count = 0;
+  Root->walk([&](Operation *Op) { Count += Op->getName() == Name; });
+  return Count;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Fig. 5: positioning reverse-mode AD in the lowering ladder "
+              "via script introspection");
+
+  struct OptionSpec {
+    const char *Label;
+    std::vector<std::string> Passes;
+    const char *ExpectedAdd;
+  };
+  const OptionSpec Options[] = {
+      {"Option 3: AD before any legalization",
+       {},
+       "stablehlo.add"},
+      {"Option 2: AD after legalize-stablehlo-to-mhlo",
+       {"legalize-stablehlo-to-mhlo"},
+       "mhlo.add"},
+      {"Option 1: AD after mhlo -> arith",
+       {"legalize-stablehlo-to-mhlo", "legalize-mhlo-to-arith"},
+       "arith.addf"},
+  };
+
+  std::printf("%-48s %-14s %-14s %s\n", "pipeline position", "inferred add",
+              "expected", "gradient adds of that kind");
+  std::printf("--------------------------------------------------------------"
+              "------------------------------\n");
+  bool AllCorrect = true;
+  for (const OptionSpec &Option : Options) {
+    Context Ctx;
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx);
+    registerAutoDiffSupport(Ctx);
+
+    OwningOpRef Payload = makePayload(Ctx);
+    OwningOpRef Script = makeScript(Ctx, Option.Passes);
+    if (!Payload || !Script ||
+        failed(applyTransforms(Payload.get(), Script.get()))) {
+      std::printf("%-48s FAILED to run\n", Option.Label);
+      AllCorrect = false;
+      continue;
+    }
+    // Read back the decision recorded on the autodiff op.
+    std::string Inferred;
+    Script->walk([&](Operation *Op) {
+      if (Op->getName() == "transform.autodiff")
+        Inferred = std::string(Op->getStringAttr("inferred_add_op"));
+    });
+    int64_t AddsOfKind = countOps(Payload.get(), Inferred);
+    bool GradExists = false;
+    Payload->walk([&](Operation *Op) {
+      if (Op->getName() == "func.func" &&
+          Op->getStringAttr("sym_name") == "f_grad")
+        GradExists = true;
+    });
+    bool Correct = Inferred == Option.ExpectedAdd && GradExists;
+    AllCorrect &= Correct;
+    std::printf("%-48s %-14s %-14s %lld %s\n", Option.Label,
+                Inferred.c_str(), Option.ExpectedAdd,
+                (long long)AddsOfKind, Correct ? "[ok]" : "[MISMATCH]");
+  }
+
+  std::printf("\nshape check vs paper: the AD transform adapts its emitted "
+              "\"add\" kind to its pipeline position purely by\nintrospecting "
+              "the Transform IR — no manual option needed: %s\n",
+              AllCorrect ? "REPRODUCED" : "FAILED");
+  return AllCorrect ? 0 : 1;
+}

@@ -1,0 +1,163 @@
+//===- bench_table2_pipeline_checker.cpp - Table 2 / Case Study 2 ---------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 2 and Case Study 2: the memref lowering pipeline on the
+/// chunkTo42 function. With a dynamic subview offset the classic pipeline
+/// fails with the unhelpful "failed to legalize ..." error; the static
+/// pre-/post-condition checker pinpoints the `affine.apply` introduced by
+/// expand-strided-metadata before anything runs; adding `lower-affine`
+/// (plus re-running the arith lowering) fixes the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/Conditions.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+#include "pass/Pass.h"
+#include "support/STLExtras.h"
+
+using namespace tdl;
+using namespace tdl::benchutil;
+
+static OwningOpRef makeChunkTo42(Context &Ctx, bool DynamicOffset) {
+  Location Loc = Location::name("chunkTo42");
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  Type F64 = FloatType::getF64(Ctx);
+  MemRefType ATy = MemRefType::get(Ctx, {64, 64}, F64);
+  std::vector<Type> Inputs = {ATy};
+  if (DynamicOffset)
+    Inputs.push_back(IndexType::get(Ctx));
+  Operation *Func = func::buildFunc(B, Loc, "chunkTo42",
+                                    FunctionType::get(Ctx, Inputs, {}));
+  Block *Body = func::getBody(Func);
+  B.setInsertionPointToStart(Body);
+  Value A = Body->getArgument(0);
+  Value Chunk =
+      DynamicOffset
+          ? memref::buildSubView(B, Loc, A, {kDynamic, 0}, {4, 4}, {1, 1},
+                                 {Body->getArgument(1)})
+          : memref::buildSubView(B, Loc, A, {0, 0}, {4, 4}, {1, 1});
+  Value FortyTwo = arith::buildConstantFloat(B, Loc, 42.0, F64);
+  scf::buildForall(B, Loc, {0, 0}, {4, 4},
+                   [&](OpBuilder &NB, Location L, std::vector<Value> Ivs) {
+                     memref::buildStore(NB, L, FortyTwo, Chunk, Ivs);
+                   });
+  func::buildReturn(B, Loc);
+  return Module;
+}
+
+int main() {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+  registerBuiltinIRDLConstraints();
+
+  printHeader("Table 2: pre-/post-conditions of the memref lowering "
+              "transforms");
+  std::vector<std::string> Pipeline = {
+      "convert-scf-to-cf",       "convert-arith-to-llvm",
+      "convert-cf-to-llvm",      "convert-func-to-llvm",
+      "expand-strided-metadata", "finalize-memref-to-llvm",
+      "reconcile-unrealized-casts"};
+  int Row = 1;
+  for (const std::string &Name : Pipeline) {
+    const LoweringContract *Contract =
+        ContractRegistry::instance().lookup(Name);
+    std::printf("%d  %-28s pre: {%s}\n", Row++, Name.c_str(),
+                join(Contract->Pre, ", ").c_str());
+    std::printf("   %-28s post: {%s}\n", "", join(Contract->Post, ", ").c_str());
+  }
+
+  printHeader("Case Study 2a: dynamic run of the classic pipeline "
+              "(dynamic-offset chunkTo42)");
+  {
+    OwningOpRef Module = makeChunkTo42(Ctx, /*DynamicOffset=*/true);
+    ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+    PassManager PM(Ctx);
+    for (const std::string &Name : Pipeline)
+      (void)PM.addPass(Name);
+    bool Failed = failed(PM.run(Module.get()));
+    std::printf("pipeline result: %s\n", Failed ? "FAILED" : "succeeded");
+    std::printf("diagnostics:\n%s\n", Capture.allMessages().c_str());
+    std::printf("-> the error does not point at the root cause (the paper's "
+                "complaint).\n");
+  }
+
+  printHeader("Case Study 2b: static checking with pre-/post-conditions");
+  {
+    OwningOpRef Module = makeChunkTo42(Ctx, /*DynamicOffset=*/true);
+    AbstractOpSet Initial = AbstractOpSet::fromPayload(Module.get());
+    std::printf("initial abstract op set: %s\n", Initial.str().c_str());
+    double CheckSeconds = timeSeconds([&] {
+      std::vector<PipelineCheckIssue> Issues =
+          checkLoweringPipeline(Pipeline, Initial, {"llvm.*"}, &Ctx);
+      std::printf("static checker issues (%zu):\n", Issues.size());
+      for (const PipelineCheckIssue &Issue : Issues)
+        std::printf("  [%s] %s\n",
+                    Issue.TransformName.empty() ? "final state"
+                                                : Issue.TransformName.c_str(),
+                    Issue.Message.c_str());
+    });
+    std::printf("static check took %.3f ms (no payload transformation "
+                "needed)\n", CheckSeconds * 1000);
+  }
+
+  printHeader("Case Study 2c: the fixed pipeline (lower-affine added)");
+  {
+    std::vector<std::string> Fixed = {
+        "convert-scf-to-cf",       "convert-cf-to-llvm",
+        "convert-func-to-llvm",    "expand-strided-metadata",
+        "lower-affine",            "convert-arith-to-llvm",
+        "finalize-memref-to-llvm", "reconcile-unrealized-casts"};
+    OwningOpRef Module = makeChunkTo42(Ctx, /*DynamicOffset=*/true);
+    AbstractOpSet Initial = AbstractOpSet::fromPayload(Module.get());
+    std::vector<PipelineCheckIssue> Issues =
+        checkLoweringPipeline(Fixed, Initial, {"llvm.*"}, &Ctx);
+    std::printf("static checker issues: %zu\n", Issues.size());
+    PassManager PM(Ctx);
+    for (const std::string &Name : Fixed)
+      (void)PM.addPass(Name);
+    bool Ok = succeeded(PM.run(Module.get()));
+    std::printf("dynamic run: %s\n", Ok ? "succeeded" : "FAILED");
+    int64_t NonLlvm = 0;
+    Module->walk([&](Operation *Op) {
+      if (Op != Module.get() && Op->getDialectName() != "llvm")
+        ++NonLlvm;
+    });
+    std::printf("non-llvm ops remaining: %lld\n",
+                static_cast<long long>(NonLlvm));
+  }
+
+  printHeader("Case Study 2d: dynamic contract verification (IRDL-lite)");
+  {
+    OwningOpRef Module = makeChunkTo42(Ctx, /*DynamicOffset=*/false);
+    const LoweringContract *Contract =
+        ContractRegistry::instance().lookup("convert-scf-to-cf");
+    Operation *Func = nullptr;
+    Module->walk([&](Operation *Op) {
+      if (Op->getName() == "func.func")
+        Func = Op;
+    });
+    FailureOr<std::string> Result =
+        runPassWithDynamicContractCheck("convert-scf-to-cf", *Contract, Func);
+    std::printf("convert-scf-to-cf dynamic contract check: %s\n",
+                succeeded(Result) && Result->empty()
+                    ? "contract holds"
+                    : "VIOLATION");
+  }
+
+  std::printf("\nShape check vs paper: the static tool reports the "
+              "affine.apply op introduced by expand-strided-metadata as\n"
+              "surviving the pipeline (final IR would be {llvm.*, "
+              "affine.apply}, not pure LLVM), before running anything.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- autotune_demo.cpp - Autotuning transform parameters -----------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.5 as an example: tune the tile sizes of a parametric Transform
+/// script over a constrained space (tile sizes must divide their dimension)
+/// and report the best schedule found.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/AutoTuner.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "exec/Executor.h"
+#include "exec/Workloads.h"
+#include "loops/LoopUtils.h"
+#include "support/Stream.h"
+
+#include <chrono>
+
+using namespace tdl;
+using exec::Buffer;
+using exec::RuntimeValue;
+
+int main() {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+  const int64_t B = 2, M = 32, N = 32, K = 32;
+
+  autotune::TuningSpace Space;
+  Space.Params = {
+      {"tile_i", autotune::TuningSpace::divisorsOf(M)},
+      {"tile_j", autotune::TuningSpace::divisorsOf(N)},
+  };
+
+  auto Evaluate = [&](const std::vector<int64_t> &Config) {
+    OwningOpRef Module = workloads::buildBatchMatmulModule(Ctx, B, M, N, K);
+    Operation *ILoop = nullptr;
+    int Seen = 0;
+    Module->walkPre([&](Operation *Op) {
+      if (Op->getName() == "scf.for" && ++Seen == 2) {
+        ILoop = Op;
+        return WalkResult::Interrupt;
+      }
+      return WalkResult::Advance;
+    });
+    std::vector<int64_t> Sizes = {Config[0] == M ? 0 : Config[0],
+                                  Config[1] == N ? 0 : Config[1]};
+    if (failed(loops::tileLoopNest(ILoop, Sizes)))
+      return 1e9;
+    exec::Executor Exec(Module.get());
+    Buffer A = Buffer::alloc({B, M, K});
+    Buffer Bm = Buffer::alloc({B, K, N});
+    Buffer C = Buffer::alloc({B, M, N});
+    auto Start = std::chrono::steady_clock::now();
+    (void)Exec.run("bmm", {RuntimeValue::makeBuffer(A),
+                           RuntimeValue::makeBuffer(Bm),
+                           RuntimeValue::makeBuffer(C)});
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+
+  autotune::AutoTuner Tuner(Space);
+  std::vector<autotune::Evaluation> History = Tuner.optimize(Evaluate, 30);
+  const autotune::Evaluation &Best = Tuner.getBest();
+  outs() << "evaluations: " << (unsigned long long)History.size() << "\n";
+  outs() << "best tile sizes: [" << Best.Config[0] << ", " << Best.Config[1]
+         << "] at " << (long long)(Best.Cost * 1e6) << " us\n";
+  return 0;
+}

@@ -1,0 +1,346 @@
+//===- AutoDiff.cpp - Reverse-mode AD with level introspection -------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ad/AutoDiff.h"
+
+#include "core/Analysis.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+#include "ir/SymbolTable.h"
+#include "lowering/Passes.h"
+#include "pass/Pass.h"
+#include "support/STLExtras.h"
+
+#include <map>
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// Level-polymorphic op construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Describes the op vocabulary of one abstraction level, derived from the
+/// add-op name the AD transform was configured with.
+struct LevelOps {
+  std::string Add;
+  std::string Mul;
+  bool IsArith;
+  std::string Dialect;
+
+  static LevelOps forAddOp(std::string_view AddOpName) {
+    LevelOps Ops;
+    Ops.Add = std::string(AddOpName);
+    if (AddOpName == "arith.addf") {
+      Ops.Mul = "arith.mulf";
+      Ops.IsArith = true;
+      Ops.Dialect = "arith";
+    } else {
+      auto Dot = AddOpName.find('.');
+      Ops.Dialect = std::string(AddOpName.substr(0, Dot));
+      Ops.Mul = Ops.Dialect + ".multiply";
+      Ops.IsArith = false;
+    }
+    return Ops;
+  }
+};
+
+Value makeBinary(OpBuilder &B, Location Loc, std::string_view Name, Value L,
+                 Value R) {
+  OperationState State(Loc, Name);
+  State.Operands = {L, R};
+  State.ResultTypes = {L.getType()};
+  return B.create(State)->getResult(0);
+}
+
+Value makeSplatConstant(OpBuilder &B, Location Loc, const LevelOps &Ops,
+                        Type Ty, double Value) {
+  Context &Ctx = B.getContext();
+  if (TensorType Tensor = Ty.dyn_cast<TensorType>()) {
+    DenseElementsAttr Attr = DenseElementsAttr::getSplat(Ctx, Tensor, Value);
+    OperationState State(Loc, Ops.IsArith ? "arith.constant"
+                                          : Ops.Dialect + ".constant");
+    State.ResultTypes = {Ty};
+    State.addAttribute("value", Attr);
+    return B.create(State)->getResult(0);
+  }
+  return arith::buildConstantFloat(B, Loc, Value, Ty);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Reverse-mode differentiation
+//===----------------------------------------------------------------------===//
+
+LogicalResult tdl::ad::generateGradientFunction(Operation *Func,
+                                                std::string_view AddOpName) {
+  if (Func->getName() != "func.func")
+    return Func->emitOpError() << "autodiff expects a func.func";
+  FunctionType FuncTy = func::getFunctionType(Func);
+  if (FuncTy.getResults().size() != 1)
+    return Func->emitOpError() << "autodiff expects a single result";
+
+  Context &Ctx = Func->getContext();
+  Location Loc = Func->getLoc();
+  LevelOps Ops = LevelOps::forAddOp(AddOpName);
+
+  // The gradient returns d(result)/d(input_i) for every input.
+  std::vector<Type> GradResults = FuncTy.getInputs();
+  OpBuilder B(Ctx);
+  B.setInsertionPointAfter(Func);
+  std::string GradName = std::string(getSymbolName(Func)) + "_grad";
+  Operation *GradFunc = func::buildFunc(
+      B, Loc, GradName,
+      FunctionType::get(Ctx, FuncTy.getInputs(), GradResults));
+  Block *GradBody = func::getBody(GradFunc);
+  B.setInsertionPointToStart(GradBody);
+
+  // Forward clone.
+  Block *SrcBody = func::getBody(Func);
+  IRMapping Mapping;
+  for (unsigned I = 0; I < SrcBody->getNumArguments(); ++I)
+    Mapping.map(SrcBody->getArgument(I), GradBody->getArgument(I));
+  std::vector<Operation *> Forward;
+  Value Result;
+  for (Operation *Op : *SrcBody) {
+    if (Op->getName() == "func.return") {
+      Result = Mapping.lookupOrDefault(Op->getOperand(0));
+      break;
+    }
+    Forward.push_back(B.clone(*Op, Mapping));
+  }
+  if (!Result)
+    return Func->emitOpError() << "function has no return";
+
+  // Reverse sweep. Adjoints accumulate via the configured add op — this is
+  // the detail Fig. 5 is about.
+  std::map<ValueImpl *, Value> Adjoint;
+  auto Accumulate = [&](Value Of, Value Contribution) {
+    auto It = Adjoint.find(Of.getImpl());
+    if (It == Adjoint.end()) {
+      Adjoint[Of.getImpl()] = Contribution;
+      return;
+    }
+    It->second = makeBinary(B, Loc, Ops.Add, It->second, Contribution);
+  };
+  Accumulate(Result, makeSplatConstant(B, Loc, Ops, Result.getType(), 1.0));
+
+  for (auto It = Forward.rbegin(); It != Forward.rend(); ++It) {
+    Operation *Op = *It;
+    if (!Op->getNumResults())
+      continue;
+    auto AdjIt = Adjoint.find(Op->getResult(0).getImpl());
+    if (AdjIt == Adjoint.end())
+      continue; // does not influence the result
+    Value Adj = AdjIt->second;
+
+    std::string_view Name = Op->getName();
+    bool IsAdd = Name == "stablehlo.add" || Name == "mhlo.add" ||
+                 Name == "arith.addf";
+    bool IsMul = Name == "stablehlo.multiply" || Name == "mhlo.multiply" ||
+                 Name == "arith.mulf";
+    bool IsNeg = Name == "stablehlo.negate" || Name == "mhlo.negate";
+    bool IsConst = Name.find("constant") != std::string_view::npos;
+    if (IsAdd) {
+      Accumulate(Op->getOperand(0), Adj);
+      Accumulate(Op->getOperand(1), Adj);
+    } else if (IsMul) {
+      Accumulate(Op->getOperand(0),
+                 makeBinary(B, Loc, Ops.Mul, Adj, Op->getOperand(1)));
+      Accumulate(Op->getOperand(1),
+                 makeBinary(B, Loc, Ops.Mul, Adj, Op->getOperand(0)));
+    } else if (IsNeg) {
+      Value MinusOne =
+          makeSplatConstant(B, Loc, Ops, Adj.getType(), -1.0);
+      Accumulate(Op->getOperand(0),
+                 makeBinary(B, Loc, Ops.Mul, Adj, MinusOne));
+    } else if (IsConst) {
+      // No inputs to propagate to.
+    } else {
+      return Op->emitOpError() << "autodiff: unsupported operation";
+    }
+  }
+
+  std::vector<Value> Gradients;
+  for (unsigned I = 0; I < GradBody->getNumArguments(); ++I) {
+    Value Arg = GradBody->getArgument(I);
+    auto It = Adjoint.find(Arg.getImpl());
+    Gradients.push_back(
+        It != Adjoint.end()
+            ? It->second
+            : makeSplatConstant(B, Loc, Ops, Arg.getType(), 0.0));
+  }
+  func::buildReturn(B, Loc, Gradients);
+  return success();
+}
+
+std::string tdl::ad::inferAddOpKind(Operation *Point) {
+  std::vector<std::string> Preceding = collectPrecedingTransforms(Point);
+  std::string Level = "stablehlo.add"; // Option 3: before any legalization
+  for (const std::string &Name : Preceding) {
+    if (Name == "legalize-stablehlo-to-mhlo")
+      Level = "mhlo.add"; // Option 2
+    if (Name == "legalize-mhlo-to-arith" ||
+        Name == "legalize-mhlo-to-linalg" ||
+        Name == "convert-linalg-to-loops")
+      Level = "arith.addf"; // Option 1
+  }
+  return Level;
+}
+
+//===----------------------------------------------------------------------===//
+// Legalization passes (the lowering ladder of Fig. 5)
+//===----------------------------------------------------------------------===//
+
+static LogicalResult renameDialectOps(Operation *Root,
+                                      std::string_view FromDialect,
+                                      std::string_view ToDialect) {
+  std::vector<Operation *> Targets;
+  Root->walk([&](Operation *Op) {
+    if (Op->getDialectName() == FromDialect)
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets) {
+    std::string Suffix(
+        std::string_view(Op->getName()).substr(FromDialect.size()));
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    OperationState State(Op->getLoc(), std::string(ToDialect) + Suffix);
+    State.Operands = Op->getOperands();
+    State.ResultTypes = Op->getResultTypes();
+    State.Attributes = Op->getAttrs();
+    Operation *NewOp = B.create(State);
+    Op->replaceAllUsesWith(NewOp);
+    Op->erase();
+  }
+  return success();
+}
+
+static LogicalResult legalizeMhloToArith(Operation *Root) {
+  static const std::map<std::string, std::string> NameMap = {
+      {"mhlo.add", "arith.addf"},
+      {"mhlo.multiply", "arith.mulf"},
+      {"mhlo.subtract", "arith.subf"},
+      {"mhlo.constant", "arith.constant"},
+      {"mhlo.maximum", "arith.maxf"},
+      {"mhlo.minimum", "arith.minf"}};
+  std::vector<Operation *> Targets;
+  Root->walk([&](Operation *Op) {
+    if (NameMap.count(std::string(Op->getName())) ||
+        Op->getName() == "mhlo.negate")
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    if (Op->getName() == "mhlo.negate") {
+      // arith has no negf: negate(x) = 0 - x.
+      Type Ty = Op->getResult(0).getType();
+      LevelOps Ops = LevelOps::forAddOp("arith.addf");
+      Value Zero = makeSplatConstant(B, Op->getLoc(), Ops, Ty, 0.0);
+      Value Sub =
+          makeBinary(B, Op->getLoc(), "arith.subf", Zero, Op->getOperand(0));
+      Op->getResult(0).replaceAllUsesWith(Sub);
+      Op->erase();
+      continue;
+    }
+    OperationState State(Op->getLoc(),
+                         NameMap.at(std::string(Op->getName())));
+    State.Operands = Op->getOperands();
+    State.ResultTypes = Op->getResultTypes();
+    State.Attributes = Op->getAttrs();
+    Operation *NewOp = B.create(State);
+    Op->replaceAllUsesWith(NewOp);
+    Op->erase();
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+void tdl::registerAutoDiffSupport(Context &Ctx) {
+  PassRegistry &Registry = PassRegistry::instance();
+  if (!Registry.lookup("legalize-stablehlo-to-mhlo")) {
+    Registry.registerFnPass(
+        "legalize-stablehlo-to-mhlo", "Rename StableHLO ops to MHLO", "",
+        [](Operation *Target, Pass &) {
+          return renameDialectOps(Target, "stablehlo", "mhlo");
+        });
+    Registry.registerFnPass("legalize-mhlo-to-arith",
+                            "Lower MHLO elementwise ops to arith", "",
+                            [](Operation *Target, Pass &) {
+                              return legalizeMhloToArith(Target);
+                            });
+    Registry.registerFnPass(
+        "reverse-diff", "Reverse-mode AD over straight-line functions",
+        "func.func", [](Operation *Target, Pass &P) {
+          std::string AddOp = "stablehlo.add";
+          std::string_view Options = P.getOptions();
+          if (Options.substr(0, 3) == "op=")
+            AddOp = std::string(Options.substr(3));
+          return ad::generateGradientFunction(Target, AddOp);
+        });
+
+    ContractRegistry::instance().registerContract(
+        "legalize-stablehlo-to-mhlo",
+        {{"stablehlo.*"},
+         {"mhlo.add", "mhlo.multiply", "mhlo.subtract", "mhlo.negate",
+          "mhlo.constant", "mhlo.transpose", "mhlo.reshape", "mhlo.reduce",
+          "mhlo.dot_general", "mhlo.pad"}});
+    ContractRegistry::instance().registerContract(
+        "legalize-mhlo-to-arith",
+        {{"mhlo.*"},
+         {"arith.addf", "arith.mulf", "arith.subf", "arith.constant",
+          "arith.maxf", "arith.minf"}});
+  }
+
+  // transform.autodiff: the introspecting AD transform of Fig. 5.
+  OpInfo Info;
+  Info.Name = "transform.autodiff";
+  TransformOpDef Def;
+  Def.ResultNestedInOperand = {0};
+  Def.Apply = [](Operation *Op,
+                 TransformInterpreter &Interp) -> DiagnosedSilenceableFailure {
+    std::string AddOp(Op->getStringAttr("add_op"));
+    if (AddOp.empty())
+      AddOp = ad::inferAddOpKind(Op); // introspection (Section 3.4)
+    std::vector<Operation *> Payload =
+        Interp.getState().getPayloadOps(Op->getOperand(0));
+    for (Operation *Target : Payload) {
+      std::vector<Operation *> Funcs;
+      if (Target->getName() == "func.func") {
+        Funcs.push_back(Target);
+      } else {
+        Target->walk([&](Operation *Nested) {
+          if (Nested->getName() == "func.func" &&
+              !Nested->hasAttr("gradient"))
+            Funcs.push_back(Nested);
+        });
+      }
+      for (Operation *Func : Funcs) {
+        std::string_view Name = getSymbolName(Func);
+        if (Name.size() > 5 &&
+            Name.substr(Name.size() - 5) == "_grad")
+          continue;
+        if (failed(ad::generateGradientFunction(Func, AddOp)))
+          return DiagnosedSilenceableFailure::definite(
+              "autodiff failed on function '" + std::string(Name) + "'");
+      }
+    }
+    if (Op->getNumResults())
+      Interp.getState().setPayload(Op->getResult(0), std::move(Payload));
+    // Record the decision for tests/benchmarks.
+    Op->setAttr("inferred_add_op",
+                StringAttr::get(Op->getContext(), AddOp));
+    return DiagnosedSilenceableFailure::success();
+  };
+  registerTransformOp(Ctx, Info, Def);
+}

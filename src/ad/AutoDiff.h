@@ -1,0 +1,50 @@
+//===- AutoDiff.h - Reverse-mode AD with level introspection -----*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fig. 5 scenario: a reverse-mode automatic differentiation transform
+/// (Enzyme-lite) that must emit "add" operations of the dialect matching
+/// its position in the lowering ladder (stablehlo -> mhlo -> arith). The
+/// `transform.autodiff` op either takes the add kind explicitly (the
+/// paper's Options 1-3) or infers it by introspecting the transform script
+/// itself (Section 3.4, "Automatically configuring transformation
+/// pipelines via introspection").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_AD_AUTODIFF_H
+#define TDL_AD_AUTODIFF_H
+
+#include "ir/IR.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+
+namespace tdl {
+
+/// Registers `legalize-stablehlo-to-mhlo` and `legalize-mhlo-to-arith`
+/// passes (with contracts) plus the `reverse-diff` pass and the
+/// `transform.autodiff` transform op.
+void registerAutoDiffSupport(Context &Ctx);
+
+namespace ad {
+
+/// Differentiates function \p Func (straight-line {stablehlo,mhlo}.{add,
+/// multiply,negate} / arith.{addf,mulf} ops over one or more inputs,
+/// single result) and inserts `<name>_grad` next to it, computing the
+/// gradient of the result w.r.t. every input. Adjoint accumulation uses
+/// \p AddOpName ("stablehlo.add", "mhlo.add", or "arith.addf").
+LogicalResult generateGradientFunction(Operation *Func,
+                                       std::string_view AddOpName);
+
+/// Infers the correct add kind for an AD transform placed at \p Point in a
+/// transform script by scanning the lowering transforms that precede it.
+std::string inferAddOpKind(Operation *Point);
+
+} // namespace ad
+} // namespace tdl
+
+#endif // TDL_AD_AUTODIFF_H

@@ -1,0 +1,116 @@
+//===- AutoTuner.cpp - Constrained autotuning (BaCO substitute) -----------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/AutoTuner.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace tdl;
+using namespace tdl::autotune;
+
+std::vector<int64_t> TuningSpace::divisorsOf(int64_t N) {
+  std::vector<int64_t> Divisors;
+  for (int64_t D = 1; D <= N; ++D)
+    if (N % D == 0)
+      Divisors.push_back(D);
+  return Divisors;
+}
+
+AutoTuner::AutoTuner(TuningSpace Space, TunerOptions Options)
+    : Space(std::move(Space)), Options(Options),
+      RngState(Options.Seed ? Options.Seed : 1) {}
+
+uint64_t AutoTuner::nextRandom() {
+  RngState ^= RngState >> 12;
+  RngState ^= RngState << 25;
+  RngState ^= RngState >> 27;
+  return RngState * 0x2545F4914F6CDD1Dull;
+}
+
+std::vector<int64_t> AutoTuner::proposeRandom() {
+  for (int Attempt = 0; Attempt < 256; ++Attempt) {
+    std::vector<int64_t> Config;
+    Config.reserve(Space.Params.size());
+    for (const TuningParam &Param : Space.Params) {
+      assert(!Param.Candidates.empty() && "parameter without candidates");
+      Config.push_back(
+          Param.Candidates[nextRandom() % Param.Candidates.size()]);
+    }
+    if (Space.isFeasible(Config))
+      return Config;
+  }
+  // Degenerate space: fall back to the first candidates.
+  std::vector<int64_t> Config;
+  for (const TuningParam &Param : Space.Params)
+    Config.push_back(Param.Candidates.front());
+  return Config;
+}
+
+std::vector<int64_t> AutoTuner::mutate(const std::vector<int64_t> &Base) {
+  for (int Attempt = 0; Attempt < 64; ++Attempt) {
+    std::vector<int64_t> Config = Base;
+    size_t ParamIdx = nextRandom() % Space.Params.size();
+    const std::vector<int64_t> &Candidates =
+        Space.Params[ParamIdx].Candidates;
+    // Move to a neighboring candidate (local search) or jump (rarely).
+    auto It = std::find(Candidates.begin(), Candidates.end(),
+                        Config[ParamIdx]);
+    size_t Pos = It == Candidates.end()
+                     ? nextRandom() % Candidates.size()
+                     : static_cast<size_t>(It - Candidates.begin());
+    if (nextRandom() % 4 == 0) {
+      Pos = nextRandom() % Candidates.size();
+    } else {
+      if (nextRandom() % 2 && Pos + 1 < Candidates.size())
+        ++Pos;
+      else if (Pos > 0)
+        --Pos;
+    }
+    Config[ParamIdx] = Candidates[Pos];
+    if (Space.isFeasible(Config))
+      return Config;
+  }
+  return proposeRandom();
+}
+
+std::vector<Evaluation> AutoTuner::optimize(
+    const std::function<double(const std::vector<int64_t> &)> &Objective,
+    int Budget) {
+  History.clear();
+  Best = Evaluation();
+  Best.Cost = 1e300;
+
+  for (int Step = 0; Step < Budget; ++Step) {
+    std::vector<int64_t> Config;
+    bool Explore =
+        History.size() < 4 ||
+        (nextRandom() % 1000) < Options.ExploreFraction * 1000;
+    if (Explore) {
+      Config = proposeRandom();
+    } else {
+      // Mutate one of the elite configurations (cheap surrogate: the
+      // empirical best-k set approximates the promising region).
+      std::vector<const Evaluation *> Sorted;
+      for (const Evaluation &E : History)
+        Sorted.push_back(&E);
+      std::sort(Sorted.begin(), Sorted.end(),
+                [](const Evaluation *A, const Evaluation *B) {
+                  return A->Cost < B->Cost;
+                });
+      size_t Elites = std::min<size_t>(Options.EliteCount, Sorted.size());
+      Config = mutate(Sorted[nextRandom() % Elites]->Config);
+    }
+
+    Evaluation E;
+    E.Config = Config;
+    E.Cost = Objective(Config);
+    History.push_back(E);
+    if (E.Cost < Best.Cost)
+      Best = E;
+  }
+  return History;
+}

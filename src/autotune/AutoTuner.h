@@ -1,0 +1,92 @@
+//===- AutoTuner.h - Constrained autotuning (BaCO substitute) ----*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.5: autotuning over constrained parameter spaces. Substitutes
+/// for BaCO with a surrogate-guided search: random feasible exploration
+/// mixed with local mutation of elite configurations. Supports the
+/// constraint forms of Fig. 10 (tile sizes dividing their dimension,
+/// conditional feasibility such as "vectorize only when the innermost trip
+/// count divides the vector width").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_AUTOTUNE_AUTOTUNER_H
+#define TDL_AUTOTUNE_AUTOTUNER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tdl {
+namespace autotune {
+
+/// One tuning parameter with an explicit candidate-value list (e.g. the
+/// divisors of a loop extent, as in Fig. 10).
+struct TuningParam {
+  std::string Name;
+  std::vector<int64_t> Candidates;
+};
+
+/// A constrained space: parameters plus a joint feasibility predicate.
+struct TuningSpace {
+  std::vector<TuningParam> Params;
+  /// Joint constraint over a full configuration; null = all feasible.
+  std::function<bool(const std::vector<int64_t> &)> Constraint;
+
+  bool isFeasible(const std::vector<int64_t> &Config) const {
+    return !Constraint || Constraint(Config);
+  }
+
+  /// Returns the divisors of \p N in increasing order (helper for tile-size
+  /// parameters: "B % tile0 == 0" in Fig. 10).
+  static std::vector<int64_t> divisorsOf(int64_t N);
+};
+
+struct Evaluation {
+  std::vector<int64_t> Config;
+  double Cost = 0; // lower is better (seconds)
+};
+
+struct TunerOptions {
+  uint64_t Seed = 42;
+  /// Fraction of proposals drawn uniformly at random (exploration); the
+  /// rest mutate elite configurations (exploitation).
+  double ExploreFraction = 0.35;
+  int EliteCount = 5;
+};
+
+/// Budgeted minimization over a constrained space.
+class AutoTuner {
+public:
+  AutoTuner(TuningSpace Space, TunerOptions Options = {});
+
+  /// Runs \p Budget evaluations of \p Objective (cost in seconds; lower is
+  /// better). Returns the full evaluation history in order.
+  std::vector<Evaluation>
+  optimize(const std::function<double(const std::vector<int64_t> &)> &Objective,
+           int Budget);
+
+  /// Best evaluation of the last optimize() call.
+  const Evaluation &getBest() const { return Best; }
+
+private:
+  std::vector<int64_t> proposeRandom();
+  std::vector<int64_t> mutate(const std::vector<int64_t> &Config);
+  uint64_t nextRandom();
+
+  TuningSpace Space;
+  TunerOptions Options;
+  uint64_t RngState;
+  Evaluation Best;
+  std::vector<Evaluation> History;
+};
+
+} // namespace autotune
+} // namespace tdl
+
+#endif // TDL_AUTOTUNE_AUTOTUNER_H

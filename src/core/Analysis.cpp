@@ -1,0 +1,351 @@
+//===- Analysis.cpp - Analyses and rewrites on Transform IR ---------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+
+#include "core/Transform.h"
+#include "ir/SymbolTable.h"
+#include "support/STLExtras.h"
+
+#include <map>
+#include <set>
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// Static handle-invalidation analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class InvalidationAnalysis {
+public:
+  std::vector<InvalidationIssue> run(Operation *Script) {
+    Script->walkPre([&](Operation *Op) {
+      for (unsigned R = 0; R < Op->getNumRegions(); ++R)
+        for (Block &B : Op->getRegion(R))
+          analyzeBlock(B);
+      return WalkResult::Advance;
+    });
+    return Issues;
+  }
+
+private:
+  void analyzeBlock(Block &B) {
+    // Fresh scope per block: block args are roots.
+    for (Operation *Op : B) {
+      const TransformOpDef *Def =
+          TransformOpRegistry::instance().lookup(Op->getName());
+
+      // Check uses of already-consumed handles.
+      for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+        Value Operand = Op->getOperand(I);
+        if (!isTransformHandleType(Operand.getType()))
+          continue;
+        if (Consumed.count(Operand.getImpl()))
+          Issues.push_back(
+              {Op, I,
+               "op '" + std::string(Op->getName()) + "' uses handle operand " +
+                   std::to_string(I) +
+                   " invalidated by a previously executed transform op"});
+      }
+
+      if (!Def)
+        continue;
+
+      // Record result provenance.
+      for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+        int NestedIn = I < Def->ResultNestedInOperand.size()
+                           ? Def->ResultNestedInOperand[I]
+                           : -1;
+        if (NestedIn >= 0 &&
+            NestedIn < static_cast<int>(Op->getNumOperands()))
+          Parent[Op->getResult(I).getImpl()] =
+              Op->getOperand(NestedIn).getImpl();
+      }
+
+      // Consume: the operand and all statically-known descendants.
+      for (unsigned Idx : Def->ConsumedOperands) {
+        if (Idx >= Op->getNumOperands())
+          continue;
+        ValueImpl *Root = Op->getOperand(Idx).getImpl();
+        Consumed.insert(Root);
+        // Descendants: any recorded handle whose provenance chain reaches
+        // the consumed root.
+        for (const auto &[Child, _] : Parent) {
+          ValueImpl *Cursor = Child;
+          while (true) {
+            auto It = Parent.find(Cursor);
+            if (It == Parent.end())
+              break;
+            Cursor = It->second;
+            if (Cursor == Root) {
+              Consumed.insert(Child);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::map<ValueImpl *, ValueImpl *> Parent;
+  std::set<ValueImpl *> Consumed;
+  std::vector<InvalidationIssue> Issues;
+};
+
+} // namespace
+
+std::vector<InvalidationIssue>
+tdl::analyzeHandleInvalidation(Operation *Script) {
+  InvalidationAnalysis Analysis;
+  return Analysis.run(Script);
+}
+
+//===----------------------------------------------------------------------===//
+// Include-graph cycle detection
+//===----------------------------------------------------------------------===//
+
+namespace {
+bool hasCycleFrom(Operation *Sequence, Operation *ScriptRoot,
+                  std::set<Operation *> &Stack,
+                  std::set<Operation *> &Done) {
+  if (Done.count(Sequence))
+    return false;
+  if (!Stack.insert(Sequence).second)
+    return true;
+  bool Cycle = false;
+  Sequence->walk([&](Operation *Op) {
+    if (Cycle || Op->getName() != "transform.include")
+      return;
+    SymbolRefAttr Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+    if (!Callee)
+      return;
+    Operation *Target =
+        getSymbolName(ScriptRoot) == Callee.getValue()
+            ? ScriptRoot
+            : lookupSymbol(ScriptRoot, Callee.getValue());
+    if (Target && hasCycleFrom(Target, ScriptRoot, Stack, Done))
+      Cycle = true;
+  });
+  Stack.erase(Sequence);
+  Done.insert(Sequence);
+  return Cycle;
+}
+} // namespace
+
+LogicalResult tdl::checkIncludeCycles(Operation *ScriptRoot) {
+  std::vector<Operation *> Sequences;
+  if (ScriptRoot->getName() == "transform.named_sequence")
+    Sequences.push_back(ScriptRoot);
+  ScriptRoot->walk([&](Operation *Op) {
+    if (Op != ScriptRoot && Op->getName() == "transform.named_sequence")
+      Sequences.push_back(Op);
+  });
+  std::set<Operation *> Done;
+  for (Operation *Sequence : Sequences) {
+    std::set<Operation *> Stack;
+    if (hasCycleFrom(Sequence, ScriptRoot, Stack, Done))
+      return Sequence->emitError()
+             << "cycle in the include graph of named sequence '@"
+             << getSymbolName(Sequence) << "'";
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Macro inlining
+//===----------------------------------------------------------------------===//
+
+LogicalResult tdl::inlineIncludes(Operation *ScriptRoot) {
+  if (failed(checkIncludeCycles(ScriptRoot)))
+    return failure();
+  for (int Guard = 0; Guard < 64; ++Guard) {
+    Operation *Include = nullptr;
+    ScriptRoot->walkPre([&](Operation *Op) {
+      if (Op->getName() == "transform.include") {
+        Include = Op;
+        return WalkResult::Interrupt;
+      }
+      return WalkResult::Advance;
+    });
+    if (!Include)
+      return success();
+
+    SymbolRefAttr Callee = Include->getAttrOfType<SymbolRefAttr>("callee");
+    Operation *Target =
+        Callee ? (getSymbolName(ScriptRoot) == Callee.getValue()
+                      ? ScriptRoot
+                      : lookupSymbol(ScriptRoot, Callee.getValue()))
+               : nullptr;
+    if (!Target || Target->getNumRegions() == 0 ||
+        Target->getRegion(0).empty())
+      return Include->emitError() << "cannot inline unknown callee";
+
+    Block &CalleeBody = Target->getRegion(0).front();
+    IRMapping Mapping;
+    for (unsigned I = 0; I < Include->getNumOperands() &&
+                         I < CalleeBody.getNumArguments();
+         ++I)
+      Mapping.map(CalleeBody.getArgument(I), Include->getOperand(I));
+
+    OpBuilder B(Include->getContext());
+    B.setInsertionPoint(Include);
+    std::vector<Value> YieldedValues;
+    for (Operation *CalleeOp : CalleeBody) {
+      if (CalleeOp->getName() == "transform.yield") {
+        for (Value Operand : CalleeOp->getOperands())
+          YieldedValues.push_back(Mapping.lookupOrDefault(Operand));
+        break;
+      }
+      B.clone(*CalleeOp, Mapping);
+    }
+    for (unsigned I = 0; I < Include->getNumResults(); ++I) {
+      if (I < YieldedValues.size())
+        Include->getResult(I).replaceAllUsesWith(YieldedValues[I]);
+      else if (!Include->getResult(I).use_empty())
+        return Include->emitError()
+               << "include result " << I << " has no yielded value";
+    }
+    Include->erase();
+  }
+  return ScriptRoot->emitError() << "include inlining did not converge";
+}
+
+//===----------------------------------------------------------------------===//
+// Simplification
+//===----------------------------------------------------------------------===//
+
+/// Transform ops whose unused results make them removable (pure queries).
+static bool isPureQueryTransform(std::string_view Name) {
+  return Name == "transform.match.op" || Name == "transform.get_parent_op" ||
+         Name == "transform.merge_handles" ||
+         Name == "transform.split_handle" || Name == "transform.cast" ||
+         Name == "transform.param.constant";
+}
+
+int64_t tdl::simplifyTransformScript(Operation *ScriptRoot) {
+  int64_t NumErased = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // 1. Constant parameter propagation: param.constant feeding the
+    //    parameter operands of tile/split/unroll becomes an attribute.
+    std::vector<Operation *> Consumers;
+    ScriptRoot->walk([&](Operation *Op) {
+      std::string_view Name = Op->getName();
+      if (Name == "transform.loop.tile" || Name == "transform.loop.split")
+        Consumers.push_back(Op);
+    });
+    for (Operation *Op : Consumers) {
+      std::string_view AttrName = Op->getName() == "transform.loop.tile"
+                                      ? "tile_sizes"
+                                      : "divisor";
+      if (Op->hasAttr(AttrName))
+        continue;
+      std::vector<int64_t> Values;
+      bool AllConstant = Op->getNumOperands() > 1;
+      for (unsigned I = 1; I < Op->getNumOperands(); ++I) {
+        Operation *Def = Op->getOperand(I).getDefiningOp();
+        if (!Def || Def->getName() != "transform.param.constant") {
+          AllConstant = false;
+          break;
+        }
+        IntegerAttr Value = Def->getAttrOfType<IntegerAttr>("value");
+        if (!Value) {
+          AllConstant = false;
+          break;
+        }
+        Values.push_back(Value.getValue());
+      }
+      if (!AllConstant)
+        continue;
+      if (Op->getName() == "transform.loop.tile")
+        Op->setAttr(AttrName,
+                    ArrayAttr::getIndexArray(Op->getContext(), Values));
+      else
+        Op->setAttr(AttrName,
+                    IntegerAttr::getIndex(Op->getContext(), Values[0]));
+      while (Op->getNumOperands() > 1)
+        Op->eraseOperand(Op->getNumOperands() - 1);
+      Changed = true;
+    }
+
+    // 2. No-op elimination and dead pure queries.
+    std::vector<Operation *> Candidates;
+    ScriptRoot->walk([&](Operation *Op) { Candidates.push_back(Op); });
+    for (Operation *Op : Candidates) {
+      std::string_view Name = Op->getName();
+
+      // unroll by factor 1 is a no-op: forward the handle.
+      if (Name == "transform.loop.unroll" &&
+          Op->getIntAttr("factor", 0) == 1 && !Op->hasAttr("full")) {
+        if (Op->getNumResults() == 1)
+          Op->getResult(0).replaceAllUsesWith(Op->getOperand(0));
+        if (Op->use_empty()) {
+          Op->erase();
+          ++NumErased;
+          Changed = true;
+          continue;
+        }
+      }
+
+      // tile by all-zero sizes is a no-op: the point nest is the original.
+      if (Name == "transform.loop.tile") {
+        ArrayAttr Sizes = Op->getAttrOfType<ArrayAttr>("tile_sizes");
+        bool AllZero = static_cast<bool>(Sizes);
+        if (Sizes)
+          for (int64_t Size : Sizes.getAsIntegers())
+            AllZero &= (Size == 0);
+        if (AllZero && Op->getNumResults() == 2 &&
+            Op->getResult(0).use_empty()) {
+          Op->getResult(1).replaceAllUsesWith(Op->getOperand(0));
+          Op->erase();
+          ++NumErased;
+          Changed = true;
+          continue;
+        }
+      }
+
+      if (isPureQueryTransform(Name) && Op->use_empty() &&
+          Op->getNumResults() > 0) {
+        Op->erase();
+        ++NumErased;
+        Changed = true;
+      }
+    }
+  }
+  return NumErased;
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> tdl::collectPrecedingTransforms(Operation *Point) {
+  std::vector<std::string> Result;
+  Block *B = Point->getBlock();
+  if (!B)
+    return Result;
+  for (Operation *Op : *B) {
+    if (Op == Point)
+      break;
+    std::string_view Name = Op->getName();
+    if (Name == "transform.apply_registered_pass") {
+      Result.push_back(std::string(Op->getStringAttr("pass_name")));
+      continue;
+    }
+    if (Name.substr(0, 10) == "transform.") {
+      std::string PassName(Name.substr(10));
+      for (char &C : PassName)
+        if (C == '_')
+          C = '-';
+      Result.push_back(PassName);
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,82 @@
+//===- Analysis.h - Analyses and rewrites on Transform IR --------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.4 of the paper: because transform scripts are ordinary IR,
+/// compiler analyses and transformations apply to them. This module
+/// implements:
+///  * static use-after-invalidation detection (the "use after free"
+///    dataflow over handles; catches Fig. 1 line 11 without running),
+///  * include-graph cycle detection (macros must not recurse),
+///  * macro inlining + no-op simplification + constant parameter
+///    propagation over scripts,
+///  * introspection helpers (which lowering transforms precede a given
+///    point — used to auto-configure the AD transform of Fig. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_CORE_ANALYSIS_H
+#define TDL_CORE_ANALYSIS_H
+
+#include "ir/IR.h"
+#include "support/LogicalResult.h"
+
+#include <string>
+#include <vector>
+
+namespace tdl {
+
+//===----------------------------------------------------------------------===//
+// Static handle-invalidation analysis
+//===----------------------------------------------------------------------===//
+
+struct InvalidationIssue {
+  Operation *Op = nullptr;
+  unsigned OperandIdx = 0;
+  std::string Message;
+};
+
+/// Statically detects uses of consumed handles in \p Script (a sequence or
+/// named_sequence, analyzed block by block). Handle aliasing uses the
+/// registered result-provenance information: a result declared nested in an
+/// operand is invalidated when that operand (or any ancestor) is consumed.
+std::vector<InvalidationIssue> analyzeHandleInvalidation(Operation *Script);
+
+//===----------------------------------------------------------------------===//
+// Include graph
+//===----------------------------------------------------------------------===//
+
+/// Fails (with a diagnostic) when the include graph of named sequences
+/// under \p ScriptRoot contains a cycle.
+LogicalResult checkIncludeCycles(Operation *ScriptRoot);
+
+//===----------------------------------------------------------------------===//
+// Script simplification
+//===----------------------------------------------------------------------===//
+
+/// Inlines every `transform.include` whose callee is a named sequence under
+/// \p ScriptRoot (macro expansion via the ordinary inliner discipline).
+LogicalResult inlineIncludes(Operation *ScriptRoot);
+
+/// Propagates `transform.param.constant` values into integer attributes of
+/// their consumers (tile sizes, divisors, factors), then removes no-op
+/// transforms (unroll by 1, tile by all-zero sizes) and dead pure query ops
+/// (matches with unused results). Returns the number of erased ops.
+int64_t simplifyTransformScript(Operation *ScriptRoot);
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+/// Returns the pass names of lowering/pass-applying transform ops that
+/// precede \p Point inside its block, in program order. Both contracted
+/// `transform.<pass>` ops and `transform.apply_registered_pass` are
+/// considered.
+std::vector<std::string> collectPrecedingTransforms(Operation *Point);
+
+} // namespace tdl
+
+#endif // TDL_CORE_ANALYSIS_H

@@ -1,0 +1,258 @@
+//===- Transform.h - The Transform dialect ----------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: a transformation-control language
+/// represented as compiler IR. Transform scripts are ordinary operations in
+/// the `transform` dialect; an interpreter maintains the mapping between
+/// handles (SSA values of `!transform.*` types) and payload operations,
+/// tracks handle invalidation, and dispatches to transformation logic.
+///
+/// Extensibility (Section 3.2): new transform ops are registered at runtime
+/// via `registerTransformOp`, pairing an OpInfo with a `TransformOpDef`
+/// (operand effects + apply callback) — no recompilation of this library is
+/// needed to add transforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_CORE_TRANSFORM_H
+#define TDL_CORE_TRANSFORM_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+#include "rewrite/Rewriter.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tdl {
+
+class TransformInterpreter;
+
+//===----------------------------------------------------------------------===//
+// DiagnosedSilenceableFailure
+//===----------------------------------------------------------------------===//
+
+/// Tri-state transform result (Section 3): success, silenceable failure
+/// (precondition failed; payload not irreversibly modified; a parent may
+/// suppress it), or definite failure (aborts interpretation).
+class DiagnosedSilenceableFailure {
+public:
+  enum class Severity { Success, Silenceable, Definite };
+
+  static DiagnosedSilenceableFailure success() {
+    return DiagnosedSilenceableFailure(Severity::Success, "");
+  }
+  static DiagnosedSilenceableFailure silenceable(std::string Message) {
+    return DiagnosedSilenceableFailure(Severity::Silenceable,
+                                       std::move(Message));
+  }
+  static DiagnosedSilenceableFailure definite(std::string Message) {
+    return DiagnosedSilenceableFailure(Severity::Definite,
+                                       std::move(Message));
+  }
+
+  bool succeeded() const { return Kind == Severity::Success; }
+  bool isSilenceable() const { return Kind == Severity::Silenceable; }
+  bool isDefinite() const { return Kind == Severity::Definite; }
+  const std::string &getMessage() const { return Message; }
+
+private:
+  DiagnosedSilenceableFailure(Severity Kind, std::string Message)
+      : Kind(Kind), Message(std::move(Message)) {}
+
+  Severity Kind;
+  std::string Message;
+};
+
+//===----------------------------------------------------------------------===//
+// Transform op registration
+//===----------------------------------------------------------------------===//
+
+/// Runtime behavior of a transform op: which operands it consumes (a
+/// "memory deallocation" side effect in the paper's terms, Section 3.1) and
+/// how to apply it.
+struct TransformOpDef {
+  /// Indices of consumed operands; consumed handles and every handle
+  /// pointing into the same or nested payload become invalid afterwards.
+  std::set<unsigned> ConsumedOperands;
+  /// Apply callback. Reads payload via the interpreter, mutates payload IR,
+  /// and binds results.
+  std::function<DiagnosedSilenceableFailure(Operation *, TransformInterpreter &)>
+      Apply;
+  /// Result aliasing for the *static* invalidation analysis (Section 3.4):
+  /// for each result, the operand index whose payload the result is nested
+  /// in, or -1 for fresh/disjoint payload.
+  std::vector<int> ResultNestedInOperand;
+};
+
+/// Registry of transform op behaviors, keyed by op name. The companion
+/// OpInfo is registered in the Context as usual.
+class TransformOpRegistry {
+public:
+  static TransformOpRegistry &instance();
+
+  void registerOp(std::string Name, TransformOpDef Def);
+  const TransformOpDef *lookup(std::string_view Name) const;
+
+private:
+  std::map<std::string, TransformOpDef, std::less<>> Defs;
+};
+
+/// Registers a transform op end-to-end: OpInfo into \p Ctx, behavior into
+/// the TransformOpRegistry. This is the extension point advanced users call
+/// (Section 3.2).
+void registerTransformOp(Context &Ctx, OpInfo Info, TransformOpDef Def);
+
+/// Registers all built-in transform ops and types with \p Ctx.
+void registerTransformDialect(Context &Ctx);
+
+/// Registers a named pattern usable inside `transform.apply_patterns`
+/// regions. The op `transform.pattern.<name>` becomes available; its
+/// populate function contributes patterns to the set applied greedily.
+void registerTransformPatternOp(
+    Context &Ctx, std::string_view Name,
+    std::function<void(PatternSet &)> Populate);
+
+/// Returns the populate function for `transform.pattern.<name>`, or null.
+const std::function<void(PatternSet &)> *
+lookupTransformPatternOp(std::string_view Name);
+
+//===----------------------------------------------------------------------===//
+// TransformState
+//===----------------------------------------------------------------------===//
+
+/// The interpreter's association table: handle values to payload ops,
+/// parameter values to attributes, and the invalidation set.
+class TransformState {
+public:
+  explicit TransformState(Operation *PayloadRoot) : PayloadRoot(PayloadRoot) {}
+
+  Operation *getPayloadRoot() const { return PayloadRoot; }
+
+  const std::vector<Operation *> &getPayloadOps(Value Handle) const;
+  const std::vector<Attribute> &getParams(Value Handle) const;
+  bool isParam(Value Handle) const;
+
+  void setPayload(Value Handle, std::vector<Operation *> Ops);
+  void setParams(Value Handle, std::vector<Attribute> Params);
+
+  /// Marks \p Handle consumed: it and every handle whose payload ops are
+  /// identical to or nested within its payload become invalidated. Mappings
+  /// are kept readable until overwritten so the consuming transform itself
+  /// can still access its operand.
+  void consume(Value Handle);
+  bool isInvalidated(Value Handle) const {
+    return Invalidated.count(Handle.getImpl()) != 0;
+  }
+
+  /// Rewires every mapping of \p Old to \p Replacements (handle tracking
+  /// during pattern application, Section 3.1).
+  void replacePayloadOp(Operation *Old,
+                        const std::vector<Operation *> &Replacements);
+  /// Drops \p Old from every mapping.
+  void erasePayloadOp(Operation *Old);
+
+  /// Number of handle->payload entries (for tests/benchmarks).
+  size_t getNumHandles() const { return HandleMap.size(); }
+
+private:
+  Operation *PayloadRoot;
+  std::map<ValueImpl *, std::vector<Operation *>> HandleMap;
+  std::map<ValueImpl *, std::vector<Attribute>> ParamMap;
+  std::set<ValueImpl *> Invalidated;
+};
+
+/// Rewrite listener that keeps a TransformState's handles up to date while
+/// patterns or passes run — the "operation replaced"/"erased" subscription
+/// of Section 3.1.
+class TrackingListener : public RewriteListener {
+public:
+  explicit TrackingListener(TransformState &State) : State(State) {}
+
+  void notifyOperationReplaced(Operation *Op,
+                               const std::vector<Value> &Replacements) override;
+  void notifyOperationErased(Operation *Op) override;
+
+private:
+  TransformState &State;
+};
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+struct TransformOptions {
+  /// Dynamically check lowering-transform pre-/post-conditions (Section
+  /// 3.3, "Checking Pre- and Post-Conditions Dynamically").
+  bool CheckConditions = false;
+  /// Print each transform op before applying it.
+  bool Trace = false;
+  /// Treat a silenceable failure surviving to the top level as an error.
+  bool FailOnSilenceable = true;
+};
+
+/// Executes a transform script against a payload root.
+class TransformInterpreter {
+public:
+  TransformInterpreter(Operation *PayloadRoot, Operation *ScriptRoot,
+                       TransformOptions Options = {});
+
+  /// Runs the entry sequence: \p Entry itself when it is a (named_)sequence,
+  /// otherwise the named sequence `@__transform_main` inside the script
+  /// root. Binds its first block argument to the payload root.
+  LogicalResult run();
+
+  TransformState &getState() { return State; }
+  const TransformOptions &getOptions() const { return Options; }
+  Operation *getScriptRoot() const { return ScriptRoot; }
+
+  /// Executes all ops of \p B (used by region-carrying transform ops).
+  DiagnosedSilenceableFailure executeBlock(Block &B);
+  /// Executes one transform op.
+  DiagnosedSilenceableFailure executeOp(Operation *Op);
+
+  /// Resolves a named sequence in the script root by symbol name.
+  Operation *lookupNamedSequence(std::string_view Name) const;
+
+  /// Convenience used by transform implementations: reads a size parameter
+  /// that is either an attribute on \p Op or a `!transform.param` operand.
+  FailureOr<std::vector<int64_t>> readIntParams(Operation *Op,
+                                                std::string_view AttrName,
+                                                unsigned FirstParamOperand);
+
+  /// Statistics for the ablation benchmarks.
+  int64_t NumExecutedOps = 0;
+
+private:
+  Operation *PayloadRoot;
+  Operation *ScriptRoot;
+  TransformOptions Options;
+  TransformState State;
+};
+
+/// One-call entry point: interprets \p Script (a named_sequence /sequence op
+/// or a module containing `@__transform_main`) against \p PayloadRoot.
+LogicalResult applyTransforms(Operation *PayloadRoot, Operation *Script,
+                              TransformOptions Options = {});
+
+//===----------------------------------------------------------------------===//
+// Pipeline-to-script conversion (Case Study 1)
+//===----------------------------------------------------------------------===//
+
+/// Builds a transform script module equivalent to a textual pass pipeline:
+/// one `transform.apply_registered_pass` per pipeline element, chained on
+/// the module handle. Mirrors the paper's automatic conversion of pass
+/// pipelines to Transform scripts.
+OwningOpRef buildTransformScriptFromPipeline(Context &Ctx,
+                                             std::string_view Pipeline);
+
+} // namespace tdl
+
+#endif // TDL_CORE_TRANSFORM_H

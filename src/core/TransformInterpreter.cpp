@@ -1,0 +1,306 @@
+//===- TransformInterpreter.cpp - Transform script interpreter ------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Transform.h"
+
+#include "dialect/Dialects.h"
+#include "ir/SymbolTable.h"
+#include "pass/Pass.h"
+#include "support/STLExtras.h"
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// TransformOpRegistry
+//===----------------------------------------------------------------------===//
+
+TransformOpRegistry &TransformOpRegistry::instance() {
+  static TransformOpRegistry Registry;
+  return Registry;
+}
+
+void TransformOpRegistry::registerOp(std::string Name, TransformOpDef Def) {
+  Defs[std::move(Name)] = std::move(Def);
+}
+
+const TransformOpDef *
+TransformOpRegistry::lookup(std::string_view Name) const {
+  auto It = Defs.find(Name);
+  return It == Defs.end() ? nullptr : &It->second;
+}
+
+void tdl::registerTransformOp(Context &Ctx, OpInfo Info, TransformOpDef Def) {
+  std::string Name = Info.Name;
+  Ctx.registerOp(std::move(Info));
+  TransformOpRegistry::instance().registerOp(std::move(Name), std::move(Def));
+}
+
+//===----------------------------------------------------------------------===//
+// TransformState
+//===----------------------------------------------------------------------===//
+
+const std::vector<Operation *> &
+TransformState::getPayloadOps(Value Handle) const {
+  static const std::vector<Operation *> Empty;
+  auto It = HandleMap.find(Handle.getImpl());
+  return It == HandleMap.end() ? Empty : It->second;
+}
+
+const std::vector<Attribute> &TransformState::getParams(Value Handle) const {
+  static const std::vector<Attribute> Empty;
+  auto It = ParamMap.find(Handle.getImpl());
+  return It == ParamMap.end() ? Empty : It->second;
+}
+
+bool TransformState::isParam(Value Handle) const {
+  return ParamMap.count(Handle.getImpl()) != 0;
+}
+
+void TransformState::setPayload(Value Handle, std::vector<Operation *> Ops) {
+  HandleMap[Handle.getImpl()] = std::move(Ops);
+  Invalidated.erase(Handle.getImpl());
+}
+
+void TransformState::setParams(Value Handle, std::vector<Attribute> Params) {
+  ParamMap[Handle.getImpl()] = std::move(Params);
+}
+
+void TransformState::consume(Value Handle) {
+  auto It = HandleMap.find(Handle.getImpl());
+  Invalidated.insert(Handle.getImpl());
+  if (It == HandleMap.end())
+    return;
+  const std::vector<Operation *> &Consumed = It->second;
+  // Invalidate every handle pointing to the same payload ops or to ops
+  // nested within them (computed while the payload IR is still intact).
+  for (auto &[OtherImpl, OtherOps] : HandleMap) {
+    if (OtherImpl == Handle.getImpl() || Invalidated.count(OtherImpl))
+      continue;
+    bool Aliases = false;
+    for (Operation *Other : OtherOps) {
+      for (Operation *Mine : Consumed) {
+        if (Mine == Other || Mine->isAncestorOf(Other)) {
+          Aliases = true;
+          break;
+        }
+      }
+      if (Aliases)
+        break;
+    }
+    if (Aliases)
+      Invalidated.insert(OtherImpl);
+  }
+}
+
+void TransformState::replacePayloadOp(
+    Operation *Old, const std::vector<Operation *> &Replacements) {
+  for (auto &[Impl, Ops] : HandleMap) {
+    if (Invalidated.count(Impl))
+      continue;
+    for (size_t I = 0; I < Ops.size(); ++I) {
+      if (Ops[I] != Old)
+        continue;
+      if (Replacements.empty()) {
+        Ops.erase(Ops.begin() + I);
+        --I;
+        continue;
+      }
+      Ops[I] = Replacements[0];
+      Ops.insert(Ops.begin() + I + 1, Replacements.begin() + 1,
+                 Replacements.end());
+      I += Replacements.size() - 1;
+    }
+  }
+}
+
+void TransformState::erasePayloadOp(Operation *Old) {
+  replacePayloadOp(Old, {});
+}
+
+//===----------------------------------------------------------------------===//
+// TrackingListener
+//===----------------------------------------------------------------------===//
+
+void TrackingListener::notifyOperationReplaced(
+    Operation *Op, const std::vector<Value> &Replacements) {
+  // Map the op to the distinct defining ops of the replacement values (the
+  // MLIR convention).
+  std::vector<Operation *> NewOps;
+  for (Value V : Replacements) {
+    Operation *Def = V.getDefiningOp();
+    if (Def && !is_contained(NewOps, Def))
+      NewOps.push_back(Def);
+  }
+  State.replacePayloadOp(Op, NewOps);
+}
+
+void TrackingListener::notifyOperationErased(Operation *Op) {
+  State.erasePayloadOp(Op);
+}
+
+//===----------------------------------------------------------------------===//
+// TransformInterpreter
+//===----------------------------------------------------------------------===//
+
+TransformInterpreter::TransformInterpreter(Operation *PayloadRoot,
+                                           Operation *ScriptRoot,
+                                           TransformOptions Options)
+    : PayloadRoot(PayloadRoot), ScriptRoot(ScriptRoot), Options(Options),
+      State(PayloadRoot) {}
+
+Operation *
+TransformInterpreter::lookupNamedSequence(std::string_view Name) const {
+  // The script root may itself be the sequence, or a module holding it.
+  if (getSymbolName(ScriptRoot) == Name)
+    return ScriptRoot;
+  if (Operation *Found = lookupSymbol(ScriptRoot, Name))
+    return Found;
+  return nullptr;
+}
+
+LogicalResult TransformInterpreter::run() {
+  Operation *Entry = ScriptRoot;
+  if (Entry->getName() != "transform.named_sequence" &&
+      Entry->getName() != "transform.sequence") {
+    Entry = lookupNamedSequence("__transform_main");
+    if (!Entry)
+      return ScriptRoot->emitError()
+             << "no transform entry point: expected a (named_)sequence or a "
+                "@__transform_main symbol";
+  }
+  if (Entry->getNumRegions() != 1 || Entry->getRegion(0).empty())
+    return Entry->emitError() << "transform entry point has no body";
+
+  Block &Body = Entry->getRegion(0).front();
+  if (Body.getNumArguments() >= 1)
+    State.setPayload(Body.getArgument(0), {PayloadRoot});
+
+  DiagnosedSilenceableFailure Result = executeBlock(Body);
+  if (Result.succeeded())
+    return success();
+  if (Result.isSilenceable() && !Options.FailOnSilenceable) {
+    PayloadRoot->emitWarning()
+        << "transform script reported a silenceable failure: "
+        << Result.getMessage();
+    return success();
+  }
+  return PayloadRoot->emitError()
+         << "transform script failed: " << Result.getMessage();
+}
+
+DiagnosedSilenceableFailure TransformInterpreter::executeBlock(Block &B) {
+  for (Operation *Op : B) {
+    if (Op->getName() == "transform.yield")
+      return DiagnosedSilenceableFailure::success();
+    DiagnosedSilenceableFailure Result = executeOp(Op);
+    if (!Result.succeeded())
+      return Result;
+  }
+  return DiagnosedSilenceableFailure::success();
+}
+
+DiagnosedSilenceableFailure TransformInterpreter::executeOp(Operation *Op) {
+  ++NumExecutedOps;
+  if (Options.Trace)
+    errs() << "[transform] " << Op->getName() << "\n";
+
+  const TransformOpDef *Def = TransformOpRegistry::instance().lookup(
+      Op->getName());
+  if (!Def || !Def->Apply)
+    return DiagnosedSilenceableFailure::definite(
+        "unregistered transform op '" + std::string(Op->getName()) + "'");
+
+  // Invalidation check (Section 3.1): consumed handles cannot be used again.
+  for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+    if (!isTransformHandleType(Op->getOperand(I).getType()))
+      continue;
+    if (State.isInvalidated(Op->getOperand(I)))
+      return DiagnosedSilenceableFailure::definite(
+          "op '" + std::string(Op->getName()) + "' uses a handle (operand " +
+          std::to_string(I) +
+          ") invalidated by a previously executed transform op");
+  }
+
+  // Mark consumed operands while payload nesting is still observable; the
+  // mapping stays readable for this op's own Apply.
+  for (unsigned Idx : Def->ConsumedOperands)
+    if (Idx < Op->getNumOperands())
+      State.consume(Op->getOperand(Idx));
+
+  return Def->Apply(Op, *this);
+}
+
+FailureOr<std::vector<int64_t>>
+TransformInterpreter::readIntParams(Operation *Op, std::string_view AttrName,
+                                    unsigned FirstParamOperand) {
+  if (ArrayAttr Attr = Op->getAttrOfType<ArrayAttr>(AttrName))
+    return Attr.getAsIntegers();
+  if (IntegerAttr Single = Op->getAttrOfType<IntegerAttr>(AttrName))
+    return std::vector<int64_t>{Single.getValue()};
+  // Otherwise read !transform.param operands.
+  std::vector<int64_t> Values;
+  for (unsigned I = FirstParamOperand; I < Op->getNumOperands(); ++I) {
+    Value Operand = Op->getOperand(I);
+    if (!Operand.getType().isa<TransformParamType>())
+      continue;
+    for (Attribute Attr : State.getParams(Operand)) {
+      IntegerAttr Int = Attr.dyn_cast<IntegerAttr>();
+      if (!Int)
+        return failure();
+      Values.push_back(Int.getValue());
+    }
+  }
+  if (Values.empty())
+    return failure();
+  return Values;
+}
+
+LogicalResult tdl::applyTransforms(Operation *PayloadRoot, Operation *Script,
+                                   TransformOptions Options) {
+  TransformInterpreter Interpreter(PayloadRoot, Script, Options);
+  return Interpreter.run();
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline-to-script conversion (Case Study 1)
+//===----------------------------------------------------------------------===//
+
+OwningOpRef tdl::buildTransformScriptFromPipeline(Context &Ctx,
+                                                  std::string_view Pipeline) {
+  FailureOr<std::vector<PipelineElement>> Elements =
+      parsePassPipeline(Ctx, Pipeline);
+  if (failed(Elements))
+    return OwningOpRef();
+
+  Location Loc = Location::name("pipeline-script");
+  OpBuilder B(Ctx);
+  OperationState SeqState(Loc, "transform.named_sequence");
+  SeqState.NumRegions = 1;
+  SeqState.addAttribute("sym_name",
+                        StringAttr::get(Ctx, "__transform_main"));
+  Operation *Seq = Operation::create(Ctx, SeqState);
+  Block *Body = Seq->getRegion(0).addBlock();
+  Value Root = Body->addArgument(TransformAnyOpType::get(Ctx));
+  B.setInsertionPointToEnd(Body);
+
+  Value Current = Root;
+  for (const PipelineElement &Element : *Elements) {
+    OperationState ApplyState(Loc, "transform.apply_registered_pass");
+    ApplyState.Operands = {Current};
+    ApplyState.ResultTypes = {TransformAnyOpType::get(Ctx)};
+    ApplyState.addAttribute("pass_name",
+                            StringAttr::get(Ctx, Element.PassName));
+    if (!Element.Anchor.empty())
+      ApplyState.addAttribute("anchor", StringAttr::get(Ctx, Element.Anchor));
+    if (!Element.Options.empty())
+      ApplyState.addAttribute("options",
+                              StringAttr::get(Ctx, Element.Options));
+    Current = B.create(ApplyState)->getResult(0);
+  }
+  OperationState YieldState(Loc, "transform.yield");
+  B.create(YieldState);
+  return OwningOpRef(Seq);
+}

@@ -1,0 +1,829 @@
+//===- TransformOps.cpp - Built-in transform operations ------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration and semantics of the built-in transform ops: structural ops
+/// (sequence, named_sequence, yield, include, foreach, alternatives), handle
+/// manipulation (match.op, get_parent_op, merge/split, cast), parameters,
+/// loop transforms (tile/split/unroll/interchange/hoist/vectorize), library
+/// substitution (to_library), pass and pattern application, annotations and
+/// debugging aids, and one lowering transform per contracted pass
+/// (Section 3.3 / Table 2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Conditions.h"
+#include "core/Transform.h"
+
+#include "dialect/Dialects.h"
+#include "ir/SymbolTable.h"
+#include "loops/LoopUtils.h"
+#include "lowering/Passes.h"
+#include "pass/Pass.h"
+#include "support/STLExtras.h"
+
+using namespace tdl;
+
+using DSF = DiagnosedSilenceableFailure;
+
+//===----------------------------------------------------------------------===//
+// Pattern-op registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct PatternOpRegistry {
+  std::map<std::string, std::function<void(PatternSet &)>, std::less<>> Map;
+  static PatternOpRegistry &instance() {
+    static PatternOpRegistry Registry;
+    return Registry;
+  }
+};
+} // namespace
+
+void tdl::registerTransformPatternOp(
+    Context &Ctx, std::string_view Name,
+    std::function<void(PatternSet &)> Populate) {
+  std::string OpName = "transform.pattern." + std::string(Name);
+  OpInfo Info;
+  Info.Name = OpName;
+  Ctx.registerOp(Info);
+  PatternOpRegistry::instance().Map[OpName] = std::move(Populate);
+}
+
+const std::function<void(PatternSet &)> *
+tdl::lookupTransformPatternOp(std::string_view Name) {
+  auto &Map = PatternOpRegistry::instance().Map;
+  auto It = Map.find(Name);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Computes, for each payload op, the indices of other payload ops that are
+/// its proper ancestors. Transform implementations that erase a payload op
+/// use this to skip ops nested inside already-transformed ones (their
+/// pointers dangle once the ancestor is rewritten).
+static std::vector<std::vector<size_t>>
+computePayloadAncestors(const std::vector<Operation *> &Payload) {
+  std::vector<std::vector<size_t>> Ancestors(Payload.size());
+  for (size_t I = 0; I < Payload.size(); ++I)
+    for (size_t J = 0; J < Payload.size(); ++J)
+      if (I != J && Payload[J]->isProperAncestorOf(Payload[I]))
+        Ancestors[I].push_back(J);
+  return Ancestors;
+}
+
+/// Runs a loop utility across all payload ops of operand 0, unioning the
+/// result lists. Utilities report failure through diagnostics; transform
+/// semantics turn precondition failures into silenceable errors, so capture
+/// the diagnostics and fold them into the message. Payload ops nested
+/// within an already-transformed payload op are skipped (the consuming
+/// transform invalidated them).
+template <typename Fn>
+static DSF applyToEachLoop(Operation *Op, TransformInterpreter &Interp,
+                           Fn Apply) {
+  const std::vector<Operation *> &Payload =
+      Interp.getState().getPayloadOps(Op->getOperand(0));
+  if (Payload.empty())
+    return DSF::silenceable("handle is empty; nothing to transform");
+  std::vector<std::vector<size_t>> Ancestors =
+      computePayloadAncestors(Payload);
+  std::vector<bool> Transformed(Payload.size(), false);
+  ScopedDiagnosticCapture Capture(
+      Op->getContext().getDiagEngine());
+  for (size_t I = 0; I < Payload.size(); ++I) {
+    bool Skip = false;
+    for (size_t Ancestor : Ancestors[I])
+      Skip |= Transformed[Ancestor];
+    if (Skip)
+      continue;
+    DSF Result = Apply(Payload[I]);
+    if (!Result.succeeded()) {
+      std::string Message = Result.getMessage();
+      if (!Capture.allMessages().empty())
+        Message += ": " + Capture.allMessages();
+      return Result.isDefinite() ? DSF::definite(Message)
+                                 : DSF::silenceable(Message);
+    }
+    Transformed[I] = true;
+  }
+  return DSF::success();
+}
+
+static void bindResult(TransformInterpreter &Interp, Operation *Op,
+                       unsigned Idx, std::vector<Operation *> Ops) {
+  if (Idx < Op->getNumResults())
+    Interp.getState().setPayload(Op->getResult(Idx), std::move(Ops));
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+void tdl::registerTransformDialect(Context &Ctx) {
+  Ctx.registerDialect("transform");
+  registerAllPasses();
+  registerXsmmDialect(Ctx);
+
+  //===------------------------------------------------------------------===//
+  // Structural ops
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo Yield;
+    Yield.Name = "transform.yield";
+    Yield.Traits = OT_IsTerminator | OT_Pure;
+    Ctx.registerOp(Yield);
+    // No TransformOpDef: executeBlock handles yield directly.
+  }
+
+  {
+    OpInfo Seq;
+    Seq.Name = "transform.named_sequence";
+    Seq.Traits = OT_Symbol;
+    Seq.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumRegions() != 1)
+        return Op->emitOpError() << "expects one region";
+      if (Op->getStringAttr("sym_name").empty())
+        return Op->emitOpError() << "requires a 'sym_name'";
+      return success();
+    };
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &) {
+      // Named sequences are executed via include or as the entry point;
+      // encountering one mid-sequence is a no-op (declaration).
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Seq, Def);
+  }
+
+  {
+    OpInfo Seq;
+    Seq.Name = "transform.sequence";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      if (Op->getNumRegions() != 1 || Op->getRegion(0).empty())
+        return DSF::definite("transform.sequence has no body");
+      Block &Body = Op->getRegion(0).front();
+      if (Body.getNumArguments() >= 1) {
+        std::vector<Operation *> Target;
+        if (Op->getNumOperands() >= 1)
+          Target = Interp.getState().getPayloadOps(Op->getOperand(0));
+        else
+          Target = {Interp.getState().getPayloadRoot()};
+        Interp.getState().setPayload(Body.getArgument(0), std::move(Target));
+      }
+      return Interp.executeBlock(Body);
+    };
+    registerTransformOp(Ctx, Seq, Def);
+  }
+
+  {
+    OpInfo Include;
+    Include.Name = "transform.include";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      static thread_local int Depth = 0;
+      SymbolRefAttr Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+      if (!Callee)
+        return DSF::definite("transform.include requires a 'callee'");
+      Operation *Target = Interp.lookupNamedSequence(Callee.getValue());
+      if (!Target)
+        return DSF::definite("unknown named sequence '@" +
+                             std::string(Callee.getValue()) + "'");
+      if (Depth > 64)
+        return DSF::definite("recursive transform.include of '@" +
+                             std::string(Callee.getValue()) +
+                             "' (macros must not recurse)");
+      Block &Body = Target->getRegion(0).front();
+      if (Body.getNumArguments() != Op->getNumOperands())
+        return DSF::definite("include argument count mismatch");
+      for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+        Value Operand = Op->getOperand(I);
+        if (Interp.getState().isParam(Operand))
+          Interp.getState().setParams(Body.getArgument(I),
+                                      Interp.getState().getParams(Operand));
+        else
+          Interp.getState().setPayload(
+              Body.getArgument(I), Interp.getState().getPayloadOps(Operand));
+      }
+      ++Depth;
+      DSF Result = Interp.executeBlock(Body);
+      --Depth;
+      if (!Result.succeeded())
+        return Result;
+      // Map results through the terminating yield.
+      Operation *Yield = Body.getTerminator();
+      if (Yield && Yield->getName() == "transform.yield") {
+        for (unsigned I = 0;
+             I < std::min(Op->getNumResults(), Yield->getNumOperands());
+             ++I) {
+          Value Yielded = Yield->getOperand(I);
+          if (Interp.getState().isParam(Yielded))
+            Interp.getState().setParams(Op->getResult(I),
+                                        Interp.getState().getParams(Yielded));
+          else
+            Interp.getState().setPayload(
+                Op->getResult(I), Interp.getState().getPayloadOps(Yielded));
+        }
+      }
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Include, Def);
+  }
+
+  {
+    OpInfo Foreach;
+    Foreach.Name = "transform.foreach";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      if (Op->getNumRegions() != 1 || Op->getRegion(0).empty())
+        return DSF::definite("transform.foreach has no body");
+      Block &Body = Op->getRegion(0).front();
+      std::vector<Operation *> Payload =
+          Interp.getState().getPayloadOps(Op->getOperand(0));
+      for (Operation *Target : Payload) {
+        if (Body.getNumArguments() >= 1)
+          Interp.getState().setPayload(Body.getArgument(0), {Target});
+        DSF Result = Interp.executeBlock(Body);
+        if (!Result.succeeded())
+          return Result;
+      }
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Foreach, Def);
+  }
+
+  {
+    OpInfo Alternatives;
+    Alternatives.Name = "transform.alternatives";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::vector<Operation *> Scope;
+      if (Op->getNumOperands() >= 1)
+        Scope = Interp.getState().getPayloadOps(Op->getOperand(0));
+      std::string Messages;
+      for (unsigned R = 0; R < Op->getNumRegions(); ++R) {
+        Region &TheRegion = Op->getRegion(R);
+        if (TheRegion.empty())
+          return DSF::success(); // empty alternative: keep payload as is
+        Block &Body = TheRegion.front();
+        if (Body.getNumArguments() >= 1)
+          Interp.getState().setPayload(Body.getArgument(0), Scope);
+        // Silence diagnostics of failing alternatives.
+        ScopedDiagnosticCapture Capture(Op->getContext().getDiagEngine());
+        DSF Result = Interp.executeBlock(Body);
+        if (Result.succeeded())
+          return DSF::success();
+        if (Result.isDefinite())
+          return Result;
+        if (!Messages.empty())
+          Messages += "; ";
+        Messages += Result.getMessage();
+        // Silenceable contract: payload was not irreversibly modified; try
+        // the next alternative.
+      }
+      return DSF::silenceable("all alternatives failed: " + Messages);
+    };
+    registerTransformOp(Ctx, Alternatives, Def);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Matching and handle manipulation
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo Match;
+    Match.Name = "transform.match.op";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {0};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view Name = Op->getStringAttr("op_name");
+      if (Name.empty())
+        return DSF::definite("transform.match.op requires 'op_name'");
+      std::vector<Operation *> Matches;
+      for (Operation *Root :
+           Interp.getState().getPayloadOps(Op->getOperand(0))) {
+        Root->walkPre([&](Operation *Candidate) {
+          if (Candidate != Root && Candidate->getName() == Name)
+            Matches.push_back(Candidate);
+          return WalkResult::Advance;
+        });
+      }
+      int64_t Pos = -1;
+      if (Op->hasAttr("first"))
+        Pos = 0;
+      else if (Op->hasAttr("second"))
+        Pos = 1;
+      else if (IntegerAttr PosAttr = Op->getAttrOfType<IntegerAttr>("pos"))
+        Pos = PosAttr.getValue();
+      if (Pos >= 0) {
+        if (Pos >= static_cast<int64_t>(Matches.size()))
+          return DSF::silenceable(
+              "no matching op for '" + std::string(Name) + "' at position " +
+              std::to_string(Pos));
+        Matches = {Matches[Pos]};
+      } else if (Matches.empty()) {
+        return DSF::silenceable("no ops named '" + std::string(Name) +
+                                "' in the target payload");
+      }
+      bindResult(Interp, Op, 0, std::move(Matches));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Match, Def);
+  }
+
+  {
+    OpInfo GetParent;
+    GetParent.Name = "transform.get_parent_op";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {-1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view Name = Op->getStringAttr("op_name");
+      std::vector<Operation *> Parents;
+      for (Operation *Target :
+           Interp.getState().getPayloadOps(Op->getOperand(0))) {
+        Operation *Parent =
+            Name.empty() ? Target->getParentOp()
+                         : Target->getParentOfName(Name);
+        if (!Parent)
+          return DSF::silenceable("payload op has no matching parent");
+        if (!is_contained(Parents, Parent))
+          Parents.push_back(Parent);
+      }
+      bindResult(Interp, Op, 0, std::move(Parents));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, GetParent, Def);
+  }
+
+  {
+    OpInfo Merge;
+    Merge.Name = "transform.merge_handles";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {-1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::vector<Operation *> Union;
+      for (Value Operand : Op->getOperands())
+        for (Operation *Target : Interp.getState().getPayloadOps(Operand))
+          if (!is_contained(Union, Target))
+            Union.push_back(Target);
+      bindResult(Interp, Op, 0, std::move(Union));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Merge, Def);
+  }
+
+  {
+    OpInfo Split;
+    Split.Name = "transform.split_handle";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {}; // filled dynamically below
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      const std::vector<Operation *> &Payload =
+          Interp.getState().getPayloadOps(Op->getOperand(0));
+      if (Payload.size() != Op->getNumResults())
+        return DSF::silenceable(
+            "handle maps to " + std::to_string(Payload.size()) +
+            " ops but split_handle expects " +
+            std::to_string(Op->getNumResults()));
+      for (unsigned I = 0; I < Op->getNumResults(); ++I)
+        bindResult(Interp, Op, I, {Payload[I]});
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Split, Def);
+  }
+
+  {
+    OpInfo Cast;
+    Cast.Name = "transform.cast";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {0};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      bindResult(Interp, Op, 0,
+                 Interp.getState().getPayloadOps(Op->getOperand(0)));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Cast, Def);
+  }
+
+  {
+    OpInfo ParamConst;
+    ParamConst.Name = "transform.param.constant";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      Attribute Value = Op->getAttr("value");
+      if (!Value)
+        return DSF::definite("transform.param.constant requires 'value'");
+      Interp.getState().setParams(Op->getResult(0), {Value});
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, ParamConst, Def);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Loop transforms
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo Hoist;
+    Hoist.Name = "transform.loop.hoist";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {-1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::vector<Operation *> AllHoisted;
+      DSF Result = applyToEachLoop(Op, Interp, [&](Operation *Loop) -> DSF {
+        if (Loop->getName() != "scf.for" && Loop->getName() != "scf.forall")
+          return DSF::silenceable("hoist target is not a loop");
+        std::vector<Operation *> Hoisted = loops::hoistLoopInvariants(Loop);
+        AllHoisted.insert(AllHoisted.end(), Hoisted.begin(), Hoisted.end());
+        return DSF::success();
+      });
+      if (!Result.succeeded())
+        return Result;
+      bindResult(Interp, Op, 0, std::move(AllHoisted));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Hoist, Def);
+  }
+
+  {
+    OpInfo SplitLoop;
+    SplitLoop.Name = "transform.loop.split";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {-1, -1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      FailureOr<std::vector<int64_t>> Divisors =
+          Interp.readIntParams(Op, "divisor", 1);
+      if (failed(Divisors) || Divisors->size() != 1)
+        return DSF::definite("loop.split requires a single divisor");
+      std::vector<Operation *> Mains, Rests;
+      DSF Result = applyToEachLoop(Op, Interp, [&](Operation *Loop) -> DSF {
+        FailureOr<std::pair<Operation *, Operation *>> Split =
+            loops::splitLoopByDivisibility(Loop, (*Divisors)[0]);
+        if (failed(Split))
+          return DSF::silenceable("failed to split loop");
+        Mains.push_back(Split->first);
+        Rests.push_back(Split->second);
+        return DSF::success();
+      });
+      if (!Result.succeeded())
+        return Result;
+      bindResult(Interp, Op, 0, std::move(Mains));
+      bindResult(Interp, Op, 1, std::move(Rests));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, SplitLoop, Def);
+  }
+
+  {
+    OpInfo Tile;
+    Tile.Name = "transform.loop.tile";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {-1, -1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      FailureOr<std::vector<int64_t>> Sizes =
+          Interp.readIntParams(Op, "tile_sizes", 1);
+      if (failed(Sizes))
+        return DSF::definite("loop.tile requires 'tile_sizes'");
+      std::vector<Operation *> TileLoops, PointLoops;
+      DSF Result = applyToEachLoop(Op, Interp, [&](Operation *Loop) -> DSF {
+        FailureOr<std::vector<Operation *>> Tiled =
+            loops::tileLoopNest(Loop, *Sizes);
+        if (failed(Tiled))
+          return DSF::silenceable("failed to tile loop nest");
+        size_t NumTileLoops = 0;
+        for (int64_t Size : *Sizes)
+          NumTileLoops += (Size != 0);
+        for (size_t I = 0; I < Tiled->size(); ++I)
+          (I < NumTileLoops ? TileLoops : PointLoops).push_back((*Tiled)[I]);
+        return DSF::success();
+      });
+      if (!Result.succeeded())
+        return Result;
+      bindResult(Interp, Op, 0, std::move(TileLoops));
+      bindResult(Interp, Op, 1, std::move(PointLoops));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Tile, Def);
+  }
+
+  {
+    OpInfo Unroll;
+    Unroll.Name = "transform.loop.unroll";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {-1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      bool Full = Op->hasAttr("full");
+      int64_t Factor = Op->getIntAttr("factor", 0);
+      if (!Full && Factor <= 0)
+        return DSF::definite("loop.unroll requires 'full' or a 'factor'");
+      std::vector<Operation *> NewLoops;
+      DSF Result = applyToEachLoop(Op, Interp, [&](Operation *Loop) -> DSF {
+        if (Full) {
+          if (failed(loops::unrollLoopFull(Loop)))
+            return DSF::silenceable("failed to fully unroll loop");
+          return DSF::success();
+        }
+        FailureOr<Operation *> NewLoop =
+            loops::unrollLoopByFactor(Loop, Factor);
+        if (failed(NewLoop))
+          return DSF::silenceable("failed to unroll loop by factor");
+        NewLoops.push_back(*NewLoop);
+        return DSF::success();
+      });
+      if (!Result.succeeded())
+        return Result;
+      bindResult(Interp, Op, 0, std::move(NewLoops));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Unroll, Def);
+  }
+
+  {
+    OpInfo Interchange;
+    Interchange.Name = "transform.loop.interchange";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {-1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::vector<Operation *> NewOuters;
+      DSF Result = applyToEachLoop(Op, Interp, [&](Operation *Loop) -> DSF {
+        FailureOr<Operation *> NewOuter = loops::interchangeLoops(Loop);
+        if (failed(NewOuter))
+          return DSF::silenceable("failed to interchange loops");
+        NewOuters.push_back(*NewOuter);
+        return DSF::success();
+      });
+      if (!Result.succeeded())
+        return Result;
+      bindResult(Interp, Op, 0, std::move(NewOuters));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Interchange, Def);
+  }
+
+  {
+    OpInfo Vectorize;
+    Vectorize.Name = "transform.vectorize";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {-1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      int64_t Width = Op->getIntAttr("width", 4);
+      std::vector<Operation *> NewLoops;
+      DSF Result = applyToEachLoop(Op, Interp, [&](Operation *Loop) -> DSF {
+        FailureOr<Operation *> NewLoop = loops::vectorizeLoop(Loop, Width);
+        if (failed(NewLoop))
+          return DSF::silenceable(
+              "failed to vectorize: trip count not divisible by the vector "
+              "width");
+        NewLoops.push_back(*NewLoop);
+        return DSF::success();
+      });
+      if (!Result.succeeded())
+        return Result;
+      bindResult(Interp, Op, 0, std::move(NewLoops));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Vectorize, Def);
+  }
+
+  {
+    OpInfo ToLibrary;
+    ToLibrary.Name = "transform.to_library";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {-1};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view Library = Op->getStringAttr("library");
+      if (Library.empty())
+        Library = "libxsmm";
+      std::vector<Operation *> Calls;
+      bool AnySuccess = false;
+      const std::vector<Operation *> &Payload =
+          Interp.getState().getPayloadOps(Op->getOperand(0));
+      std::vector<std::vector<size_t>> Ancestors =
+          computePayloadAncestors(Payload);
+      std::vector<bool> Replaced(Payload.size(), false);
+      for (size_t I = 0; I < Payload.size(); ++I) {
+        bool Skip = Payload[I]->getName() != "scf.for";
+        for (size_t Ancestor : Ancestors[I])
+          Skip |= Replaced[Ancestor];
+        if (Skip)
+          continue;
+        FailureOr<Operation *> Call =
+            loops::replaceWithMicrokernelCall(Payload[I], Library);
+        if (succeeded(Call)) {
+          Calls.push_back(*Call);
+          Replaced[I] = true;
+          AnySuccess = true;
+        }
+      }
+      if (!AnySuccess)
+        return DSF::silenceable(
+            "no payload loop nest matches a kernel available in '" +
+            std::string(Library) + "'");
+      bindResult(Interp, Op, 0, std::move(Calls));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, ToLibrary, Def);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass and pattern application
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo ApplyPass;
+    ApplyPass.Name = "transform.apply_registered_pass";
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {0};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view PassName = Op->getStringAttr("pass_name");
+      if (PassName.empty())
+        return DSF::definite("apply_registered_pass requires 'pass_name'");
+      std::string_view Options = Op->getStringAttr("options");
+      std::vector<Operation *> Payload =
+          Interp.getState().getPayloadOps(Op->getOperand(0));
+      for (Operation *Target : Payload)
+        if (failed(runRegisteredPass(PassName, Target, Options)))
+          return DSF::definite("pass '" + std::string(PassName) +
+                               "' failed on payload op");
+      bindResult(Interp, Op, 0, std::move(Payload));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, ApplyPass, Def);
+  }
+
+  {
+    OpInfo ApplyPatterns;
+    ApplyPatterns.Name = "transform.apply_patterns";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      PatternSet Patterns;
+      if (Op->getNumRegions() >= 1 && !Op->getRegion(0).empty()) {
+        for (Operation *PatternOp : Op->getRegion(0).front()) {
+          if (PatternOp->hasTrait(OT_IsTerminator))
+            continue;
+          const auto *Populate =
+              lookupTransformPatternOp(PatternOp->getName());
+          if (!Populate)
+            return DSF::definite("unknown pattern op '" +
+                                 std::string(PatternOp->getName()) + "'");
+          (*Populate)(Patterns);
+        }
+      }
+      TrackingListener Listener(Interp.getState());
+      GreedyRewriteConfig Config;
+      Config.Listener = &Listener;
+      for (Operation *Target :
+           Interp.getState().getPayloadOps(Op->getOperand(0)))
+        (void)applyPatternsGreedily(Target, Patterns, Config);
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, ApplyPatterns, Def);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Annotations, debugging, assertions
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo Annotate;
+    Annotate.Name = "transform.annotate";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view Name = Op->getStringAttr("name");
+      if (Name.empty())
+        return DSF::definite("transform.annotate requires 'name'");
+      Attribute Value = Op->getAttr("value");
+      if (!Value)
+        Value = UnitAttr::get(Op->getContext());
+      for (Operation *Target :
+           Interp.getState().getPayloadOps(Op->getOperand(0)))
+        Target->setAttr(Name, Value);
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Annotate, Def);
+  }
+
+  {
+    OpInfo Print;
+    Print.Name = "transform.print";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view Prefix = Op->getStringAttr("name");
+      for (Operation *Target :
+           Interp.getState().getPayloadOps(Op->getOperand(0))) {
+        if (!Prefix.empty())
+          outs() << "[[ " << Prefix << " ]]\n";
+        Target->print(outs());
+        outs() << "\n";
+      }
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Print, Def);
+  }
+
+  {
+    OpInfo Remark;
+    Remark.Name = "transform.debug.emit_remark";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view Message = Op->getStringAttr("message");
+      for (Operation *Target :
+           Interp.getState().getPayloadOps(Op->getOperand(0)))
+        Target->emitRemark() << Message;
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Remark, Def);
+  }
+
+  {
+    OpInfo Assert;
+    Assert.Name = "transform.assert";
+    TransformOpDef Def;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string Message(Op->getStringAttr("message"));
+      if (Message.empty())
+        Message = "transform.assert failed";
+      if (Op->getNumOperands() < 1)
+        return DSF::definite("transform.assert requires a param operand");
+      const std::vector<Attribute> &Params =
+          Interp.getState().getParams(Op->getOperand(0));
+      if (Params.empty())
+        return DSF::silenceable(Message);
+      for (Attribute Param : Params) {
+        bool Truthy = false;
+        if (IntegerAttr Int = Param.dyn_cast<IntegerAttr>())
+          Truthy = Int.getValue() != 0;
+        else if (BoolAttr Bool = Param.dyn_cast<BoolAttr>())
+          Truthy = Bool.getValue();
+        if (!Truthy)
+          return DSF::silenceable(Message);
+      }
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Assert, Def);
+  }
+
+  // Built-in pattern set: canonicalization.
+  registerTransformPatternOp(Ctx, "canonicalization",
+                             [](PatternSet &Patterns) {
+                               populateCanonicalizationPatterns(Patterns);
+                             });
+
+  //===------------------------------------------------------------------===//
+  // Lowering transforms with contracts (Section 3.3 / Table 2): one
+  // transform op per contracted pass, e.g. transform.convert_scf_to_cf.
+  //===------------------------------------------------------------------===//
+
+  for (const std::string &PassName :
+       ContractRegistry::instance().getContractedPasses()) {
+    std::string OpName = "transform." + PassName;
+    for (char &C : OpName)
+      if (C == '-')
+        C = '_';
+    OpInfo Info;
+    Info.Name = OpName;
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {0};
+    std::string PassNameCopy = PassName;
+    Def.Apply = [PassNameCopy](Operation *Op,
+                               TransformInterpreter &Interp) -> DSF {
+      const LoweringContract *Contract =
+          ContractRegistry::instance().lookup(PassNameCopy);
+      std::vector<Operation *> Payload =
+          Interp.getState().getPayloadOps(Op->getOperand(0));
+      for (Operation *Target : Payload) {
+        if (Interp.getOptions().CheckConditions && Contract) {
+          FailureOr<std::string> CheckResult =
+              runPassWithDynamicContractCheck(PassNameCopy, *Contract,
+                                              Target);
+          if (failed(CheckResult))
+            return DSF::definite("lowering '" + PassNameCopy + "' failed");
+          if (!CheckResult->empty())
+            return DSF::definite("dynamic contract violation in '" +
+                                 PassNameCopy + "': " + *CheckResult);
+        } else if (failed(runRegisteredPass(PassNameCopy, Target))) {
+          return DSF::definite("lowering '" + PassNameCopy + "' failed");
+        }
+      }
+      bindResult(Interp, Op, 0, std::move(Payload));
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Info, Def);
+  }
+}

@@ -1,0 +1,293 @@
+//===- Arith.cpp - arith dialect ---------------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// Folders
+//===----------------------------------------------------------------------===//
+
+/// Integer binary folders keyed by op suffix.
+static LogicalResult foldIntBinary(std::string_view Name, int64_t Lhs,
+                                   int64_t Rhs, int64_t &Out) {
+  if (Name == "arith.addi")
+    Out = Lhs + Rhs;
+  else if (Name == "arith.subi")
+    Out = Lhs - Rhs;
+  else if (Name == "arith.muli")
+    Out = Lhs * Rhs;
+  else if (Name == "arith.divsi") {
+    if (Rhs == 0)
+      return failure();
+    Out = Lhs / Rhs;
+  } else if (Name == "arith.remsi") {
+    if (Rhs == 0)
+      return failure();
+    Out = Lhs % Rhs;
+  } else if (Name == "arith.minsi")
+    Out = std::min(Lhs, Rhs);
+  else if (Name == "arith.maxsi")
+    Out = std::max(Lhs, Rhs);
+  else if (Name == "arith.floordivsi") {
+    if (Rhs == 0)
+      return failure();
+    Out = Lhs / Rhs;
+    if ((Lhs % Rhs) != 0 && ((Lhs < 0) != (Rhs < 0)))
+      --Out;
+  } else if (Name == "arith.ceildivsi") {
+    if (Rhs == 0)
+      return failure();
+    Out = Lhs / Rhs;
+    if ((Lhs % Rhs) != 0 && ((Lhs < 0) == (Rhs < 0)))
+      ++Out;
+  } else
+    return failure();
+  return success();
+}
+
+static LogicalResult foldFloatBinary(std::string_view Name, double Lhs,
+                                     double Rhs, double &Out) {
+  if (Name == "arith.addf")
+    Out = Lhs + Rhs;
+  else if (Name == "arith.subf")
+    Out = Lhs - Rhs;
+  else if (Name == "arith.mulf")
+    Out = Lhs * Rhs;
+  else if (Name == "arith.divf")
+    Out = Lhs / Rhs;
+  else if (Name == "arith.minf")
+    Out = std::min(Lhs, Rhs);
+  else if (Name == "arith.maxf")
+    Out = std::max(Lhs, Rhs);
+  else
+    return failure();
+  return success();
+}
+
+static LogicalResult binaryFolder(Operation *Op,
+                                  const std::vector<Attribute> &Operands,
+                                  std::vector<Attribute> &Results) {
+  if (Operands.size() != 2 || !Operands[0] || !Operands[1])
+    return failure();
+  if (IntegerAttr L = Operands[0].dyn_cast<IntegerAttr>()) {
+    IntegerAttr R = Operands[1].dyn_cast<IntegerAttr>();
+    if (!R)
+      return failure();
+    int64_t Out;
+    if (failed(foldIntBinary(Op->getName(), L.getValue(), R.getValue(), Out)))
+      return failure();
+    Results.push_back(IntegerAttr::get(Op->getContext(), Out, L.getType()));
+    return success();
+  }
+  if (FloatAttr L = Operands[0].dyn_cast<FloatAttr>()) {
+    FloatAttr R = Operands[1].dyn_cast<FloatAttr>();
+    if (!R)
+      return failure();
+    double Out;
+    if (failed(
+            foldFloatBinary(Op->getName(), L.getValue(), R.getValue(), Out)))
+      return failure();
+    Results.push_back(FloatAttr::get(Op->getContext(), Out, L.getType()));
+    return success();
+  }
+  return failure();
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+static LogicalResult verifySameOperandAndResultType(Operation *Op) {
+  if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+    return Op->emitOpError() << "expects two operands and one result";
+  Type Ty = Op->getOperand(0).getType();
+  if (Op->getOperand(1).getType() != Ty || Op->getResult(0).getType() != Ty)
+    return Op->emitOpError() << "expects matching operand/result types";
+  return success();
+}
+
+void tdl::registerArithDialect(Context &Ctx) {
+  Ctx.registerDialect("arith");
+
+  OpInfo Constant;
+  Constant.Name = "arith.constant";
+  Constant.Traits = OT_Pure;
+  Constant.Verify = [](Operation *Op) -> LogicalResult {
+    Attribute Value = Op->getAttr("value");
+    if (!Value)
+      return Op->emitOpError() << "requires a 'value' attribute";
+    if (Op->getNumResults() != 1)
+      return Op->emitOpError() << "expects one result";
+    Type ResultTy = Op->getResult(0).getType();
+    if (IntegerAttr Int = Value.dyn_cast<IntegerAttr>()) {
+      if (Int.getType() != ResultTy)
+        return Op->emitOpError() << "value type must match result type";
+    } else if (FloatAttr Float = Value.dyn_cast<FloatAttr>()) {
+      if (Float.getType() != ResultTy)
+        return Op->emitOpError() << "value type must match result type";
+    }
+    return success();
+  };
+  Ctx.registerOp(Constant);
+
+  const char *IntBinaryOps[] = {
+      "arith.addi",   "arith.subi",       "arith.muli",
+      "arith.divsi",  "arith.remsi",      "arith.minsi",
+      "arith.maxsi",  "arith.floordivsi", "arith.ceildivsi"};
+  for (const char *Name : IntBinaryOps) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Traits = OT_Pure;
+    if (std::string_view(Name) == "arith.addi" ||
+        std::string_view(Name) == "arith.muli")
+      Info.Traits |= OT_Commutative;
+    Info.Verify = verifySameOperandAndResultType;
+    Info.Fold = binaryFolder;
+    Ctx.registerOp(Info);
+  }
+
+  const char *FloatBinaryOps[] = {"arith.addf", "arith.subf", "arith.mulf",
+                                  "arith.divf", "arith.minf", "arith.maxf"};
+  for (const char *Name : FloatBinaryOps) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Traits = OT_Pure;
+    if (std::string_view(Name) == "arith.addf" ||
+        std::string_view(Name) == "arith.mulf")
+      Info.Traits |= OT_Commutative;
+    Info.Verify = verifySameOperandAndResultType;
+    Info.Fold = binaryFolder;
+    Ctx.registerOp(Info);
+  }
+
+  OpInfo Cmp;
+  Cmp.Name = "arith.cmpi";
+  Cmp.Traits = OT_Pure;
+  Cmp.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getStringAttr("predicate").empty())
+      return Op->emitOpError() << "requires a 'predicate' attribute";
+    if (Op->getNumOperands() != 2 || Op->getNumResults() != 1)
+      return Op->emitOpError() << "expects two operands and one result";
+    IntegerType I1 = Op->getResult(0).getType().dyn_cast<IntegerType>();
+    if (!I1 || I1.getWidth() != 1)
+      return Op->emitOpError() << "expects an i1 result";
+    return success();
+  };
+  Cmp.Fold = [](Operation *Op, const std::vector<Attribute> &Operands,
+                std::vector<Attribute> &Results) -> LogicalResult {
+    if (Operands.size() != 2 || !Operands[0] || !Operands[1])
+      return failure();
+    IntegerAttr L = Operands[0].dyn_cast<IntegerAttr>();
+    IntegerAttr R = Operands[1].dyn_cast<IntegerAttr>();
+    if (!L || !R)
+      return failure();
+    std::string_view Pred = Op->getStringAttr("predicate");
+    bool Out;
+    if (Pred == "eq")
+      Out = L.getValue() == R.getValue();
+    else if (Pred == "ne")
+      Out = L.getValue() != R.getValue();
+    else if (Pred == "slt")
+      Out = L.getValue() < R.getValue();
+    else if (Pred == "sle")
+      Out = L.getValue() <= R.getValue();
+    else if (Pred == "sgt")
+      Out = L.getValue() > R.getValue();
+    else if (Pred == "sge")
+      Out = L.getValue() >= R.getValue();
+    else
+      return failure();
+    Results.push_back(IntegerAttr::get(
+        Op->getContext(), Out, IntegerType::get(Op->getContext(), 1)));
+    return success();
+  };
+  Ctx.registerOp(Cmp);
+
+  OpInfo Select;
+  Select.Name = "arith.select";
+  Select.Traits = OT_Pure;
+  Select.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() != 3 || Op->getNumResults() != 1)
+      return Op->emitOpError() << "expects three operands and one result";
+    return success();
+  };
+  Ctx.registerOp(Select);
+
+  OpInfo IndexCast;
+  IndexCast.Name = "arith.index_cast";
+  IndexCast.Traits = OT_Pure;
+  Ctx.registerOp(IndexCast);
+
+  OpInfo SiToFp;
+  SiToFp.Name = "arith.sitofp";
+  SiToFp.Traits = OT_Pure;
+  Ctx.registerOp(SiToFp);
+}
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+static Value buildConstant(OpBuilder &B, Location Loc, Attribute Value,
+                           Type Ty) {
+  OperationState State(Loc, "arith.constant");
+  State.ResultTypes = {Ty};
+  State.addAttribute("value", Value);
+  return B.create(State)->getResult(0);
+}
+
+Value tdl::arith::buildConstantIndex(OpBuilder &B, Location Loc,
+                                     int64_t Value) {
+  return buildConstant(B, Loc, B.getIndexAttr(Value), B.getIndexType());
+}
+
+Value tdl::arith::buildConstantInt(OpBuilder &B, Location Loc, int64_t Value,
+                                   Type Ty) {
+  return buildConstant(B, Loc, IntegerAttr::get(B.getContext(), Value, Ty),
+                       Ty);
+}
+
+Value tdl::arith::buildConstantFloat(OpBuilder &B, Location Loc, double Value,
+                                     Type Ty) {
+  return buildConstant(B, Loc, FloatAttr::get(B.getContext(), Value, Ty), Ty);
+}
+
+Value tdl::arith::buildBinary(OpBuilder &B, Location Loc,
+                              std::string_view OpName, Value Lhs, Value Rhs) {
+  OperationState State(Loc, OpName);
+  State.Operands = {Lhs, Rhs};
+  State.ResultTypes = {Lhs.getType()};
+  return B.create(State)->getResult(0);
+}
+
+Value tdl::arith::buildCmpI(OpBuilder &B, Location Loc,
+                            std::string_view Predicate, Value Lhs, Value Rhs) {
+  OperationState State(Loc, "arith.cmpi");
+  State.Operands = {Lhs, Rhs};
+  State.ResultTypes = {B.getI1Type()};
+  State.addAttribute("predicate", B.getStringAttr(Predicate));
+  return B.create(State)->getResult(0);
+}
+
+Attribute tdl::arith::getConstantValue(Value V) {
+  Operation *Def = V.getDefiningOp();
+  if (!Def || !Def->hasTrait(OT_Pure))
+    return Attribute();
+  return Def->getAttr("value");
+}
+
+bool tdl::arith::getConstantIntValue(Value V, int64_t &Out) {
+  Attribute Value = getConstantValue(V);
+  if (!Value)
+    return false;
+  IntegerAttr Int = Value.dyn_cast<IntegerAttr>();
+  if (!Int)
+    return false;
+  Out = Int.getValue();
+  return true;
+}

@@ -1,0 +1,287 @@
+//===- Dialects.cpp - builtin/cf/llvm/index/tensor/affine registration ------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// builtin
+//===----------------------------------------------------------------------===//
+
+void tdl::registerBuiltinDialect(Context &Ctx) {
+  Ctx.registerDialect("builtin");
+
+  OpInfo Module;
+  Module.Name = "builtin.module";
+  Module.Traits = OT_SymbolTable | OT_GraphRegion | OT_SingleBlock |
+                  OT_IsolatedFromAbove;
+  Module.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumRegions() != 1)
+      return Op->emitOpError() << "expects exactly one region";
+    if (Op->getNumOperands() || Op->getNumResults())
+      return Op->emitOpError() << "expects no operands or results";
+    return success();
+  };
+  Ctx.registerOp(Module);
+
+  OpInfo Cast;
+  Cast.Name = "builtin.unrealized_conversion_cast";
+  Cast.Traits = OT_Pure;
+  Ctx.registerOp(Cast);
+}
+
+Operation *tdl::builtin::buildModule(Context &Ctx, Location Loc) {
+  OperationState State(Loc, "builtin.module");
+  State.NumRegions = 1;
+  Operation *Module = Operation::create(Ctx, State);
+  Module->getRegion(0).addBlock();
+  return Module;
+}
+
+Block *tdl::builtin::getModuleBody(Operation *Module) {
+  assert(Module->getName() == "builtin.module" && "not a module");
+  return &Module->getRegion(0).front();
+}
+
+//===----------------------------------------------------------------------===//
+// cf
+//===----------------------------------------------------------------------===//
+
+void tdl::registerCfDialect(Context &Ctx) {
+  Ctx.registerDialect("cf");
+
+  OpInfo Br;
+  Br.Name = "cf.br";
+  Br.Traits = OT_IsTerminator;
+  Br.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumSuccessors() != 1)
+      return Op->emitOpError() << "expects one successor";
+    Block *Dest = Op->getSuccessor(0);
+    if (Dest->getNumArguments() != Op->getNumOperands())
+      return Op->emitOpError() << "operand count does not match successor "
+                                  "argument count";
+    return success();
+  };
+  Ctx.registerOp(Br);
+
+  OpInfo CondBr;
+  CondBr.Name = "cf.cond_br";
+  CondBr.Traits = OT_IsTerminator;
+  CondBr.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumSuccessors() != 2)
+      return Op->emitOpError() << "expects two successors";
+    if (Op->getNumOperands() < 1)
+      return Op->emitOpError() << "expects a condition operand";
+    int64_t TrueCount = Op->getIntAttr("true_count", 0);
+    int64_t FalseCount = Op->getNumOperands() - 1 - TrueCount;
+    if (FalseCount < 0 ||
+        Op->getSuccessor(0)->getNumArguments() !=
+            static_cast<unsigned>(TrueCount) ||
+        Op->getSuccessor(1)->getNumArguments() !=
+            static_cast<unsigned>(FalseCount))
+      return Op->emitOpError() << "successor operand counts do not line up";
+    return success();
+  };
+  Ctx.registerOp(CondBr);
+
+  OpInfo Switch;
+  Switch.Name = "cf.switch";
+  Switch.Traits = OT_IsTerminator;
+  Ctx.registerOp(Switch);
+}
+
+Operation *tdl::cf::buildBranch(OpBuilder &B, Location Loc, Block *Dest,
+                                const std::vector<Value> &Operands) {
+  OperationState State(Loc, "cf.br");
+  State.Operands = Operands;
+  State.Successors = {Dest};
+  return B.create(State);
+}
+
+Operation *tdl::cf::buildCondBranch(OpBuilder &B, Location Loc, Value Cond,
+                                    Block *TrueDest,
+                                    std::vector<Value> TrueOperands,
+                                    Block *FalseDest,
+                                    std::vector<Value> FalseOperands) {
+  OperationState State(Loc, "cf.cond_br");
+  State.Operands.push_back(Cond);
+  State.addAttribute("true_count",
+                     IntegerAttr::get(B.getContext(),
+                                      static_cast<int64_t>(TrueOperands.size()),
+                                      B.getI64Type()));
+  for (Value V : TrueOperands)
+    State.Operands.push_back(V);
+  for (Value V : FalseOperands)
+    State.Operands.push_back(V);
+  State.Successors = {TrueDest, FalseDest};
+  return B.create(State);
+}
+
+//===----------------------------------------------------------------------===//
+// llvm (permissive) and index (permissive)
+//===----------------------------------------------------------------------===//
+
+void tdl::registerLlvmDialect(Context &Ctx) {
+  Ctx.registerDialect("llvm", /*AllowsUnknownOps=*/true);
+
+  // Terminators need their trait so the verifier accepts lowered CFGs.
+  for (const char *Name : {"llvm.return", "llvm.br", "llvm.cond_br",
+                           "llvm.unreachable", "llvm.switch"}) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Traits = OT_IsTerminator;
+    Ctx.registerOp(Info);
+  }
+}
+
+void tdl::registerIndexDialect(Context &Ctx) {
+  Ctx.registerDialect("index", /*AllowsUnknownOps=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// tensor
+//===----------------------------------------------------------------------===//
+
+void tdl::registerTensorDialect(Context &Ctx) {
+  Ctx.registerDialect("tensor");
+
+  OpInfo Empty;
+  Empty.Name = "tensor.empty";
+  Empty.Traits = OT_Pure;
+  Ctx.registerOp(Empty);
+
+  OpInfo Cast;
+  Cast.Name = "tensor.cast";
+  Cast.Traits = OT_Pure;
+  Ctx.registerOp(Cast);
+
+  OpInfo Reshape;
+  Reshape.Name = "tensor.reshape";
+  Reshape.Traits = OT_Pure;
+  Ctx.registerOp(Reshape);
+
+  OpInfo Extract;
+  Extract.Name = "tensor.extract";
+  Extract.Traits = OT_Pure;
+  Ctx.registerOp(Extract);
+
+  for (const char *Name :
+       {"tensor.pad", "tensor.extract_slice", "tensor.concat"}) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Traits = OT_Pure;
+    Ctx.registerOp(Info);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// affine
+//===----------------------------------------------------------------------===//
+
+void tdl::registerAffineDialect(Context &Ctx) {
+  Ctx.registerDialect("affine");
+
+  OpInfo Apply;
+  Apply.Name = "affine.apply";
+  Apply.Traits = OT_Pure;
+  Apply.Verify = [](Operation *Op) -> LogicalResult {
+    AffineMapAttr MapAttr = Op->getAttrOfType<AffineMapAttr>("map");
+    if (!MapAttr)
+      return Op->emitOpError() << "requires a 'map' affine map attribute";
+    AffineMap Map = MapAttr.getValue();
+    if (Map.getNumResults() != 1)
+      return Op->emitOpError() << "map must have exactly one result";
+    if (Op->getNumOperands() != Map.getNumInputs())
+      return Op->emitOpError() << "operand count must match map inputs";
+    if (Op->getNumResults() != 1 || !Op->getResult(0).getType().isIndex())
+      return Op->emitOpError() << "expects a single index result";
+    return success();
+  };
+  Apply.Fold = [](Operation *Op, const std::vector<Attribute> &Operands,
+                  std::vector<Attribute> &Results) -> LogicalResult {
+    std::vector<int64_t> Values;
+    for (Attribute Attr : Operands) {
+      IntegerAttr Int = Attr ? Attr.dyn_cast<IntegerAttr>() : IntegerAttr();
+      if (!Int)
+        return failure();
+      Values.push_back(Int.getValue());
+    }
+    AffineMap Map = Op->getAttrOfType<AffineMapAttr>("map").getValue();
+    Results.push_back(
+        IntegerAttr::getIndex(Op->getContext(), Map.evaluate(Values)[0]));
+    return success();
+  };
+  Ctx.registerOp(Apply);
+
+  OpInfo Min;
+  Min.Name = "affine.min";
+  Min.Traits = OT_Pure;
+  Min.Verify = [](Operation *Op) -> LogicalResult {
+    AffineMapAttr MapAttr = Op->getAttrOfType<AffineMapAttr>("map");
+    if (!MapAttr)
+      return Op->emitOpError() << "requires a 'map' affine map attribute";
+    if (Op->getNumOperands() != MapAttr.getValue().getNumInputs())
+      return Op->emitOpError() << "operand count must match map inputs";
+    return success();
+  };
+  Min.Fold = [](Operation *Op, const std::vector<Attribute> &Operands,
+                std::vector<Attribute> &Results) -> LogicalResult {
+    std::vector<int64_t> Values;
+    for (Attribute Attr : Operands) {
+      IntegerAttr Int = Attr ? Attr.dyn_cast<IntegerAttr>() : IntegerAttr();
+      if (!Int)
+        return failure();
+      Values.push_back(Int.getValue());
+    }
+    AffineMap Map = Op->getAttrOfType<AffineMapAttr>("map").getValue();
+    std::vector<int64_t> Evaluated = Map.evaluate(Values);
+    int64_t Min = Evaluated[0];
+    for (int64_t V : Evaluated)
+      Min = std::min(Min, V);
+    Results.push_back(IntegerAttr::getIndex(Op->getContext(), Min));
+    return success();
+  };
+  Ctx.registerOp(Min);
+}
+
+Value tdl::affine::buildApply(OpBuilder &B, Location Loc, AffineMap Map,
+                              const std::vector<Value> &Operands) {
+  OperationState State(Loc, "affine.apply");
+  State.Operands = Operands;
+  State.ResultTypes = {B.getIndexType()};
+  State.addAttribute("map", AffineMapAttr::get(B.getContext(), Map));
+  return B.create(State)->getResult(0);
+}
+
+Value tdl::affine::buildMin(OpBuilder &B, Location Loc, AffineMap Map,
+                            const std::vector<Value> &Operands) {
+  OperationState State(Loc, "affine.min");
+  State.Operands = Operands;
+  State.ResultTypes = {B.getIndexType()};
+  State.addAttribute("map", AffineMapAttr::get(B.getContext(), Map));
+  return B.create(State)->getResult(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Register everything
+//===----------------------------------------------------------------------===//
+
+void tdl::registerAllDialects(Context &Ctx) {
+  registerBuiltinDialect(Ctx);
+  registerFuncDialect(Ctx);
+  registerArithDialect(Ctx);
+  registerScfDialect(Ctx);
+  registerCfDialect(Ctx);
+  registerMemRefDialect(Ctx);
+  registerAffineDialect(Ctx);
+  registerLlvmDialect(Ctx);
+  registerIndexDialect(Ctx);
+  registerTensorDialect(Ctx);
+  registerTosaDialect(Ctx);
+  registerLinalgDialect(Ctx);
+  registerHloDialects(Ctx);
+}

@@ -1,0 +1,190 @@
+//===- Dialects.h - Payload dialect registrations ---------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration entry points and builder helpers for the payload dialects
+/// used by the paper's case studies: builtin, func, arith, scf, cf, memref,
+/// affine, llvm (permissive), tensor, tosa-lite, linalg-lite, and the
+/// stablehlo/mhlo-lite pair.
+///
+/// Ops are generic `Operation`s; each dialect exposes typed helper functions
+/// (builders and accessors) instead of per-op classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_DIALECT_DIALECTS_H
+#define TDL_DIALECT_DIALECTS_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+#include <functional>
+
+namespace tdl {
+
+void registerBuiltinDialect(Context &Ctx);
+void registerFuncDialect(Context &Ctx);
+void registerArithDialect(Context &Ctx);
+void registerScfDialect(Context &Ctx);
+void registerCfDialect(Context &Ctx);
+void registerMemRefDialect(Context &Ctx);
+void registerAffineDialect(Context &Ctx);
+void registerLlvmDialect(Context &Ctx);
+void registerIndexDialect(Context &Ctx);
+void registerTensorDialect(Context &Ctx);
+void registerTosaDialect(Context &Ctx);
+void registerLinalgDialect(Context &Ctx);
+void registerHloDialects(Context &Ctx); // stablehlo + mhlo
+
+/// Registers every payload dialect above.
+void registerAllDialects(Context &Ctx);
+
+//===----------------------------------------------------------------------===//
+// builtin
+//===----------------------------------------------------------------------===//
+
+namespace builtin {
+/// Creates an empty `builtin.module` with one block.
+Operation *buildModule(Context &Ctx, Location Loc);
+/// Returns the module body block.
+Block *getModuleBody(Operation *Module);
+} // namespace builtin
+
+//===----------------------------------------------------------------------===//
+// func
+//===----------------------------------------------------------------------===//
+
+namespace func {
+/// Creates a `func.func` named \p Name with an entry block whose arguments
+/// match the function type inputs; inserts at the builder's point.
+Operation *buildFunc(OpBuilder &B, Location Loc, std::string_view Name,
+                     FunctionType Ty);
+Block *getBody(Operation *Func);
+FunctionType getFunctionType(Operation *Func);
+Operation *buildReturn(OpBuilder &B, Location Loc,
+                       const std::vector<Value> &Operands = {});
+Operation *buildCall(OpBuilder &B, Location Loc, std::string_view Callee,
+                     const std::vector<Value> &Operands,
+                     const std::vector<Type> &Results);
+} // namespace func
+
+//===----------------------------------------------------------------------===//
+// arith
+//===----------------------------------------------------------------------===//
+
+namespace arith {
+Value buildConstantIndex(OpBuilder &B, Location Loc, int64_t Value);
+Value buildConstantInt(OpBuilder &B, Location Loc, int64_t Value, Type Ty);
+Value buildConstantFloat(OpBuilder &B, Location Loc, double Value, Type Ty);
+/// Builds a binary arith op such as "arith.addi"; result type = lhs type.
+Value buildBinary(OpBuilder &B, Location Loc, std::string_view OpName,
+                  Value Lhs, Value Rhs);
+/// Builds `arith.cmpi` with the given predicate (eq/ne/slt/sle/sgt/sge).
+Value buildCmpI(OpBuilder &B, Location Loc, std::string_view Predicate,
+                Value Lhs, Value Rhs);
+/// Reads the constant value of an `arith.constant`-like op; null otherwise.
+Attribute getConstantValue(Value V);
+/// Reads a constant index/integer; returns false when not constant.
+bool getConstantIntValue(Value V, int64_t &Out);
+} // namespace arith
+
+//===----------------------------------------------------------------------===//
+// scf
+//===----------------------------------------------------------------------===//
+
+namespace scf {
+/// Builds `scf.for %iv = lb to ub step step { body }`. The body callback is
+/// invoked with the builder positioned inside the loop; the terminator is
+/// added automatically.
+Operation *buildFor(
+    OpBuilder &B, Location Loc, Value Lb, Value Ub, Value Step,
+    const std::function<void(OpBuilder &, Location, Value)> &Body = {});
+/// Builds `scf.forall` over a static rectangular domain.
+Operation *buildForall(
+    OpBuilder &B, Location Loc, const std::vector<int64_t> &Lbs,
+    const std::vector<int64_t> &Ubs,
+    const std::function<void(OpBuilder &, Location, std::vector<Value>)>
+        &Body = {});
+Operation *buildIf(OpBuilder &B, Location Loc, Value Cond, bool WithElse);
+Operation *buildYield(OpBuilder &B, Location Loc);
+
+Value getLowerBound(Operation *ForOp);
+Value getUpperBound(Operation *ForOp);
+Value getStep(Operation *ForOp);
+Value getInductionVar(Operation *ForOp);
+Block *getLoopBody(Operation *ForOp);
+bool isLoop(Operation *Op);
+} // namespace scf
+
+//===----------------------------------------------------------------------===//
+// cf
+//===----------------------------------------------------------------------===//
+
+namespace cf {
+Operation *buildBranch(OpBuilder &B, Location Loc, Block *Dest,
+                       const std::vector<Value> &Operands = {});
+Operation *buildCondBranch(OpBuilder &B, Location Loc, Value Cond,
+                           Block *TrueDest, std::vector<Value> TrueOperands,
+                           Block *FalseDest, std::vector<Value> FalseOperands);
+} // namespace cf
+
+//===----------------------------------------------------------------------===//
+// memref
+//===----------------------------------------------------------------------===//
+
+namespace memref {
+Value buildAlloc(OpBuilder &B, Location Loc, MemRefType Ty,
+                 const std::vector<Value> &DynamicSizes = {});
+void buildDealloc(OpBuilder &B, Location Loc, Value MemRef);
+Value buildLoad(OpBuilder &B, Location Loc, Value MemRef,
+                const std::vector<Value> &Indices);
+void buildStore(OpBuilder &B, Location Loc, Value ToStore, Value MemRef,
+                const std::vector<Value> &Indices);
+/// Builds `memref.subview` with static and dynamic offsets/sizes/strides.
+/// Static vectors use kDynamic to mark entries provided dynamically.
+Value buildSubView(OpBuilder &B, Location Loc, Value Src,
+                   const std::vector<int64_t> &StaticOffsets,
+                   const std::vector<int64_t> &StaticSizes,
+                   const std::vector<int64_t> &StaticStrides,
+                   const std::vector<Value> &DynOffsets = {},
+                   const std::vector<Value> &DynSizes = {},
+                   const std::vector<Value> &DynStrides = {});
+} // namespace memref
+
+//===----------------------------------------------------------------------===//
+// affine
+//===----------------------------------------------------------------------===//
+
+namespace affine {
+Value buildApply(OpBuilder &B, Location Loc, AffineMap Map,
+                 const std::vector<Value> &Operands);
+Value buildMin(OpBuilder &B, Location Loc, AffineMap Map,
+               const std::vector<Value> &Operands);
+} // namespace affine
+
+//===----------------------------------------------------------------------===//
+// tosa / linalg / hlo helpers
+//===----------------------------------------------------------------------===//
+
+namespace tosa {
+Value buildConst(OpBuilder &B, Location Loc, DenseElementsAttr Value);
+Value buildBinary(OpBuilder &B, Location Loc, std::string_view OpName,
+                  Value Lhs, Value Rhs);
+Value buildUnary(OpBuilder &B, Location Loc, std::string_view OpName,
+                 Value Input);
+} // namespace tosa
+
+namespace linalg {
+/// `linalg.matmul` on memrefs: C += A * B (ins A,B / outs C).
+Operation *buildMatmul(OpBuilder &B, Location Loc, Value A, Value Bm, Value C);
+/// `linalg.batch_matmul` on memrefs: C[b] += A[b] * B[b].
+Operation *buildBatchMatmul(OpBuilder &B, Location Loc, Value A, Value Bm,
+                            Value C);
+} // namespace linalg
+
+} // namespace tdl
+
+#endif // TDL_DIALECT_DIALECTS_H

@@ -1,0 +1,121 @@
+//===- Func.cpp - func dialect ----------------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/SymbolTable.h"
+
+using namespace tdl;
+
+void tdl::registerFuncDialect(Context &Ctx) {
+  Ctx.registerDialect("func");
+
+  OpInfo Func;
+  Func.Name = "func.func";
+  Func.Traits = OT_Symbol | OT_IsolatedFromAbove | OT_SingleBlock;
+  Func.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumRegions() != 1)
+      return Op->emitOpError() << "expects exactly one region";
+    TypeAttr TyAttr = Op->getAttrOfType<TypeAttr>("function_type");
+    if (!TyAttr || !TyAttr.getValue().isa<FunctionType>())
+      return Op->emitOpError() << "requires a 'function_type' attribute";
+    if (Op->getStringAttr("sym_name").empty())
+      return Op->emitOpError() << "requires a 'sym_name' attribute";
+    Region &Body = Op->getRegion(0);
+    if (Body.empty())
+      return success(); // declaration
+    FunctionType FuncTy = TyAttr.getValue().cast<FunctionType>();
+    Block &Entry = Body.front();
+    if (Entry.getNumArguments() != FuncTy.getInputs().size())
+      return Op->emitOpError()
+             << "entry block argument count must match function inputs";
+    for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
+      if (Entry.getArgument(I).getType() != FuncTy.getInputs()[I])
+        return Op->emitOpError() << "entry block argument " << I
+                                 << " type mismatch with function input";
+    return success();
+  };
+  Ctx.registerOp(Func);
+
+  OpInfo Return;
+  Return.Name = "func.return";
+  Return.Traits = OT_IsTerminator;
+  Return.Verify = [](Operation *Op) -> LogicalResult {
+    Operation *Parent = Op->getParentOp();
+    if (!Parent || Parent->getName() != "func.func")
+      return Op->emitOpError() << "must be nested in a func.func";
+    FunctionType FuncTy = func::getFunctionType(Parent);
+    if (Op->getNumOperands() != FuncTy.getResults().size())
+      return Op->emitOpError()
+             << "operand count must match enclosing function results";
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I)
+      if (Op->getOperand(I).getType() != FuncTy.getResults()[I])
+        return Op->emitOpError()
+               << "operand " << I << " type mismatch with function result";
+    return success();
+  };
+  Ctx.registerOp(Return);
+
+  OpInfo Call;
+  Call.Name = "func.call";
+  Call.Verify = [](Operation *Op) -> LogicalResult {
+    SymbolRefAttr Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+    if (!Callee)
+      return Op->emitOpError() << "requires a 'callee' symbol attribute";
+    // Resolve lazily; calls to external microkernel symbols are allowed.
+    if (Operation *Target = lookupSymbolNearestTo(Op, Callee.getValue())) {
+      if (Target->getName() != "func.func")
+        return Op->emitOpError() << "callee is not a function";
+      FunctionType FuncTy = func::getFunctionType(Target);
+      if (FuncTy.getInputs().size() != Op->getNumOperands())
+        return Op->emitOpError() << "operand count mismatch with callee";
+    }
+    return success();
+  };
+  Ctx.registerOp(Call);
+}
+
+Operation *tdl::func::buildFunc(OpBuilder &B, Location Loc,
+                                std::string_view Name, FunctionType Ty) {
+  OperationState State(Loc, "func.func");
+  State.NumRegions = 1;
+  State.addAttribute("sym_name", StringAttr::get(B.getContext(), Name));
+  State.addAttribute("function_type", TypeAttr::get(B.getContext(), Ty));
+  Operation *Func = B.create(State);
+  Block *Entry = Func->getRegion(0).addBlock();
+  for (Type Input : Ty.getInputs())
+    Entry->addArgument(Input);
+  return Func;
+}
+
+Block *tdl::func::getBody(Operation *Func) {
+  assert(Func->getName() == "func.func" && "not a func.func");
+  assert(!Func->getRegion(0).empty() && "function has no body");
+  return &Func->getRegion(0).front();
+}
+
+FunctionType tdl::func::getFunctionType(Operation *Func) {
+  return Func->getAttrOfType<TypeAttr>("function_type")
+      .getValue()
+      .cast<FunctionType>();
+}
+
+Operation *tdl::func::buildReturn(OpBuilder &B, Location Loc,
+                                  const std::vector<Value> &Operands) {
+  OperationState State(Loc, "func.return");
+  State.Operands = Operands;
+  return B.create(State);
+}
+
+Operation *tdl::func::buildCall(OpBuilder &B, Location Loc,
+                                std::string_view Callee,
+                                const std::vector<Value> &Operands,
+                                const std::vector<Type> &Results) {
+  OperationState State(Loc, "func.call");
+  State.Operands = Operands;
+  State.ResultTypes = Results;
+  State.addAttribute("callee", SymbolRefAttr::get(B.getContext(), Callee));
+  return B.create(State);
+}

@@ -1,0 +1,60 @@
+//===- HLO.cpp - stablehlo-lite and mhlo-lite dialects -------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The StableHLO/MHLO pair used by Case Study 3 (pattern debugging) and by
+/// the AD introspection scenario (Fig. 5). Both dialects expose the same
+/// op set under different namespaces, mirroring the JAX lowering ladder
+/// stablehlo -> mhlo -> (linalg/arith).
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+
+using namespace tdl;
+
+static void registerHloLike(Context &Ctx, std::string_view DialectName) {
+  Ctx.registerDialect(DialectName);
+  std::string Prefix = std::string(DialectName) + ".";
+
+  OpInfo Constant;
+  Constant.Name = Prefix + "constant";
+  Constant.Traits = OT_Pure;
+  Ctx.registerOp(Constant);
+
+  const char *Binary[] = {"add", "multiply", "subtract", "divide",
+                          "maximum", "minimum"};
+  for (const char *Name : Binary) {
+    OpInfo Info;
+    Info.Name = Prefix + Name;
+    Info.Traits = OT_Pure;
+    Info.Interfaces = {"Elementwise"};
+    Ctx.registerOp(Info);
+  }
+
+  const char *Unary[] = {"negate", "exponential", "tanh", "transpose",
+                         "reshape", "broadcast_in_dim", "convert"};
+  for (const char *Name : Unary) {
+    OpInfo Info;
+    Info.Name = Prefix + Name;
+    Info.Traits = OT_Pure;
+    Ctx.registerOp(Info);
+  }
+
+  const char *Structured[] = {"dot_general", "reduce", "pad", "slice",
+                              "concatenate"};
+  for (const char *Name : Structured) {
+    OpInfo Info;
+    Info.Name = Prefix + Name;
+    Info.Traits = OT_Pure;
+    Ctx.registerOp(Info);
+  }
+}
+
+void tdl::registerHloDialects(Context &Ctx) {
+  registerHloLike(Ctx, "stablehlo");
+  registerHloLike(Ctx, "mhlo");
+}

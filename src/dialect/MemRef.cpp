@@ -1,0 +1,219 @@
+//===- MemRef.cpp - memref dialect --------------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+
+using namespace tdl;
+
+static LogicalResult verifyLoadStoreIndices(Operation *Op, Value MemRef,
+                                            unsigned NumIndices) {
+  MemRefType Ty = MemRef.getType().dyn_cast<MemRefType>();
+  if (!Ty)
+    return Op->emitOpError() << "expects a memref operand";
+  if (NumIndices != static_cast<unsigned>(Ty.getRank()))
+    return Op->emitOpError() << "expects " << Ty.getRank()
+                             << " indices, got " << NumIndices;
+  return success();
+}
+
+void tdl::registerMemRefDialect(Context &Ctx) {
+  Ctx.registerDialect("memref");
+
+  OpInfo Alloc;
+  Alloc.Name = "memref.alloc";
+  Alloc.Traits = OT_MemAlloc;
+  Alloc.Interfaces = {"MemoryAlloc"};
+  Alloc.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumResults() != 1 ||
+        !Op->getResult(0).getType().isa<MemRefType>())
+      return Op->emitOpError() << "expects a single memref result";
+    return success();
+  };
+  Ctx.registerOp(Alloc);
+
+  OpInfo Dealloc;
+  Dealloc.Name = "memref.dealloc";
+  Dealloc.Traits = OT_MemFree;
+  Dealloc.Interfaces = {"MemoryFree"};
+  Ctx.registerOp(Dealloc);
+
+  OpInfo Load;
+  Load.Name = "memref.load";
+  Load.Traits = OT_MemRead;
+  Load.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() < 1)
+      return Op->emitOpError() << "expects a memref operand";
+    return verifyLoadStoreIndices(Op, Op->getOperand(0),
+                                  Op->getNumOperands() - 1);
+  };
+  Ctx.registerOp(Load);
+
+  OpInfo Store;
+  Store.Name = "memref.store";
+  Store.Traits = OT_MemWrite;
+  Store.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() < 2)
+      return Op->emitOpError() << "expects value and memref operands";
+    return verifyLoadStoreIndices(Op, Op->getOperand(1),
+                                  Op->getNumOperands() - 2);
+  };
+  Ctx.registerOp(Store);
+
+  OpInfo SubView;
+  SubView.Name = "memref.subview";
+  SubView.Traits = OT_Pure;
+  SubView.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() < 1 ||
+        !Op->getOperand(0).getType().isa<MemRefType>())
+      return Op->emitOpError() << "expects a memref source";
+    for (const char *Name :
+         {"static_offsets", "static_sizes", "static_strides"})
+      if (!Op->getAttrOfType<ArrayAttr>(Name))
+        return Op->emitOpError() << "requires '" << Name << "' array";
+    // Dynamic operand count must match the number of kDynamic markers.
+    int64_t NumDynamic = 0;
+    for (const char *Name :
+         {"static_offsets", "static_sizes", "static_strides"})
+      for (int64_t V : Op->getAttrOfType<ArrayAttr>(Name).getAsIntegers())
+        NumDynamic += (V == kDynamic);
+    if (static_cast<int64_t>(Op->getNumOperands()) - 1 != NumDynamic)
+      return Op->emitOpError()
+             << "dynamic operand count does not match kDynamic markers";
+    return success();
+  };
+  Ctx.registerOp(SubView);
+
+  OpInfo Reinterpret;
+  Reinterpret.Name = "memref.reinterpret_cast";
+  Reinterpret.Traits = OT_Pure;
+  Ctx.registerOp(Reinterpret);
+
+  OpInfo ExtractMeta;
+  ExtractMeta.Name = "memref.extract_strided_metadata";
+  ExtractMeta.Traits = OT_Pure;
+  ExtractMeta.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() != 1 ||
+        !Op->getOperand(0).getType().isa<MemRefType>())
+      return Op->emitOpError() << "expects a memref operand";
+    MemRefType Src = Op->getOperand(0).getType().cast<MemRefType>();
+    // Results: base, offset, rank sizes, rank strides.
+    if (Op->getNumResults() != 2 + 2 * static_cast<unsigned>(Src.getRank()))
+      return Op->emitOpError() << "expects base, offset, sizes and strides "
+                                  "results";
+    return success();
+  };
+  Ctx.registerOp(ExtractMeta);
+
+  OpInfo ExtractPtr;
+  ExtractPtr.Name = "memref.extract_aligned_pointer_as_index";
+  ExtractPtr.Traits = OT_Pure;
+  Ctx.registerOp(ExtractPtr);
+
+  OpInfo Copy;
+  Copy.Name = "memref.copy";
+  Copy.Traits = OT_MemRead | OT_MemWrite;
+  Ctx.registerOp(Copy);
+
+  OpInfo Cast;
+  Cast.Name = "memref.cast";
+  Cast.Traits = OT_Pure;
+  Ctx.registerOp(Cast);
+
+  OpInfo Global;
+  Global.Name = "memref.global";
+  Global.Traits = OT_Symbol;
+  Ctx.registerOp(Global);
+
+  OpInfo GetGlobal;
+  GetGlobal.Name = "memref.get_global";
+  GetGlobal.Traits = OT_Pure;
+  Ctx.registerOp(GetGlobal);
+}
+
+Value tdl::memref::buildAlloc(OpBuilder &B, Location Loc, MemRefType Ty,
+                              const std::vector<Value> &DynamicSizes) {
+  OperationState State(Loc, "memref.alloc");
+  State.Operands = DynamicSizes;
+  State.ResultTypes = {Ty};
+  return B.create(State)->getResult(0);
+}
+
+void tdl::memref::buildDealloc(OpBuilder &B, Location Loc, Value MemRef) {
+  OperationState State(Loc, "memref.dealloc");
+  State.Operands = {MemRef};
+  B.create(State);
+}
+
+Value tdl::memref::buildLoad(OpBuilder &B, Location Loc, Value MemRef,
+                             const std::vector<Value> &Indices) {
+  OperationState State(Loc, "memref.load");
+  State.Operands = {MemRef};
+  for (Value Index : Indices)
+    State.Operands.push_back(Index);
+  State.ResultTypes = {
+      MemRef.getType().cast<MemRefType>().getElementType()};
+  return B.create(State)->getResult(0);
+}
+
+void tdl::memref::buildStore(OpBuilder &B, Location Loc, Value ToStore,
+                             Value MemRef, const std::vector<Value> &Indices) {
+  OperationState State(Loc, "memref.store");
+  State.Operands = {ToStore, MemRef};
+  for (Value Index : Indices)
+    State.Operands.push_back(Index);
+  B.create(State);
+}
+
+Value tdl::memref::buildSubView(OpBuilder &B, Location Loc, Value Src,
+                                const std::vector<int64_t> &StaticOffsets,
+                                const std::vector<int64_t> &StaticSizes,
+                                const std::vector<int64_t> &StaticStrides,
+                                const std::vector<Value> &DynOffsets,
+                                const std::vector<Value> &DynSizes,
+                                const std::vector<Value> &DynStrides) {
+  MemRefType SrcTy = Src.getType().cast<MemRefType>();
+  OperationState State(Loc, "memref.subview");
+  State.Operands = {Src};
+  for (Value V : DynOffsets)
+    State.Operands.push_back(V);
+  for (Value V : DynSizes)
+    State.Operands.push_back(V);
+  for (Value V : DynStrides)
+    State.Operands.push_back(V);
+  Context &Ctx = B.getContext();
+  State.addAttribute("static_offsets",
+                     ArrayAttr::getIndexArray(Ctx, StaticOffsets));
+  State.addAttribute("static_sizes",
+                     ArrayAttr::getIndexArray(Ctx, StaticSizes));
+  State.addAttribute("static_strides",
+                     ArrayAttr::getIndexArray(Ctx, StaticStrides));
+
+  // Result type: sizes become the shape; strides compose with the source
+  // layout; a dynamic offset/stride anywhere makes the layout entry dynamic.
+  std::vector<int64_t> SrcStrides = SrcTy.hasExplicitLayout()
+                                        ? SrcTy.getStrides()
+                                        : SrcTy.getIdentityStrides();
+  int64_t SrcOffset = SrcTy.getOffset();
+  int64_t Offset = SrcOffset;
+  for (size_t I = 0; I < StaticOffsets.size(); ++I) {
+    if (StaticOffsets[I] == kDynamic || SrcStrides[I] == kDynamic ||
+        Offset == kDynamic) {
+      Offset = kDynamic;
+      break;
+    }
+    Offset += StaticOffsets[I] * SrcStrides[I];
+  }
+  std::vector<int64_t> ResultStrides(StaticStrides.size());
+  for (size_t I = 0; I < StaticStrides.size(); ++I)
+    ResultStrides[I] = (StaticStrides[I] == kDynamic ||
+                        SrcStrides[I] == kDynamic)
+                           ? kDynamic
+                           : StaticStrides[I] * SrcStrides[I];
+  MemRefType ResultTy = MemRefType::getStrided(
+      Ctx, StaticSizes, SrcTy.getElementType(), Offset, ResultStrides);
+  State.ResultTypes = {ResultTy};
+  return B.create(State)->getResult(0);
+}

@@ -1,0 +1,168 @@
+//===- SCF.cpp - scf dialect (structured control flow) ------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+
+using namespace tdl;
+
+void tdl::registerScfDialect(Context &Ctx) {
+  Ctx.registerDialect("scf");
+
+  OpInfo For;
+  For.Name = "scf.for";
+  For.Traits = OT_SingleBlock;
+  For.Interfaces = {"LoopLike"};
+  For.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() != 3)
+      return Op->emitOpError() << "expects (lb, ub, step) operands";
+    for (unsigned I = 0; I < 3; ++I)
+      if (!Op->getOperand(I).getType().isIndex())
+        return Op->emitOpError() << "bounds and step must be of index type";
+    if (Op->getNumRegions() != 1 || Op->getRegion(0).empty())
+      return Op->emitOpError() << "expects a non-empty body region";
+    Block &Body = Op->getRegion(0).front();
+    if (Body.getNumArguments() != 1 ||
+        !Body.getArgument(0).getType().isIndex())
+      return Op->emitOpError()
+             << "body must have a single index induction variable";
+    Operation *Term = Body.getTerminator();
+    if (!Term || Term->getName() != "scf.yield")
+      return Op->emitOpError() << "body must end with scf.yield";
+    return success();
+  };
+  Ctx.registerOp(For);
+
+  OpInfo Forall;
+  Forall.Name = "scf.forall";
+  Forall.Traits = OT_SingleBlock;
+  Forall.Interfaces = {"LoopLike"};
+  Forall.Verify = [](Operation *Op) -> LogicalResult {
+    ArrayAttr Lbs = Op->getAttrOfType<ArrayAttr>("lowerBound");
+    ArrayAttr Ubs = Op->getAttrOfType<ArrayAttr>("upperBound");
+    if (!Lbs || !Ubs || Lbs.size() != Ubs.size())
+      return Op->emitOpError()
+             << "requires matching 'lowerBound'/'upperBound' arrays";
+    if (Op->getNumRegions() != 1 || Op->getRegion(0).empty())
+      return Op->emitOpError() << "expects a non-empty body region";
+    Block &Body = Op->getRegion(0).front();
+    if (Body.getNumArguments() != Lbs.size())
+      return Op->emitOpError() << "body must have one index per dimension";
+    return success();
+  };
+  Ctx.registerOp(Forall);
+
+  OpInfo If;
+  If.Name = "scf.if";
+  If.Traits = OT_SingleBlock;
+  If.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() != 1)
+      return Op->emitOpError() << "expects a condition operand";
+    if (Op->getNumRegions() != 2)
+      return Op->emitOpError() << "expects then/else regions";
+    return success();
+  };
+  Ctx.registerOp(If);
+
+  OpInfo Yield;
+  Yield.Name = "scf.yield";
+  Yield.Traits = OT_IsTerminator | OT_Pure;
+  Ctx.registerOp(Yield);
+}
+
+Operation *tdl::scf::buildFor(
+    OpBuilder &B, Location Loc, Value Lb, Value Ub, Value Step,
+    const std::function<void(OpBuilder &, Location, Value)> &Body) {
+  OperationState State(Loc, "scf.for");
+  State.Operands = {Lb, Ub, Step};
+  State.NumRegions = 1;
+  Operation *For = B.create(State);
+  Block *BodyBlock = For->getRegion(0).addBlock();
+  Value Iv = BodyBlock->addArgument(B.getIndexType());
+  OpBuilder::InsertionGuard Guard(B);
+  B.setInsertionPointToStart(BodyBlock);
+  if (Body)
+    Body(B, Loc, Iv);
+  B.setInsertionPointToEnd(BodyBlock);
+  buildYield(B, Loc);
+  return For;
+}
+
+Operation *tdl::scf::buildForall(
+    OpBuilder &B, Location Loc, const std::vector<int64_t> &Lbs,
+    const std::vector<int64_t> &Ubs,
+    const std::function<void(OpBuilder &, Location, std::vector<Value>)>
+        &Body) {
+  assert(Lbs.size() == Ubs.size() && "bound arrays must match");
+  OperationState State(Loc, "scf.forall");
+  State.NumRegions = 1;
+  State.addAttribute("lowerBound", B.getIndexArrayAttr(Lbs));
+  State.addAttribute("upperBound", B.getIndexArrayAttr(Ubs));
+  Operation *Forall = B.create(State);
+  Block *BodyBlock = Forall->getRegion(0).addBlock();
+  std::vector<Value> Ivs;
+  for (size_t I = 0; I < Lbs.size(); ++I)
+    Ivs.push_back(BodyBlock->addArgument(B.getIndexType()));
+  OpBuilder::InsertionGuard Guard(B);
+  B.setInsertionPointToStart(BodyBlock);
+  if (Body)
+    Body(B, Loc, Ivs);
+  B.setInsertionPointToEnd(BodyBlock);
+  buildYield(B, Loc);
+  return Forall;
+}
+
+Operation *tdl::scf::buildIf(OpBuilder &B, Location Loc, Value Cond,
+                             bool WithElse) {
+  OperationState State(Loc, "scf.if");
+  State.Operands = {Cond};
+  State.NumRegions = 2;
+  Operation *If = B.create(State);
+  Block *Then = If->getRegion(0).addBlock();
+  {
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(Then);
+    buildYield(B, Loc);
+  }
+  if (WithElse) {
+    Block *Else = If->getRegion(1).addBlock();
+    OpBuilder::InsertionGuard Guard(B);
+    B.setInsertionPointToEnd(Else);
+    buildYield(B, Loc);
+  }
+  return If;
+}
+
+Operation *tdl::scf::buildYield(OpBuilder &B, Location Loc) {
+  OperationState State(Loc, "scf.yield");
+  return B.create(State);
+}
+
+Value tdl::scf::getLowerBound(Operation *ForOp) {
+  assert(ForOp->getName() == "scf.for" && "not an scf.for");
+  return ForOp->getOperand(0);
+}
+
+Value tdl::scf::getUpperBound(Operation *ForOp) {
+  assert(ForOp->getName() == "scf.for" && "not an scf.for");
+  return ForOp->getOperand(1);
+}
+
+Value tdl::scf::getStep(Operation *ForOp) {
+  assert(ForOp->getName() == "scf.for" && "not an scf.for");
+  return ForOp->getOperand(2);
+}
+
+Value tdl::scf::getInductionVar(Operation *ForOp) {
+  return ForOp->getRegion(0).front().getArgument(0);
+}
+
+Block *tdl::scf::getLoopBody(Operation *ForOp) {
+  return &ForOp->getRegion(0).front();
+}
+
+bool tdl::scf::isLoop(Operation *Op) {
+  return Op->getName() == "scf.for" || Op->getName() == "scf.forall";
+}

@@ -1,0 +1,160 @@
+//===- TosaLinalg.cpp - tosa-lite and linalg-lite dialects --------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TOSA-lite models the operator set the Case Study 1 pipeline consumes;
+/// Linalg-lite models the structured-ops layer it lowers to. Semantics are
+/// carried far enough for the pipeline passes (decomposition, shape
+/// inference, lowering to loops, bufferization) to do real work.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+
+using namespace tdl;
+
+static LogicalResult verifyTensorOperands(Operation *Op) {
+  for (Value Operand : Op->getOperands())
+    if (!Operand.getType().isa<TensorType>())
+      return Op->emitOpError() << "expects tensor operands";
+  return success();
+}
+
+void tdl::registerTosaDialect(Context &Ctx) {
+  Ctx.registerDialect("tosa");
+
+  OpInfo Const;
+  Const.Name = "tosa.const";
+  Const.Traits = OT_Pure;
+  Const.Verify = [](Operation *Op) -> LogicalResult {
+    if (!Op->getAttrOfType<DenseElementsAttr>("value"))
+      return Op->emitOpError() << "requires a dense 'value' attribute";
+    return success();
+  };
+  Ctx.registerOp(Const);
+
+  const char *Binary[] = {"tosa.add",  "tosa.sub", "tosa.mul",
+                          "tosa.pow",  "tosa.maximum", "tosa.minimum"};
+  for (const char *Name : Binary) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Traits = OT_Pure;
+    Info.Interfaces = {"Elementwise"};
+    Info.Verify = verifyTensorOperands;
+    Ctx.registerOp(Info);
+  }
+
+  const char *Unary[] = {"tosa.abs",     "tosa.exp",   "tosa.rsqrt",
+                         "tosa.tanh",    "tosa.sigmoid", "tosa.cast",
+                         "tosa.clamp",   "tosa.negate", "tosa.reciprocal"};
+  for (const char *Name : Unary) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Traits = OT_Pure;
+    Info.Interfaces = {"Elementwise"};
+    Info.Verify = verifyTensorOperands;
+    Ctx.registerOp(Info);
+  }
+
+  const char *Structured[] = {"tosa.matmul",         "tosa.fully_connected",
+                              "tosa.conv2d",         "tosa.depthwise_conv2d",
+                              "tosa.avg_pool2d",     "tosa.max_pool2d",
+                              "tosa.reduce_sum",     "tosa.reduce_max",
+                              "tosa.reshape",        "tosa.transpose",
+                              "tosa.concat",         "tosa.pad",
+                              "tosa.slice",          "tosa.gather",
+                              "tosa.argmax"};
+  for (const char *Name : Structured) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Traits = OT_Pure;
+    Info.Verify = verifyTensorOperands;
+    Ctx.registerOp(Info);
+  }
+}
+
+Value tdl::tosa::buildConst(OpBuilder &B, Location Loc,
+                            DenseElementsAttr Value) {
+  OperationState State(Loc, "tosa.const");
+  State.ResultTypes = {Value.getType()};
+  State.addAttribute("value", Value);
+  return B.create(State)->getResult(0);
+}
+
+Value tdl::tosa::buildBinary(OpBuilder &B, Location Loc,
+                             std::string_view OpName, Value Lhs, Value Rhs) {
+  OperationState State(Loc, OpName);
+  State.Operands = {Lhs, Rhs};
+  State.ResultTypes = {Lhs.getType()};
+  return B.create(State)->getResult(0);
+}
+
+Value tdl::tosa::buildUnary(OpBuilder &B, Location Loc,
+                            std::string_view OpName, Value Input) {
+  OperationState State(Loc, OpName);
+  State.Operands = {Input};
+  State.ResultTypes = {Input.getType()};
+  return B.create(State)->getResult(0);
+}
+
+//===----------------------------------------------------------------------===//
+// linalg-lite
+//===----------------------------------------------------------------------===//
+
+void tdl::registerLinalgDialect(Context &Ctx) {
+  Ctx.registerDialect("linalg");
+
+  // Structured ops take `ins` then `outs` operands; the split point is the
+  // `num_inputs` attribute. On tensors they produce results; on memrefs the
+  // outs are mutated in place.
+  const char *StructuredOps[] = {"linalg.matmul",   "linalg.batch_matmul",
+                                 "linalg.conv2d",   "linalg.fill",
+                                 "linalg.elementwise", "linalg.reduce",
+                                 "linalg.transpose", "linalg.pool"};
+  for (const char *Name : StructuredOps) {
+    OpInfo Info;
+    Info.Name = Name;
+    Info.Interfaces = {"LinalgStructured"};
+    Info.Traits = OT_MemRead | OT_MemWrite;
+    Info.Verify = [](Operation *Op) -> LogicalResult {
+      int64_t NumInputs = Op->getIntAttr("num_inputs", -1);
+      if (NumInputs < 0 ||
+          NumInputs > static_cast<int64_t>(Op->getNumOperands()))
+        return Op->emitOpError() << "requires a valid 'num_inputs' attribute";
+      return success();
+    };
+    Ctx.registerOp(Info);
+  }
+}
+
+static Operation *buildStructured(OpBuilder &B, Location Loc,
+                                  std::string_view Name,
+                                  std::vector<Value> Ins,
+                                  std::vector<Value> Outs) {
+  OperationState State(Loc, Name);
+  State.addAttribute("num_inputs",
+                     IntegerAttr::get(B.getContext(),
+                                      static_cast<int64_t>(Ins.size()),
+                                      B.getI64Type()));
+  State.Operands = std::move(Ins);
+  for (Value Out : Outs) {
+    State.Operands.push_back(Out);
+    // Tensor-typed outs produce results (destination-passing style).
+    if (Out.getType().isa<TensorType>())
+      State.ResultTypes.push_back(Out.getType());
+  }
+  return B.create(State);
+}
+
+Operation *tdl::linalg::buildMatmul(OpBuilder &B, Location Loc, Value A,
+                                    Value Bm, Value C) {
+  return buildStructured(B, Loc, "linalg.matmul", {A, Bm}, {C});
+}
+
+Operation *tdl::linalg::buildBatchMatmul(OpBuilder &B, Location Loc, Value A,
+                                         Value Bm, Value C) {
+  return buildStructured(B, Loc, "linalg.batch_matmul", {A, Bm}, {C});
+}

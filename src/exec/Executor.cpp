@@ -1,0 +1,762 @@
+//===- Executor.cpp - Payload IR execution engine ------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Executor.h"
+
+#include "dialect/Dialects.h"
+#include "ir/SymbolTable.h"
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+using namespace tdl;
+using namespace tdl::exec;
+
+//===----------------------------------------------------------------------===//
+// Buffer
+//===----------------------------------------------------------------------===//
+
+Buffer Buffer::alloc(const std::vector<int64_t> &Shape) {
+  Buffer Result;
+  int64_t Count = 1;
+  for (int64_t Dim : Shape)
+    Count *= Dim;
+  Result.Data = std::make_shared<std::vector<double>>(Count, 0.0);
+  Result.Sizes = Shape;
+  Result.Strides.assign(Shape.size(), 1);
+  for (int64_t I = static_cast<int64_t>(Shape.size()) - 2; I >= 0; --I)
+    Result.Strides[I] = Result.Strides[I + 1] * Shape[I + 1];
+  return Result;
+}
+
+int64_t Buffer::linearIndex(const std::vector<int64_t> &Indices) const {
+  int64_t Linear = Offset;
+  for (size_t I = 0; I < Indices.size(); ++I)
+    Linear += Indices[I] * Strides[I];
+  return Linear;
+}
+
+double &Buffer::at(const std::vector<int64_t> &Indices) {
+  return (*Data)[linearIndex(Indices)];
+}
+
+int64_t Buffer::getNumElements() const {
+  int64_t Count = 1;
+  for (int64_t Dim : Sizes)
+    Count *= Dim;
+  return Count;
+}
+
+RuntimeValue RuntimeValue::makeInt(int64_t Value) {
+  RuntimeValue Result;
+  Result.Kind = Kind::Int;
+  Result.I = Value;
+  return Result;
+}
+
+RuntimeValue RuntimeValue::makeFloat(double Value) {
+  RuntimeValue Result;
+  Result.Kind = Kind::Float;
+  Result.F = Value;
+  return Result;
+}
+
+RuntimeValue RuntimeValue::makeBuffer(Buffer Value) {
+  RuntimeValue Result;
+  Result.Kind = Kind::Mem;
+  Result.Mem = std::move(Value);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// The xsmm-lite microkernel
+//===----------------------------------------------------------------------===//
+
+void tdl::exec::xsmmMatmulKernel(Buffer &A, Buffer &B, Buffer &C, int64_t ILo,
+                                 int64_t IHi, int64_t JLo, int64_t JHi,
+                                 int64_t KLo, int64_t KHi,
+                                 const std::vector<int64_t> &PrefixA,
+                                 const std::vector<int64_t> &PrefixB,
+                                 const std::vector<int64_t> &PrefixC) {
+  size_t Pa = PrefixA.size(), Pb = PrefixB.size(), Pc = PrefixC.size();
+  int64_t BaseA = A.Offset, BaseB = B.Offset, BaseC = C.Offset;
+  for (size_t I = 0; I < Pa; ++I)
+    BaseA += PrefixA[I] * A.Strides[I];
+  for (size_t I = 0; I < Pb; ++I)
+    BaseB += PrefixB[I] * B.Strides[I];
+  for (size_t I = 0; I < Pc; ++I)
+    BaseC += PrefixC[I] * C.Strides[I];
+  int64_t As0 = A.Strides[Pa], As1 = A.Strides[Pa + 1];
+  int64_t Bs0 = B.Strides[Pb], Bs1 = B.Strides[Pb + 1];
+  int64_t Cs0 = C.Strides[Pc], Cs1 = C.Strides[Pc + 1];
+
+  double *__restrict APtr = A.Data->data();
+  double *__restrict BPtr = B.Data->data();
+  double *__restrict CPtr = C.Data->data();
+
+  // Register-blocked i-k-j kernel; the innermost stride-1 j loop vectorizes.
+  for (int64_t I = ILo; I < IHi; ++I) {
+    double *__restrict CRow = CPtr + BaseC + I * Cs0 + JLo * Cs1;
+    for (int64_t K = KLo; K < KHi; ++K) {
+      double AVal = APtr[BaseA + I * As0 + K * As1];
+      const double *__restrict BRow = BPtr + BaseB + K * Bs0 + JLo * Bs1;
+      if (Cs1 == 1 && Bs1 == 1) {
+        int64_t N = JHi - JLo;
+        for (int64_t J = 0; J < N; ++J)
+          CRow[J] += AVal * BRow[J];
+      } else {
+        for (int64_t J = 0; J < JHi - JLo; ++J)
+          CRow[J * Cs1] += AVal * BRow[J * Bs1];
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation to closures
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Frame {
+  std::vector<int64_t> Ints;
+  std::vector<double> Floats;
+  std::vector<Buffer> Bufs;
+  int64_t OpCount = 0;
+};
+
+using CompiledOp = std::function<void(Frame &)>;
+using Program = std::vector<CompiledOp>;
+
+struct Slot {
+  enum class Kind { Int, Float, Mem } Kind = Kind::Int;
+  unsigned Index = 0;
+};
+
+struct CompiledFunction {
+  Program Body;
+  std::vector<Slot> ArgSlots;
+  std::vector<Slot> ResultSlots;
+  unsigned NumInts = 0, NumFloats = 0, NumBufs = 0;
+};
+
+class FunctionCompiler;
+
+} // namespace
+
+struct Executor::Impl {
+  Operation *Module;
+  std::map<std::string, std::shared_ptr<CompiledFunction>> Cache;
+  int64_t LastOpCount = 0;
+
+  FailureOr<std::shared_ptr<CompiledFunction>> compile(std::string_view Name);
+  FailureOr<std::vector<RuntimeValue>> invoke(const CompiledFunction &Fn,
+                                              std::vector<RuntimeValue> Args,
+                                              int64_t &OpCount);
+};
+
+namespace {
+
+class FunctionCompiler {
+public:
+  FunctionCompiler(Executor::Impl &Owner, Operation *Func)
+      : Owner(Owner), Func(Func) {}
+
+  FailureOr<std::shared_ptr<CompiledFunction>> compile() {
+    auto Result = std::make_shared<CompiledFunction>();
+    Fn = Result.get();
+    Block *Body = func::getBody(Func);
+    for (Value Arg : Body->getArguments())
+      Result->ArgSlots.push_back(assignSlot(Arg));
+    if (failed(compileBlock(*Body, Result->Body)))
+      return failure();
+    Result->NumInts = NumInts;
+    Result->NumFloats = NumFloats;
+    Result->NumBufs = NumBufs;
+    return Result;
+  }
+
+private:
+  Slot assignSlot(Value V) {
+    auto It = Slots.find(V.getImpl());
+    if (It != Slots.end())
+      return It->second;
+    Slot S;
+    Type Ty = V.getType();
+    if (Ty.isFloat()) {
+      S.Kind = Slot::Kind::Float;
+      S.Index = NumFloats++;
+    } else if (Ty.isa<MemRefType>()) {
+      S.Kind = Slot::Kind::Mem;
+      S.Index = NumBufs++;
+    } else {
+      S.Kind = Slot::Kind::Int;
+      S.Index = NumInts++;
+    }
+    Slots[V.getImpl()] = S;
+    return S;
+  }
+
+  LogicalResult compileBlock(Block &B, Program &Out) {
+    for (Operation *Op : B) {
+      if (Op->getName() == "func.return") {
+        for (Value Operand : Op->getOperands())
+          Fn->ResultSlots.push_back(assignSlot(Operand));
+        return success();
+      }
+      if (Op->hasTrait(OT_IsTerminator))
+        return success(); // scf.yield
+      if (failed(compileOp(Op, Out)))
+        return failure();
+    }
+    return success();
+  }
+
+  LogicalResult compileOp(Operation *Op, Program &Out);
+
+  Executor::Impl &Owner;
+  Operation *Func;
+  CompiledFunction *Fn = nullptr;
+  std::map<ValueImpl *, Slot> Slots;
+  unsigned NumInts = 0, NumFloats = 0, NumBufs = 0;
+};
+
+LogicalResult FunctionCompiler::compileOp(Operation *Op, Program &Out) {
+  std::string_view Name = Op->getName();
+  Context &Ctx = Op->getContext();
+
+  //===--------------------------------------------------------------------===//
+  // Constants and integer/float arithmetic
+  //===--------------------------------------------------------------------===//
+
+  if (Name == "arith.constant") {
+    Slot Dst = assignSlot(Op->getResult(0));
+    if (IntegerAttr Int = Op->getAttrOfType<IntegerAttr>("value")) {
+      int64_t V = Int.getValue();
+      Out.push_back([Dst, V](Frame &F) {
+        ++F.OpCount;
+        F.Ints[Dst.Index] = V;
+      });
+      return success();
+    }
+    if (FloatAttr Float = Op->getAttrOfType<FloatAttr>("value")) {
+      double V = Float.getValue();
+      Out.push_back([Dst, V](Frame &F) {
+        ++F.OpCount;
+        F.Floats[Dst.Index] = V;
+      });
+      return success();
+    }
+    return Op->emitOpError() << "executor: unsupported constant kind";
+  }
+
+  static const std::map<std::string_view, int> IntBinKind = {
+      {"arith.addi", 0},       {"arith.subi", 1},  {"arith.muli", 2},
+      {"arith.divsi", 3},      {"arith.remsi", 4}, {"arith.minsi", 5},
+      {"arith.maxsi", 6},      {"arith.floordivsi", 7},
+      {"arith.ceildivsi", 8}};
+  if (auto It = IntBinKind.find(Name); It != IntBinKind.end()) {
+    Slot L = assignSlot(Op->getOperand(0)), R = assignSlot(Op->getOperand(1));
+    Slot Dst = assignSlot(Op->getResult(0));
+    int Kind = It->second;
+    Out.push_back([L, R, Dst, Kind](Frame &F) {
+      ++F.OpCount;
+      int64_t A = F.Ints[L.Index], B = F.Ints[R.Index], V = 0;
+      switch (Kind) {
+      case 0: V = A + B; break;
+      case 1: V = A - B; break;
+      case 2: V = A * B; break;
+      case 3: V = B ? A / B : 0; break;
+      case 4: V = B ? A % B : 0; break;
+      case 5: V = std::min(A, B); break;
+      case 6: V = std::max(A, B); break;
+      case 7:
+        V = B ? A / B : 0;
+        if (B && (A % B) != 0 && ((A < 0) != (B < 0)))
+          --V;
+        break;
+      case 8:
+        V = B ? A / B : 0;
+        if (B && (A % B) != 0 && ((A < 0) == (B < 0)))
+          ++V;
+        break;
+      }
+      F.Ints[Dst.Index] = V;
+    });
+    return success();
+  }
+
+  static const std::map<std::string_view, int> FloatBinKind = {
+      {"arith.addf", 0}, {"arith.subf", 1}, {"arith.mulf", 2},
+      {"arith.divf", 3}, {"arith.minf", 4}, {"arith.maxf", 5}};
+  if (auto It = FloatBinKind.find(Name); It != FloatBinKind.end()) {
+    Slot L = assignSlot(Op->getOperand(0)), R = assignSlot(Op->getOperand(1));
+    Slot Dst = assignSlot(Op->getResult(0));
+    int Kind = It->second;
+    Out.push_back([L, R, Dst, Kind](Frame &F) {
+      ++F.OpCount;
+      double A = F.Floats[L.Index], B = F.Floats[R.Index], V = 0;
+      switch (Kind) {
+      case 0: V = A + B; break;
+      case 1: V = A - B; break;
+      case 2: V = A * B; break;
+      case 3: V = A / B; break;
+      case 4: V = std::min(A, B); break;
+      case 5: V = std::max(A, B); break;
+      }
+      F.Floats[Dst.Index] = V;
+    });
+    return success();
+  }
+
+  if (Name == "arith.cmpi") {
+    Slot L = assignSlot(Op->getOperand(0)), R = assignSlot(Op->getOperand(1));
+    Slot Dst = assignSlot(Op->getResult(0));
+    std::string Pred(Op->getStringAttr("predicate"));
+    Out.push_back([L, R, Dst, Pred](Frame &F) {
+      ++F.OpCount;
+      int64_t A = F.Ints[L.Index], B = F.Ints[R.Index];
+      bool V = false;
+      if (Pred == "eq") V = A == B;
+      else if (Pred == "ne") V = A != B;
+      else if (Pred == "slt") V = A < B;
+      else if (Pred == "sle") V = A <= B;
+      else if (Pred == "sgt") V = A > B;
+      else if (Pred == "sge") V = A >= B;
+      F.Ints[Dst.Index] = V;
+    });
+    return success();
+  }
+
+  if (Name == "arith.select") {
+    Slot C = assignSlot(Op->getOperand(0));
+    Slot L = assignSlot(Op->getOperand(1)), R = assignSlot(Op->getOperand(2));
+    Slot Dst = assignSlot(Op->getResult(0));
+    if (Dst.Kind == Slot::Kind::Float) {
+      Out.push_back([C, L, R, Dst](Frame &F) {
+        ++F.OpCount;
+        F.Floats[Dst.Index] =
+            F.Ints[C.Index] ? F.Floats[L.Index] : F.Floats[R.Index];
+      });
+    } else {
+      Out.push_back([C, L, R, Dst](Frame &F) {
+        ++F.OpCount;
+        F.Ints[Dst.Index] =
+            F.Ints[C.Index] ? F.Ints[L.Index] : F.Ints[R.Index];
+      });
+    }
+    return success();
+  }
+
+  if (Name == "arith.index_cast") {
+    Slot Src = assignSlot(Op->getOperand(0));
+    Slot Dst = assignSlot(Op->getResult(0));
+    Out.push_back([Src, Dst](Frame &F) {
+      ++F.OpCount;
+      F.Ints[Dst.Index] = F.Ints[Src.Index];
+    });
+    return success();
+  }
+
+  if (Name == "arith.sitofp") {
+    Slot Src = assignSlot(Op->getOperand(0));
+    Slot Dst = assignSlot(Op->getResult(0));
+    Out.push_back([Src, Dst](Frame &F) {
+      ++F.OpCount;
+      F.Floats[Dst.Index] = static_cast<double>(F.Ints[Src.Index]);
+    });
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Affine
+  //===--------------------------------------------------------------------===//
+
+  if (Name == "affine.apply" || Name == "affine.min") {
+    AffineMap Map = Op->getAttrOfType<AffineMapAttr>("map").getValue();
+    std::vector<Slot> Operands;
+    for (Value Operand : Op->getOperands())
+      Operands.push_back(assignSlot(Operand));
+    Slot Dst = assignSlot(Op->getResult(0));
+    bool IsMin = Name == "affine.min";
+    Out.push_back([Map, Operands, Dst, IsMin](Frame &F) {
+      ++F.OpCount;
+      std::vector<int64_t> Values;
+      Values.reserve(Operands.size());
+      for (Slot S : Operands)
+        Values.push_back(F.Ints[S.Index]);
+      std::vector<int64_t> Results = Map.evaluate(Values);
+      int64_t V = Results[0];
+      if (IsMin)
+        for (int64_t R : Results)
+          V = std::min(V, R);
+      F.Ints[Dst.Index] = V;
+    });
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // MemRef
+  //===--------------------------------------------------------------------===//
+
+  if (Name == "memref.alloc") {
+    MemRefType Ty = Op->getResult(0).getType().cast<MemRefType>();
+    if (!Ty.hasStaticShape())
+      return Op->emitOpError() << "executor: dynamic alloc unsupported";
+    Slot Dst = assignSlot(Op->getResult(0));
+    std::vector<int64_t> Shape = Ty.getShape();
+    Out.push_back([Dst, Shape](Frame &F) {
+      ++F.OpCount;
+      F.Bufs[Dst.Index] = Buffer::alloc(Shape);
+    });
+    return success();
+  }
+
+  if (Name == "memref.dealloc") {
+    Out.push_back([](Frame &F) { ++F.OpCount; });
+    return success();
+  }
+
+  if (Name == "memref.load") {
+    Slot Mem = assignSlot(Op->getOperand(0));
+    std::vector<Slot> Indices;
+    for (unsigned I = 1; I < Op->getNumOperands(); ++I)
+      Indices.push_back(assignSlot(Op->getOperand(I)));
+    Slot Dst = assignSlot(Op->getResult(0));
+    Out.push_back([Mem, Indices, Dst](Frame &F) {
+      ++F.OpCount;
+      Buffer &B = F.Bufs[Mem.Index];
+      int64_t Linear = B.Offset;
+      for (size_t I = 0; I < Indices.size(); ++I)
+        Linear += F.Ints[Indices[I].Index] * B.Strides[I];
+      F.Floats[Dst.Index] = (*B.Data)[Linear];
+    });
+    return success();
+  }
+
+  if (Name == "memref.store") {
+    Slot Src = assignSlot(Op->getOperand(0));
+    Slot Mem = assignSlot(Op->getOperand(1));
+    std::vector<Slot> Indices;
+    for (unsigned I = 2; I < Op->getNumOperands(); ++I)
+      Indices.push_back(assignSlot(Op->getOperand(I)));
+    Out.push_back([Src, Mem, Indices](Frame &F) {
+      ++F.OpCount;
+      Buffer &B = F.Bufs[Mem.Index];
+      int64_t Linear = B.Offset;
+      for (size_t I = 0; I < Indices.size(); ++I)
+        Linear += F.Ints[Indices[I].Index] * B.Strides[I];
+      (*B.Data)[Linear] = F.Floats[Src.Index];
+    });
+    return success();
+  }
+
+  if (Name == "memref.subview") {
+    Slot Src = assignSlot(Op->getOperand(0));
+    Slot Dst = assignSlot(Op->getResult(0));
+    std::vector<int64_t> Offsets =
+        Op->getAttrOfType<ArrayAttr>("static_offsets").getAsIntegers();
+    std::vector<int64_t> Sizes =
+        Op->getAttrOfType<ArrayAttr>("static_sizes").getAsIntegers();
+    std::vector<int64_t> Strides =
+        Op->getAttrOfType<ArrayAttr>("static_strides").getAsIntegers();
+    std::vector<Slot> DynSlots;
+    for (unsigned I = 1; I < Op->getNumOperands(); ++I)
+      DynSlots.push_back(assignSlot(Op->getOperand(I)));
+    Out.push_back([Src, Dst, Offsets, Sizes, Strides, DynSlots](Frame &F) {
+      ++F.OpCount;
+      Buffer &In = F.Bufs[Src.Index];
+      Buffer Result;
+      Result.Data = In.Data;
+      size_t Dyn = 0;
+      auto Resolve = [&](int64_t V) {
+        return V == kDynamic ? F.Ints[DynSlots[Dyn++].Index] : V;
+      };
+      Result.Offset = In.Offset;
+      std::vector<int64_t> Off(Offsets.size());
+      for (size_t I = 0; I < Offsets.size(); ++I)
+        Off[I] = Resolve(Offsets[I]);
+      std::vector<int64_t> Sz(Sizes.size());
+      for (size_t I = 0; I < Sizes.size(); ++I)
+        Sz[I] = Resolve(Sizes[I]);
+      std::vector<int64_t> St(Strides.size());
+      for (size_t I = 0; I < Strides.size(); ++I)
+        St[I] = Resolve(Strides[I]);
+      for (size_t I = 0; I < Off.size(); ++I)
+        Result.Offset += Off[I] * In.Strides[I];
+      Result.Sizes = Sz;
+      Result.Strides.resize(St.size());
+      for (size_t I = 0; I < St.size(); ++I)
+        Result.Strides[I] = St[I] * In.Strides[I];
+      F.Bufs[Dst.Index] = std::move(Result);
+    });
+    return success();
+  }
+
+  if (Name == "memref.copy") {
+    Slot Src = assignSlot(Op->getOperand(0));
+    Slot Dst = assignSlot(Op->getOperand(1));
+    Out.push_back([Src, Dst](Frame &F) {
+      ++F.OpCount;
+      Buffer &In = F.Bufs[Src.Index];
+      Buffer &OutB = F.Bufs[Dst.Index];
+      *OutB.Data = *In.Data;
+    });
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Control flow
+  //===--------------------------------------------------------------------===//
+
+  if (Name == "scf.for") {
+    Slot Lb = assignSlot(Op->getOperand(0));
+    Slot Ub = assignSlot(Op->getOperand(1));
+    Slot Step = assignSlot(Op->getOperand(2));
+    Block *Body = scf::getLoopBody(Op);
+    Slot Iv = assignSlot(Body->getArgument(0));
+    auto BodyProgram = std::make_shared<Program>();
+    if (failed(compileBlock(*Body, *BodyProgram)))
+      return failure();
+    Out.push_back([Lb, Ub, Step, Iv, BodyProgram](Frame &F) {
+      int64_t Hi = F.Ints[Ub.Index], St = F.Ints[Step.Index];
+      for (int64_t I = F.Ints[Lb.Index]; I < Hi; I += St) {
+        ++F.OpCount;
+        F.Ints[Iv.Index] = I;
+        for (const CompiledOp &Fn : *BodyProgram)
+          Fn(F);
+      }
+    });
+    return success();
+  }
+
+  if (Name == "scf.forall") {
+    std::vector<int64_t> Lbs =
+        Op->getAttrOfType<ArrayAttr>("lowerBound").getAsIntegers();
+    std::vector<int64_t> Ubs =
+        Op->getAttrOfType<ArrayAttr>("upperBound").getAsIntegers();
+    Block *Body = &Op->getRegion(0).front();
+    std::vector<Slot> Ivs;
+    for (Value Arg : Body->getArguments())
+      Ivs.push_back(assignSlot(Arg));
+    auto BodyProgram = std::make_shared<Program>();
+    if (failed(compileBlock(*Body, *BodyProgram)))
+      return failure();
+    Out.push_back([Lbs, Ubs, Ivs, BodyProgram](Frame &F) {
+      std::vector<int64_t> Current = Lbs;
+      while (true) {
+        ++F.OpCount;
+        for (size_t I = 0; I < Ivs.size(); ++I)
+          F.Ints[Ivs[I].Index] = Current[I];
+        for (const CompiledOp &Fn : *BodyProgram)
+          Fn(F);
+        // Odometer increment.
+        size_t D = Current.size();
+        while (D > 0) {
+          --D;
+          if (++Current[D] < Ubs[D])
+            break;
+          if (D == 0)
+            return;
+          Current[D] = Lbs[D];
+        }
+      }
+    });
+    return success();
+  }
+
+  if (Name == "scf.if") {
+    Slot Cond = assignSlot(Op->getOperand(0));
+    auto ThenProgram = std::make_shared<Program>();
+    auto ElseProgram = std::make_shared<Program>();
+    if (!Op->getRegion(0).empty() &&
+        failed(compileBlock(Op->getRegion(0).front(), *ThenProgram)))
+      return failure();
+    if (Op->getNumRegions() > 1 && !Op->getRegion(1).empty() &&
+        failed(compileBlock(Op->getRegion(1).front(), *ElseProgram)))
+      return failure();
+    Out.push_back([Cond, ThenProgram, ElseProgram](Frame &F) {
+      ++F.OpCount;
+      const Program &P = F.Ints[Cond.Index] ? *ThenProgram : *ElseProgram;
+      for (const CompiledOp &Fn : P)
+        Fn(F);
+    });
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls and microkernels
+  //===--------------------------------------------------------------------===//
+
+  if (Name == "func.call") {
+    std::string Callee(
+        Op->getAttrOfType<SymbolRefAttr>("callee").getValue());
+    std::vector<Slot> Args;
+    for (Value Operand : Op->getOperands())
+      Args.push_back(assignSlot(Operand));
+    std::vector<Slot> Results;
+    for (Value Result : Op->getResults())
+      Results.push_back(assignSlot(Result));
+    Executor::Impl *OwnerPtr = &Owner;
+    Out.push_back([OwnerPtr, Callee, Args, Results](Frame &F) {
+      ++F.OpCount;
+      auto FnOrErr = OwnerPtr->compile(Callee);
+      if (failed(FnOrErr))
+        return;
+      std::vector<RuntimeValue> CallArgs;
+      for (Slot S : Args) {
+        switch (S.Kind) {
+        case Slot::Kind::Int:
+          CallArgs.push_back(RuntimeValue::makeInt(F.Ints[S.Index]));
+          break;
+        case Slot::Kind::Float:
+          CallArgs.push_back(RuntimeValue::makeFloat(F.Floats[S.Index]));
+          break;
+        case Slot::Kind::Mem:
+          CallArgs.push_back(RuntimeValue::makeBuffer(F.Bufs[S.Index]));
+          break;
+        }
+      }
+      int64_t Nested = 0;
+      auto ResultsOrErr =
+          OwnerPtr->invoke(**FnOrErr, std::move(CallArgs), Nested);
+      F.OpCount += Nested;
+      if (failed(ResultsOrErr))
+        return;
+      for (size_t I = 0; I < Results.size() && I < ResultsOrErr->size();
+           ++I) {
+        const RuntimeValue &V = (*ResultsOrErr)[I];
+        switch (Results[I].Kind) {
+        case Slot::Kind::Int:
+          F.Ints[Results[I].Index] = V.I;
+          break;
+        case Slot::Kind::Float:
+          F.Floats[Results[I].Index] = V.F;
+          break;
+        case Slot::Kind::Mem:
+          F.Bufs[Results[I].Index] = V.Mem;
+          break;
+        }
+      }
+    });
+    return success();
+  }
+
+  if (Name == "xsmm.matmul") {
+    std::vector<Slot> Operands;
+    for (Value Operand : Op->getOperands())
+      Operands.push_back(assignSlot(Operand));
+    std::vector<int64_t> PrefixCounts =
+        Op->getAttrOfType<ArrayAttr>("prefix_counts").getAsIntegers();
+    Out.push_back([Operands, PrefixCounts](Frame &F) {
+      ++F.OpCount;
+      Buffer &A = F.Bufs[Operands[0].Index];
+      Buffer &B = F.Bufs[Operands[1].Index];
+      Buffer &C = F.Bufs[Operands[2].Index];
+      auto IntAt = [&](size_t I) { return F.Ints[Operands[I].Index]; };
+      size_t Base = 9;
+      std::vector<int64_t> Pa, Pb, Pc;
+      for (int64_t I = 0; I < PrefixCounts[0]; ++I)
+        Pa.push_back(IntAt(Base++));
+      for (int64_t I = 0; I < PrefixCounts[1]; ++I)
+        Pb.push_back(IntAt(Base++));
+      for (int64_t I = 0; I < PrefixCounts[2]; ++I)
+        Pc.push_back(IntAt(Base++));
+      xsmmMatmulKernel(A, B, C, IntAt(3), IntAt(4), IntAt(5), IntAt(6),
+                       IntAt(7), IntAt(8), Pa, Pb, Pc);
+    });
+    return success();
+  }
+
+  (void)Ctx;
+  return Op->emitOpError() << "executor: unsupported operation";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Executor
+//===----------------------------------------------------------------------===//
+
+FailureOr<std::shared_ptr<CompiledFunction>>
+Executor::Impl::compile(std::string_view Name) {
+  auto It = Cache.find(std::string(Name));
+  if (It != Cache.end())
+    return It->second;
+  Operation *Func = lookupSymbol(Module, Name);
+  if (!Func || Func->getName() != "func.func")
+    return Module->emitError()
+           << "executor: no function '" << Name << "' in the module";
+  FunctionCompiler Compiler(*this, Func);
+  auto Compiled = Compiler.compile();
+  if (failed(Compiled))
+    return failure();
+  Cache[std::string(Name)] = *Compiled;
+  return *Compiled;
+}
+
+FailureOr<std::vector<RuntimeValue>>
+Executor::Impl::invoke(const CompiledFunction &Fn,
+                       std::vector<RuntimeValue> Args, int64_t &OpCount) {
+  if (Args.size() != Fn.ArgSlots.size())
+    return Module->emitError() << "executor: argument count mismatch";
+  Frame F;
+  F.Ints.resize(Fn.NumInts);
+  F.Floats.resize(Fn.NumFloats);
+  F.Bufs.resize(Fn.NumBufs);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const Slot &S = Fn.ArgSlots[I];
+    switch (S.Kind) {
+    case Slot::Kind::Int:
+      F.Ints[S.Index] = Args[I].I;
+      break;
+    case Slot::Kind::Float:
+      F.Floats[S.Index] = Args[I].F;
+      break;
+    case Slot::Kind::Mem:
+      F.Bufs[S.Index] = Args[I].Mem;
+      break;
+    }
+  }
+  for (const CompiledOp &Op : Fn.Body)
+    Op(F);
+  std::vector<RuntimeValue> Results;
+  for (const Slot &S : Fn.ResultSlots) {
+    switch (S.Kind) {
+    case Slot::Kind::Int:
+      Results.push_back(RuntimeValue::makeInt(F.Ints[S.Index]));
+      break;
+    case Slot::Kind::Float:
+      Results.push_back(RuntimeValue::makeFloat(F.Floats[S.Index]));
+      break;
+    case Slot::Kind::Mem:
+      Results.push_back(RuntimeValue::makeBuffer(F.Bufs[S.Index]));
+      break;
+    }
+  }
+  OpCount = F.OpCount;
+  return Results;
+}
+
+Executor::Executor(Operation *Module) : TheImpl(std::make_unique<Impl>()) {
+  TheImpl->Module = Module;
+}
+
+Executor::~Executor() = default;
+
+FailureOr<std::vector<RuntimeValue>>
+Executor::run(std::string_view Name, std::vector<RuntimeValue> Args) {
+  auto Fn = TheImpl->compile(Name);
+  if (failed(Fn))
+    return failure();
+  int64_t OpCount = 0;
+  auto Result = TheImpl->invoke(**Fn, std::move(Args), OpCount);
+  TheImpl->LastOpCount = OpCount;
+  return Result;
+}
+
+int64_t Executor::getLastOpCount() const { return TheImpl->LastOpCount; }

@@ -1,0 +1,69 @@
+//===- Workloads.h - Benchmark payload generators ----------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Payload generators substituting for the paper's proprietary inputs:
+/// synthetic TOSA models with the exact op counts of Table 1, the batch
+/// matmul of Sections 4.4/4.5, and the StableHLO model + peephole pattern
+/// corpus (with one deliberately counter-productive pattern) of Case
+/// Study 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_EXEC_WORKLOADS_H
+#define TDL_EXEC_WORKLOADS_H
+
+#include "ir/IR.h"
+#include "rewrite/Rewriter.h"
+
+#include <string>
+#include <vector>
+
+namespace tdl {
+namespace workloads {
+
+/// Builds a module holding one function with exactly \p NumOps operations
+/// in its body (terminator excluded), mixing TOSA compute, shape, and
+/// constant ops the Table 1 pipeline exercises. Deterministic per seed.
+OwningOpRef buildSyntheticTosaModel(Context &Ctx, int64_t NumOps,
+                                    uint64_t Seed,
+                                    std::string_view FuncName = "main");
+
+/// The Table 1 / Section 4.1 TOSA->Linalg pipeline, in the textual syntax
+/// accepted by parsePassPipeline.
+std::string getTosaPipeline();
+
+/// Builds `@bmm(A: BxMxK, B: BxKxN, C: BxMxN)` performing C += A*B as a
+/// linalg.batch_matmul already lowered to an scf loop nest (the payload of
+/// Sections 4.4/4.5).
+OwningOpRef buildBatchMatmulModule(Context &Ctx, int64_t B, int64_t M,
+                                   int64_t N, int64_t K);
+
+/// Builds the StableHLO model of Case Study 3: layers containing the motifs
+/// the peephole corpus targets (zero-pads, transposes feeding matmuls and
+/// full reductions, double negations, ...).
+OwningOpRef buildStableHloModel(Context &Ctx, int64_t NumLayers,
+                                uint64_t Seed);
+
+/// Registers the Case Study 3 pattern corpus as transform pattern ops
+/// (`transform.pattern.<name>`), including the counter-productive
+/// "fold_transpose_into_reduce" pattern. Returns all pattern names in
+/// registration order.
+std::vector<std::string> registerHloPatternCorpus(Context &Ctx);
+
+/// The name of the deliberately counter-productive pattern.
+std::string_view getCounterproductivePatternName();
+
+/// XLA-fusion-style cost model: estimated execution cost of an HLO module.
+/// Folding a transpose/reshape into a full reduce reduces op count but
+/// produces larger, less cache-efficient "fusion clusters", which this
+/// model penalizes (the effect Case Study 3 chases).
+double estimateHloExecutionCost(Operation *Module);
+
+} // namespace workloads
+} // namespace tdl
+
+#endif // TDL_EXEC_WORKLOADS_H

@@ -1,0 +1,171 @@
+//===- Builder.h - IR construction helpers ----------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `OpBuilder` maintains an insertion point and creates operations at it,
+/// mirroring MLIR's builder API. Convenience getters are provided for the
+/// common types and attributes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_IR_BUILDER_H
+#define TDL_IR_BUILDER_H
+
+#include "ir/IR.h"
+
+namespace tdl {
+
+class OpBuilder {
+public:
+  explicit OpBuilder(Context &Ctx) : Ctx(&Ctx) {}
+
+  static OpBuilder atBlockBegin(Block *B) {
+    OpBuilder Builder(B->getParentOp()->getContext());
+    Builder.setInsertionPointToStart(B);
+    return Builder;
+  }
+  static OpBuilder atBlockEnd(Block *B) {
+    OpBuilder Builder(B->getParentOp()->getContext());
+    Builder.setInsertionPointToEnd(B);
+    return Builder;
+  }
+
+  Context &getContext() const { return *Ctx; }
+
+  //===--------------------------------------------------------------------===//
+  // Insertion point management
+  //===--------------------------------------------------------------------===//
+
+  void clearInsertionPoint() { InsertBlock = nullptr; }
+  void setInsertionPoint(Block *B, Block::iterator It) {
+    InsertBlock = B;
+    InsertPt = It;
+  }
+  /// Inserts right before \p Op.
+  void setInsertionPoint(Operation *Op) {
+    setInsertionPoint(Op->getBlock(), Op->getBlockIterator());
+  }
+  /// Inserts right after \p Op.
+  void setInsertionPointAfter(Operation *Op) {
+    auto It = Op->getBlockIterator();
+    ++It;
+    setInsertionPoint(Op->getBlock(), It);
+  }
+  void setInsertionPointToStart(Block *B) {
+    setInsertionPoint(B, B->begin());
+  }
+  void setInsertionPointToEnd(Block *B) { setInsertionPoint(B, B->end()); }
+
+  Block *getInsertionBlock() const { return InsertBlock; }
+  Block::iterator getInsertionPoint() const { return InsertPt; }
+
+  /// RAII helper restoring the insertion point on scope exit.
+  class InsertionGuard {
+  public:
+    explicit InsertionGuard(OpBuilder &Builder)
+        : Builder(Builder), SavedBlock(Builder.InsertBlock),
+          SavedPoint(Builder.InsertPt) {}
+    ~InsertionGuard() {
+      Builder.InsertBlock = SavedBlock;
+      Builder.InsertPt = SavedPoint;
+    }
+
+  private:
+    OpBuilder &Builder;
+    Block *SavedBlock;
+    Block::iterator SavedPoint;
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Creation
+  //===--------------------------------------------------------------------===//
+
+  /// Creates an op from \p State and inserts it at the insertion point
+  /// (if one is set).
+  Operation *create(const OperationState &State) {
+    Operation *Op = Operation::create(*Ctx, State);
+    return insert(Op);
+  }
+
+  /// Shorthand creation without building an OperationState by hand.
+  Operation *create(Location Loc, std::string_view Name,
+                    std::vector<Value> Operands = {},
+                    std::vector<Type> ResultTypes = {},
+                    std::vector<NamedAttribute> Attributes = {},
+                    unsigned NumRegions = 0,
+                    std::vector<Block *> Successors = {}) {
+    OperationState State(Loc, Name);
+    State.Operands = std::move(Operands);
+    State.ResultTypes = std::move(ResultTypes);
+    State.Attributes = std::move(Attributes);
+    State.NumRegions = NumRegions;
+    State.Successors = std::move(Successors);
+    return create(State);
+  }
+
+  /// Inserts a detached op at the insertion point and advances past it.
+  Operation *insert(Operation *Op) {
+    if (InsertBlock) {
+      InsertBlock->insert(InsertPt, Op);
+      // Keep inserting after the new op.
+      InsertPt = Op->getBlockIterator();
+      ++InsertPt;
+    }
+    return Op;
+  }
+
+  /// Clones \p Op (deep) and inserts the clone at the insertion point.
+  Operation *clone(const Operation &Op, IRMapping &Mapping) {
+    return insert(Op.clone(Mapping));
+  }
+
+  /// Creates an empty block at the end of \p Parent with given arg types.
+  Block *createBlock(Region *Parent, const std::vector<Type> &ArgTypes = {}) {
+    Block *B = Parent->addBlock();
+    for (Type Ty : ArgTypes)
+      B->addArgument(Ty);
+    setInsertionPointToStart(B);
+    return B;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Common types and attributes
+  //===--------------------------------------------------------------------===//
+
+  Type getIndexType() { return IndexType::get(*Ctx); }
+  Type getI1Type() { return IntegerType::get(*Ctx, 1); }
+  Type getI32Type() { return IntegerType::get(*Ctx, 32); }
+  Type getI64Type() { return IntegerType::get(*Ctx, 64); }
+  Type getF32Type() { return FloatType::getF32(*Ctx); }
+  Type getF64Type() { return FloatType::getF64(*Ctx); }
+
+  IntegerAttr getIndexAttr(int64_t Value) {
+    return IntegerAttr::getIndex(*Ctx, Value);
+  }
+  IntegerAttr getI64Attr(int64_t Value) {
+    return IntegerAttr::get(*Ctx, Value, getI64Type());
+  }
+  FloatAttr getF64Attr(double Value) {
+    return FloatAttr::get(*Ctx, Value, getF64Type());
+  }
+  StringAttr getStringAttr(std::string_view Value) {
+    return StringAttr::get(*Ctx, Value);
+  }
+  UnitAttr getUnitAttr() { return UnitAttr::get(*Ctx); }
+  BoolAttr getBoolAttr(bool Value) { return BoolAttr::get(*Ctx, Value); }
+  ArrayAttr getIndexArrayAttr(const std::vector<int64_t> &Values) {
+    return ArrayAttr::getIndexArray(*Ctx, Values);
+  }
+
+private:
+  Context *Ctx;
+  Block *InsertBlock = nullptr;
+  Block::iterator InsertPt;
+};
+
+} // namespace tdl
+
+#endif // TDL_IR_BUILDER_H

@@ -1,0 +1,121 @@
+//===- Context.cpp - IR context: uniquing and registration ------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+
+using namespace tdl;
+
+Context::Context() = default;
+Context::~Context() = default;
+
+Dialect *Context::registerDialect(std::string_view Name,
+                                  bool AllowsUnknownOps) {
+  auto [It, Inserted] = Dialects.try_emplace(std::string(Name));
+  if (Inserted) {
+    It->second.Name = std::string(Name);
+    It->second.AllowsUnknownOps = AllowsUnknownOps;
+  } else if (AllowsUnknownOps) {
+    It->second.AllowsUnknownOps = true;
+  }
+  return &It->second;
+}
+
+Dialect *Context::getDialect(std::string_view Name) {
+  auto It = Dialects.find(std::string(Name));
+  return It == Dialects.end() ? nullptr : &It->second;
+}
+
+const OpInfo *Context::registerOp(OpInfo Info) {
+  assert(Info.Name.find('.') != std::string::npos &&
+         "op name must be dialect-qualified");
+  registerDialect(Info.getDialectName());
+  std::string Name = Info.Name;
+  OpInfo &Slot = Ops[Name];
+  Slot = std::move(Info);
+  return &Slot;
+}
+
+const OpInfo *Context::lookupOpInfo(std::string_view Name) const {
+  auto It = Ops.find(Name);
+  return It == Ops.end() ? nullptr : &It->second;
+}
+
+const OpInfo *Context::getOrCreateOpInfo(std::string_view Name) {
+  if (const OpInfo *Info = lookupOpInfo(Name))
+    return Info;
+
+  auto DotPos = Name.find('.');
+  if (DotPos == std::string_view::npos)
+    return nullptr;
+  Dialect *OwningDialect = getDialect(Name.substr(0, DotPos));
+  bool Permissive =
+      AllowUnregisteredOps || (OwningDialect && OwningDialect->AllowsUnknownOps);
+  if (!Permissive)
+    return nullptr;
+
+  OpInfo Synth;
+  Synth.Name = std::string(Name);
+  Synth.IsUnregistered = true;
+  auto [It, Inserted] = Ops.try_emplace(Synth.Name, std::move(Synth));
+  (void)Inserted;
+  return &It->second;
+}
+
+std::vector<std::string> Context::getRegisteredOpNames() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Info] : Ops)
+    if (!Info.IsUnregistered)
+      Names.push_back(Name);
+  return Names;
+}
+
+const TypeStorage *Context::uniqueType(
+    const std::string &Key,
+    const std::function<std::unique_ptr<TypeStorage>()> &Make) {
+  auto It = TypePool.find(Key);
+  if (It != TypePool.end())
+    return It->second.get();
+  auto Storage = Make();
+  const TypeStorage *Result = Storage.get();
+  TypePool.emplace(Key, std::move(Storage));
+  return Result;
+}
+
+const AttrStorage *Context::uniqueAttr(
+    const std::string &Key,
+    const std::function<std::unique_ptr<AttrStorage>()> &Make) {
+  auto It = AttrPool.find(Key);
+  if (It != AttrPool.end())
+    return It->second.get();
+  auto Storage = Make();
+  const AttrStorage *Result = Storage.get();
+  AttrPool.emplace(Key, std::move(Storage));
+  return Result;
+}
+
+const AffineExprStorage *Context::uniqueAffineExpr(
+    const std::string &Key,
+    const std::function<std::unique_ptr<AffineExprStorage>()> &Make) {
+  auto It = AffineExprPool.find(Key);
+  if (It != AffineExprPool.end())
+    return It->second.get();
+  auto Storage = Make();
+  const AffineExprStorage *Result = Storage.get();
+  AffineExprPool.emplace(Key, std::move(Storage));
+  return Result;
+}
+
+const AffineMapStorage *Context::uniqueAffineMap(
+    const std::string &Key,
+    const std::function<std::unique_ptr<AffineMapStorage>()> &Make) {
+  auto It = AffineMapPool.find(Key);
+  if (It != AffineMapPool.end())
+    return It->second.get();
+  auto Storage = Make();
+  const AffineMapStorage *Result = Storage.get();
+  AffineMapPool.emplace(Key, std::move(Storage));
+  return Result;
+}

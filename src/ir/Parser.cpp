@@ -1,0 +1,1070 @@
+//===- Parser.cpp - Textual IR parsing ----------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "support/STLExtras.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+using namespace tdl;
+
+namespace {
+
+/// Character-level recursive-descent parser for the generic op format.
+class Parser {
+public:
+  Parser(Context &Ctx, std::string_view Source, std::string_view BufferName)
+      : Ctx(Ctx), Source(Source), BufferName(BufferName) {}
+
+  Operation *parseTopLevelOp() {
+    pushScope();
+    Operation *Op = parseOperation(/*DestBlock=*/nullptr);
+    popScope();
+    if (!Op)
+      return nullptr;
+    skipWs();
+    if (!atEnd()) {
+      error("expected end of input after top-level operation");
+      Op->destroy();
+      return nullptr;
+    }
+    return Op;
+  }
+
+  Type parseTypeOnly() {
+    Type Ty = parseType();
+    if (!Ty)
+      return Type();
+    skipWs();
+    if (!atEnd()) {
+      error("expected end of input after type");
+      return Type();
+    }
+    return Ty;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Character-level helpers
+  //===--------------------------------------------------------------------===//
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+  char peekAt(size_t Offset) const {
+    return Pos + Offset >= Source.size() ? '\0' : Source[Pos + Offset];
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipWs() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peekAt(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  /// After whitespace, consumes \p Literal if it is next; returns success.
+  bool tryConsume(std::string_view Literal) {
+    skipWs();
+    if (Source.substr(Pos, Literal.size()) != Literal)
+      return false;
+    // Avoid consuming a prefix of a longer identifier.
+    if (!Literal.empty() &&
+        (std::isalnum(static_cast<unsigned char>(Literal.back())) ||
+         Literal.back() == '_')) {
+      char Next = peekAt(Literal.size());
+      if (std::isalnum(static_cast<unsigned char>(Next)) || Next == '_' ||
+          Next == '.')
+        return false;
+    }
+    for (size_t I = 0; I < Literal.size(); ++I)
+      advance();
+    return true;
+  }
+
+  LogicalResult expect(std::string_view Literal) {
+    if (tryConsume(Literal))
+      return success();
+    return error("expected '" + std::string(Literal) + "'");
+  }
+
+  LogicalResult error(std::string_view Message) {
+    Ctx.emitError(Location::get(BufferName, Line, Col)) << Message;
+    return failure();
+  }
+
+  static bool isIdentStart(char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  }
+  static bool isIdentBody(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '.' || C == '$';
+  }
+
+  /// Parses a bare identifier such as `sym_name` or `scf.for`.
+  std::string parseBareId() {
+    skipWs();
+    if (!isIdentStart(peek()))
+      return {};
+    std::string Id;
+    while (!atEnd() && isIdentBody(peek()))
+      Id += advance();
+    return Id;
+  }
+
+  /// Parses `%name` style suffixed identifiers (after the sigil).
+  std::string parseSuffixId() {
+    std::string Id;
+    while (!atEnd() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+      Id += advance();
+    return Id;
+  }
+
+  bool parseOptionalInt(int64_t &Value) {
+    skipWs();
+    size_t Start = Pos;
+    bool Negative = false;
+    if (peek() == '-' &&
+        std::isdigit(static_cast<unsigned char>(peekAt(1)))) {
+      advance();
+      Negative = true;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      Pos = Start;
+      return false;
+    }
+    int64_t Magnitude = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Magnitude = Magnitude * 10 + (advance() - '0');
+    Value = Negative ? -Magnitude : Magnitude;
+    return true;
+  }
+
+  LogicalResult parseString(std::string &Value) {
+    skipWs();
+    if (peek() != '"')
+      return error("expected string literal");
+    advance();
+    Value.clear();
+    while (!atEnd() && peek() != '"') {
+      char C = advance();
+      if (C == '\\' && !atEnd()) {
+        char Escaped = advance();
+        switch (Escaped) {
+        case 'n':
+          Value += '\n';
+          break;
+        case 't':
+          Value += '\t';
+          break;
+        default:
+          Value += Escaped;
+        }
+        continue;
+      }
+      Value += C;
+    }
+    if (atEnd())
+      return error("unterminated string literal");
+    advance(); // closing quote
+    return success();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Value and block scoping
+  //===--------------------------------------------------------------------===//
+
+  void pushScope() { ValueScopes.emplace_back(); }
+  void popScope() { ValueScopes.pop_back(); }
+
+  void defineValue(const std::string &Name, Value V) {
+    ValueScopes.back()[Name] = V;
+  }
+
+  Value lookupValue(const std::string &Name) {
+    for (auto It = ValueScopes.rbegin(); It != ValueScopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return Value();
+  }
+
+  /// Per-region block label resolution with forward references.
+  struct RegionScope {
+    Region *TheRegion;
+    std::map<std::string, Block *> Labels;
+    std::map<std::string, std::unique_ptr<Block>> Pending;
+  };
+
+  Block *getOrCreateBlock(RegionScope &Scope, const std::string &Label) {
+    auto It = Scope.Labels.find(Label);
+    if (It != Scope.Labels.end())
+      return It->second;
+    auto Pending = std::make_unique<Block>();
+    Block *Result = Pending.get();
+    Scope.Labels[Label] = Result;
+    Scope.Pending[Label] = std::move(Pending);
+    return Result;
+  }
+
+  /// Attaches the block for \p Label to the region (defining it).
+  Block *defineBlock(RegionScope &Scope, const std::string &Label) {
+    auto PendingIt = Scope.Pending.find(Label);
+    if (PendingIt != Scope.Pending.end()) {
+      std::unique_ptr<Block> Owned = std::move(PendingIt->second);
+      Scope.Pending.erase(PendingIt);
+      return Scope.TheRegion->insertBlockBefore(nullptr, std::move(Owned));
+    }
+    if (Scope.Labels.count(Label)) {
+      error("redefinition of block label '^" + Label + "'");
+      return nullptr;
+    }
+    Block *Result = Scope.TheRegion->addBlock();
+    Scope.Labels[Label] = Result;
+    return Result;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------------===//
+
+  Type parseType() {
+    skipWs();
+    if (peek() == '(')
+      return parseFunctionType();
+    if (peek() == '!')
+      return parseTransformType();
+    std::string Id = parseBareId();
+    if (Id.empty()) {
+      error("expected type");
+      return Type();
+    }
+    if (Id == "index")
+      return IndexType::get(Ctx);
+    if (Id == "none")
+      return NoneType::get(Ctx);
+    if (Id.size() > 1 && (Id[0] == 'i' || Id[0] == 'f')) {
+      bool AllDigits = true;
+      for (size_t I = 1; I < Id.size(); ++I)
+        AllDigits &= std::isdigit(static_cast<unsigned char>(Id[I])) != 0;
+      if (AllDigits) {
+        unsigned Width = std::atoi(Id.c_str() + 1);
+        if (Id[0] == 'i')
+          return IntegerType::get(Ctx, Width);
+        if (Width == 32 || Width == 64)
+          return FloatType::get(Ctx, Width);
+        error("unsupported float width f" + std::to_string(Width));
+        return Type();
+      }
+    }
+    if (Id == "memref")
+      return parseMemRefType();
+    if (Id == "tensor")
+      return parseTensorType();
+    error("unknown type '" + Id + "'");
+    return Type();
+  }
+
+  /// Parses `NxMx...x` dims; stops when the next token is not a dimension.
+  LogicalResult parseShape(std::vector<int64_t> &Shape) {
+    while (true) {
+      skipWs();
+      char C = peek();
+      int64_t Dim;
+      if (C == '?') {
+        advance();
+        Dim = kDynamic;
+      } else if (std::isdigit(static_cast<unsigned char>(C))) {
+        parseOptionalInt(Dim);
+      } else {
+        return success();
+      }
+      Shape.push_back(Dim);
+      if (peek() != 'x')
+        return error("expected 'x' after dimension");
+      advance();
+    }
+  }
+
+  Type parseMemRefType() {
+    if (failed(expect("<")))
+      return Type();
+    std::vector<int64_t> Shape;
+    if (failed(parseShape(Shape)))
+      return Type();
+    Type ElementType = parseType();
+    if (!ElementType)
+      return Type();
+    if (tryConsume(",")) {
+      if (failed(expect("strided")) || failed(expect("<")) ||
+          failed(expect("[")))
+        return Type();
+      std::vector<int64_t> Strides;
+      if (!tryConsume("]")) {
+        do {
+          int64_t Stride;
+          skipWs();
+          if (peek() == '?') {
+            advance();
+            Stride = kDynamic;
+          } else if (!parseOptionalInt(Stride)) {
+            error("expected stride");
+            return Type();
+          }
+          Strides.push_back(Stride);
+        } while (tryConsume(","));
+        if (failed(expect("]")))
+          return Type();
+      }
+      if (failed(expect(",")) || failed(expect("offset")) ||
+          failed(expect(":")))
+        return Type();
+      int64_t Offset;
+      skipWs();
+      if (peek() == '?') {
+        advance();
+        Offset = kDynamic;
+      } else if (!parseOptionalInt(Offset)) {
+        error("expected offset");
+        return Type();
+      }
+      if (failed(expect(">")) || failed(expect(">")))
+        return Type();
+      return MemRefType::getStrided(Ctx, std::move(Shape), ElementType, Offset,
+                                    std::move(Strides));
+    }
+    if (failed(expect(">")))
+      return Type();
+    return MemRefType::get(Ctx, std::move(Shape), ElementType);
+  }
+
+  Type parseTensorType() {
+    if (failed(expect("<")))
+      return Type();
+    std::vector<int64_t> Shape;
+    if (failed(parseShape(Shape)))
+      return Type();
+    Type ElementType = parseType();
+    if (!ElementType || failed(expect(">")))
+      return Type();
+    return TensorType::get(Ctx, std::move(Shape), ElementType);
+  }
+
+  Type parseFunctionType() {
+    if (failed(expect("(")))
+      return Type();
+    std::vector<Type> Inputs;
+    if (!tryConsume(")")) {
+      do {
+        Type Input = parseType();
+        if (!Input)
+          return Type();
+        Inputs.push_back(Input);
+      } while (tryConsume(","));
+      if (failed(expect(")")))
+        return Type();
+    }
+    if (failed(expect("->")))
+      return Type();
+    std::vector<Type> Results;
+    skipWs();
+    if (peek() == '(') {
+      advance();
+      if (!tryConsume(")")) {
+        do {
+          Type Result = parseType();
+          if (!Result)
+            return Type();
+          Results.push_back(Result);
+        } while (tryConsume(","));
+        if (failed(expect(")")))
+          return Type();
+      }
+    } else {
+      Type Result = parseType();
+      if (!Result)
+        return Type();
+      Results.push_back(Result);
+    }
+    return FunctionType::get(Ctx, std::move(Inputs), std::move(Results));
+  }
+
+  Type parseTransformType() {
+    if (tryConsume("!transform.any_op"))
+      return TransformAnyOpType::get(Ctx);
+    if (tryConsume("!transform.param"))
+      return TransformParamType::get(Ctx);
+    if (tryConsume("!transform.op")) {
+      if (failed(expect("<")))
+        return Type();
+      std::string OpName;
+      if (failed(parseString(OpName)) || failed(expect(">")))
+        return Type();
+      return TransformOpType::get(Ctx, OpName);
+    }
+    error("unknown '!' type");
+    return Type();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Attributes
+  //===--------------------------------------------------------------------===//
+
+  Attribute parseAttribute() {
+    skipWs();
+    char C = peek();
+    if (C == '"') {
+      std::string Value;
+      if (failed(parseString(Value)))
+        return Attribute();
+      return StringAttr::get(Ctx, Value);
+    }
+    if (C == '@') {
+      advance();
+      std::string Name = parseBareId();
+      if (Name.empty()) {
+        error("expected symbol name after '@'");
+        return Attribute();
+      }
+      return SymbolRefAttr::get(Ctx, Name);
+    }
+    if (C == '[') {
+      advance();
+      std::vector<Attribute> Elements;
+      if (!tryConsume("]")) {
+        do {
+          Attribute Element = parseAttribute();
+          if (!Element)
+            return Attribute();
+          Elements.push_back(Element);
+        } while (tryConsume(","));
+        if (failed(expect("]")))
+          return Attribute();
+      }
+      return ArrayAttr::get(Ctx, std::move(Elements));
+    }
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return parseNumberAttr();
+    if (C == '(' || C == '!')
+      return parseTypeAttrTail();
+
+    // Keyword-led attributes.
+    size_t Save = Pos;
+    unsigned SaveLine = Line, SaveCol = Col;
+    std::string Id = parseBareId();
+    if (Id == "true")
+      return BoolAttr::get(Ctx, true);
+    if (Id == "false")
+      return BoolAttr::get(Ctx, false);
+    if (Id == "unit")
+      return UnitAttr::get(Ctx);
+    if (Id == "dense")
+      return parseDenseAttr();
+    if (Id == "affine_map")
+      return parseAffineMapAttr();
+    // Otherwise treat as a type attribute (e.g. `index`, `memref<...>`).
+    Pos = Save;
+    Line = SaveLine;
+    Col = SaveCol;
+    return parseTypeAttrTail();
+  }
+
+  Attribute parseTypeAttrTail() {
+    Type Ty = parseType();
+    if (!Ty)
+      return Attribute();
+    return TypeAttr::get(Ctx, Ty);
+  }
+
+  Attribute parseNumberAttr() {
+    skipWs();
+    size_t Start = Pos;
+    if (peek() == '-')
+      advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    bool IsFloat = false;
+    if (peek() == '.') {
+      IsFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Next = peekAt(1);
+      if (std::isdigit(static_cast<unsigned char>(Next)) || Next == '-' ||
+          Next == '+') {
+        IsFloat = true;
+        advance();
+        if (peek() == '-' || peek() == '+')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+    std::string Text(Source.substr(Start, Pos - Start));
+    if (IsFloat) {
+      double Value = std::strtod(Text.c_str(), nullptr);
+      Type Ty = FloatType::getF64(Ctx);
+      if (tryConsume(":")) {
+        Ty = parseType();
+        if (!Ty)
+          return Attribute();
+      }
+      if (!Ty.isFloat()) {
+        error("float literal requires float type");
+        return Attribute();
+      }
+      return FloatAttr::get(Ctx, Value, Ty);
+    }
+    int64_t Value = std::strtoll(Text.c_str(), nullptr, 10);
+    Type Ty = IntegerType::get(Ctx, 64);
+    if (tryConsume(":")) {
+      Ty = parseType();
+      if (!Ty)
+        return Attribute();
+    }
+    if (Ty.isFloat())
+      return FloatAttr::get(Ctx, static_cast<double>(Value), Ty);
+    if (!Ty.isIntOrIndex()) {
+      error("integer literal requires int/index type");
+      return Attribute();
+    }
+    return IntegerAttr::get(Ctx, Value, Ty);
+  }
+
+  Attribute parseDenseAttr() {
+    if (failed(expect("<")))
+      return Attribute();
+    std::vector<double> Values;
+    bool IsSplat = false;
+    skipWs();
+    if (peek() == '[') {
+      advance();
+      if (!tryConsume("]")) {
+        do {
+          double Value;
+          if (failed(parseDoubleLiteral(Value)))
+            return Attribute();
+          Values.push_back(Value);
+        } while (tryConsume(","));
+        if (failed(expect("]")))
+          return Attribute();
+      }
+    } else {
+      double Value;
+      if (failed(parseDoubleLiteral(Value)))
+        return Attribute();
+      Values.push_back(Value);
+      IsSplat = true;
+    }
+    if (failed(expect(">")) || failed(expect(":")))
+      return Attribute();
+    Type Ty = parseType();
+    if (!Ty)
+      return Attribute();
+    TensorType Tensor = Ty.dyn_cast<TensorType>();
+    if (!Tensor) {
+      error("dense attribute requires tensor type");
+      return Attribute();
+    }
+    if (IsSplat)
+      return DenseElementsAttr::getSplat(Ctx, Tensor, Values[0]);
+    return DenseElementsAttr::get(Ctx, Tensor, std::move(Values));
+  }
+
+  LogicalResult parseDoubleLiteral(double &Value) {
+    skipWs();
+    size_t Start = Pos;
+    if (peek() == '-')
+      advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.') {
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      advance();
+      if (peek() == '-' || peek() == '+')
+        advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (Pos == Start)
+      return error("expected numeric literal");
+    std::string Text(Source.substr(Start, Pos - Start));
+    Value = std::strtod(Text.c_str(), nullptr);
+    return success();
+  }
+
+  Attribute parseAffineMapAttr() {
+    if (failed(expect("<")))
+      return Attribute();
+    AffineMap Map = parseAffineMapBody();
+    if (!Map)
+      return Attribute();
+    if (failed(expect(">")))
+      return Attribute();
+    return AffineMapAttr::get(Ctx, Map);
+  }
+
+  AffineMap parseAffineMapBody() {
+    std::map<std::string, AffineExpr> Names;
+    unsigned NumDims = 0, NumSymbols = 0;
+    if (failed(expect("(")))
+      return AffineMap();
+    if (!tryConsume(")")) {
+      do {
+        std::string Name = parseBareId();
+        if (Name.empty()) {
+          error("expected dimension name");
+          return AffineMap();
+        }
+        Names[Name] = getAffineDimExpr(Ctx, NumDims++);
+      } while (tryConsume(","));
+      if (failed(expect(")")))
+        return AffineMap();
+    }
+    if (tryConsume("[")) {
+      if (!tryConsume("]")) {
+        do {
+          std::string Name = parseBareId();
+          if (Name.empty()) {
+            error("expected symbol name");
+            return AffineMap();
+          }
+          Names[Name] = getAffineSymbolExpr(Ctx, NumSymbols++);
+        } while (tryConsume(","));
+        if (failed(expect("]")))
+          return AffineMap();
+      }
+    }
+    if (failed(expect("->")) || failed(expect("(")))
+      return AffineMap();
+    std::vector<AffineExpr> Results;
+    if (!tryConsume(")")) {
+      do {
+        AffineExpr Expr = parseAffineExpr(Names);
+        if (!Expr)
+          return AffineMap();
+        Results.push_back(Expr);
+      } while (tryConsume(","));
+      if (failed(expect(")")))
+        return AffineMap();
+    }
+    return AffineMap::get(Ctx, NumDims, NumSymbols, std::move(Results));
+  }
+
+  AffineExpr parseAffineExpr(const std::map<std::string, AffineExpr> &Names) {
+    AffineExpr Lhs = parseAffineTerm(Names);
+    if (!Lhs)
+      return AffineExpr();
+    while (true) {
+      if (tryConsume("+")) {
+        AffineExpr Rhs = parseAffineTerm(Names);
+        if (!Rhs)
+          return AffineExpr();
+        Lhs = Lhs + Rhs;
+        continue;
+      }
+      if (tryConsume("-")) {
+        AffineExpr Rhs = parseAffineTerm(Names);
+        if (!Rhs)
+          return AffineExpr();
+        Lhs = Lhs - Rhs;
+        continue;
+      }
+      return Lhs;
+    }
+  }
+
+  AffineExpr parseAffineTerm(const std::map<std::string, AffineExpr> &Names) {
+    AffineExpr Lhs = parseAffineFactor(Names);
+    if (!Lhs)
+      return AffineExpr();
+    while (true) {
+      AffineExprKind Kind;
+      if (tryConsume("*"))
+        Kind = AffineExprKind::Mul;
+      else if (tryConsume("floordiv"))
+        Kind = AffineExprKind::FloorDiv;
+      else if (tryConsume("ceildiv"))
+        Kind = AffineExprKind::CeilDiv;
+      else if (tryConsume("mod"))
+        Kind = AffineExprKind::Mod;
+      else
+        return Lhs;
+      AffineExpr Rhs = parseAffineFactor(Names);
+      if (!Rhs)
+        return AffineExpr();
+      Lhs = getAffineBinaryExpr(Kind, Lhs, Rhs);
+    }
+  }
+
+  AffineExpr parseAffineFactor(const std::map<std::string, AffineExpr> &Names) {
+    skipWs();
+    if (tryConsume("(")) {
+      AffineExpr Expr = parseAffineExpr(Names);
+      if (!Expr || failed(expect(")")))
+        return AffineExpr();
+      return Expr;
+    }
+    int64_t Value;
+    if (parseOptionalInt(Value))
+      return getAffineConstantExpr(Ctx, Value);
+    std::string Id = parseBareId();
+    auto It = Names.find(Id);
+    if (It == Names.end()) {
+      error("unknown affine id '" + Id + "'");
+      return AffineExpr();
+    }
+    return It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Operations, regions, blocks
+  //===--------------------------------------------------------------------===//
+
+  /// Parses one operation. When \p DestBlock is set, the op is appended to
+  /// it; region scopes must already be active.
+  Operation *parseOperation(Block *DestBlock) {
+    skipWs();
+    // Optional result list.
+    std::vector<std::string> ResultNames;
+    if (peek() == '%') {
+      do {
+        skipWs();
+        if (peek() != '%') {
+          error("expected result name");
+          return nullptr;
+        }
+        advance();
+        ResultNames.push_back(parseSuffixId());
+      } while (tryConsume(","));
+      if (failed(expect("=")))
+        return nullptr;
+    }
+
+    unsigned OpLine = Line, OpCol = Col;
+    std::string OpName;
+    if (failed(parseString(OpName)))
+      return nullptr;
+
+    // Operands.
+    if (failed(expect("(")))
+      return nullptr;
+    std::vector<Value> Operands;
+    if (!tryConsume(")")) {
+      do {
+        skipWs();
+        if (peek() != '%') {
+          error("expected operand");
+          return nullptr;
+        }
+        advance();
+        std::string Name = parseSuffixId();
+        Value Operand = lookupValue(Name);
+        if (!Operand) {
+          error("use of undefined value '%" + Name + "'");
+          return nullptr;
+        }
+        Operands.push_back(Operand);
+      } while (tryConsume(","));
+      if (failed(expect(")")))
+        return nullptr;
+    }
+
+    // Successors.
+    std::vector<std::string> SuccessorLabels;
+    if (tryConsume("[")) {
+      do {
+        skipWs();
+        if (peek() != '^') {
+          error("expected block label");
+          return nullptr;
+        }
+        advance();
+        SuccessorLabels.push_back(parseSuffixId());
+      } while (tryConsume(","));
+      if (failed(expect("]")))
+        return nullptr;
+    }
+
+    // Regions: `({...}, {...})`. Distinguished from other constructs by a
+    // lookahead for '(' immediately followed (modulo whitespace) by '{'.
+    skipWs();
+    bool HasRegions = false;
+    if (peek() == '(') {
+      size_t Ahead = Pos + 1;
+      while (Ahead < Source.size() &&
+             std::isspace(static_cast<unsigned char>(Source[Ahead])))
+        ++Ahead;
+      HasRegions = Ahead < Source.size() && Source[Ahead] == '{';
+    }
+
+    // Region bodies are parsed into detached region holders and attached to
+    // the operation once it exists (operand/result types come later in the
+    // generic syntax).
+    std::vector<std::unique_ptr<Region>> ParsedRegions;
+    if (HasRegions) {
+      if (failed(expect("(")))
+        return nullptr;
+      do {
+        auto RegionHolder = std::make_unique<Region>(nullptr);
+        if (failed(parseRegionInto(*RegionHolder)))
+          return nullptr;
+        ParsedRegions.push_back(std::move(RegionHolder));
+      } while (tryConsume(","));
+      if (failed(expect(")")))
+        return nullptr;
+    }
+
+    // Attribute dictionary.
+    std::vector<NamedAttribute> Attrs;
+    if (tryConsume("{")) {
+      if (!tryConsume("}")) {
+        do {
+          std::string Name = parseBareId();
+          if (Name.empty()) {
+            error("expected attribute name");
+            return nullptr;
+          }
+          Attribute Value;
+          if (tryConsume("=")) {
+            Value = parseAttribute();
+            if (!Value)
+              return nullptr;
+          } else {
+            Value = UnitAttr::get(Ctx);
+          }
+          Attrs.push_back({Name, Value});
+        } while (tryConsume(","));
+        if (failed(expect("}")))
+          return nullptr;
+      }
+    }
+
+    // Type signature.
+    if (failed(expect(":")) || failed(expect("(")))
+      return nullptr;
+    std::vector<Type> OperandTypes;
+    if (!tryConsume(")")) {
+      do {
+        Type Ty = parseType();
+        if (!Ty)
+          return nullptr;
+        OperandTypes.push_back(Ty);
+      } while (tryConsume(","));
+      if (failed(expect(")")))
+        return nullptr;
+    }
+    if (failed(expect("->")))
+      return nullptr;
+    std::vector<Type> ResultTypes;
+    skipWs();
+    if (peek() == '(') {
+      advance();
+      if (!tryConsume(")")) {
+        do {
+          Type Ty = parseType();
+          if (!Ty)
+            return nullptr;
+          ResultTypes.push_back(Ty);
+        } while (tryConsume(","));
+        if (failed(expect(")")))
+          return nullptr;
+      }
+    } else {
+      Type Ty = parseType();
+      if (!Ty)
+        return nullptr;
+      ResultTypes.push_back(Ty);
+    }
+
+    Location OpLoc = Location::get(BufferName, OpLine, OpCol);
+    if (OperandTypes.size() != Operands.size()) {
+      Ctx.emitError(OpLoc) << "operand type count (" << OperandTypes.size()
+                           << ") does not match operand count ("
+                           << Operands.size() << ")";
+      return nullptr;
+    }
+    for (unsigned I = 0; I < Operands.size(); ++I) {
+      if (Operands[I].getType() != OperandTypes[I]) {
+        Ctx.emitError(OpLoc)
+            << "operand " << I << " type mismatch: value has "
+            << Operands[I].getType().str() << ", signature says "
+            << OperandTypes[I].str();
+        return nullptr;
+      }
+    }
+    if (ResultTypes.size() != ResultNames.size()) {
+      Ctx.emitError(OpLoc) << "result type count (" << ResultTypes.size()
+                           << ") does not match result count ("
+                           << ResultNames.size() << ")";
+      return nullptr;
+    }
+
+    OperationState State(OpLoc, OpName);
+    State.Operands = std::move(Operands);
+    State.ResultTypes = std::move(ResultTypes);
+    State.Attributes = std::move(Attrs);
+    State.NumRegions = ParsedRegions.size();
+    for (const std::string &Label : SuccessorLabels) {
+      assert(!RegionStack.empty() && "successors outside a region");
+      State.Successors.push_back(getOrCreateBlock(*RegionStack.back(), Label));
+    }
+
+    if (!Ctx.getOrCreateOpInfo(OpName)) {
+      Ctx.emitError(OpLoc) << "unregistered operation '" << OpName
+                           << "' in a dialect that does not allow unknown ops";
+      return nullptr;
+    }
+
+    Operation *Op = Operation::create(Ctx, State);
+    for (unsigned I = 0; I < ParsedRegions.size(); ++I)
+      Op->getRegion(I).takeBody(*ParsedRegions[I]);
+
+    if (DestBlock)
+      DestBlock->push_back(Op);
+    for (unsigned I = 0; I < ResultNames.size(); ++I)
+      defineValue(ResultNames[I], Op->getResult(I));
+    return Op;
+  }
+
+  LogicalResult parseRegionInto(Region &TheRegion) {
+    if (failed(expect("{")))
+      return failure();
+    RegionScope Scope;
+    Scope.TheRegion = &TheRegion;
+    RegionStack.push_back(&Scope);
+    pushScope();
+
+    skipWs();
+    // An unlabeled entry block is allowed when the region is non-empty and
+    // does not start with a label.
+    if (peek() != '}' && peek() != '^') {
+      Block *Entry = TheRegion.addBlock();
+      Scope.Labels["<entry>"] = Entry;
+      if (failed(parseBlockBody(Entry)))
+        return cleanupRegion();
+    }
+    while (true) {
+      skipWs();
+      if (peek() == '}') {
+        advance();
+        break;
+      }
+      if (peek() != '^') {
+        error("expected block label or '}'");
+        return cleanupRegion();
+      }
+      advance();
+      std::string Label = parseSuffixId();
+      Block *B = defineBlock(Scope, Label);
+      if (!B)
+        return cleanupRegion();
+      // Optional argument list.
+      if (tryConsume("(")) {
+        if (!tryConsume(")")) {
+          do {
+            skipWs();
+            if (peek() != '%') {
+              error("expected block argument");
+              return cleanupRegion();
+            }
+            advance();
+            std::string ArgName = parseSuffixId();
+            if (failed(expect(":")))
+              return cleanupRegion();
+            Type ArgTy = parseType();
+            if (!ArgTy)
+              return cleanupRegion();
+            defineValue(ArgName, B->addArgument(ArgTy));
+          } while (tryConsume(","));
+          if (failed(expect(")")))
+            return cleanupRegion();
+        }
+      }
+      if (failed(expect(":")))
+        return cleanupRegion();
+      if (failed(parseBlockBody(B)))
+        return cleanupRegion();
+    }
+
+    popScope();
+    RegionStack.pop_back();
+    if (!Scope.Pending.empty()) {
+      return error("use of undefined block label '^" +
+                   Scope.Pending.begin()->first + "'");
+    }
+    return success();
+  }
+
+  LogicalResult cleanupRegion() {
+    popScope();
+    RegionStack.pop_back();
+    return failure();
+  }
+
+  LogicalResult parseBlockBody(Block *B) {
+    while (true) {
+      skipWs();
+      if (peek() == '}' || peek() == '^' || atEnd())
+        return success();
+      if (!parseOperation(B))
+        return failure();
+    }
+  }
+
+  Context &Ctx;
+  std::string_view Source;
+  std::string BufferName;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  std::vector<std::map<std::string, Value>> ValueScopes;
+  std::vector<RegionScope *> RegionStack;
+};
+
+} // namespace
+
+OwningOpRef tdl::parseSourceString(Context &Ctx, std::string_view Source,
+                                   std::string_view BufferName) {
+  Parser TheParser(Ctx, Source, BufferName);
+  return OwningOpRef(TheParser.parseTopLevelOp());
+}
+
+Type tdl::parseTypeString(Context &Ctx, std::string_view Source) {
+  Parser TheParser(Ctx, Source, "type");
+  return TheParser.parseTypeOnly();
+}

@@ -1,0 +1,34 @@
+//===- Parser.h - Textual IR parsing ----------------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the generic textual IR format produced by the printer. Intended
+/// for tests, examples, and tools; diagnostics are reported through the
+/// context's diagnostic engine with file:line:col locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_IR_PARSER_H
+#define TDL_IR_PARSER_H
+
+#include "ir/IR.h"
+
+#include <string_view>
+
+namespace tdl {
+
+/// Parses a single top-level operation from \p Source. Returns a null ref on
+/// error (diagnostics are emitted on the context's engine).
+OwningOpRef parseSourceString(Context &Ctx, std::string_view Source,
+                              std::string_view BufferName = "input");
+
+/// Parses a type from its textual form, e.g. "memref<4x4xf64>". Returns a
+/// null type on error.
+Type parseTypeString(Context &Ctx, std::string_view Source);
+
+} // namespace tdl
+
+#endif // TDL_IR_PARSER_H

@@ -1,0 +1,165 @@
+//===- Printer.cpp - Textual IR output ---------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/IR.h"
+#include "support/Stream.h"
+
+#include <map>
+
+using namespace tdl;
+
+namespace {
+
+class AsmPrinter {
+public:
+  explicit AsmPrinter(raw_ostream &OS) : OS(OS) {}
+
+  void printOp(Operation *Op, unsigned Indent) {
+    OS.indent(Indent);
+    // Results.
+    if (Op->getNumResults()) {
+      for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << valueName(Op->getResult(I));
+      }
+      OS << " = ";
+    }
+    OS << '"' << Op->getName() << "\"(";
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << valueName(Op->getOperand(I));
+    }
+    OS << ')';
+
+    if (Op->getNumSuccessors()) {
+      OS << '[';
+      for (unsigned I = 0; I < Op->getNumSuccessors(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << blockName(Op->getSuccessor(I));
+      }
+      OS << ']';
+    }
+
+    if (Op->getNumRegions()) {
+      OS << " (";
+      for (unsigned I = 0; I < Op->getNumRegions(); ++I) {
+        if (I)
+          OS << ", ";
+        printRegion(Op->getRegion(I), Indent);
+      }
+      OS << ')';
+    }
+
+    if (!Op->getAttrs().empty()) {
+      OS << " {";
+      bool First = true;
+      for (const NamedAttribute &Attr : Op->getAttrs()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << Attr.Name;
+        if (Attr.Value.isa<UnitAttr>())
+          continue;
+        OS << " = ";
+        Attr.Value.print(OS);
+      }
+      OS << '}';
+    }
+
+    OS << " : (";
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Op->getOperand(I).getType();
+    }
+    OS << ") -> (";
+    for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Op->getResult(I).getType();
+    }
+    OS << ')';
+  }
+
+private:
+  void printRegion(Region &R, unsigned Indent) {
+    OS << '{';
+    // Pre-assign block names so forward successor references print
+    // consistently.
+    for (Block &B : R)
+      (void)blockName(&B);
+    for (Block &B : R) {
+      OS << '\n';
+      OS.indent(Indent);
+      OS << blockName(&B) << '(';
+      for (unsigned I = 0; I < B.getNumArguments(); ++I) {
+        if (I)
+          OS << ", ";
+        Value Arg = B.getArgument(I);
+        OS << valueName(Arg) << ": " << Arg.getType();
+      }
+      OS << "):\n";
+      for (Operation *Nested : B) {
+        printOp(Nested, Indent + 2);
+        OS << '\n';
+      }
+      OS.indent(Indent);
+    }
+    OS << '}';
+  }
+
+  std::string valueName(Value V) {
+    auto [It, Inserted] = ValueIds.emplace(V.getImpl(), NextValueId);
+    if (Inserted)
+      ++NextValueId;
+    return "%" + std::to_string(It->second);
+  }
+
+  std::string blockName(Block *B) {
+    auto [It, Inserted] = BlockIds.emplace(B, NextBlockId);
+    if (Inserted)
+      ++NextBlockId;
+    return "^bb" + std::to_string(It->second);
+  }
+
+  raw_ostream &OS;
+  std::map<const ValueImpl *, unsigned> ValueIds;
+  std::map<const Block *, unsigned> BlockIds;
+  unsigned NextValueId = 0;
+  unsigned NextBlockId = 0;
+};
+
+} // namespace
+
+void tdl::printOperation(const Operation *Op, raw_ostream &OS) {
+  AsmPrinter Printer(OS);
+  Printer.printOp(const_cast<Operation *>(Op), 0);
+}
+
+std::string tdl::printOperationToString(const Operation *Op) {
+  std::string Result;
+  raw_string_ostream Stream(Result);
+  printOperation(Op, Stream);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Operation print hooks
+//===----------------------------------------------------------------------===//
+
+void Operation::print(raw_ostream &OS) const { printOperation(this, OS); }
+
+std::string Operation::str() const { return printOperationToString(this); }
+
+void Operation::dump() const {
+  print(errs());
+  errs() << '\n';
+}

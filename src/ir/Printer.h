@@ -1,0 +1,32 @@
+//===- Printer.h - Textual IR output ----------------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints operations in the MLIR generic textual form, e.g.
+/// `%0 = "arith.addi"(%1, %2) : (index, index) -> (index)`. The printed form
+/// round-trips through the parser (tests assert this property).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_IR_PRINTER_H
+#define TDL_IR_PRINTER_H
+
+#include <string>
+
+namespace tdl {
+
+class Operation;
+class raw_ostream;
+
+/// Prints \p Op (recursively) in generic form to \p OS.
+void printOperation(const Operation *Op, raw_ostream &OS);
+
+/// Renders \p Op to a string.
+std::string printOperationToString(const Operation *Op);
+
+} // namespace tdl
+
+#endif // TDL_IR_PRINTER_H

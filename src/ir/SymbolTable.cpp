@@ -1,0 +1,34 @@
+//===- SymbolTable.cpp - Symbol lookup ------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SymbolTable.h"
+
+#include "ir/IR.h"
+
+using namespace tdl;
+
+std::string_view tdl::getSymbolName(Operation *Op) {
+  return Op->getStringAttr("sym_name");
+}
+
+Operation *tdl::lookupSymbol(Operation *SymbolTableOp, std::string_view Name) {
+  if (!SymbolTableOp->getNumRegions())
+    return nullptr;
+  Region &TheRegion = SymbolTableOp->getRegion(0);
+  for (Block &B : TheRegion)
+    for (Operation *Child : B)
+      if (getSymbolName(Child) == Name)
+        return Child;
+  return nullptr;
+}
+
+Operation *tdl::lookupSymbolNearestTo(Operation *From, std::string_view Name) {
+  for (Operation *Scope = From; Scope; Scope = Scope->getParentOp())
+    if (Scope->hasTrait(OT_SymbolTable))
+      if (Operation *Found = lookupSymbol(Scope, Name))
+        return Found;
+  return nullptr;
+}

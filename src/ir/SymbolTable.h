@@ -1,0 +1,35 @@
+//===- SymbolTable.h - Symbol lookup ----------------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbol resolution: ops with the Symbol trait carry a `sym_name` string
+/// attribute; ops with the SymbolTable trait own a flat namespace of them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_IR_SYMBOLTABLE_H
+#define TDL_IR_SYMBOLTABLE_H
+
+#include <string_view>
+
+namespace tdl {
+
+class Operation;
+
+/// Returns the symbol name of \p Op (its `sym_name`), or empty.
+std::string_view getSymbolName(Operation *Op);
+
+/// Looks up a symbol among the direct children of \p SymbolTableOp's first
+/// region. Returns null when not found.
+Operation *lookupSymbol(Operation *SymbolTableOp, std::string_view Name);
+
+/// Finds the nearest ancestor (inclusive) with the SymbolTable trait and
+/// resolves \p Name in it.
+Operation *lookupSymbolNearestTo(Operation *From, std::string_view Name);
+
+} // namespace tdl
+
+#endif // TDL_IR_SYMBOLTABLE_H

@@ -1,0 +1,108 @@
+//===- Verifier.cpp - IR structural verification -------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IR.h"
+
+using namespace tdl;
+
+namespace {
+
+class Verifier {
+public:
+  LogicalResult verifyOp(Operation *Op) {
+    // Null types are construction bugs, not user errors; assert earlier.
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I)
+      assert(Op->getOperand(I).getType() && "operand with null type");
+
+    // Successors only on terminators.
+    if (Op->getNumSuccessors() && !Op->hasTrait(OT_IsTerminator))
+      return Op->emitOpError() << "has successors but is not a terminator";
+
+    // SSA visibility of operands.
+    if (failed(verifyOperandVisibility(Op)))
+      return failure();
+
+    // Regions.
+    for (unsigned R = 0; R < Op->getNumRegions(); ++R) {
+      Region &TheRegion = Op->getRegion(R);
+      if (Op->hasTrait(OT_SingleBlock) && TheRegion.getNumBlocks() > 1)
+        return Op->emitOpError()
+               << "expects at most one block per region, region " << R
+               << " has " << TheRegion.getNumBlocks();
+      for (Block &B : TheRegion) {
+        if (!Op->hasTrait(OT_GraphRegion)) {
+          Operation *Term = B.getTerminator();
+          if (!Term)
+            return Op->emitOpError()
+                   << "region " << R << " has a block without terminator";
+        }
+        for (Operation *Nested : B) {
+          if (Nested->hasTrait(OT_IsTerminator) && Nested != B.back())
+            return Nested->emitOpError() << "terminator mid-block";
+          if (failed(verifyOp(Nested)))
+            return failure();
+        }
+      }
+    }
+
+    // Custom hook last, so it can assume structure is sane.
+    if (Op->getInfo()->Verify && failed(Op->getInfo()->Verify(Op)))
+      return failure();
+    return success();
+  }
+
+private:
+  /// Checks that each operand's definition is visible at the use:
+  /// - defined earlier in the same block, or
+  /// - a block argument of the same or an ancestor block, or
+  /// - defined earlier in an ancestor block (value captured from above), or
+  /// - defined in a different block of the same region (CFG values; full
+  ///   dominance is intentionally not computed — documented approximation).
+  LogicalResult verifyOperandVisibility(Operation *Op) {
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+      Value Operand = Op->getOperand(I);
+      if (isVisible(Operand, Op))
+        continue;
+      return Op->emitOpError()
+             << "operand " << I << " does not dominate its use";
+    }
+    return success();
+  }
+
+  static bool isVisible(Value Def, Operation *User) {
+    Block *DefBlock = Def.getDefiningBlock();
+    if (!DefBlock)
+      return false;
+
+    // Walk up from the user to the op whose block is DefBlock (or whose
+    // region contains DefBlock).
+    for (Operation *Scope = User; Scope; Scope = Scope->getParentOp()) {
+      Block *ScopeBlock = Scope->getBlock();
+      if (!ScopeBlock)
+        break;
+      if (ScopeBlock == DefBlock) {
+        if (Def.isBlockArgument())
+          return true;
+        Operation *DefOp = Def.getDefiningOp();
+        return DefOp == Scope ? false : DefOp->isBeforeInBlock(Scope);
+      }
+      if (ScopeBlock->getParent() == DefBlock->getParent()) {
+        // Same region, different blocks: CFG value. Permissive.
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+LogicalResult tdl::verify(Operation *Op) {
+  Verifier TheVerifier;
+  return TheVerifier.verifyOp(Op);
+}

@@ -1,0 +1,28 @@
+//===- Verifier.h - IR structural verification ------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and per-op verification: terminator discipline, SSA
+/// visibility, trait checks, plus each op's registered verifier hook.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_IR_VERIFIER_H
+#define TDL_IR_VERIFIER_H
+
+#include "support/LogicalResult.h"
+
+namespace tdl {
+
+class Operation;
+
+/// Verifies \p Op and everything nested in it. Emits diagnostics through the
+/// context on failure.
+LogicalResult verify(Operation *Op);
+
+} // namespace tdl
+
+#endif // TDL_IR_VERIFIER_H

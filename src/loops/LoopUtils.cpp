@@ -1,0 +1,586 @@
+//===- LoopUtils.cpp - Loop transformation utilities ---------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loops/LoopUtils.h"
+
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+
+using namespace tdl;
+using namespace tdl::loops;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+static bool isDefinedOutside(Value V, Operation *Scope) {
+  if (V.isBlockArgument()) {
+    Operation *Owner = V.getOwnerBlock()->getParentOp();
+    return !Owner || !Scope->isAncestorOf(Owner);
+  }
+  return !Scope->isAncestorOf(V.getDefiningOp());
+}
+
+std::optional<int64_t> tdl::loops::getStaticTripCount(Operation *ForOp) {
+  if (ForOp->getName() != "scf.for")
+    return std::nullopt;
+  Value Lb = scf::getLowerBound(ForOp);
+  Value Ub = scf::getUpperBound(ForOp);
+  Value Step = scf::getStep(ForOp);
+  int64_t StepVal;
+  if (!arith::getConstantIntValue(Step, StepVal) || StepVal <= 0)
+    return std::nullopt;
+
+  int64_t LbVal, UbVal;
+  if (arith::getConstantIntValue(Lb, LbVal) &&
+      arith::getConstantIntValue(Ub, UbVal)) {
+    if (UbVal <= LbVal)
+      return 0;
+    return (UbVal - LbVal + StepVal - 1) / StepVal;
+  }
+
+  // Pattern `ub = lb + c`.
+  if (Operation *UbDef = Ub.getDefiningOp()) {
+    if (UbDef->getName() == "arith.addi") {
+      for (unsigned I = 0; I < 2; ++I) {
+        int64_t Extent;
+        if (UbDef->getOperand(I) == Lb &&
+            arith::getConstantIntValue(UbDef->getOperand(1 - I), Extent)) {
+          if (Extent <= 0)
+            return 0;
+          return (Extent + StepVal - 1) / StepVal;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Collects a perfect nest of \p Depth `scf.for` loops rooted at \p Root:
+/// each body consists of exactly the next loop plus the terminator. Returns
+/// an empty vector when the nest is not perfect.
+static std::vector<Operation *> collectPerfectNest(Operation *Root,
+                                                   size_t Depth) {
+  std::vector<Operation *> Loops;
+  Operation *Current = Root;
+  while (true) {
+    if (Current->getName() != "scf.for")
+      return {};
+    Loops.push_back(Current);
+    if (Loops.size() == Depth)
+      return Loops;
+    Block *Body = scf::getLoopBody(Current);
+    if (Body->size() != 2)
+      return {};
+    Operation *First = Body->front();
+    if (First->getName() != "scf.for")
+      return {};
+    Current = First;
+  }
+}
+
+/// Moves all non-terminator ops of \p SrcBody before \p DestTerminator.
+static void moveBodyOps(Block *SrcBody, Operation *DestTerminator) {
+  std::vector<Operation *> ToMove;
+  for (Operation *Op : *SrcBody)
+    if (!Op->hasTrait(OT_IsTerminator))
+      ToMove.push_back(Op);
+  for (Operation *Op : ToMove)
+    Op->moveBefore(DestTerminator);
+}
+
+//===----------------------------------------------------------------------===//
+// Hoisting (LICM)
+//===----------------------------------------------------------------------===//
+
+std::vector<Operation *> tdl::loops::hoistLoopInvariants(Operation *Loop) {
+  std::vector<Operation *> Hoisted;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<Operation *> Candidates;
+    Loop->walk([&](Operation *Op) {
+      if (Op == Loop || Op->hasTrait(OT_IsTerminator))
+        return;
+      if (!Op->hasTrait(OT_Pure) || Op->getNumRegions())
+        return;
+      Candidates.push_back(Op);
+    });
+    for (Operation *Op : Candidates) {
+      bool Invariant = true;
+      for (Value Operand : Op->getOperands())
+        Invariant &= isDefinedOutside(Operand, Loop);
+      if (!Invariant)
+        continue;
+      Op->moveBefore(Loop);
+      Hoisted.push_back(Op);
+      Changed = true;
+    }
+  }
+  return Hoisted;
+}
+
+//===----------------------------------------------------------------------===//
+// Splitting
+//===----------------------------------------------------------------------===//
+
+FailureOr<std::pair<Operation *, Operation *>>
+tdl::loops::splitLoopByDivisibility(Operation *ForOp, int64_t Divisor) {
+  if (ForOp->getName() != "scf.for")
+    return ForOp->emitError() << "loop split expects an scf.for";
+  if (Divisor <= 0)
+    return ForOp->emitError() << "loop split divisor must be positive";
+  int64_t StepVal;
+  if (!arith::getConstantIntValue(scf::getStep(ForOp), StepVal) ||
+      StepVal != 1)
+    return ForOp->emitError() << "loop split requires a unit step";
+
+  OpBuilder B(ForOp->getContext());
+  B.setInsertionPoint(ForOp);
+  Location Loc = ForOp->getLoc();
+  Value Lb = scf::getLowerBound(ForOp);
+  Value Ub = scf::getUpperBound(ForOp);
+
+  Value SplitPoint;
+  int64_t LbVal, UbVal;
+  if (arith::getConstantIntValue(Lb, LbVal) &&
+      arith::getConstantIntValue(Ub, UbVal)) {
+    int64_t Extent = std::max<int64_t>(0, UbVal - LbVal);
+    SplitPoint =
+        arith::buildConstantIndex(B, Loc, LbVal + (Extent / Divisor) * Divisor);
+  } else {
+    Value Diff = arith::buildBinary(B, Loc, "arith.subi", Ub, Lb);
+    Value DivisorC = arith::buildConstantIndex(B, Loc, Divisor);
+    Value Quotient = arith::buildBinary(B, Loc, "arith.divsi", Diff, DivisorC);
+    Value Main = arith::buildBinary(B, Loc, "arith.muli", Quotient, DivisorC);
+    SplitPoint = arith::buildBinary(B, Loc, "arith.addi", Lb, Main);
+  }
+
+  // Remainder loop: a clone with lb = split point, placed after the main.
+  Operation *Rest = ForOp->clone();
+  Block *ParentBlock = ForOp->getBlock();
+  auto It = ForOp->getBlockIterator();
+  ++It;
+  ParentBlock->insert(It, Rest);
+  Rest->setOperand(0, SplitPoint);
+  // Main loop keeps the body, new upper bound.
+  ForOp->setOperand(1, SplitPoint);
+  return std::make_pair(ForOp, Rest);
+}
+
+//===----------------------------------------------------------------------===//
+// Tiling
+//===----------------------------------------------------------------------===//
+
+FailureOr<std::vector<Operation *>>
+tdl::loops::tileLoopNest(Operation *ForOp, const std::vector<int64_t> &Sizes) {
+  if (Sizes.empty())
+    return ForOp->emitError() << "tile sizes must not be empty";
+  std::vector<Operation *> Nest = collectPerfectNest(ForOp, Sizes.size());
+  if (Nest.empty())
+    return ForOp->emitError()
+           << "loop tiling requires a perfect nest of depth " << Sizes.size();
+  for (int64_t Size : Sizes)
+    if (Size < 0)
+      return ForOp->emitError() << "negative tile size";
+
+  size_t N = Sizes.size();
+  // Bounds must be defined outside the nest root.
+  std::vector<Value> Lbs(N), Ubs(N), Steps(N);
+  for (size_t I = 0; I < N; ++I) {
+    Lbs[I] = scf::getLowerBound(Nest[I]);
+    Ubs[I] = scf::getUpperBound(Nest[I]);
+    Steps[I] = scf::getStep(Nest[I]);
+    for (Value Bound : {Lbs[I], Ubs[I], Steps[I]})
+      if (!isDefinedOutside(Bound, ForOp))
+        return ForOp->emitError()
+               << "loop bounds must be defined outside the tiled nest";
+  }
+
+  OpBuilder B(ForOp->getContext());
+  B.setInsertionPoint(ForOp);
+  Location Loc = ForOp->getLoc();
+
+  std::vector<Operation *> TileLoops;
+  std::vector<Value> TileIvs(N);
+  std::vector<Value> TileSteps(N);
+
+  // Tile loops, outermost first.
+  for (size_t I = 0; I < N; ++I) {
+    if (Sizes[I] == 0)
+      continue;
+    int64_t StepVal;
+    Value NewStep;
+    if (arith::getConstantIntValue(Steps[I], StepVal))
+      NewStep = arith::buildConstantIndex(B, Loc, StepVal * Sizes[I]);
+    else
+      NewStep = arith::buildBinary(B, Loc, "arith.muli", Steps[I],
+                                   arith::buildConstantIndex(B, Loc, Sizes[I]));
+    Operation *Tile = scf::buildFor(B, Loc, Lbs[I], Ubs[I], NewStep);
+    TileLoops.push_back(Tile);
+    TileIvs[I] = scf::getInductionVar(Tile);
+    TileSteps[I] = NewStep;
+    B.setInsertionPoint(scf::getLoopBody(Tile)->getTerminator());
+  }
+
+  // Compute all point-loop bounds at the innermost tile-loop position, so
+  // the point loops themselves form a perfect nest (matchable by later
+  // transforms such as to_library).
+  std::vector<Value> PointLbs(N), PointUbs(N), PointSteps(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (Sizes[I] == 0) {
+      PointLbs[I] = Lbs[I];
+      PointUbs[I] = Ubs[I];
+      PointSteps[I] = Steps[I];
+      continue;
+    }
+    PointLbs[I] = TileIvs[I];
+    Value Next =
+        arith::buildBinary(B, Loc, "arith.addi", TileIvs[I], TileSteps[I]);
+    // Avoid the min when static divisibility is provable.
+    int64_t LbV, UbV, StV;
+    bool Divisible = arith::getConstantIntValue(Lbs[I], LbV) &&
+                     arith::getConstantIntValue(Ubs[I], UbV) &&
+                     arith::getConstantIntValue(Steps[I], StV) &&
+                     ((UbV - LbV) % (StV * Sizes[I])) == 0;
+    PointUbs[I] = Divisible ? Next
+                            : arith::buildBinary(B, Loc, "arith.minsi", Next,
+                                                 Ubs[I]);
+    PointSteps[I] = Steps[I];
+  }
+
+  // Point loops, one per original dimension, innermost placement.
+  std::vector<Operation *> PointLoops;
+  std::vector<Value> PointIvs(N);
+  for (size_t I = 0; I < N; ++I) {
+    Operation *Point =
+        scf::buildFor(B, Loc, PointLbs[I], PointUbs[I], PointSteps[I]);
+    PointLoops.push_back(Point);
+    PointIvs[I] = scf::getInductionVar(Point);
+    B.setInsertionPoint(scf::getLoopBody(Point)->getTerminator());
+  }
+
+  // Transplant the innermost body, rewiring induction variables.
+  Block *OldInnerBody = scf::getLoopBody(Nest.back());
+  for (size_t I = 0; I < N; ++I)
+    scf::getInductionVar(Nest[I]).replaceAllUsesWith(PointIvs[I]);
+  moveBodyOps(OldInnerBody, scf::getLoopBody(PointLoops.back())->getTerminator());
+  ForOp->erase();
+
+  std::vector<Operation *> Result = TileLoops;
+  Result.insert(Result.end(), PointLoops.begin(), PointLoops.end());
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Interchange
+//===----------------------------------------------------------------------===//
+
+FailureOr<Operation *> tdl::loops::interchangeLoops(Operation *Outer) {
+  std::vector<Operation *> Nest = collectPerfectNest(Outer, 2);
+  if (Nest.size() != 2)
+    return Outer->emitError()
+           << "loop interchange requires a perfectly nested pair";
+  Operation *Inner = Nest[1];
+
+  OpBuilder B(Outer->getContext());
+  B.setInsertionPoint(Outer);
+  Location Loc = Outer->getLoc();
+
+  // Inner bounds must not depend on the outer induction variable.
+  for (Value Bound :
+       {scf::getLowerBound(Inner), scf::getUpperBound(Inner),
+        scf::getStep(Inner)})
+    if (!isDefinedOutside(Bound, Outer))
+      return Outer->emitError()
+             << "inner loop bounds depend on the outer induction variable";
+
+  Operation *NewOuter =
+      scf::buildFor(B, Loc, scf::getLowerBound(Inner),
+                    scf::getUpperBound(Inner), scf::getStep(Inner));
+  B.setInsertionPoint(scf::getLoopBody(NewOuter)->getTerminator());
+  Operation *NewInner =
+      scf::buildFor(B, Loc, scf::getLowerBound(Outer),
+                    scf::getUpperBound(Outer), scf::getStep(Outer));
+
+  scf::getInductionVar(Inner).replaceAllUsesWith(
+      scf::getInductionVar(NewOuter));
+  scf::getInductionVar(Outer).replaceAllUsesWith(
+      scf::getInductionVar(NewInner));
+  moveBodyOps(scf::getLoopBody(Inner),
+              scf::getLoopBody(NewInner)->getTerminator());
+  Outer->erase();
+  return NewOuter;
+}
+
+//===----------------------------------------------------------------------===//
+// Unrolling
+//===----------------------------------------------------------------------===//
+
+FailureOr<int64_t> tdl::loops::unrollLoopFull(Operation *ForOp) {
+  std::optional<int64_t> Trips = getStaticTripCount(ForOp);
+  if (!Trips)
+    return ForOp->emitError()
+           << "full unroll requires a static trip count";
+  if (*Trips > 4096)
+    return ForOp->emitError() << "refusing to fully unroll " << *Trips
+                              << " iterations";
+  int64_t StepVal = 1;
+  arith::getConstantIntValue(scf::getStep(ForOp), StepVal);
+
+  OpBuilder B(ForOp->getContext());
+  B.setInsertionPoint(ForOp);
+  Location Loc = ForOp->getLoc();
+  Value Lb = scf::getLowerBound(ForOp);
+  int64_t LbVal;
+  bool LbConst = arith::getConstantIntValue(Lb, LbVal);
+
+  Block *Body = scf::getLoopBody(ForOp);
+  Value Iv = scf::getInductionVar(ForOp);
+  for (int64_t T = 0; T < *Trips; ++T) {
+    Value IvValue =
+        LbConst ? arith::buildConstantIndex(B, Loc, LbVal + T * StepVal)
+                : arith::buildBinary(
+                      B, Loc, "arith.addi", Lb,
+                      arith::buildConstantIndex(B, Loc, T * StepVal));
+    IRMapping Mapping;
+    Mapping.map(Iv, IvValue);
+    for (Operation *Op : *Body) {
+      if (Op->hasTrait(OT_IsTerminator))
+        continue;
+      B.clone(*Op, Mapping);
+    }
+  }
+  ForOp->erase();
+  return *Trips;
+}
+
+FailureOr<Operation *> tdl::loops::unrollLoopByFactor(Operation *ForOp,
+                                                      int64_t Factor) {
+  if (Factor <= 0)
+    return ForOp->emitError() << "unroll factor must be positive";
+  if (Factor == 1)
+    return ForOp; // no-op
+  std::optional<int64_t> Trips = getStaticTripCount(ForOp);
+  if (!Trips || *Trips % Factor != 0)
+    return ForOp->emitError()
+           << "partial unroll requires a static trip count divisible by the "
+              "factor";
+  int64_t StepVal;
+  if (!arith::getConstantIntValue(scf::getStep(ForOp), StepVal))
+    return ForOp->emitError() << "partial unroll requires a constant step";
+
+  OpBuilder B(ForOp->getContext());
+  B.setInsertionPoint(ForOp);
+  Location Loc = ForOp->getLoc();
+  Value NewStep = arith::buildConstantIndex(B, Loc, StepVal * Factor);
+  Operation *NewLoop = scf::buildFor(B, Loc, scf::getLowerBound(ForOp),
+                                     scf::getUpperBound(ForOp), NewStep);
+  Value NewIv = scf::getInductionVar(NewLoop);
+  Operation *NewTerm = scf::getLoopBody(NewLoop)->getTerminator();
+  B.setInsertionPoint(NewTerm);
+
+  Block *Body = scf::getLoopBody(ForOp);
+  Value OldIv = scf::getInductionVar(ForOp);
+  for (int64_t Rep = 0; Rep < Factor; ++Rep) {
+    Value IvValue =
+        Rep == 0 ? NewIv
+                 : arith::buildBinary(
+                       B, Loc, "arith.addi", NewIv,
+                       arith::buildConstantIndex(B, Loc, Rep * StepVal));
+    IRMapping Mapping;
+    Mapping.map(OldIv, IvValue);
+    for (Operation *Op : *Body) {
+      if (Op->hasTrait(OT_IsTerminator))
+        continue;
+      B.clone(*Op, Mapping);
+    }
+  }
+  ForOp->erase();
+  return NewLoop;
+}
+
+FailureOr<Operation *> tdl::loops::vectorizeLoop(Operation *ForOp,
+                                                 int64_t Width) {
+  FailureOr<Operation *> Unrolled = unrollLoopByFactor(ForOp, Width);
+  if (failed(Unrolled))
+    return failure();
+  (*Unrolled)->setAttr("vectorized",
+                       UnitAttr::get((*Unrolled)->getContext()));
+  (*Unrolled)->setAttr(
+      "vector_width",
+      IntegerAttr::getIndex((*Unrolled)->getContext(), Width));
+  return Unrolled;
+}
+
+//===----------------------------------------------------------------------===//
+// Matmul matching and microkernel substitution
+//===----------------------------------------------------------------------===//
+
+FailureOr<MatmulMatch> tdl::loops::matchMatmulLoopNest(Operation *ILoop) {
+  std::vector<Operation *> Nest = collectPerfectNest(ILoop, 3);
+  if (Nest.size() != 3)
+    return failure();
+  MatmulMatch Match;
+  Match.ILoop = Nest[0];
+  Match.JLoop = Nest[1];
+  Match.KLoop = Nest[2];
+
+  Block *KBody = scf::getLoopBody(Match.KLoop);
+  // Expect: loadA, loadB, mulf, loadC, addf, store (+ yield) in any order.
+  Operation *Store = nullptr;
+  int NumOps = 0;
+  for (Operation *Op : *KBody) {
+    if (Op->hasTrait(OT_IsTerminator))
+      continue;
+    ++NumOps;
+    if (Op->getName() == "memref.store") {
+      if (Store)
+        return failure();
+      Store = Op;
+    }
+  }
+  if (!Store || NumOps != 6)
+    return failure();
+
+  Operation *Add = Store->getOperand(0).getDefiningOp();
+  if (!Add || Add->getName() != "arith.addf")
+    return failure();
+  Match.C = Store->getOperand(1);
+
+  Operation *Mul = nullptr, *LoadC = nullptr;
+  for (unsigned I = 0; I < 2; ++I) {
+    Operation *Def = Add->getOperand(I).getDefiningOp();
+    if (!Def)
+      return failure();
+    if (Def->getName() == "arith.mulf")
+      Mul = Def;
+    else if (Def->getName() == "memref.load")
+      LoadC = Def;
+  }
+  if (!Mul || !LoadC || LoadC->getOperand(0) != Match.C)
+    return failure();
+
+  Operation *LoadA = Mul->getOperand(0).getDefiningOp();
+  Operation *LoadB = Mul->getOperand(1).getDefiningOp();
+  if (!LoadA || !LoadB || LoadA->getName() != "memref.load" ||
+      LoadB->getName() != "memref.load")
+    return failure();
+  Match.A = LoadA->getOperand(0);
+  Match.B = LoadB->getOperand(0);
+
+  Value IvI = scf::getInductionVar(Match.ILoop);
+  Value IvJ = scf::getInductionVar(Match.JLoop);
+  Value IvK = scf::getInductionVar(Match.KLoop);
+
+  // Index layout: A[..., i, k], B[..., k, j], C[..., i, j]; the store and
+  // LoadC must agree on indices.
+  auto GetIndices = [](Operation *Op, unsigned Skip) {
+    std::vector<Value> Indices;
+    for (unsigned I = Skip; I < Op->getNumOperands(); ++I)
+      Indices.push_back(Op->getOperand(I));
+    return Indices;
+  };
+  std::vector<Value> IdxA = GetIndices(LoadA, 1);
+  std::vector<Value> IdxB = GetIndices(LoadB, 1);
+  std::vector<Value> IdxC = GetIndices(LoadC, 1);
+  std::vector<Value> IdxStore = GetIndices(Store, 2);
+  if (IdxC != IdxStore)
+    return failure();
+  if (IdxA.size() < 2 || IdxB.size() < 2 || IdxC.size() < 2)
+    return failure();
+
+  auto CheckTrailing = [&](const std::vector<Value> &Idx, Value First,
+                           Value Second, std::vector<Value> &PrefixOut) {
+    size_t Rank = Idx.size();
+    if (Idx[Rank - 2] != First || Idx[Rank - 1] != Second)
+      return false;
+    for (size_t I = 0; I + 2 < Rank; ++I) {
+      if (!isDefinedOutside(Idx[I], Match.ILoop))
+        return false;
+      PrefixOut.push_back(Idx[I]);
+    }
+    return true;
+  };
+  if (!CheckTrailing(IdxA, IvI, IvK, Match.PrefixA) ||
+      !CheckTrailing(IdxB, IvK, IvJ, Match.PrefixB) ||
+      !CheckTrailing(IdxC, IvI, IvJ, Match.PrefixC))
+    return failure();
+
+  // Unit steps required so trip counts equal extents.
+  for (Operation *Loop : Nest) {
+    int64_t StepVal;
+    if (!arith::getConstantIntValue(scf::getStep(Loop), StepVal) ||
+        StepVal != 1)
+      return failure();
+  }
+
+  Match.M = getStaticTripCount(Match.ILoop);
+  Match.N = getStaticTripCount(Match.JLoop);
+  Match.K = getStaticTripCount(Match.KLoop);
+  return Match;
+}
+
+bool tdl::loops::microkernelSupports(std::optional<int64_t> M,
+                                     std::optional<int64_t> N,
+                                     std::optional<int64_t> K) {
+  // xsmm-lite ships kernels only for statically known sizes whose N
+  // dimension is a positive multiple of the 4-wide vector unit.
+  if (!M || !N || !K)
+    return false;
+  return *M > 0 && *K > 0 && *N > 0 && (*N % 4) == 0;
+}
+
+FailureOr<Operation *>
+tdl::loops::replaceWithMicrokernelCall(Operation *ILoop,
+                                       std::string_view Library) {
+  FailureOr<MatmulMatch> MaybeMatch = matchMatmulLoopNest(ILoop);
+  if (failed(MaybeMatch))
+    return failure();
+  MatmulMatch &Match = *MaybeMatch;
+  if (!microkernelSupports(Match.M, Match.N, Match.K))
+    return failure();
+
+  OpBuilder B(ILoop->getContext());
+  B.setInsertionPoint(ILoop);
+  OperationState State(ILoop->getLoc(), "xsmm.matmul");
+  State.Operands = {Match.A, Match.B, Match.C,
+                    scf::getLowerBound(Match.ILoop),
+                    scf::getUpperBound(Match.ILoop),
+                    scf::getLowerBound(Match.JLoop),
+                    scf::getUpperBound(Match.JLoop),
+                    scf::getLowerBound(Match.KLoop),
+                    scf::getUpperBound(Match.KLoop)};
+  for (const std::vector<Value> *Prefix :
+       {&Match.PrefixA, &Match.PrefixB, &Match.PrefixC})
+    for (Value V : *Prefix)
+      State.Operands.push_back(V);
+  Context &Ctx = ILoop->getContext();
+  State.addAttribute(
+      "prefix_counts",
+      ArrayAttr::getIndexArray(Ctx, {(int64_t)Match.PrefixA.size(),
+                                     (int64_t)Match.PrefixB.size(),
+                                     (int64_t)Match.PrefixC.size()}));
+  State.addAttribute("library", StringAttr::get(Ctx, Library));
+  Operation *Call = B.create(State);
+  ILoop->erase();
+  return Call;
+}
+
+void tdl::registerXsmmDialect(Context &Ctx) {
+  Ctx.registerDialect("xsmm");
+  OpInfo Matmul;
+  Matmul.Name = "xsmm.matmul";
+  Matmul.Traits = OT_MemRead | OT_MemWrite;
+  Matmul.Verify = [](Operation *Op) -> LogicalResult {
+    if (Op->getNumOperands() < 9)
+      return Op->emitOpError() << "expects A, B, C and six bounds";
+    if (!Op->getAttrOfType<ArrayAttr>("prefix_counts"))
+      return Op->emitOpError() << "requires 'prefix_counts'";
+    return success();
+  };
+  Ctx.registerOp(Matmul);
+}

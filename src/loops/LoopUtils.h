@@ -1,0 +1,97 @@
+//===- LoopUtils.h - Loop transformation utilities --------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "currently hidden compiler features" of the paper: tiling, splitting,
+/// unrolling, interchange, hoisting, and microkernel-library substitution on
+/// `scf.for` nests. The Transform dialect exposes these as transform ops;
+/// they are equally usable directly from C++ (as MLIR passes use them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_LOOPS_LOOPUTILS_H
+#define TDL_LOOPS_LOOPUTILS_H
+
+#include "ir/IR.h"
+#include "support/LogicalResult.h"
+
+#include <optional>
+
+namespace tdl {
+namespace loops {
+
+/// Returns the trip count when it is statically known: either all bounds are
+/// constants, or `ub = lb + c` for a constant c.
+std::optional<int64_t> getStaticTripCount(Operation *ForOp);
+
+/// Hoists Pure loop-invariant ops directly before \p Loop (LICM). Returns
+/// the hoisted operations in hoisting order.
+std::vector<Operation *> hoistLoopInvariants(Operation *Loop);
+
+/// Splits `[lb, ub) step 1` into a main loop whose trip count is a multiple
+/// of \p Divisor and a remainder loop. Returns {main, remainder}; both reuse
+/// the original body (the remainder gets a clone). Fails (with a diagnostic)
+/// when the step is not the constant 1 or the divisor is not positive.
+FailureOr<std::pair<Operation *, Operation *>>
+splitLoopByDivisibility(Operation *ForOp, int64_t Divisor);
+
+/// Tiles the first `Sizes.size()` loops of the perfect nest rooted at
+/// \p ForOp. A size of 0 leaves that dimension untiled. Returns the new tile
+/// loops (outermost first) followed by the point loops. The original nest is
+/// destroyed. Fails when the nest is not perfect or sizes are invalid.
+FailureOr<std::vector<Operation *>>
+tileLoopNest(Operation *ForOp, const std::vector<int64_t> &Sizes);
+
+/// Interchanges a perfectly nested pair: \p Outer must contain exactly one
+/// loop plus the terminator. Returns the new outer loop.
+FailureOr<Operation *> interchangeLoops(Operation *Outer);
+
+/// Fully unrolls a loop with a static trip count; the loop is erased.
+/// Returns the number of body copies produced.
+FailureOr<int64_t> unrollLoopFull(Operation *ForOp);
+
+/// Unrolls by \p Factor; requires a static trip count divisible by the
+/// factor. Returns the new loop.
+FailureOr<Operation *> unrollLoopByFactor(Operation *ForOp, int64_t Factor);
+
+/// Models vectorization as unroll-jam by \p Width plus a `vectorized` unit
+/// attribute; requires a static trip count divisible by the width.
+FailureOr<Operation *> vectorizeLoop(Operation *ForOp, int64_t Width);
+
+/// A recognized matmul loop nest `C[..,i,j] += A[..,i,k] * B[..,k,j]`.
+struct MatmulMatch {
+  Operation *ILoop = nullptr;
+  Operation *JLoop = nullptr;
+  Operation *KLoop = nullptr;
+  Value A, B, C;
+  std::vector<Value> PrefixA, PrefixB, PrefixC; // leading outer indices
+  std::optional<int64_t> M, N, K;               // static trip counts
+};
+
+/// Matches the canonical matmul nest produced by convert-linalg-to-loops
+/// (also surviving tiling/splitting, whose loops keep plain-iv indexing).
+FailureOr<MatmulMatch> matchMatmulLoopNest(Operation *ILoop);
+
+/// Returns true when the xsmm-lite microkernel library has a kernel for the
+/// given static sizes (the N dimension must be a positive multiple of 4 —
+/// the library's vector width).
+bool microkernelSupports(std::optional<int64_t> M, std::optional<int64_t> N,
+                         std::optional<int64_t> K);
+
+/// Replaces a matched matmul nest with an `xsmm.matmul` library call
+/// (Section 4.4). Fails silenceably when the nest does not match or the
+/// library lacks a kernel for its sizes.
+FailureOr<Operation *> replaceWithMicrokernelCall(Operation *ILoop,
+                                                  std::string_view Library);
+
+} // namespace loops
+
+/// Registers the `xsmm` dialect (microkernel library calls).
+void registerXsmmDialect(Context &Ctx);
+
+} // namespace tdl
+
+#endif // TDL_LOOPS_LOOPUTILS_H

@@ -1,0 +1,720 @@
+//===- ConvertToLlvm.cpp - Progressive lowering passes -------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lowering ladder of Case Study 2: scf->cf, arith/cf/func->llvm,
+/// expand-strided-metadata, finalize-memref-to-llvm, and
+/// reconcile-unrealized-casts, plus lower-affine. The dialect-conversion
+/// mechanism (type converter + unrealized_conversion_cast insertion)
+/// reproduces MLIR's, including the famous "failed to legalize" error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+#include "lowering/Passes.h"
+#include "pass/Pass.h"
+#include "rewrite/Rewriter.h"
+
+#include <map>
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// scf.forall expansion and scf -> cf
+//===----------------------------------------------------------------------===//
+
+LogicalResult tdl::expandForallToFor(Operation *Root) {
+  while (true) {
+    Operation *Forall = nullptr;
+    Root->walkPre([&](Operation *Op) {
+      if (Op->getName() == "scf.forall") {
+        Forall = Op;
+        return WalkResult::Interrupt;
+      }
+      return WalkResult::Advance;
+    });
+    if (!Forall)
+      return success();
+
+    OpBuilder B(Forall->getContext());
+    B.setInsertionPoint(Forall);
+    Location Loc = Forall->getLoc();
+    std::vector<int64_t> Lbs =
+        Forall->getAttrOfType<ArrayAttr>("lowerBound").getAsIntegers();
+    std::vector<int64_t> Ubs =
+        Forall->getAttrOfType<ArrayAttr>("upperBound").getAsIntegers();
+
+    Value One = arith::buildConstantIndex(B, Loc, 1);
+    std::vector<Value> Ivs;
+    Operation *Innermost = nullptr;
+    for (size_t I = 0; I < Lbs.size(); ++I) {
+      Value Lb = arith::buildConstantIndex(B, Loc, Lbs[I]);
+      Value Ub = arith::buildConstantIndex(B, Loc, Ubs[I]);
+      Operation *For = scf::buildFor(B, Loc, Lb, Ub, One);
+      Ivs.push_back(scf::getInductionVar(For));
+      Innermost = For;
+      B.setInsertionPoint(scf::getLoopBody(For)->getTerminator());
+    }
+    Block *OldBody = &Forall->getRegion(0).front();
+    for (size_t I = 0; I < Ivs.size(); ++I)
+      OldBody->getArgument(I).replaceAllUsesWith(Ivs[I]);
+    Operation *InnerTerm = scf::getLoopBody(Innermost)->getTerminator();
+    std::vector<Operation *> ToMove;
+    for (Operation *Op : *OldBody)
+      if (!Op->hasTrait(OT_IsTerminator))
+        ToMove.push_back(Op);
+    for (Operation *Op : ToMove)
+      Op->moveBefore(InnerTerm);
+    Forall->erase();
+  }
+}
+
+/// Lowers one scf.for to CFG form.
+static void lowerForToCf(Operation *ForOp) {
+  Context &Ctx = ForOp->getContext();
+  OpBuilder B(Ctx);
+  Location Loc = ForOp->getLoc();
+  Block *Before = ForOp->getBlock();
+  Region *ParentRegion = Before->getParent();
+
+  Value Lb = scf::getLowerBound(ForOp);
+  Value Ub = scf::getUpperBound(ForOp);
+  Value Step = scf::getStep(ForOp);
+
+  // Split so the loop op starts its own block, then peel it off.
+  Block *After = Before->splitBefore(ForOp);
+
+  Block *Cond = ParentRegion->addBlockBefore(After);
+  Value CondIv = Cond->addArgument(IndexType::get(Ctx));
+
+  // Inline the body block between cond and after.
+  std::unique_ptr<Block> BodyOwned =
+      ForOp->getRegion(0).detachBlock(&ForOp->getRegion(0).front());
+  Block *Body = ParentRegion->insertBlockBefore(After, std::move(BodyOwned));
+
+  // before: br cond(lb)
+  B.setInsertionPointToEnd(Before);
+  cf::buildBranch(B, Loc, Cond, {Lb});
+
+  // cond: cmp = iv < ub; cond_br cmp, body(iv), after()
+  B.setInsertionPointToEnd(Cond);
+  Value Cmp = arith::buildCmpI(B, Loc, "slt", CondIv, Ub);
+  cf::buildCondBranch(B, Loc, Cmp, Body, {CondIv}, After, {});
+
+  // body: replace yield with iv+step; br cond(next)
+  Operation *Yield = Body->getTerminator();
+  B.setInsertionPointToEnd(Body);
+  Value BodyIv = Body->getArgument(0);
+  Value Next = arith::buildBinary(B, Loc, "arith.addi", BodyIv, Step);
+  cf::buildBranch(B, Loc, Cond, {Next});
+  Yield->erase();
+
+  // Remove the now-empty loop op (first op of After).
+  ForOp->erase();
+}
+
+/// Lowers one scf.if to CFG form.
+static void lowerIfToCf(Operation *IfOp) {
+  Context &Ctx = IfOp->getContext();
+  OpBuilder B(Ctx);
+  Location Loc = IfOp->getLoc();
+  Block *Before = IfOp->getBlock();
+  Region *ParentRegion = Before->getParent();
+  Value Cond = IfOp->getOperand(0);
+
+  Block *After = Before->splitBefore(IfOp);
+
+  auto InlineRegion = [&](Region &R) -> Block * {
+    if (R.empty())
+      return After;
+    std::unique_ptr<Block> Owned = R.detachBlock(&R.front());
+    Block *B2 = ParentRegion->insertBlockBefore(After, std::move(Owned));
+    Operation *Yield = B2->getTerminator();
+    OpBuilder Inner(Ctx);
+    Inner.setInsertionPointToEnd(B2);
+    cf::buildBranch(Inner, Loc, After, {});
+    Yield->erase();
+    return B2;
+  };
+  Block *Then = InlineRegion(IfOp->getRegion(0));
+  Block *Else = InlineRegion(IfOp->getRegion(1));
+
+  B.setInsertionPointToEnd(Before);
+  cf::buildCondBranch(B, Loc, Cond, Then, {}, Else, {});
+  IfOp->erase();
+}
+
+LogicalResult tdl::convertScfToCf(Operation *Func) {
+  if (failed(expandForallToFor(Func)))
+    return failure();
+  while (true) {
+    Operation *Target = nullptr;
+    Func->walkPre([&](Operation *Op) {
+      if (Op->getName() == "scf.for" || Op->getName() == "scf.if") {
+        Target = Op;
+        return WalkResult::Interrupt;
+      }
+      return WalkResult::Advance;
+    });
+    if (!Target)
+      return success();
+    if (Target->getName() == "scf.for")
+      lowerForToCf(Target);
+    else
+      lowerIfToCf(Target);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dialect-conversion-lite driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// LLVM-lowering type converter: index and memref become i64 ("pointers and
+/// machine words"); everything else converts to itself.
+Type convertTypeToLlvm(Context &Ctx, Type Ty) {
+  if (Ty.isIndex() || Ty.isa<MemRefType>())
+    return IntegerType::get(Ctx, 64);
+  return Ty;
+}
+
+Value castTo(OpBuilder &B, Location Loc, Value V, Type Ty) {
+  if (V.getType() == Ty)
+    return V;
+  OperationState State(Loc, "builtin.unrealized_conversion_cast");
+  State.Operands = {V};
+  State.ResultTypes = {Ty};
+  return B.create(State)->getResult(0);
+}
+
+/// Replaces \p Op with a same-shape op named \p NewName whose operand and
+/// result types have been converted, inserting unrealized casts at the
+/// boundaries — exactly MLIR's conversion-pattern mechanism.
+void convertOpTo(Operation *Op, std::string_view NewName,
+                 std::vector<NamedAttribute> ExtraAttrs = {}) {
+  Context &Ctx = Op->getContext();
+  OpBuilder B(Ctx);
+  B.setInsertionPoint(Op);
+  Location Loc = Op->getLoc();
+
+  OperationState State(Loc, NewName);
+  for (Value Operand : Op->getOperands())
+    State.Operands.push_back(
+        castTo(B, Loc, Operand, convertTypeToLlvm(Ctx, Operand.getType())));
+  for (Type Ty : Op->getResultTypes())
+    State.ResultTypes.push_back(convertTypeToLlvm(Ctx, Ty));
+  State.Attributes = Op->getAttrs();
+  for (NamedAttribute &Attr : ExtraAttrs)
+    State.Attributes.push_back(Attr);
+  for (unsigned I = 0; I < Op->getNumSuccessors(); ++I)
+    State.Successors.push_back(Op->getSuccessor(I));
+  Operation *NewOp = B.create(State);
+
+  for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+    Value NewResult = NewOp->getResult(I);
+    Value Replacement =
+        castTo(B, Loc, NewResult, Op->getResult(I).getType());
+    Op->getResult(I).replaceAllUsesWith(Replacement);
+  }
+  Op->erase();
+}
+
+/// Converts every op whose name appears in \p NameMap under \p Root.
+LogicalResult convertByNameMap(Operation *Root,
+                               const std::map<std::string, std::string> &Map) {
+  std::vector<Operation *> Targets;
+  Root->walk([&](Operation *Op) {
+    if (Map.count(std::string(Op->getName())))
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets)
+    convertOpTo(Op, Map.at(std::string(Op->getName())));
+  return success();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// arith/cf/func -> llvm
+//===----------------------------------------------------------------------===//
+
+static LogicalResult convertArithToLlvm(Operation *Func) {
+  // arith.constant needs its value attribute retyped (index -> i64).
+  std::vector<Operation *> Constants;
+  Func->walk([&](Operation *Op) {
+    if (Op->getName() == "arith.constant")
+      Constants.push_back(Op);
+  });
+  for (Operation *Op : Constants) {
+    if (IntegerAttr Value = Op->getAttrOfType<IntegerAttr>("value")) {
+      if (Value.getType().isIndex())
+        Op->setAttr("value",
+                    IntegerAttr::get(Op->getContext(), Value.getValue(),
+                                     IntegerType::get(Op->getContext(), 64)));
+    }
+    convertOpTo(Op, "llvm.constant");
+  }
+
+  static const std::map<std::string, std::string> NameMap = {
+      {"arith.addi", "llvm.add"},        {"arith.subi", "llvm.sub"},
+      {"arith.muli", "llvm.mul"},        {"arith.divsi", "llvm.sdiv"},
+      {"arith.remsi", "llvm.srem"},      {"arith.minsi", "llvm.smin"},
+      {"arith.maxsi", "llvm.smax"},      {"arith.floordivsi", "llvm.sdiv"},
+      {"arith.ceildivsi", "llvm.sdiv"},  {"arith.addf", "llvm.fadd"},
+      {"arith.subf", "llvm.fsub"},       {"arith.mulf", "llvm.fmul"},
+      {"arith.divf", "llvm.fdiv"},       {"arith.minf", "llvm.fmin"},
+      {"arith.maxf", "llvm.fmax"},       {"arith.cmpi", "llvm.icmp"},
+      {"arith.select", "llvm.select"},   {"arith.index_cast", "llvm.sext"},
+      {"arith.sitofp", "llvm.sitofp"}};
+  return convertByNameMap(Func, NameMap);
+}
+
+static LogicalResult convertCfToLlvm(Operation *Func) {
+  static const std::map<std::string, std::string> NameMap = {
+      {"cf.br", "llvm.br"},
+      {"cf.cond_br", "llvm.cond_br"},
+      {"cf.switch", "llvm.switch"}};
+  // Block arguments with index type convert too (they feed llvm branches).
+  Func->walk([&](Operation *Op) {
+    for (unsigned R = 0; R < Op->getNumRegions(); ++R) {
+      for (Block &B : Op->getRegion(R)) {
+        if (B.isEntryBlock() && Op->getName() == "func.func")
+          continue; // handled by convert-func-to-llvm
+        for (unsigned A = 0; A < B.getNumArguments(); ++A) {
+          Value Arg = B.getArgument(A);
+          Type Converted =
+              convertTypeToLlvm(Op->getContext(), Arg.getType());
+          if (Converted == Arg.getType())
+            continue;
+          OpBuilder Builder(Op->getContext());
+          Builder.setInsertionPointToStart(&B);
+          Type OldTy = Arg.getType();
+          Arg.setType(Converted);
+          OperationState State(Op->getLoc(),
+                               "builtin.unrealized_conversion_cast");
+          State.Operands = {Arg};
+          State.ResultTypes = {OldTy};
+          Operation *Cast = Builder.create(State);
+          Arg.replaceUsesWithIf(Cast->getResult(0),
+                                [&](Operation *User, unsigned) {
+                                  return User != Cast;
+                                });
+        }
+      }
+    }
+  });
+  return convertByNameMap(Func, NameMap);
+}
+
+static LogicalResult convertFuncToLlvm(Operation *Module) {
+  std::vector<Operation *> Funcs;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "func.func")
+      Funcs.push_back(Op);
+  });
+  Context &Ctx = Module->getContext();
+  for (Operation *Func : Funcs) {
+    // Returns and calls first.
+    std::vector<Operation *> Rets, Calls;
+    Func->walk([&](Operation *Op) {
+      if (Op->getName() == "func.return")
+        Rets.push_back(Op);
+      else if (Op->getName() == "func.call")
+        Calls.push_back(Op);
+    });
+    for (Operation *Ret : Rets)
+      convertOpTo(Ret, "llvm.return");
+    for (Operation *Call : Calls)
+      convertOpTo(Call, "llvm.call");
+
+    // Entry block argument types.
+    if (!Func->getRegion(0).empty()) {
+      Block &Entry = Func->getRegion(0).front();
+      OpBuilder B(Ctx);
+      for (unsigned A = 0; A < Entry.getNumArguments(); ++A) {
+        Value Arg = Entry.getArgument(A);
+        Type Converted = convertTypeToLlvm(Ctx, Arg.getType());
+        if (Converted == Arg.getType())
+          continue;
+        Type OldTy = Arg.getType();
+        Arg.setType(Converted);
+        B.setInsertionPointToStart(&Entry);
+        OperationState State(Func->getLoc(),
+                             "builtin.unrealized_conversion_cast");
+        State.Operands = {Arg};
+        State.ResultTypes = {OldTy};
+        Operation *Cast = B.create(State);
+        Arg.replaceUsesWithIf(Cast->getResult(0),
+                              [&](Operation *User, unsigned) {
+                                return User != Cast;
+                              });
+      }
+    }
+
+    // Re-create as llvm.func, moving the region.
+    OpBuilder B(Ctx);
+    B.setInsertionPoint(Func);
+    OperationState State(Func->getLoc(), "llvm.func");
+    State.NumRegions = 1;
+    State.Attributes = Func->getAttrs();
+    Operation *LlvmFunc = B.create(State);
+    LlvmFunc->getRegion(0).takeBody(Func->getRegion(0));
+    Func->erase();
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// expand-strided-metadata
+//===----------------------------------------------------------------------===//
+
+static LogicalResult expandStridedMetadata(Operation *Func) {
+  Context &Ctx = Func->getContext();
+  std::vector<Operation *> SubViews;
+  Func->walk([&](Operation *Op) {
+    if (Op->getName() == "memref.subview" && Op->getNumOperands() > 1)
+      SubViews.push_back(Op);
+  });
+  for (Operation *SV : SubViews) {
+    OpBuilder B(Ctx);
+    B.setInsertionPoint(SV);
+    Location Loc = SV->getLoc();
+    Value Src = SV->getOperand(0);
+    MemRefType SrcTy = Src.getType().cast<MemRefType>();
+    int64_t Rank = SrcTy.getRank();
+
+    // extract_strided_metadata: base, offset, sizes..., strides...
+    OperationState MetaState(Loc, "memref.extract_strided_metadata");
+    MetaState.Operands = {Src};
+    MetaState.ResultTypes.push_back(
+        MemRefType::get(Ctx, {kDynamic}, SrcTy.getElementType()));
+    MetaState.ResultTypes.push_back(IndexType::get(Ctx));
+    for (int64_t I = 0; I < 2 * Rank; ++I)
+      MetaState.ResultTypes.push_back(IndexType::get(Ctx));
+    Operation *Meta = B.create(MetaState);
+    Value Base = Meta->getResult(0);
+    Value BaseOffset = Meta->getResult(1);
+    std::vector<Value> SrcStrides;
+    for (int64_t I = 0; I < Rank; ++I)
+      SrcStrides.push_back(Meta->getResult(2 + Rank + I));
+
+    // Gather per-dim offset values (constant or dynamic operand).
+    std::vector<int64_t> StaticOffsets =
+        SV->getAttrOfType<ArrayAttr>("static_offsets").getAsIntegers();
+    unsigned DynIdx = 1; // operands: src, dyn offsets, dyn sizes, dyn strides
+    std::vector<Value> OffsetValues;
+    for (int64_t I = 0; I < Rank; ++I) {
+      if (StaticOffsets[I] == kDynamic)
+        OffsetValues.push_back(SV->getOperand(DynIdx++));
+      else
+        OffsetValues.push_back(
+            arith::buildConstantIndex(B, Loc, StaticOffsets[I]));
+    }
+
+    // new_offset = s0 + sum_i s_{1+2i} * s_{2+2i}
+    // (base offset, then offset/stride pairs), as one affine.apply — the op
+    // whose survival drives Case Study 2.
+    AffineExpr Expr = getAffineSymbolExpr(Ctx, 0);
+    std::vector<Value> ApplyOperands = {BaseOffset};
+    for (int64_t I = 0; I < Rank; ++I) {
+      unsigned Pos = ApplyOperands.size();
+      Expr = Expr + getAffineSymbolExpr(Ctx, Pos) *
+                        getAffineSymbolExpr(Ctx, Pos + 1);
+      ApplyOperands.push_back(OffsetValues[I]);
+      ApplyOperands.push_back(SrcStrides[I]);
+    }
+    AffineMap Map =
+        AffineMap::get(Ctx, 0, ApplyOperands.size(), {Expr});
+    Value NewOffset = affine::buildApply(B, Loc, Map, ApplyOperands);
+
+    // reinterpret_cast(base, new_offset) with the subview's sizes/strides.
+    OperationState RcState(Loc, "memref.reinterpret_cast");
+    RcState.Operands = {Base, NewOffset};
+    // Remaining dynamic size/stride operands pass through.
+    for (unsigned I = DynIdx; I < SV->getNumOperands(); ++I)
+      RcState.Operands.push_back(SV->getOperand(I));
+    RcState.addAttribute("static_sizes", SV->getAttr("static_sizes"));
+    RcState.addAttribute("static_strides", SV->getAttr("static_strides"));
+    RcState.addAttribute(
+        "static_offsets",
+        ArrayAttr::getIndexArray(Ctx, std::vector<int64_t>{kDynamic}));
+    RcState.ResultTypes = {SV->getResult(0).getType()};
+    Operation *Rc = B.create(RcState);
+    SV->getResult(0).replaceAllUsesWith(Rc->getResult(0));
+    SV->erase();
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// finalize-memref-to-llvm and reconcile-unrealized-casts
+//===----------------------------------------------------------------------===//
+
+static LogicalResult finalizeMemRefToLlvm(Operation *Root) {
+  static const std::map<std::string, std::string> NameMap = {
+      {"memref.load", "llvm.load"},
+      {"memref.store", "llvm.store"},
+      {"memref.alloc", "llvm.call"},
+      {"memref.dealloc", "llvm.call"},
+      {"memref.subview", "llvm.getelementptr"},
+      {"memref.reinterpret_cast", "llvm.getelementptr"},
+      {"memref.extract_strided_metadata", "llvm.extractvalue"},
+      {"memref.extract_aligned_pointer_as_index", "llvm.ptrtoint"},
+      {"memref.copy", "llvm.call"},
+      {"memref.cast", "llvm.bitcast"},
+      {"memref.get_global", "llvm.addressof"},
+      {"memref.global", "llvm.global"}};
+  return convertByNameMap(Root, NameMap);
+}
+
+static LogicalResult reconcileUnrealizedCasts(Operation *Root) {
+  PatternSet Patterns;
+  populateCanonicalizationPatterns(Patterns);
+  GreedyRewriteConfig Config;
+  (void)applyPatternsGreedily(Root, Patterns, Config);
+
+  // Any cast that survives is a type-system inconsistency left by the
+  // pipeline; report it the way MLIR does.
+  bool Failed = false;
+  Root->walk([&](Operation *Op) {
+    if (Op->getName() != "builtin.unrealized_conversion_cast")
+      return;
+    if (!Failed)
+      Op->emitError() << "failed to legalize operation "
+                         "'builtin.unrealized_conversion_cast' that was "
+                         "explicitly marked illegal";
+    Failed = true;
+  });
+  return failure(Failed);
+}
+
+//===----------------------------------------------------------------------===//
+// lower-affine
+//===----------------------------------------------------------------------===//
+
+static Value expandAffineExpr(OpBuilder &B, Location Loc, AffineExpr Expr,
+                              const std::vector<Value> &Dims,
+                              const std::vector<Value> &Symbols) {
+  switch (Expr.getKind()) {
+  case AffineExprKind::DimId:
+    return Dims[Expr.getPosition()];
+  case AffineExprKind::SymbolId:
+    return Symbols[Expr.getPosition()];
+  case AffineExprKind::Constant:
+    return arith::buildConstantIndex(B, Loc, Expr.getValue());
+  default:
+    break;
+  }
+  Value Lhs = expandAffineExpr(B, Loc, Expr.getLHS(), Dims, Symbols);
+  Value Rhs = expandAffineExpr(B, Loc, Expr.getRHS(), Dims, Symbols);
+  switch (Expr.getKind()) {
+  case AffineExprKind::Add:
+    return arith::buildBinary(B, Loc, "arith.addi", Lhs, Rhs);
+  case AffineExprKind::Mul:
+    return arith::buildBinary(B, Loc, "arith.muli", Lhs, Rhs);
+  case AffineExprKind::Mod:
+    return arith::buildBinary(B, Loc, "arith.remsi", Lhs, Rhs);
+  case AffineExprKind::FloorDiv:
+    return arith::buildBinary(B, Loc, "arith.floordivsi", Lhs, Rhs);
+  case AffineExprKind::CeilDiv:
+    return arith::buildBinary(B, Loc, "arith.ceildivsi", Lhs, Rhs);
+  default:
+    assert(false && "unexpected affine expr");
+    return Lhs;
+  }
+}
+
+static LogicalResult lowerAffine(Operation *Root) {
+  std::vector<Operation *> Targets;
+  Root->walk([&](Operation *Op) {
+    if (Op->getName() == "affine.apply" || Op->getName() == "affine.min")
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    Location Loc = Op->getLoc();
+    AffineMap Map = Op->getAttrOfType<AffineMapAttr>("map").getValue();
+    std::vector<Value> Dims, Symbols;
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+      if (I < Map.getNumDims())
+        Dims.push_back(Op->getOperand(I));
+      else
+        Symbols.push_back(Op->getOperand(I));
+    }
+    Value Result;
+    if (Op->getName() == "affine.apply") {
+      Result = expandAffineExpr(B, Loc, Map.getResult(0), Dims, Symbols);
+    } else {
+      for (AffineExpr Expr : Map.getResults()) {
+        Value V = expandAffineExpr(B, Loc, Expr, Dims, Symbols);
+        Result = Result
+                     ? arith::buildBinary(B, Loc, "arith.minsi", Result, V)
+                     : V;
+      }
+    }
+    Op->getResult(0).replaceAllUsesWith(Result);
+    Op->erase();
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+static LogicalResult runCse(Operation *Root) {
+  // Per-block value numbering of Pure, region-free ops.
+  Root->walk([&](Operation *Op) {
+    for (unsigned R = 0; R < Op->getNumRegions(); ++R) {
+      for (Block &B : Op->getRegion(R)) {
+        std::map<std::string, Operation *> Seen;
+        std::vector<Operation *> Snapshot(B.begin(), B.end());
+        for (Operation *Candidate : Snapshot) {
+          if (!Candidate->hasTrait(OT_Pure) || Candidate->getNumRegions())
+            continue;
+          std::string Key(Candidate->getName());
+          char Buffer[24];
+          for (Value Operand : Candidate->getOperands()) {
+            std::snprintf(Buffer, sizeof(Buffer), "|%p",
+                          static_cast<void *>(Operand.getImpl()));
+            Key += Buffer;
+          }
+          for (const NamedAttribute &Attr : Candidate->getAttrs()) {
+            std::snprintf(Buffer, sizeof(Buffer), "|%p",
+                          static_cast<const void *>(Attr.Value.getImpl()));
+            Key += Attr.Name + Buffer;
+          }
+          auto [It, Inserted] = Seen.emplace(Key, Candidate);
+          if (!Inserted) {
+            Candidate->replaceAllUsesWith(It->second);
+            Candidate->erase();
+          }
+        }
+      }
+    }
+  });
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+namespace tdl {
+void registerConversionPasses();
+
+void registerConversionPasses() {
+  PassRegistry &Registry = PassRegistry::instance();
+
+  Registry.registerFnPass(
+      "canonicalize", "Greedy canonicalization and folding", "",
+      [](Operation *Target, Pass &) {
+        PatternSet Patterns;
+        populateCanonicalizationPatterns(Patterns);
+        (void)applyPatternsGreedily(Target, Patterns);
+        return success();
+      });
+
+  Registry.registerFnPass("cse", "Common subexpression elimination", "",
+                          [](Operation *Target, Pass &) {
+                            return runCse(Target);
+                          });
+
+  Registry.registerFnPass("convert-scf-to-cf",
+                          "Lower structured control flow to branches",
+                          "", [](Operation *Target, Pass &) {
+                            return convertScfToCf(Target);
+                          });
+
+  Registry.registerFnPass("convert-arith-to-llvm",
+                          "Lower arith ops to the LLVM dialect", "",
+                          [](Operation *Target, Pass &) {
+                            return convertArithToLlvm(Target);
+                          });
+
+  Registry.registerFnPass("convert-cf-to-llvm",
+                          "Lower cf branches to the LLVM dialect",
+                          "", [](Operation *Target, Pass &) {
+                            return convertCfToLlvm(Target);
+                          });
+
+  Registry.registerFnPass("convert-func-to-llvm",
+                          "Lower functions to the LLVM dialect",
+                          "builtin.module", [](Operation *Target, Pass &) {
+                            return convertFuncToLlvm(Target);
+                          });
+
+  Registry.registerFnPass("expand-strided-metadata",
+                          "Externalize non-trivial memref addressing",
+                          "", [](Operation *Target, Pass &) {
+                            return expandStridedMetadata(Target);
+                          });
+
+  Registry.registerFnPass("finalize-memref-to-llvm",
+                          "Lower trivially-indexed memrefs to LLVM",
+                          "builtin.module", [](Operation *Target, Pass &) {
+                            return finalizeMemRefToLlvm(Target);
+                          });
+
+  Registry.registerFnPass("reconcile-unrealized-casts",
+                          "Eliminate cancelling conversion casts",
+                          "builtin.module", [](Operation *Target, Pass &) {
+                            return reconcileUnrealizedCasts(Target);
+                          });
+
+  Registry.registerFnPass("lower-affine",
+                          "Expand affine.apply/affine.min into arith ops",
+                          "", [](Operation *Target, Pass &) {
+                            return lowerAffine(Target);
+                          });
+
+  // Pre-/post-condition contracts (Table 2 of the paper).
+  ContractRegistry &Contracts = ContractRegistry::instance();
+  Contracts.registerContract(
+      "convert-scf-to-cf",
+      {{"scf.*"},
+       {"cf.br", "cf.cond_br", "arith.cmpi", "arith.addi", "arith.constant",
+        "cast"}});
+  Contracts.registerContract(
+      "convert-arith-to-llvm",
+      {{"arith.*"},
+       {"llvm.add", "llvm.sub", "llvm.mul", "llvm.sdiv", "llvm.srem",
+        "llvm.smin", "llvm.smax", "llvm.fadd", "llvm.fsub", "llvm.fmul",
+        "llvm.fdiv", "llvm.fmin", "llvm.fmax", "llvm.icmp", "llvm.select",
+        "llvm.sext", "llvm.sitofp", "llvm.constant", "cast"}});
+  Contracts.registerContract(
+      "convert-cf-to-llvm",
+      {{"cf.*"}, {"llvm.br", "llvm.cond_br", "llvm.switch", "cast"}});
+  Contracts.registerContract(
+      "convert-func-to-llvm",
+      {{"func.*"},
+       {"llvm.func", "llvm.return", "llvm.call", "cast"}});
+  Contracts.registerContract(
+      "expand-strided-metadata",
+      {{"memref.*"},
+       {"memref.subview.constr", "memref.extract_strided_metadata.constr",
+        "memref.extract_aligned_pointer_as_index.constr",
+        "memref.reinterpret_cast.constr", "memref.load", "memref.store",
+        "memref.alloc", "memref.dealloc", "memref.copy", "memref.cast",
+        "memref.global", "memref.get_global", "affine.min", "affine.apply",
+        "arith.constant"}});
+  Contracts.registerContract(
+      "finalize-memref-to-llvm",
+      {{"memref.*"},
+       {"llvm.load", "llvm.store", "llvm.getelementptr", "llvm.call",
+        "llvm.ptrtoint", "llvm.extractvalue", "llvm.bitcast", "llvm.global",
+        "llvm.addressof", "cast"}});
+  Contracts.registerContract("reconcile-unrealized-casts", {{"cast"}, {}});
+  Contracts.registerContract(
+      "lower-affine",
+      {{"affine.*"},
+       {"arith.addi", "arith.muli", "arith.remsi", "arith.floordivsi",
+        "arith.ceildivsi", "arith.minsi", "arith.constant"}});
+}
+} // namespace tdl

@@ -1,0 +1,695 @@
+//===- TosaPasses.cpp - TOSA->Linalg pipeline of Case Study 1 -------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TOSA-to-Linalg pipeline the paper uses for the compile-time overhead
+/// measurement (Table 1 / Figure 6), plus bufferization-lite and
+/// convert-linalg-to-loops (used by Case Studies 4 and 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+#include "lowering/Passes.h"
+#include "pass/Pass.h"
+#include "rewrite/Rewriter.h"
+
+#include <cmath>
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+static std::vector<Operation *> collectOps(Operation *Root,
+                                           std::string_view Name) {
+  std::vector<Operation *> Result;
+  Root->walk([&](Operation *Op) {
+    if (Op->getName() == Name)
+      Result.push_back(Op);
+  });
+  return Result;
+}
+
+static bool isTosaElementwise(Operation *Op) {
+  return Op->getDialectName() == "tosa" &&
+         Op->getInfo()->Interfaces.count("Elementwise");
+}
+
+static Value makeEmptyTensor(OpBuilder &B, Location Loc, TensorType Ty) {
+  OperationState State(Loc, "tensor.empty");
+  State.ResultTypes = {Ty};
+  return B.create(State)->getResult(0);
+}
+
+static Operation *makeLinalgOp(OpBuilder &B, Location Loc,
+                               std::string_view Name, std::vector<Value> Ins,
+                               std::vector<Value> Outs,
+                               std::vector<NamedAttribute> Attrs = {}) {
+  OperationState State(Loc, Name);
+  State.addAttribute("num_inputs",
+                     IntegerAttr::get(B.getContext(),
+                                      static_cast<int64_t>(Ins.size()),
+                                      B.getI64Type()));
+  for (NamedAttribute &Attr : Attrs)
+    State.Attributes.push_back(Attr);
+  State.Operands = std::move(Ins);
+  for (Value Out : Outs) {
+    State.Operands.push_back(Out);
+    if (Out.getType().isa<TensorType>())
+      State.ResultTypes.push_back(Out.getType());
+  }
+  return B.create(State);
+}
+
+//===----------------------------------------------------------------------===//
+// TOSA pipeline passes
+//===----------------------------------------------------------------------===//
+
+/// tosa-optional-decompositions: fully_connected -> transpose+matmul+add.
+static LogicalResult tosaOptionalDecompositions(Operation *Func) {
+  for (Operation *Fc : collectOps(Func, "tosa.fully_connected")) {
+    OpBuilder B(Fc->getContext());
+    B.setInsertionPoint(Fc);
+    Location Loc = Fc->getLoc();
+    Value Input = Fc->getOperand(0);
+    Value Weight = Fc->getOperand(1);
+    TensorType WeightTy = Weight.getType().cast<TensorType>();
+    std::vector<int64_t> Transposed(WeightTy.getShape().rbegin(),
+                                    WeightTy.getShape().rend());
+    OperationState TState(Loc, "tosa.transpose");
+    TState.Operands = {Weight};
+    TState.ResultTypes = {
+        TensorType::get(B.getContext(), Transposed, WeightTy.getElementType())};
+    TState.addAttribute("perms", B.getIndexArrayAttr({1, 0}));
+    Value WeightT = B.create(TState)->getResult(0);
+
+    OperationState MState(Loc, "tosa.matmul");
+    MState.Operands = {Input, WeightT};
+    MState.ResultTypes = {Fc->getResult(0).getType()};
+    Value Mat = B.create(MState)->getResult(0);
+
+    Value Result = Mat;
+    if (Fc->getNumOperands() > 2)
+      Result = tosa::buildBinary(B, Loc, "tosa.add", Mat, Fc->getOperand(2));
+    Fc->getResult(0).replaceAllUsesWith(Result);
+    Fc->erase();
+  }
+  return success();
+}
+
+/// tosa-infer-shapes: propagate operand shapes to dynamic results of
+/// elementwise ops.
+static LogicalResult tosaInferShapes(Operation *Func) {
+  Func->walk([](Operation *Op) {
+    if (!isTosaElementwise(Op) || !Op->getNumResults())
+      return;
+    TensorType In = Op->getOperand(0).getType().dyn_cast<TensorType>();
+    TensorType Out = Op->getResult(0).getType().dyn_cast<TensorType>();
+    if (!In || !Out || !In.hasStaticShape() || Out.hasStaticShape())
+      return;
+    Op->getResult(0).setType(In);
+  });
+  return success();
+}
+
+/// tosa-make-broadcastable: reshape lower-rank operands of binary ops.
+static LogicalResult tosaMakeBroadcastable(Operation *Func) {
+  Func->walk([](Operation *Op) {
+    if (!isTosaElementwise(Op) || Op->getNumOperands() != 2)
+      return;
+    TensorType L = Op->getOperand(0).getType().dyn_cast<TensorType>();
+    TensorType R = Op->getOperand(1).getType().dyn_cast<TensorType>();
+    if (!L || !R || L.getRank() == R.getRank())
+      return;
+    unsigned LowIdx = L.getRank() < R.getRank() ? 0 : 1;
+    TensorType Low = LowIdx == 0 ? L : R;
+    TensorType High = LowIdx == 0 ? R : L;
+    std::vector<int64_t> NewShape(High.getRank() - Low.getRank(), 1);
+    for (int64_t Dim : Low.getShape())
+      NewShape.push_back(Dim);
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    OperationState State(Op->getLoc(), "tosa.reshape");
+    State.Operands = {Op->getOperand(LowIdx)};
+    State.ResultTypes = {
+        TensorType::get(Op->getContext(), NewShape, Low.getElementType())};
+    State.addAttribute("new_shape",
+                       ArrayAttr::getIndexArray(Op->getContext(), NewShape));
+    Op->setOperand(LowIdx, B.create(State)->getResult(0));
+  });
+  return success();
+}
+
+/// tosa-to-linalg-named: matmul/conv2d/pooling to named linalg ops.
+static LogicalResult tosaToLinalgNamed(Operation *Func) {
+  struct Mapping {
+    const char *Tosa;
+    const char *Linalg;
+  };
+  static const Mapping Mappings[] = {
+      {"tosa.matmul", "linalg.batch_matmul"},
+      {"tosa.conv2d", "linalg.conv2d"},
+      {"tosa.depthwise_conv2d", "linalg.conv2d"},
+      {"tosa.avg_pool2d", "linalg.pool"},
+      {"tosa.max_pool2d", "linalg.pool"}};
+  for (const Mapping &M : Mappings) {
+    for (Operation *Op : collectOps(Func, M.Tosa)) {
+      OpBuilder B(Op->getContext());
+      B.setInsertionPoint(Op);
+      TensorType ResultTy = Op->getResult(0).getType().cast<TensorType>();
+      Value Init = makeEmptyTensor(B, Op->getLoc(), ResultTy);
+      Operation *Linalg = makeLinalgOp(B, Op->getLoc(), M.Linalg,
+                                       Op->getOperands(), {Init});
+      Op->getResult(0).replaceAllUsesWith(Linalg->getResult(0));
+      Op->erase();
+    }
+  }
+  return success();
+}
+
+/// tosa-layerwise-constant-fold: fold elementwise ops over tosa.const.
+static LogicalResult tosaLayerwiseConstantFold(Operation *Func) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<Operation *> Candidates;
+    Func->walk([&](Operation *Op) {
+      if (isTosaElementwise(Op))
+        Candidates.push_back(Op);
+    });
+    for (Operation *Op : Candidates) {
+      std::vector<DenseElementsAttr> Inputs;
+      bool AllConst = true;
+      for (Value Operand : Op->getOperands()) {
+        Operation *Def = Operand.getDefiningOp();
+        if (!Def || Def->getName() != "tosa.const") {
+          AllConst = false;
+          break;
+        }
+        Inputs.push_back(Def->getAttrOfType<DenseElementsAttr>("value"));
+      }
+      if (!AllConst || Inputs.empty() || !Op->getNumResults())
+        continue;
+      TensorType ResultTy = Op->getResult(0).getType().dyn_cast<TensorType>();
+      if (!ResultTy || !ResultTy.hasStaticShape())
+        continue;
+
+      int64_t Count = ResultTy.getNumElements();
+      auto At = [](const DenseElementsAttr &Attr, int64_t I) {
+        return Attr.isSplat() ? Attr.getSplatValue()
+                              : Attr.getRawValues()[I % Attr.getRawValues()
+                                                            .size()];
+      };
+      std::vector<double> Out(Count);
+      std::string_view Name = Op->getName();
+      for (int64_t I = 0; I < Count; ++I) {
+        double A = At(Inputs[0], I);
+        double B2 = Inputs.size() > 1 ? At(Inputs[1], I) : 0;
+        if (Name == "tosa.add")
+          Out[I] = A + B2;
+        else if (Name == "tosa.sub")
+          Out[I] = A - B2;
+        else if (Name == "tosa.mul")
+          Out[I] = A * B2;
+        else if (Name == "tosa.abs")
+          Out[I] = std::fabs(A);
+        else if (Name == "tosa.negate")
+          Out[I] = -A;
+        else if (Name == "tosa.exp")
+          Out[I] = std::exp(A);
+        else if (Name == "tosa.rsqrt")
+          Out[I] = 1.0 / std::sqrt(A);
+        else if (Name == "tosa.reciprocal")
+          Out[I] = 1.0 / A;
+        else if (Name == "tosa.tanh")
+          Out[I] = std::tanh(A);
+        else if (Name == "tosa.sigmoid")
+          Out[I] = 1.0 / (1.0 + std::exp(-A));
+        else if (Name == "tosa.maximum")
+          Out[I] = std::max(A, B2);
+        else if (Name == "tosa.minimum")
+          Out[I] = std::min(A, B2);
+        else
+          goto next_candidate;
+      }
+      {
+        OpBuilder B(Op->getContext());
+        B.setInsertionPoint(Op);
+        DenseElementsAttr Folded =
+            DenseElementsAttr::get(Op->getContext(), ResultTy, std::move(Out));
+        Value NewConst = tosa::buildConst(B, Op->getLoc(), Folded);
+        Op->getResult(0).replaceAllUsesWith(NewConst);
+        Op->erase();
+        Changed = true;
+      }
+    next_candidate:;
+    }
+  }
+  return success();
+}
+
+/// tosa-validate: every remaining tosa op must have static tensor shapes.
+static LogicalResult tosaValidate(Operation *Module) {
+  bool Ok = true;
+  Module->walk([&](Operation *Op) {
+    if (Op->getDialectName() != "tosa")
+      return;
+    for (Value Result : Op->getResults()) {
+      TensorType Ty = Result.getType().dyn_cast<TensorType>();
+      if (!Ty || !Ty.hasStaticShape()) {
+        Op->emitError() << "tosa op with non-static result shape fails "
+                           "validation";
+        Ok = false;
+      }
+    }
+  });
+  return success(Ok);
+}
+
+/// tosa-to-linalg: elementwise/reduce/transpose to linalg structured ops.
+static LogicalResult tosaToLinalg(Operation *Func) {
+  std::vector<Operation *> Targets;
+  Func->walk([&](Operation *Op) {
+    if (isTosaElementwise(Op) || Op->getName() == "tosa.reduce_sum" ||
+        Op->getName() == "tosa.reduce_max" ||
+        Op->getName() == "tosa.transpose")
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    Location Loc = Op->getLoc();
+    TensorType ResultTy = Op->getResult(0).getType().cast<TensorType>();
+    Value Init = makeEmptyTensor(B, Loc, ResultTy);
+    std::vector<NamedAttribute> Attrs;
+    std::string LinalgName = "linalg.elementwise";
+    std::string_view Name = Op->getName();
+    if (Name == "tosa.reduce_sum" || Name == "tosa.reduce_max") {
+      LinalgName = "linalg.reduce";
+      Attrs.push_back({"kind", StringAttr::get(B.getContext(),
+                                               Name == "tosa.reduce_sum"
+                                                   ? "add"
+                                                   : "max")});
+      if (Attribute Axis = Op->getAttr("axis"))
+        Attrs.push_back({"axis", Axis});
+    } else if (Name == "tosa.transpose") {
+      LinalgName = "linalg.transpose";
+      if (Attribute Perms = Op->getAttr("perms"))
+        Attrs.push_back({"perms", Perms});
+    } else {
+      // Strip the "tosa." prefix for the elementwise kind.
+      Attrs.push_back(
+          {"kind", StringAttr::get(B.getContext(), Name.substr(5))});
+    }
+    Operation *Linalg =
+        makeLinalgOp(B, Loc, LinalgName, Op->getOperands(), {Init}, Attrs);
+    Op->getResult(0).replaceAllUsesWith(Linalg->getResult(0));
+    Op->erase();
+  }
+  return success();
+}
+
+/// tosa-to-arith: tosa.const -> arith.constant.
+static LogicalResult tosaToArith(Operation *Func) {
+  for (Operation *Op : collectOps(Func, "tosa.const")) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    OperationState State(Op->getLoc(), "arith.constant");
+    State.ResultTypes = {Op->getResult(0).getType()};
+    State.addAttribute("value", Op->getAttr("value"));
+    Operation *NewConst = B.create(State);
+    Op->getResult(0).replaceAllUsesWith(NewConst->getResult(0));
+    Op->erase();
+  }
+  return success();
+}
+
+/// tosa-to-tensor: reshape/pad/slice/concat to tensor ops.
+static LogicalResult tosaToTensor(Operation *Func) {
+  static const std::map<std::string, std::string> NameMap = {
+      {"tosa.reshape", "tensor.reshape"},
+      {"tosa.pad", "tensor.pad"},
+      {"tosa.slice", "tensor.extract_slice"},
+      {"tosa.concat", "tensor.concat"}};
+  std::vector<Operation *> Targets;
+  Func->walk([&](Operation *Op) {
+    if (NameMap.count(std::string(Op->getName())))
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    OperationState State(Op->getLoc(), NameMap.at(std::string(Op->getName())));
+    State.Operands = Op->getOperands();
+    State.ResultTypes = Op->getResultTypes();
+    State.Attributes = Op->getAttrs();
+    Operation *NewOp = B.create(State);
+    Op->replaceAllUsesWith(NewOp);
+    Op->erase();
+  }
+  return success();
+}
+
+/// linalg-fuse-elementwise-ops: fuse single-use producer/consumer pairs.
+static LogicalResult linalgFuseElementwise(Operation *Func) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<Operation *> Consumers = collectOps(Func, "linalg.elementwise");
+    for (Operation *Consumer : Consumers) {
+      int64_t NumInputs = Consumer->getIntAttr("num_inputs", 0);
+      for (int64_t I = 0; I < NumInputs; ++I) {
+        Operation *Producer = Consumer->getOperand(I).getDefiningOp();
+        if (!Producer || Producer->getName() != "linalg.elementwise" ||
+            !Producer->getResult(0).hasOneUse())
+          continue;
+        // Fuse: new elementwise with producer inputs + consumer's other
+        // inputs; kinds chained.
+        OpBuilder B(Consumer->getContext());
+        B.setInsertionPoint(Consumer);
+        int64_t ProdInputs = Producer->getIntAttr("num_inputs", 0);
+        std::vector<Value> Ins;
+        for (int64_t P = 0; P < ProdInputs; ++P)
+          Ins.push_back(Producer->getOperand(P));
+        for (int64_t C = 0; C < NumInputs; ++C)
+          if (C != I)
+            Ins.push_back(Consumer->getOperand(C));
+        std::vector<Value> Outs = {
+            Consumer->getOperand(Consumer->getNumOperands() - 1)};
+        std::string Kind = std::string(Producer->getStringAttr("kind")) +
+                           ";" + std::string(Consumer->getStringAttr("kind"));
+        Operation *Fused = makeLinalgOp(
+            B, Consumer->getLoc(), "linalg.elementwise", Ins, Outs,
+            {{"kind", StringAttr::get(B.getContext(), Kind)}});
+        Consumer->getResult(0).replaceAllUsesWith(Fused->getResult(0));
+        Consumer->erase();
+        Producer->erase();
+        Changed = true;
+        break;
+      }
+      if (Changed)
+        break;
+    }
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// one-shot-bufferize (lite)
+//===----------------------------------------------------------------------===//
+
+static Type tensorToMemRef(Context &Ctx, Type Ty) {
+  if (TensorType Tensor = Ty.dyn_cast<TensorType>())
+    return MemRefType::get(Ctx, Tensor.getShape(), Tensor.getElementType());
+  return Ty;
+}
+
+static LogicalResult oneShotBufferize(Operation *Module) {
+  Context &Ctx = Module->getContext();
+  int64_t GlobalCounter = 0;
+
+  std::vector<Operation *> Funcs = collectOps(Module, "func.func");
+  for (Operation *Func : Funcs) {
+    // Rewrite block argument and result types in place.
+    Func->walk([&](Operation *Op) {
+      for (unsigned R = 0; R < Op->getNumRegions(); ++R)
+        for (Block &B : Op->getRegion(R))
+          for (unsigned A = 0; A < B.getNumArguments(); ++A)
+            B.getArgument(A).setType(
+                tensorToMemRef(Ctx, B.getArgument(A).getType()));
+    });
+
+    // Constants become globals; tensor.empty becomes alloc; linalg results
+    // alias their outs.
+    std::vector<Operation *> Worklist;
+    Func->walk([&](Operation *Op) { Worklist.push_back(Op); });
+    for (Operation *Op : Worklist) {
+      OpBuilder B(Ctx);
+      if (Op->getName() == "arith.constant" &&
+          Op->getResult(0).getType().isa<TensorType>()) {
+        B.setInsertionPoint(Op);
+        std::string Name = "__constant_" + std::to_string(GlobalCounter++);
+        // Module-level global.
+        OpBuilder ModB(Ctx);
+        ModB.setInsertionPointToStart(builtin::getModuleBody(Module));
+        OperationState GState(Op->getLoc(), "memref.global");
+        GState.addAttribute("sym_name", StringAttr::get(Ctx, Name));
+        GState.addAttribute("value", Op->getAttr("value"));
+        GState.addAttribute(
+            "type", TypeAttr::get(Ctx, tensorToMemRef(
+                                           Ctx, Op->getResult(0).getType())));
+        ModB.create(GState);
+
+        OperationState GetState(Op->getLoc(), "memref.get_global");
+        GetState.addAttribute("name", SymbolRefAttr::get(Ctx, Name));
+        GetState.ResultTypes = {
+            tensorToMemRef(Ctx, Op->getResult(0).getType())};
+        Operation *Get = B.create(GetState);
+        Op->getResult(0).replaceAllUsesWith(Get->getResult(0));
+        Op->erase();
+        continue;
+      }
+      if (Op->getName() == "tensor.empty") {
+        B.setInsertionPoint(Op);
+        MemRefType Ty =
+            tensorToMemRef(Ctx, Op->getResult(0).getType()).cast<MemRefType>();
+        Value Alloc = memref::buildAlloc(B, Op->getLoc(), Ty);
+        Op->getResult(0).replaceAllUsesWith(Alloc);
+        Op->erase();
+        continue;
+      }
+      if (Op->getDialectName() == "linalg" && Op->getNumResults()) {
+        // Results alias the (now memref-typed) outs operands.
+        int64_t NumInputs = Op->getIntAttr("num_inputs", 0);
+        B.setInsertionPoint(Op);
+        OperationState State(Op->getLoc(), Op->getName());
+        State.Operands = Op->getOperands();
+        State.Attributes = Op->getAttrs();
+        Operation *NewOp = B.create(State);
+        (void)NewOp;
+        for (unsigned I = 0; I < Op->getNumResults(); ++I)
+          Op->getResult(I).replaceAllUsesWith(
+              Op->getOperand(NumInputs + I));
+        Op->erase();
+        continue;
+      }
+      if (Op->getDialectName() == "tensor" && Op->getNumResults()) {
+        // Remaining tensor ops (reshape/cast/...) become reinterpret casts.
+        B.setInsertionPoint(Op);
+        OperationState State(Op->getLoc(), "memref.cast");
+        State.Operands = {Op->getOperand(0)};
+        State.ResultTypes = {tensorToMemRef(Ctx, Op->getResult(0).getType())};
+        Operation *NewOp = B.create(State);
+        Op->getResult(0).replaceAllUsesWith(NewOp->getResult(0));
+        Op->erase();
+        continue;
+      }
+      // Generic: retype any remaining tensor results.
+      for (Value Result : Op->getResults())
+        Result.setType(tensorToMemRef(Ctx, Result.getType()));
+    }
+
+    // Function type.
+    FunctionType OldTy = func::getFunctionType(Func);
+    std::vector<Type> Inputs, Results;
+    for (Type Ty : OldTy.getInputs())
+      Inputs.push_back(tensorToMemRef(Ctx, Ty));
+    for (Type Ty : OldTy.getResults())
+      Results.push_back(tensorToMemRef(Ctx, Ty));
+    Func->setAttr("function_type",
+                  TypeAttr::get(Ctx, FunctionType::get(Ctx, Inputs, Results)));
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// convert-linalg-to-loops
+//===----------------------------------------------------------------------===//
+
+/// Emits the loop nest for a (batch_)matmul on memrefs and tags the
+/// outermost loop so library substitution and benchmarks can find it.
+static void emitMatmulLoops(OpBuilder &B, Operation *Op, bool Batched) {
+  Location Loc = Op->getLoc();
+  Value A = Op->getOperand(0);
+  Value Bm = Op->getOperand(1);
+  Value C = Op->getOperand(2);
+  MemRefType CTy = C.getType().cast<MemRefType>();
+  MemRefType ATy = A.getType().cast<MemRefType>();
+  const std::vector<int64_t> &CShape = CTy.getShape();
+
+  Value Zero = arith::buildConstantIndex(B, Loc, 0);
+  Value One = arith::buildConstantIndex(B, Loc, 1);
+  int64_t Rank = CTy.getRank();
+  int64_t MDim = CShape[Rank - 2], NDim = CShape[Rank - 1];
+  int64_t KDim = ATy.getShape()[ATy.getRank() - 1];
+
+  // All bounds are materialized before the nest so the generated loops form
+  // a perfect nest (a precondition of nest-level tiling).
+  Value MUb = arith::buildConstantIndex(B, Loc, MDim);
+  Value NUb = arith::buildConstantIndex(B, Loc, NDim);
+  Value KUb = arith::buildConstantIndex(B, Loc, KDim);
+
+  std::vector<Value> OuterIvs;
+  Operation *Outermost = nullptr;
+  OpBuilder::InsertionGuard Guard(B);
+  if (Batched) {
+    Value BUb = arith::buildConstantIndex(B, Loc, CShape[0]);
+    Operation *BLoop = scf::buildFor(B, Loc, Zero, BUb, One);
+    if (!Outermost)
+      Outermost = BLoop;
+    OuterIvs.push_back(scf::getInductionVar(BLoop));
+    B.setInsertionPoint(scf::getLoopBody(BLoop)->getTerminator());
+  }
+
+  Operation *ILoop = scf::buildFor(B, Loc, Zero, MUb, One);
+  if (!Outermost)
+    Outermost = ILoop;
+  Value Iv = scf::getInductionVar(ILoop);
+  B.setInsertionPoint(scf::getLoopBody(ILoop)->getTerminator());
+  Operation *JLoop = scf::buildFor(B, Loc, Zero, NUb, One);
+  Value Jv = scf::getInductionVar(JLoop);
+  B.setInsertionPoint(scf::getLoopBody(JLoop)->getTerminator());
+  Operation *KLoop = scf::buildFor(B, Loc, Zero, KUb, One);
+  Value Kv = scf::getInductionVar(KLoop);
+  B.setInsertionPoint(scf::getLoopBody(KLoop)->getTerminator());
+
+  std::vector<Value> IdxA = OuterIvs, IdxB = OuterIvs, IdxC = OuterIvs;
+  IdxA.insert(IdxA.end(), {Iv, Kv});
+  IdxB.insert(IdxB.end(), {Kv, Jv});
+  IdxC.insert(IdxC.end(), {Iv, Jv});
+  Value LoadA = memref::buildLoad(B, Loc, A, IdxA);
+  Value LoadB = memref::buildLoad(B, Loc, Bm, IdxB);
+  Value Mul = arith::buildBinary(B, Loc, "arith.mulf", LoadA, LoadB);
+  Value LoadC = memref::buildLoad(B, Loc, C, IdxC);
+  Value Add = arith::buildBinary(B, Loc, "arith.addf", LoadC, Mul);
+  memref::buildStore(B, Loc, Add, C, IdxC);
+
+  Outermost->setAttr("linalg_op",
+                     StringAttr::get(B.getContext(),
+                                     Batched ? "batch_matmul" : "matmul"));
+}
+
+static LogicalResult convertLinalgToLoops(Operation *Func) {
+  std::vector<Operation *> Targets;
+  Func->walk([&](Operation *Op) {
+    if (Op->getDialectName() == "linalg")
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets) {
+    OpBuilder B(Op->getContext());
+    B.setInsertionPoint(Op);
+    Location Loc = Op->getLoc();
+    std::string_view Name = Op->getName();
+    if (Name == "linalg.matmul" || Name == "linalg.batch_matmul") {
+      emitMatmulLoops(B, Op, Name == "linalg.batch_matmul");
+    } else if (Name == "linalg.fill") {
+      Value Scalar = Op->getOperand(0);
+      Value Out = Op->getOperand(1);
+      MemRefType Ty = Out.getType().cast<MemRefType>();
+      Value Zero = arith::buildConstantIndex(B, Loc, 0);
+      Value One = arith::buildConstantIndex(B, Loc, 1);
+      std::vector<Value> Ivs;
+      OpBuilder::InsertionGuard Guard(B);
+      for (int64_t Dim : Ty.getShape()) {
+        Value Ub = arith::buildConstantIndex(B, Loc, Dim);
+        Operation *Loop = scf::buildFor(B, Loc, Zero, Ub, One);
+        Ivs.push_back(scf::getInductionVar(Loop));
+        B.setInsertionPoint(scf::getLoopBody(Loop)->getTerminator());
+      }
+      memref::buildStore(B, Loc, Scalar, Out, Ivs);
+    } else if (Name == "linalg.elementwise") {
+      int64_t NumInputs = Op->getIntAttr("num_inputs", 0);
+      Value Out = Op->getOperand(Op->getNumOperands() - 1);
+      MemRefType Ty = Out.getType().cast<MemRefType>();
+      std::string_view Kind = Op->getStringAttr("kind");
+      Value Zero = arith::buildConstantIndex(B, Loc, 0);
+      Value One = arith::buildConstantIndex(B, Loc, 1);
+      std::vector<Value> Ivs;
+      OpBuilder::InsertionGuard Guard(B);
+      for (int64_t Dim : Ty.getShape()) {
+        Value Ub = arith::buildConstantIndex(B, Loc, Dim);
+        Operation *Loop = scf::buildFor(B, Loc, Zero, Ub, One);
+        Ivs.push_back(scf::getInductionVar(Loop));
+        B.setInsertionPoint(scf::getLoopBody(Loop)->getTerminator());
+      }
+      std::vector<Value> Loaded;
+      for (int64_t I = 0; I < NumInputs; ++I)
+        Loaded.push_back(memref::buildLoad(B, Loc, Op->getOperand(I), Ivs));
+      Value Result = Loaded[0];
+      if (Kind == "add" && Loaded.size() > 1)
+        Result = arith::buildBinary(B, Loc, "arith.addf", Loaded[0], Loaded[1]);
+      else if (Kind == "sub" && Loaded.size() > 1)
+        Result = arith::buildBinary(B, Loc, "arith.subf", Loaded[0], Loaded[1]);
+      else if (Kind == "mul" && Loaded.size() > 1)
+        Result = arith::buildBinary(B, Loc, "arith.mulf", Loaded[0], Loaded[1]);
+      memref::buildStore(B, Loc, Result, Out, Ivs);
+    } else {
+      // conv2d/pool/reduce/transpose are not needed on executable paths.
+      continue;
+    }
+    if (Op->use_empty()) {
+      Op->erase();
+    } else {
+      // Tensor-typed results should have been bufferized away.
+      return Op->emitOpError()
+             << "cannot lower linalg op with live results to loops";
+    }
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Registration
+//===----------------------------------------------------------------------===//
+
+namespace tdl {
+void registerTosaPasses();
+
+void registerTosaPasses() {
+  PassRegistry &Registry = PassRegistry::instance();
+  struct Entry {
+    const char *Name;
+    const char *Desc;
+    const char *Anchor;
+    LogicalResult (*Fn)(Operation *);
+  };
+  static const Entry Entries[] = {
+      {"tosa-optional-decompositions", "Decompose composite TOSA ops",
+       "func.func", tosaOptionalDecompositions},
+      {"tosa-infer-shapes", "Propagate static shapes", "func.func",
+       tosaInferShapes},
+      {"tosa-make-broadcastable", "Equalize operand ranks", "func.func",
+       tosaMakeBroadcastable},
+      {"tosa-to-linalg-named", "Lower TOSA to named linalg ops", "func.func",
+       tosaToLinalgNamed},
+      {"tosa-layerwise-constant-fold", "Fold constant TOSA layers",
+       "func.func", tosaLayerwiseConstantFold},
+      {"tosa-validate", "Validate TOSA conformance", "builtin.module",
+       tosaValidate},
+      {"tosa-to-linalg", "Lower elementwise TOSA to linalg", "func.func",
+       tosaToLinalg},
+      {"tosa-to-arith", "Lower TOSA constants to arith", "func.func",
+       tosaToArith},
+      {"tosa-to-tensor", "Lower TOSA shape ops to tensor", "func.func",
+       tosaToTensor},
+      {"linalg-fuse-elementwise-ops", "Fuse elementwise linalg chains",
+       "func.func", linalgFuseElementwise},
+      {"one-shot-bufferize", "Bufferize tensors to memrefs", "builtin.module",
+       oneShotBufferize},
+      {"convert-linalg-to-loops", "Lower linalg ops to scf loops",
+       "func.func", convertLinalgToLoops},
+  };
+  for (const Entry &E : Entries) {
+    auto Fn = E.Fn;
+    Registry.registerFnPass(E.Name, E.Desc, E.Anchor,
+                            [Fn](Operation *Target, Pass &) {
+                              return Fn(Target);
+                            });
+  }
+}
+} // namespace tdl

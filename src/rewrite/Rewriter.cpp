@@ -1,0 +1,325 @@
+//===- Rewriter.cpp - Pattern rewriting infrastructure -------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Rewriter.h"
+
+#include "dialect/Dialects.h"
+
+#include <algorithm>
+
+using namespace tdl;
+
+RewriteListener::~RewriteListener() = default;
+RewritePattern::~RewritePattern() = default;
+
+//===----------------------------------------------------------------------===//
+// PatternRewriter
+//===----------------------------------------------------------------------===//
+
+void PatternRewriter::notifyErasedRecursively(Operation *Op) {
+  if (!Listener)
+    return;
+  for (unsigned R = 0; R < Op->getNumRegions(); ++R)
+    for (Block &B : Op->getRegion(R))
+      for (Operation *Nested : B)
+        notifyErasedRecursively(Nested);
+  Listener->notifyOperationErased(Op);
+}
+
+void PatternRewriter::replaceOp(Operation *Op,
+                                const std::vector<Value> &Replacements) {
+  assert(Replacements.size() == Op->getNumResults() &&
+         "replacement count mismatch");
+  if (Listener)
+    Listener->notifyOperationReplaced(Op, Replacements);
+  // Nested ops disappear without dedicated replacements.
+  if (Listener) {
+    for (unsigned R = 0; R < Op->getNumRegions(); ++R)
+      for (Block &B : Op->getRegion(R))
+        for (Operation *Nested : B)
+          notifyErasedRecursively(Nested);
+  }
+  Op->replaceAllUsesWith(Replacements);
+  Op->removeFromParent();
+  Op->destroy();
+}
+
+void PatternRewriter::eraseOp(Operation *Op) {
+  assert(Op->use_empty() && "erasing op with live uses");
+  notifyErasedRecursively(Op);
+  Op->removeFromParent();
+  Op->destroy();
+}
+
+Operation *PatternRewriter::replaceOpWithNew(
+    Operation *Op, std::string_view Name, std::vector<Value> Operands,
+    std::vector<Type> ResultTypes, std::vector<NamedAttribute> Attributes) {
+  OpBuilder::InsertionGuard Guard(*this);
+  setInsertionPoint(Op);
+  Operation *NewOp = create(Op->getLoc(), Name, std::move(Operands),
+                            std::move(ResultTypes), std::move(Attributes));
+  replaceOp(Op, NewOp->getResults());
+  return NewOp;
+}
+
+//===----------------------------------------------------------------------===//
+// Greedy driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One fixpoint sweep. Returns true if anything changed.
+class GreedySweep {
+public:
+  GreedySweep(const PatternSet &Patterns, const GreedyRewriteConfig &Config,
+              PatternRewriter &Rewriter)
+      : Config(Config), Rewriter(Rewriter) {
+    // Sort by benefit, high to low; stable to keep registration order.
+    Sorted = Patterns.getPatterns();
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [](const auto &A, const auto &B) {
+                       return A->getBenefit() > B->getBenefit();
+                     });
+  }
+
+  bool sweep(Operation *Scope) {
+    Changed = false;
+    // Post-order snapshot walk; ops created during the sweep are visited in
+    // the next sweep.
+    Scope->walk([&](Operation *Op) {
+      if (Op == Scope || Erased.count(Op))
+        return;
+      processOp(Op);
+    });
+    Erased.clear();
+    return Changed;
+  }
+
+private:
+  void processOp(Operation *Op) {
+    // Dead code elimination for pure ops.
+    if (Config.EnableDeadCodeElimination && Op->hasTrait(OT_Pure) &&
+        Op->use_empty() && !Op->hasTrait(OT_IsTerminator)) {
+      markErasedTree(Op);
+      Rewriter.eraseOp(Op);
+      Changed = true;
+      return;
+    }
+
+    // Folding to constants.
+    if (Config.EnableFolding && tryFold(Op))
+      return;
+
+    for (const auto &Pattern : Sorted) {
+      if (!Pattern->getAnchorOpName().empty() &&
+          Pattern->getAnchorOpName() != Op->getName())
+        continue;
+      // Track erasures performed by the pattern so the walk skips them.
+      ErasureTracker Tracker(*this, Op);
+      if (succeeded(Pattern->matchAndRewrite(Op, Rewriter))) {
+        Changed = true;
+        return;
+      }
+    }
+  }
+
+  bool tryFold(Operation *Op) {
+    if (Op->getNumResults() == 0 || Op->getName() == "arith.constant")
+      return false;
+    std::vector<Attribute> ResultAttrs;
+    if (failed(Op->fold(ResultAttrs)) ||
+        ResultAttrs.size() != Op->getNumResults())
+      return false;
+    // Materialize arith.constant ops for foldable results.
+    std::vector<Value> Replacements;
+    OpBuilder::InsertionGuard Guard(Rewriter);
+    Rewriter.setInsertionPoint(Op);
+    for (unsigned I = 0; I < ResultAttrs.size(); ++I) {
+      Attribute Folded = ResultAttrs[I];
+      if (!Folded)
+        return false;
+      Type Ty = Op->getResult(I).getType();
+      OperationState State(Op->getLoc(), "arith.constant");
+      State.ResultTypes = {Ty};
+      State.addAttribute("value", Folded);
+      Replacements.push_back(Rewriter.create(State)->getResult(0));
+    }
+    markErasedTree(Op);
+    Rewriter.replaceOp(Op, Replacements);
+    Changed = true;
+    return true;
+  }
+
+  void markErasedTree(Operation *Op) {
+    Op->walk([&](Operation *Nested) { Erased.insert(Nested); });
+  }
+
+  /// Registers ops erased by a pattern through the rewriter listener chain.
+  /// We conservatively intercept by wrapping the configured listener.
+  class ErasureTracker : public RewriteListener {
+  public:
+    ErasureTracker(GreedySweep &Parent, Operation *Current)
+        : Parent(Parent), Previous(Parent.Rewriter.getListener()) {
+      Parent.Rewriter.setListener(this);
+      (void)Current;
+    }
+    ~ErasureTracker() { Parent.Rewriter.setListener(Previous); }
+
+    void notifyOperationReplaced(
+        Operation *Op, const std::vector<Value> &Replacements) override {
+      Parent.Erased.insert(Op);
+      if (Previous)
+        Previous->notifyOperationReplaced(Op, Replacements);
+    }
+    void notifyOperationErased(Operation *Op) override {
+      Parent.Erased.insert(Op);
+      if (Previous)
+        Previous->notifyOperationErased(Op);
+    }
+
+  private:
+    GreedySweep &Parent;
+    RewriteListener *Previous;
+  };
+
+  const GreedyRewriteConfig &Config;
+  PatternRewriter &Rewriter;
+  std::vector<std::shared_ptr<RewritePattern>> Sorted;
+  std::set<Operation *> Erased;
+  bool Changed = false;
+};
+
+} // namespace
+
+LogicalResult tdl::applyPatternsGreedily(Operation *Scope,
+                                         const PatternSet &Patterns,
+                                         const GreedyRewriteConfig &Config) {
+  PatternRewriter Rewriter(Scope->getContext());
+  Rewriter.setListener(Config.Listener);
+  GreedySweep Sweep(Patterns, Config, Rewriter);
+  for (int I = 0; I < Config.MaxIterations; ++I)
+    if (!Sweep.sweep(Scope))
+      return success();
+  return failure(); // did not converge
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization patterns
+//===----------------------------------------------------------------------===//
+
+void tdl::populateCanonicalizationPatterns(PatternSet &Patterns) {
+  // x + 0 -> x, x * 1 -> x, x * 0 -> 0 (integer and float versions; the
+  // float identities assume -ffast-math style reasoning, as the paper notes
+  // is common for ML workloads).
+  auto MatchConstant = [](Value V, int64_t &IntOut, double &FloatOut,
+                          bool &IsFloat) {
+    Attribute Constant = arith::getConstantValue(V);
+    if (!Constant)
+      return false;
+    if (IntegerAttr Int = Constant.dyn_cast<IntegerAttr>()) {
+      IntOut = Int.getValue();
+      IsFloat = false;
+      return true;
+    }
+    if (FloatAttr Float = Constant.dyn_cast<FloatAttr>()) {
+      FloatOut = Float.getValue();
+      IsFloat = true;
+      return true;
+    }
+    return false;
+  };
+
+  for (const char *Name : {"arith.addi", "arith.addf"}) {
+    Patterns.addFn("add-zero-identity", Name,
+                   [MatchConstant](Operation *Op, PatternRewriter &Rewriter) {
+                     for (unsigned I = 0; I < 2; ++I) {
+                       int64_t IntVal = 1;
+                       double FloatVal = 1.0;
+                       bool IsFloat = false;
+                       if (!MatchConstant(Op->getOperand(I), IntVal, FloatVal,
+                                          IsFloat))
+                         continue;
+                       bool IsZero = IsFloat ? FloatVal == 0.0 : IntVal == 0;
+                       if (!IsZero)
+                         continue;
+                       Rewriter.replaceOp(Op, {Op->getOperand(1 - I)});
+                       return success();
+                     }
+                     return failure();
+                   });
+  }
+
+  for (const char *Name : {"arith.muli", "arith.mulf"}) {
+    Patterns.addFn("mul-one-identity", Name,
+                   [MatchConstant](Operation *Op, PatternRewriter &Rewriter) {
+                     for (unsigned I = 0; I < 2; ++I) {
+                       int64_t IntVal = 0;
+                       double FloatVal = 0.0;
+                       bool IsFloat = false;
+                       if (!MatchConstant(Op->getOperand(I), IntVal, FloatVal,
+                                          IsFloat))
+                         continue;
+                       bool IsOne = IsFloat ? FloatVal == 1.0 : IntVal == 1;
+                       if (!IsOne)
+                         continue;
+                       Rewriter.replaceOp(Op, {Op->getOperand(1 - I)});
+                       return success();
+                     }
+                     return failure();
+                   });
+  }
+
+  // Cancelling unrealized_conversion_cast chains: cast(cast(x)) where the
+  // outer result type equals the inner input type folds to x.
+  Patterns.addFn(
+      "cast-of-cast", "builtin.unrealized_conversion_cast",
+      [](Operation *Op, PatternRewriter &Rewriter) {
+        if (Op->getNumOperands() != 1 || Op->getNumResults() != 1)
+          return failure();
+        Operation *Def = Op->getOperand(0).getDefiningOp();
+        if (!Def || Def->getName() != "builtin.unrealized_conversion_cast" ||
+            Def->getNumOperands() != 1)
+          return failure();
+        if (Def->getOperand(0).getType() != Op->getResult(0).getType())
+          return failure();
+        Rewriter.replaceOp(Op, {Def->getOperand(0)});
+        return success();
+      });
+
+  // Identity cast: type unchanged.
+  Patterns.addFn("identity-cast", "builtin.unrealized_conversion_cast",
+                 [](Operation *Op, PatternRewriter &Rewriter) {
+                   if (Op->getNumOperands() != 1 || Op->getNumResults() != 1)
+                     return failure();
+                   if (Op->getOperand(0).getType() !=
+                       Op->getResult(0).getType())
+                     return failure();
+                   Rewriter.replaceOp(Op, {Op->getOperand(0)});
+                   return success();
+                 });
+
+  // min(x, x) -> x; min folds with equal constants handled by folder.
+  Patterns.addFn("min-same", "arith.minsi",
+                 [](Operation *Op, PatternRewriter &Rewriter) {
+                   if (Op->getOperand(0) != Op->getOperand(1))
+                     return failure();
+                   Rewriter.replaceOp(Op, {Op->getOperand(0)});
+                   return success();
+                 });
+
+  // Dead allocation: memref.alloc whose only uses are deallocs.
+  Patterns.addFn(
+      "dead-alloc", "memref.alloc",
+      [](Operation *Op, PatternRewriter &Rewriter) {
+        for (Operation *User : Op->getResult(0).getUsers())
+          if (User->getName() != "memref.dealloc")
+            return failure();
+        for (Operation *User : Op->getResult(0).getUsers())
+          Rewriter.eraseOp(User);
+        Rewriter.eraseOp(Op);
+        return success();
+      });
+}

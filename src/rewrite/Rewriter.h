@@ -1,0 +1,170 @@
+//===- Rewriter.h - Pattern rewriting infrastructure ------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrite patterns and the rewriter with replace/erase listener events.
+/// Section 3.1 of the paper: the Transform dialect subscribes to exactly
+/// these events to keep handles valid while patterns run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_REWRITE_REWRITER_H
+#define TDL_REWRITE_REWRITER_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tdl {
+
+/// Observer of IR mutations made through a rewriter.
+class RewriteListener {
+public:
+  virtual ~RewriteListener();
+
+  /// \p Op is about to be erased after its results were replaced by
+  /// \p Replacements (empty when the op had no results).
+  virtual void notifyOperationReplaced(Operation *Op,
+                                       const std::vector<Value> &Replacements) {
+  }
+  /// \p Op is about to be erased without replacement.
+  virtual void notifyOperationErased(Operation *Op) {}
+};
+
+/// OpBuilder with replace/erase primitives that notify a listener.
+class PatternRewriter : public OpBuilder {
+public:
+  explicit PatternRewriter(Context &Ctx) : OpBuilder(Ctx) {}
+
+  void setListener(RewriteListener *NewListener) { Listener = NewListener; }
+  RewriteListener *getListener() const { return Listener; }
+
+  /// Replaces all uses of \p Op's results with \p Replacements, notifies,
+  /// and erases \p Op.
+  void replaceOp(Operation *Op, const std::vector<Value> &Replacements);
+
+  /// Notifies and erases \p Op (results must be unused).
+  void eraseOp(Operation *Op);
+
+  /// Replaces \p Op with a newly created op of \p Name (same result count).
+  Operation *replaceOpWithNew(Operation *Op, std::string_view Name,
+                              std::vector<Value> Operands,
+                              std::vector<Type> ResultTypes,
+                              std::vector<NamedAttribute> Attributes = {});
+
+private:
+  /// Recursively notifies erasure of nested ops, then of \p Op itself.
+  void notifyErasedRecursively(Operation *Op);
+
+  RewriteListener *Listener = nullptr;
+};
+
+/// Base class for rewrite patterns. A pattern optionally anchors on a fixed
+/// op name (empty = matches any op) and carries a benefit used for ordering.
+class RewritePattern {
+public:
+  RewritePattern(std::string DebugName, std::string AnchorOpName,
+                 int Benefit = 1)
+      : DebugName(std::move(DebugName)), AnchorOpName(std::move(AnchorOpName)),
+        Benefit(Benefit) {}
+  virtual ~RewritePattern();
+
+  const std::string &getDebugName() const { return DebugName; }
+  const std::string &getAnchorOpName() const { return AnchorOpName; }
+  int getBenefit() const { return Benefit; }
+
+  /// Attempts to match \p Op and rewrite it. Must only mutate the IR through
+  /// \p Rewriter, and only on success.
+  virtual LogicalResult matchAndRewrite(Operation *Op,
+                                        PatternRewriter &Rewriter) const = 0;
+
+private:
+  std::string DebugName;
+  std::string AnchorOpName;
+  int Benefit;
+};
+
+/// A pattern built from a callable; convenient for concise pattern sets.
+class FnPattern : public RewritePattern {
+public:
+  using FnTy =
+      std::function<LogicalResult(Operation *, PatternRewriter &)>;
+
+  FnPattern(std::string DebugName, std::string AnchorOpName, FnTy Fn,
+            int Benefit = 1)
+      : RewritePattern(std::move(DebugName), std::move(AnchorOpName), Benefit),
+        Fn(std::move(Fn)) {}
+
+  LogicalResult matchAndRewrite(Operation *Op,
+                                PatternRewriter &Rewriter) const override {
+    return Fn(Op, Rewriter);
+  }
+
+private:
+  FnTy Fn;
+};
+
+/// An ordered collection of patterns.
+class PatternSet {
+public:
+  template <typename PatternT, typename... Args>
+  PatternSet &add(Args &&...ArgValues) {
+    Patterns.push_back(
+        std::make_shared<PatternT>(std::forward<Args>(ArgValues)...));
+    return *this;
+  }
+
+  PatternSet &addFn(std::string DebugName, std::string AnchorOpName,
+                    FnPattern::FnTy Fn, int Benefit = 1) {
+    Patterns.push_back(std::make_shared<FnPattern>(
+        std::move(DebugName), std::move(AnchorOpName), std::move(Fn),
+        Benefit));
+    return *this;
+  }
+
+  PatternSet &add(std::shared_ptr<RewritePattern> Pattern) {
+    Patterns.push_back(std::move(Pattern));
+    return *this;
+  }
+
+  const std::vector<std::shared_ptr<RewritePattern>> &getPatterns() const {
+    return Patterns;
+  }
+  bool empty() const { return Patterns.empty(); }
+  size_t size() const { return Patterns.size(); }
+
+private:
+  std::vector<std::shared_ptr<RewritePattern>> Patterns;
+};
+
+/// Configuration for the greedy driver.
+struct GreedyRewriteConfig {
+  /// Upper bound on fixpoint sweeps over the scope.
+  int MaxIterations = 10;
+  /// Erase use-less Pure ops encountered during the sweep.
+  bool EnableDeadCodeElimination = true;
+  /// Fold ops with constant operands via their registered folders.
+  bool EnableFolding = true;
+  RewriteListener *Listener = nullptr;
+};
+
+/// Applies \p Patterns to everything nested under \p Scope until a fixed
+/// point (or the iteration bound) is reached. Returns success if the IR
+/// converged (no changes in the last sweep).
+LogicalResult applyPatternsGreedily(Operation *Scope,
+                                    const PatternSet &Patterns,
+                                    const GreedyRewriteConfig &Config = {});
+
+/// Populates canonicalization patterns (identity simplifications, cast
+/// chains, dead allocs) used by the `canonicalize` pass.
+void populateCanonicalizationPatterns(PatternSet &Patterns);
+
+} // namespace tdl
+
+#endif // TDL_REWRITE_REWRITER_H

@@ -1,0 +1,67 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers ---------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. A class opts in by providing a static
+/// `classof(const Base *)` predicate; `isa<>`, `cast<>` and `dyn_cast<>` then
+/// work on pointers to the base class. Handle types such as `Type` and
+/// `Attribute` provide member `isa/cast/dyn_cast` built on the same classof
+/// protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_SUPPORT_CASTING_H
+#define TDL_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace tdl {
+
+/// Returns true if \p Val is an instance of \p To (or of any of the listed
+/// classes, checked left to right).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null argument (returning false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null argument (propagating it).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace tdl
+
+#endif // TDL_SUPPORT_CASTING_H

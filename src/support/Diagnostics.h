@@ -1,0 +1,160 @@
+//===- Diagnostics.h - Locations and diagnostic reporting -------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and the diagnostic engine. Diagnostics are routed to a
+/// configurable handler (tests install capturing handlers; tools print to
+/// stderr). `InFlightDiagnostic` supports the MLIR idiom
+/// `return emitError(loc) << "message";`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_SUPPORT_DIAGNOSTICS_H
+#define TDL_SUPPORT_DIAGNOSTICS_H
+
+#include "support/LogicalResult.h"
+#include "support/Stream.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tdl {
+
+/// An immutable, cheaply copyable source location. Locations are interned in
+/// a process-wide pool; equality is pointer equality.
+class Location {
+public:
+  /// Returns the unknown location.
+  static Location unknown();
+  /// Returns a file:line:col location.
+  static Location get(std::string_view File, unsigned Line, unsigned Col = 0);
+  /// Returns a named location (e.g. the name of a generated construct).
+  static Location name(std::string_view Name);
+
+  bool isUnknown() const;
+  /// Renders the location as text, e.g. "file.mlir:3:7" or "loc(\"name\")".
+  std::string str() const;
+
+  bool operator==(const Location &Other) const { return Impl == Other.Impl; }
+  bool operator!=(const Location &Other) const { return Impl != Other.Impl; }
+
+  struct Storage;
+
+private:
+  explicit Location(const Storage *Impl) : Impl(Impl) {}
+
+  const Storage *Impl;
+};
+
+/// The severity of a diagnostic.
+enum class DiagnosticSeverity { Error, Warning, Remark, Note };
+
+/// A rendered diagnostic: severity + location + message.
+struct Diagnostic {
+  DiagnosticSeverity Severity = DiagnosticSeverity::Error;
+  Location Loc = Location::unknown();
+  std::string Message;
+
+  /// Renders "error: message" style text including the location when known.
+  std::string str() const;
+};
+
+/// Dispatches diagnostics to a handler. One engine per IR context.
+class DiagnosticEngine {
+public:
+  using HandlerTy = std::function<void(const Diagnostic &)>;
+
+  DiagnosticEngine();
+
+  /// Replaces the current handler, returning the previous one.
+  HandlerTy setHandler(HandlerTy Handler);
+
+  void report(Diagnostic Diag);
+
+  /// Number of error-severity diagnostics reported so far.
+  unsigned getNumErrors() const { return NumErrors; }
+
+private:
+  HandlerTy Handler;
+  unsigned NumErrors = 0;
+};
+
+/// A diagnostic under construction. Streams text via operator<< and reports
+/// the finished diagnostic to the engine on destruction. Converts to a failed
+/// LogicalResult so `return emitError(...) << "msg";` works.
+class InFlightDiagnostic {
+public:
+  InFlightDiagnostic(DiagnosticEngine *Engine, DiagnosticSeverity Severity,
+                     Location Loc)
+      : Engine(Engine) {
+    Diag.Severity = Severity;
+    Diag.Loc = Loc;
+  }
+  InFlightDiagnostic(InFlightDiagnostic &&Other)
+      : Engine(Other.Engine), Diag(std::move(Other.Diag)) {
+    Other.Engine = nullptr;
+  }
+  InFlightDiagnostic(const InFlightDiagnostic &) = delete;
+  InFlightDiagnostic &operator=(const InFlightDiagnostic &) = delete;
+
+  ~InFlightDiagnostic() { report(); }
+
+  template <typename T> InFlightDiagnostic &operator<<(T &&Value) {
+    raw_string_ostream Stream(Diag.Message);
+    Stream << std::forward<T>(Value);
+    return *this;
+  }
+
+  /// Reports the diagnostic now (idempotent).
+  void report() {
+    if (!Engine)
+      return;
+    Engine->report(std::move(Diag));
+    Engine = nullptr;
+  }
+
+  operator LogicalResult() { return failure(); }
+
+  /// Allows `return emitError(...) << "msg";` from FailureOr-returning
+  /// functions (a single user-defined conversion).
+  template <typename T> operator FailureOr<T>() {
+    report();
+    return FailureOr<T>(failure());
+  }
+
+private:
+  DiagnosticEngine *Engine;
+  Diagnostic Diag;
+};
+
+/// Captures diagnostics into a vector for the duration of its lifetime;
+/// intended for tests and for tools that postprocess diagnostics.
+class ScopedDiagnosticCapture {
+public:
+  explicit ScopedDiagnosticCapture(DiagnosticEngine &Engine) : Engine(Engine) {
+    Previous = Engine.setHandler(
+        [this](const Diagnostic &Diag) { Captured.push_back(Diag); });
+  }
+  ~ScopedDiagnosticCapture() { Engine.setHandler(std::move(Previous)); }
+
+  const std::vector<Diagnostic> &getDiagnostics() const { return Captured; }
+
+  /// Returns all captured messages joined with newlines.
+  std::string allMessages() const;
+
+  /// Returns true if any captured diagnostic message contains \p Needle.
+  bool contains(std::string_view Needle) const;
+
+private:
+  DiagnosticEngine &Engine;
+  DiagnosticEngine::HandlerTy Previous;
+  std::vector<Diagnostic> Captured;
+};
+
+} // namespace tdl
+
+#endif // TDL_SUPPORT_DIAGNOSTICS_H

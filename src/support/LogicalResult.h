@@ -1,0 +1,91 @@
+//===- LogicalResult.h - Success/failure result types -----------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `LogicalResult` and `FailureOr<T>` mirror the MLIR utilities of the same
+/// name: cheap, explicit success/failure values without exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_SUPPORT_LOGICALRESULT_H
+#define TDL_SUPPORT_LOGICALRESULT_H
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+namespace tdl {
+
+/// A two-state success/failure value. Use the `success()` / `failure()`
+/// factories and the `succeeded()` / `failed()` predicates.
+class LogicalResult {
+public:
+  static LogicalResult success(bool IsSuccess = true) {
+    return LogicalResult(IsSuccess);
+  }
+  static LogicalResult failure(bool IsFailure = true) {
+    return LogicalResult(!IsFailure);
+  }
+
+  bool succeeded() const { return IsSuccess; }
+  bool failed() const { return !IsSuccess; }
+
+private:
+  explicit LogicalResult(bool IsSuccess) : IsSuccess(IsSuccess) {}
+
+  bool IsSuccess;
+};
+
+inline LogicalResult success(bool IsSuccess = true) {
+  return LogicalResult::success(IsSuccess);
+}
+inline LogicalResult failure(bool IsFailure = true) {
+  return LogicalResult::failure(IsFailure);
+}
+inline bool succeeded(LogicalResult Result) { return Result.succeeded(); }
+inline bool failed(LogicalResult Result) { return Result.failed(); }
+
+/// Either a value of type `T` or a failure marker. Mirrors MLIR's
+/// `FailureOr<T>`; conversion to `LogicalResult` allows composition with
+/// `failed()` checks.
+template <typename T> class FailureOr {
+public:
+  FailureOr() : Value(std::nullopt) {}
+  FailureOr(LogicalResult Result) : Value(std::nullopt) {
+    assert(Result.failed() && "success needs a value");
+    (void)Result;
+  }
+  FailureOr(T Val) : Value(std::move(Val)) {}
+
+  bool has_value() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(has_value() && "dereferencing failed FailureOr");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(has_value() && "dereferencing failed FailureOr");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  operator LogicalResult() const { return success(has_value()); }
+
+private:
+  std::optional<T> Value;
+};
+
+template <typename T> bool succeeded(const FailureOr<T> &Result) {
+  return Result.has_value();
+}
+template <typename T> bool failed(const FailureOr<T> &Result) {
+  return !Result.has_value();
+}
+
+} // namespace tdl
+
+#endif // TDL_SUPPORT_LOGICALRESULT_H

@@ -1,0 +1,33 @@
+//===- STLExtras.cpp - Small generic helpers -------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/STLExtras.h"
+
+using namespace tdl;
+
+std::vector<std::string_view> tdl::split(std::string_view Text,
+                                         char Separator) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.push_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+bool tdl::matchesOpPattern(std::string_view Pattern, std::string_view Name) {
+  if (Pattern == Name)
+    return true;
+  if (Pattern.size() >= 2 && Pattern.substr(Pattern.size() - 2) == ".*")
+    return Name.substr(0, Name.find('.')) ==
+           Pattern.substr(0, Pattern.size() - 2);
+  return false;
+}

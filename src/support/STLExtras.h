@@ -1,0 +1,60 @@
+//===- STLExtras.h - Small generic helpers ----------------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A handful of helpers in the spirit of llvm/ADT/STLExtras.h, restricted to
+/// what this project actually uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_SUPPORT_STLEXTRAS_H
+#define TDL_SUPPORT_STLEXTRAS_H
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdl {
+
+/// Returns true if \p Range contains \p Value.
+template <typename Range, typename T>
+bool is_contained(const Range &Haystack, const T &Value) {
+  return std::find(Haystack.begin(), Haystack.end(), Value) != Haystack.end();
+}
+
+/// Erases all elements matching \p Pred from the vector.
+template <typename T, typename Pred>
+void erase_if(std::vector<T> &Container, Pred Predicate) {
+  Container.erase(
+      std::remove_if(Container.begin(), Container.end(), Predicate),
+      Container.end());
+}
+
+/// Joins string-like elements with a separator.
+template <typename Range>
+std::string join(const Range &Parts, std::string_view Separator) {
+  std::string Result;
+  bool First = true;
+  for (const auto &Part : Parts) {
+    if (!First)
+      Result += Separator;
+    First = false;
+    Result += Part;
+  }
+  return Result;
+}
+
+/// Splits \p Text on \p Separator; keeps empty pieces.
+std::vector<std::string_view> split(std::string_view Text, char Separator);
+
+/// Returns true if \p Name matches \p Pattern, where the pattern is either a
+/// literal or a dialect wildcard of the form "dialect.*".
+bool matchesOpPattern(std::string_view Pattern, std::string_view Name);
+
+} // namespace tdl
+
+#endif // TDL_SUPPORT_STLEXTRAS_H

@@ -1,0 +1,93 @@
+//===- Stream.cpp - Minimal raw_ostream replacement -----------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stream.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace tdl;
+
+raw_ostream::~raw_ostream() = default;
+
+void raw_ostream::anchor() {}
+
+raw_ostream &raw_ostream::operator<<(long long N) {
+  char Buffer[32];
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%lld", N);
+  write(Buffer, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(unsigned long long N) {
+  char Buffer[32];
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%llu", N);
+  write(Buffer, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(double D) {
+  char Buffer[64];
+  // Match MLIR's float printing closely enough for round-tripping: shortest
+  // representation that parses back to the same double.
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%g", D);
+  // Ensure the token is recognizable as a float (contains '.', 'e' or inf).
+  std::string_view View(Buffer, static_cast<size_t>(Len));
+  write(Buffer, static_cast<size_t>(Len));
+  if (View.find_first_of(".einf") == std::string_view::npos)
+    write(".0", 2);
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(const void *Ptr) {
+  char Buffer[32];
+  int Len = std::snprintf(Buffer, sizeof(Buffer), "%p", Ptr);
+  write(Buffer, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::indent(unsigned N, char C) {
+  for (unsigned I = 0; I < N; ++I)
+    write(&C, 1);
+  return *this;
+}
+
+namespace {
+
+/// Stream over a C FILE handle; used for stdout/stderr.
+class raw_file_ostream : public raw_ostream {
+public:
+  explicit raw_file_ostream(std::FILE *File) : File(File) {}
+
+  void write(const char *Data, size_t Size) override {
+    std::fwrite(Data, 1, Size, File);
+  }
+
+private:
+  std::FILE *File;
+};
+
+class raw_null_ostream : public raw_ostream {
+public:
+  void write(const char *, size_t) override {}
+};
+
+} // namespace
+
+raw_ostream &tdl::outs() {
+  static raw_file_ostream Stream(stdout);
+  return Stream;
+}
+
+raw_ostream &tdl::errs() {
+  static raw_file_ostream Stream(stderr);
+  return Stream;
+}
+
+raw_ostream &tdl::nulls() {
+  static raw_null_ostream Stream;
+  return Stream;
+}

@@ -1,0 +1,94 @@
+//===- Stream.h - Minimal raw_ostream replacement ---------------*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight `raw_ostream`-style streaming interface. Library code never
+/// includes <iostream>; printing goes through this class, with
+/// `raw_string_ostream` for in-memory rendering and `outs()`/`errs()` for the
+/// standard streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_SUPPORT_STREAM_H
+#define TDL_SUPPORT_STREAM_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tdl {
+
+/// Abstract byte sink with convenient operator<< overloads.
+class raw_ostream {
+public:
+  virtual ~raw_ostream();
+
+  raw_ostream &operator<<(std::string_view Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+  raw_ostream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+  raw_ostream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+  raw_ostream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  raw_ostream &operator<<(long long N);
+  raw_ostream &operator<<(unsigned long long N);
+  raw_ostream &operator<<(int N) {
+    return *this << static_cast<long long>(N);
+  }
+  raw_ostream &operator<<(unsigned N) {
+    return *this << static_cast<unsigned long long>(N);
+  }
+  raw_ostream &operator<<(long N) {
+    return *this << static_cast<long long>(N);
+  }
+  raw_ostream &operator<<(unsigned long N) {
+    return *this << static_cast<unsigned long long>(N);
+  }
+  raw_ostream &operator<<(double D);
+  raw_ostream &operator<<(const void *Ptr);
+
+  /// Appends \p Size bytes starting at \p Data.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Writes \p N copies of the character \p C.
+  raw_ostream &indent(unsigned N, char C = ' ');
+
+private:
+  virtual void anchor();
+};
+
+/// Stream that appends into a caller-owned std::string.
+class raw_string_ostream : public raw_ostream {
+public:
+  explicit raw_string_ostream(std::string &Buffer) : Buffer(Buffer) {}
+
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string &Buffer;
+};
+
+/// Returns a stream writing to stdout.
+raw_ostream &outs();
+/// Returns a stream writing to stderr.
+raw_ostream &errs();
+/// Returns a stream that discards everything written to it.
+raw_ostream &nulls();
+
+} // namespace tdl
+
+#endif // TDL_SUPPORT_STREAM_H

@@ -1,0 +1,228 @@
+//===- AutoDiffTest.cpp - Reverse-mode AD tests ---------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ad/AutoDiff.h"
+
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "exec/Executor.h"
+#include "ir/Parser.h"
+#include "ir/SymbolTable.h"
+#include "ir/Verifier.h"
+#include "lowering/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+using exec::RuntimeValue;
+
+namespace {
+
+class AutoDiffTest : public ::testing::Test {
+protected:
+  AutoDiffTest() {
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx);
+    registerAutoDiffSupport(Ctx);
+  }
+
+  int64_t countOps(Operation *Root, std::string_view Name) {
+    int64_t Count = 0;
+    Root->walk([&](Operation *Op) { Count += Op->getName() == Name; });
+    return Count;
+  }
+
+  Context Ctx;
+};
+
+TEST_F(AutoDiffTest, ScalarGradientIsNumericallyCorrect) {
+  // f(x, y) = x*y + x*x  =>  df/dx = y + 2x, df/dy = x.
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64, %y: f64):
+        %p = "arith.mulf"(%x, %y) : (f64, f64) -> (f64)
+        %x2 = "arith.mulf"(%x, %x) : (f64, f64) -> (f64)
+        %s = "arith.addf"(%p, %x2) : (f64, f64) -> (f64)
+        "func.return"(%s) : (f64) -> ()
+      }) {sym_name = "f", function_type = (f64, f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Module);
+  Operation *Func = lookupSymbol(Module.get(), "f");
+  ASSERT_TRUE(succeeded(ad::generateGradientFunction(Func, "arith.addf")));
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+
+  exec::Executor Exec(Module.get());
+  auto Result = Exec.run("f_grad", {RuntimeValue::makeFloat(3.0),
+                                    RuntimeValue::makeFloat(5.0)});
+  ASSERT_TRUE(succeeded(Result));
+  ASSERT_EQ(Result->size(), 2u);
+  EXPECT_DOUBLE_EQ((*Result)[0].F, 5.0 + 2 * 3.0); // df/dx
+  EXPECT_DOUBLE_EQ((*Result)[1].F, 3.0);           // df/dy
+}
+
+TEST_F(AutoDiffTest, GradientMatchesFiniteDifferences) {
+  // f(x) = x * x * x  =>  f'(x) = 3x^2, checked against central differences.
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %a = "arith.mulf"(%x, %x) : (f64, f64) -> (f64)
+        %b = "arith.mulf"(%a, %x) : (f64, f64) -> (f64)
+        "func.return"(%b) : (f64) -> ()
+      }) {sym_name = "cube", function_type = (f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  Operation *Func = lookupSymbol(Module.get(), "cube");
+  ASSERT_TRUE(succeeded(ad::generateGradientFunction(Func, "arith.addf")));
+  exec::Executor Exec(Module.get());
+  for (double X : {0.0, 1.0, -2.0, 0.5}) {
+    auto Grad = Exec.run("cube_grad", {RuntimeValue::makeFloat(X)});
+    ASSERT_TRUE(succeeded(Grad));
+    const double H = 1e-6;
+    auto FPlus = Exec.run("cube", {RuntimeValue::makeFloat(X + H)});
+    auto FMinus = Exec.run("cube", {RuntimeValue::makeFloat(X - H)});
+    double Numeric = ((*FPlus)[0].F - (*FMinus)[0].F) / (2 * H);
+    EXPECT_NEAR((*Grad)[0].F, Numeric, 1e-5) << "at x = " << X;
+  }
+}
+
+TEST_F(AutoDiffTest, HloLevelGradientUsesRequestedAddKind) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: tensor<4xf32>, %y: tensor<4xf32>):
+        %p = "stablehlo.multiply"(%x, %y)
+          : (tensor<4xf32>, tensor<4xf32>) -> (tensor<4xf32>)
+        %n = "stablehlo.negate"(%p) : (tensor<4xf32>) -> (tensor<4xf32>)
+        %s = "stablehlo.add"(%n, %x)
+          : (tensor<4xf32>, tensor<4xf32>) -> (tensor<4xf32>)
+        "func.return"(%s) : (tensor<4xf32>) -> ()
+      }) {sym_name = "f",
+          function_type = (tensor<4xf32>, tensor<4xf32>) -> tensor<4xf32>}
+        : () -> ()
+    }) : () -> ()
+  )");
+  Operation *Func = lookupSymbol(Module.get(), "f");
+  ASSERT_TRUE(succeeded(ad::generateGradientFunction(Func, "stablehlo.add")));
+  Operation *Grad = lookupSymbol(Module.get(), "f_grad");
+  ASSERT_NE(Grad, nullptr);
+  // The adjoint of x flows through two paths, so at least one accumulation
+  // add must exist; none of the arith/mhlo kinds should appear.
+  EXPECT_GT(countOps(Grad, "stablehlo.add"), 0);
+  EXPECT_EQ(countOps(Grad, "mhlo.add"), 0);
+  EXPECT_EQ(countOps(Grad, "arith.addf"), 0);
+}
+
+TEST_F(AutoDiffTest, LegalizePassesRenameDialects) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: tensor<2xf32>):
+        %d = "stablehlo.add"(%x, %x)
+          : (tensor<2xf32>, tensor<2xf32>) -> (tensor<2xf32>)
+        "func.return"(%d) : (tensor<2xf32>) -> ()
+      }) {sym_name = "f",
+          function_type = (tensor<2xf32>) -> tensor<2xf32>} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(
+      succeeded(runRegisteredPass("legalize-stablehlo-to-mhlo", Module.get())));
+  EXPECT_EQ(countOps(Module.get(), "stablehlo.add"), 0);
+  EXPECT_EQ(countOps(Module.get(), "mhlo.add"), 1);
+  ASSERT_TRUE(
+      succeeded(runRegisteredPass("legalize-mhlo-to-arith", Module.get())));
+  EXPECT_EQ(countOps(Module.get(), "mhlo.add"), 0);
+  EXPECT_EQ(countOps(Module.get(), "arith.addf"), 1);
+}
+
+TEST_F(AutoDiffTest, IntrospectionPicksTheRightLevel) {
+  // Build three scripts with different prefixes and check the inference
+  // (Fig. 5's Options 1-3).
+  struct Case {
+    std::vector<const char *> Passes;
+    const char *Expected;
+  };
+  const Case Cases[] = {
+      {{}, "stablehlo.add"},
+      {{"legalize-stablehlo-to-mhlo"}, "mhlo.add"},
+      {{"legalize-stablehlo-to-mhlo", "legalize-mhlo-to-arith"},
+       "arith.addf"},
+  };
+  for (const Case &C : Cases) {
+    std::string Body;
+    std::string Current = "%root";
+    int N = 0;
+    for (const char *Pass : C.Passes) {
+      std::string Next = "%h" + std::to_string(N++);
+      Body += Next + " = \"transform.apply_registered_pass\"(" + Current +
+              ") {pass_name = \"" + Pass +
+              "\"} : (!transform.any_op) -> (!transform.any_op)\n";
+      Current = Next;
+    }
+    Body += "\"transform.autodiff\"(" + Current +
+            ") : (!transform.any_op) -> ()\n";
+    OwningOpRef Script = parseSourceString(
+        Ctx, "\"transform.named_sequence\"() ({\n^bb0(%root: "
+             "!transform.any_op):\n" +
+                 Body +
+                 "\"transform.yield\"() : () -> ()\n}) {sym_name = "
+                 "\"__transform_main\"} : () -> ()",
+        "script");
+    ASSERT_TRUE(Script);
+    Operation *AdOp = nullptr;
+    Script->walk([&](Operation *Op) {
+      if (Op->getName() == "transform.autodiff")
+        AdOp = Op;
+    });
+    ASSERT_NE(AdOp, nullptr);
+    EXPECT_EQ(ad::inferAddOpKind(AdOp), C.Expected);
+  }
+}
+
+TEST_F(AutoDiffTest, AutodiffTransformEndToEnd) {
+  OwningOpRef Payload = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: tensor<4xf32>):
+        %d = "stablehlo.multiply"(%x, %x)
+          : (tensor<4xf32>, tensor<4xf32>) -> (tensor<4xf32>)
+        "func.return"(%d) : (tensor<4xf32>) -> ()
+      }) {sym_name = "f",
+          function_type = (tensor<4xf32>) -> tensor<4xf32>} : () -> ()
+    }) : () -> ()
+  )");
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.autodiff"(%root) : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )", "script");
+  ASSERT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_NE(lookupSymbol(Payload.get(), "f_grad"), nullptr);
+  EXPECT_TRUE(succeeded(verify(Payload.get())));
+}
+
+TEST_F(AutoDiffTest, UnsupportedOpIsRejected) {
+  Ctx.setAllowUnregisteredOps(true);
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %d = "weird.op"(%x) : (f64) -> (f64)
+        "func.return"(%d) : (f64) -> ()
+      }) {sym_name = "f", function_type = (f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  Operation *Func = lookupSymbol(Module.get(), "f");
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(ad::generateGradientFunction(Func, "arith.addf")));
+  EXPECT_TRUE(Capture.contains("unsupported"));
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- AnalysisTest.cpp - Transform-IR analysis tests -------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+protected:
+  AnalysisTest() {
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx);
+  }
+
+  OwningOpRef makeScript(std::string_view Body) {
+    std::string Source = R"("transform.named_sequence"() ({
+      ^bb0(%root: !transform.any_op):
+    )" + std::string(Body) +
+                         R"(
+        "transform.yield"() : () -> ()
+      }) {sym_name = "__transform_main"} : () -> ()
+    )";
+    return parseSourceString(Ctx, Source, "script");
+  }
+
+  Context Ctx;
+};
+
+TEST_F(AnalysisTest, StaticAnalysisCatchesFig1DoubleUnroll) {
+  // Fig. 1a with the deliberate error on line 11 — detected statically,
+  // without a payload.
+  OwningOpRef Script = makeScript(R"(
+    %outer = "transform.match.op"(%root) {op_name = "scf.for", first}
+      : (!transform.any_op) -> (!transform.any_op)
+    %inner = "transform.match.op"(%outer) {op_name = "scf.for", first}
+      : (!transform.any_op) -> (!transform.any_op)
+    %main, %rest = "transform.loop.split"(%inner) {divisor = 8 : index}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %t, %p = "transform.loop.tile"(%main) {tile_sizes = [8 : index]}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.loop.unroll"(%rest) {full} : (!transform.any_op) -> ()
+    "transform.loop.unroll"(%rest) {full} : (!transform.any_op) -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<InvalidationIssue> Issues =
+      analyzeHandleInvalidation(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0].Op->getName(), "transform.loop.unroll");
+  EXPECT_NE(Issues[0].Message.find("invalidated"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, StaticAnalysisTracksNestedDerivation) {
+  // Consuming %outer invalidates %inner (matched inside it), but sibling
+  // results of a split do not invalidate each other.
+  OwningOpRef Script = makeScript(R"(
+    %outer = "transform.match.op"(%root) {op_name = "scf.for", first}
+      : (!transform.any_op) -> (!transform.any_op)
+    %inner = "transform.match.op"(%outer) {op_name = "scf.for", first}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.loop.unroll"(%outer) {factor = 2 : index}
+      : (!transform.any_op) -> ()
+    "transform.annotate"(%inner) {name = "x"} : (!transform.any_op) -> ()
+  )");
+  std::vector<InvalidationIssue> Issues =
+      analyzeHandleInvalidation(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0].Op->getName(), "transform.annotate");
+
+  OwningOpRef Siblings = makeScript(R"(
+    %inner = "transform.match.op"(%root) {op_name = "scf.for", first}
+      : (!transform.any_op) -> (!transform.any_op)
+    %main, %rest = "transform.loop.split"(%inner) {divisor = 8 : index}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %t, %p = "transform.loop.tile"(%main) {tile_sizes = [8 : index]}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.loop.unroll"(%rest) {full} : (!transform.any_op) -> ()
+  )");
+  EXPECT_TRUE(analyzeHandleInvalidation(Siblings.get()).empty())
+      << "tiling %main must not invalidate its split sibling %rest";
+}
+
+TEST_F(AnalysisTest, IncludeCycleDetection) {
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "transform.named_sequence"() ({
+      ^bb0(%a: !transform.any_op):
+        "transform.include"(%a) {callee = @b} : (!transform.any_op) -> ()
+        "transform.yield"() : () -> ()
+      }) {sym_name = "a"} : () -> ()
+      "transform.named_sequence"() ({
+      ^bb0(%b: !transform.any_op):
+        "transform.include"(%b) {callee = @a} : (!transform.any_op) -> ()
+        "transform.yield"() : () -> ()
+      }) {sym_name = "b"} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(checkIncludeCycles(Script.get())));
+  EXPECT_TRUE(Capture.contains("cycle"));
+}
+
+TEST_F(AnalysisTest, IncludeInlining) {
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "transform.named_sequence"() ({
+      ^bb0(%arg: !transform.any_op):
+        %loops = "transform.match.op"(%arg) {op_name = "scf.for"}
+          : (!transform.any_op) -> (!transform.any_op)
+        "transform.yield"(%loops) : (!transform.any_op) -> ()
+      }) {sym_name = "find_loops"} : () -> ()
+      "transform.named_sequence"() ({
+      ^bb0(%root: !transform.any_op):
+        %res = "transform.include"(%root) {callee = @find_loops}
+          : (!transform.any_op) -> (!transform.any_op)
+        "transform.annotate"(%res) {name = "n"} : (!transform.any_op) -> ()
+        "transform.yield"() : () -> ()
+      }) {sym_name = "__transform_main"} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(succeeded(inlineIncludes(Script.get())));
+  int64_t Includes = 0, Matches = 0;
+  Script->walk([&](Operation *Op) {
+    Includes += Op->getName() == "transform.include";
+    Matches += Op->getName() == "transform.match.op";
+  });
+  EXPECT_EQ(Includes, 0);
+  EXPECT_EQ(Matches, 2); // original in macro + inlined copy
+}
+
+TEST_F(AnalysisTest, SimplifyRemovesNoOps) {
+  OwningOpRef Script = makeScript(R"(
+    %loop = "transform.match.op"(%root) {op_name = "scf.for", first}
+      : (!transform.any_op) -> (!transform.any_op)
+    %new = "transform.loop.unroll"(%loop) {factor = 1 : index}
+      : (!transform.any_op) -> (!transform.any_op)
+    %dead = "transform.match.op"(%root) {op_name = "scf.forall"}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.annotate"(%new) {name = "x"} : (!transform.any_op) -> ()
+  )");
+  ASSERT_TRUE(Script);
+  int64_t Erased = simplifyTransformScript(Script.get());
+  EXPECT_GE(Erased, 2); // the no-op unroll and the dead match
+  int64_t Unrolls = 0;
+  Script->walk([&](Operation *Op) {
+    Unrolls += Op->getName() == "transform.loop.unroll";
+  });
+  EXPECT_EQ(Unrolls, 0);
+}
+
+TEST_F(AnalysisTest, SimplifyPropagatesConstantParams) {
+  OwningOpRef Script = makeScript(R"(
+    %loop = "transform.match.op"(%root) {op_name = "scf.for", first}
+      : (!transform.any_op) -> (!transform.any_op)
+    %p = "transform.param.constant"() {value = 8 : index}
+      : () -> (!transform.param)
+    %t, %pt = "transform.loop.tile"(%loop, %p)
+      : (!transform.any_op, !transform.param)
+      -> (!transform.any_op, !transform.any_op)
+    "transform.annotate"(%t) {name = "x"} : (!transform.any_op) -> ()
+  )");
+  ASSERT_TRUE(Script);
+  simplifyTransformScript(Script.get());
+  Operation *Tile = nullptr;
+  Script->walk([&](Operation *Op) {
+    if (Op->getName() == "transform.loop.tile")
+      Tile = Op;
+  });
+  ASSERT_NE(Tile, nullptr);
+  ArrayAttr Sizes = Tile->getAttrOfType<ArrayAttr>("tile_sizes");
+  ASSERT_TRUE(static_cast<bool>(Sizes));
+  EXPECT_EQ(Sizes.getAsIntegers(), (std::vector<int64_t>{8}));
+  EXPECT_EQ(Tile->getNumOperands(), 1u) << "param operand folded away";
+  // The now-dead param.constant is erased too.
+  int64_t Params = 0;
+  Script->walk([&](Operation *Op) {
+    Params += Op->getName() == "transform.param.constant";
+  });
+  EXPECT_EQ(Params, 0);
+}
+
+TEST_F(AnalysisTest, CollectPrecedingTransforms) {
+  Ctx.setAllowUnregisteredOps(true);
+  OwningOpRef Script = makeScript(R"(
+    %a = "transform.apply_registered_pass"(%root)
+      {pass_name = "legalize-stablehlo-to-mhlo"}
+      : (!transform.any_op) -> (!transform.any_op)
+    %b = "transform.convert_scf_to_cf"(%a)
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.probe_point"(%b) : (!transform.any_op) -> ()
+  )");
+  ASSERT_TRUE(Script);
+  Operation *Probe = nullptr;
+  Script->walk([&](Operation *Op) {
+    if (Op->getName() == "transform.probe_point")
+      Probe = Op;
+  });
+  ASSERT_NE(Probe, nullptr);
+  std::vector<std::string> Names = collectPrecedingTransforms(Probe);
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "legalize-stablehlo-to-mhlo");
+  EXPECT_EQ(Names[1], "convert-scf-to-cf");
+}
+
+} // namespace

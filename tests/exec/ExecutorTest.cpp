@@ -1,0 +1,405 @@
+//===- ExecutorTest.cpp - Execution engine tests --------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Executor.h"
+
+#include "dialect/Dialects.h"
+#include "exec/Workloads.h"
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "loops/LoopUtils.h"
+#include "lowering/Passes.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace tdl;
+using exec::Buffer;
+using exec::RuntimeValue;
+
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+protected:
+  ExecutorTest() {
+    registerAllDialects(Ctx);
+    registerXsmmDialect(Ctx);
+    registerAllPasses();
+  }
+
+  Context Ctx;
+  Location Loc = Location::unknown();
+};
+
+TEST_F(ExecutorTest, BufferLayout) {
+  Buffer B = Buffer::alloc({2, 3, 4});
+  EXPECT_EQ(B.Data->size(), 24u);
+  EXPECT_EQ(B.Strides, (std::vector<int64_t>{12, 4, 1}));
+  EXPECT_EQ(B.linearIndex({1, 2, 3}), 23);
+  B.at({1, 0, 2}) = 7.5;
+  EXPECT_EQ((*B.Data)[14], 7.5);
+  EXPECT_EQ(B.getNumElements(), 24);
+}
+
+TEST_F(ExecutorTest, ScalarArithmetic) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64, %y: f64):
+        %p = "arith.mulf"(%x, %y) : (f64, f64) -> (f64)
+        %s = "arith.addf"(%p, %x) : (f64, f64) -> (f64)
+        "func.return"(%s) : (f64) -> ()
+      }) {sym_name = "f", function_type = (f64, f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Module);
+  exec::Executor Exec(Module.get());
+  auto Result = Exec.run("f", {RuntimeValue::makeFloat(3.0),
+                               RuntimeValue::makeFloat(4.0)});
+  ASSERT_TRUE(succeeded(Result));
+  ASSERT_EQ(Result->size(), 1u);
+  EXPECT_DOUBLE_EQ((*Result)[0].F, 15.0); // 3*4 + 3
+}
+
+TEST_F(ExecutorTest, IntegerOpsAndSelect) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%a: index, %b: index):
+        %q = "arith.floordivsi"(%a, %b) : (index, index) -> (index)
+        %r = "arith.remsi"(%a, %b) : (index, index) -> (index)
+        %c = "arith.cmpi"(%q, %r) {predicate = "sgt"} : (index, index) -> (i1)
+        %m = "arith.select"(%c, %q, %r) : (i1, index, index) -> (index)
+        "func.return"(%m) : (index) -> ()
+      }) {sym_name = "f", function_type = (index, index) -> index} : () -> ()
+    }) : () -> ()
+  )");
+  exec::Executor Exec(Module.get());
+  auto Result =
+      Exec.run("f", {RuntimeValue::makeInt(17), RuntimeValue::makeInt(5)});
+  ASSERT_TRUE(succeeded(Result));
+  EXPECT_EQ((*Result)[0].I, 3); // max(17/5=3, 17%5=2) via select
+}
+
+TEST_F(ExecutorTest, LoopAccumulation) {
+  // Sum m[i] over i in [0, 8) into m[0] using loads/stores.
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%m: memref<8xf64>, %out: memref<1xf64>):
+        %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+        %ub = "arith.constant"() {value = 8 : index} : () -> (index)
+        %one = "arith.constant"() {value = 1 : index} : () -> (index)
+        "scf.for"(%lb, %ub, %one) ({
+        ^body(%i: index):
+          %v = "memref.load"(%m, %i) : (memref<8xf64>, index) -> (f64)
+          %acc = "memref.load"(%out, %lb) : (memref<1xf64>, index) -> (f64)
+          %s = "arith.addf"(%acc, %v) : (f64, f64) -> (f64)
+          "memref.store"(%s, %out, %lb) : (f64, memref<1xf64>, index) -> ()
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "sum",
+          function_type = (memref<8xf64>, memref<1xf64>) -> ()} : () -> ()
+    }) : () -> ()
+  )");
+  exec::Executor Exec(Module.get());
+  Buffer M = Buffer::alloc({8});
+  for (int I = 0; I < 8; ++I)
+    M.at({I}) = I + 1;
+  Buffer Out = Buffer::alloc({1});
+  ASSERT_TRUE(succeeded(Exec.run("sum", {RuntimeValue::makeBuffer(M),
+                                         RuntimeValue::makeBuffer(Out)})));
+  EXPECT_DOUBLE_EQ(Out.at({0}), 36.0);
+  EXPECT_GT(Exec.getLastOpCount(), 8 * 4);
+}
+
+TEST_F(ExecutorTest, SubViewSemantics) {
+  // Write 42 into a 2x2 view at offset (1,1) of a 4x4 buffer.
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%m: memref<4x4xf64>):
+        %sv = "memref.subview"(%m) {static_offsets = [1 : index, 1 : index],
+          static_sizes = [2 : index, 2 : index],
+          static_strides = [1 : index, 1 : index]}
+          : (memref<4x4xf64>) -> (memref<2x2xf64, strided<[4, 1], offset: 5>>)
+        %c = "arith.constant"() {value = 42.0 : f64} : () -> (f64)
+        "scf.forall"() ({
+        ^body(%i: index, %j: index):
+          "memref.store"(%c, %sv, %i, %j)
+            : (f64, memref<2x2xf64, strided<[4, 1], offset: 5>>, index, index) -> ()
+          "scf.yield"() : () -> ()
+        }) {lowerBound = [0 : index, 0 : index],
+            upperBound = [2 : index, 2 : index]} : () -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "f", function_type = (memref<4x4xf64>) -> ()} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Module);
+  exec::Executor Exec(Module.get());
+  Buffer M = Buffer::alloc({4, 4});
+  ASSERT_TRUE(succeeded(Exec.run("f", {RuntimeValue::makeBuffer(M)})));
+  double Expected[4][4] = {{0, 0, 0, 0},
+                           {0, 42, 42, 0},
+                           {0, 42, 42, 0},
+                           {0, 0, 0, 0}};
+  for (int I = 0; I < 4; ++I)
+    for (int J = 0; J < 4; ++J)
+      EXPECT_EQ(M.at({I, J}), Expected[I][J]) << I << "," << J;
+}
+
+TEST_F(ExecutorTest, ScfIfBranches) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%a: index, %out: memref<1xf64>):
+        %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+        %cmp = "arith.cmpi"(%a, %zero) {predicate = "sgt"}
+          : (index, index) -> (i1)
+        %pos = "arith.constant"() {value = 1.0 : f64} : () -> (f64)
+        %neg = "arith.constant"() {value = -1.0 : f64} : () -> (f64)
+        "scf.if"(%cmp) ({
+          "memref.store"(%pos, %out, %zero) : (f64, memref<1xf64>, index) -> ()
+          "scf.yield"() : () -> ()
+        }, {
+          "memref.store"(%neg, %out, %zero) : (f64, memref<1xf64>, index) -> ()
+          "scf.yield"() : () -> ()
+        }) : (i1) -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "sign",
+          function_type = (index, memref<1xf64>) -> ()} : () -> ()
+    }) : () -> ()
+  )");
+  exec::Executor Exec(Module.get());
+  Buffer Out = Buffer::alloc({1});
+  ASSERT_TRUE(succeeded(Exec.run("sign", {RuntimeValue::makeInt(5),
+                                          RuntimeValue::makeBuffer(Out)})));
+  EXPECT_EQ(Out.at({0}), 1.0);
+  ASSERT_TRUE(succeeded(Exec.run("sign", {RuntimeValue::makeInt(-5),
+                                          RuntimeValue::makeBuffer(Out)})));
+  EXPECT_EQ(Out.at({0}), -1.0);
+}
+
+TEST_F(ExecutorTest, FunctionCalls) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %two = "arith.constant"() {value = 2.0 : f64} : () -> (f64)
+        %d = "arith.mulf"(%x, %two) : (f64, f64) -> (f64)
+        "func.return"(%d) : (f64) -> ()
+      }) {sym_name = "double", function_type = (f64) -> f64} : () -> ()
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %a = "func.call"(%x) {callee = @double} : (f64) -> (f64)
+        %b = "func.call"(%a) {callee = @double} : (f64) -> (f64)
+        "func.return"(%b) : (f64) -> ()
+      }) {sym_name = "quad", function_type = (f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  exec::Executor Exec(Module.get());
+  auto Result = Exec.run("quad", {RuntimeValue::makeFloat(3.0)});
+  ASSERT_TRUE(succeeded(Result));
+  EXPECT_DOUBLE_EQ((*Result)[0].F, 12.0);
+}
+
+TEST_F(ExecutorTest, UnsupportedOpIsAnError) {
+  Ctx.setAllowUnregisteredOps(true);
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+        "weird.op"() : () -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "f", function_type = () -> ()} : () -> ()
+    }) : () -> ()
+  )");
+  exec::Executor Exec(Module.get());
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(Exec.run("f", {})));
+  EXPECT_TRUE(Capture.contains("unsupported operation"));
+  EXPECT_TRUE(failed(Exec.run("no_such_function", {})));
+}
+
+//===----------------------------------------------------------------------===//
+// Microkernel correctness
+//===----------------------------------------------------------------------===//
+
+TEST_F(ExecutorTest, XsmmKernelMatchesReference) {
+  const int64_t M = 7, N = 8, K = 5;
+  Buffer A = Buffer::alloc({M, K});
+  Buffer B = Buffer::alloc({K, N});
+  Buffer C = Buffer::alloc({M, N});
+  for (int64_t I = 0; I < M * K; ++I)
+    (*A.Data)[I] = 0.1 * I - 1.0;
+  for (int64_t I = 0; I < K * N; ++I)
+    (*B.Data)[I] = 0.05 * I + 0.3;
+  exec::xsmmMatmulKernel(A, B, C, 0, M, 0, N, 0, K, {}, {}, {});
+  for (int64_t I = 0; I < M; ++I) {
+    for (int64_t J = 0; J < N; ++J) {
+      double Expected = 0;
+      for (int64_t L = 0; L < K; ++L)
+        Expected += A.at({I, L}) * B.at({L, J});
+      EXPECT_NEAR(C.at({I, J}), Expected, 1e-12);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, XsmmKernelSubrangeAndPrefix) {
+  // Batch prefix and partial ranges: compute only C[1, 2..4, 1..3].
+  Buffer A = Buffer::alloc({2, 5, 3});
+  Buffer B = Buffer::alloc({2, 3, 4});
+  Buffer C = Buffer::alloc({2, 5, 4});
+  for (size_t I = 0; I < A.Data->size(); ++I)
+    (*A.Data)[I] = 0.01 * I;
+  for (size_t I = 0; I < B.Data->size(); ++I)
+    (*B.Data)[I] = 0.02 * I - 0.1;
+  exec::xsmmMatmulKernel(A, B, C, 2, 4, 1, 3, 0, 3, {1}, {1}, {1});
+  for (int64_t I = 0; I < 5; ++I) {
+    for (int64_t J = 0; J < 4; ++J) {
+      double Expected = 0;
+      if (I >= 2 && I < 4 && J >= 1 && J < 3)
+        for (int64_t L = 0; L < 3; ++L)
+          Expected += A.at({1, I, L}) * B.at({1, L, J});
+      EXPECT_NEAR(C.at({1, I, J}), Expected, 1e-12) << I << "," << J;
+      EXPECT_EQ(C.at({0, I, J}), 0.0);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: loop transformations preserve semantics (parameterized)
+//===----------------------------------------------------------------------===//
+
+struct TileCase {
+  int64_t M, N, K, TileI, TileJ;
+};
+
+class TilePreservesSemantics : public ::testing::TestWithParam<TileCase> {
+protected:
+  TilePreservesSemantics() {
+    registerAllDialects(Ctx);
+    registerXsmmDialect(Ctx);
+    registerAllPasses();
+  }
+  Context Ctx;
+};
+
+TEST_P(TilePreservesSemantics, MatmulChecksum) {
+  TileCase P = GetParam();
+  auto RunMatmul = [&](bool Tile) {
+    OwningOpRef Module =
+        workloads::buildBatchMatmulModule(Ctx, 1, P.M, P.N, P.K);
+    if (Tile) {
+      Operation *ILoop = nullptr;
+      int Seen = 0;
+      Module->walkPre([&](Operation *Op) {
+        if (Op->getName() == "scf.for" && ++Seen == 2) {
+          ILoop = Op;
+          return WalkResult::Interrupt;
+        }
+        return WalkResult::Advance;
+      });
+      EXPECT_TRUE(
+          succeeded(loops::tileLoopNest(ILoop, {P.TileI, P.TileJ})));
+    }
+    exec::Executor Exec(Module.get());
+    Buffer A = Buffer::alloc({1, P.M, P.K});
+    Buffer B = Buffer::alloc({1, P.K, P.N});
+    Buffer C = Buffer::alloc({1, P.M, P.N});
+    for (size_t I = 0; I < A.Data->size(); ++I)
+      (*A.Data)[I] = (I % 13) * 0.25 - 1;
+    for (size_t I = 0; I < B.Data->size(); ++I)
+      (*B.Data)[I] = (I % 7) * 0.5 - 1.5;
+    EXPECT_TRUE(succeeded(Exec.run("bmm", {RuntimeValue::makeBuffer(A),
+                                           RuntimeValue::makeBuffer(B),
+                                           RuntimeValue::makeBuffer(C)})));
+    double Sum = 0;
+    int64_t Idx = 0;
+    for (double V : *C.Data)
+      Sum += V * ((Idx++ % 5) + 1);
+    return Sum;
+  };
+  double Reference = RunMatmul(false);
+  double Tiled = RunMatmul(true);
+  EXPECT_NEAR(Tiled, Reference, 1e-9 * std::max(1.0, std::fabs(Reference)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileSweep, TilePreservesSemantics,
+    ::testing::Values(TileCase{8, 8, 4, 2, 2},   // divisible
+                      TileCase{8, 8, 4, 4, 8},   // full-dim tile
+                      TileCase{9, 7, 3, 2, 3},   // non-divisible (min bounds)
+                      TileCase{16, 4, 8, 16, 0}, // untiled dim
+                      TileCase{5, 5, 5, 3, 4},   // odd everything
+                      TileCase{12, 12, 2, 0, 6} // outer untiled
+                      ));
+
+struct SplitCase {
+  int64_t Trip, Divisor;
+};
+
+class SplitPreservesSemantics : public ::testing::TestWithParam<SplitCase> {
+protected:
+  SplitPreservesSemantics() {
+    registerAllDialects(Ctx);
+    registerAllPasses();
+  }
+  Context Ctx;
+};
+
+TEST_P(SplitPreservesSemantics, ElementwiseChecksum) {
+  SplitCase P = GetParam();
+  auto Run = [&](bool Split, bool Unroll) {
+    Location Loc = Location::unknown();
+    OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+    OpBuilder B(Ctx);
+    B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+    MemRefType MTy =
+        MemRefType::get(Ctx, {P.Trip}, FloatType::getF64(Ctx));
+    Operation *Func = func::buildFunc(
+        B, Loc, "f", FunctionType::get(Ctx, {MTy}, {}));
+    Block *Body = func::getBody(Func);
+    B.setInsertionPointToStart(Body);
+    Value M = Body->getArgument(0);
+    Value Zero = arith::buildConstantIndex(B, Loc, 0);
+    Value Ub = arith::buildConstantIndex(B, Loc, P.Trip);
+    Value One = arith::buildConstantIndex(B, Loc, 1);
+    Operation *Loop = scf::buildFor(
+        B, Loc, Zero, Ub, One, [&](OpBuilder &NB, Location L, Value Iv) {
+          Value V = memref::buildLoad(NB, L, M, {Iv});
+          Value W = arith::buildBinary(NB, L, "arith.mulf", V, V);
+          memref::buildStore(NB, L, W, M, {Iv});
+        });
+    func::buildReturn(B, Loc);
+    if (Split) {
+      auto Parts = loops::splitLoopByDivisibility(Loop, P.Divisor);
+      EXPECT_TRUE(succeeded(Parts));
+      if (Unroll && succeeded(Parts))
+        EXPECT_TRUE(succeeded(loops::unrollLoopFull(Parts->second)));
+    }
+    exec::Executor Exec(Module.get());
+    Buffer Buf = Buffer::alloc({P.Trip});
+    for (int64_t I = 0; I < P.Trip; ++I)
+      Buf.at({I}) = 0.5 * I - 2;
+    EXPECT_TRUE(succeeded(Exec.run("f", {RuntimeValue::makeBuffer(Buf)})));
+    double Sum = 0;
+    for (double V : *Buf.Data)
+      Sum += V;
+    return Sum;
+  };
+  double Reference = Run(false, false);
+  EXPECT_NEAR(Run(true, false), Reference, 1e-9);
+  EXPECT_NEAR(Run(true, true), Reference, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitSweep, SplitPreservesSemantics,
+                         ::testing::Values(SplitCase{17, 8}, SplitCase{16, 8},
+                                           SplitCase{7, 8}, SplitCase{1, 2},
+                                           SplitCase{100, 7},
+                                           SplitCase{33, 32}));
+
+} // namespace

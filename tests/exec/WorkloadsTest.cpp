@@ -1,0 +1,162 @@
+//===- WorkloadsTest.cpp - Payload generator tests -----------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Workloads.h"
+
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "ir/Verifier.h"
+#include "pass/Pass.h"
+#include "support/STLExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class WorkloadsTest : public ::testing::Test {
+protected:
+  WorkloadsTest() {
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx);
+  }
+  Context Ctx;
+};
+
+/// Counts ops in the function body, excluding the terminator (the "# Ops"
+/// of Table 1).
+int64_t countModelOps(Operation *Module) {
+  Operation *Func = nullptr;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "func.func")
+      Func = Op;
+  });
+  int64_t Count = 0;
+  Func->walk([&](Operation *Op) {
+    if (Op != Func)
+      ++Count;
+  });
+  return Count;
+}
+
+class ModelSizeTest : public WorkloadsTest,
+                      public ::testing::WithParamInterface<int64_t> {};
+
+TEST_P(ModelSizeTest, ExactOpCount) {
+  int64_t NumOps = GetParam();
+  OwningOpRef Module = workloads::buildSyntheticTosaModel(Ctx, NumOps, 7);
+  ASSERT_TRUE(Module);
+  EXPECT_EQ(countModelOps(Module.get()), NumOps);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+}
+
+// The exact op counts of Table 1.
+INSTANTIATE_TEST_SUITE_P(Table1Sizes, ModelSizeTest,
+                         ::testing::Values(126, 2861, 4134, 847, 1182, 16));
+
+TEST_F(WorkloadsTest, ModelIsDeterministicPerSeed) {
+  OwningOpRef A = workloads::buildSyntheticTosaModel(Ctx, 200, 3);
+  OwningOpRef B = workloads::buildSyntheticTosaModel(Ctx, 200, 3);
+  OwningOpRef C = workloads::buildSyntheticTosaModel(Ctx, 200, 4);
+  EXPECT_EQ(A->str(), B->str());
+  EXPECT_NE(A->str(), C->str());
+}
+
+TEST_F(WorkloadsTest, TosaPipelineRunsOnModels) {
+  OwningOpRef Module = workloads::buildSyntheticTosaModel(Ctx, 300, 9);
+  auto Elements = parsePassPipeline(Ctx, workloads::getTosaPipeline());
+  ASSERT_TRUE(succeeded(Elements));
+  PassManager PM(Ctx);
+  ASSERT_TRUE(succeeded(buildPassManager(PM, *Elements)));
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  // The pipeline bufferizes: no tensor-typed tosa compute ops should remain
+  // (constants became globals, elementwise became linalg).
+  int64_t TosaCompute = 0;
+  Module->walk([&](Operation *Op) {
+    if (Op->getDialectName() == "tosa" && Op->getName() != "tosa.const")
+      ++TosaCompute;
+  });
+  EXPECT_EQ(TosaCompute, 0);
+}
+
+TEST_F(WorkloadsTest, BatchMatmulModuleShape) {
+  OwningOpRef Module = workloads::buildBatchMatmulModule(Ctx, 2, 4, 6, 8);
+  ASSERT_TRUE(Module);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  int64_t Loops = 0;
+  Operation *Tagged = nullptr;
+  Module->walk([&](Operation *Op) {
+    Loops += Op->getName() == "scf.for";
+    if (Op->hasAttr("linalg_op"))
+      Tagged = Op;
+  });
+  EXPECT_EQ(Loops, 4); // b, i, j, k
+  ASSERT_NE(Tagged, nullptr);
+  EXPECT_EQ(Tagged->getStringAttr("linalg_op"), "batch_matmul");
+}
+
+TEST_F(WorkloadsTest, HloModelContainsTargetMotifs) {
+  OwningOpRef Model = workloads::buildStableHloModel(Ctx, 4, 11);
+  ASSERT_TRUE(Model);
+  EXPECT_TRUE(succeeded(verify(Model.get())));
+  int64_t Pads = 0, Transposes = 0, Reduces = 0, Dots = 0;
+  Model->walk([&](Operation *Op) {
+    Pads += Op->getName() == "stablehlo.pad";
+    Transposes += Op->getName() == "stablehlo.transpose";
+    Reduces += Op->getName() == "stablehlo.reduce";
+    Dots += Op->getName() == "stablehlo.dot_general";
+  });
+  EXPECT_EQ(Pads, 4);
+  EXPECT_GE(Transposes, 8);
+  EXPECT_EQ(Reduces, 4);
+  EXPECT_EQ(Dots, 4);
+}
+
+TEST_F(WorkloadsTest, PatternCorpusRegistersAndContainsCulprit) {
+  std::vector<std::string> Names = workloads::registerHloPatternCorpus(Ctx);
+  EXPECT_GE(Names.size(), 15u);
+  EXPECT_TRUE(is_contained(
+      Names, std::string(workloads::getCounterproductivePatternName())));
+  for (const std::string &Name : Names) {
+    EXPECT_NE(lookupTransformPatternOp("transform.pattern." + Name), nullptr)
+        << Name;
+    EXPECT_NE(Ctx.lookupOpInfo("transform.pattern." + Name), nullptr);
+  }
+}
+
+TEST_F(WorkloadsTest, CostModelPenalizesFoldedReduce) {
+  std::vector<std::string> Names = workloads::registerHloPatternCorpus(Ctx);
+  OwningOpRef Model = workloads::buildStableHloModel(Ctx, 3, 5);
+  double Before = workloads::estimateHloExecutionCost(Model.get());
+
+  // Apply only the counter-productive pattern.
+  PatternSet Patterns;
+  (*lookupTransformPatternOp(
+      "transform.pattern." +
+      std::string(workloads::getCounterproductivePatternName())))(Patterns);
+  (void)applyPatternsGreedily(Model.get(), Patterns);
+  double After = workloads::estimateHloExecutionCost(Model.get());
+  EXPECT_GT(After, Before)
+      << "folding into reduce must regress the backend cost model";
+}
+
+TEST_F(WorkloadsTest, GoodPatternsImproveCost) {
+  std::vector<std::string> Names = workloads::registerHloPatternCorpus(Ctx);
+  OwningOpRef Model = workloads::buildStableHloModel(Ctx, 3, 5);
+  double Before = workloads::estimateHloExecutionCost(Model.get());
+  PatternSet Patterns;
+  for (const std::string &Name : Names) {
+    if (Name == workloads::getCounterproductivePatternName())
+      continue;
+    (*lookupTransformPatternOp("transform.pattern." + Name))(Patterns);
+  }
+  (void)applyPatternsGreedily(Model.get(), Patterns);
+  double After = workloads::estimateHloExecutionCost(Model.get());
+  EXPECT_LT(After, Before);
+}
+
+} // namespace

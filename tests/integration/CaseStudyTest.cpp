@@ -1,0 +1,230 @@
+//===- CaseStudyTest.cpp - End-to-end case-study flows ------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integration tests pinning the paper's case-study flows (the bench
+/// binaries print them; these tests assert them).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "exec/Executor.h"
+#include "exec/Workloads.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "pass/Pass.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace tdl;
+using exec::Buffer;
+using exec::RuntimeValue;
+
+namespace {
+
+class CaseStudyTest : public ::testing::Test {
+protected:
+  CaseStudyTest() {
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx);
+  }
+
+  int64_t countOps(Operation *Root, std::string_view Name) {
+    int64_t Count = 0;
+    Root->walk([&](Operation *Op) { Count += Op->getName() == Name; });
+    return Count;
+  }
+
+  Context Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Case Study 1: pipeline-as-script equivalence
+//===----------------------------------------------------------------------===//
+
+TEST_F(CaseStudyTest, PipelineAndScriptProduceIdenticalIR) {
+  std::string Pipeline = workloads::getTosaPipeline();
+  OwningOpRef ViaPassManager =
+      workloads::buildSyntheticTosaModel(Ctx, 240, 13);
+  OwningOpRef ViaScript = workloads::buildSyntheticTosaModel(Ctx, 240, 13);
+
+  PassManager PM(Ctx);
+  auto Elements = parsePassPipeline(Ctx, Pipeline);
+  ASSERT_TRUE(succeeded(Elements));
+  ASSERT_TRUE(succeeded(buildPassManager(PM, *Elements)));
+  ASSERT_TRUE(succeeded(PM.run(ViaPassManager.get())));
+
+  OwningOpRef Script = buildTransformScriptFromPipeline(Ctx, Pipeline);
+  ASSERT_TRUE(Script);
+  ASSERT_TRUE(succeeded(applyTransforms(ViaScript.get(), Script.get())));
+
+  // The worst case for the Transform dialect (running the identical
+  // pipeline) must also be *behaviorally* identical: same final IR.
+  EXPECT_EQ(printOperationToString(ViaPassManager.get()),
+            printOperationToString(ViaScript.get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Case Study 3: script-applied patterns == directly-applied patterns
+//===----------------------------------------------------------------------===//
+
+TEST_F(CaseStudyTest, ScriptPatternsMatchDirectApplication) {
+  std::vector<std::string> Names = workloads::registerHloPatternCorpus(Ctx);
+
+  OwningOpRef Direct = workloads::buildStableHloModel(Ctx, 4, 21);
+  PatternSet All;
+  for (const std::string &Name : Names)
+    (*lookupTransformPatternOp("transform.pattern." + Name))(All);
+  ASSERT_TRUE(succeeded(applyPatternsGreedily(Direct.get(), All)));
+
+  OwningOpRef ViaScript = workloads::buildStableHloModel(Ctx, 4, 21);
+  std::string PatternOps;
+  for (const std::string &Name : Names)
+    PatternOps += "      \"transform.pattern." + Name + "\"() : () -> ()\n";
+  OwningOpRef Script = parseSourceString(
+      Ctx, R"("transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    "transform.apply_patterns"(%root) ({
+)" + PatternOps + R"(    }) : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+)",
+      "script");
+  ASSERT_TRUE(Script);
+  ASSERT_TRUE(succeeded(applyTransforms(ViaScript.get(), Script.get())));
+
+  EXPECT_EQ(workloads::estimateHloExecutionCost(Direct.get()),
+            workloads::estimateHloExecutionCost(ViaScript.get()));
+  EXPECT_EQ(printOperationToString(Direct.get()),
+            printOperationToString(ViaScript.get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Case Study 4: the Fig. 8 flow preserves semantics and calls the kernel
+//===----------------------------------------------------------------------===//
+
+TEST_F(CaseStudyTest, Fig8FlowIsSemanticallyCorrect) {
+  const int64_t B = 1, M = 34, N = 8, K = 16; // M = 32 + 2 remainder
+  auto Checksum = [&](Operation *Module) {
+    exec::Executor Exec(Module);
+    Buffer A = Buffer::alloc({B, M, K});
+    Buffer Bm = Buffer::alloc({B, K, N});
+    Buffer C = Buffer::alloc({B, M, N});
+    for (size_t I = 0; I < A.Data->size(); ++I)
+      (*A.Data)[I] = (I % 11) * 0.3 - 1;
+    for (size_t I = 0; I < Bm.Data->size(); ++I)
+      (*Bm.Data)[I] = (I % 5) * 0.7 - 1;
+    EXPECT_TRUE(succeeded(Exec.run("bmm", {RuntimeValue::makeBuffer(A),
+                                           RuntimeValue::makeBuffer(Bm),
+                                           RuntimeValue::makeBuffer(C)})));
+    double Sum = 0;
+    int64_t Idx = 0;
+    for (double V : *C.Data)
+      Sum += V * ((Idx++ % 3) + 1);
+    return Sum;
+  };
+
+  OwningOpRef Reference = workloads::buildBatchMatmulModule(Ctx, B, M, N, K);
+  double Expected = Checksum(Reference.get());
+
+  OwningOpRef Transformed =
+      workloads::buildBatchMatmulModule(Ctx, B, M, N, K);
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %i_loop = "transform.match.op"(%root) {op_name = "scf.for", second}
+        : (!transform.any_op) -> (!transform.any_op)
+      %main, %rest = "transform.loop.split"(%i_loop) {divisor = 32 : index}
+        : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+      %tiles, %points = "transform.loop.tile"(%main)
+        {tile_sizes = [32 : index, 8 : index]}
+        : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+      "transform.alternatives"(%points) ({
+      ^alt(%scope: !transform.any_op):
+        %calls = "transform.to_library"(%scope) {library = "libxsmm"}
+          : (!transform.any_op) -> (!transform.any_op)
+        "transform.yield"() : () -> ()
+      }, {
+      }) : (!transform.any_op) -> ()
+      "transform.loop.unroll"(%rest) {full} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )", "fig8");
+  ASSERT_TRUE(Script);
+  ASSERT_TRUE(succeeded(applyTransforms(Transformed.get(), Script.get())));
+  EXPECT_TRUE(succeeded(verify(Transformed.get())));
+  EXPECT_EQ(countOps(Transformed.get(), "xsmm.matmul"), 1);
+
+  double Actual = Checksum(Transformed.get());
+  EXPECT_NEAR(Actual, Expected, 1e-9 * std::max(1.0, std::fabs(Expected)));
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic condition checking end to end (Section 3.3, option on the
+// interpreter).
+//===----------------------------------------------------------------------===//
+
+TEST_F(CaseStudyTest, InterpreterDynamicConditionChecks) {
+  OwningOpRef Payload = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+        %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+        %ub = "arith.constant"() {value = 4 : index} : () -> (index)
+        %one = "arith.constant"() {value = 1 : index} : () -> (index)
+        "scf.for"(%lb, %ub, %one) ({
+        ^b(%i: index):
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "f", function_type = () -> ()} : () -> ()
+    }) : () -> ()
+  )");
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %r = "transform.convert_scf_to_cf"(%root)
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )", "script");
+  TransformOptions Options;
+  Options.CheckConditions = true;
+  ASSERT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get(),
+                                        Options)));
+  EXPECT_EQ(countOps(Payload.get(), "scf.for"), 0);
+  EXPECT_GT(countOps(Payload.get(), "cf.br"), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Printer/parser round-trip over generated payloads (fuzz-lite).
+//===----------------------------------------------------------------------===//
+
+class RoundTripFuzz : public ::testing::TestWithParam<uint64_t> {
+protected:
+  RoundTripFuzz() {
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx);
+  }
+  Context Ctx;
+};
+
+TEST_P(RoundTripFuzz, GeneratedModelsRoundTrip) {
+  OwningOpRef Model =
+      workloads::buildSyntheticTosaModel(Ctx, 150, GetParam());
+  std::string First = printOperationToString(Model.get());
+  OwningOpRef Reparsed = parseSourceString(Ctx, First, "roundtrip");
+  ASSERT_TRUE(Reparsed);
+  EXPECT_EQ(printOperationToString(Reparsed.get()), First);
+  EXPECT_TRUE(succeeded(verify(Reparsed.get())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

@@ -1,0 +1,229 @@
+//===- IRTest.cpp - Core IR unit tests ------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+#include "ir/IR.h"
+#include "ir/SymbolTable.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class IRTest : public ::testing::Test {
+protected:
+  IRTest() { registerAllDialects(Ctx); }
+
+  Context Ctx;
+  Location Loc = Location::unknown();
+};
+
+TEST_F(IRTest, CreateEmptyModule) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  ASSERT_TRUE(Module);
+  EXPECT_EQ(Module->getName(), "builtin.module");
+  EXPECT_EQ(Module->getNumRegions(), 1u);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+}
+
+TEST_F(IRTest, OperationCountTracksLiveness) {
+  EXPECT_EQ(Ctx.NumLiveOperations, 0);
+  {
+    OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+    EXPECT_EQ(Ctx.NumLiveOperations, 1);
+  }
+  EXPECT_EQ(Ctx.NumLiveOperations, 0);
+}
+
+TEST_F(IRTest, BuildFunctionWithBody) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+
+  FunctionType FuncTy = FunctionType::get(
+      Ctx, {IndexType::get(Ctx)}, {IndexType::get(Ctx)});
+  Operation *Func = func::buildFunc(B, Loc, "double_it", FuncTy);
+  Block *Body = func::getBody(Func);
+  B.setInsertionPointToStart(Body);
+  Value Two = arith::buildConstantIndex(B, Loc, 2);
+  Value Doubled =
+      arith::buildBinary(B, Loc, "arith.muli", Body->getArgument(0), Two);
+  func::buildReturn(B, Loc, {Doubled});
+
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  EXPECT_EQ(Module->getNumNestedOps(), 5); // module, func, const, mul, return
+  EXPECT_EQ(lookupSymbol(Module.get(), "double_it"), Func);
+  EXPECT_EQ(lookupSymbol(Module.get(), "nope"), nullptr);
+}
+
+TEST_F(IRTest, UseDefChains) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  FunctionType FuncTy = FunctionType::get(Ctx, {}, {});
+  Operation *Func = func::buildFunc(B, Loc, "f", FuncTy);
+  B.setInsertionPointToStart(func::getBody(Func));
+
+  Value C1 = arith::buildConstantIndex(B, Loc, 1);
+  Value C2 = arith::buildConstantIndex(B, Loc, 2);
+  Value Sum = arith::buildBinary(B, Loc, "arith.addi", C1, C1);
+  func::buildReturn(B, Loc);
+
+  EXPECT_EQ(C1.getNumUses(), 2u);
+  EXPECT_TRUE(C2.use_empty());
+  EXPECT_TRUE(Sum.use_empty());
+  EXPECT_EQ(C1.getUsers().size(), 1u); // one op using it twice
+
+  C1.replaceAllUsesWith(C2);
+  EXPECT_TRUE(C1.use_empty());
+  EXPECT_EQ(C2.getNumUses(), 2u);
+  EXPECT_EQ(Sum.getDefiningOp()->getOperand(0), C2);
+}
+
+TEST_F(IRTest, EraseAndMove) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  FunctionType FuncTy = FunctionType::get(Ctx, {}, {});
+  Operation *Func = func::buildFunc(B, Loc, "f", FuncTy);
+  Block *Body = func::getBody(Func);
+  B.setInsertionPointToStart(Body);
+
+  Value C1 = arith::buildConstantIndex(B, Loc, 1);
+  Value C2 = arith::buildConstantIndex(B, Loc, 2);
+  func::buildReturn(B, Loc);
+
+  Operation *Def1 = C1.getDefiningOp();
+  Operation *Def2 = C2.getDefiningOp();
+  EXPECT_TRUE(Def1->isBeforeInBlock(Def2));
+  Def1->moveAfter(Def2);
+  EXPECT_TRUE(Def2->isBeforeInBlock(Def1));
+  Def1->moveBefore(Def2);
+  EXPECT_TRUE(Def1->isBeforeInBlock(Def2));
+
+  size_t Before = Body->size();
+  Def1->erase();
+  EXPECT_EQ(Body->size(), Before - 1);
+}
+
+TEST_F(IRTest, CloneDeep) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  FunctionType FuncTy = FunctionType::get(Ctx, {IndexType::get(Ctx)}, {});
+  Operation *Func = func::buildFunc(B, Loc, "f", FuncTy);
+  Block *Body = func::getBody(Func);
+  B.setInsertionPointToStart(Body);
+
+  Value Zero = arith::buildConstantIndex(B, Loc, 0);
+  Value Ten = arith::buildConstantIndex(B, Loc, 10);
+  Value One = arith::buildConstantIndex(B, Loc, 1);
+  Operation *Loop = scf::buildFor(
+      B, Loc, Zero, Ten, One, [&](OpBuilder &Nested, Location L, Value Iv) {
+        arith::buildBinary(Nested, L, "arith.addi", Iv, Iv);
+      });
+  func::buildReturn(B, Loc);
+
+  int64_t NumOps = Loop->getNumNestedOps();
+  Operation *Cloned = Loop->clone();
+  EXPECT_EQ(Cloned->getNumNestedOps(), NumOps);
+  // Clone shares outer operands (lb/ub/step) but has a fresh body.
+  EXPECT_EQ(Cloned->getOperand(0), Zero);
+  EXPECT_NE(scf::getInductionVar(Cloned), scf::getInductionVar(Loop));
+  Cloned->destroy();
+}
+
+TEST_F(IRTest, WalkOrders) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  FunctionType FuncTy = FunctionType::get(Ctx, {}, {});
+  Operation *Func = func::buildFunc(B, Loc, "f", FuncTy);
+  B.setInsertionPointToStart(func::getBody(Func));
+  Value Zero = arith::buildConstantIndex(B, Loc, 0);
+  Value Ten = arith::buildConstantIndex(B, Loc, 10);
+  scf::buildFor(B, Loc, Zero, Ten, Zero);
+  func::buildReturn(B, Loc);
+
+  std::vector<std::string> PostOrder;
+  Module->walk(
+      [&](Operation *Op) { PostOrder.push_back(std::string(Op->getName())); });
+  ASSERT_FALSE(PostOrder.empty());
+  EXPECT_EQ(PostOrder.back(), "builtin.module");
+
+  int Count = 0;
+  WalkResult Result = Module->walkPre([&](Operation *Op) {
+    ++Count;
+    if (Op->getName() == "scf.for")
+      return WalkResult::Interrupt;
+    return WalkResult::Advance;
+  });
+  EXPECT_EQ(Result, WalkResult::Interrupt);
+  EXPECT_LT(Count, Module->getNumNestedOps());
+}
+
+TEST_F(IRTest, VerifierCatchesMissingTerminator) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  FunctionType FuncTy = FunctionType::get(Ctx, {}, {});
+  func::buildFunc(B, Loc, "f", FuncTy); // body left without terminator
+
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(verify(Module.get())));
+  EXPECT_TRUE(Capture.contains("terminator"));
+}
+
+TEST_F(IRTest, VerifierCatchesUseBeforeDef) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  FunctionType FuncTy = FunctionType::get(Ctx, {}, {});
+  Operation *Func = func::buildFunc(B, Loc, "f", FuncTy);
+  B.setInsertionPointToStart(func::getBody(Func));
+  Value C1 = arith::buildConstantIndex(B, Loc, 1);
+  Value Sum = arith::buildBinary(B, Loc, "arith.addi", C1, C1);
+  func::buildReturn(B, Loc);
+
+  // Move the use before the def.
+  Sum.getDefiningOp()->moveBefore(C1.getDefiningOp());
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(verify(Module.get())));
+  EXPECT_TRUE(Capture.contains("dominate"));
+}
+
+TEST_F(IRTest, SplitBlock) {
+  OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+  FunctionType FuncTy = FunctionType::get(Ctx, {}, {});
+  Operation *Func = func::buildFunc(B, Loc, "f", FuncTy);
+  Block *Body = func::getBody(Func);
+  B.setInsertionPointToStart(Body);
+  arith::buildConstantIndex(B, Loc, 1);
+  Value C2 = arith::buildConstantIndex(B, Loc, 2);
+  func::buildReturn(B, Loc);
+
+  Block *Tail = Body->splitBefore(C2.getDefiningOp());
+  EXPECT_EQ(Body->size(), 1u);
+  EXPECT_EQ(Tail->size(), 2u);
+  EXPECT_EQ(C2.getDefiningOp()->getBlock(), Tail);
+  EXPECT_EQ(Func->getRegion(0).getNumBlocks(), 2u);
+}
+
+TEST_F(IRTest, UnregisteredOpsRejectedByDefault) {
+  EXPECT_EQ(Ctx.lookupOpInfo("bogus.op"), nullptr);
+  EXPECT_EQ(Ctx.getOrCreateOpInfo("bogus.op"), nullptr);
+  // The llvm dialect is registered as permissive.
+  EXPECT_NE(Ctx.getOrCreateOpInfo("llvm.fancy_new_op"), nullptr);
+  Ctx.setAllowUnregisteredOps(true);
+  EXPECT_NE(Ctx.getOrCreateOpInfo("bogus.op"), nullptr);
+}
+
+} // namespace

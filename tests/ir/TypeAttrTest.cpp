@@ -1,0 +1,166 @@
+//===- TypeAttrTest.cpp - Type/attribute/affine unit tests ------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Affine.h"
+#include "ir/Attributes.h"
+#include "ir/Context.h"
+#include "ir/TypeSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class TypeAttrTest : public ::testing::Test {
+protected:
+  Context Ctx;
+};
+
+TEST_F(TypeAttrTest, ScalarTypeUniquing) {
+  EXPECT_EQ(IndexType::get(Ctx), IndexType::get(Ctx));
+  EXPECT_EQ(IntegerType::get(Ctx, 32), IntegerType::get(Ctx, 32));
+  EXPECT_NE(Type(IntegerType::get(Ctx, 32)), Type(IntegerType::get(Ctx, 64)));
+  EXPECT_EQ(IntegerType::get(Ctx, 32).getWidth(), 32u);
+  EXPECT_EQ(FloatType::getF64(Ctx).getWidth(), 64u);
+  EXPECT_TRUE(IndexType::get(Ctx).isIndex());
+  EXPECT_TRUE(Type(IntegerType::get(Ctx, 8)).isIntOrIndex());
+  EXPECT_FALSE(Type(FloatType::getF32(Ctx)).isIntOrIndex());
+}
+
+TEST_F(TypeAttrTest, TypeCasting) {
+  Type Ty = IntegerType::get(Ctx, 32);
+  EXPECT_TRUE(Ty.isa<IntegerType>());
+  EXPECT_FALSE(Ty.isa<FloatType>());
+  EXPECT_TRUE(static_cast<bool>(Ty.dyn_cast<IntegerType>()));
+  EXPECT_FALSE(static_cast<bool>(Ty.dyn_cast<MemRefType>()));
+}
+
+TEST_F(TypeAttrTest, MemRefTypes) {
+  Type F64 = FloatType::getF64(Ctx);
+  MemRefType Plain = MemRefType::get(Ctx, {64, 64}, F64);
+  EXPECT_EQ(Plain.getRank(), 2);
+  EXPECT_FALSE(Plain.hasExplicitLayout());
+  EXPECT_EQ(Plain.getNumElements(), 64 * 64);
+  EXPECT_EQ(Plain.getIdentityStrides(), (std::vector<int64_t>{64, 1}));
+  EXPECT_EQ(Plain.str(), "memref<64x64xf64>");
+
+  MemRefType Strided =
+      MemRefType::getStrided(Ctx, {4, 4}, F64, kDynamic, {64, 1});
+  EXPECT_TRUE(Strided.hasExplicitLayout());
+  EXPECT_EQ(Strided.getOffset(), kDynamic);
+  EXPECT_EQ(Strided.str(), "memref<4x4xf64, strided<[64, 1], offset: ?>>");
+  EXPECT_EQ(Strided, MemRefType::getStrided(Ctx, {4, 4}, F64, kDynamic,
+                                            {64, 1}));
+  EXPECT_NE(Type(Plain), Type(Strided));
+
+  MemRefType Dynamic = MemRefType::get(Ctx, {kDynamic, 8}, F64);
+  EXPECT_FALSE(Dynamic.hasStaticShape());
+  EXPECT_EQ(Dynamic.str(), "memref<?x8xf64>");
+}
+
+TEST_F(TypeAttrTest, FunctionTypes) {
+  Type I32 = IntegerType::get(Ctx, 32);
+  Type F32 = FloatType::getF32(Ctx);
+  FunctionType Fn = FunctionType::get(Ctx, {I32, F32}, {I32});
+  EXPECT_EQ(Fn.getInputs().size(), 2u);
+  EXPECT_EQ(Fn.str(), "(i32, f32) -> i32");
+  FunctionType NoResult = FunctionType::get(Ctx, {}, {});
+  EXPECT_EQ(NoResult.str(), "() -> ()");
+  FunctionType TwoResults = FunctionType::get(Ctx, {I32}, {I32, F32});
+  EXPECT_EQ(TwoResults.str(), "(i32) -> (i32, f32)");
+}
+
+TEST_F(TypeAttrTest, TransformTypes) {
+  Type AnyOp = TransformAnyOpType::get(Ctx);
+  TransformOpType ForHandle = TransformOpType::get(Ctx, "scf.for");
+  EXPECT_TRUE(isTransformType(AnyOp));
+  EXPECT_TRUE(isTransformHandleType(AnyOp));
+  EXPECT_TRUE(isTransformHandleType(ForHandle));
+  EXPECT_FALSE(isTransformHandleType(TransformParamType::get(Ctx)));
+  EXPECT_EQ(ForHandle.getOpName(), "scf.for");
+  EXPECT_EQ(ForHandle.str(), "!transform.op<\"scf.for\">");
+  EXPECT_FALSE(isTransformType(IndexType::get(Ctx)));
+}
+
+TEST_F(TypeAttrTest, AttributeUniquingAndValues) {
+  IntegerAttr I1 = IntegerAttr::getIndex(Ctx, 42);
+  IntegerAttr I2 = IntegerAttr::getIndex(Ctx, 42);
+  EXPECT_EQ(I1, I2);
+  EXPECT_EQ(I1.getValue(), 42);
+  EXPECT_NE(Attribute(I1),
+            Attribute(IntegerAttr::get(Ctx, 42, IntegerType::get(Ctx, 64))));
+
+  StringAttr S = StringAttr::get(Ctx, "hello");
+  EXPECT_EQ(S.getValue(), "hello");
+  EXPECT_EQ(S.str(), "\"hello\"");
+
+  ArrayAttr Arr = ArrayAttr::getIndexArray(Ctx, {1, 2, 3});
+  EXPECT_EQ(Arr.size(), 3u);
+  EXPECT_EQ(Arr.getAsIntegers(), (std::vector<int64_t>{1, 2, 3}));
+
+  BoolAttr T = BoolAttr::get(Ctx, true);
+  EXPECT_TRUE(T.getValue());
+  EXPECT_EQ(T.str(), "true");
+
+  SymbolRefAttr Sym = SymbolRefAttr::get(Ctx, "callee");
+  EXPECT_EQ(Sym.str(), "@callee");
+}
+
+TEST_F(TypeAttrTest, DenseElements) {
+  TensorType Ty = TensorType::get(Ctx, {2, 2}, FloatType::getF32(Ctx));
+  DenseElementsAttr Splat = DenseElementsAttr::getSplat(Ctx, Ty, 1.5);
+  EXPECT_TRUE(Splat.isSplat());
+  EXPECT_EQ(Splat.getSplatValue(), 1.5);
+  EXPECT_EQ(Splat.getNumElements(), 4);
+
+  DenseElementsAttr Full =
+      DenseElementsAttr::get(Ctx, Ty, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_FALSE(Full.isSplat());
+  EXPECT_EQ(Full.getRawValues().size(), 4u);
+}
+
+TEST_F(TypeAttrTest, AffineExprArithmetic) {
+  AffineExpr D0 = getAffineDimExpr(Ctx, 0);
+  AffineExpr S0 = getAffineSymbolExpr(Ctx, 0);
+  AffineExpr C4 = getAffineConstantExpr(Ctx, 4);
+
+  // Constant folding.
+  AffineExpr Sum = C4 + 4;
+  EXPECT_TRUE(Sum.isConstant());
+  EXPECT_EQ(Sum.getValue(), 8);
+
+  // Neutral elements.
+  EXPECT_EQ(D0 + 0, D0);
+  EXPECT_EQ(D0 * 1, D0);
+  EXPECT_TRUE((D0 * 0).isConstant());
+
+  // Evaluation.
+  AffineExpr Expr = D0 * 8 + S0;
+  EXPECT_EQ(Expr.evaluate({5}, {3}), 43);
+  EXPECT_EQ((D0.floorDiv(8)).evaluate({17}, {}), 2);
+  EXPECT_EQ((D0.ceilDiv(8)).evaluate({17}, {}), 3);
+  EXPECT_EQ((D0 % 8).evaluate({17}, {}), 1);
+  // Floor semantics on negatives.
+  EXPECT_EQ((D0.floorDiv(8)).evaluate({-1}, {}), -1);
+  EXPECT_EQ((D0 % 8).evaluate({-1}, {}), 7);
+}
+
+TEST_F(TypeAttrTest, AffineMapPrintEval) {
+  AffineExpr D0 = getAffineDimExpr(Ctx, 0);
+  AffineExpr D1 = getAffineDimExpr(Ctx, 1);
+  AffineExpr S0 = getAffineSymbolExpr(Ctx, 0);
+  AffineMap Map = AffineMap::get(Ctx, 2, 1, {D0 + S0, D1 * 4});
+  EXPECT_EQ(Map.str(), "(d0, d1)[s0] -> (d0 + s0, d1 * 4)");
+  EXPECT_EQ(Map.evaluate({10, 20, 3}), (std::vector<int64_t>{13, 80}));
+
+  AffineMap Identity = AffineMap::getIdentity(Ctx, 2);
+  EXPECT_EQ(Identity.getNumResults(), 2u);
+  EXPECT_EQ(Identity.evaluate({7, 9}), (std::vector<int64_t>{7, 9}));
+  EXPECT_EQ(Map, AffineMap::get(Ctx, 2, 1, {D0 + S0, D1 * 4}));
+}
+
+} // namespace

@@ -1,0 +1,305 @@
+//===- LoopUtilsTest.cpp - Loop transformation unit tests ----------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "loops/LoopUtils.h"
+
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+#include "lowering/Passes.h"
+#include "pass/Pass.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class LoopUtilsTest : public ::testing::Test {
+protected:
+  LoopUtilsTest() {
+    registerAllDialects(Ctx);
+    registerXsmmDialect(Ctx);
+    registerAllPasses();
+  }
+
+  /// Builds module { func @f(%m: memref<SIZExf64>) { for i in [0,Trip) {
+  /// store(load(m[i]) + load(m[i]), m[i]) } } and returns the loop.
+  Operation *makeSimpleLoop(OwningOpRef &Module, int64_t Trip,
+                            int64_t Size = 0) {
+    if (!Size)
+      Size = Trip;
+    Module = OwningOpRef(builtin::buildModule(Ctx, Loc));
+    OpBuilder B(Ctx);
+    B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+    MemRefType MTy =
+        MemRefType::get(Ctx, {Size}, FloatType::getF64(Ctx));
+    Operation *Func = func::buildFunc(
+        B, Loc, "f", FunctionType::get(Ctx, {MTy}, {}));
+    Block *Body = func::getBody(Func);
+    B.setInsertionPointToStart(Body);
+    Value M = Body->getArgument(0);
+    Value Zero = arith::buildConstantIndex(B, Loc, 0);
+    Value Ub = arith::buildConstantIndex(B, Loc, Trip);
+    Value One = arith::buildConstantIndex(B, Loc, 1);
+    Operation *Loop = scf::buildFor(
+        B, Loc, Zero, Ub, One,
+        [&](OpBuilder &Nested, Location L, Value Iv) {
+          Value V = memref::buildLoad(Nested, L, M, {Iv});
+          Value W = arith::buildBinary(Nested, L, "arith.addf", V, V);
+          memref::buildStore(Nested, L, W, M, {Iv});
+        });
+    func::buildReturn(B, Loc);
+    return Loop;
+  }
+
+  /// Builds a (M, N, K) matmul loop nest via linalg + convert-linalg-to-loops
+  /// and returns the tagged outermost loop.
+  Operation *makeMatmulNest(OwningOpRef &Module, int64_t M, int64_t N,
+                            int64_t K) {
+    Module = OwningOpRef(builtin::buildModule(Ctx, Loc));
+    OpBuilder B(Ctx);
+    B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+    Type F64 = FloatType::getF64(Ctx);
+    MemRefType ATy = MemRefType::get(Ctx, {M, K}, F64);
+    MemRefType BTy = MemRefType::get(Ctx, {K, N}, F64);
+    MemRefType CTy = MemRefType::get(Ctx, {M, N}, F64);
+    Operation *Func = func::buildFunc(
+        B, Loc, "matmul", FunctionType::get(Ctx, {ATy, BTy, CTy}, {}));
+    Block *Body = func::getBody(Func);
+    B.setInsertionPointToStart(Body);
+    linalg::buildMatmul(B, Loc, Body->getArgument(0), Body->getArgument(1),
+                        Body->getArgument(2));
+    func::buildReturn(B, Loc);
+    EXPECT_TRUE(succeeded(
+        runRegisteredPass("convert-linalg-to-loops", Module.get())));
+    Operation *Tagged = nullptr;
+    Module->walk([&](Operation *Op) {
+      if (Op->hasAttr("linalg_op"))
+        Tagged = Op;
+    });
+    return Tagged;
+  }
+
+  int64_t countLoops(Operation *Root) {
+    int64_t Count = 0;
+    Root->walk([&](Operation *Op) { Count += Op->getName() == "scf.for"; });
+    return Count;
+  }
+
+  Context Ctx;
+  Location Loc = Location::unknown();
+};
+
+TEST_F(LoopUtilsTest, StaticTripCount) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 17);
+  EXPECT_EQ(loops::getStaticTripCount(Loop), std::optional<int64_t>(17));
+}
+
+TEST_F(LoopUtilsTest, SplitByDivisibility) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 17);
+  FailureOr<std::pair<Operation *, Operation *>> Result =
+      loops::splitLoopByDivisibility(Loop, 8);
+  ASSERT_TRUE(succeeded(Result));
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  // Main [0, 16) and remainder [16, 17).
+  EXPECT_EQ(loops::getStaticTripCount(Result->first),
+            std::optional<int64_t>(16));
+  EXPECT_EQ(countLoops(Module.get()), 2);
+  int64_t SplitPoint = -1;
+  ASSERT_TRUE(
+      arith::getConstantIntValue(scf::getUpperBound(Result->first),
+                                 SplitPoint));
+  EXPECT_EQ(SplitPoint, 16);
+}
+
+TEST_F(LoopUtilsTest, SplitRequiresUnitStep) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 16);
+  // Replace the step with 2.
+  OpBuilder B(Ctx);
+  B.setInsertionPoint(Loop);
+  Loop->setOperand(2, arith::buildConstantIndex(B, Loc, 2));
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(loops::splitLoopByDivisibility(Loop, 4)));
+}
+
+TEST_F(LoopUtilsTest, Tile1D) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 64);
+  FailureOr<std::vector<Operation *>> Result =
+      loops::tileLoopNest(Loop, {8});
+  ASSERT_TRUE(succeeded(Result));
+  ASSERT_EQ(Result->size(), 2u);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  // Tile loop: 64/8 = 8 iterations of step 8; point loop: ub = iv+8.
+  EXPECT_EQ(loops::getStaticTripCount((*Result)[0]),
+            std::optional<int64_t>(8));
+  EXPECT_EQ(loops::getStaticTripCount((*Result)[1]),
+            std::optional<int64_t>(8));
+}
+
+TEST_F(LoopUtilsTest, TileMatmul2D) {
+  OwningOpRef Module;
+  Operation *Nest = makeMatmulNest(Module, 64, 64, 32);
+  ASSERT_NE(Nest, nullptr);
+  FailureOr<std::vector<Operation *>> Result =
+      loops::tileLoopNest(Nest, {16, 16});
+  ASSERT_TRUE(succeeded(Result));
+  ASSERT_EQ(Result->size(), 4u); // 2 tile + 2 point loops
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  // Total loops: 2 tile + 2 point + untouched k loop.
+  EXPECT_EQ(countLoops(Module.get()), 5);
+  // The point nest still matches a matmul (tiling preserves the pattern).
+  FailureOr<loops::MatmulMatch> Match =
+      loops::matchMatmulLoopNest((*Result)[2]);
+  ASSERT_TRUE(succeeded(Match));
+  EXPECT_EQ(Match->M, std::optional<int64_t>(16));
+  EXPECT_EQ(Match->N, std::optional<int64_t>(16));
+  EXPECT_EQ(Match->K, std::optional<int64_t>(32));
+}
+
+TEST_F(LoopUtilsTest, TileImperfectNestFails) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 64);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(loops::tileLoopNest(Loop, {8, 8})))
+      << "1-deep loop cannot be tiled 2-D";
+}
+
+TEST_F(LoopUtilsTest, UnrollFull) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 4);
+  FailureOr<int64_t> Copies = loops::unrollLoopFull(Loop);
+  ASSERT_TRUE(succeeded(Copies));
+  EXPECT_EQ(*Copies, 4);
+  EXPECT_EQ(countLoops(Module.get()), 0);
+  int64_t Loads = 0;
+  Module->walk([&](Operation *Op) {
+    Loads += Op->getName() == "memref.load";
+  });
+  EXPECT_EQ(Loads, 4);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+}
+
+TEST_F(LoopUtilsTest, UnrollByFactor) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 16);
+  FailureOr<Operation *> NewLoop = loops::unrollLoopByFactor(Loop, 4);
+  ASSERT_TRUE(succeeded(NewLoop));
+  EXPECT_EQ(loops::getStaticTripCount(*NewLoop), std::optional<int64_t>(4));
+  int64_t Loads = 0;
+  (*NewLoop)->walk([&](Operation *Op) {
+    Loads += Op->getName() == "memref.load";
+  });
+  EXPECT_EQ(Loads, 4);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+}
+
+TEST_F(LoopUtilsTest, UnrollByNonDivisibleFactorFails) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 10);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(loops::unrollLoopByFactor(Loop, 4)));
+}
+
+TEST_F(LoopUtilsTest, VectorizeMarksLoop) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 16);
+  FailureOr<Operation *> NewLoop = loops::vectorizeLoop(Loop, 4);
+  ASSERT_TRUE(succeeded(NewLoop));
+  EXPECT_TRUE((*NewLoop)->hasAttr("vectorized"));
+  EXPECT_EQ((*NewLoop)->getIntAttr("vector_width"), 4);
+}
+
+TEST_F(LoopUtilsTest, Interchange) {
+  OwningOpRef Module;
+  Operation *Nest = makeMatmulNest(Module, 8, 16, 4);
+  ASSERT_NE(Nest, nullptr);
+  FailureOr<Operation *> NewOuter = loops::interchangeLoops(Nest);
+  ASSERT_TRUE(succeeded(NewOuter));
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  // New outer iterates the former j dimension (16 trips).
+  EXPECT_EQ(loops::getStaticTripCount(*NewOuter),
+            std::optional<int64_t>(16));
+}
+
+TEST_F(LoopUtilsTest, HoistLoopInvariants) {
+  OwningOpRef Module;
+  Operation *Loop = nullptr;
+  {
+    Module = OwningOpRef(builtin::buildModule(Ctx, Loc));
+    OpBuilder B(Ctx);
+    B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+    MemRefType MTy = MemRefType::get(Ctx, {8}, FloatType::getF64(Ctx));
+    Operation *Func = func::buildFunc(
+        B, Loc, "f", FunctionType::get(Ctx, {MTy}, {}));
+    Block *Body = func::getBody(Func);
+    B.setInsertionPointToStart(Body);
+    Value M = Body->getArgument(0);
+    Value Zero = arith::buildConstantIndex(B, Loc, 0);
+    Value Ub = arith::buildConstantIndex(B, Loc, 8);
+    Value One = arith::buildConstantIndex(B, Loc, 1);
+    Loop = scf::buildFor(B, Loc, Zero, Ub, One, [&](OpBuilder &Nested,
+                                                    Location L, Value Iv) {
+      // Invariant: constant and a pure op on it. Variant: the load chain.
+      Value C = arith::buildConstantFloat(Nested, L, 2.0,
+                                          FloatType::getF64(Ctx));
+      Value C2 = arith::buildBinary(Nested, L, "arith.mulf", C, C);
+      Value V = memref::buildLoad(Nested, L, M, {Iv});
+      Value W = arith::buildBinary(Nested, L, "arith.mulf", V, C2);
+      memref::buildStore(Nested, L, W, M, {Iv});
+    });
+    func::buildReturn(B, Loc);
+  }
+  std::vector<Operation *> Hoisted = loops::hoistLoopInvariants(Loop);
+  EXPECT_EQ(Hoisted.size(), 2u);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+  int64_t OpsInLoop = 0;
+  Loop->walk([&](Operation *Op) {
+    if (Op != Loop && !Op->hasTrait(OT_IsTerminator))
+      ++OpsInLoop;
+  });
+  EXPECT_EQ(OpsInLoop, 3); // load, mulf, store remain
+}
+
+TEST_F(LoopUtilsTest, MatmulMatchAndMicrokernel) {
+  OwningOpRef Module;
+  Operation *Nest = makeMatmulNest(Module, 32, 32, 8);
+  ASSERT_NE(Nest, nullptr);
+  FailureOr<loops::MatmulMatch> Match = loops::matchMatmulLoopNest(Nest);
+  ASSERT_TRUE(succeeded(Match));
+  EXPECT_EQ(Match->M, std::optional<int64_t>(32));
+
+  EXPECT_TRUE(loops::microkernelSupports(32, 32, 8));
+  EXPECT_FALSE(loops::microkernelSupports(32, 30, 8)) << "N % 4 != 0";
+  EXPECT_FALSE(loops::microkernelSupports(std::nullopt, 32, 8));
+
+  FailureOr<Operation *> Call =
+      loops::replaceWithMicrokernelCall(Nest, "libxsmm");
+  ASSERT_TRUE(succeeded(Call));
+  EXPECT_EQ((*Call)->getName(), "xsmm.matmul");
+  EXPECT_EQ(countLoops(Module.get()), 0);
+  EXPECT_TRUE(succeeded(verify(Module.get())));
+}
+
+TEST_F(LoopUtilsTest, MicrokernelRejectsUnsupportedSizes) {
+  OwningOpRef Module;
+  Operation *Nest = makeMatmulNest(Module, 32, 30, 8); // N not mult of 4
+  ASSERT_NE(Nest, nullptr);
+  EXPECT_TRUE(failed(loops::replaceWithMicrokernelCall(Nest, "libxsmm")));
+  EXPECT_EQ(countLoops(Module.get()), 3) << "payload left unchanged";
+}
+
+TEST_F(LoopUtilsTest, NonMatmulNestDoesNotMatch) {
+  OwningOpRef Module;
+  Operation *Loop = makeSimpleLoop(Module, 8);
+  EXPECT_TRUE(failed(loops::matchMatmulLoopNest(Loop)));
+}
+
+} // namespace

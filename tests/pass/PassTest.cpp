@@ -1,0 +1,166 @@
+//===- PassTest.cpp - Pass infrastructure tests ---------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/Pass.h"
+
+#include "dialect/Dialects.h"
+#include "ir/Builder.h"
+#include "lowering/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class PassTest : public ::testing::Test {
+protected:
+  PassTest() {
+    registerAllDialects(Ctx);
+    registerAllPasses();
+  }
+
+  OwningOpRef makeModuleWithFuncs(int NumFuncs) {
+    Location Loc = Location::unknown();
+    OwningOpRef Module(builtin::buildModule(Ctx, Loc));
+    OpBuilder B(Ctx);
+    B.setInsertionPointToStart(builtin::getModuleBody(Module.get()));
+    for (int I = 0; I < NumFuncs; ++I) {
+      Operation *Func = func::buildFunc(
+          B, Loc, "f" + std::to_string(I), FunctionType::get(Ctx, {}, {}));
+      OpBuilder::InsertionGuard Guard(B);
+      B.setInsertionPointToStart(func::getBody(Func));
+      func::buildReturn(B, Loc);
+    }
+    return Module;
+  }
+
+  Context Ctx;
+};
+
+TEST_F(PassTest, RegistryLookup) {
+  EXPECT_NE(PassRegistry::instance().lookup("canonicalize"), nullptr);
+  EXPECT_NE(PassRegistry::instance().lookup("convert-scf-to-cf"), nullptr);
+  EXPECT_EQ(PassRegistry::instance().lookup("not-a-pass"), nullptr);
+  EXPECT_GE(PassRegistry::instance().getRegisteredNames().size(), 20u);
+}
+
+TEST_F(PassTest, PipelineParsing) {
+  auto Elements = parsePassPipeline(
+      Ctx, "builtin.module(func.func(tosa-to-linalg,tosa-to-arith),"
+           "canonicalize)");
+  ASSERT_TRUE(succeeded(Elements));
+  ASSERT_EQ(Elements->size(), 3u);
+  EXPECT_EQ((*Elements)[0].PassName, "tosa-to-linalg");
+  EXPECT_EQ((*Elements)[0].Anchor, "func.func");
+  EXPECT_EQ((*Elements)[1].PassName, "tosa-to-arith");
+  EXPECT_EQ((*Elements)[2].PassName, "canonicalize");
+  EXPECT_EQ((*Elements)[2].Anchor, "");
+}
+
+TEST_F(PassTest, PipelineParsingOptions) {
+  PassRegistry::instance().registerFnPass(
+      "opt-probe", "test pass", "",
+      [](Operation *, Pass &P) {
+        EXPECT_EQ(P.getOptions(), "op=arith.addf");
+        return success();
+      });
+  auto Elements =
+      parsePassPipeline(Ctx, "opt-probe{op=arith.addf}");
+  ASSERT_TRUE(succeeded(Elements));
+  EXPECT_EQ((*Elements)[0].Options, "op=arith.addf");
+  PassManager PM(Ctx);
+  ASSERT_TRUE(succeeded(buildPassManager(PM, *Elements)));
+  OwningOpRef Module = makeModuleWithFuncs(1);
+  EXPECT_TRUE(succeeded(PM.run(Module.get())));
+}
+
+TEST_F(PassTest, PipelineParseErrors) {
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(parsePassPipeline(Ctx, "no-such-pass")));
+  EXPECT_TRUE(Capture.contains("unknown pass"));
+  EXPECT_TRUE(failed(parsePassPipeline(Ctx, "builtin.module(canonicalize")));
+  EXPECT_TRUE(failed(parsePassPipeline(Ctx, ",,")));
+}
+
+TEST_F(PassTest, AnchoredPassRunsPerFunction) {
+  int Runs = 0;
+  PassRegistry::instance().registerFnPass(
+      "count-funcs", "test pass", "func.func",
+      [&Runs](Operation *Target, Pass &) {
+        EXPECT_EQ(Target->getName(), "func.func");
+        ++Runs;
+        return success();
+      });
+  OwningOpRef Module = makeModuleWithFuncs(3);
+  PassManager PM(Ctx);
+  ASSERT_TRUE(succeeded(PM.addPass("count-funcs")));
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  EXPECT_EQ(Runs, 3);
+}
+
+TEST_F(PassTest, FailingPassAbortsPipeline) {
+  int Runs = 0;
+  PassRegistry::instance().registerFnPass(
+      "always-fails", "test pass", "", [](Operation *, Pass &) {
+        return failure();
+      });
+  PassRegistry::instance().registerFnPass(
+      "after-failure", "test pass", "", [&Runs](Operation *, Pass &) {
+        ++Runs;
+        return success();
+      });
+  OwningOpRef Module = makeModuleWithFuncs(1);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  PassManager PM(Ctx);
+  (void)PM.addPass("always-fails");
+  (void)PM.addPass("after-failure");
+  EXPECT_TRUE(failed(PM.run(Module.get())));
+  EXPECT_EQ(Runs, 0);
+  EXPECT_TRUE(Capture.contains("failed"));
+}
+
+TEST_F(PassTest, TimingInstrumentation) {
+  OwningOpRef Module = makeModuleWithFuncs(2);
+  PassManager PM(Ctx);
+  (void)PM.addPass("canonicalize");
+  (void)PM.addPass("cse");
+  PM.enableTiming();
+  ASSERT_TRUE(succeeded(PM.run(Module.get())));
+  ASSERT_EQ(PM.getTimings().size(), 2u);
+  EXPECT_EQ(PM.getTimings()[0].PassName, "canonicalize");
+  EXPECT_GE(PM.getTotalMilliseconds(), 0.0);
+}
+
+TEST_F(PassTest, CsePass) {
+  Location Loc = Location::unknown();
+  OwningOpRef Module = makeModuleWithFuncs(1);
+  Operation *Func = nullptr;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "func.func")
+      Func = Op;
+  });
+  OpBuilder B(Ctx);
+  B.setInsertionPointToStart(func::getBody(Func));
+  Value A = arith::buildConstantIndex(B, Loc, 7);
+  Value B2 = arith::buildConstantIndex(B, Loc, 7);
+  Value Sum = arith::buildBinary(B, Loc, "arith.addi", A, B2);
+  // Keep the sum alive through an annotation-free user.
+  OperationState Keep(Loc, "memref.alloc");
+  Keep.Operands = {Sum};
+  Keep.ResultTypes = {
+      MemRefType::get(Ctx, {kDynamic}, FloatType::getF64(Ctx))};
+  B.create(Keep);
+
+  ASSERT_TRUE(succeeded(runRegisteredPass("cse", Module.get())));
+  int64_t Constants = 0;
+  Module->walk([&](Operation *Op) {
+    Constants += Op->getName() == "arith.constant";
+  });
+  EXPECT_EQ(Constants, 1) << "duplicate constants must be merged";
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- RewriteTest.cpp - Pattern rewriting tests --------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Rewriter.h"
+
+#include "dialect/Dialects.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class RewriteTest : public ::testing::Test {
+protected:
+  RewriteTest() { registerAllDialects(Ctx); }
+
+  int64_t countOps(Operation *Root, std::string_view Name) {
+    int64_t Count = 0;
+    Root->walk([&](Operation *Op) { Count += Op->getName() == Name; });
+    return Count;
+  }
+
+  Context Ctx;
+};
+
+TEST_F(RewriteTest, FoldingMaterializesConstants) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+        %a = "arith.constant"() {value = 6 : index} : () -> (index)
+        %b = "arith.constant"() {value = 7 : index} : () -> (index)
+        %p = "arith.muli"(%a, %b) : (index, index) -> (index)
+        "func.return"(%p) : (index) -> ()
+      }) {sym_name = "f", function_type = () -> index} : () -> ()
+    }) : () -> ()
+  )");
+  PatternSet Patterns; // folding alone suffices
+  ASSERT_TRUE(succeeded(applyPatternsGreedily(Module.get(), Patterns)));
+  EXPECT_EQ(countOps(Module.get(), "arith.muli"), 0);
+  // The folded 42 feeds the return.
+  Operation *Ret = nullptr;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "func.return")
+      Ret = Op;
+  });
+  Operation *Def = Ret->getOperand(0).getDefiningOp();
+  EXPECT_EQ(Def->getIntAttr("value"), 42);
+}
+
+TEST_F(RewriteTest, DeadCodeElimination) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+        %dead = "arith.constant"() {value = 1 : index} : () -> (index)
+        %dead2 = "arith.addi"(%dead, %dead) : (index, index) -> (index)
+        "func.return"() : () -> ()
+      }) {sym_name = "f", function_type = () -> ()} : () -> ()
+    }) : () -> ()
+  )");
+  PatternSet Patterns;
+  ASSERT_TRUE(succeeded(applyPatternsGreedily(Module.get(), Patterns)));
+  EXPECT_EQ(countOps(Module.get(), "arith.constant"), 0);
+  EXPECT_EQ(countOps(Module.get(), "arith.addi"), 0);
+}
+
+TEST_F(RewriteTest, CanonicalizationIdentities) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: index):
+        %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+        %one = "arith.constant"() {value = 1 : index} : () -> (index)
+        %a = "arith.addi"(%x, %zero) : (index, index) -> (index)
+        %m = "arith.muli"(%a, %one) : (index, index) -> (index)
+        "func.return"(%m) : (index) -> ()
+      }) {sym_name = "f", function_type = (index) -> index} : () -> ()
+    }) : () -> ()
+  )");
+  PatternSet Patterns;
+  populateCanonicalizationPatterns(Patterns);
+  ASSERT_TRUE(succeeded(applyPatternsGreedily(Module.get(), Patterns)));
+  EXPECT_EQ(countOps(Module.get(), "arith.addi"), 0);
+  EXPECT_EQ(countOps(Module.get(), "arith.muli"), 0);
+  // The function returns its argument directly now.
+  Operation *Ret = nullptr;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "func.return")
+      Ret = Op;
+  });
+  EXPECT_TRUE(Ret->getOperand(0).isBlockArgument());
+}
+
+TEST_F(RewriteTest, ListenerSeesReplacementsAndErasures) {
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: index):
+        %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+        %a = "arith.addi"(%x, %zero) : (index, index) -> (index)
+        "func.return"(%a) : (index) -> ()
+      }) {sym_name = "f", function_type = (index) -> index} : () -> ()
+    }) : () -> ()
+  )");
+
+  struct Recorder : public RewriteListener {
+    std::vector<std::string> Events;
+    void notifyOperationReplaced(Operation *Op,
+                                 const std::vector<Value> &) override {
+      Events.push_back("replaced:" + std::string(Op->getName()));
+    }
+    void notifyOperationErased(Operation *Op) override {
+      Events.push_back("erased:" + std::string(Op->getName()));
+    }
+  };
+  Recorder Listener;
+  PatternSet Patterns;
+  populateCanonicalizationPatterns(Patterns);
+  GreedyRewriteConfig Config;
+  Config.Listener = &Listener;
+  ASSERT_TRUE(succeeded(applyPatternsGreedily(Module.get(), Patterns, Config)));
+
+  bool SawAddReplaced = false, SawConstErased = false;
+  for (const std::string &Event : Listener.Events) {
+    SawAddReplaced |= Event == "replaced:arith.addi";
+    SawConstErased |= Event == "erased:arith.constant";
+  }
+  EXPECT_TRUE(SawAddReplaced);
+  EXPECT_TRUE(SawConstErased);
+}
+
+TEST_F(RewriteTest, BenefitOrdersPatterns) {
+  Ctx.setAllowUnregisteredOps(true);
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "test.victim"() : () -> ()
+    }) : () -> ()
+  )");
+  std::vector<std::string> Applied;
+  PatternSet Patterns;
+  Patterns.addFn("low-benefit", "test.victim",
+                 [&](Operation *Op, PatternRewriter &Rewriter) {
+                   Applied.push_back("low");
+                   Rewriter.eraseOp(Op);
+                   return success();
+                 },
+                 /*Benefit=*/1);
+  Patterns.addFn("high-benefit", "test.victim",
+                 [&](Operation *Op, PatternRewriter &Rewriter) {
+                   Applied.push_back("high");
+                   Rewriter.eraseOp(Op);
+                   return success();
+                 },
+                 /*Benefit=*/10);
+  ASSERT_TRUE(succeeded(applyPatternsGreedily(Module.get(), Patterns)));
+  ASSERT_EQ(Applied.size(), 1u);
+  EXPECT_EQ(Applied[0], "high");
+}
+
+TEST_F(RewriteTest, ReplaceOpWithNewPreservesUses) {
+  Ctx.setAllowUnregisteredOps(true);
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: index):
+        %a = "test.old"(%x) : (index) -> (index)
+        "func.return"(%a) : (index) -> ()
+      }) {sym_name = "f", function_type = (index) -> index} : () -> ()
+    }) : () -> ()
+  )");
+  PatternSet Patterns;
+  Patterns.addFn("modernize", "test.old",
+                 [](Operation *Op, PatternRewriter &Rewriter) {
+                   Rewriter.replaceOpWithNew(Op, "test.new",
+                                             Op->getOperands(),
+                                             Op->getResultTypes());
+                   return success();
+                 });
+  ASSERT_TRUE(succeeded(applyPatternsGreedily(Module.get(), Patterns)));
+  EXPECT_EQ(countOps(Module.get(), "test.old"), 0);
+  EXPECT_EQ(countOps(Module.get(), "test.new"), 1);
+  Operation *Ret = nullptr;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "func.return")
+      Ret = Op;
+  });
+  EXPECT_EQ(Ret->getOperand(0).getDefiningOp()->getName(), "test.new");
+}
+
+TEST_F(RewriteTest, ConvergenceBoundIsRespected) {
+  Ctx.setAllowUnregisteredOps(true);
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "test.pingpong"() {phase = 0 : i64} : () -> ()
+    }) : () -> ()
+  )");
+  // A pattern that never converges: flips an attribute forever.
+  PatternSet Patterns;
+  Patterns.addFn("flip", "test.pingpong",
+                 [](Operation *Op, PatternRewriter &) {
+                   Op->setAttr("phase",
+                               IntegerAttr::get(Op->getContext(),
+                                                1 - Op->getIntAttr("phase"),
+                                                IntegerType::get(
+                                                    Op->getContext(), 64)));
+                   return success();
+                 });
+  GreedyRewriteConfig Config;
+  Config.MaxIterations = 4;
+  EXPECT_TRUE(failed(applyPatternsGreedily(Module.get(), Patterns, Config)))
+      << "non-converging rewrites must be reported";
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- SupportTest.cpp - Support library tests ----------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/LogicalResult.h"
+#include "support/STLExtras.h"
+#include "support/Stream.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Animal {
+  enum class Kind { Dog, Cat } K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->K == Animal::Kind::Dog; }
+};
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->K == Animal::Kind::Cat; }
+};
+
+TEST(CastingTest, IsaCastDynCast) {
+  Dog TheDog;
+  Animal *A = &TheDog;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_FALSE(isa<Cat>(A));
+  EXPECT_TRUE((isa<Cat, Dog>(A)));
+  EXPECT_EQ(cast<Dog>(A), &TheDog);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+  EXPECT_NE(dyn_cast<Dog>(A), nullptr);
+  Animal *Null = nullptr;
+  EXPECT_FALSE(isa_and_present<Dog>(Null));
+  EXPECT_EQ(dyn_cast_if_present<Dog>(Null), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// LogicalResult / FailureOr
+//===----------------------------------------------------------------------===//
+
+TEST(LogicalResultTest, Basics) {
+  EXPECT_TRUE(succeeded(success()));
+  EXPECT_TRUE(failed(failure()));
+  EXPECT_TRUE(failed(success(false)));
+  EXPECT_TRUE(succeeded(failure(false)));
+}
+
+static FailureOr<int> half(int N) {
+  if (N % 2)
+    return failure();
+  return N / 2;
+}
+
+TEST(LogicalResultTest, FailureOr) {
+  FailureOr<int> Ok = half(10);
+  ASSERT_TRUE(succeeded(Ok));
+  EXPECT_EQ(*Ok, 5);
+  FailureOr<int> Bad = half(9);
+  EXPECT_TRUE(failed(Bad));
+  LogicalResult AsResult = Bad;
+  EXPECT_TRUE(failed(AsResult));
+}
+
+//===----------------------------------------------------------------------===//
+// Streams
+//===----------------------------------------------------------------------===//
+
+TEST(StreamTest, FormattingBasics) {
+  std::string Buffer;
+  raw_string_ostream OS(Buffer);
+  OS << "x=" << 42 << " y=" << -7 << " z=" << 3.5 << " p=" << 1.0;
+  EXPECT_EQ(Buffer, "x=42 y=-7 z=3.5 p=1.0");
+  Buffer.clear();
+  OS.indent(3, '.') << "end";
+  EXPECT_EQ(Buffer, "...end");
+}
+
+TEST(StreamTest, NullsDiscards) {
+  nulls() << "into the void" << 123; // must not crash
+}
+
+//===----------------------------------------------------------------------===//
+// Locations and diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsTest, LocationInterning) {
+  Location A = Location::get("file.mlir", 3, 7);
+  Location B = Location::get("file.mlir", 3, 7);
+  Location C = Location::get("file.mlir", 4, 7);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.str(), "file.mlir:3:7");
+  EXPECT_TRUE(Location::unknown().isUnknown());
+  EXPECT_EQ(Location::name("thing").str(), "loc(\"thing\")");
+}
+
+TEST(DiagnosticsTest, EngineAndCapture) {
+  DiagnosticEngine Engine;
+  {
+    ScopedDiagnosticCapture Capture(Engine);
+    InFlightDiagnostic(&Engine, DiagnosticSeverity::Error,
+                       Location::get("f", 1))
+        << "first " << 42;
+    InFlightDiagnostic(&Engine, DiagnosticSeverity::Warning,
+                       Location::unknown())
+        << "second";
+    EXPECT_EQ(Capture.getDiagnostics().size(), 2u);
+    EXPECT_TRUE(Capture.contains("first 42"));
+    EXPECT_FALSE(Capture.contains("third"));
+    EXPECT_NE(Capture.allMessages().find("warning: second"),
+              std::string::npos);
+  }
+  EXPECT_EQ(Engine.getNumErrors(), 1u);
+}
+
+TEST(DiagnosticsTest, InFlightConvertsToFailure) {
+  DiagnosticEngine Engine;
+  ScopedDiagnosticCapture Capture(Engine);
+  auto Fail = [&]() -> LogicalResult {
+    return InFlightDiagnostic(&Engine, DiagnosticSeverity::Error,
+                              Location::unknown())
+           << "boom";
+  };
+  EXPECT_TRUE(failed(Fail()));
+  EXPECT_TRUE(Capture.contains("boom"));
+}
+
+//===----------------------------------------------------------------------===//
+// STLExtras
+//===----------------------------------------------------------------------===//
+
+TEST(STLExtrasTest, SplitJoinContains) {
+  std::vector<std::string_view> Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(join(std::vector<std::string>{"x", "y"}, "+"), "x+y");
+  std::vector<int> V = {1, 2, 3};
+  EXPECT_TRUE(is_contained(V, 2));
+  EXPECT_FALSE(is_contained(V, 9));
+  erase_if(V, [](int N) { return N == 2; });
+  EXPECT_EQ(V, (std::vector<int>{1, 3}));
+}
+
+TEST(STLExtrasTest, OpPatternMatching) {
+  EXPECT_TRUE(matchesOpPattern("scf.for", "scf.for"));
+  EXPECT_FALSE(matchesOpPattern("scf.for", "scf.forall"));
+  EXPECT_TRUE(matchesOpPattern("scf.*", "scf.forall"));
+  EXPECT_FALSE(matchesOpPattern("scf.*", "cf.br"));
+}
+
+} // namespace

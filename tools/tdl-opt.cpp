@@ -1,0 +1,178 @@
+//===- tdl-opt.cpp - Optimizer driver (mlir-opt analogue) ------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver: reads payload IR, optionally runs a textual pass
+/// pipeline and/or a transform script, and prints the result. The two
+/// compilation-control styles the paper compares, in one tool:
+///
+///   tdl-opt payload.mlir --pass-pipeline='builtin.module(canonicalize)'
+///   tdl-opt payload.mlir --transform=script.mlir
+///   tdl-opt payload.mlir --transform=script.mlir --check-invalidation
+///   tdl-opt payload.mlir --check-pipeline='convert-scf-to-cf,...'
+///
+//===----------------------------------------------------------------------===//
+
+#include "ad/AutoDiff.h"
+#include "core/Analysis.h"
+#include "core/Conditions.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "pass/Pass.h"
+#include "support/STLExtras.h"
+#include "support/Stream.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace tdl;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream Stream(Path);
+  if (!Stream)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+int usage(const char *Argv0) {
+  errs() << "usage: " << Argv0 << " <payload.mlir> [options]\n"
+         << "  --pass-pipeline=<pipeline>   run a textual pass pipeline\n"
+         << "  --transform=<script.mlir>    interpret a transform script\n"
+         << "  --check-invalidation         statically analyze the script\n"
+         << "  --check-pipeline=<p1,p2,..>  static pre/post-condition check\n"
+         << "  --check-conditions           dynamic contract checks while\n"
+         << "                               interpreting lowering transforms\n"
+         << "  --no-verify                  skip the final verifier run\n"
+         << "  --quiet                      do not print the final IR\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+
+  std::string PayloadPath;
+  std::string Pipeline;
+  std::string ScriptPath;
+  std::string CheckPipeline;
+  bool CheckInvalidation = false;
+  bool CheckConditions = false;
+  bool Verify = true;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Consume = [&](std::string_view Prefix, std::string &Out) {
+      if (Arg.substr(0, Prefix.size()) != Prefix)
+        return false;
+      Out = Arg.substr(Prefix.size());
+      return true;
+    };
+    if (Consume("--pass-pipeline=", Pipeline) ||
+        Consume("--transform=", ScriptPath) ||
+        Consume("--check-pipeline=", CheckPipeline))
+      continue;
+    if (Arg == "--check-invalidation")
+      CheckInvalidation = true;
+    else if (Arg == "--check-conditions")
+      CheckConditions = true;
+    else if (Arg == "--no-verify")
+      Verify = false;
+    else if (Arg == "--quiet")
+      Quiet = true;
+    else if (Arg[0] == '-')
+      return usage(argv[0]);
+    else
+      PayloadPath = Arg;
+  }
+  if (PayloadPath.empty())
+    return usage(argv[0]);
+
+  Context Ctx;
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+  registerAutoDiffSupport(Ctx);
+  registerBuiltinIRDLConstraints();
+
+  std::string PayloadText;
+  if (!readFile(PayloadPath, PayloadText)) {
+    errs() << "error: cannot read '" << PayloadPath << "'\n";
+    return 1;
+  }
+  OwningOpRef Payload = parseSourceString(Ctx, PayloadText, PayloadPath);
+  if (!Payload)
+    return 1;
+
+  if (!CheckPipeline.empty()) {
+    std::vector<std::string> Passes;
+    for (std::string_view Part : split(CheckPipeline, ','))
+      Passes.push_back(std::string(Part));
+    AbstractOpSet Initial = AbstractOpSet::fromPayload(Payload.get());
+    std::vector<PipelineCheckIssue> Issues =
+        checkLoweringPipeline(Passes, Initial, {"llvm.*"}, &Ctx);
+    for (const PipelineCheckIssue &Issue : Issues)
+      outs() << "check: [" << Issue.TransformName << "] " << Issue.Message
+             << "\n";
+    outs() << "static check: " << (Issues.empty() ? "OK" : "ISSUES FOUND")
+           << "\n";
+    if (!Issues.empty())
+      return 1;
+  }
+
+  if (!Pipeline.empty()) {
+    PassManager PM(Ctx);
+    FailureOr<std::vector<PipelineElement>> Elements =
+        parsePassPipeline(Ctx, Pipeline);
+    if (failed(Elements) || failed(buildPassManager(PM, *Elements)))
+      return 1;
+    if (failed(PM.run(Payload.get())))
+      return 1;
+  }
+
+  if (!ScriptPath.empty()) {
+    std::string ScriptText;
+    if (!readFile(ScriptPath, ScriptText)) {
+      errs() << "error: cannot read '" << ScriptPath << "'\n";
+      return 1;
+    }
+    OwningOpRef Script = parseSourceString(Ctx, ScriptText, ScriptPath);
+    if (!Script)
+      return 1;
+    if (CheckInvalidation) {
+      std::vector<InvalidationIssue> Issues =
+          analyzeHandleInvalidation(Script.get());
+      for (const InvalidationIssue &Issue : Issues)
+        outs() << "invalidation: " << Issue.Message << "\n";
+      if (!Issues.empty())
+        return 1;
+    }
+    if (failed(checkIncludeCycles(Script.get())))
+      return 1;
+    TransformOptions Options;
+    Options.CheckConditions = CheckConditions;
+    if (failed(applyTransforms(Payload.get(), Script.get(), Options)))
+      return 1;
+  }
+
+  if (Verify && failed(verify(Payload.get())))
+    return 1;
+  if (!Quiet) {
+    Payload->print(outs());
+    outs() << "\n";
+  }
+  return 0;
+}
