@@ -1,0 +1,158 @@
+//===- foreach_match_demo.cpp - Pattern-level control with foreach_match ---------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "your compiler is a scriptable pattern engine" scenario:
+/// `transform.foreach_match` walks the payload once and dispatches each
+/// visited op to the first (matcher, action) named-sequence pair whose
+/// matcher succeeds. Matchers are side-effect-free predicates built from
+/// `transform.match.*` ops; actions are ordinary transform sequences.
+///
+/// Here a single walk fully unrolls the small inner loop, annotates rank-2
+/// loads with a prefetch hint, and tags rank-2 stores — three rewrites that
+/// would otherwise need three separate payload sweeps.
+///
+/// Build & run:  cmake --build build && ./build/example_foreach_match_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "support/Stream.h"
+
+using namespace tdl;
+
+int main() {
+  Context Ctx;
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+
+  // Payload: an outer loop streaming over a rank-2 buffer, with a small
+  // (trip-4) inner reduction loop over a rank-1 scratch buffer.
+  OwningOpRef Payload = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%values: memref<1024x8xf64>, %scratch: memref<4xf64>):
+        %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+        %ub = "arith.constant"() {value = 1024 : index} : () -> (index)
+        %one = "arith.constant"() {value = 1 : index} : () -> (index)
+        %four = "arith.constant"() {value = 4 : index} : () -> (index)
+        "scf.for"(%lb, %ub, %one) ({
+        ^outer(%i: index):
+          %v = "memref.load"(%values, %i, %lb)
+            : (memref<1024x8xf64>, index, index) -> (f64)
+          %w = "arith.mulf"(%v, %v) : (f64, f64) -> (f64)
+          "memref.store"(%w, %values, %i, %lb)
+            : (f64, memref<1024x8xf64>, index, index) -> ()
+          "scf.for"(%lb, %four, %one) ({
+          ^inner(%j: index):
+            %s = "memref.load"(%scratch, %j)
+              : (memref<4xf64>, index) -> (f64)
+            %t = "arith.addf"(%s, %s) : (f64, f64) -> (f64)
+            "memref.store"(%t, %scratch, %j)
+              : (f64, memref<4xf64>, index) -> ()
+            "scf.yield"() : () -> ()
+          }) : (index, index, index) -> ()
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "stream_and_reduce",
+          function_type = (memref<1024x8xf64>, memref<4xf64>) -> ()}
+        : () -> ()
+    }) : () -> ()
+  )", "payload");
+  if (!Payload)
+    return 1;
+
+  // The script: matchers are named sequences that succeed silenceably only
+  // on the ops they describe; actions receive what the matcher yielded.
+  // foreach_match pairs them positionally and performs ONE payload walk.
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "transform.named_sequence"() ({
+      ^bb0(%op: !transform.any_op):
+        %for = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+          : (!transform.any_op) -> (!transform.any_op)
+        %parent = "transform.get_parent_op"(%op) {op_name = "scf.for"}
+          : (!transform.any_op) -> (!transform.any_op)
+        "transform.yield"(%for) : (!transform.any_op) -> ()
+      }) {sym_name = "match_inner_loop"} : () -> ()
+      "transform.named_sequence"() ({
+      ^bb0(%loop: !transform.any_op):
+        "transform.loop.unroll"(%loop) {full} : (!transform.any_op) -> ()
+        "transform.yield"() : () -> ()
+      }) {sym_name = "unroll_small_loop"} : () -> ()
+
+      "transform.named_sequence"() ({
+      ^bb0(%op: !transform.any_op):
+        %load = "transform.match.operation_name"(%op)
+          {op_names = ["memref.load"]}
+          : (!transform.any_op) -> (!transform.any_op)
+        %rank2 = "transform.match.structured.rank"(%load) {rank = 2 : index}
+          : (!transform.any_op) -> (!transform.any_op)
+        "transform.yield"(%rank2) : (!transform.any_op) -> ()
+      }) {sym_name = "match_rank2_load"} : () -> ()
+      "transform.named_sequence"() ({
+      ^bb0(%load: !transform.any_op):
+        "transform.annotate"(%load) {name = "prefetch"}
+          : (!transform.any_op) -> ()
+        "transform.yield"() : () -> ()
+      }) {sym_name = "hint_prefetch"} : () -> ()
+
+      "transform.named_sequence"() ({
+      ^bb0(%op: !transform.any_op):
+        %store = "transform.match.operation_name"(%op)
+          {op_names = ["memref.store"]}
+          : (!transform.any_op) -> (!transform.any_op)
+        %rank2 = "transform.match.structured.rank"(%store) {rank = 2 : index}
+          : (!transform.any_op) -> (!transform.any_op)
+        "transform.yield"(%rank2) : (!transform.any_op) -> ()
+      }) {sym_name = "match_rank2_store"} : () -> ()
+      "transform.named_sequence"() ({
+      ^bb0(%store: !transform.any_op):
+        "transform.annotate"(%store) {name = "write_back"}
+          : (!transform.any_op) -> ()
+        "transform.yield"() : () -> ()
+      }) {sym_name = "tag_store"} : () -> ()
+
+      "transform.named_sequence"() ({
+      ^bb0(%root: !transform.any_op):
+        %updated = "transform.foreach_match"(%root)
+          {matchers = [@match_inner_loop, @match_rank2_load,
+                       @match_rank2_store],
+           actions = [@unroll_small_loop, @hint_prefetch, @tag_store]}
+          : (!transform.any_op) -> (!transform.any_op)
+        "transform.yield"() : () -> ()
+      }) {sym_name = "__transform_main"} : () -> ()
+    }) : () -> ()
+  )", "script");
+  if (!Script)
+    return 1;
+
+  outs() << "=== payload before ===\n";
+  Payload->print(outs());
+  outs() << "\n\n";
+
+  if (failed(applyTransforms(Payload.get(), Script.get()))) {
+    errs() << "transform script failed\n";
+    return 1;
+  }
+
+  outs() << "=== payload after one foreach_match walk ===\n";
+  outs() << "(inner loop unrolled; rank-2 loads hinted; rank-2 stores "
+            "tagged)\n";
+  Payload->print(outs());
+  outs() << "\n";
+
+  if (failed(verify(Payload.get()))) {
+    errs() << "verification failed\n";
+    return 1;
+  }
+  outs() << "\npayload verifies: OK\n";
+  return 0;
+}

@@ -127,7 +127,7 @@ bool hasCycleFrom(Operation *Sequence, Operation *ScriptRoot,
     Operation *Target =
         getSymbolName(ScriptRoot) == Callee.getValue()
             ? ScriptRoot
-            : lookupSymbol(ScriptRoot, Callee.getValue());
+            : lookupSymbolRecursive(ScriptRoot, Callee.getValue());
     if (Target && hasCycleFrom(Target, ScriptRoot, Stack, Done))
       Cycle = true;
   });
@@ -179,7 +179,7 @@ LogicalResult tdl::inlineIncludes(Operation *ScriptRoot) {
     Operation *Target =
         Callee ? (getSymbolName(ScriptRoot) == Callee.getValue()
                       ? ScriptRoot
-                      : lookupSymbol(ScriptRoot, Callee.getValue()))
+                      : lookupSymbolRecursive(ScriptRoot, Callee.getValue()))
                : nullptr;
     if (!Target || Target->getNumRegions() == 0 ||
         Target->getRegion(0).empty())

@@ -90,6 +90,11 @@ struct TransformOpDef {
   /// for each result, the operand index whose payload the result is nested
   /// in, or -1 for fresh/disjoint payload.
   std::vector<int> ResultNestedInOperand;
+  /// Whether the op is side-effect-free on payload IR and therefore legal
+  /// inside `transform.foreach_match` matcher sequences. Ops that mutate,
+  /// consume, or otherwise irreversibly touch payload must leave this false;
+  /// the interpreter rejects them in matcher mode.
+  bool MatcherOk = false;
 };
 
 /// Registry of transform op behaviors, keyed by op name. The companion
@@ -159,6 +164,12 @@ public:
   /// Drops \p Old from every mapping.
   void erasePayloadOp(Operation *Old);
 
+  /// Removes every trace of \p Handle from the association table. Used by
+  /// transforms that temporarily pin payload ops under synthetic handles
+  /// (e.g. the pending matches of `foreach_match`) and must not leave
+  /// dangling keys behind.
+  void forget(Value Handle);
+
   /// Number of handle->payload entries (for tests/benchmarks).
   size_t getNumHandles() const { return HandleMap.size(); }
 
@@ -218,6 +229,29 @@ public:
   /// Executes one transform op.
   DiagnosedSilenceableFailure executeOp(Operation *Op);
 
+  /// Whether the interpreter is currently executing a matcher sequence of
+  /// `transform.foreach_match`. In matcher mode only side-effect-free
+  /// transform ops (TransformOpDef::MatcherOk) may run; a matcher that
+  /// attempts to rewrite payload is a definite error.
+  bool isMatcherMode() const { return MatcherMode; }
+
+  /// RAII guard entering matcher mode for the duration of a matcher
+  /// sequence execution.
+  class MatcherScope {
+  public:
+    explicit MatcherScope(TransformInterpreter &Interp)
+        : Interp(Interp), Prev(Interp.MatcherMode) {
+      Interp.MatcherMode = true;
+    }
+    ~MatcherScope() { Interp.MatcherMode = Prev; }
+    MatcherScope(const MatcherScope &) = delete;
+    MatcherScope &operator=(const MatcherScope &) = delete;
+
+  private:
+    TransformInterpreter &Interp;
+    bool Prev;
+  };
+
   /// Resolves a named sequence in the script root by symbol name.
   Operation *lookupNamedSequence(std::string_view Name) const;
 
@@ -229,12 +263,15 @@ public:
 
   /// Statistics for the ablation benchmarks.
   int64_t NumExecutedOps = 0;
+  /// Number of matcher-sequence invocations performed by foreach_match.
+  int64_t NumMatcherInvocations = 0;
 
 private:
   Operation *PayloadRoot;
   Operation *ScriptRoot;
   TransformOptions Options;
   TransformState State;
+  bool MatcherMode = false;
 };
 
 /// One-call entry point: interprets \p Script (a named_sequence /sequence op

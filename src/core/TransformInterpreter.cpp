@@ -61,11 +61,17 @@ bool TransformState::isParam(Value Handle) const {
 
 void TransformState::setPayload(Value Handle, std::vector<Operation *> Ops) {
   HandleMap[Handle.getImpl()] = std::move(Ops);
+  // A value is either an op handle or a param; rebinding switches kind
+  // (e.g. foreach_match actions shared between pairs whose matchers yield
+  // different kinds for the same block argument).
+  ParamMap.erase(Handle.getImpl());
   Invalidated.erase(Handle.getImpl());
 }
 
 void TransformState::setParams(Value Handle, std::vector<Attribute> Params) {
   ParamMap[Handle.getImpl()] = std::move(Params);
+  HandleMap.erase(Handle.getImpl());
+  Invalidated.erase(Handle.getImpl());
 }
 
 void TransformState::consume(Value Handle) {
@@ -120,6 +126,12 @@ void TransformState::erasePayloadOp(Operation *Old) {
   replacePayloadOp(Old, {});
 }
 
+void TransformState::forget(Value Handle) {
+  HandleMap.erase(Handle.getImpl());
+  ParamMap.erase(Handle.getImpl());
+  Invalidated.erase(Handle.getImpl());
+}
+
 //===----------------------------------------------------------------------===//
 // TrackingListener
 //===----------------------------------------------------------------------===//
@@ -153,10 +165,11 @@ TransformInterpreter::TransformInterpreter(Operation *PayloadRoot,
 
 Operation *
 TransformInterpreter::lookupNamedSequence(std::string_view Name) const {
-  // The script root may itself be the sequence, or a module holding it.
+  // The script root may itself be the sequence, or a module holding it
+  // (possibly through nested library modules of matcher sequences).
   if (getSymbolName(ScriptRoot) == Name)
     return ScriptRoot;
-  if (Operation *Found = lookupSymbol(ScriptRoot, Name))
+  if (Operation *Found = lookupSymbolRecursive(ScriptRoot, Name))
     return Found;
   return nullptr;
 }
@@ -212,6 +225,14 @@ DiagnosedSilenceableFailure TransformInterpreter::executeOp(Operation *Op) {
   if (!Def || !Def->Apply)
     return DiagnosedSilenceableFailure::definite(
         "unregistered transform op '" + std::string(Op->getName()) + "'");
+
+  // Matcher mode (foreach_match): matchers must be side-effect-free, so
+  // only ops explicitly marked MatcherOk (and consuming nothing) may run.
+  if (MatcherMode && (!Def->MatcherOk || !Def->ConsumedOperands.empty()))
+    return DiagnosedSilenceableFailure::definite(
+        "op '" + std::string(Op->getName()) +
+        "' is not a matcher op: matchers used in transform.foreach_match "
+        "must be side-effect-free");
 
   // Invalidation check (Section 3.1): consumed handles cannot be used again.
   for (unsigned I = 0; I < Op->getNumOperands(); ++I) {

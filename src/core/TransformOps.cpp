@@ -121,6 +121,454 @@ static void bindResult(TransformInterpreter &Interp, Operation *Op,
     Interp.getState().setPayload(Op->getResult(Idx), std::move(Ops));
 }
 
+/// Shared skeleton of the matcher predicate ops: every payload op of
+/// operand 0 must satisfy \p Pred (which returns success or a silenceable
+/// failure); on success the payload is forwarded through result 0.
+template <typename Fn>
+static DSF matchAllPayload(Operation *Op, TransformInterpreter &Interp,
+                           Fn Pred) {
+  if (Op->getNumOperands() < 1)
+    return DSF::definite("'" + std::string(Op->getName()) +
+                         "' requires a handle operand");
+  const std::vector<Operation *> &Payload =
+      Interp.getState().getPayloadOps(Op->getOperand(0));
+  if (Payload.empty())
+    return DSF::silenceable("no payload ops to match");
+  for (Operation *Target : Payload) {
+    DSF Result = Pred(Target);
+    if (!Result.succeeded())
+      return Result;
+  }
+  bindResult(Interp, Op, 0, Payload);
+  return DSF::success();
+}
+
+/// Parses the `op_names` / `op_name` spelling shared by
+/// `transform.match.operation_name` and the foreach_match prefilter.
+/// Fails when an `op_names` entry is not a string; leaves \p Elements
+/// empty when neither attribute is present.
+static LogicalResult parseOpNameElements(Operation *Op,
+                                         std::vector<OpSetElement> &Elements) {
+  if (ArrayAttr Names = Op->getAttrOfType<ArrayAttr>("op_names")) {
+    for (Attribute Element : Names.getValue()) {
+      StringAttr Str = Element.dyn_cast<StringAttr>();
+      if (!Str)
+        return failure();
+      Elements.push_back(OpSetElement::parse(Str.getValue()));
+    }
+  } else if (StringAttr Single = Op->getAttrOfType<StringAttr>("op_name")) {
+    Elements.push_back(OpSetElement::parse(Single.getValue()));
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// foreach_match engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One value forwarded from a matcher to its action: either a pinned
+/// op-handle (Key non-null) or a parameter list.
+struct ForwardedSlot {
+  std::unique_ptr<ValueImpl> Key;
+  std::vector<Attribute> Params;
+};
+
+/// A successful match recorded during the payload walk, applied after the
+/// walk completes. The matched candidate and all forwarded op handles are
+/// pinned under synthetic handles registered in the TransformState, so the
+/// interpreter's consumption/invalidation rules and the TrackingListener
+/// pathway keep them consistent while earlier actions rewrite payload.
+struct PendingMatch {
+  size_t PairIdx = 0;
+  /// The op the matcher approved; the action only runs if the pinned
+  /// handle still maps to exactly this op (a replacement was never seen by
+  /// the matcher).
+  Operation *OriginalCandidate = nullptr;
+  std::unique_ptr<ValueImpl> CandidateKey;
+  std::vector<ForwardedSlot> Slots;
+};
+
+/// Unregisters every synthetic pin (pending matches and per-root pins) and
+/// the matcher/action body bindings from the state on scope exit, so a
+/// completed foreach_match leaves no stale entries behind (the pins'
+/// ValueImpls die with the vectors; the body values are rebound on the
+/// next execution anyway).
+class PinnedMatchGuard {
+public:
+  PinnedMatchGuard(TransformInterpreter &Interp,
+                   std::vector<PendingMatch> &Pending,
+                   std::vector<std::unique_ptr<ValueImpl>> &RootPins,
+                   std::vector<std::unique_ptr<ValueImpl>> &ResultPins,
+                   std::vector<Operation *> &Bodies)
+      : Interp(Interp), Pending(Pending), RootPins(RootPins),
+        ResultPins(ResultPins), Bodies(Bodies) {}
+  ~PinnedMatchGuard() {
+    for (PendingMatch &PM : Pending) {
+      if (PM.CandidateKey)
+        Interp.getState().forget(Value(PM.CandidateKey.get()));
+      for (ForwardedSlot &S : PM.Slots)
+        if (S.Key)
+          Interp.getState().forget(Value(S.Key.get()));
+    }
+    for (std::unique_ptr<ValueImpl> &Pin : RootPins)
+      Interp.getState().forget(Value(Pin.get()));
+    for (std::unique_ptr<ValueImpl> &Pin : ResultPins)
+      Interp.getState().forget(Value(Pin.get()));
+    for (Operation *Body : Bodies) {
+      Block &Entry = Body->getRegion(0).front();
+      for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
+        Interp.getState().forget(Entry.getArgument(I));
+      Body->walk([&](Operation *BodyOp) {
+        for (unsigned R = 0; R < BodyOp->getNumResults(); ++R)
+          Interp.getState().forget(BodyOp->getResult(R));
+      });
+    }
+  }
+
+private:
+  TransformInterpreter &Interp;
+  std::vector<PendingMatch> &Pending;
+  std::vector<std::unique_ptr<ValueImpl>> &RootPins;
+  std::vector<std::unique_ptr<ValueImpl>> &ResultPins;
+  std::vector<Operation *> &Bodies;
+};
+
+} // namespace
+
+static DSF applyForeachMatch(Operation *Op, TransformInterpreter &Interp) {
+  // The Verify hook only runs when the *script* is verified, which the
+  // interpreter does not require; re-check the structural invariants here.
+  if (Op->getNumOperands() < 1)
+    return DSF::definite("foreach_match requires a root handle operand");
+  ArrayAttr MatcherRefs = Op->getAttrOfType<ArrayAttr>("matchers");
+  ArrayAttr ActionRefs = Op->getAttrOfType<ArrayAttr>("actions");
+  if (!MatcherRefs || !ActionRefs || MatcherRefs.size() == 0 ||
+      MatcherRefs.size() != ActionRefs.size())
+    return DSF::definite("foreach_match requires equally sized non-empty "
+                         "'matchers' and 'actions' arrays");
+  bool RestrictRoot = Op->hasAttr("restrict_root");
+  bool FlattenResults = Op->hasAttr("flatten_results");
+
+  // Resolve every (matcher, action) pair up front; a broken reference is a
+  // definite error before any payload op is visited.
+  auto ResolveSeq = [&](Attribute Ref, std::string &Error) -> Operation * {
+    std::string_view Name;
+    if (SymbolRefAttr Sym = Ref.dyn_cast<SymbolRefAttr>())
+      Name = Sym.getValue();
+    else if (StringAttr Str = Ref.dyn_cast<StringAttr>())
+      Name = Str.getValue();
+    else {
+      Error = "matcher/action references must be symbol or string attrs";
+      return nullptr;
+    }
+    Operation *Seq = Interp.lookupNamedSequence(Name);
+    if (!Seq) {
+      Error = "unknown named sequence '@" + std::string(Name) + "'";
+      return nullptr;
+    }
+    if (Seq->getNumRegions() != 1 || Seq->getRegion(0).empty() ||
+        Seq->getRegion(0).front().getNumArguments() < 1) {
+      Error = "named sequence '@" + std::string(Name) +
+              "' needs a body with at least one argument";
+      return nullptr;
+    }
+    return Seq;
+  };
+
+  struct MatchActionPair {
+    Operation *Matcher;
+    Operation *Action;
+    /// Dispatch fast path: when the matcher's first op is a name predicate
+    /// on the candidate itself, its elements are hoisted here and checked
+    /// without entering the interpreter. Candidates whose name cannot match
+    /// skip the matcher invocation entirely, which makes the single walk
+    /// cheap even with many pairs.
+    std::vector<OpSetElement> NamePrefilter;
+  };
+  std::vector<MatchActionPair> Pairs;
+  for (size_t I = 0; I < MatcherRefs.size(); ++I) {
+    std::string Error;
+    Operation *Matcher = ResolveSeq(MatcherRefs[I], Error);
+    if (!Matcher)
+      return DSF::definite("foreach_match: " + Error);
+    Operation *Action = ResolveSeq(ActionRefs[I], Error);
+    if (!Action)
+      return DSF::definite("foreach_match: " + Error);
+    MatchActionPair Pair{Matcher, Action, {}};
+    Block &MatcherBody = Matcher->getRegion(0).front();
+    // Statically reject script shapes that could never match or would only
+    // fail mid-walk: the walk binds exactly one matcher argument, and the
+    // matcher's (static) yield count must line up with the action's
+    // arguments.
+    if (MatcherBody.getNumArguments() != 1)
+      return DSF::definite("foreach_match matcher '@" +
+                           std::string(getSymbolName(Matcher)) +
+                           "' must take exactly one argument (the candidate "
+                           "op)");
+    Operation *MatcherYield = MatcherBody.getTerminator();
+    size_t NumForwardedSlots =
+        MatcherYield && MatcherYield->getName() == "transform.yield" &&
+                MatcherYield->getNumOperands() > 0
+            ? MatcherYield->getNumOperands()
+            : 1; // an operand-less yield forwards the candidate itself
+    Block &ActionEntry = Action->getRegion(0).front();
+    if (ActionEntry.getNumArguments() != NumForwardedSlots)
+      return DSF::definite(
+          "foreach_match action '@" + std::string(getSymbolName(Action)) +
+          "' expects " + std::to_string(ActionEntry.getNumArguments()) +
+          " arguments but matcher '@" +
+          std::string(getSymbolName(Matcher)) + "' forwards " +
+          std::to_string(NumForwardedSlots));
+    if (!MatcherBody.empty()) {
+      Operation *First = MatcherBody.front();
+      if (First->getName() == "transform.match.operation_name" &&
+          First->getNumOperands() >= 1 &&
+          First->getOperand(0) == MatcherBody.getArgument(0)) {
+        // Only install the prefilter for a fully well-formed name list;
+        // otherwise every candidate must reach the real op so its
+        // malformed-attribute error is reported payload-independently.
+        std::vector<OpSetElement> Elements;
+        if (succeeded(parseOpNameElements(First, Elements)))
+          Pair.NamePrefilter = std::move(Elements);
+      }
+    }
+    Pairs.push_back(std::move(Pair));
+  }
+
+  Type HandleTy = TransformAnyOpType::get(Op->getContext());
+  auto MakeKey = [&](const std::vector<Operation *> &Ops) {
+    auto Key = std::make_unique<ValueImpl>();
+    Key->Ty = HandleTy;
+    Interp.getState().setPayload(Value(Key.get()), Ops);
+    return Key;
+  };
+
+  // Pin every root payload op under its own tracked handle: an action that
+  // consumes, erases, or replaces a root must be reflected in result 0
+  // (the root handle itself was consumed by this op, so its own mapping is
+  // exempt from tracking).
+  std::vector<Operation *> Roots =
+      Interp.getState().getPayloadOps(Op->getOperand(0));
+  std::vector<std::unique_ptr<ValueImpl>> RootPins;
+  for (Operation *Root : Roots)
+    RootPins.push_back(MakeKey({Root}));
+
+  std::vector<Operation *> Bodies;
+  for (MatchActionPair &Pair : Pairs) {
+    Bodies.push_back(Pair.Matcher);
+    Bodies.push_back(Pair.Action);
+  }
+  // Ops yielded by actions into the trailing results, pinned per yield so
+  // the tracking rules keep them consistent while later actions run.
+  std::vector<std::unique_ptr<ValueImpl>> ResultPins;
+  std::vector<size_t> ResultPinSlots;
+  std::vector<PendingMatch> Pending;
+  PinnedMatchGuard Guard(Interp, Pending, RootPins, ResultPins, Bodies);
+
+  // Phase 1: the single walk. For each visited op, try the matchers in
+  // order; the first that succeeds silenceably claims the op for its
+  // action. Matcher failures are the expected "not this op" signal, so
+  // their diagnostics are silenced.
+  // Each payload op is offered to the matchers at most once, even when the
+  // root handle holds duplicate or mutually nested ops whose walks would
+  // revisit it.
+  std::set<Operation *> Visited;
+  auto TryCandidate = [&](Operation *Candidate) -> DSF {
+    if (!Visited.insert(Candidate).second)
+      return DSF::success();
+    for (size_t P = 0; P < Pairs.size(); ++P) {
+      if (!Pairs[P].NamePrefilter.empty()) {
+        bool MayMatch = false;
+        for (const OpSetElement &Element : Pairs[P].NamePrefilter)
+          if (Element.matches(Candidate->getName(), &Op->getContext())) {
+            MayMatch = true;
+            break;
+          }
+        if (!MayMatch)
+          continue;
+      }
+      Block &MatcherBody = Pairs[P].Matcher->getRegion(0).front();
+      Interp.getState().setPayload(MatcherBody.getArgument(0), {Candidate});
+      ++Interp.NumMatcherInvocations;
+      DSF MatchResult = DSF::success();
+      std::vector<Diagnostic> MatcherDiags;
+      {
+        TransformInterpreter::MatcherScope Scope(Interp);
+        // Matcher failures are the expected "not this op" signal, so their
+        // diagnostics are silenced; diagnostics of a matcher that succeeds
+        // (or aborts) are replayed below so transform.debug.emit_remark
+        // stays usable inside matchers.
+        ScopedDiagnosticCapture Capture(Op->getContext().getDiagEngine());
+        MatchResult = Interp.executeBlock(MatcherBody);
+        if (!MatchResult.isSilenceable())
+          MatcherDiags = Capture.getDiagnostics();
+      }
+      for (const Diagnostic &Diag : MatcherDiags)
+        Op->getContext().getDiagEngine().report(Diag);
+      if (MatchResult.isDefinite())
+        return MatchResult;
+      if (MatchResult.isSilenceable())
+        continue;
+
+      PendingMatch PM;
+      PM.PairIdx = P;
+      PM.OriginalCandidate = Candidate;
+      PM.CandidateKey = MakeKey({Candidate});
+      // The matcher's yield operands are forwarded to the action's block
+      // arguments; a yield without operands forwards the candidate itself.
+      Operation *MatchYield = MatcherBody.getTerminator();
+      std::vector<Value> Forwarded;
+      if (MatchYield && MatchYield->getName() == "transform.yield")
+        Forwarded = MatchYield->getOperands();
+      if (Forwarded.empty()) {
+        ForwardedSlot S;
+        S.Key = MakeKey({Candidate});
+        PM.Slots.push_back(std::move(S));
+      } else {
+        for (Value V : Forwarded) {
+          ForwardedSlot S;
+          if (Interp.getState().isParam(V))
+            S.Params = Interp.getState().getParams(V);
+          else
+            S.Key = MakeKey(Interp.getState().getPayloadOps(V));
+          PM.Slots.push_back(std::move(S));
+        }
+      }
+      Pending.push_back(std::move(PM));
+      return DSF::success();
+    }
+    return DSF::success();
+  };
+
+  for (Operation *Root : Roots) {
+    if (RestrictRoot) {
+      DSF Result = TryCandidate(Root);
+      if (Result.isDefinite())
+        return Result;
+      continue;
+    }
+    DSF WalkError = DSF::success();
+    Root->walkPre([&](Operation *Candidate) {
+      DSF Result = TryCandidate(Candidate);
+      if (Result.isDefinite()) {
+        WalkError = Result;
+        return WalkResult::Interrupt;
+      }
+      return WalkResult::Advance;
+    });
+    if (WalkError.isDefinite())
+      return WalkError;
+  }
+
+  // Phase 2: apply the recorded actions in match order. A pending match
+  // whose candidate was consumed or erased by an earlier action is skipped
+  // (its pinned handle was invalidated or emptied by the tracking rules).
+  size_t NumForwarded = Op->getNumResults() > 0 ? Op->getNumResults() - 1 : 0;
+  for (PendingMatch &PM : Pending) {
+    TransformState &State = Interp.getState();
+    Value CandHandle(PM.CandidateKey.get());
+    const std::vector<Operation *> &CandOps = State.getPayloadOps(CandHandle);
+    // Skip when the candidate was consumed/erased, or replaced by an op
+    // the matcher never approved (tracking rewired the pin).
+    if (State.isInvalidated(CandHandle) || CandOps.size() != 1 ||
+        CandOps[0] != PM.OriginalCandidate)
+      continue;
+    // Every forwarded op handle must still be live too: an earlier action
+    // may have consumed (invalidated) or erased ops a matcher yielded for
+    // this match even though the candidate itself survived. Such a match
+    // is stale; skip it rather than hand dangling/empty payload to the
+    // action.
+    bool SlotsLive = true;
+    for (ForwardedSlot &S : PM.Slots) {
+      if (!S.Key)
+        continue;
+      Value SlotHandle(S.Key.get());
+      if (State.isInvalidated(SlotHandle) ||
+          State.getPayloadOps(SlotHandle).empty()) {
+        SlotsLive = false;
+        break;
+      }
+    }
+    if (!SlotsLive)
+      continue;
+    Operation *Action = Pairs[PM.PairIdx].Action;
+    Block &ActionBody = Action->getRegion(0).front();
+    // Slot count matches the action's arity: the setup loop rejected any
+    // pair whose static matcher-yield count disagrees with it.
+    for (size_t I = 0; I < PM.Slots.size(); ++I) {
+      ForwardedSlot &S = PM.Slots[I];
+      if (S.Key)
+        State.setPayload(ActionBody.getArgument(I),
+                         State.getPayloadOps(Value(S.Key.get())));
+      else
+        State.setParams(ActionBody.getArgument(I), S.Params);
+    }
+    DSF ActionResult = Interp.executeBlock(ActionBody);
+    if (!ActionResult.succeeded())
+      return ActionResult;
+
+    // Forward the action's yields into the trailing results.
+    if (NumForwarded > 0) {
+      Operation *ActionYield = ActionBody.getTerminator();
+      size_t NumYielded =
+          ActionYield && ActionYield->getName() == "transform.yield"
+              ? ActionYield->getNumOperands()
+              : 0;
+      if (NumYielded < NumForwarded)
+        return DSF::definite(
+            "foreach_match action '@" + std::string(getSymbolName(Action)) +
+            "' yields " + std::to_string(NumYielded) + " values but " +
+            std::to_string(NumForwarded) + " forwarded results are expected");
+      for (size_t I = 0; I < NumForwarded; ++I) {
+        Value Yielded = ActionYield->getOperand(I);
+        if (State.isParam(Yielded))
+          return DSF::definite(
+              "foreach_match cannot forward parameter results");
+        const std::vector<Operation *> &Ops = State.getPayloadOps(Yielded);
+        if (!FlattenResults && Ops.size() != 1)
+          return DSF::definite(
+              "foreach_match action yielded " + std::to_string(Ops.size()) +
+              " payload ops for result " + std::to_string(I + 1) +
+              "; set 'flatten_results' to allow a non-1:1 mapping");
+        // Pin the yielded ops rather than copying raw pointers: a later
+        // action may erase or replace them, and only pinned handles are
+        // kept consistent by the tracking rules.
+        ResultPins.push_back(MakeKey(Ops));
+        ResultPinSlots.push_back(I);
+      }
+    }
+  }
+
+  // Result 0 is the updated root handle, rebuilt from the per-root pins so
+  // that roots consumed, erased, or replaced by the actions are dropped or
+  // rewired; the rest are the forwarded lists.
+  std::vector<Operation *> UpdatedRoots;
+  for (std::unique_ptr<ValueImpl> &Pin : RootPins) {
+    Value PinHandle(Pin.get());
+    if (Interp.getState().isInvalidated(PinHandle))
+      continue;
+    for (Operation *Root : Interp.getState().getPayloadOps(PinHandle))
+      if (!is_contained(UpdatedRoots, Root))
+        UpdatedRoots.push_back(Root);
+  }
+  bindResult(Interp, Op, 0, std::move(UpdatedRoots));
+  std::vector<std::vector<Operation *>> ResultOps(NumForwarded);
+  for (size_t K = 0; K < ResultPins.size(); ++K) {
+    Value PinHandle(ResultPins[K].get());
+    if (Interp.getState().isInvalidated(PinHandle))
+      continue;
+    const std::vector<Operation *> &Ops =
+        Interp.getState().getPayloadOps(PinHandle);
+    ResultOps[ResultPinSlots[K]].insert(ResultOps[ResultPinSlots[K]].end(),
+                                        Ops.begin(), Ops.end());
+  }
+  for (size_t I = 0; I < NumForwarded; ++I)
+    bindResult(Interp, Op, I + 1, std::move(ResultOps[I]));
+  return DSF::success();
+}
+
 //===----------------------------------------------------------------------===//
 // Registration
 //===----------------------------------------------------------------------===//
@@ -154,7 +602,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
       return success();
     };
     TransformOpDef Def;
-    Def.Apply = [](Operation *Op, TransformInterpreter &) {
+    Def.Apply = [](Operation *, TransformInterpreter &) {
       // Named sequences are executed via include or as the entry point;
       // encountering one mid-sequence is a no-op (declaration).
       return DSF::success();
@@ -303,6 +751,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     Match.Name = "transform.match.op";
     TransformOpDef Def;
     Def.ResultNestedInOperand = {0};
+    Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string_view Name = Op->getStringAttr("op_name");
       if (Name.empty())
@@ -344,6 +793,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     GetParent.Name = "transform.get_parent_op";
     TransformOpDef Def;
     Def.ResultNestedInOperand = {-1};
+    Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string_view Name = Op->getStringAttr("op_name");
       std::vector<Operation *> Parents;
@@ -368,6 +818,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     Merge.Name = "transform.merge_handles";
     TransformOpDef Def;
     Def.ResultNestedInOperand = {-1};
+    Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::vector<Operation *> Union;
       for (Value Operand : Op->getOperands())
@@ -385,6 +836,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     Split.Name = "transform.split_handle";
     TransformOpDef Def;
     Def.ResultNestedInOperand = {}; // filled dynamically below
+    Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       const std::vector<Operation *> &Payload =
           Interp.getState().getPayloadOps(Op->getOperand(0));
@@ -405,6 +857,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     Cast.Name = "transform.cast";
     TransformOpDef Def;
     Def.ResultNestedInOperand = {0};
+    Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       bindResult(Interp, Op, 0,
                  Interp.getState().getPayloadOps(Op->getOperand(0)));
@@ -417,6 +870,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo ParamConst;
     ParamConst.Name = "transform.param.constant";
     TransformOpDef Def;
+    Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       Attribute Value = Op->getAttr("value");
       if (!Value)
@@ -425,6 +879,154 @@ void tdl::registerTransformDialect(Context &Ctx) {
       return DSF::success();
     };
     registerTransformOp(Ctx, ParamConst, Def);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Matcher predicates (side-effect-free; usable inside foreach_match
+  // matcher sequences). Each checks a property of every payload op of its
+  // operand, fails silenceably when the property does not hold, and
+  // forwards the handle through its optional result.
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo MatchName;
+    MatchName.Name = "transform.match.operation_name";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {0};
+    Def.MatcherOk = true;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      // Elements reuse the Section 3.3 condition language: exact names and
+      // dialect wildcards such as "scf.*".
+      std::vector<OpSetElement> Elements;
+      if (failed(parseOpNameElements(Op, Elements)))
+        return DSF::definite(
+            "match.operation_name: 'op_names' must contain strings");
+      if (Elements.empty())
+        return DSF::definite(
+            "match.operation_name requires 'op_names' or 'op_name'");
+      return matchAllPayload(Op, Interp, [&](Operation *Target) -> DSF {
+        for (const OpSetElement &Element : Elements)
+          if (Element.matches(Target->getName(), &Op->getContext()))
+            return DSF::success();
+        return DSF::silenceable("op '" + std::string(Target->getName()) +
+                                "' does not match the expected names");
+      });
+    };
+    registerTransformOp(Ctx, MatchName, Def);
+  }
+
+  {
+    OpInfo MatchAttr;
+    MatchAttr.Name = "transform.match.attr";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {0};
+    Def.MatcherOk = true;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      std::string_view Name = Op->getStringAttr("name");
+      if (Name.empty())
+        return DSF::definite("match.attr requires 'name'");
+      Attribute Expected = Op->getAttr("value");
+      return matchAllPayload(Op, Interp, [&](Operation *Target) -> DSF {
+        Attribute Found = Target->getAttr(Name);
+        if (!Found)
+          return DSF::silenceable("op has no attribute '" +
+                                  std::string(Name) + "'");
+        if (Expected && Found != Expected)
+          return DSF::silenceable("attribute '" + std::string(Name) +
+                                  "' has a different value");
+        return DSF::success();
+      });
+    };
+    registerTransformOp(Ctx, MatchAttr, Def);
+  }
+
+  {
+    OpInfo MatchOperands;
+    MatchOperands.Name = "transform.match.operands";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {0};
+    Def.MatcherOk = true;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      IntegerAttr Count = Op->getAttrOfType<IntegerAttr>("count");
+      IntegerAttr Min = Op->getAttrOfType<IntegerAttr>("min");
+      IntegerAttr Max = Op->getAttrOfType<IntegerAttr>("max");
+      if (!Count && !Min && !Max)
+        return DSF::definite(
+            "match.operands requires 'count', 'min', or 'max'");
+      return matchAllPayload(Op, Interp, [&](Operation *Target) -> DSF {
+        int64_t N = Target->getNumOperands();
+        if (Count && N != Count.getValue())
+          return DSF::silenceable("op has " + std::to_string(N) +
+                                  " operands, expected " +
+                                  std::to_string(Count.getValue()));
+        if (Min && N < Min.getValue())
+          return DSF::silenceable("op has fewer operands than expected");
+        if (Max && N > Max.getValue())
+          return DSF::silenceable("op has more operands than expected");
+        return DSF::success();
+      });
+    };
+    registerTransformOp(Ctx, MatchOperands, Def);
+  }
+
+  {
+    OpInfo MatchRank;
+    MatchRank.Name = "transform.match.structured.rank";
+    TransformOpDef Def;
+    Def.ResultNestedInOperand = {0};
+    Def.MatcherOk = true;
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      IntegerAttr Rank = Op->getAttrOfType<IntegerAttr>("rank");
+      if (!Rank)
+        return DSF::definite("match.structured.rank requires 'rank'");
+      return matchAllPayload(Op, Interp, [&](Operation *Target) -> DSF {
+        // The structured rank of an op: the maximum rank over its shaped
+        // (memref/tensor) operand and result types.
+        int64_t MaxRank = -1;
+        for (Value Operand : Target->getOperands())
+          if (ShapedType Shaped = Operand.getType().dyn_cast<ShapedType>())
+            MaxRank = std::max(MaxRank, Shaped.getRank());
+        for (Value Result : Target->getResults())
+          if (ShapedType Shaped = Result.getType().dyn_cast<ShapedType>())
+            MaxRank = std::max(MaxRank, Shaped.getRank());
+        if (MaxRank < 0)
+          return DSF::silenceable("op has no shaped operand or result");
+        if (MaxRank != Rank.getValue())
+          return DSF::silenceable(
+              "op has structured rank " + std::to_string(MaxRank) +
+              ", expected " + std::to_string(Rank.getValue()));
+        return DSF::success();
+      });
+    };
+    registerTransformOp(Ctx, MatchRank, Def);
+  }
+
+  //===------------------------------------------------------------------===//
+  // foreach_match: the single-walk matcher/action dispatcher of the paper's
+  // pattern-level control case study. Visits every payload op once; for
+  // each op, tries the (matcher, action) named-sequence pairs in order and
+  // schedules the action of the first matcher that succeeds.
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo ForeachMatch;
+    ForeachMatch.Name = "transform.foreach_match";
+    ForeachMatch.Verify = [](Operation *Op) -> LogicalResult {
+      ArrayAttr Matchers = Op->getAttrOfType<ArrayAttr>("matchers");
+      ArrayAttr Actions = Op->getAttrOfType<ArrayAttr>("actions");
+      if (!Matchers || !Actions || Matchers.size() == 0 ||
+          Matchers.size() != Actions.size())
+        return Op->emitOpError() << "requires equally sized non-empty "
+                                    "'matchers' and 'actions' arrays";
+      if (Op->getNumOperands() < 1)
+        return Op->emitOpError() << "requires a root handle operand";
+      return success();
+    };
+    TransformOpDef Def;
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {0};
+    Def.Apply = applyForeachMatch;
+    registerTransformOp(Ctx, ForeachMatch, Def);
   }
 
   //===------------------------------------------------------------------===//
@@ -740,6 +1342,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Remark;
     Remark.Name = "transform.debug.emit_remark";
     TransformOpDef Def;
+    Def.MatcherOk = true; // diagnostics only; does not touch payload
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string_view Message = Op->getStringAttr("message");
       for (Operation *Target :
@@ -754,6 +1357,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Assert;
     Assert.Name = "transform.assert";
     TransformOpDef Def;
+    Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string Message(Op->getStringAttr("message"));
       if (Message.empty())

@@ -25,6 +25,25 @@ Operation *tdl::lookupSymbol(Operation *SymbolTableOp, std::string_view Name) {
   return nullptr;
 }
 
+Operation *tdl::lookupSymbolRecursive(Operation *Root, std::string_view Name) {
+  if (Operation *Direct = lookupSymbol(Root, Name))
+    return Direct;
+  Operation *Found = nullptr;
+  Root->walkPre([&](Operation *Op) {
+    if (Op != Root && getSymbolName(Op) == Name) {
+      Found = Op;
+      return WalkResult::Interrupt;
+    }
+    // Do not look for symbols inside other symbols (e.g. a named sequence
+    // nested in a function body); only descend through symbol tables and
+    // plain structural ops.
+    if (Op != Root && Op->hasTrait(OT_Symbol) && !Op->hasTrait(OT_SymbolTable))
+      return WalkResult::Skip;
+    return WalkResult::Advance;
+  });
+  return Found;
+}
+
 Operation *tdl::lookupSymbolNearestTo(Operation *From, std::string_view Name) {
   for (Operation *Scope = From; Scope; Scope = Scope->getParentOp())
     if (Scope->hasTrait(OT_SymbolTable))

@@ -26,6 +26,11 @@ std::string_view getSymbolName(Operation *Op);
 /// region. Returns null when not found.
 Operation *lookupSymbol(Operation *SymbolTableOp, std::string_view Name);
 
+/// Like lookupSymbol, but when \p Name is not a direct child, descends
+/// pre-order into nested regions (e.g. a transform module holding a library
+/// module of matcher sequences). Returns the first definition found.
+Operation *lookupSymbolRecursive(Operation *Root, std::string_view Name);
+
 /// Finds the nearest ancestor (inclusive) with the SymbolTable trait and
 /// resolves \p Name in it.
 Operation *lookupSymbolNearestTo(Operation *From, std::string_view Name);

@@ -30,11 +30,10 @@ public:
 
   /// \p Op is about to be erased after its results were replaced by
   /// \p Replacements (empty when the op had no results).
-  virtual void notifyOperationReplaced(Operation *Op,
-                                       const std::vector<Value> &Replacements) {
-  }
+  virtual void notifyOperationReplaced(Operation *,
+                                       const std::vector<Value> &) {}
   /// \p Op is about to be erased without replacement.
-  virtual void notifyOperationErased(Operation *Op) {}
+  virtual void notifyOperationErased(Operation *) {}
 };
 
 /// OpBuilder with replace/erase primitives that notify a listener.

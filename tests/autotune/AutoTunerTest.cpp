@@ -42,8 +42,9 @@ TEST(AutoTunerTest, RespectsConstraints) {
       100);
   ASSERT_EQ(History.size(), 100u);
   for (const Evaluation &E : History) {
-    if (E.Config[2])
+    if (E.Config[2]) {
       EXPECT_EQ(E.Config[1] % 4, 0) << "constraint violated";
+    }
   }
 }
 

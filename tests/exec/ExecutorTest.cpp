@@ -378,8 +378,9 @@ TEST_P(SplitPreservesSemantics, ElementwiseChecksum) {
     if (Split) {
       auto Parts = loops::splitLoopByDivisibility(Loop, P.Divisor);
       EXPECT_TRUE(succeeded(Parts));
-      if (Unroll && succeeded(Parts))
+      if (Unroll && succeeded(Parts)) {
         EXPECT_TRUE(succeeded(loops::unrollLoopFull(Parts->second)));
+      }
     }
     exec::Executor Exec(Module.get());
     Buffer Buf = Buffer::alloc({P.Trip});

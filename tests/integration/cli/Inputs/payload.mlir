@@ -1,0 +1,17 @@
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%m: memref<2x4xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 2 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^body(%i: index):
+      %v = "memref.load"(%m, %i, %lb) : (memref<2x4xf64>, index, index) -> (f64)
+      %w = "arith.mulf"(%v, %v) : (f64, f64) -> (f64)
+      "memref.store"(%w, %m, %i, %lb) : (f64, memref<2x4xf64>, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "square_row",
+      function_type = (memref<2x4xf64>) -> ()} : () -> ()
+}) : () -> ()

@@ -1,0 +1,10 @@
+"transform.named_sequence"() ({
+^bb0(%root: !transform.any_op):
+  %loop = "transform.match.op"(%root) {op_name = "scf.for", first}
+    : (!transform.any_op) -> (!transform.any_op)
+  "transform.loop.unroll"(%loop) {factor = 2 : index}
+    : (!transform.any_op) -> ()
+  "transform.loop.unroll"(%loop) {factor = 2 : index}
+    : (!transform.any_op) -> ()
+  "transform.yield"() : () -> ()
+}) {sym_name = "__transform_main"} : () -> ()

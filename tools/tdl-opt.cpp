@@ -94,9 +94,14 @@ int main(int argc, char **argv) {
       Verify = false;
     else if (Arg == "--quiet")
       Quiet = true;
-    else if (Arg[0] == '-')
+    else if (Arg.empty() || Arg[0] == '-') {
+      errs() << "error: unknown option '" << Arg << "'\n";
       return usage(argv[0]);
-    else
+    } else if (!PayloadPath.empty()) {
+      errs() << "error: duplicate payload file '" << Arg << "' ('"
+             << PayloadPath << "' was already given)\n";
+      return usage(argv[0]);
+    } else
       PayloadPath = Arg;
   }
   if (PayloadPath.empty())
