@@ -25,6 +25,7 @@
 #include "ir/Parser.h"
 
 #include <string>
+#include <string_view>
 
 using namespace tdl;
 using namespace tdl::benchutil;
@@ -153,8 +154,9 @@ foreachMatchScript(const std::vector<Category> &Categories) {
 }
 
 /// One measurement row: \p NumFuncs payload functions, the hot categories
-/// plus \p NumCold rarely-matching ones.
-static void runRow(int NumFuncs, int NumCold) {
+/// plus \p NumCold rarely-matching ones. \p Repeats controls the min-of-N
+/// timing (CI smoke runs use 1 to bound wall-clock).
+static void runRow(int NumFuncs, int NumCold, int Repeats = 5) {
   Context Ctx;
   registerAllDialects(Ctx);
   registerTransformDialect(Ctx);
@@ -180,13 +182,13 @@ static void runRow(int NumFuncs, int NumCold) {
     return;
   }
 
-  double Sequential = minSeconds(5, [&] {
+  double Sequential = minSeconds(Repeats, [&] {
     OwningOpRef Mod = parseSourceString(Ctx, Payload);
     TransformInterpreter Interp(Mod.get(), SeqScript.get());
     if (failed(Interp.run()))
       std::printf("sequential script failed\n");
   });
-  double Foreach = minSeconds(5, [&] {
+  double Foreach = minSeconds(Repeats, [&] {
     OwningOpRef Mod = parseSourceString(Ctx, Payload);
     TransformInterpreter Interp(Mod.get(), ForeachScript.get());
     if (failed(Interp.run()))
@@ -205,12 +207,24 @@ static void runRow(int NumFuncs, int NumCold) {
               static_cast<long long>(Interp.NumMatcherInvocations));
 }
 
-int main() {
+int main(int argc, char **argv) {
+  // --smoke: one tiny row of each shape. CI uses this to keep the bench
+  // targets compiling and running without paying the full sweep.
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    Smoke |= std::string_view(argv[I]) == "--smoke";
+
   printHeader("Case study: one-walk foreach_match dispatch vs. K sequential "
               "match.op sweeps");
   std::printf("%8s %6s | %14s %14s | %9s | %12s %12s\n", "funcs", "K",
               "sequential (s)", "foreach (s)", "speedup", "exec'd ops",
               "matcher runs");
+
+  if (Smoke) {
+    runRow(/*NumFuncs=*/2, /*NumCold=*/0, /*Repeats=*/1);
+    runRow(/*NumFuncs=*/2, /*NumCold=*/5, /*Repeats=*/1);
+    return 0;
+  }
 
   // Dense: every category matches many ops; the per-match action execution
   // dominates foreach_match.

@@ -6,6 +6,7 @@
 
 #include "core/Analysis.h"
 
+#include "core/Conditions.h"
 #include "core/Transform.h"
 #include "ir/SymbolTable.h"
 #include "support/STLExtras.h"
@@ -37,8 +38,7 @@ private:
   void analyzeBlock(Block &B) {
     // Fresh scope per block: block args are roots.
     for (Operation *Op : B) {
-      const TransformOpDef *Def =
-          TransformOpRegistry::instance().lookup(Op->getName());
+      const TransformOpDef *Def = lookupTransformOpDef(Op);
 
       // Check uses of already-consumed handles.
       for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
@@ -103,6 +103,313 @@ std::vector<InvalidationIssue>
 tdl::analyzeHandleInvalidation(Operation *Script) {
   InvalidationAnalysis Analysis;
   return Analysis.run(Script);
+}
+
+//===----------------------------------------------------------------------===//
+// Static handle-type analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isParamType(Type Ty) { return Ty.isa<TransformParamType>(); }
+
+/// Resolves a named sequence the way the interpreter does: the script root
+/// itself or any symbol nested under it (library modules included).
+Operation *resolveSequence(Operation *ScriptRoot, std::string_view Name) {
+  if (getSymbolName(ScriptRoot) == Name)
+    return ScriptRoot;
+  return lookupSymbolRecursive(ScriptRoot, Name);
+}
+
+/// Reads a matcher/action reference (symbol or string attr); empty when the
+/// attribute has an unexpected kind (reported at runtime).
+std::string_view refName(Attribute Ref) {
+  if (SymbolRefAttr Sym = Ref.dyn_cast<SymbolRefAttr>())
+    return Sym.getValue();
+  if (StringAttr Str = Ref.dyn_cast<StringAttr>())
+    return Str.getValue();
+  return {};
+}
+
+class HandleTypeAnalysis {
+public:
+  explicit HandleTypeAnalysis(Operation *ScriptRoot)
+      : ScriptRoot(ScriptRoot) {}
+
+  std::vector<TypeCheckIssue> run() {
+    visit(ScriptRoot);
+    return Issues;
+  }
+
+private:
+  /// Pre-order traversal without `walkPre`: the analysis never mutates the
+  /// script, so it skips the per-block snapshot vector that walk callbacks
+  /// need to survive erasure — this pass runs on every interpreter start,
+  /// and the allocation dominated its cost on large scripts.
+  void visit(Operation *Op) {
+    // The per-OpInfo Def cache makes this a pointer read for registered
+    // transform ops; non-transform ops (nested payload or library modules)
+    // are filtered by dialect before probing the registry.
+    if (Op->getDialectName() == "transform")
+      if (const TransformOpDef *Def = lookupTransformOpDef(Op))
+        checkOp(Op, Def);
+    for (unsigned R = 0; R < Op->getNumRegions(); ++R)
+      for (Block &B : Op->getRegion(R))
+        for (Operation *Nested : B)
+          visit(Nested);
+  }
+
+  void report(Operation *Op, std::string Message) {
+    Issues.push_back({Op, std::move(Message)});
+  }
+
+  /// Produced-type-flows-into-expected-type check shared by every binding
+  /// boundary. \p What names the edge for the diagnostic.
+  void checkFlow(Operation *Op, Type Produced, Type Expected,
+                 const std::string &What) {
+    if (!Produced || !Expected)
+      return;
+    if (isParamType(Produced) && isParamType(Expected))
+      return;
+    if (isParamType(Produced) != isParamType(Expected)) {
+      report(Op, What + " mixes a parameter with a handle ('" +
+                     Produced.str() + "' into '" + Expected.str() + "')");
+      return;
+    }
+    if (!isImplicitHandleConversion(Produced, Expected))
+      report(Op, What + " has incompatible handle types: '" + Produced.str() +
+                     "' cannot flow into '" + Expected.str() +
+                     "' without an explicit transform.cast");
+  }
+
+  void checkOp(Operation *Op, const TransformOpDef *Def) {
+    if (!Def->OperandKinds.empty())
+      checkOperandKinds(Op, Def);
+    switch (Def->TypeCheckSpecial) {
+    case TransformTypeCheckSpecial::None:
+      break;
+    case TransformTypeCheckSpecial::Cast:
+      checkCast(Op);
+      break;
+    case TransformTypeCheckSpecial::MatchName:
+      checkTypedMatchResult(Op);
+      break;
+    case TransformTypeCheckSpecial::Include:
+      checkInclude(Op);
+      break;
+    case TransformTypeCheckSpecial::BodyBinding:
+      checkBodyBinding(Op);
+      break;
+    case TransformTypeCheckSpecial::ForeachMatch:
+      checkForeachMatch(Op);
+      break;
+    }
+  }
+
+  /// Declared operand types against the op's registered kind expectations
+  /// (catches e.g. a typed handle consumed as a `!transform.param`).
+  void checkOperandKinds(Operation *Op, const TransformOpDef *Def) {
+    unsigned Limit = std::min<unsigned>(Op->getNumOperands(),
+                                        Def->OperandKinds.size());
+    for (unsigned I = 0; I < Limit; ++I) {
+      Type Ty = Op->getOperand(I).getType();
+      switch (Def->OperandKinds[I]) {
+      case TransformValueKind::Any:
+        break;
+      case TransformValueKind::Handle:
+        if (!isTransformHandleType(Ty))
+          report(Op, "op '" + std::string(Op->getName()) +
+                         "' expects an op handle for operand " +
+                         std::to_string(I) + " but it has type '" + Ty.str() +
+                         "'");
+        break;
+      case TransformValueKind::Param:
+        if (!isParamType(Ty))
+          report(Op, "op '" + std::string(Op->getName()) +
+                         "' expects a parameter for operand " +
+                         std::to_string(I) + " but it has type '" + Ty.str() +
+                         "'");
+        break;
+      }
+    }
+  }
+
+  void checkCast(Operation *Op) {
+    if (Op->getNumOperands() != 1 || Op->getNumResults() != 1) {
+      report(Op, "transform.cast requires exactly one operand and one "
+                 "result");
+      return;
+    }
+    Type From = Op->getOperand(0).getType();
+    Type To = Op->getResult(0).getType();
+    if (!isTransformHandleType(From)) {
+      report(Op, "transform.cast operand must be an op handle, got '" +
+                     From.str() + "'");
+      return;
+    }
+    if (!isTransformHandleType(To)) {
+      report(Op, "transform.cast result must be an op handle, got '" +
+                     To.str() + "'");
+      return;
+    }
+    TransformOpType FromOp = From.dyn_cast<TransformOpType>();
+    TransformOpType ToOp = To.dyn_cast<TransformOpType>();
+    if (FromOp && ToOp && FromOp != ToOp)
+      report(Op, "impossible transform.cast from '" + From.str() + "' to '" +
+                     To.str() + "': the types name different payload ops, so "
+                     "the cast can never succeed");
+  }
+
+  /// A name-matching op whose result is declared `!transform.op<"X">` must
+  /// actually match X, otherwise the declared type is a static lie.
+  void checkTypedMatchResult(Operation *Op) {
+    if (Op->getNumResults() < 1)
+      return;
+    TransformOpType ResultTy =
+        Op->getResult(0).getType().dyn_cast<TransformOpType>();
+    if (!ResultTy)
+      return;
+    std::string_view Declared = ResultTy.getOpName();
+    if (Op->getName() == "transform.match.op") {
+      std::string_view Matched = Op->getStringAttr("op_name");
+      if (!Matched.empty() && Matched != Declared)
+        report(Op, "result type '" + ResultTy.str() +
+                       "' contradicts the matched op name '" +
+                       std::string(Matched) + "'");
+      return;
+    }
+    // match.operation_name: the declared name must be covered by at least
+    // one element of the accepted-name list (wildcards included). A
+    // malformed list is the runtime's (payload-independent) error to
+    // report, not a type issue.
+    std::vector<OpSetElement> Elements;
+    if (failed(parseTransformOpNameElements(Op, Elements)) ||
+        Elements.empty())
+      return;
+    for (const OpSetElement &Element : Elements)
+      if (Element.matches(Declared, &Op->getContext()))
+        return;
+    report(Op, "result type '" + ResultTy.str() +
+                   "' is not covered by the accepted op names");
+  }
+
+  void checkInclude(Operation *Op) {
+    SymbolRefAttr Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
+    if (!Callee)
+      return;
+    Operation *Target = resolveSequence(ScriptRoot, Callee.getValue());
+    if (!Target || Target->getNumRegions() != 1 ||
+        Target->getRegion(0).empty())
+      return; // unresolved / malformed: reported at runtime
+    Block &Body = Target->getRegion(0).front();
+    unsigned Limit =
+        std::min<unsigned>(Op->getNumOperands(), Body.getNumArguments());
+    for (unsigned I = 0; I < Limit; ++I)
+      checkFlow(Op, Op->getOperand(I).getType(),
+                Body.getArgument(I).getType(),
+                "include argument " + std::to_string(I) + " of '@" +
+                    std::string(Callee.getValue()) + "'");
+    Operation *Yield = Body.getTerminator();
+    if (!Yield || Yield->getName() != "transform.yield")
+      return;
+    Limit = std::min(Op->getNumResults(), Yield->getNumOperands());
+    for (unsigned I = 0; I < Limit; ++I)
+      checkFlow(Op, Yield->getOperand(I).getType(),
+                Op->getResult(I).getType(),
+                "include result " + std::to_string(I) + " of '@" +
+                    std::string(Callee.getValue()) + "'");
+  }
+
+  /// transform.foreach / transform.sequence bind operand 0 to body arg 0.
+  void checkBodyBinding(Operation *Op) {
+    if (Op->getNumOperands() < 1 || Op->getNumRegions() != 1 ||
+        Op->getRegion(0).empty())
+      return;
+    Block &Body = Op->getRegion(0).front();
+    if (Body.getNumArguments() < 1)
+      return;
+    checkFlow(Op, Op->getOperand(0).getType(),
+              Body.getArgument(0).getType(),
+              "'" + std::string(Op->getName()) + "' body argument");
+  }
+
+  void checkForeachMatch(Operation *Op) {
+    ArrayAttr Matchers = Op->getAttrOfType<ArrayAttr>("matchers");
+    ArrayAttr Actions = Op->getAttrOfType<ArrayAttr>("actions");
+    if (!Matchers || !Actions || Matchers.size() != Actions.size())
+      return; // structural breakage: reported at runtime
+    for (size_t P = 0; P < Matchers.size(); ++P) {
+      std::string_view MatcherName = refName(Matchers[P]);
+      std::string_view ActionName = refName(Actions[P]);
+      Operation *Matcher =
+          MatcherName.empty() ? nullptr
+                              : resolveSequence(ScriptRoot, MatcherName);
+      Operation *Action =
+          ActionName.empty() ? nullptr
+                             : resolveSequence(ScriptRoot, ActionName);
+      if (!Matcher || !Action || Matcher->getNumRegions() != 1 ||
+          Matcher->getRegion(0).empty() || Action->getNumRegions() != 1 ||
+          Action->getRegion(0).empty())
+        continue;
+      Block &MatcherBody = Matcher->getRegion(0).front();
+      Block &ActionBody = Action->getRegion(0).front();
+      if (MatcherBody.getNumArguments() < 1)
+        continue;
+      Type CandidateTy = MatcherBody.getArgument(0).getType();
+      if (!isTransformHandleType(CandidateTy))
+        report(Op, "matcher '@" + std::string(MatcherName) +
+                       "' must take an op handle for its candidate, not '" +
+                       CandidateTy.str() + "'");
+
+      // Forwarded types: the matcher's yield operands, or the candidate
+      // itself for an operand-less yield.
+      Operation *Yield = MatcherBody.getTerminator();
+      std::vector<Type> Forwarded;
+      if (Yield && Yield->getName() == "transform.yield" &&
+          Yield->getNumOperands() > 0) {
+        for (Value V : Yield->getOperands())
+          Forwarded.push_back(V.getType());
+      } else {
+        Forwarded.push_back(CandidateTy);
+      }
+      // Arity mismatches are reported (payload-independently) by the
+      // interpreter's own up-front validation; only check types here.
+      if (ActionBody.getNumArguments() != Forwarded.size())
+        continue;
+      for (size_t I = 0; I < Forwarded.size(); ++I)
+        checkFlow(Op, Forwarded[I], ActionBody.getArgument(I).getType(),
+                  "matcher '@" + std::string(MatcherName) + "' yield " +
+                      std::to_string(I) + " into action '@" +
+                      std::string(ActionName) + "' argument " +
+                      std::to_string(I));
+
+      // Action yields feed the trailing results of foreach_match.
+      if (Op->getNumResults() <= 1)
+        continue;
+      Operation *ActionYield = ActionBody.getTerminator();
+      if (!ActionYield || ActionYield->getName() != "transform.yield")
+        continue;
+      unsigned NumForwarded = Op->getNumResults() - 1;
+      unsigned Limit =
+          std::min(NumForwarded, ActionYield->getNumOperands());
+      for (unsigned I = 0; I < Limit; ++I)
+        checkFlow(Op, ActionYield->getOperand(I).getType(),
+                  Op->getResult(I + 1).getType(),
+                  "action '@" + std::string(ActionName) + "' yield " +
+                      std::to_string(I) + " into foreach_match result " +
+                      std::to_string(I + 1));
+    }
+  }
+
+  Operation *ScriptRoot;
+  std::vector<TypeCheckIssue> Issues;
+};
+
+} // namespace
+
+std::vector<TypeCheckIssue> tdl::analyzeHandleTypes(Operation *ScriptRoot) {
+  HandleTypeAnalysis Analysis(ScriptRoot);
+  return Analysis.run();
 }
 
 //===----------------------------------------------------------------------===//

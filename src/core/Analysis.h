@@ -46,6 +46,33 @@ struct InvalidationIssue {
 std::vector<InvalidationIssue> analyzeHandleInvalidation(Operation *Script);
 
 //===----------------------------------------------------------------------===//
+// Static handle-type analysis (Fig. 1a typing)
+//===----------------------------------------------------------------------===//
+
+struct TypeCheckIssue {
+  Operation *Op = nullptr;
+  std::string Message;
+};
+
+/// Statically type-checks the transform ops under \p ScriptRoot so that an
+/// ill-typed script is rejected before any payload op is touched:
+///  * operand kinds (handle vs. param) against each op's registered
+///    expectations,
+///  * `transform.cast` shape and feasibility (casting between two different
+///    `!transform.op<"...">` types, or to a non-handle type, can never
+///    succeed),
+///  * declared `!transform.op<"...">` result types of the name-matching ops
+///    against their `op_name`/`op_names` attributes,
+///  * producer/consumer compatibility across block-argument boundaries:
+///    `transform.include` operands vs. callee arguments, and
+///    `transform.foreach_match` matcher arguments, matcher yields vs. action
+///    arguments, and action yields vs. declared result types.
+/// Widening op<"..."> into any_op is implicit; narrowing requires an
+/// explicit `transform.cast`. Runs automatically in
+/// TransformInterpreter::run().
+std::vector<TypeCheckIssue> analyzeHandleTypes(Operation *ScriptRoot);
+
+//===----------------------------------------------------------------------===//
 // Include graph
 //===----------------------------------------------------------------------===//
 

@@ -236,8 +236,12 @@ tdl::checkLoweringPipeline(const std::vector<std::string> &PassNames,
 std::vector<PipelineCheckIssue>
 tdl::checkTransformScript(Operation *Script, AbstractOpSet Initial,
                           const std::vector<std::string> &TargetSpec) {
-  // Collect contracted lowering transforms in sequence order.
+  // Collect contracted lowering transforms in sequence order. Typed handles
+  // (Fig. 1a) sharpen the check: a contracted transform applied through an
+  // `!transform.op<"X">` handle whose pre-condition can never match X is a
+  // phase-ordering bug visible from the types alone.
   std::vector<std::string> PassNames;
+  std::vector<PipelineCheckIssue> TypedIssues;
   Script->walkPre([&](Operation *Op) {
     std::string_view Name = Op->getName();
     if (Name.substr(0, 10) != "transform.")
@@ -246,12 +250,42 @@ tdl::checkTransformScript(Operation *Script, AbstractOpSet Initial,
     for (char &C : PassName)
       if (C == '_')
         C = '-';
-    if (ContractRegistry::instance().lookup(PassName))
-      PassNames.push_back(PassName);
+    const LoweringContract *Contract =
+        ContractRegistry::instance().lookup(PassName);
+    if (!Contract)
+      return WalkResult::Advance;
+    PassNames.push_back(PassName);
+    if (Op->getNumOperands() >= 1) {
+      TransformOpType Typed =
+          Op->getOperand(0).getType().dyn_cast<TransformOpType>();
+      if (Typed) {
+        // Contracts describe ops anywhere in the target's subtree, so a
+        // handle to a region-bearing container (func.func, scf.for, ...)
+        // may still satisfy Pre through nested ops; only a handle to a
+        // leaf op can be ruled out from its type alone. Unknown ops are
+        // conservatively treated as containers.
+        const OpInfo *Info =
+            Script->getContext().lookupOpInfo(Typed.getOpName());
+        bool MayContainNested = !Info || Info->hasTrait(OT_SingleBlock) ||
+                                Info->hasTrait(OT_GraphRegion);
+        bool AnyPreMatches = MayContainNested;
+        for (const std::string &PreText : Contract->Pre)
+          AnyPreMatches |= OpSetElement::parse(PreText).matches(
+              Typed.getOpName(), &Script->getContext());
+        if (!AnyPreMatches)
+          TypedIssues.push_back(
+              {PassName, "handle of type '" + Type(Typed).str() +
+                             "' can never satisfy the pre-condition {" +
+                             join(Contract->Pre, ", ") + "} of '" + PassName +
+                             "'"});
+      }
+    }
     return WalkResult::Advance;
   });
-  return checkLoweringPipeline(PassNames, std::move(Initial), TargetSpec,
-                               &Script->getContext());
+  std::vector<PipelineCheckIssue> Issues = checkLoweringPipeline(
+      PassNames, std::move(Initial), TargetSpec, &Script->getContext());
+  Issues.insert(Issues.begin(), TypedIssues.begin(), TypedIssues.end());
+  return Issues;
 }
 
 //===----------------------------------------------------------------------===//

@@ -70,6 +70,14 @@ struct OpSetElement {
   std::string str() const;
 };
 
+/// Parses the `op_names` / `op_name` attribute spelling shared by
+/// `transform.match.operation_name`, the foreach_match prefilter, and the
+/// static type checker. Fails when an `op_names` entry is not a string;
+/// leaves \p Elements empty when neither attribute is present. (Defined in
+/// TransformOps.cpp next to the ops that carry the attributes.)
+LogicalResult parseTransformOpNameElements(Operation *Op,
+                                           std::vector<OpSetElement> &Elements);
+
 /// An abstract set of op names, the domain of the static checker.
 class AbstractOpSet {
 public:
@@ -115,7 +123,10 @@ checkLoweringPipeline(const std::vector<std::string> &PassNames,
                       Context *Ctx = nullptr);
 
 /// Runs the same check over a transform script: collects the contracted
-/// `transform.<pass>` ops of the entry sequence in order.
+/// `transform.<pass>` ops of the entry sequence in order. Additionally uses
+/// statically typed handles: a contracted transform applied through an
+/// `!transform.op<"X">` handle whose pre-condition cannot match X is
+/// reported without interpreting anything.
 std::vector<PipelineCheckIssue>
 checkTransformScript(Operation *Script, AbstractOpSet Initial,
                      const std::vector<std::string> &TargetSpec);

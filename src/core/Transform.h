@@ -75,6 +75,28 @@ private:
 // Transform op registration
 //===----------------------------------------------------------------------===//
 
+/// Static kind expected of a transform op operand, used by the type checker
+/// to reject scripts that feed a handle where a parameter is required (or
+/// vice versa) before interpretation starts.
+enum class TransformValueKind : uint8_t {
+  Any,    ///< Unchecked (default for unspecified operand positions).
+  Handle, ///< Must be `!transform.any_op` or `!transform.op<"...">`.
+  Param,  ///< Must be `!transform.param`.
+};
+
+/// Ops the static type checker treats specially, tagged at registration so
+/// the per-op dispatch in `analyzeHandleTypes` is a cached enum switch
+/// instead of a chain of name comparisons (the analysis runs on every
+/// interpreter start, so its constant factor matters).
+enum class TransformTypeCheckSpecial : uint8_t {
+  None,         ///< Only generic operand-kind checking.
+  Cast,         ///< transform.cast: shape + feasibility.
+  MatchName,    ///< match.op / match.operation_name: typed result vs names.
+  Include,      ///< transform.include: operands/results vs callee signature.
+  BodyBinding,  ///< sequence / foreach: operand 0 vs body argument 0.
+  ForeachMatch, ///< foreach_match: matcher/action/result signatures.
+};
+
 /// Runtime behavior of a transform op: which operands it consumes (a
 /// "memory deallocation" side effect in the paper's terms, Section 3.1) and
 /// how to apply it.
@@ -82,6 +104,11 @@ struct TransformOpDef {
   /// Indices of consumed operands; consumed handles and every handle
   /// pointing into the same or nested payload become invalid afterwards.
   std::set<unsigned> ConsumedOperands;
+  /// Expected kind per operand position (missing trailing entries are
+  /// unchecked). Consulted by `analyzeHandleTypes` before interpretation.
+  std::vector<TransformValueKind> OperandKinds;
+  /// Special-case tag for the static type checker (see the enum).
+  TransformTypeCheckSpecial TypeCheckSpecial = TransformTypeCheckSpecial::None;
   /// Apply callback. Reads payload via the interpreter, mutates payload IR,
   /// and binds results.
   std::function<DiagnosedSilenceableFailure(Operation *, TransformInterpreter &)>
@@ -109,6 +136,11 @@ public:
 private:
   std::map<std::string, TransformOpDef, std::less<>> Defs;
 };
+
+/// Resolves the TransformOpDef of \p Op, memoizing the result in the op's
+/// interned OpInfo so repeated interpretation avoids the registry's
+/// string-keyed map probe (the hot path of the interpreter dispatch loop).
+const TransformOpDef *lookupTransformOpDef(const Operation *Op);
 
 /// Registers a transform op end-to-end: OpInfo into \p Ctx, behavior into
 /// the TransformOpRegistry. This is the extension point advanced users call

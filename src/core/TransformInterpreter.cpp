@@ -6,6 +6,7 @@
 
 #include "core/Transform.h"
 
+#include "core/Analysis.h"
 #include "dialect/Dialects.h"
 #include "ir/SymbolTable.h"
 #include "pass/Pass.h"
@@ -36,6 +37,18 @@ void tdl::registerTransformOp(Context &Ctx, OpInfo Info, TransformOpDef Def) {
   std::string Name = Info.Name;
   Ctx.registerOp(std::move(Info));
   TransformOpRegistry::instance().registerOp(std::move(Name), std::move(Def));
+}
+
+const TransformOpDef *tdl::lookupTransformOpDef(const Operation *Op) {
+  const OpInfo *Info = Op->getInfo();
+  if (const void *Cached = Info->TransformDefCache)
+    return static_cast<const TransformOpDef *>(Cached);
+  // Cache only successful lookups so a definition registered after the
+  // first probe (late dialect extension) is still picked up.
+  const TransformOpDef *Def =
+      TransformOpRegistry::instance().lookup(Op->getName());
+  Info->TransformDefCache = Def;
+  return Def;
 }
 
 //===----------------------------------------------------------------------===//
@@ -175,6 +188,16 @@ TransformInterpreter::lookupNamedSequence(std::string_view Name) const {
 }
 
 LogicalResult TransformInterpreter::run() {
+  // Fig. 1a typing: reject an ill-typed script before any payload op is
+  // touched. Handle/param kind mixes, impossible casts, and mismatched
+  // matcher/action signatures become pre-interpretation diagnostics here
+  // instead of mid-flight dispatch errors.
+  std::vector<TypeCheckIssue> TypeIssues = analyzeHandleTypes(ScriptRoot);
+  for (const TypeCheckIssue &Issue : TypeIssues)
+    Issue.Op->emitError() << "ill-typed transform script: " << Issue.Message;
+  if (!TypeIssues.empty())
+    return failure();
+
   Operation *Entry = ScriptRoot;
   if (Entry->getName() != "transform.named_sequence" &&
       Entry->getName() != "transform.sequence") {
@@ -188,8 +211,19 @@ LogicalResult TransformInterpreter::run() {
     return Entry->emitError() << "transform entry point has no body";
 
   Block &Body = Entry->getRegion(0).front();
-  if (Body.getNumArguments() >= 1)
+  if (Body.getNumArguments() >= 1) {
+    // Binding the payload root to a typed entry argument is a narrowing:
+    // enforce it like transform.cast does, so the type system's guarantees
+    // hold from the very first handle.
+    Type ArgTy = Body.getArgument(0).getType();
+    if (TransformOpType Typed = ArgTy.dyn_cast<TransformOpType>())
+      if (PayloadRoot->getName() != Typed.getOpName())
+        return Entry->emitError()
+               << "entry block argument type '" << ArgTy
+               << "' does not match the payload root op '"
+               << PayloadRoot->getName() << "'";
     State.setPayload(Body.getArgument(0), {PayloadRoot});
+  }
 
   DiagnosedSilenceableFailure Result = executeBlock(Body);
   if (Result.succeeded())
@@ -220,8 +254,7 @@ DiagnosedSilenceableFailure TransformInterpreter::executeOp(Operation *Op) {
   if (Options.Trace)
     errs() << "[transform] " << Op->getName() << "\n";
 
-  const TransformOpDef *Def = TransformOpRegistry::instance().lookup(
-      Op->getName());
+  const TransformOpDef *Def = lookupTransformOpDef(Op);
   if (!Def || !Def->Apply)
     return DiagnosedSilenceableFailure::definite(
         "unregistered transform op '" + std::string(Op->getName()) + "'");

@@ -143,12 +143,9 @@ static DSF matchAllPayload(Operation *Op, TransformInterpreter &Interp,
   return DSF::success();
 }
 
-/// Parses the `op_names` / `op_name` spelling shared by
-/// `transform.match.operation_name` and the foreach_match prefilter.
-/// Fails when an `op_names` entry is not a string; leaves \p Elements
-/// empty when neither attribute is present.
-static LogicalResult parseOpNameElements(Operation *Op,
-                                         std::vector<OpSetElement> &Elements) {
+LogicalResult
+tdl::parseTransformOpNameElements(Operation *Op,
+                                  std::vector<OpSetElement> &Elements) {
   if (ArrayAttr Names = Op->getAttrOfType<ArrayAttr>("op_names")) {
     for (Attribute Element : Names.getValue()) {
       StringAttr Str = Element.dyn_cast<StringAttr>();
@@ -280,12 +277,14 @@ static DSF applyForeachMatch(Operation *Op, TransformInterpreter &Interp) {
   struct MatchActionPair {
     Operation *Matcher;
     Operation *Action;
-    /// Dispatch fast path: when the matcher's first op is a name predicate
-    /// on the candidate itself, its elements are hoisted here and checked
-    /// without entering the interpreter. Candidates whose name cannot match
-    /// skip the matcher invocation entirely, which makes the single walk
-    /// cheap even with many pairs.
-    std::vector<OpSetElement> NamePrefilter;
+    /// Dispatch fast path: a conjunction of name-constraint sets, each of
+    /// which the candidate must satisfy, checked without entering the
+    /// interpreter. One conjunct comes from a typed matcher argument
+    /// (`!transform.op<"X">` admits only ops named X); another from a
+    /// leading `match.operation_name` on the candidate. Candidates whose
+    /// name cannot match skip the matcher invocation entirely, which makes
+    /// the single walk cheap even with many pairs.
+    std::vector<std::vector<OpSetElement>> PrefilterConjuncts;
   };
   std::vector<MatchActionPair> Pairs;
   for (size_t I = 0; I < MatcherRefs.size(); ++I) {
@@ -299,28 +298,60 @@ static DSF applyForeachMatch(Operation *Op, TransformInterpreter &Interp) {
     MatchActionPair Pair{Matcher, Action, {}};
     Block &MatcherBody = Matcher->getRegion(0).front();
     // Statically reject script shapes that could never match or would only
-    // fail mid-walk: the walk binds exactly one matcher argument, and the
+    // fail mid-walk: the walk binds exactly one matcher argument, the
     // matcher's (static) yield count must line up with the action's
-    // arguments.
+    // arguments, and the declared handle types must be compatible.
     if (MatcherBody.getNumArguments() != 1)
       return DSF::definite("foreach_match matcher '@" +
                            std::string(getSymbolName(Matcher)) +
                            "' must take exactly one argument (the candidate "
                            "op)");
+    Type CandidateTy = MatcherBody.getArgument(0).getType();
+    if (!isTransformHandleType(CandidateTy))
+      return DSF::definite("foreach_match matcher '@" +
+                           std::string(getSymbolName(Matcher)) +
+                           "' must take an op handle, not '" +
+                           CandidateTy.str() + "'");
     Operation *MatcherYield = MatcherBody.getTerminator();
-    size_t NumForwardedSlots =
-        MatcherYield && MatcherYield->getName() == "transform.yield" &&
-                MatcherYield->getNumOperands() > 0
-            ? MatcherYield->getNumOperands()
-            : 1; // an operand-less yield forwards the candidate itself
+    bool YieldsOperands = MatcherYield &&
+                          MatcherYield->getName() == "transform.yield" &&
+                          MatcherYield->getNumOperands() > 0;
+    // An operand-less yield forwards the candidate itself.
+    std::vector<Type> ForwardedTypes;
+    if (YieldsOperands)
+      for (Value V : MatcherYield->getOperands())
+        ForwardedTypes.push_back(V.getType());
+    else
+      ForwardedTypes.push_back(CandidateTy);
     Block &ActionEntry = Action->getRegion(0).front();
-    if (ActionEntry.getNumArguments() != NumForwardedSlots)
+    if (ActionEntry.getNumArguments() != ForwardedTypes.size())
       return DSF::definite(
           "foreach_match action '@" + std::string(getSymbolName(Action)) +
           "' expects " + std::to_string(ActionEntry.getNumArguments()) +
           " arguments but matcher '@" +
           std::string(getSymbolName(Matcher)) + "' forwards " +
-          std::to_string(NumForwardedSlots));
+          std::to_string(ForwardedTypes.size()));
+    for (size_t S = 0; S < ForwardedTypes.size(); ++S) {
+      Type Produced = ForwardedTypes[S];
+      Type Expected = ActionEntry.getArgument(S).getType();
+      bool ProducedParam = Produced.isa<TransformParamType>();
+      bool ExpectedParam = Expected.isa<TransformParamType>();
+      bool Compatible = ProducedParam == ExpectedParam &&
+                        (ProducedParam ||
+                         isImplicitHandleConversion(Produced, Expected));
+      if (!Compatible)
+        return DSF::definite(
+            "foreach_match matcher '@" + std::string(getSymbolName(Matcher)) +
+            "' yields '" + Produced.str() + "' but action '@" +
+            std::string(getSymbolName(Action)) + "' argument " +
+            std::to_string(S) + " expects '" + Expected.str() +
+            "'; insert an explicit transform.cast in the matcher");
+    }
+    // A typed candidate argument admits only ops of that name: fold the
+    // declared type into the dispatch prefilter.
+    if (TransformOpType TypedArg = CandidateTy.dyn_cast<TransformOpType>())
+      Pair.PrefilterConjuncts.push_back(
+          {OpSetElement::parse(TypedArg.getOpName())});
     if (!MatcherBody.empty()) {
       Operation *First = MatcherBody.front();
       if (First->getName() == "transform.match.operation_name" &&
@@ -330,8 +361,9 @@ static DSF applyForeachMatch(Operation *Op, TransformInterpreter &Interp) {
         // otherwise every candidate must reach the real op so its
         // malformed-attribute error is reported payload-independently.
         std::vector<OpSetElement> Elements;
-        if (succeeded(parseOpNameElements(First, Elements)))
-          Pair.NamePrefilter = std::move(Elements);
+        if (succeeded(parseTransformOpNameElements(First, Elements)) &&
+            !Elements.empty())
+          Pair.PrefilterConjuncts.push_back(std::move(Elements));
       }
     }
     Pairs.push_back(std::move(Pair));
@@ -379,16 +411,22 @@ static DSF applyForeachMatch(Operation *Op, TransformInterpreter &Interp) {
     if (!Visited.insert(Candidate).second)
       return DSF::success();
     for (size_t P = 0; P < Pairs.size(); ++P) {
-      if (!Pairs[P].NamePrefilter.empty()) {
+      bool Prefiltered = false;
+      for (const std::vector<OpSetElement> &Conjunct :
+           Pairs[P].PrefilterConjuncts) {
         bool MayMatch = false;
-        for (const OpSetElement &Element : Pairs[P].NamePrefilter)
+        for (const OpSetElement &Element : Conjunct)
           if (Element.matches(Candidate->getName(), &Op->getContext())) {
             MayMatch = true;
             break;
           }
-        if (!MayMatch)
-          continue;
+        if (!MayMatch) {
+          Prefiltered = true;
+          break;
+        }
       }
+      if (Prefiltered)
+        continue;
       Block &MatcherBody = Pairs[P].Matcher->getRegion(0).front();
       Interp.getState().setPayload(MatcherBody.getArgument(0), {Candidate});
       ++Interp.NumMatcherInvocations;
@@ -614,6 +652,8 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Seq;
     Seq.Name = "transform.sequence";
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::BodyBinding;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       if (Op->getNumRegions() != 1 || Op->getRegion(0).empty())
         return DSF::definite("transform.sequence has no body");
@@ -624,6 +664,15 @@ void tdl::registerTransformDialect(Context &Ctx) {
           Target = Interp.getState().getPayloadOps(Op->getOperand(0));
         else
           Target = {Interp.getState().getPayloadRoot()};
+        // A typed body argument narrows whatever is bound to it; enforce
+        // the op names like transform.cast does.
+        Type ArgTy = Body.getArgument(0).getType();
+        if (TransformOpType Typed = ArgTy.dyn_cast<TransformOpType>())
+          for (Operation *Bound : Target)
+            if (Bound->getName() != Typed.getOpName())
+              return DSF::silenceable("payload op '" +
+                                      std::string(Bound->getName()) +
+                                      "' does not satisfy " + ArgTy.str());
         Interp.getState().setPayload(Body.getArgument(0), std::move(Target));
       }
       return Interp.executeBlock(Body);
@@ -635,6 +684,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Include;
     Include.Name = "transform.include";
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::Include;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       static thread_local int Depth = 0;
       SymbolRefAttr Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
@@ -689,6 +739,8 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Foreach;
     Foreach.Name = "transform.foreach";
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::BodyBinding;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       if (Op->getNumRegions() != 1 || Op->getRegion(0).empty())
         return DSF::definite("transform.foreach has no body");
@@ -711,6 +763,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Alternatives;
     Alternatives.Name = "transform.alternatives";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ConsumedOperands = {0};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::vector<Operation *> Scope;
@@ -750,6 +803,8 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Match;
     Match.Name = "transform.match.op";
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::MatchName;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {0};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -792,6 +847,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo GetParent;
     GetParent.Name = "transform.get_parent_op";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {-1};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -817,6 +873,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Merge;
     Merge.Name = "transform.merge_handles";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {-1};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -835,6 +892,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Split;
     Split.Name = "transform.split_handle";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {}; // filled dynamically below
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -855,12 +913,46 @@ void tdl::registerTransformDialect(Context &Ctx) {
   {
     OpInfo Cast;
     Cast.Name = "transform.cast";
+    // Structural typing rules are also enforced by the IR verifier so a
+    // script module fails verification without being interpreted.
+    Cast.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() != 1 || Op->getNumResults() != 1)
+        return Op->emitOpError()
+               << "requires exactly one operand and one result";
+      if (!isTransformHandleType(Op->getOperand(0).getType()))
+        return Op->emitOpError() << "operand must be an op handle type";
+      if (!isTransformHandleType(Op->getResult(0).getType()))
+        return Op->emitOpError() << "result must be an op handle type";
+      return success();
+    };
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::Cast;
     Def.ResultNestedInOperand = {0};
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.MatcherOk = true;
+    // Runtime narrowing/widening: casting to `!transform.op<"X">` checks
+    // every payload op's name and fails *silenceably* on a mismatch, so a
+    // cast inside a foreach_match matcher reads as "not this op" rather
+    // than aborting the walk.
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
-      bindResult(Interp, Op, 0,
-                 Interp.getState().getPayloadOps(Op->getOperand(0)));
+      if (Op->getNumOperands() != 1 || Op->getNumResults() != 1)
+        return DSF::definite(
+            "transform.cast requires exactly one operand and one result");
+      Type To = Op->getResult(0).getType();
+      const std::vector<Operation *> &Payload =
+          Interp.getState().getPayloadOps(Op->getOperand(0));
+      if (TransformOpType Target = To.dyn_cast<TransformOpType>()) {
+        for (Operation *Candidate : Payload)
+          if (Candidate->getName() != Target.getOpName())
+            return DSF::silenceable("payload op '" +
+                                    std::string(Candidate->getName()) +
+                                    "' does not satisfy " + To.str());
+      } else if (!isTransformHandleType(To)) {
+        return DSF::definite("transform.cast result must be an op handle, "
+                             "got '" +
+                             To.str() + "'");
+      }
+      bindResult(Interp, Op, 0, Payload);
       return DSF::success();
     };
     registerTransformOp(Ctx, Cast, Def);
@@ -892,13 +984,15 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo MatchName;
     MatchName.Name = "transform.match.operation_name";
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::MatchName;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {0};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       // Elements reuse the Section 3.3 condition language: exact names and
       // dialect wildcards such as "scf.*".
       std::vector<OpSetElement> Elements;
-      if (failed(parseOpNameElements(Op, Elements)))
+      if (failed(parseTransformOpNameElements(Op, Elements)))
         return DSF::definite(
             "match.operation_name: 'op_names' must contain strings");
       if (Elements.empty())
@@ -919,6 +1013,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo MatchAttr;
     MatchAttr.Name = "transform.match.attr";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {0};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -944,6 +1039,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo MatchOperands;
     MatchOperands.Name = "transform.match.operands";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {0};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -973,6 +1069,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo MatchRank;
     MatchRank.Name = "transform.match.structured.rank";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {0};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1020,9 +1117,17 @@ void tdl::registerTransformDialect(Context &Ctx) {
                                     "'matchers' and 'actions' arrays";
       if (Op->getNumOperands() < 1)
         return Op->emitOpError() << "requires a root handle operand";
+      if (!isTransformHandleType(Op->getOperand(0).getType()))
+        return Op->emitOpError() << "root operand must be an op handle";
+      for (unsigned I = 0; I < Op->getNumResults(); ++I)
+        if (!isTransformHandleType(Op->getResult(I).getType()))
+          return Op->emitOpError()
+                 << "result " << I << " must be an op handle type";
       return success();
     };
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::ForeachMatch;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {0};
     Def.Apply = applyForeachMatch;
@@ -1037,6 +1142,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Hoist;
     Hoist.Name = "transform.loop.hoist";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {-1};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::vector<Operation *> AllHoisted;
@@ -1059,6 +1165,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo SplitLoop;
     SplitLoop.Name = "transform.loop.split";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle, TransformValueKind::Param};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {-1, -1};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1089,6 +1196,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Tile;
     Tile.Name = "transform.loop.tile";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle, TransformValueKind::Param};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {-1, -1};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1122,6 +1230,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Unroll;
     Unroll.Name = "transform.loop.unroll";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {-1};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1155,6 +1264,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Interchange;
     Interchange.Name = "transform.loop.interchange";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {-1};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1178,6 +1288,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Vectorize;
     Vectorize.Name = "transform.vectorize";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {-1};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1204,6 +1315,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo ToLibrary;
     ToLibrary.Name = "transform.to_library";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {-1};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1218,10 +1330,13 @@ void tdl::registerTransformDialect(Context &Ctx) {
           computePayloadAncestors(Payload);
       std::vector<bool> Replaced(Payload.size(), false);
       for (size_t I = 0; I < Payload.size(); ++I) {
-        bool Skip = Payload[I]->getName() != "scf.for";
+        // Ancestor check first: an op nested in an already-replaced loop
+        // nest was freed with it, so dereferencing it (even for its name)
+        // is use-after-free.
+        bool Skip = false;
         for (size_t Ancestor : Ancestors[I])
           Skip |= Replaced[Ancestor];
-        if (Skip)
+        if (Skip || Payload[I]->getName() != "scf.for")
           continue;
         FailureOr<Operation *> Call =
             loops::replaceWithMicrokernelCall(Payload[I], Library);
@@ -1249,6 +1364,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo ApplyPass;
     ApplyPass.Name = "transform.apply_registered_pass";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ConsumedOperands = {0};
     Def.ResultNestedInOperand = {0};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
@@ -1272,6 +1388,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo ApplyPatterns;
     ApplyPatterns.Name = "transform.apply_patterns";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       PatternSet Patterns;
       if (Op->getNumRegions() >= 1 && !Op->getRegion(0).empty()) {
@@ -1305,6 +1422,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Annotate;
     Annotate.Name = "transform.annotate";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string_view Name = Op->getStringAttr("name");
       if (Name.empty())
@@ -1324,6 +1442,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Print;
     Print.Name = "transform.print";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string_view Prefix = Op->getStringAttr("name");
       for (Operation *Target :
@@ -1342,6 +1461,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Remark;
     Remark.Name = "transform.debug.emit_remark";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.MatcherOk = true; // diagnostics only; does not touch payload
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string_view Message = Op->getStringAttr("message");
@@ -1357,6 +1477,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo Assert;
     Assert.Name = "transform.assert";
     TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Param};
     Def.MatcherOk = true;
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
       std::string Message(Op->getStringAttr("message"));
@@ -1403,6 +1524,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     Info.Name = OpName;
     TransformOpDef Def;
     Def.ConsumedOperands = {0};
+    Def.OperandKinds = {TransformValueKind::Handle};
     Def.ResultNestedInOperand = {0};
     std::string PassNameCopy = PassName;
     Def.Apply = [PassNameCopy](Operation *Op,

@@ -79,6 +79,12 @@ struct OpInfo {
   std::set<std::string> Interfaces;
   /// True for ops synthesized on first use in a permissive dialect.
   bool IsUnregistered = false;
+  /// Lazily resolved `TransformOpDef *` for this op (type-erased so the IR
+  /// layer stays independent of the core layer). The transform registry is
+  /// a process-wide node-based map, so the cached pointer stays valid even
+  /// when a definition is re-registered; only successful lookups are cached
+  /// so a definition registered later is still found.
+  mutable const void *TransformDefCache = nullptr;
 
   bool hasTrait(OpTrait Trait) const { return (Traits & Trait) != 0; }
   std::string_view getDialectName() const {

@@ -419,6 +419,8 @@ private:
   Type parseTransformType() {
     if (tryConsume("!transform.any_op"))
       return TransformAnyOpType::get(Ctx);
+    if (tryConsume("!transform.any_value"))
+      return TransformAnyValueType::get(Ctx);
     if (tryConsume("!transform.param"))
       return TransformParamType::get(Ctx);
     if (tryConsume("!transform.op")) {

@@ -254,6 +254,12 @@ TransformParamType TransformParamType::get(Context &Ctx) {
       .cast<TransformParamType>();
 }
 
+TransformAnyValueType TransformAnyValueType::get(Context &Ctx) {
+  return uniqueSimple(Ctx, TypeStorage::Kind::TransformAnyValue,
+                      "!transform.any_value")
+      .cast<TransformAnyValueType>();
+}
+
 bool tdl::isTransformType(Type Ty) {
   if (!Ty)
     return false;
@@ -273,6 +279,18 @@ bool tdl::isTransformHandleType(Type Ty) {
     return false;
   return Ty.getKind() == TypeStorage::Kind::TransformAnyOp ||
          Ty.getKind() == TypeStorage::Kind::TransformOp;
+}
+
+bool tdl::isImplicitHandleConversion(Type Produced, Type Expected) {
+  if (!Produced || !Expected)
+    return false;
+  if (Produced == Expected)
+    return true;
+  // op<"..."> widens into any_op; everything else (narrowing, crossing
+  // between two op<"..."> types, handle/param/value kind mixes) needs an
+  // explicit transform.cast or is plain ill-typed.
+  return isTransformHandleType(Produced) &&
+         Expected.getKind() == TypeStorage::Kind::TransformAnyOp;
 }
 
 //===----------------------------------------------------------------------===//

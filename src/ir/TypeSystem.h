@@ -272,10 +272,31 @@ public:
   }
 };
 
+/// `!transform.any_value` — a handle to arbitrary payload SSA values.
+class TransformAnyValueType : public Type {
+public:
+  using Type::Type;
+  TransformAnyValueType() = default;
+  static TransformAnyValueType get(Context &Ctx);
+  static bool classof(Type Ty) {
+    return Ty.getKind() == TypeStorage::Kind::TransformAnyValue;
+  }
+};
+
 /// Returns true for any `!transform.*` handle or parameter type.
 bool isTransformType(Type Ty);
-/// Returns true for handle types (any_op / op<...>), excluding params.
+/// Returns true for op-handle types (any_op / op<...>), excluding params and
+/// value handles.
 bool isTransformHandleType(Type Ty);
+
+/// Whether a value of handle type \p Produced may be used where \p Expected
+/// is declared without an explicit `transform.cast`:
+///   * identical types are compatible,
+///   * any op<"..."> handle widens implicitly into `!transform.any_op`.
+/// Narrowing (`!transform.any_op` into op<"...">) and crossing between two
+/// different op<"..."> types require an explicit cast; handle/param/value
+/// kind mismatches are never compatible.
+bool isImplicitHandleConversion(Type Produced, Type Expected);
 
 } // namespace tdl
 

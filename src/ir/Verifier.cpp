@@ -23,6 +23,25 @@ public:
     if (Op->getNumSuccessors() && !Op->hasTrait(OT_IsTerminator))
       return Op->emitOpError() << "has successors but is not a terminator";
 
+    // Transform handles/params are script-level values: only ops of the
+    // transform dialect may produce or consume them. A payload op carrying
+    // a `!transform.*` type is a producer/consumer confusion between the
+    // two IR levels.
+    if (Op->getDialectName() != "transform") {
+      for (unsigned I = 0; I < Op->getNumOperands(); ++I)
+        if (isTransformType(Op->getOperand(I).getType()))
+          return Op->emitOpError()
+                 << "operand " << I << " has transform type '"
+                 << Op->getOperand(I).getType()
+                 << "' but the op is not a transform op";
+      for (unsigned I = 0; I < Op->getNumResults(); ++I)
+        if (isTransformType(Op->getResult(I).getType()))
+          return Op->emitOpError()
+                 << "result " << I << " has transform type '"
+                 << Op->getResult(I).getType()
+                 << "' but the op is not a transform op";
+    }
+
     // SSA visibility of operands.
     if (failed(verifyOperandVisibility(Op)))
       return failure();

@@ -90,6 +90,80 @@ TEST_F(AnalysisTest, StaticAnalysisTracksNestedDerivation) {
       << "tiling %main must not invalidate its split sibling %rest";
 }
 
+TEST_F(AnalysisTest, TypeAnalysisAcceptsWellTypedScript) {
+  OwningOpRef Script = makeScript(R"(
+    %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+      : (!transform.any_op) -> (!transform.op<"scf.for">)
+    %widened = "transform.cast"(%loops)
+      : (!transform.op<"scf.for">) -> (!transform.any_op)
+    "transform.annotate"(%widened) {name = "ok"}
+      : (!transform.any_op) -> ()
+  )");
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(analyzeHandleTypes(Script.get()).empty());
+}
+
+TEST_F(AnalysisTest, TypeAnalysisChecksIncludeBoundaries) {
+  // The callee takes a param; the include feeds it a handle.
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "transform.named_sequence"() ({
+      ^bb0(%p: !transform.param):
+        "transform.yield"() : () -> ()
+      }) {sym_name = "callee"} : () -> ()
+      "transform.named_sequence"() ({
+      ^bb0(%root: !transform.any_op):
+        "transform.include"(%root) {callee = @callee}
+          : (!transform.any_op) -> ()
+        "transform.yield"() : () -> ()
+      }) {sym_name = "__transform_main"} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("mixes a parameter with a handle"),
+            std::string::npos);
+}
+
+TEST_F(AnalysisTest, TypeAnalysisChecksMatchOperationNameResult) {
+  // op<"memref.load"> is covered by the wildcard list; op<"scf.while"> by
+  // neither element.
+  OwningOpRef Ok = makeScript(R"(
+    %loads = "transform.match.operation_name"(%root)
+      {op_names = ["memref.*", "scf.for"]}
+      : (!transform.any_op) -> (!transform.op<"memref.load">)
+  )");
+  ASSERT_TRUE(Ok);
+  EXPECT_TRUE(analyzeHandleTypes(Ok.get()).empty());
+
+  OwningOpRef Bad = makeScript(R"(
+    %bad = "transform.match.operation_name"(%root)
+      {op_names = ["memref.*", "scf.for"]}
+      : (!transform.any_op) -> (!transform.op<"scf.while">)
+  )");
+  ASSERT_TRUE(Bad);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Bad.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("not covered"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, TypeAnalysisChecksForeachBodyBinding) {
+  OwningOpRef Script = makeScript(R"(
+    %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+      : (!transform.any_op) -> (!transform.op<"scf.for">)
+    "transform.foreach"(%loops) ({
+    ^bb0(%loop: !transform.op<"memref.load">):
+      "transform.yield"() : () -> ()
+    }) : (!transform.op<"scf.for">) -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("incompatible handle types"),
+            std::string::npos);
+}
+
 TEST_F(AnalysisTest, IncludeCycleDetection) {
   OwningOpRef Script = parseSourceString(Ctx, R"(
     "builtin.module"() ({

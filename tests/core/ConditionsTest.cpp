@@ -9,6 +9,7 @@
 #include "core/Transform.h"
 #include "dialect/Dialects.h"
 #include "ir/Builder.h"
+#include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "pass/Pass.h"
 
@@ -246,6 +247,73 @@ TEST_F(ConditionsTest, DynamicContractCheckAcceptsCorrectContract) {
       runPassWithDynamicContractCheck("convert-scf-to-cf", *Contract, Func);
   ASSERT_TRUE(succeeded(Result));
   EXPECT_EQ(*Result, "");
+}
+
+TEST_F(ConditionsTest, TypedHandleContradictsContractPre) {
+  // A contracted lowering transform applied through a typed handle whose
+  // op name can never satisfy the contract's pre-condition: visible from
+  // the script types alone, no payload needed.
+  OwningOpRef Script = parseSourceString(Ctx, R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %mm = "transform.match.op"(%root) {op_name = "linalg.matmul"}
+        : (!transform.any_op) -> (!transform.op<"linalg.matmul">)
+      %l = "transform.convert_scf_to_cf"(%mm)
+        : (!transform.op<"linalg.matmul">) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  AbstractOpSet Initial =
+      AbstractOpSet::fromNames({"linalg.matmul", "scf.for", "func.func"});
+  std::vector<PipelineCheckIssue> Issues = checkTransformScript(
+      Script.get(), Initial,
+      {"linalg.*", "scf.*", "func.*", "cf.*", "arith.*", "cast"});
+  bool FoundTyped = false;
+  for (const PipelineCheckIssue &Issue : Issues)
+    FoundTyped |=
+        Issue.Message.find("can never satisfy the pre-condition") !=
+        std::string::npos;
+  EXPECT_TRUE(FoundTyped);
+
+  // A handle to a region-bearing container may satisfy the pre-condition
+  // through nested ops, so it must NOT be flagged from its type alone.
+  OwningOpRef Container = parseSourceString(Ctx, R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %f = "transform.match.op"(%root) {op_name = "func.func"}
+        : (!transform.any_op) -> (!transform.op<"func.func">)
+      %l = "transform.convert_scf_to_cf"(%f)
+        : (!transform.op<"func.func">) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Container);
+  std::vector<PipelineCheckIssue> ContainerIssues = checkTransformScript(
+      Container.get(), AbstractOpSet::fromNames({"func.func", "scf.for"}),
+      {"scf.*", "func.*", "cf.*", "arith.*", "cast"});
+  for (const PipelineCheckIssue &Issue : ContainerIssues)
+    EXPECT_EQ(Issue.Message.find("can never satisfy"), std::string::npos)
+        << Issue.Message;
+
+  // The same script through an scf-typed handle is clean.
+  OwningOpRef Ok = parseSourceString(Ctx, R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      %l = "transform.convert_scf_to_cf"(%loops)
+        : (!transform.op<"scf.for">) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Ok);
+  Issues = checkTransformScript(
+      Ok.get(), AbstractOpSet::fromNames({"scf.for", "func.func"}),
+      {"scf.*", "func.*", "cf.*", "arith.*", "cast"});
+  for (const PipelineCheckIssue &Issue : Issues)
+    EXPECT_EQ(Issue.Message.find("can never satisfy"), std::string::npos)
+        << Issue.Message;
 }
 
 TEST_F(ConditionsTest, PhaseOrderingViolationDetected) {

@@ -879,6 +879,334 @@ TEST_F(ForeachMatchTest, MissingRootOperandIsDefiniteError) {
   EXPECT_TRUE(Capture.contains("requires a root handle operand"));
 }
 
+//===----------------------------------------------------------------------===//
+// Typed handles (!transform.op<"...">) and transform.cast
+//===----------------------------------------------------------------------===//
+
+TEST_F(ForeachMatchTest, TypedHandlesRunEndToEnd) {
+  // Fig. 1a-style typing: the matcher declares its candidate and yield as
+  // !transform.op<"scf.for">, the action consumes the same type. The script
+  // parses, type-checks, and runs through foreach_match.
+  OwningOpRef Payload = makePayload();
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.op<"scf.for">):
+      "transform.annotate"(%loop) {name = "typed_loop"}
+        : (!transform.op<"scf.for">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "mark_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %updated = "transform.foreach_match"(%root)
+        {matchers = [@is_loop], actions = [@mark_loop]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Payload);
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(analyzeHandleTypes(Script.get()).empty());
+  TransformInterpreter Interp(Payload.get(), Script.get());
+  EXPECT_TRUE(succeeded(Interp.run()));
+  EXPECT_EQ(countAttr(Payload.get(), "typed_loop"), 2);
+  // The declared !transform.op<"scf.for"> type doubles as a dispatch
+  // prefilter: only the two scf.for candidates enter the matcher at all.
+  EXPECT_EQ(Interp.NumMatcherInvocations, 2);
+}
+
+TEST_F(ForeachMatchTest, TypedYieldMismatchIsRejectedStatically) {
+  OwningOpRef Payload = makePayload();
+  // The matcher yields a handle typed op<"scf.for">; the action demands
+  // op<"memref.load">. Rejected before interpretation, payload untouched.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%load: !transform.op<"memref.load">):
+      "transform.annotate"(%load) {name = "oops"}
+        : (!transform.op<"memref.load">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "mark_load"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %updated = "transform.foreach_match"(%root)
+        {matchers = [@is_loop], actions = [@mark_load]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  EXPECT_FALSE(analyzeHandleTypes(Script.get()).empty());
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("ill-typed transform script"));
+  EXPECT_EQ(countAttr(Payload.get(), "oops"), 0);
+}
+
+TEST_F(ForeachMatchTest, NarrowingWithoutCastIsRejectedStatically) {
+  OwningOpRef Payload = makePayload();
+  // any_op flowing into a typed action argument needs an explicit cast.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"(%op) : (!transform.any_op) -> ()
+    }) {sym_name = "anything"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.op<"scf.for">):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "wants_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %updated = "transform.foreach_match"(%root)
+        {matchers = [@anything], actions = [@wants_loop]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("transform.cast"));
+}
+
+TEST_F(ForeachMatchTest, CastFailureInMatcherIsSilentNonMatch) {
+  OwningOpRef Payload = makePayload();
+  // The matcher accepts any candidate and narrows via transform.cast; the
+  // cast fails silenceably for every non-loop op, which foreach_match
+  // reads as "no match" — only the two loops reach the action.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %loop = "transform.cast"(%op)
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      "transform.yield"(%loop) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "narrow_to_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.op<"scf.for">):
+      "transform.annotate"(%loop) {name = "narrowed"}
+        : (!transform.op<"scf.for">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "mark"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %updated = "transform.foreach_match"(%root)
+        {matchers = [@narrow_to_loop], actions = [@mark]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(analyzeHandleTypes(Script.get()).empty());
+  EXPECT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_EQ(countAttr(Payload.get(), "narrowed"), 2);
+  Payload->walk([&](Operation *Op) {
+    if (Op->hasAttr("narrowed")) {
+      EXPECT_EQ(Op->getName(), "scf.for");
+    }
+  });
+}
+
+TEST_F(ForeachMatchTest, CastFailureAtTopLevelIsSilenceable) {
+  OwningOpRef Payload = makePayload();
+  // Outside a matcher the failed narrowing surfaces as an ordinary
+  // silenceable failure (error by default, warning when suppressed).
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loads = "transform.match.op"(%root) {op_name = "memref.load"}
+        : (!transform.any_op) -> (!transform.any_op)
+      %bad = "transform.cast"(%loads)
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(analyzeHandleTypes(Script.get()).empty());
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("does not satisfy"));
+
+  OwningOpRef Payload2 = makePayload();
+  TransformOptions Options;
+  Options.FailOnSilenceable = false;
+  EXPECT_TRUE(
+      succeeded(applyTransforms(Payload2.get(), Script.get(), Options)));
+}
+
+TEST_F(ForeachMatchTest, ImpossibleCastIsRejectedStatically) {
+  OwningOpRef Payload = makePayload();
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      %bad = "transform.cast"(%loops)
+        : (!transform.op<"scf.for">) -> (!transform.op<"memref.load">)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("impossible transform.cast"),
+            std::string::npos);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("can never succeed"));
+}
+
+TEST_F(ForeachMatchTest, HandleConsumedAsParamIsRejectedStatically) {
+  OwningOpRef Payload = makePayload();
+  // transform.assert wants a !transform.param; feeding it a typed handle
+  // is a kind error caught before interpretation.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      "transform.assert"(%loops) {message = "not a param"}
+        : (!transform.op<"scf.for">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("expects a parameter"), std::string::npos);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("ill-typed transform script"));
+}
+
+TEST_F(ForeachMatchTest, ParamIntoMatcherCandidateIsRejected) {
+  OwningOpRef Payload = makePayload();
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%p: !transform.param):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "param_matcher"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "noop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@param_matcher], actions = [@noop]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("ill-typed transform script"));
+}
+
+TEST_F(ForeachMatchTest, TypedEntryArgumentMustMatchPayloadRoot) {
+  // Binding the payload root to the entry argument is itself a narrowing:
+  // a root-typed entry against a module payload must be rejected, not
+  // silently bound through a false-typed handle.
+  OwningOpRef Payload = makePayload();
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.op<"scf.for">):
+      "transform.annotate"(%root) {name = "false_premise"}
+        : (!transform.op<"scf.for">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("does not match the payload root"));
+  EXPECT_EQ(countAttr(Payload.get(), "false_premise"), 0);
+}
+
+TEST_F(ForeachMatchTest, ValueHandleMatcherArgumentIsRejectedStatically) {
+  // The static check must agree with the interpreter: a matcher candidate
+  // declared as a value handle is ill-typed before interpretation, not a
+  // mid-flight definite error.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%v: !transform.any_value):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "value_matcher"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "noop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@value_matcher], actions = [@noop]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  // The bad candidate type also poisons the forwarded-yield check, so
+  // expect at least the argument-kind issue.
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_NE(Issues[0].Message.find("must take an op handle"),
+            std::string::npos);
+}
+
+TEST_F(ForeachMatchTest, TypedMatchResultContradictionIsRejected) {
+  OwningOpRef Payload = makePayload();
+  // The declared result type promises scf.for but the op matches loads.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %lie = "transform.match.op"(%root) {op_name = "memref.load"}
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("contradicts"), std::string::npos);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+}
+
+TEST_F(ForeachMatchTest, TypedYieldIntoTypedForeachMatchResult) {
+  // Typed action yields flow into typed foreach_match results; a mismatch
+  // there is also caught statically.
+  OwningOpRef Payload = makePayload();
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.op<"scf.for">):
+      "transform.yield"(%loop) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "forward_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u, %loops = "transform.foreach_match"(%root)
+        {matchers = [@is_loop], actions = [@forward_loop], flatten_results}
+        : (!transform.any_op)
+        -> (!transform.any_op, !transform.op<"memref.load">)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("foreach_match result"),
+            std::string::npos);
+}
+
 TEST_F(ForeachMatchTest, MismatchedPairArraysAreRejected) {
   OwningOpRef Payload = makePayload();
   Ctx.setAllowUnregisteredOps(true);

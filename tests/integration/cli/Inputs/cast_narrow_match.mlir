@@ -1,0 +1,24 @@
+// The matcher takes any candidate and narrows it with transform.cast; a
+// failed narrowing is a *silenceable* failure, which foreach_match reads
+// as "no match" — so the walk quietly skips every non-loop op.
+"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.any_op):
+    %loop = "transform.cast"(%op)
+      : (!transform.any_op) -> (!transform.op<"scf.for">)
+    "transform.yield"(%loop) : (!transform.op<"scf.for">) -> ()
+  }) {sym_name = "narrow_to_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%loop: !transform.op<"scf.for">):
+    "transform.annotate"(%loop) {name = "narrowed_loop"}
+      : (!transform.op<"scf.for">) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "mark_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %updated = "transform.foreach_match"(%root)
+      {matchers = [@narrow_to_loop], actions = [@mark_loop]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

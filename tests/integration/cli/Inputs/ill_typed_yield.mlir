@@ -1,0 +1,22 @@
+// Deliberately ill-typed: the matcher yields a !transform.op<"linalg.matmul">
+// handle into an action that demands !transform.op<"scf.for">. Rejected by
+// the static type check before any payload op is touched.
+"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%mm: !transform.op<"linalg.matmul">):
+    "transform.yield"(%mm) : (!transform.op<"linalg.matmul">) -> ()
+  }) {sym_name = "is_matmul"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%loop: !transform.op<"scf.for">):
+    "transform.annotate"(%loop) {name = "never_reached"}
+      : (!transform.op<"scf.for">) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "wants_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %updated = "transform.foreach_match"(%root)
+      {matchers = [@is_matmul], actions = [@wants_loop]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

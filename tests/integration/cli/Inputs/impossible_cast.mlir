@@ -1,0 +1,10 @@
+// A transform.cast between two different !transform.op<"..."> types can
+// never succeed at runtime; --check-types reports it statically.
+"transform.named_sequence"() ({
+^bb0(%root: !transform.any_op):
+  %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+    : (!transform.any_op) -> (!transform.op<"scf.for">)
+  %bad = "transform.cast"(%loops)
+    : (!transform.op<"scf.for">) -> (!transform.op<"memref.load">)
+  "transform.yield"() : () -> ()
+}) {sym_name = "__transform_main"} : () -> ()

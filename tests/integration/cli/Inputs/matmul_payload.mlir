@@ -1,0 +1,10 @@
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%a: memref<64x64xf64>, %b: memref<64x64xf64>, %c: memref<64x64xf64>):
+    "linalg.matmul"(%a, %b, %c) {num_inputs = 2 : i64}
+      : (memref<64x64xf64>, memref<64x64xf64>, memref<64x64xf64>) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "mm",
+      function_type = (memref<64x64xf64>, memref<64x64xf64>,
+                       memref<64x64xf64>) -> ()} : () -> ()
+}) : () -> ()

@@ -1,0 +1,23 @@
+// Fig. 1a-style statically typed handles: the matcher declares its
+// candidate as !transform.op<"linalg.matmul">, so only matmuls ever reach
+// it (the type doubles as the dispatch prefilter) and the action's
+// signature is checked against the matcher's yield before anything runs.
+"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%mm: !transform.op<"linalg.matmul">):
+    "transform.yield"(%mm) : (!transform.op<"linalg.matmul">) -> ()
+  }) {sym_name = "is_matmul"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%mm: !transform.op<"linalg.matmul">):
+    "transform.annotate"(%mm) {name = "typed_matmul"}
+      : (!transform.op<"linalg.matmul">) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "mark_matmul"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %updated = "transform.foreach_match"(%root)
+      {matchers = [@is_matmul], actions = [@mark_matmul]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

@@ -122,6 +122,12 @@ TEST_F(ParserPrinterTest, TransformTypesParse) {
     ^bb0(%root: !transform.any_op):
       %loops = "transform.match.op"(%root) {op_name = "scf.for"}
         : (!transform.any_op) -> (!transform.op<"scf.for">)
+      %casted = "transform.cast"(%loops)
+        : (!transform.op<"scf.for">) -> (!transform.any_op)
+      %v = "transform.get_value"(%casted)
+        : (!transform.any_op) -> (!transform.any_value)
+      %p = "transform.param.constant"() {value = 4 : index}
+        : () -> (!transform.param)
       "transform.yield"() : () -> ()
     }) {sym_name = "main"} : () -> ()
   )");

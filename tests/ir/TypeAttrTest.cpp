@@ -84,6 +84,31 @@ TEST_F(TypeAttrTest, TransformTypes) {
   EXPECT_EQ(ForHandle.getOpName(), "scf.for");
   EXPECT_EQ(ForHandle.str(), "!transform.op<\"scf.for\">");
   EXPECT_FALSE(isTransformType(IndexType::get(Ctx)));
+
+  Type AnyValue = TransformAnyValueType::get(Ctx);
+  EXPECT_TRUE(isTransformType(AnyValue));
+  EXPECT_FALSE(isTransformHandleType(AnyValue));
+  EXPECT_EQ(AnyValue.str(), "!transform.any_value");
+}
+
+TEST_F(TypeAttrTest, ImplicitHandleConversion) {
+  Type AnyOp = TransformAnyOpType::get(Ctx);
+  Type ForHandle = TransformOpType::get(Ctx, "scf.for");
+  Type LoadHandle = TransformOpType::get(Ctx, "memref.load");
+  Type Param = TransformParamType::get(Ctx);
+
+  // Identity and widening are implicit.
+  EXPECT_TRUE(isImplicitHandleConversion(AnyOp, AnyOp));
+  EXPECT_TRUE(isImplicitHandleConversion(ForHandle, ForHandle));
+  EXPECT_TRUE(isImplicitHandleConversion(ForHandle, AnyOp));
+  // Narrowing and crossing need an explicit transform.cast.
+  EXPECT_FALSE(isImplicitHandleConversion(AnyOp, ForHandle));
+  EXPECT_FALSE(isImplicitHandleConversion(ForHandle, LoadHandle));
+  // Params and non-transform types never convert to handles.
+  EXPECT_FALSE(isImplicitHandleConversion(Param, AnyOp));
+  EXPECT_FALSE(isImplicitHandleConversion(AnyOp, Param));
+  EXPECT_FALSE(isImplicitHandleConversion(IndexType::get(Ctx), AnyOp));
+  EXPECT_FALSE(isImplicitHandleConversion(Type(), AnyOp));
 }
 
 TEST_F(TypeAttrTest, AttributeUniquingAndValues) {

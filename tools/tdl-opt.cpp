@@ -51,6 +51,9 @@ int usage(const char *Argv0) {
          << "  --pass-pipeline=<pipeline>   run a textual pass pipeline\n"
          << "  --transform=<script.mlir>    interpret a transform script\n"
          << "  --check-invalidation         statically analyze the script\n"
+         << "  --check-types                statically type-check the script\n"
+         << "                               handles (also run before any\n"
+         << "                               interpretation)\n"
          << "  --check-pipeline=<p1,p2,..>  static pre/post-condition check\n"
          << "  --check-conditions           dynamic contract checks while\n"
          << "                               interpreting lowering transforms\n"
@@ -70,6 +73,7 @@ int main(int argc, char **argv) {
   std::string ScriptPath;
   std::string CheckPipeline;
   bool CheckInvalidation = false;
+  bool CheckTypes = false;
   bool CheckConditions = false;
   bool Verify = true;
   bool Quiet = false;
@@ -88,6 +92,8 @@ int main(int argc, char **argv) {
       continue;
     if (Arg == "--check-invalidation")
       CheckInvalidation = true;
+    else if (Arg == "--check-types")
+      CheckTypes = true;
     else if (Arg == "--check-conditions")
       CheckConditions = true;
     else if (Arg == "--no-verify")
@@ -157,6 +163,15 @@ int main(int argc, char **argv) {
     OwningOpRef Script = parseSourceString(Ctx, ScriptText, ScriptPath);
     if (!Script)
       return 1;
+    if (CheckTypes) {
+      std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+      for (const TypeCheckIssue &Issue : Issues)
+        outs() << "type: " << Issue.Message << "\n";
+      outs() << "static type check: " << (Issues.empty() ? "OK" : "ILL-TYPED")
+             << "\n";
+      if (!Issues.empty())
+        return 1;
+    }
     if (CheckInvalidation) {
       std::vector<InvalidationIssue> Issues =
           analyzeHandleInvalidation(Script.get());
