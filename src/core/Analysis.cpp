@@ -7,6 +7,7 @@
 #include "core/Analysis.h"
 
 #include "core/Conditions.h"
+#include "core/MatcherEngine.h"
 #include "core/Transform.h"
 #include "ir/SymbolTable.h"
 #include "support/STLExtras.h"
@@ -58,9 +59,11 @@ private:
 
       // Record result provenance.
       for (unsigned I = 0; I < Op->getNumResults(); ++I) {
-        int NestedIn = I < Def->ResultNestedInOperand.size()
-                           ? Def->ResultNestedInOperand[I]
-                           : -1;
+        int NestedIn = Def->AllResultsNestedInOperand >= 0
+                           ? Def->AllResultsNestedInOperand
+                           : (I < Def->ResultNestedInOperand.size()
+                                  ? Def->ResultNestedInOperand[I]
+                                  : -1);
         if (NestedIn >= 0 &&
             NestedIn < static_cast<int>(Op->getNumOperands()))
           Parent[Op->getResult(I).getImpl()] =
@@ -113,23 +116,10 @@ namespace {
 
 bool isParamType(Type Ty) { return Ty.isa<TransformParamType>(); }
 
-/// Resolves a named sequence the way the interpreter does: the script root
-/// itself or any symbol nested under it (library modules included).
-Operation *resolveSequence(Operation *ScriptRoot, std::string_view Name) {
-  if (getSymbolName(ScriptRoot) == Name)
-    return ScriptRoot;
-  return lookupSymbolRecursive(ScriptRoot, Name);
-}
-
-/// Reads a matcher/action reference (symbol or string attr); empty when the
-/// attribute has an unexpected kind (reported at runtime).
-std::string_view refName(Attribute Ref) {
-  if (SymbolRefAttr Sym = Ref.dyn_cast<SymbolRefAttr>())
-    return Sym.getValue();
-  if (StringAttr Str = Ref.dyn_cast<StringAttr>())
-    return Str.getValue();
-  return {};
-}
+// Matcher/action symbol resolution and reference decoding are shared with
+// the runtime (`resolveTransformSequence` / `transformSequenceRefName` in
+// MatcherEngine.h), so this analysis can never disagree with the
+// interpreter about which definition a reference means.
 
 class HandleTypeAnalysis {
 public:
@@ -202,6 +192,12 @@ private:
       break;
     case TransformTypeCheckSpecial::ForeachMatch:
       checkForeachMatch(Op);
+      break;
+    case TransformTypeCheckSpecial::CollectMatching:
+      checkCollectMatching(Op);
+      break;
+    case TransformTypeCheckSpecial::ApplyPatterns:
+      checkApplyPatterns(Op);
       break;
     }
   }
@@ -297,7 +293,7 @@ private:
     SymbolRefAttr Callee = Op->getAttrOfType<SymbolRefAttr>("callee");
     if (!Callee)
       return;
-    Operation *Target = resolveSequence(ScriptRoot, Callee.getValue());
+    Operation *Target = resolveTransformSequence(ScriptRoot, Callee.getValue());
     if (!Target || Target->getNumRegions() != 1 ||
         Target->getRegion(0).empty())
       return; // unresolved / malformed: reported at runtime
@@ -339,39 +335,25 @@ private:
     if (!Matchers || !Actions || Matchers.size() != Actions.size())
       return; // structural breakage: reported at runtime
     for (size_t P = 0; P < Matchers.size(); ++P) {
-      std::string_view MatcherName = refName(Matchers[P]);
-      std::string_view ActionName = refName(Actions[P]);
+      std::string_view MatcherName = transformSequenceRefName(Matchers[P]);
+      std::string_view ActionName = transformSequenceRefName(Actions[P]);
       Operation *Matcher =
           MatcherName.empty() ? nullptr
-                              : resolveSequence(ScriptRoot, MatcherName);
+                              : resolveTransformSequence(ScriptRoot, MatcherName);
       Operation *Action =
           ActionName.empty() ? nullptr
-                             : resolveSequence(ScriptRoot, ActionName);
+                             : resolveTransformSequence(ScriptRoot, ActionName);
       if (!Matcher || !Action || Matcher->getNumRegions() != 1 ||
           Matcher->getRegion(0).empty() || Action->getNumRegions() != 1 ||
           Action->getRegion(0).empty())
         continue;
-      Block &MatcherBody = Matcher->getRegion(0).front();
       Block &ActionBody = Action->getRegion(0).front();
-      if (MatcherBody.getNumArguments() < 1)
-        continue;
-      Type CandidateTy = MatcherBody.getArgument(0).getType();
-      if (!isTransformHandleType(CandidateTy))
-        report(Op, "matcher '@" + std::string(MatcherName) +
-                       "' must take an op handle for its candidate, not '" +
-                       CandidateTy.str() + "'");
 
-      // Forwarded types: the matcher's yield operands, or the candidate
-      // itself for an operand-less yield.
-      Operation *Yield = MatcherBody.getTerminator();
+      // Candidate shape and forwarded types (the matcher's yield operands,
+      // or the candidate itself for an operand-less yield).
       std::vector<Type> Forwarded;
-      if (Yield && Yield->getName() == "transform.yield" &&
-          Yield->getNumOperands() > 0) {
-        for (Value V : Yield->getOperands())
-          Forwarded.push_back(V.getType());
-      } else {
-        Forwarded.push_back(CandidateTy);
-      }
+      if (!checkMatcherShape(Op, "foreach_match", MatcherName, Forwarded))
+        continue;
       // Arity mismatches are reported (payload-independently) by the
       // interpreter's own up-front validation; only check types here.
       if (ActionBody.getNumArguments() != Forwarded.size())
@@ -398,6 +380,85 @@ private:
                   "action '@" + std::string(ActionName) + "' yield " +
                       std::to_string(I) + " into foreach_match result " +
                       std::to_string(I + 1));
+    }
+  }
+
+  /// Returns the matcher's candidate type and statically forwarded types
+  /// (yield operands, or the candidate itself for an operand-less yield)
+  /// after checking the candidate is an op handle; null candidate type when
+  /// the matcher is unresolved or malformed (reported at runtime).
+  Type checkMatcherShape(Operation *Op, std::string_view Driver,
+                         std::string_view MatcherName,
+                         std::vector<Type> &Forwarded) {
+    Operation *Matcher =
+        MatcherName.empty()
+            ? nullptr
+            : resolveTransformSequence(ScriptRoot, MatcherName);
+    if (!Matcher || Matcher->getNumRegions() != 1 ||
+        Matcher->getRegion(0).empty() ||
+        Matcher->getRegion(0).front().getNumArguments() < 1)
+      return Type();
+    Block &MatcherBody = Matcher->getRegion(0).front();
+    Type CandidateTy = MatcherBody.getArgument(0).getType();
+    if (!isTransformHandleType(CandidateTy))
+      report(Op, MatchDiag(Driver)
+                     .seq("matcher", MatcherName)
+                     .text("must take an op handle for its candidate, not '" +
+                           CandidateTy.str() + "'"));
+    Operation *Yield = MatcherBody.getTerminator();
+    if (Yield && Yield->getName() == "transform.yield" &&
+        Yield->getNumOperands() > 0) {
+      for (Value V : Yield->getOperands())
+        Forwarded.push_back(V.getType());
+    } else {
+      Forwarded.push_back(CandidateTy);
+    }
+    return CandidateTy;
+  }
+
+  /// collect_matching: the matcher's forwarded types must flow into the
+  /// declared result types (the arity itself is the runtime's
+  /// payload-independent error to report).
+  void checkCollectMatching(Operation *Op) {
+    Attribute Ref = Op->getAttr("matcher");
+    if (!Ref)
+      return; // missing reference: reported at runtime
+    std::string_view MatcherName = transformSequenceRefName(Ref);
+    std::vector<Type> Forwarded;
+    if (!checkMatcherShape(Op, "collect_matching", MatcherName, Forwarded))
+      return;
+    if (Op->getNumResults() != Forwarded.size())
+      return;
+    for (unsigned I = 0; I < Op->getNumResults(); ++I)
+      checkFlow(Op, Forwarded[I], Op->getResult(I).getType(),
+                MatchDiag("collect_matching")
+                    .seq("matcher", MatcherName)
+                    .str() +
+                    " yield " + std::to_string(I) + " into result " +
+                    std::to_string(I));
+  }
+
+  /// apply_patterns: named pattern sets (flat or match-driven form) must
+  /// exist in the registry — sets are registered at dialect-setup time,
+  /// before any analysis runs — and the match-driven form's matchers must
+  /// be well-shaped.
+  void checkApplyPatterns(Operation *Op) {
+    ArrayAttr Sets = Op->getAttrOfType<ArrayAttr>("pattern_sets");
+    if (ArrayAttr Matchers = Op->getAttrOfType<ArrayAttr>("matchers")) {
+      if (!Sets || Sets.size() != Matchers.size())
+        return; // structural breakage: reported at runtime
+      for (size_t P = 0; P < Matchers.size(); ++P) {
+        std::vector<Type> Forwarded;
+        checkMatcherShape(Op, "apply_patterns",
+                          transformSequenceRefName(Matchers[P]), Forwarded);
+      }
+    }
+    if (!Sets)
+      return; // region-only form: nothing beyond operand kinds to check
+    for (Attribute SetRef : Sets.getValue()) {
+      StringAttr SetName = SetRef.dyn_cast<StringAttr>();
+      if (SetName && !lookupNamedPatternSet(SetName.getValue()))
+        report(Op, unknownPatternSetMessage(SetName.getValue()));
     }
   }
 
@@ -432,9 +493,7 @@ bool hasCycleFrom(Operation *Sequence, Operation *ScriptRoot,
     if (!Callee)
       return;
     Operation *Target =
-        getSymbolName(ScriptRoot) == Callee.getValue()
-            ? ScriptRoot
-            : lookupSymbolRecursive(ScriptRoot, Callee.getValue());
+        resolveTransformSequence(ScriptRoot, Callee.getValue());
     if (Target && hasCycleFrom(Target, ScriptRoot, Stack, Done))
       Cycle = true;
   });
@@ -484,9 +543,7 @@ LogicalResult tdl::inlineIncludes(Operation *ScriptRoot) {
 
     SymbolRefAttr Callee = Include->getAttrOfType<SymbolRefAttr>("callee");
     Operation *Target =
-        Callee ? (getSymbolName(ScriptRoot) == Callee.getValue()
-                      ? ScriptRoot
-                      : lookupSymbolRecursive(ScriptRoot, Callee.getValue()))
+        Callee ? resolveTransformSequence(ScriptRoot, Callee.getValue())
                : nullptr;
     if (!Target || Target->getNumRegions() == 0 ||
         Target->getRegion(0).empty())

@@ -1,0 +1,536 @@
+//===- MatcherEngine.cpp - Reusable match/commit matcher engine -----------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MatcherEngine.h"
+
+#include "ir/SymbolTable.h"
+
+#include <thread>
+
+using namespace tdl;
+
+using DSF = DiagnosedSilenceableFailure;
+
+//===----------------------------------------------------------------------===//
+// Shared symbol resolution
+//===----------------------------------------------------------------------===//
+
+Operation *tdl::resolveTransformSequence(Operation *ScriptRoot,
+                                         std::string_view Name) {
+  if (!ScriptRoot || Name.empty())
+    return nullptr;
+  if (getSymbolName(ScriptRoot) == Name)
+    return ScriptRoot;
+  return lookupSymbolRecursive(ScriptRoot, Name);
+}
+
+std::string_view tdl::transformSequenceRefName(Attribute Ref) {
+  if (SymbolRefAttr Sym = Ref.dyn_cast<SymbolRefAttr>())
+    return Sym.getValue();
+  if (StringAttr Str = Ref.dyn_cast<StringAttr>())
+    return Str.getValue();
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// MatchDiag
+//===----------------------------------------------------------------------===//
+
+MatchDiag &MatchDiag::seq(std::string_view Role, Operation *SequenceOp) {
+  return seq(Role, SequenceOp ? getSymbolName(SequenceOp)
+                              : std::string_view());
+}
+
+MatchDiag &MatchDiag::seq(std::string_view Role, std::string_view SymbolName) {
+  Message += ' ';
+  Message += Role;
+  Message += " '@";
+  Message += SymbolName;
+  Message += '\'';
+  return *this;
+}
+
+MatchDiag &MatchDiag::payload(Operation *PayloadOp) {
+  return PayloadOp ? payload(PayloadOp->getName()) : *this;
+}
+
+MatchDiag &MatchDiag::payload(std::string_view OpName) {
+  Message += " on payload op '";
+  Message += OpName;
+  Message += '\'';
+  return *this;
+}
+
+MatchDiag &MatchDiag::text(std::string_view Detail) {
+  Message += ": ";
+  Message += Detail;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Pair registration
+//===----------------------------------------------------------------------===//
+
+MatcherEngine::MatcherEngine(TransformInterpreter &Interp, Operation *DriverOp,
+                             std::string_view DriverName)
+    : Interp(Interp), DriverOp(DriverOp), DriverName(DriverName) {}
+
+std::string MatcherEngine::describeForwardingMismatch(Type Produced,
+                                                      std::string_view SlotDesc,
+                                                      Type Expected) {
+  bool ProducedParam = Produced.isa<TransformParamType>();
+  bool ExpectedParam = Expected.isa<TransformParamType>();
+  if (ProducedParam != ExpectedParam)
+    return std::string(SlotDesc) + " mixes a parameter with a handle ('" +
+           Produced.str() + "' into '" + Expected.str() + "')";
+  if (!ProducedParam && !isImplicitHandleConversion(Produced, Expected))
+    return "matcher yields '" + Produced.str() + "' but " +
+           std::string(SlotDesc) + " expects '" + Expected.str() +
+           "'; insert an explicit transform.cast in the matcher";
+  return {};
+}
+
+MatcherEngine::~MatcherEngine() {
+  TransformState &State = Interp.getState();
+  for (std::unique_ptr<ValueImpl> &Pin : Pins)
+    State.forget(Value(Pin.get()));
+  // Action bodies were bound in the driver's state during commit; matcher
+  // bodies only ever bind into scratch states, which are already gone.
+  std::set<Operation *> Cleaned;
+  for (Pair &P : Pairs) {
+    if (!P.Action || !Cleaned.insert(P.Action).second)
+      continue;
+    Block &Entry = P.Action->getRegion(0).front();
+    for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
+      State.forget(Entry.getArgument(I));
+    P.Action->walk([&](Operation *BodyOp) {
+      for (unsigned R = 0; R < BodyOp->getNumResults(); ++R)
+        State.forget(BodyOp->getResult(R));
+    });
+  }
+}
+
+DSF MatcherEngine::addPair(Attribute MatcherRef, Attribute ActionRef) {
+  auto Resolve = [&](Attribute Ref, std::string_view Role,
+                     Operation *&SeqOut) -> DSF {
+    std::string_view Name = transformSequenceRefName(Ref);
+    if (Name.empty())
+      return DSF::definite(MatchDiag(DriverName).text(
+          "matcher/action references must be symbol or string attrs"));
+    Operation *Seq = resolveTransformSequence(Interp.getScriptRoot(), Name);
+    if (!Seq)
+      return DSF::definite(MatchDiag(DriverName).text(
+          "unknown named sequence '@" + std::string(Name) + "'"));
+    if (Seq->getNumRegions() != 1 || Seq->getRegion(0).empty() ||
+        Seq->getRegion(0).front().getNumArguments() < 1)
+      return DSF::definite(
+          MatchDiag(DriverName)
+              .seq(Role, Seq)
+              .text("needs a body with at least one argument"));
+    SeqOut = Seq;
+    return DSF::success();
+  };
+
+  Pair NewPair;
+  DSF Resolved = Resolve(MatcherRef, "matcher", NewPair.Matcher);
+  if (!Resolved.succeeded())
+    return Resolved;
+  if (ActionRef) {
+    Resolved = Resolve(ActionRef, "action", NewPair.Action);
+    if (!Resolved.succeeded())
+      return Resolved;
+  }
+
+  // Statically reject shapes that could never match or would only fail
+  // mid-walk: the walk binds exactly one matcher argument, the matcher's
+  // (static) yield count must line up with the action's arguments, and the
+  // declared handle types must be compatible.
+  Block &MatcherBody = NewPair.Matcher->getRegion(0).front();
+  if (MatcherBody.getNumArguments() != 1)
+    return DSF::definite(
+        MatchDiag(DriverName)
+            .seq("matcher", NewPair.Matcher)
+            .text("must take exactly one argument (the candidate op)"));
+  Type CandidateTy = MatcherBody.getArgument(0).getType();
+  if (!isTransformHandleType(CandidateTy))
+    return DSF::definite(MatchDiag(DriverName)
+                             .seq("matcher", NewPair.Matcher)
+                             .text("must take an op handle, not '" +
+                                   CandidateTy.str() + "'"));
+
+  // An operand-less yield forwards the candidate itself.
+  Operation *MatcherYield = MatcherBody.getTerminator();
+  bool YieldsOperands = MatcherYield &&
+                        MatcherYield->getName() == "transform.yield" &&
+                        MatcherYield->getNumOperands() > 0;
+  if (YieldsOperands)
+    for (Value V : MatcherYield->getOperands())
+      NewPair.ForwardedTypes.push_back(V.getType());
+  else
+    NewPair.ForwardedTypes.push_back(CandidateTy);
+
+  if (NewPair.Action) {
+    Block &ActionEntry = NewPair.Action->getRegion(0).front();
+    if (ActionEntry.getNumArguments() != NewPair.ForwardedTypes.size())
+      return DSF::definite(
+          MatchDiag(DriverName)
+              .seq("matcher", NewPair.Matcher)
+              .seq("action", NewPair.Action)
+              .text("action expects " +
+                    std::to_string(ActionEntry.getNumArguments()) +
+                    " arguments but the matcher forwards " +
+                    std::to_string(NewPair.ForwardedTypes.size())));
+    for (size_t S = 0; S < NewPair.ForwardedTypes.size(); ++S) {
+      std::string Mismatch = describeForwardingMismatch(
+          NewPair.ForwardedTypes[S], "action argument " + std::to_string(S),
+          ActionEntry.getArgument(S).getType());
+      if (!Mismatch.empty())
+        return DSF::definite(MatchDiag(DriverName)
+                                 .seq("matcher", NewPair.Matcher)
+                                 .seq("action", NewPair.Action)
+                                 .text(Mismatch));
+    }
+  }
+
+  // A typed candidate argument admits only ops of that name: fold the
+  // declared type into the dispatch prefilter.
+  if (TransformOpType TypedArg = CandidateTy.dyn_cast<TransformOpType>())
+    NewPair.PrefilterConjuncts.push_back(
+        {OpSetElement::parse(TypedArg.getOpName())});
+  if (!MatcherBody.empty()) {
+    Operation *First = MatcherBody.front();
+    if (First->getName() == "transform.match.operation_name" &&
+        First->getNumOperands() >= 1 &&
+        First->getOperand(0) == MatcherBody.getArgument(0)) {
+      // Only install the prefilter for a fully well-formed name list;
+      // otherwise every candidate must reach the real op so its
+      // malformed-attribute error is reported payload-independently.
+      std::vector<OpSetElement> Elements;
+      if (succeeded(parseTransformOpNameElements(First, Elements)) &&
+          !Elements.empty())
+        NewPair.PrefilterConjuncts.push_back(std::move(Elements));
+    }
+  }
+
+  Pairs.push_back(std::move(NewPair));
+  return DSF::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Match phase
+//===----------------------------------------------------------------------===//
+
+DSF MatcherEngine::tryCandidate(TransformInterpreter &Scratch,
+                                ThreadDiagnosticCapture &Capture,
+                                Operation *Candidate,
+                                std::set<Operation *> &Visited,
+                                std::vector<Match> &Out,
+                                std::vector<Diagnostic> &ErrDiags) {
+  if (!Visited.insert(Candidate).second)
+    return DSF::success();
+  Context &Ctx = DriverOp->getContext();
+  for (size_t P = 0; P < Pairs.size(); ++P) {
+    const Pair &ThePair = Pairs[P];
+    bool Prefiltered = false;
+    for (const std::vector<OpSetElement> &Conjunct :
+         ThePair.PrefilterConjuncts) {
+      bool MayMatch = false;
+      for (const OpSetElement &Element : Conjunct)
+        if (Element.matches(Candidate->getName(), &Ctx)) {
+          MayMatch = true;
+          break;
+        }
+      if (!MayMatch) {
+        Prefiltered = true;
+        break;
+      }
+    }
+    if (Prefiltered)
+      continue;
+
+    Block &MatcherBody = ThePair.Matcher->getRegion(0).front();
+    Scratch.getState().setPayload(MatcherBody.getArgument(0), {Candidate});
+    ++Scratch.NumMatcherInvocations;
+    DSF MatchResult = DSF::success();
+    std::vector<Diagnostic> MatcherDiags;
+    {
+      TransformInterpreter::MatcherScope Scope(Scratch);
+      // Matcher failures are the expected "not this op" signal, so their
+      // diagnostics are silenced; diagnostics of a matcher that succeeds
+      // (or aborts) are replayed after the merge so
+      // transform.debug.emit_remark stays usable inside matchers. The
+      // worker's capture is per-thread (no race on the engine-wide
+      // handler) and reset per invocation.
+      Capture.clear();
+      MatchResult = Scratch.executeBlock(MatcherBody);
+      if (!MatchResult.isSilenceable())
+        MatcherDiags = Capture.takeDiagnostics();
+    }
+    if (MatchResult.isDefinite()) {
+      ErrDiags = std::move(MatcherDiags);
+      return MatchResult;
+    }
+    if (MatchResult.isSilenceable())
+      continue;
+
+    Match M;
+    M.PairIdx = P;
+    M.Candidate = Candidate;
+    M.MatcherDiags = std::move(MatcherDiags);
+    // The matcher's yield operands are forwarded to the commit phase; a
+    // yield without operands forwards the candidate itself. Values are
+    // recorded raw here (the phase is pure, nothing can invalidate them
+    // before commit pins them).
+    Operation *MatchYield = MatcherBody.getTerminator();
+    std::vector<Value> Forwarded;
+    if (MatchYield && MatchYield->getName() == "transform.yield")
+      Forwarded = MatchYield->getOperands();
+    if (Forwarded.empty()) {
+      ForwardedValue FV;
+      FV.Ops = {Candidate};
+      M.Values.push_back(std::move(FV));
+    } else {
+      for (Value V : Forwarded) {
+        ForwardedValue FV;
+        if (Scratch.getState().isParam(V)) {
+          FV.IsParam = true;
+          FV.Params = Scratch.getState().getParams(V);
+        } else {
+          FV.Ops = Scratch.getState().getPayloadOps(V);
+        }
+        M.Values.push_back(std::move(FV));
+      }
+    }
+    Out.push_back(std::move(M));
+    return DSF::success();
+  }
+  return DSF::success();
+}
+
+namespace {
+
+/// One independently walkable slice of the payload, in serial walk order:
+/// a root op alone, or a whole top-level subtree of a root. Decomposing
+/// `walkPre(Root)` into [Root] + one unit per top-level child preserves the
+/// exact pre-order candidate sequence while giving the sharded walk units
+/// it can distribute (per `func.func` for the usual module payload).
+struct WalkUnit {
+  Operation *Root = nullptr;
+  bool Recurse = false;
+};
+
+/// The first definite matcher failure a worker hit, with its position so
+/// the merge can reconstruct the serial failure point.
+struct WorkerOutcome {
+  size_t ErrorUnit = static_cast<size_t>(-1);
+  DiagnosedSilenceableFailure Error = DiagnosedSilenceableFailure::success();
+  std::vector<Diagnostic> ErrorDiags;
+};
+
+} // namespace
+
+DSF MatcherEngine::match(const std::vector<Operation *> &Roots,
+                         bool RestrictRoot, std::vector<Match> &Out) {
+  std::vector<WalkUnit> Units;
+  for (Operation *Root : Roots) {
+    Units.push_back({Root, false});
+    if (RestrictRoot)
+      continue;
+    for (unsigned R = 0; R < Root->getNumRegions(); ++R)
+      for (Block &B : Root->getRegion(R))
+        for (Operation *Child : B)
+          Units.push_back({Child, true});
+  }
+  if (Units.empty() || Pairs.empty())
+    return DSF::success();
+
+  unsigned NumShards = std::max(1u, Interp.getOptions().MatchShards);
+  NumShards = static_cast<unsigned>(
+      std::min<size_t>(NumShards, Units.size()));
+
+  // Per-unit match lists are written by exactly one worker each, so the
+  // sharded walk needs no locking; the merge below reassembles serial walk
+  // order deterministically from them.
+  std::vector<std::vector<Match>> PerUnit(Units.size());
+  std::vector<WorkerOutcome> Outcomes(NumShards);
+
+  Operation *PayloadRoot = Interp.getState().getPayloadRoot();
+  Operation *ScriptRoot = Interp.getScriptRoot();
+  TransformOptions ScratchOptions = Interp.getOptions();
+
+  auto RunWorker = [&](unsigned Shard, TransformInterpreter &Scratch) {
+    // Visited spans all of this worker's units: an op reachable from two of
+    // them (nested or duplicate roots) is offered once, like the serial
+    // walk; cross-worker duplicates are dropped at merge time.
+    std::set<Operation *> Visited;
+    // One capture per worker, reset per matcher invocation: the worker only
+    // reports diagnostics from inside matcher bodies, so keeping the
+    // capture installed across the whole walk is safe and avoids a
+    // handler swap per invocation.
+    ThreadDiagnosticCapture Capture;
+    // No cross-worker abort on a definite error: every unit below the
+    // merge's eventual stop point must be complete so the failure path
+    // replays exactly the diagnostics the serial walk would have emitted
+    // before the error. A worker processes its units in increasing order,
+    // so everything it owns below its own error point is already done; the
+    // wasted work in other workers is bounded by one (rare, fatal) error.
+    for (size_t U = Shard; U < Units.size(); U += NumShards) {
+      auto Offer = [&](Operation *Candidate) -> WalkResult {
+        std::vector<Diagnostic> ErrDiags;
+        DSF Result = tryCandidate(Scratch, Capture, Candidate, Visited,
+                                  PerUnit[U], ErrDiags);
+        if (Result.isDefinite()) {
+          Outcomes[Shard] = {U, std::move(Result), std::move(ErrDiags)};
+          return WalkResult::Interrupt;
+        }
+        return WalkResult::Advance;
+      };
+      if (!Units[U].Recurse) {
+        if (Offer(Units[U].Root) == WalkResult::Interrupt)
+          return;
+      } else if (Units[U].Root->walkPre(Offer) == WalkResult::Interrupt) {
+        return;
+      }
+    }
+  };
+
+  if (NumShards <= 1) {
+    // Serial walk, still against a scratch state: the driver's state never
+    // sees matcher-body bindings in either mode.
+    TransformInterpreter Scratch(PayloadRoot, ScriptRoot, ScratchOptions);
+    RunWorker(0, Scratch);
+    Interp.NumMatcherInvocations += Scratch.NumMatcherInvocations;
+    Interp.NumExecutedOps += Scratch.NumExecutedOps;
+  } else {
+    // Warm the per-OpInfo TransformOpDef cache for every op a matcher can
+    // execute: the lazy fill in lookupTransformOpDef is a benign-value but
+    // racy write under concurrency, and warming it here keeps the workers
+    // read-only on shared structures.
+    for (Pair &P : Pairs)
+      P.Matcher->walk([](Operation *Nested) {
+        if (Nested->getDialectName() == "transform")
+          (void)lookupTransformOpDef(Nested);
+      });
+    // Tracing interleaves arbitrarily across workers; keep it serial-only.
+    ScratchOptions.Trace = false;
+    std::vector<std::unique_ptr<TransformInterpreter>> Scratches;
+    for (unsigned S = 0; S < NumShards; ++S)
+      Scratches.push_back(std::make_unique<TransformInterpreter>(
+          PayloadRoot, ScriptRoot, ScratchOptions));
+    std::vector<std::thread> Workers;
+    Workers.reserve(NumShards);
+    for (unsigned S = 0; S < NumShards; ++S)
+      Workers.emplace_back([&, S] { RunWorker(S, *Scratches[S]); });
+    for (std::thread &Worker : Workers)
+      Worker.join();
+    for (std::unique_ptr<TransformInterpreter> &Scratch : Scratches) {
+      Interp.NumMatcherInvocations += Scratch->NumMatcherInvocations;
+      Interp.NumExecutedOps += Scratch->NumExecutedOps;
+    }
+  }
+
+  // Merge back into serial walk order. Ops reachable from more than one
+  // unit were offered once per owning worker; the earliest unit claims
+  // them, matching the serial visit-once rule (matchers are pure, so every
+  // worker saw the same outcome). Successful matchers' diagnostics are
+  // replayed here, in merged order.
+  size_t StopUnit = Units.size();
+  const WorkerOutcome *FirstError = nullptr;
+  for (const WorkerOutcome &Outcome : Outcomes)
+    if (Outcome.ErrorUnit < StopUnit) {
+      StopUnit = Outcome.ErrorUnit;
+      FirstError = &Outcome;
+    }
+  DiagnosticEngine &DiagEngine = DriverOp->getContext().getDiagEngine();
+  std::set<Operation *> Claimed;
+  for (size_t U = 0; U < Units.size() && U <= StopUnit; ++U) {
+    for (Match &M : PerUnit[U]) {
+      if (!Claimed.insert(M.Candidate).second)
+        continue;
+      for (const Diagnostic &Diag : M.MatcherDiags)
+        DiagEngine.report(Diag);
+      M.MatcherDiags.clear();
+      Out.push_back(std::move(M));
+    }
+  }
+  if (FirstError) {
+    for (const Diagnostic &Diag : FirstError->ErrorDiags)
+      DiagEngine.report(Diag);
+    return FirstError->Error;
+  }
+  return DSF::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Commit phase
+//===----------------------------------------------------------------------===//
+
+Value MatcherEngine::pin(std::vector<Operation *> Ops) {
+  auto Key = std::make_unique<ValueImpl>();
+  Key->Ty = TransformAnyOpType::get(DriverOp->getContext());
+  Value Handle(Key.get());
+  Interp.getState().setPayload(Handle, std::move(Ops));
+  Pins.push_back(std::move(Key));
+  return Handle;
+}
+
+DSF MatcherEngine::commit(
+    std::vector<Match> &Matches,
+    const std::function<DSF(const PinnedMatch &)> &Act) {
+  TransformState &State = Interp.getState();
+
+  // Pin every match before the first action runs: an early action may
+  // consume, erase, or replace ops of a later match, and only pinned
+  // handles are kept consistent by the tracking rules.
+  std::vector<PinnedMatch> Pinned;
+  Pinned.reserve(Matches.size());
+  for (Match &M : Matches) {
+    PinnedMatch PM;
+    PM.PairIdx = M.PairIdx;
+    PM.OriginalCandidate = M.Candidate;
+    PM.CandidateHandle = pin({M.Candidate});
+    for (ForwardedValue &FV : M.Values) {
+      PinnedSlot Slot;
+      if (FV.IsParam)
+        Slot.Params = std::move(FV.Params);
+      else
+        Slot.Handle = pin(std::move(FV.Ops));
+      PM.Slots.push_back(std::move(Slot));
+    }
+    Pinned.push_back(std::move(PM));
+  }
+
+  for (const PinnedMatch &PM : Pinned) {
+    // Skip when the candidate was consumed/erased, or replaced by an op
+    // the matcher never approved (tracking rewired the pin).
+    const std::vector<Operation *> &CandOps =
+        State.getPayloadOps(PM.CandidateHandle);
+    if (State.isInvalidated(PM.CandidateHandle) || CandOps.size() != 1 ||
+        CandOps[0] != PM.OriginalCandidate)
+      continue;
+    // Every forwarded op handle must still be live too: an earlier action
+    // may have consumed (invalidated) or erased ops a matcher yielded for
+    // this match even though the candidate itself survived. Such a match
+    // is stale; skip it rather than hand dangling/empty payload to the
+    // client.
+    bool SlotsLive = true;
+    for (const PinnedSlot &Slot : PM.Slots) {
+      if (!Slot.Handle)
+        continue;
+      if (State.isInvalidated(Slot.Handle) ||
+          State.getPayloadOps(Slot.Handle).empty()) {
+        SlotsLive = false;
+        break;
+      }
+    }
+    if (!SlotsLive)
+      continue;
+    DSF Result = Act(PM);
+    if (!Result.succeeded())
+      return Result;
+  }
+  return DSF::success();
+}

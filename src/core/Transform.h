@@ -89,12 +89,14 @@ enum class TransformValueKind : uint8_t {
 /// instead of a chain of name comparisons (the analysis runs on every
 /// interpreter start, so its constant factor matters).
 enum class TransformTypeCheckSpecial : uint8_t {
-  None,         ///< Only generic operand-kind checking.
-  Cast,         ///< transform.cast: shape + feasibility.
-  MatchName,    ///< match.op / match.operation_name: typed result vs names.
-  Include,      ///< transform.include: operands/results vs callee signature.
-  BodyBinding,  ///< sequence / foreach: operand 0 vs body argument 0.
-  ForeachMatch, ///< foreach_match: matcher/action/result signatures.
+  None,            ///< Only generic operand-kind checking.
+  Cast,            ///< transform.cast: shape + feasibility.
+  MatchName,       ///< match.op / match.operation_name: typed result vs names.
+  Include,         ///< transform.include: operands/results vs callee signature.
+  BodyBinding,     ///< sequence / foreach: operand 0 vs body argument 0.
+  ForeachMatch,    ///< foreach_match: matcher/action/result signatures.
+  CollectMatching, ///< collect_matching: matcher yields vs result types.
+  ApplyPatterns,   ///< apply_patterns: matcher/pattern-set pairing.
 };
 
 /// Runtime behavior of a transform op: which operands it consumes (a
@@ -117,6 +119,11 @@ struct TransformOpDef {
   /// for each result, the operand index whose payload the result is nested
   /// in, or -1 for fresh/disjoint payload.
   std::vector<int> ResultNestedInOperand;
+  /// When >= 0, *every* result (however many the op declares) is nested in
+  /// this operand's payload; overrides ResultNestedInOperand. For ops with
+  /// a dynamic result count (collect_matching), where a per-index table
+  /// cannot cover all positions.
+  int AllResultsNestedInOperand = -1;
   /// Whether the op is side-effect-free on payload IR and therefore legal
   /// inside `transform.foreach_match` matcher sequences. Ops that mutate,
   /// consume, or otherwise irreversibly touch payload must leave this false;
@@ -160,6 +167,17 @@ void registerTransformPatternOp(
 /// Returns the populate function for `transform.pattern.<name>`, or null.
 const std::function<void(PatternSet &)> *
 lookupTransformPatternOp(std::string_view Name);
+
+/// Resolves a pattern set by its short name (the `transform.pattern.<name>`
+/// registry entry without the prefix), or null. Shared by the runtime
+/// (`apply_patterns`) and the static analysis so set-name resolution can
+/// never drift between them.
+const std::function<void(PatternSet &)> *
+lookupNamedPatternSet(std::string_view Name);
+
+/// The diagnostic for an unresolved named pattern set, shared for the same
+/// reason.
+std::string unknownPatternSetMessage(std::string_view Name);
 
 //===----------------------------------------------------------------------===//
 // TransformState
@@ -239,6 +257,14 @@ struct TransformOptions {
   bool Trace = false;
   /// Treat a silenceable failure surviving to the top level as an error.
   bool FailOnSilenceable = true;
+  /// Number of worker threads for the MatcherEngine's payload walk
+  /// (foreach_match, collect_matching, match-driven apply_patterns). The
+  /// match phase is side-effect-free, so it shards per top-level child of
+  /// each root (one unit per `func.func` of a module payload) and merges
+  /// results back into serial walk order; output is byte-identical to the
+  /// single-threaded walk. 0 or 1 means serial. Actions always run
+  /// single-threaded in the commit phase.
+  unsigned MatchShards = 1;
 };
 
 /// Executes a transform script against a payload root.

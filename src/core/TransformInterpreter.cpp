@@ -7,6 +7,7 @@
 #include "core/Transform.h"
 
 #include "core/Analysis.h"
+#include "core/MatcherEngine.h"
 #include "dialect/Dialects.h"
 #include "ir/SymbolTable.h"
 #include "pass/Pass.h"
@@ -44,10 +45,13 @@ const TransformOpDef *tdl::lookupTransformOpDef(const Operation *Op) {
   if (const void *Cached = Info->TransformDefCache)
     return static_cast<const TransformOpDef *>(Cached);
   // Cache only successful lookups so a definition registered after the
-  // first probe (late dialect extension) is still picked up.
+  // first probe (late dialect extension) is still picked up — and so a
+  // failed probe never writes the shared cache slot (the sharded matcher
+  // walk warms this cache up front and relies on workers not writing it).
   const TransformOpDef *Def =
       TransformOpRegistry::instance().lookup(Op->getName());
-  Info->TransformDefCache = Def;
+  if (Def)
+    Info->TransformDefCache = Def;
   return Def;
 }
 
@@ -179,12 +183,10 @@ TransformInterpreter::TransformInterpreter(Operation *PayloadRoot,
 Operation *
 TransformInterpreter::lookupNamedSequence(std::string_view Name) const {
   // The script root may itself be the sequence, or a module holding it
-  // (possibly through nested library modules of matcher sequences).
-  if (getSymbolName(ScriptRoot) == Name)
-    return ScriptRoot;
-  if (Operation *Found = lookupSymbolRecursive(ScriptRoot, Name))
-    return Found;
-  return nullptr;
+  // (possibly through nested library modules of matcher sequences). One
+  // shared resolver serves the runtime and the static analyses, so the two
+  // can never disagree on which definition a reference means.
+  return resolveTransformSequence(ScriptRoot, Name);
 }
 
 LogicalResult TransformInterpreter::run() {

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Conditions.h"
+#include "core/MatcherEngine.h"
 #include "core/Transform.h"
 
 #include "dialect/Dialects.h"
@@ -58,6 +59,16 @@ tdl::lookupTransformPatternOp(std::string_view Name) {
   auto &Map = PatternOpRegistry::instance().Map;
   auto It = Map.find(Name);
   return It == Map.end() ? nullptr : &It->second;
+}
+
+const std::function<void(PatternSet &)> *
+tdl::lookupNamedPatternSet(std::string_view Name) {
+  return lookupTransformPatternOp("transform.pattern." + std::string(Name));
+}
+
+std::string tdl::unknownPatternSetMessage(std::string_view Name) {
+  return "unknown pattern set '" + std::string(Name) +
+         "'; register it with registerTransformPatternOp";
 }
 
 //===----------------------------------------------------------------------===//
@@ -160,451 +171,295 @@ tdl::parseTransformOpNameElements(Operation *Op,
 }
 
 //===----------------------------------------------------------------------===//
-// foreach_match engine
+// foreach_match: thin client of the MatcherEngine
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-/// One value forwarded from a matcher to its action: either a pinned
-/// op-handle (Key non-null) or a parameter list.
-struct ForwardedSlot {
-  std::unique_ptr<ValueImpl> Key;
-  std::vector<Attribute> Params;
-};
-
-/// A successful match recorded during the payload walk, applied after the
-/// walk completes. The matched candidate and all forwarded op handles are
-/// pinned under synthetic handles registered in the TransformState, so the
-/// interpreter's consumption/invalidation rules and the TrackingListener
-/// pathway keep them consistent while earlier actions rewrite payload.
-struct PendingMatch {
-  size_t PairIdx = 0;
-  /// The op the matcher approved; the action only runs if the pinned
-  /// handle still maps to exactly this op (a replacement was never seen by
-  /// the matcher).
-  Operation *OriginalCandidate = nullptr;
-  std::unique_ptr<ValueImpl> CandidateKey;
-  std::vector<ForwardedSlot> Slots;
-};
-
-/// Unregisters every synthetic pin (pending matches and per-root pins) and
-/// the matcher/action body bindings from the state on scope exit, so a
-/// completed foreach_match leaves no stale entries behind (the pins'
-/// ValueImpls die with the vectors; the body values are rebound on the
-/// next execution anyway).
-class PinnedMatchGuard {
-public:
-  PinnedMatchGuard(TransformInterpreter &Interp,
-                   std::vector<PendingMatch> &Pending,
-                   std::vector<std::unique_ptr<ValueImpl>> &RootPins,
-                   std::vector<std::unique_ptr<ValueImpl>> &ResultPins,
-                   std::vector<Operation *> &Bodies)
-      : Interp(Interp), Pending(Pending), RootPins(RootPins),
-        ResultPins(ResultPins), Bodies(Bodies) {}
-  ~PinnedMatchGuard() {
-    for (PendingMatch &PM : Pending) {
-      if (PM.CandidateKey)
-        Interp.getState().forget(Value(PM.CandidateKey.get()));
-      for (ForwardedSlot &S : PM.Slots)
-        if (S.Key)
-          Interp.getState().forget(Value(S.Key.get()));
-    }
-    for (std::unique_ptr<ValueImpl> &Pin : RootPins)
-      Interp.getState().forget(Value(Pin.get()));
-    for (std::unique_ptr<ValueImpl> &Pin : ResultPins)
-      Interp.getState().forget(Value(Pin.get()));
-    for (Operation *Body : Bodies) {
-      Block &Entry = Body->getRegion(0).front();
-      for (unsigned I = 0; I < Entry.getNumArguments(); ++I)
-        Interp.getState().forget(Entry.getArgument(I));
-      Body->walk([&](Operation *BodyOp) {
-        for (unsigned R = 0; R < BodyOp->getNumResults(); ++R)
-          Interp.getState().forget(BodyOp->getResult(R));
-      });
-    }
-  }
-
-private:
-  TransformInterpreter &Interp;
-  std::vector<PendingMatch> &Pending;
-  std::vector<std::unique_ptr<ValueImpl>> &RootPins;
-  std::vector<std::unique_ptr<ValueImpl>> &ResultPins;
-  std::vector<Operation *> &Bodies;
-};
-
-} // namespace
 
 static DSF applyForeachMatch(Operation *Op, TransformInterpreter &Interp) {
   // The Verify hook only runs when the *script* is verified, which the
   // interpreter does not require; re-check the structural invariants here.
   if (Op->getNumOperands() < 1)
-    return DSF::definite("foreach_match requires a root handle operand");
+    return DSF::definite(
+        MatchDiag("foreach_match").text("requires a root handle operand"));
   ArrayAttr MatcherRefs = Op->getAttrOfType<ArrayAttr>("matchers");
   ArrayAttr ActionRefs = Op->getAttrOfType<ArrayAttr>("actions");
   if (!MatcherRefs || !ActionRefs || MatcherRefs.size() == 0 ||
       MatcherRefs.size() != ActionRefs.size())
-    return DSF::definite("foreach_match requires equally sized non-empty "
-                         "'matchers' and 'actions' arrays");
+    return DSF::definite(MatchDiag("foreach_match")
+                             .text("requires equally sized non-empty "
+                                   "'matchers' and 'actions' arrays"));
   bool RestrictRoot = Op->hasAttr("restrict_root");
   bool FlattenResults = Op->hasAttr("flatten_results");
 
-  // Resolve every (matcher, action) pair up front; a broken reference is a
-  // definite error before any payload op is visited.
-  auto ResolveSeq = [&](Attribute Ref, std::string &Error) -> Operation * {
-    std::string_view Name;
-    if (SymbolRefAttr Sym = Ref.dyn_cast<SymbolRefAttr>())
-      Name = Sym.getValue();
-    else if (StringAttr Str = Ref.dyn_cast<StringAttr>())
-      Name = Str.getValue();
-    else {
-      Error = "matcher/action references must be symbol or string attrs";
-      return nullptr;
-    }
-    Operation *Seq = Interp.lookupNamedSequence(Name);
-    if (!Seq) {
-      Error = "unknown named sequence '@" + std::string(Name) + "'";
-      return nullptr;
-    }
-    if (Seq->getNumRegions() != 1 || Seq->getRegion(0).empty() ||
-        Seq->getRegion(0).front().getNumArguments() < 1) {
-      Error = "named sequence '@" + std::string(Name) +
-              "' needs a body with at least one argument";
-      return nullptr;
-    }
-    return Seq;
-  };
-
-  struct MatchActionPair {
-    Operation *Matcher;
-    Operation *Action;
-    /// Dispatch fast path: a conjunction of name-constraint sets, each of
-    /// which the candidate must satisfy, checked without entering the
-    /// interpreter. One conjunct comes from a typed matcher argument
-    /// (`!transform.op<"X">` admits only ops named X); another from a
-    /// leading `match.operation_name` on the candidate. Candidates whose
-    /// name cannot match skip the matcher invocation entirely, which makes
-    /// the single walk cheap even with many pairs.
-    std::vector<std::vector<OpSetElement>> PrefilterConjuncts;
-  };
-  std::vector<MatchActionPair> Pairs;
+  // Resolve and validate every (matcher, action) pair up front; a broken
+  // reference or signature is a definite error before any payload op is
+  // visited.
+  MatcherEngine Engine(Interp, Op, "foreach_match");
   for (size_t I = 0; I < MatcherRefs.size(); ++I) {
-    std::string Error;
-    Operation *Matcher = ResolveSeq(MatcherRefs[I], Error);
-    if (!Matcher)
-      return DSF::definite("foreach_match: " + Error);
-    Operation *Action = ResolveSeq(ActionRefs[I], Error);
-    if (!Action)
-      return DSF::definite("foreach_match: " + Error);
-    MatchActionPair Pair{Matcher, Action, {}};
-    Block &MatcherBody = Matcher->getRegion(0).front();
-    // Statically reject script shapes that could never match or would only
-    // fail mid-walk: the walk binds exactly one matcher argument, the
-    // matcher's (static) yield count must line up with the action's
-    // arguments, and the declared handle types must be compatible.
-    if (MatcherBody.getNumArguments() != 1)
-      return DSF::definite("foreach_match matcher '@" +
-                           std::string(getSymbolName(Matcher)) +
-                           "' must take exactly one argument (the candidate "
-                           "op)");
-    Type CandidateTy = MatcherBody.getArgument(0).getType();
-    if (!isTransformHandleType(CandidateTy))
-      return DSF::definite("foreach_match matcher '@" +
-                           std::string(getSymbolName(Matcher)) +
-                           "' must take an op handle, not '" +
-                           CandidateTy.str() + "'");
-    Operation *MatcherYield = MatcherBody.getTerminator();
-    bool YieldsOperands = MatcherYield &&
-                          MatcherYield->getName() == "transform.yield" &&
-                          MatcherYield->getNumOperands() > 0;
-    // An operand-less yield forwards the candidate itself.
-    std::vector<Type> ForwardedTypes;
-    if (YieldsOperands)
-      for (Value V : MatcherYield->getOperands())
-        ForwardedTypes.push_back(V.getType());
-    else
-      ForwardedTypes.push_back(CandidateTy);
-    Block &ActionEntry = Action->getRegion(0).front();
-    if (ActionEntry.getNumArguments() != ForwardedTypes.size())
-      return DSF::definite(
-          "foreach_match action '@" + std::string(getSymbolName(Action)) +
-          "' expects " + std::to_string(ActionEntry.getNumArguments()) +
-          " arguments but matcher '@" +
-          std::string(getSymbolName(Matcher)) + "' forwards " +
-          std::to_string(ForwardedTypes.size()));
-    for (size_t S = 0; S < ForwardedTypes.size(); ++S) {
-      Type Produced = ForwardedTypes[S];
-      Type Expected = ActionEntry.getArgument(S).getType();
-      bool ProducedParam = Produced.isa<TransformParamType>();
-      bool ExpectedParam = Expected.isa<TransformParamType>();
-      bool Compatible = ProducedParam == ExpectedParam &&
-                        (ProducedParam ||
-                         isImplicitHandleConversion(Produced, Expected));
-      if (!Compatible)
-        return DSF::definite(
-            "foreach_match matcher '@" + std::string(getSymbolName(Matcher)) +
-            "' yields '" + Produced.str() + "' but action '@" +
-            std::string(getSymbolName(Action)) + "' argument " +
-            std::to_string(S) + " expects '" + Expected.str() +
-            "'; insert an explicit transform.cast in the matcher");
-    }
-    // A typed candidate argument admits only ops of that name: fold the
-    // declared type into the dispatch prefilter.
-    if (TransformOpType TypedArg = CandidateTy.dyn_cast<TransformOpType>())
-      Pair.PrefilterConjuncts.push_back(
-          {OpSetElement::parse(TypedArg.getOpName())});
-    if (!MatcherBody.empty()) {
-      Operation *First = MatcherBody.front();
-      if (First->getName() == "transform.match.operation_name" &&
-          First->getNumOperands() >= 1 &&
-          First->getOperand(0) == MatcherBody.getArgument(0)) {
-        // Only install the prefilter for a fully well-formed name list;
-        // otherwise every candidate must reach the real op so its
-        // malformed-attribute error is reported payload-independently.
-        std::vector<OpSetElement> Elements;
-        if (succeeded(parseTransformOpNameElements(First, Elements)) &&
-            !Elements.empty())
-          Pair.PrefilterConjuncts.push_back(std::move(Elements));
-      }
-    }
-    Pairs.push_back(std::move(Pair));
+    DSF Added = Engine.addPair(MatcherRefs[I], ActionRefs[I]);
+    if (!Added.succeeded())
+      return Added;
   }
-
-  Type HandleTy = TransformAnyOpType::get(Op->getContext());
-  auto MakeKey = [&](const std::vector<Operation *> &Ops) {
-    auto Key = std::make_unique<ValueImpl>();
-    Key->Ty = HandleTy;
-    Interp.getState().setPayload(Value(Key.get()), Ops);
-    return Key;
-  };
 
   // Pin every root payload op under its own tracked handle: an action that
   // consumes, erases, or replaces a root must be reflected in result 0
   // (the root handle itself was consumed by this op, so its own mapping is
   // exempt from tracking).
-  std::vector<Operation *> Roots =
-      Interp.getState().getPayloadOps(Op->getOperand(0));
-  std::vector<std::unique_ptr<ValueImpl>> RootPins;
+  TransformState &State = Interp.getState();
+  std::vector<Operation *> Roots = State.getPayloadOps(Op->getOperand(0));
+  std::vector<Value> RootPins;
+  RootPins.reserve(Roots.size());
   for (Operation *Root : Roots)
-    RootPins.push_back(MakeKey({Root}));
+    RootPins.push_back(Engine.pin({Root}));
 
-  std::vector<Operation *> Bodies;
-  for (MatchActionPair &Pair : Pairs) {
-    Bodies.push_back(Pair.Matcher);
-    Bodies.push_back(Pair.Action);
-  }
-  // Ops yielded by actions into the trailing results, pinned per yield so
-  // the tracking rules keep them consistent while later actions run.
-  std::vector<std::unique_ptr<ValueImpl>> ResultPins;
-  std::vector<size_t> ResultPinSlots;
-  std::vector<PendingMatch> Pending;
-  PinnedMatchGuard Guard(Interp, Pending, RootPins, ResultPins, Bodies);
+  // Match phase: the (optionally sharded) pure walk.
+  std::vector<MatcherEngine::Match> Matches;
+  DSF MatchResult = Engine.match(Roots, RestrictRoot, Matches);
+  if (!MatchResult.succeeded())
+    return MatchResult;
 
-  // Phase 1: the single walk. For each visited op, try the matchers in
-  // order; the first that succeeds silenceably claims the op for its
-  // action. Matcher failures are the expected "not this op" signal, so
-  // their diagnostics are silenced.
-  // Each payload op is offered to the matchers at most once, even when the
-  // root handle holds duplicate or mutually nested ops whose walks would
-  // revisit it.
-  std::set<Operation *> Visited;
-  auto TryCandidate = [&](Operation *Candidate) -> DSF {
-    if (!Visited.insert(Candidate).second)
-      return DSF::success();
-    for (size_t P = 0; P < Pairs.size(); ++P) {
-      bool Prefiltered = false;
-      for (const std::vector<OpSetElement> &Conjunct :
-           Pairs[P].PrefilterConjuncts) {
-        bool MayMatch = false;
-        for (const OpSetElement &Element : Conjunct)
-          if (Element.matches(Candidate->getName(), &Op->getContext())) {
-            MayMatch = true;
-            break;
-          }
-        if (!MayMatch) {
-          Prefiltered = true;
-          break;
-        }
-      }
-      if (Prefiltered)
-        continue;
-      Block &MatcherBody = Pairs[P].Matcher->getRegion(0).front();
-      Interp.getState().setPayload(MatcherBody.getArgument(0), {Candidate});
-      ++Interp.NumMatcherInvocations;
-      DSF MatchResult = DSF::success();
-      std::vector<Diagnostic> MatcherDiags;
-      {
-        TransformInterpreter::MatcherScope Scope(Interp);
-        // Matcher failures are the expected "not this op" signal, so their
-        // diagnostics are silenced; diagnostics of a matcher that succeeds
-        // (or aborts) are replayed below so transform.debug.emit_remark
-        // stays usable inside matchers.
-        ScopedDiagnosticCapture Capture(Op->getContext().getDiagEngine());
-        MatchResult = Interp.executeBlock(MatcherBody);
-        if (!MatchResult.isSilenceable())
-          MatcherDiags = Capture.getDiagnostics();
-      }
-      for (const Diagnostic &Diag : MatcherDiags)
-        Op->getContext().getDiagEngine().report(Diag);
-      if (MatchResult.isDefinite())
-        return MatchResult;
-      if (MatchResult.isSilenceable())
-        continue;
-
-      PendingMatch PM;
-      PM.PairIdx = P;
-      PM.OriginalCandidate = Candidate;
-      PM.CandidateKey = MakeKey({Candidate});
-      // The matcher's yield operands are forwarded to the action's block
-      // arguments; a yield without operands forwards the candidate itself.
-      Operation *MatchYield = MatcherBody.getTerminator();
-      std::vector<Value> Forwarded;
-      if (MatchYield && MatchYield->getName() == "transform.yield")
-        Forwarded = MatchYield->getOperands();
-      if (Forwarded.empty()) {
-        ForwardedSlot S;
-        S.Key = MakeKey({Candidate});
-        PM.Slots.push_back(std::move(S));
-      } else {
-        for (Value V : Forwarded) {
-          ForwardedSlot S;
-          if (Interp.getState().isParam(V))
-            S.Params = Interp.getState().getParams(V);
-          else
-            S.Key = MakeKey(Interp.getState().getPayloadOps(V));
-          PM.Slots.push_back(std::move(S));
-        }
-      }
-      Pending.push_back(std::move(PM));
-      return DSF::success();
-    }
-    return DSF::success();
-  };
-
-  for (Operation *Root : Roots) {
-    if (RestrictRoot) {
-      DSF Result = TryCandidate(Root);
-      if (Result.isDefinite())
-        return Result;
-      continue;
-    }
-    DSF WalkError = DSF::success();
-    Root->walkPre([&](Operation *Candidate) {
-      DSF Result = TryCandidate(Candidate);
-      if (Result.isDefinite()) {
-        WalkError = Result;
-        return WalkResult::Interrupt;
-      }
-      return WalkResult::Advance;
-    });
-    if (WalkError.isDefinite())
-      return WalkError;
-  }
-
-  // Phase 2: apply the recorded actions in match order. A pending match
-  // whose candidate was consumed or erased by an earlier action is skipped
-  // (its pinned handle was invalidated or emptied by the tracking rules).
+  // Commit phase: run each surviving match's action, binding the forwarded
+  // slots to the action arguments and collecting the action yields into the
+  // trailing results. Ops yielded by actions are pinned per yield so the
+  // tracking rules keep them consistent while later actions run.
   size_t NumForwarded = Op->getNumResults() > 0 ? Op->getNumResults() - 1 : 0;
-  for (PendingMatch &PM : Pending) {
-    TransformState &State = Interp.getState();
-    Value CandHandle(PM.CandidateKey.get());
-    const std::vector<Operation *> &CandOps = State.getPayloadOps(CandHandle);
-    // Skip when the candidate was consumed/erased, or replaced by an op
-    // the matcher never approved (tracking rewired the pin).
-    if (State.isInvalidated(CandHandle) || CandOps.size() != 1 ||
-        CandOps[0] != PM.OriginalCandidate)
-      continue;
-    // Every forwarded op handle must still be live too: an earlier action
-    // may have consumed (invalidated) or erased ops a matcher yielded for
-    // this match even though the candidate itself survived. Such a match
-    // is stale; skip it rather than hand dangling/empty payload to the
-    // action.
-    bool SlotsLive = true;
-    for (ForwardedSlot &S : PM.Slots) {
-      if (!S.Key)
-        continue;
-      Value SlotHandle(S.Key.get());
-      if (State.isInvalidated(SlotHandle) ||
-          State.getPayloadOps(SlotHandle).empty()) {
-        SlotsLive = false;
-        break;
-      }
-    }
-    if (!SlotsLive)
-      continue;
-    Operation *Action = Pairs[PM.PairIdx].Action;
-    Block &ActionBody = Action->getRegion(0).front();
-    // Slot count matches the action's arity: the setup loop rejected any
-    // pair whose static matcher-yield count disagrees with it.
-    for (size_t I = 0; I < PM.Slots.size(); ++I) {
-      ForwardedSlot &S = PM.Slots[I];
-      if (S.Key)
-        State.setPayload(ActionBody.getArgument(I),
-                         State.getPayloadOps(Value(S.Key.get())));
-      else
-        State.setParams(ActionBody.getArgument(I), S.Params);
-    }
-    DSF ActionResult = Interp.executeBlock(ActionBody);
-    if (!ActionResult.succeeded())
-      return ActionResult;
+  std::vector<Value> ResultPins;
+  std::vector<size_t> ResultPinSlots;
+  DSF CommitResult = Engine.commit(
+      Matches, [&](const MatcherEngine::PinnedMatch &PM) -> DSF {
+        Operation *Action = Engine.getAction(PM.PairIdx);
+        Block &ActionBody = Action->getRegion(0).front();
+        // The candidate is live here (commit() checked), but the action
+        // may erase it; capture the name now so post-action diagnostics
+        // never dereference the op.
+        std::string CandidateName(PM.OriginalCandidate->getName());
+        // Slot count matches the action's arity: addPair rejected any pair
+        // whose static matcher-yield count disagrees with it.
+        for (size_t I = 0; I < PM.Slots.size(); ++I) {
+          const MatcherEngine::PinnedSlot &Slot = PM.Slots[I];
+          if (Slot.Handle)
+            State.setPayload(ActionBody.getArgument(I),
+                             State.getPayloadOps(Slot.Handle));
+          else
+            State.setParams(ActionBody.getArgument(I), Slot.Params);
+        }
+        DSF ActionResult = Interp.executeBlock(ActionBody);
+        if (!ActionResult.succeeded()) {
+          std::string Message = MatchDiag("foreach_match")
+                                    .seq("action", Action)
+                                    .payload(CandidateName)
+                                    .text(ActionResult.getMessage());
+          return ActionResult.isDefinite() ? DSF::definite(Message)
+                                           : DSF::silenceable(Message);
+        }
 
-    // Forward the action's yields into the trailing results.
-    if (NumForwarded > 0) {
-      Operation *ActionYield = ActionBody.getTerminator();
-      size_t NumYielded =
-          ActionYield && ActionYield->getName() == "transform.yield"
-              ? ActionYield->getNumOperands()
-              : 0;
-      if (NumYielded < NumForwarded)
-        return DSF::definite(
-            "foreach_match action '@" + std::string(getSymbolName(Action)) +
-            "' yields " + std::to_string(NumYielded) + " values but " +
-            std::to_string(NumForwarded) + " forwarded results are expected");
-      for (size_t I = 0; I < NumForwarded; ++I) {
-        Value Yielded = ActionYield->getOperand(I);
-        if (State.isParam(Yielded))
+        // Forward the action's yields into the trailing results.
+        if (NumForwarded == 0)
+          return DSF::success();
+        Operation *ActionYield = ActionBody.getTerminator();
+        size_t NumYielded =
+            ActionYield && ActionYield->getName() == "transform.yield"
+                ? ActionYield->getNumOperands()
+                : 0;
+        if (NumYielded < NumForwarded)
           return DSF::definite(
-              "foreach_match cannot forward parameter results");
-        const std::vector<Operation *> &Ops = State.getPayloadOps(Yielded);
-        if (!FlattenResults && Ops.size() != 1)
-          return DSF::definite(
-              "foreach_match action yielded " + std::to_string(Ops.size()) +
-              " payload ops for result " + std::to_string(I + 1) +
-              "; set 'flatten_results' to allow a non-1:1 mapping");
-        // Pin the yielded ops rather than copying raw pointers: a later
-        // action may erase or replace them, and only pinned handles are
-        // kept consistent by the tracking rules.
-        ResultPins.push_back(MakeKey(Ops));
-        ResultPinSlots.push_back(I);
-      }
-    }
-  }
+              MatchDiag("foreach_match")
+                  .seq("action", Action)
+                  .payload(CandidateName)
+                  .text("yields " + std::to_string(NumYielded) +
+                        " values but " + std::to_string(NumForwarded) +
+                        " forwarded results are expected"));
+        for (size_t I = 0; I < NumForwarded; ++I) {
+          Value Yielded = ActionYield->getOperand(I);
+          if (State.isParam(Yielded))
+            return DSF::definite(MatchDiag("foreach_match")
+                                     .seq("action", Action)
+                                     .payload(CandidateName)
+                                     .text("cannot forward parameter "
+                                           "results"));
+          const std::vector<Operation *> &Ops = State.getPayloadOps(Yielded);
+          if (!FlattenResults && Ops.size() != 1)
+            return DSF::definite(
+                MatchDiag("foreach_match")
+                    .seq("action", Action)
+                    .payload(CandidateName)
+                    .text("action yielded " + std::to_string(Ops.size()) +
+                          " payload ops for result " + std::to_string(I + 1) +
+                          "; set 'flatten_results' to allow a non-1:1 "
+                          "mapping"));
+          // Pin the yielded ops rather than copying raw pointers: a later
+          // action may erase or replace them, and only pinned handles are
+          // kept consistent by the tracking rules.
+          ResultPins.push_back(Engine.pin(Ops));
+          ResultPinSlots.push_back(I);
+        }
+        return DSF::success();
+      });
+  if (!CommitResult.succeeded())
+    return CommitResult;
 
   // Result 0 is the updated root handle, rebuilt from the per-root pins so
   // that roots consumed, erased, or replaced by the actions are dropped or
   // rewired; the rest are the forwarded lists.
   std::vector<Operation *> UpdatedRoots;
-  for (std::unique_ptr<ValueImpl> &Pin : RootPins) {
-    Value PinHandle(Pin.get());
-    if (Interp.getState().isInvalidated(PinHandle))
+  for (Value PinHandle : RootPins) {
+    if (State.isInvalidated(PinHandle))
       continue;
-    for (Operation *Root : Interp.getState().getPayloadOps(PinHandle))
+    for (Operation *Root : State.getPayloadOps(PinHandle))
       if (!is_contained(UpdatedRoots, Root))
         UpdatedRoots.push_back(Root);
   }
   bindResult(Interp, Op, 0, std::move(UpdatedRoots));
   std::vector<std::vector<Operation *>> ResultOps(NumForwarded);
   for (size_t K = 0; K < ResultPins.size(); ++K) {
-    Value PinHandle(ResultPins[K].get());
-    if (Interp.getState().isInvalidated(PinHandle))
+    if (State.isInvalidated(ResultPins[K]))
       continue;
-    const std::vector<Operation *> &Ops =
-        Interp.getState().getPayloadOps(PinHandle);
+    const std::vector<Operation *> &Ops = State.getPayloadOps(ResultPins[K]);
     ResultOps[ResultPinSlots[K]].insert(ResultOps[ResultPinSlots[K]].end(),
                                         Ops.begin(), Ops.end());
   }
   for (size_t I = 0; I < NumForwarded; ++I)
     bindResult(Interp, Op, I + 1, std::move(ResultOps[I]));
   return DSF::success();
+}
+
+//===----------------------------------------------------------------------===//
+// collect_matching: match-only client of the MatcherEngine
+//===----------------------------------------------------------------------===//
+
+/// `transform.collect_matching` runs one matcher over the payload walk and
+/// returns every match as handles — the matcher/action split without the
+/// action: each result concatenates, across all matches in walk order, the
+/// corresponding value the matcher yielded (the candidate itself for an
+/// operand-less yield). Pure: no commit phase, nothing is consumed, and an
+/// empty match set succeeds with empty handles.
+static DSF applyCollectMatching(Operation *Op, TransformInterpreter &Interp) {
+  if (Op->getNumOperands() < 1)
+    return DSF::definite(
+        MatchDiag("collect_matching").text("requires a root handle operand"));
+  Attribute MatcherRef = Op->getAttr("matcher");
+  if (!MatcherRef)
+    return DSF::definite(
+        MatchDiag("collect_matching").text("requires a 'matcher' reference"));
+
+  MatcherEngine Engine(Interp, Op, "collect_matching");
+  DSF Added = Engine.addPair(MatcherRef, Attribute());
+  if (!Added.succeeded())
+    return Added;
+
+  const std::vector<Type> &Forwarded = Engine.getForwardedTypes(0);
+  if (Forwarded.size() != Op->getNumResults())
+    return DSF::definite(
+        MatchDiag("collect_matching")
+            .seq("matcher", Engine.getMatcher(0))
+            .text("forwards " + std::to_string(Forwarded.size()) +
+                  " values but the op declares " +
+                  std::to_string(Op->getNumResults()) + " results"));
+  // Kind and handle-type compatibility per result, payload-independently —
+  // the same contract foreach_match's addPair enforces for action
+  // arguments, so an embedder skipping the static pre-pass cannot end up
+  // with arbitrary ops bound under a narrowed result type.
+  for (size_t I = 0; I < Forwarded.size(); ++I) {
+    std::string Mismatch = MatcherEngine::describeForwardingMismatch(
+        Forwarded[I], "result " + std::to_string(I),
+        Op->getResult(I).getType());
+    if (!Mismatch.empty())
+      return DSF::definite(MatchDiag("collect_matching")
+                               .seq("matcher", Engine.getMatcher(0))
+                               .text(Mismatch));
+  }
+
+  std::vector<MatcherEngine::Match> Matches;
+  DSF MatchResult = Engine.match(Interp.getState().getPayloadOps(
+                                     Op->getOperand(0)),
+                                 Op->hasAttr("restrict_root"), Matches);
+  if (!MatchResult.succeeded())
+    return MatchResult;
+
+  std::vector<std::vector<Operation *>> ResultOps(Op->getNumResults());
+  std::vector<std::vector<Attribute>> ResultParams(Op->getNumResults());
+  for (MatcherEngine::Match &M : Matches)
+    for (size_t I = 0; I < M.Values.size() && I < Op->getNumResults(); ++I) {
+      MatcherEngine::ForwardedValue &FV = M.Values[I];
+      if (FV.IsParam)
+        ResultParams[I].insert(ResultParams[I].end(), FV.Params.begin(),
+                               FV.Params.end());
+      else
+        ResultOps[I].insert(ResultOps[I].end(), FV.Ops.begin(), FV.Ops.end());
+    }
+  for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+    if (Op->getResult(I).getType().isa<TransformParamType>())
+      Interp.getState().setParams(Op->getResult(I),
+                                  std::move(ResultParams[I]));
+    else
+      bindResult(Interp, Op, I, std::move(ResultOps[I]));
+  }
+  return DSF::success();
+}
+
+//===----------------------------------------------------------------------===//
+// apply_patterns: flat and match-driven pattern application
+//===----------------------------------------------------------------------===//
+
+/// Populates \p Patterns from the registered pattern set named \p SetName
+/// (the `transform.pattern.<name>` registry, without the prefix).
+static DSF populateNamedPatternSet(std::string_view SetName,
+                                   PatternSet &Patterns) {
+  const std::function<void(PatternSet &)> *Populate =
+      lookupNamedPatternSet(SetName);
+  if (!Populate)
+    return DSF::definite(unknownPatternSetMessage(SetName));
+  (*Populate)(Patterns);
+  return DSF::success();
+}
+
+/// The match-driven form of `transform.apply_patterns` (the paper's
+/// pattern-control example): equally sized `matchers` and `pattern_sets`
+/// arrays pair each pure matcher with a named pattern set; the engine's
+/// match phase finds the matches and the commit phase greedily applies each
+/// pair's pattern set within its (still-live) matched op, with handle
+/// tracking.
+static DSF applyPatternsPerMatch(Operation *Op, TransformInterpreter &Interp,
+                                 ArrayAttr MatcherRefs, ArrayAttr SetRefs) {
+  if (!SetRefs || SetRefs.size() == 0 || SetRefs.size() != MatcherRefs.size())
+    return DSF::definite(MatchDiag("apply_patterns")
+                             .text("requires equally sized non-empty "
+                                   "'matchers' and 'pattern_sets' arrays"));
+  MatcherEngine Engine(Interp, Op, "apply_patterns");
+  std::vector<PatternSet> Sets(MatcherRefs.size());
+  for (size_t I = 0; I < MatcherRefs.size(); ++I) {
+    DSF Added = Engine.addPair(MatcherRefs[I], Attribute());
+    if (!Added.succeeded())
+      return Added;
+    StringAttr SetName = SetRefs[I].dyn_cast<StringAttr>();
+    if (!SetName)
+      return DSF::definite(MatchDiag("apply_patterns")
+                               .text("'pattern_sets' entries must be "
+                                     "strings"));
+    DSF Populated = populateNamedPatternSet(SetName.getValue(), Sets[I]);
+    if (!Populated.succeeded())
+      return Populated;
+  }
+
+  std::vector<MatcherEngine::Match> Matches;
+  DSF MatchResult = Engine.match(Interp.getState().getPayloadOps(
+                                     Op->getOperand(0)),
+                                 Op->hasAttr("restrict_root"), Matches);
+  if (!MatchResult.succeeded())
+    return MatchResult;
+
+  TrackingListener Listener(Interp.getState());
+  GreedyRewriteConfig Config;
+  Config.Listener = &Listener;
+  return Engine.commit(Matches,
+                       [&](const MatcherEngine::PinnedMatch &PM) -> DSF {
+                         // commit() already skipped stale matches, so the
+                         // pinned handle holds exactly the approved op.
+                         Operation *Target = Interp.getState().getPayloadOps(
+                             PM.CandidateHandle)[0];
+                         (void)applyPatternsGreedily(
+                             Target, Sets[PM.PairIdx], Config);
+                         return DSF::success();
+                       });
 }
 
 //===----------------------------------------------------------------------===//
@@ -1135,6 +990,40 @@ void tdl::registerTransformDialect(Context &Ctx) {
   }
 
   //===------------------------------------------------------------------===//
+  // collect_matching: all matches of one pure matcher, returned as handles
+  // (the match phase alone; no actions, nothing consumed).
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo Collect;
+    Collect.Name = "transform.collect_matching";
+    Collect.Verify = [](Operation *Op) -> LogicalResult {
+      if (!Op->getAttr("matcher"))
+        return Op->emitOpError() << "requires a 'matcher' reference";
+      if (Op->getNumOperands() < 1 ||
+          !isTransformHandleType(Op->getOperand(0).getType()))
+        return Op->emitOpError() << "requires a root handle operand";
+      for (unsigned I = 0; I < Op->getNumResults(); ++I) {
+        Type Ty = Op->getResult(I).getType();
+        if (!isTransformHandleType(Ty) && !Ty.isa<TransformParamType>())
+          return Op->emitOpError()
+                 << "result " << I
+                 << " must be an op handle or parameter type";
+      }
+      return success();
+    };
+    TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::CollectMatching;
+    Def.OperandKinds = {TransformValueKind::Handle};
+    // Collected matches live inside the walked roots: consuming the root
+    // later must invalidate every result, however many the matcher yields
+    // (conservative for parameter results).
+    Def.AllResultsNestedInOperand = 0;
+    Def.Apply = applyCollectMatching;
+    registerTransformOp(Ctx, Collect, Def);
+  }
+
+  //===------------------------------------------------------------------===//
   // Loop transforms
   //===------------------------------------------------------------------===//
 
@@ -1388,9 +1277,33 @@ void tdl::registerTransformDialect(Context &Ctx) {
     OpInfo ApplyPatterns;
     ApplyPatterns.Name = "transform.apply_patterns";
     TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::ApplyPatterns;
     Def.OperandKinds = {TransformValueKind::Handle};
     Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      if (Op->getNumOperands() < 1)
+        return DSF::definite(
+            MatchDiag("apply_patterns").text("requires a handle operand"));
+      // Match-driven form: (matcher, pattern set) pairs dispatched through
+      // the MatcherEngine.
+      if (ArrayAttr MatcherRefs = Op->getAttrOfType<ArrayAttr>("matchers"))
+        return applyPatternsPerMatch(
+            Op, Interp, MatcherRefs,
+            Op->getAttrOfType<ArrayAttr>("pattern_sets"));
+      // Flat form: region pattern ops and/or named pattern sets applied to
+      // everything nested under each payload op of the handle.
       PatternSet Patterns;
+      if (ArrayAttr SetRefs = Op->getAttrOfType<ArrayAttr>("pattern_sets"))
+        for (Attribute SetRef : SetRefs.getValue()) {
+          StringAttr SetName = SetRef.dyn_cast<StringAttr>();
+          if (!SetName)
+            return DSF::definite(MatchDiag("apply_patterns")
+                                     .text("'pattern_sets' entries must be "
+                                           "strings"));
+          DSF Populated =
+              populateNamedPatternSet(SetName.getValue(), Patterns);
+          if (!Populated.succeeded())
+            return Populated;
+        }
       if (Op->getNumRegions() >= 1 && !Op->getRegion(0).empty()) {
         for (Operation *PatternOp : Op->getRegion(0).front()) {
           if (PatternOp->hasTrait(OT_IsTerminator))

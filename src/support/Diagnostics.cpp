@@ -130,9 +130,29 @@ DiagnosticEngine::HandlerTy DiagnosticEngine::setHandler(HandlerTy NewHandler) {
   return Old;
 }
 
+DiagnosticEngine::HandlerTy *&DiagnosticEngine::threadHandlerSlot() {
+  static thread_local HandlerTy *Slot = nullptr;
+  return Slot;
+}
+
+DiagnosticEngine::HandlerTy *
+DiagnosticEngine::swapThreadHandler(HandlerTy *NewHandler) {
+  HandlerTy *&Slot = threadHandlerSlot();
+  HandlerTy *Old = Slot;
+  Slot = NewHandler;
+  return Old;
+}
+
 void DiagnosticEngine::report(Diagnostic Diag) {
   if (Diag.Severity == DiagnosticSeverity::Error)
-    ++NumErrors;
+    NumErrors.fetch_add(1, std::memory_order_relaxed);
+  // The per-thread sink outranks the engine-wide handler: a worker thread
+  // capturing its own matcher diagnostics must not leak them into (or race
+  // on) whatever handler the main thread installed.
+  if (HandlerTy *Thread = threadHandlerSlot()) {
+    (*Thread)(Diag);
+    return;
+  }
   if (Handler)
     Handler(Diag);
 }

@@ -18,6 +18,7 @@
 #include "support/LogicalResult.h"
 #include "support/Stream.h"
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -64,6 +65,14 @@ struct Diagnostic {
 };
 
 /// Dispatches diagnostics to a handler. One engine per IR context.
+///
+/// Threading: `report` may be called from worker threads (the sharded
+/// matcher walk). The error counter is atomic, and a per-thread handler —
+/// installed via `swapThreadHandler`, typically through
+/// `ThreadDiagnosticCapture` — takes precedence over the engine-wide
+/// handler, so each worker can capture its own diagnostics without racing.
+/// Installing or replacing the engine-wide handler itself remains a
+/// single-threaded (setup/teardown) operation.
 class DiagnosticEngine {
 public:
   using HandlerTy = std::function<void(const Diagnostic &)>;
@@ -73,14 +82,24 @@ public:
   /// Replaces the current handler, returning the previous one.
   HandlerTy setHandler(HandlerTy Handler);
 
+  /// Installs \p Handler as the calling thread's diagnostic sink (null to
+  /// uninstall), returning the previously installed one. The slot is
+  /// per-thread and process-wide, not per-engine: while installed, every
+  /// diagnostic the thread reports is routed to it.
+  static HandlerTy *swapThreadHandler(HandlerTy *Handler);
+
   void report(Diagnostic Diag);
 
   /// Number of error-severity diagnostics reported so far.
-  unsigned getNumErrors() const { return NumErrors; }
+  unsigned getNumErrors() const {
+    return NumErrors.load(std::memory_order_relaxed);
+  }
 
 private:
+  static HandlerTy *&threadHandlerSlot();
+
   HandlerTy Handler;
-  unsigned NumErrors = 0;
+  std::atomic<unsigned> NumErrors{0};
 };
 
 /// A diagnostic under construction. Streams text via operator<< and reports
@@ -152,6 +171,36 @@ public:
 private:
   DiagnosticEngine &Engine;
   DiagnosticEngine::HandlerTy Previous;
+  std::vector<Diagnostic> Captured;
+};
+
+/// Captures diagnostics reported from the *current thread* into a vector,
+/// leaving diagnostics from other threads routed as before. The matcher
+/// engine installs one around each matcher invocation so the expected
+/// "not this op" failures stay silenced even when the payload walk is
+/// sharded across worker threads (a ScopedDiagnosticCapture would race on
+/// the engine-wide handler).
+class ThreadDiagnosticCapture {
+public:
+  ThreadDiagnosticCapture() {
+    Handler = [this](const Diagnostic &Diag) { Captured.push_back(Diag); };
+    Previous = DiagnosticEngine::swapThreadHandler(&Handler);
+  }
+  ~ThreadDiagnosticCapture() { DiagnosticEngine::swapThreadHandler(Previous); }
+  ThreadDiagnosticCapture(const ThreadDiagnosticCapture &) = delete;
+  ThreadDiagnosticCapture &operator=(const ThreadDiagnosticCapture &) = delete;
+
+  const std::vector<Diagnostic> &getDiagnostics() const { return Captured; }
+  /// Moves the captured diagnostics out (for replay after the capture ends).
+  std::vector<Diagnostic> takeDiagnostics() { return std::move(Captured); }
+  /// Drops everything captured so far; a long-lived capture (one per walk
+  /// worker) can be reset between matcher invocations instead of being
+  /// reconstructed per invocation.
+  void clear() { Captured.clear(); }
+
+private:
+  DiagnosticEngine::HandlerTy Handler;
+  DiagnosticEngine::HandlerTy *Previous = nullptr;
   std::vector<Diagnostic> Captured;
 };
 

@@ -1,0 +1,792 @@
+//===- MatcherEngineTest.cpp - MatcherEngine client + sharding tests ----------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the MatcherEngine subsystem shared by `transform.foreach_match`,
+/// `transform.collect_matching`, and match-driven `transform.apply_patterns`:
+/// cross-shard determinism of the sharded match phase (byte-identical printed
+/// output at any shard count), collect_matching semantics (typed results,
+/// parameter forwarding, the empty-match case), and per-match pattern sets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "core/Transform.h"
+
+#include "dialect/Dialects.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "support/Stream.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class MatcherEngineTest : public ::testing::Test {
+protected:
+  MatcherEngineTest() {
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx);
+  }
+
+  /// A module with \p NumFuncs top-level functions — the shard unit of the
+  /// parallel walk — each holding a loop with a load/add/store body.
+  OwningOpRef makeManyFuncPayload(int NumFuncs) {
+    std::string Funcs;
+    for (int F = 0; F < NumFuncs; ++F) {
+      Funcs += R"(
+        "func.func"() ({
+        ^bb0(%m: memref<8x8xf64>):
+          %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+          %ub = "arith.constant"() {value = 8 : index} : () -> (index)
+          %one = "arith.constant"() {value = 1 : index} : () -> (index)
+          "scf.for"(%lb, %ub, %one) ({
+          ^body(%i: index):
+            %v = "memref.load"(%m, %i, %lb)
+              : (memref<8x8xf64>, index, index) -> (f64)
+            %w = "arith.addf"(%v, %v) : (f64, f64) -> (f64)
+            "memref.store"(%w, %m, %i, %lb)
+              : (f64, memref<8x8xf64>, index, index) -> ()
+            "scf.yield"() : () -> ()
+          }) : (index, index, index) -> ()
+          "func.return"() : () -> ()
+        }) {sym_name = "f)" +
+               std::to_string(F) + R"(",
+            function_type = (memref<8x8xf64>) -> ()} : () -> ()
+      )";
+    }
+    return parseSourceString(
+        Ctx, "\"builtin.module\"() ({" + Funcs + "}) : () -> ()");
+  }
+
+  OwningOpRef makeScriptModule(std::string_view Sequences) {
+    return parseSourceString(Ctx,
+                             R"("builtin.module"() ({)" +
+                                 std::string(Sequences) + R"(}) : () -> ()
+    )",
+                             "script");
+  }
+
+  std::string printed(Operation *Root) {
+    std::string Text;
+    raw_string_ostream Stream(Text);
+    Root->print(Stream);
+    return Text;
+  }
+
+  int64_t countAttr(Operation *Root, std::string_view Name) {
+    int64_t Count = 0;
+    Root->walk([&](Operation *Op) { Count += Op->hasAttr(Name); });
+    return Count;
+  }
+
+  int64_t countOps(Operation *Root, std::string_view Name) {
+    int64_t Count = 0;
+    Root->walk([&](Operation *Op) { Count += Op->getName() == Name; });
+    return Count;
+  }
+
+  Context Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Cross-shard determinism
+//===----------------------------------------------------------------------===//
+
+/// Two (matcher, action) pairs whose matches land in every function, with a
+/// forwarded-yield action feeding a trailing result.
+static const char *const AnnotatingPairs = R"(
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.any_op):
+    %0 = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "is_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%loop: !transform.any_op):
+    "transform.annotate"(%loop) {name = "marked_loop"}
+      : (!transform.any_op) -> ()
+    "transform.yield"(%loop) : (!transform.any_op) -> ()
+  }) {sym_name = "mark_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.any_op):
+    %0 = "transform.match.operation_name"(%op) {op_names = ["memref.load"]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "is_load"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%load: !transform.any_op):
+    "transform.annotate"(%load) {name = "marked_load"}
+      : (!transform.any_op) -> ()
+    "transform.yield"(%load) : (!transform.any_op) -> ()
+  }) {sym_name = "mark_load"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %u, %loops = "transform.foreach_match"(%root)
+      {matchers = [@is_loop, @is_load], actions = [@mark_loop, @mark_load],
+       flatten_results}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    "transform.annotate"(%loops) {name = "forwarded"}
+      : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+)";
+
+TEST_F(MatcherEngineTest, ShardedWalkOutputIsByteIdentical) {
+  // Matches land in different shards of a 12-function payload; the merged
+  // match order — and therefore annotation order, forwarded-result order,
+  // and the final printed module — must be byte-identical to the serial
+  // walk.
+  OwningOpRef Script = makeScriptModule(AnnotatingPairs);
+  ASSERT_TRUE(Script);
+
+  std::string Serial;
+  {
+    OwningOpRef Payload = makeManyFuncPayload(12);
+    ASSERT_TRUE(Payload);
+    TransformOptions Options;
+    Options.MatchShards = 1;
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_EQ(countAttr(Payload.get(), "marked_loop"), 12);
+    EXPECT_EQ(countAttr(Payload.get(), "marked_load"), 12);
+    Serial = printed(Payload.get());
+  }
+  for (unsigned NumShards : {2u, 4u, 7u}) {
+    OwningOpRef Payload = makeManyFuncPayload(12);
+    TransformOptions Options;
+    Options.MatchShards = NumShards;
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_EQ(printed(Payload.get()), Serial)
+        << "shard count " << NumShards << " diverged from the serial walk";
+  }
+}
+
+TEST_F(MatcherEngineTest, ShardedWalkWithConsumingActionsIsDeterministic) {
+  // Actions that rewrite payload (full unroll consumes the matched loop)
+  // run in the single-threaded commit phase; stale-match skipping and the
+  // final IR must not depend on the shard count of the match phase.
+  static const char *const UnrollingPairs = R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.any_op):
+      "transform.loop.unroll"(%loop) {full} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "unroll_it"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@is_loop], actions = [@unroll_it]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )";
+  OwningOpRef Script = makeScriptModule(UnrollingPairs);
+  ASSERT_TRUE(Script);
+
+  std::string Serial;
+  {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.MatchShards = 1;
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_TRUE(succeeded(verify(Payload.get())));
+    EXPECT_EQ(countOps(Payload.get(), "scf.for"), 0);
+    Serial = printed(Payload.get());
+  }
+  {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.MatchShards = 4;
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_TRUE(succeeded(verify(Payload.get())));
+    EXPECT_EQ(printed(Payload.get()), Serial);
+  }
+}
+
+TEST_F(MatcherEngineTest, ShardedMatcherInvocationCountMatchesSerial) {
+  // Disjoint top-level functions: no op is reachable from two shard units,
+  // so even the matcher-invocation counters agree with the serial walk.
+  OwningOpRef Script = makeScriptModule(AnnotatingPairs);
+  int64_t SerialInvocations = 0;
+  {
+    OwningOpRef Payload = makeManyFuncPayload(5);
+    TransformOptions Options;
+    Options.MatchShards = 1;
+    TransformInterpreter Interp(Payload.get(), Script.get(), Options);
+    ASSERT_TRUE(succeeded(Interp.run()));
+    SerialInvocations = Interp.NumMatcherInvocations;
+    EXPECT_GT(SerialInvocations, 0);
+  }
+  {
+    OwningOpRef Payload = makeManyFuncPayload(5);
+    TransformOptions Options;
+    Options.MatchShards = 3;
+    TransformInterpreter Interp(Payload.get(), Script.get(), Options);
+    ASSERT_TRUE(succeeded(Interp.run()));
+    EXPECT_EQ(Interp.NumMatcherInvocations, SerialInvocations);
+  }
+}
+
+TEST_F(MatcherEngineTest, ShardedDefiniteMatcherErrorIsReported) {
+  // A malformed matcher op is a definite error; the sharded walk must
+  // surface it (and fail the interpretation) exactly like the serial one.
+  static const char *const BrokenMatcher = R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "broken"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "noop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@broken], actions = [@noop]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )";
+  OwningOpRef Script = makeScriptModule(BrokenMatcher);
+  ASSERT_TRUE(Script);
+  for (unsigned NumShards : {1u, 4u}) {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.MatchShards = NumShards;
+    ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+    EXPECT_TRUE(
+        failed(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_TRUE(Capture.contains("op_names"));
+  }
+}
+
+TEST_F(MatcherEngineTest, ShardedRemarksReplayOncePerClaimedOp) {
+  // Overlapping roots: the module root and every function are roots at
+  // once, so each addf is reachable from two walk units that may land on
+  // different shards. The claim-dedup at merge time must replay the
+  // matcher's remark exactly once per claimed op at any shard count (the
+  // serial walk's visit-once rule).
+  static const char *const RemarkPairs = R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["arith.addf"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.debug.emit_remark"(%0) {message = "claimed an add"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_add"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "noop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %funcs = "transform.match.op"(%root) {op_name = "func.func"}
+        : (!transform.any_op) -> (!transform.any_op)
+      %both = "transform.merge_handles"(%root, %funcs)
+        : (!transform.any_op, !transform.any_op) -> (!transform.any_op)
+      %u = "transform.foreach_match"(%both)
+        {matchers = [@is_add], actions = [@noop]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )";
+  OwningOpRef Script = makeScriptModule(RemarkPairs);
+  ASSERT_TRUE(Script);
+  for (unsigned NumShards : {1u, 4u}) {
+    OwningOpRef Payload = makeManyFuncPayload(4);
+    TransformOptions Options;
+    Options.MatchShards = NumShards;
+    ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    int64_t Remarks = 0;
+    for (const Diagnostic &Diag : Capture.getDiagnostics())
+      Remarks += Diag.Message.find("claimed an add") != std::string::npos;
+    EXPECT_EQ(Remarks, 4) << "shard count " << NumShards;
+  }
+}
+
+TEST_F(MatcherEngineTest, ShardedErrorPathReplaysPriorRemarks) {
+  // A definite error mid-walk must still replay the successful matchers'
+  // remarks from before the serial error point — even when other shards
+  // own those earlier units. Pair 1 remarks on loops; pair 2's typed
+  // argument prefilters it to func.return, where its malformed body is a
+  // definite error. The first func subtree holds one loop before its
+  // return, so exactly one remark precedes the error at any shard count.
+  static const char *const RemarkThenError = R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.debug.emit_remark"(%0) {message = "saw a loop"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "remark_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"func.return">):
+      %0 = "transform.match.operation_name"(%op) {}
+        : (!transform.op<"func.return">) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "broken_on_return"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "noop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@remark_loop, @broken_on_return],
+         actions = [@noop, @noop]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )";
+  OwningOpRef Script = makeScriptModule(RemarkThenError);
+  ASSERT_TRUE(Script);
+  for (unsigned NumShards : {1u, 4u}) {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.MatchShards = NumShards;
+    ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+    EXPECT_TRUE(
+        failed(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_TRUE(Capture.contains("op_names"));
+    int64_t Remarks = 0;
+    for (const Diagnostic &Diag : Capture.getDiagnostics())
+      Remarks += Diag.Message.find("saw a loop") != std::string::npos;
+    EXPECT_EQ(Remarks, 1) << "shard count " << NumShards;
+  }
+}
+
+TEST_F(MatcherEngineTest, ErasingActionThenFailingReportsWithoutCandidate) {
+  // The action fully unrolls (erases) its matched loop, then fails on a
+  // missing forwarded yield. The error message is built after the action
+  // ran, so it must not read the erased candidate op (ASan-guarded).
+  OwningOpRef Payload = makeManyFuncPayload(1);
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.any_op):
+      "transform.loop.unroll"(%loop) {full} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "unroll_no_yield"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u, %extra = "transform.foreach_match"(%root)
+        {matchers = [@is_loop], actions = [@unroll_no_yield]}
+        : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  // The diagnostic still names the matched op via its pre-captured name.
+  EXPECT_TRUE(Capture.contains("on payload op 'scf.for'"));
+  EXPECT_TRUE(Capture.contains("forwarded results are expected"));
+}
+
+//===----------------------------------------------------------------------===//
+// collect_matching
+//===----------------------------------------------------------------------===//
+
+TEST_F(MatcherEngineTest, CollectMatchingTypedResults) {
+  // All loops collected through a typed matcher into a typed handle; the
+  // script passes the static type check and the handle holds every loop.
+  OwningOpRef Payload = makeManyFuncPayload(3);
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.collect_matching"(%root) {matcher = @is_loop}
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      "transform.annotate"(%loops) {name = "collected"}
+        : (!transform.op<"scf.for">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Payload);
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(analyzeHandleTypes(Script.get()).empty());
+  EXPECT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_EQ(countAttr(Payload.get(), "collected"), 3);
+  Payload->walk([&](Operation *Op) {
+    if (Op->hasAttr("collected")) {
+      EXPECT_EQ(Op->getName(), "scf.for");
+    }
+  });
+}
+
+TEST_F(MatcherEngineTest, CollectMatchingEmptyMatchSucceeds) {
+  // No payload op matches: unlike match.op, collect_matching succeeds with
+  // an empty handle (annotate over it is a no-op).
+  OwningOpRef Payload = makeManyFuncPayload(2);
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"linalg.matmul">):
+      "transform.yield"(%op) : (!transform.op<"linalg.matmul">) -> ()
+    }) {sym_name = "is_matmul"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %mm = "transform.collect_matching"(%root) {matcher = @is_matmul}
+        : (!transform.any_op) -> (!transform.op<"linalg.matmul">)
+      "transform.annotate"(%mm) {name = "never"}
+        : (!transform.op<"linalg.matmul">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_EQ(countAttr(Payload.get(), "never"), 0);
+}
+
+TEST_F(MatcherEngineTest, CollectMatchingForwardsHandlesAndParams) {
+  // The matcher yields the candidate and a parameter; collect_matching
+  // concatenates both across matches (one param per matched load).
+  OwningOpRef Payload = makeManyFuncPayload(2);
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["memref.load"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      %p = "transform.param.constant"() {value = 1 : index}
+        : () -> (!transform.param)
+      "transform.yield"(%0, %p) : (!transform.any_op, !transform.param) -> ()
+    }) {sym_name = "load_with_param"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loads, %flags = "transform.collect_matching"(%root)
+        {matcher = @load_with_param}
+        : (!transform.any_op) -> (!transform.any_op, !transform.param)
+      "transform.assert"(%flags) {message = "params must be forwarded"}
+        : (!transform.param) -> ()
+      "transform.annotate"(%loads) {name = "collected_load"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_EQ(countAttr(Payload.get(), "collected_load"), 2);
+}
+
+TEST_F(MatcherEngineTest, CollectMatchingShardedMatchesSerial) {
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"memref.store">):
+      "transform.yield"(%op) : (!transform.op<"memref.store">) -> ()
+    }) {sym_name = "is_store"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %stores = "transform.collect_matching"(%root) {matcher = @is_store}
+        : (!transform.any_op) -> (!transform.op<"memref.store">)
+      "transform.annotate"(%stores) {name = "store_seen"}
+        : (!transform.op<"memref.store">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::string Serial;
+  for (unsigned NumShards : {1u, 4u}) {
+    OwningOpRef Payload = makeManyFuncPayload(9);
+    TransformOptions Options;
+    Options.MatchShards = NumShards;
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_EQ(countAttr(Payload.get(), "store_seen"), 9);
+    if (NumShards == 1)
+      Serial = printed(Payload.get());
+    else
+      EXPECT_EQ(printed(Payload.get()), Serial);
+  }
+}
+
+TEST_F(MatcherEngineTest, CollectMatchingArityMismatchIsDefiniteError) {
+  OwningOpRef Payload = makeManyFuncPayload(1);
+  // The matcher forwards one value but the op declares two results.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %a, %b = "transform.collect_matching"(%root) {matcher = @is_loop}
+        : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("declares"));
+}
+
+TEST_F(MatcherEngineTest, CollectMatchingUnknownMatcherIsDefiniteError) {
+  OwningOpRef Payload = makeManyFuncPayload(1);
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %a = "transform.collect_matching"(%root) {matcher = @missing}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("unknown named sequence"));
+}
+
+TEST_F(MatcherEngineTest, CollectMatchingTypedYieldMismatchRejectedStatically) {
+  // The matcher forwards op<"scf.for"> but the result declares
+  // op<"memref.load">: caught by the static type analysis before any
+  // interpretation.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %a = "transform.collect_matching"(%root) {matcher = @is_loop}
+        : (!transform.any_op) -> (!transform.op<"memref.load">)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_NE(Issues[0].Message.find("collect_matching"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// apply_patterns: named sets and per-match pattern sets
+//===----------------------------------------------------------------------===//
+
+TEST_F(MatcherEngineTest, ApplyPatternsNamedSetFlatForm) {
+  // The attribute form replaces the region form: named sets resolve through
+  // the transform.pattern registry ("canonicalization" is built in).
+  // x * 1 folds away under canonicalization.
+  OwningOpRef Payload = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %one = "arith.constant"() {value = 1.0 : f64} : () -> (f64)
+        %y = "arith.mulf"(%x, %one) : (f64, f64) -> (f64)
+        "func.return"(%y) : (f64) -> ()
+      }) {sym_name = "f", function_type = (f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.apply_patterns"(%root)
+        {pattern_sets = ["canonicalization"]} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Payload);
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_EQ(countOps(Payload.get(), "arith.mulf"), 0);
+}
+
+TEST_F(MatcherEngineTest, ApplyPatternsPerMatchAppliesOnlyInsideMatches) {
+  // The paper's pattern-control example: a named pattern set applied only
+  // within ops a pure matcher approved. Two functions, one tagged
+  // {kernel}; addf->mulf must rewrite inside the tagged one only.
+  registerTransformPatternOp(Ctx, "addf_to_mulf", [](PatternSet &Patterns) {
+    Patterns.addFn("addf-to-mulf", "arith.addf",
+                   [](Operation *Op, PatternRewriter &Rewriter) {
+                     Rewriter.replaceOpWithNew(Op, "arith.mulf",
+                                               Op->getOperands(),
+                                               Op->getResultTypes());
+                     return success();
+                   });
+  });
+  OwningOpRef Payload = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %a = "arith.addf"(%x, %x) : (f64, f64) -> (f64)
+        "func.return"(%a) : (f64) -> ()
+      }) {sym_name = "hot", kernel,
+          function_type = (f64) -> f64} : () -> ()
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %a = "arith.addf"(%x, %x) : (f64, f64) -> (f64)
+        "func.return"(%a) : (f64) -> ()
+      }) {sym_name = "cold", function_type = (f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"func.func">):
+      %0 = "transform.match.attr"(%op) {name = "kernel"}
+        : (!transform.op<"func.func">) -> (!transform.op<"func.func">)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_kernel_func"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.apply_patterns"(%root)
+        {matchers = [@is_kernel_func], pattern_sets = ["addf_to_mulf"]}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Payload);
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(analyzeHandleTypes(Script.get()).empty());
+  EXPECT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  int64_t HotMulf = 0, ColdAddf = 0;
+  Payload->walk([&](Operation *Op) {
+    if (Op->getName() != "func.func")
+      return;
+    bool Hot = Op->hasAttr("kernel");
+    Op->walk([&](Operation *Nested) {
+      if (Hot)
+        HotMulf += Nested->getName() == "arith.mulf";
+      else
+        ColdAddf += Nested->getName() == "arith.addf";
+    });
+  });
+  EXPECT_EQ(HotMulf, 1);  // rewritten inside the matched func
+  EXPECT_EQ(ColdAddf, 1); // untouched outside it
+}
+
+TEST_F(MatcherEngineTest, ApplyPatternsPerMatchUnknownSetIsRejected) {
+  OwningOpRef Payload = makeManyFuncPayload(1);
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"func.func">):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_func"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.apply_patterns"(%root)
+        {matchers = [@is_func], pattern_sets = ["no_such_set"]}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("unknown pattern set"));
+}
+
+TEST_F(MatcherEngineTest, ApplyPatternsFlatUnknownSetRejectedStatically) {
+  // The flat form gets the same static registry check as the match-driven
+  // form: an unknown set name is an ill-typed script, caught before any
+  // transform runs.
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.apply_patterns"(%root)
+        {pattern_sets = ["no_such_flat_set"]} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("unknown pattern set"), std::string::npos);
+}
+
+TEST_F(MatcherEngineTest, ApplyPatternsMismatchedPairArraysAreRejected) {
+  OwningOpRef Payload = makeManyFuncPayload(1);
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "m"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.apply_patterns"(%root)
+        {matchers = [@m, @m], pattern_sets = ["canonicalization"]}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Script);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  EXPECT_TRUE(failed(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_TRUE(Capture.contains("equally sized"));
+}
+
+TEST_F(MatcherEngineTest, ApplyPatternsPerMatchSkipsStaleMatches) {
+  // Two pairs claim overlapping payload: the func (whose pattern run
+  // replaces the addf inside it) and the addf itself. The func is claimed
+  // first in walk order, its commit replaces the addf, and the addf match
+  // goes stale — the engine must skip it rather than anchor a pattern run
+  // at a replaced op.
+  registerTransformPatternOp(Ctx, "erase_adds", [](PatternSet &Patterns) {
+    Patterns.addFn("erase-adds", "arith.addf",
+                   [](Operation *Op, PatternRewriter &Rewriter) {
+                     Rewriter.replaceOpWithNew(Op, "arith.mulf",
+                                               Op->getOperands(),
+                                               Op->getResultTypes());
+                     return success();
+                   });
+  });
+  OwningOpRef Payload = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %a = "arith.addf"(%x, %x) : (f64, f64) -> (f64)
+        "func.return"(%a) : (f64) -> ()
+      }) {sym_name = "f", function_type = (f64) -> f64} : () -> ()
+    }) : () -> ()
+  )");
+  OwningOpRef Script = makeScriptModule(R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"func.func">):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_func"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"arith.addf">):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_add"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.apply_patterns"(%root)
+        {matchers = [@is_func, @is_add],
+         pattern_sets = ["erase_adds", "erase_adds"]}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )");
+  ASSERT_TRUE(Payload);
+  ASSERT_TRUE(Script);
+  EXPECT_TRUE(succeeded(applyTransforms(Payload.get(), Script.get())));
+  EXPECT_EQ(countOps(Payload.get(), "arith.addf"), 0);
+  EXPECT_EQ(countOps(Payload.get(), "arith.mulf"), 1);
+}
+
+} // namespace

@@ -1,0 +1,14 @@
+"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.op<"scf.for">):
+    "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+  }) {sym_name = "is_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %loops = "transform.collect_matching"(%root) {matcher = @is_loop}
+      : (!transform.any_op) -> (!transform.op<"scf.for">)
+    "transform.annotate"(%loops) {name = "collected_loop"}
+      : (!transform.op<"scf.for">) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

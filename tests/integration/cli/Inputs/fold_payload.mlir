@@ -1,0 +1,14 @@
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%x: f64):
+    %one = "arith.constant"() {value = 1.0 : f64} : () -> (f64)
+    %y = "arith.mulf"(%x, %one) : (f64, f64) -> (f64)
+    "func.return"(%y) : (f64) -> ()
+  }) {sym_name = "hot", function_type = (f64) -> f64} : () -> ()
+  "func.func"() ({
+  ^bb0(%x: f64):
+    %one = "arith.constant"() {value = 1.0 : f64} : () -> (f64)
+    %y = "arith.mulf"(%x, %one) : (f64, f64) -> (f64)
+    "func.return"(%y) : (f64) -> ()
+  }) {sym_name = "cold", function_type = (f64) -> f64} : () -> ()
+}) : () -> ()

@@ -1,0 +1,13 @@
+"builtin.module"() ({
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.op<"func.func">):
+    "transform.yield"() : () -> ()
+  }) {sym_name = "is_func"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    "transform.apply_patterns"(%root)
+      {matchers = [@is_func], pattern_sets = ["canonicalization"]}
+      : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,80 @@
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%m: memref<2x4xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 2 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^body(%i: index):
+      %v = "memref.load"(%m, %i, %lb) : (memref<2x4xf64>, index, index) -> (f64)
+      "memref.store"(%v, %m, %i, %lb) : (f64, memref<2x4xf64>, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "f0", function_type = (memref<2x4xf64>) -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%m: memref<2x4xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 2 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^body(%i: index):
+      %v = "memref.load"(%m, %i, %lb) : (memref<2x4xf64>, index, index) -> (f64)
+      "memref.store"(%v, %m, %i, %lb) : (f64, memref<2x4xf64>, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "f1", function_type = (memref<2x4xf64>) -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%m: memref<2x4xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 2 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^body(%i: index):
+      %v = "memref.load"(%m, %i, %lb) : (memref<2x4xf64>, index, index) -> (f64)
+      "memref.store"(%v, %m, %i, %lb) : (f64, memref<2x4xf64>, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "f2", function_type = (memref<2x4xf64>) -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%m: memref<2x4xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 2 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^body(%i: index):
+      %v = "memref.load"(%m, %i, %lb) : (memref<2x4xf64>, index, index) -> (f64)
+      "memref.store"(%v, %m, %i, %lb) : (f64, memref<2x4xf64>, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "f3", function_type = (memref<2x4xf64>) -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%m: memref<2x4xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 2 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^body(%i: index):
+      %v = "memref.load"(%m, %i, %lb) : (memref<2x4xf64>, index, index) -> (f64)
+      "memref.store"(%v, %m, %i, %lb) : (f64, memref<2x4xf64>, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "f4", function_type = (memref<2x4xf64>) -> ()} : () -> ()
+  "func.func"() ({
+  ^bb0(%m: memref<2x4xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 2 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^body(%i: index):
+      %v = "memref.load"(%m, %i, %lb) : (memref<2x4xf64>, index, index) -> (f64)
+      "memref.store"(%v, %m, %i, %lb) : (f64, memref<2x4xf64>, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "f5", function_type = (memref<2x4xf64>) -> ()} : () -> ()
+}) : () -> ()

@@ -28,6 +28,7 @@
 #include "support/Stream.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -57,6 +58,11 @@ int usage(const char *Argv0) {
          << "  --check-pipeline=<p1,p2,..>  static pre/post-condition check\n"
          << "  --check-conditions           dynamic contract checks while\n"
          << "                               interpreting lowering transforms\n"
+         << "  --match-shards=<N>           shard the matcher-engine payload\n"
+         << "                               walk (foreach_match,\n"
+         << "                               collect_matching) across N worker\n"
+         << "                               threads; output is identical to\n"
+         << "                               the serial walk (default 1)\n"
          << "  --no-verify                  skip the final verifier run\n"
          << "  --quiet                      do not print the final IR\n";
   return 2;
@@ -72,6 +78,8 @@ int main(int argc, char **argv) {
   std::string Pipeline;
   std::string ScriptPath;
   std::string CheckPipeline;
+  std::string MatchShardsText;
+  unsigned MatchShards = 1;
   bool CheckInvalidation = false;
   bool CheckTypes = false;
   bool CheckConditions = false;
@@ -90,6 +98,18 @@ int main(int argc, char **argv) {
         Consume("--transform=", ScriptPath) ||
         Consume("--check-pipeline=", CheckPipeline))
       continue;
+    if (Consume("--match-shards=", MatchShardsText)) {
+      char *End = nullptr;
+      unsigned long Parsed = std::strtoul(MatchShardsText.c_str(), &End, 10);
+      if (MatchShardsText.empty() || *End != '\0' || Parsed == 0 ||
+          Parsed > 256) {
+        errs() << "error: --match-shards expects an integer in [1, 256], got '"
+               << MatchShardsText << "'\n";
+        return usage(argv[0]);
+      }
+      MatchShards = static_cast<unsigned>(Parsed);
+      continue;
+    }
     if (Arg == "--check-invalidation")
       CheckInvalidation = true;
     else if (Arg == "--check-types")
@@ -184,6 +204,7 @@ int main(int argc, char **argv) {
       return 1;
     TransformOptions Options;
     Options.CheckConditions = CheckConditions;
+    Options.MatchShards = MatchShards;
     if (failed(applyTransforms(Payload.get(), Script.get(), Options)))
       return 1;
   }
