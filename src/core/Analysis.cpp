@@ -199,6 +199,9 @@ private:
     case TransformTypeCheckSpecial::ApplyPatterns:
       checkApplyPatterns(Op);
       break;
+    case TransformTypeCheckSpecial::Import:
+      checkImport(Op);
+      break;
     }
   }
 
@@ -436,6 +439,30 @@ private:
                     .str() +
                     " yield " + std::to_string(I) + " into result " +
                     std::to_string(I));
+  }
+
+  /// transform.import: the library reference must be structurally sound —
+  /// a declaration whose `from`/`symbol` attributes have the wrong kind can
+  /// never link, and this pass runs before every interpretation, so the
+  /// script is rejected payload-independently. Whether the referenced
+  /// library/symbol actually exists (and is public) is the link step's
+  /// diagnostic: the analysis has no TransformLibraryManager.
+  void checkImport(Operation *Op) {
+    if (Op->getNumOperands() || Op->getNumResults()) {
+      report(Op, "transform.import is a declaration and takes no operands "
+                 "or results");
+      return;
+    }
+    if (Op->hasAttr("from") && !Op->getAttrOfType<SymbolRefAttr>("from"))
+      report(Op, "transform.import 'from' must be a library symbol "
+                 "reference (e.g. @mylib)");
+    if (Op->hasAttr("symbol") && !Op->getAttrOfType<SymbolRefAttr>("symbol"))
+      report(Op, "transform.import 'symbol' must be a symbol reference "
+                 "(e.g. @my_matcher)");
+    // A wrong-kind 'file' would be silently ignored by the lazy load and
+    // surface later as a misleading "unknown library" error.
+    if (Op->hasAttr("file") && !Op->getAttrOfType<StringAttr>("file"))
+      report(Op, "transform.import 'file' must be a string path");
   }
 
   /// apply_patterns: named pattern sets (flat or match-driven form) must

@@ -6,6 +6,7 @@
 
 #include "core/MatcherEngine.h"
 
+#include "core/TransformLibrary.h"
 #include "ir/SymbolTable.h"
 
 #include <thread>
@@ -24,7 +25,12 @@ Operation *tdl::resolveTransformSequence(Operation *ScriptRoot,
     return nullptr;
   if (getSymbolName(ScriptRoot) == Name)
     return ScriptRoot;
-  return lookupSymbolRecursive(ScriptRoot, Name);
+  if (Operation *Local = lookupSymbolRecursive(ScriptRoot, Name))
+    return Local;
+  // Library tier: symbols a TransformLibraryManager linked into this script
+  // root's scope (explicit imports first, then the search-path tier).
+  // Script-local definitions shadow imports by construction of this order.
+  return lookupLinkedLibrarySymbol(ScriptRoot, Name);
 }
 
 std::string_view tdl::transformSequenceRefName(Attribute Ref) {

@@ -56,11 +56,14 @@ namespace tdl {
 //===----------------------------------------------------------------------===//
 
 /// Resolves a named transform sequence the one way every consumer must: the
-/// script root itself when its symbol name matches, otherwise the first
+/// script root itself when its symbol name matches, then the first
 /// pre-order definition among nested symbol tables (library modules of
-/// matcher sequences included). The runtime
-/// (`TransformInterpreter::lookupNamedSequence`) and the static analyses
-/// both delegate here so they can never disagree on matcher resolution.
+/// matcher sequences included), then the cross-file library scope a
+/// TransformLibraryManager linked into the script root (imported symbols
+/// and the search-path tier — see TransformLibrary.h). The runtime
+/// (`TransformInterpreter::lookupNamedSequence`), the matcher engine, the
+/// include-cycle check, and the static analyses all delegate here so they
+/// can never disagree on which definition a reference means.
 Operation *resolveTransformSequence(Operation *ScriptRoot,
                                     std::string_view Name);
 

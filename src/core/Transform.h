@@ -97,6 +97,7 @@ enum class TransformTypeCheckSpecial : uint8_t {
   ForeachMatch,    ///< foreach_match: matcher/action/result signatures.
   CollectMatching, ///< collect_matching: matcher yields vs result types.
   ApplyPatterns,   ///< apply_patterns: matcher/pattern-set pairing.
+  Import,          ///< transform.import: well-formed library reference.
 };
 
 /// Runtime behavior of a transform op: which operands it consumes (a

@@ -1,0 +1,445 @@
+//===- TransformLibrary.cpp - Shared transform script libraries -----------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TransformLibrary.h"
+
+#include "core/Analysis.h"
+#include "core/MatcherEngine.h"
+#include "ir/Parser.h"
+#include "ir/SymbolTable.h"
+#include "ir/Verifier.h"
+#include "support/STLExtras.h"
+#include "support/Stream.h"
+
+#include <cstdlib>
+#include <mutex>
+
+using namespace tdl;
+
+//===----------------------------------------------------------------------===//
+// Linked-scope side table
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The member block of a library op, or null for an empty library (the
+/// verifier allows a block-less region; Region::front() on it is UB).
+Block *libraryBody(Operation *Lib) {
+  if (Lib->getNumRegions() < 1 || Lib->getRegion(0).empty())
+    return nullptr;
+  return &Lib->getRegion(0).front();
+}
+
+/// The merged library scope of one script root. Exported entries come from
+/// explicit imports and are consulted first; Internal entries carry the
+/// imported libraries' private helpers and the search-path tier (public
+/// symbols of every other loaded library).
+struct LinkedScope {
+  std::map<std::string, Operation *, std::less<>> Exported;
+  std::map<std::string, Operation *, std::less<>> Internal;
+};
+
+/// Process-wide: resolveTransformSequence is a free function shared by the
+/// interpreter, the matcher engine, and the static analyses, so the scopes
+/// managers register must be reachable without threading a manager through
+/// every resolver signature. Guarded for the (setup-time) writers and any
+/// resolver reads that overlap worker threads.
+struct ScopeTable {
+  std::mutex Mutex;
+  std::map<Operation *, LinkedScope> Scopes;
+
+  static ScopeTable &instance() {
+    static ScopeTable Table;
+    return Table;
+  }
+};
+
+} // namespace
+
+Operation *tdl::lookupLinkedLibrarySymbol(Operation *ScriptRoot,
+                                          std::string_view Name) {
+  ScopeTable &Table = ScopeTable::instance();
+  std::lock_guard<std::mutex> Lock(Table.Mutex);
+  auto ScopeIt = Table.Scopes.find(ScriptRoot);
+  if (ScopeIt == Table.Scopes.end())
+    return nullptr;
+  const LinkedScope &Scope = ScopeIt->second;
+  auto It = Scope.Exported.find(Name);
+  if (It != Scope.Exported.end())
+    return It->second;
+  It = Scope.Internal.find(Name);
+  return It == Scope.Internal.end() ? nullptr : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// File reading and hashing
+//===----------------------------------------------------------------------===//
+
+/// FNV-1a over the file bytes: cheap, deterministic, and good enough to
+/// detect content changes behind an unchanged canonical path.
+static uint64_t hashContent(std::string_view Content) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (unsigned char C : Content) {
+    Hash ^= C;
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+/// Canonicalizes \p Path so the cache key is stable across spellings
+/// (./lib.mlir vs lib.mlir vs an absolute path). Falls back to the spelled
+/// path when realpath fails (the file was readable, so this is rare).
+static std::string canonicalize(const std::string &Path) {
+  if (char *Resolved = ::realpath(Path.c_str(), nullptr)) {
+    std::string Result(Resolved);
+    ::free(Resolved);
+    return Result;
+  }
+  return Path;
+}
+
+std::string
+TransformLibraryManager::findAndRead(std::string_view Path,
+                                     std::string &Content) const {
+  std::string Spelled(Path);
+  if (readFileToString(Spelled, Content))
+    return Spelled;
+  if (!Spelled.empty() && Spelled[0] != '/')
+    for (const std::string &Dir : SearchDirs) {
+      std::string Candidate = Dir + "/" + Spelled;
+      if (readFileToString(Candidate, Content))
+        return Candidate;
+    }
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Loading
+//===----------------------------------------------------------------------===//
+
+void TransformLibraryManager::addSearchDir(std::string Dir) {
+  SearchDirs.push_back(std::move(Dir));
+}
+
+LogicalResult TransformLibraryManager::loadLibraryFile(std::string_view Path) {
+  std::vector<std::string> LoadStack;
+  return loadLibraryFileImpl(Path, LoadStack);
+}
+
+LogicalResult
+TransformLibraryManager::loadLibraryFileImpl(std::string_view Path,
+                                             std::vector<std::string> &LoadStack) {
+  ++NumLoadRequests;
+  std::string Content;
+  std::string Found = findAndRead(std::string(Path), Content);
+  if (Found.empty())
+    return Ctx.emitError(Location::name(Path))
+           << "transform-library: cannot find library file '" << Path
+           << "' (searched " << SearchDirs.size() << " director"
+           << (SearchDirs.size() == 1 ? "y" : "ies") << ")";
+  std::string Canonical = canonicalize(Found);
+
+  // A file currently being loaded that is requested again can only be
+  // reached through its own (transitive) imports: a cross-file cycle.
+  if (is_contained(LoadStack, Canonical)) {
+    std::string Chain;
+    for (const std::string &Frame : LoadStack)
+      Chain += Frame + " -> ";
+    return Ctx.emitError(Location::name(Path))
+           << "transform-library: import cycle between library files: "
+           << Chain << Canonical;
+  }
+
+  uint64_t Hash = hashContent(Content);
+  auto It = Files.find(Canonical);
+  if (It != Files.end() && It->second.ContentHash == Hash)
+    return success(); // cache hit: parsed and checked once already
+
+  OwningOpRef Module = parseSourceString(Ctx, Content, Found);
+  ++NumParses;
+  if (!Module)
+    return failure(); // parse diagnostics already emitted
+  if (failed(verify(Module.get())))
+    return failure();
+
+  if (It != Files.end()) {
+    // Content changed behind the same path: supersede. The old module stays
+    // alive (previously linked scopes may still point into it); its library
+    // names are re-registered to the fresh definitions below.
+    Retired.push_back(std::move(It->second.Module));
+    unregisterLibraries(It->second);
+    It->second.ContentHash = Hash;
+    It->second.Module = std::move(Module);
+  } else {
+    LoadedFile File;
+    File.CanonicalPath = Canonical;
+    File.ContentHash = Hash;
+    File.Module = std::move(Module);
+    It = Files.emplace(Canonical, std::move(File)).first;
+  }
+
+  LoadStack.push_back(Canonical);
+  LogicalResult Result = registerAndCheck(It->second, LoadStack);
+  LoadStack.pop_back();
+  if (failed(Result)) {
+    // Never cache a failed load: a later request with unchanged content
+    // would otherwise hit the hash check and report success with the bad
+    // library still registered and resolvable. Unregister whatever the
+    // file managed to register, drop its scope, and retire the module
+    // (scopes linked before the failure may still point into it).
+    unregisterLibraries(It->second);
+    unlink(It->second.Module.get());
+    Retired.push_back(std::move(It->second.Module));
+    Files.erase(It);
+  }
+  return Result;
+}
+
+void TransformLibraryManager::unregisterLibraries(LoadedFile &File) {
+  for (const std::string &Name : File.LibraryNames) {
+    Libraries.erase(Name);
+    auto OrderIt =
+        std::find(LibraryLoadOrder.begin(), LibraryLoadOrder.end(), Name);
+    if (OrderIt != LibraryLoadOrder.end())
+      LibraryLoadOrder.erase(OrderIt);
+  }
+  File.LibraryNames.clear();
+}
+
+LogicalResult
+TransformLibraryManager::registerAndCheck(LoadedFile &File,
+                                          std::vector<std::string> &LoadStack) {
+  Operation *Module = File.Module.get();
+
+  // Register every top-level transform.library of the file. Library names
+  // are a flat cross-file namespace: the same name in two files would make
+  // `transform.import {from = @name}` ambiguous.
+  std::vector<Operation *> NewLibraries;
+  if (Module->getNumRegions() >= 1 && !Module->getRegion(0).empty())
+    for (Operation *Child : Module->getRegion(0).front())
+      if (Child->getName() == "transform.library")
+        NewLibraries.push_back(Child);
+  if (NewLibraries.empty())
+    return Module->emitError()
+           << "transform-library: file '" << File.CanonicalPath
+           << "' contains no 'transform.library' op";
+  for (Operation *Lib : NewLibraries) {
+    std::string Name(getSymbolName(Lib));
+    auto Existing = Libraries.find(Name);
+    if (Existing != Libraries.end())
+      return Lib->emitError()
+             << "transform-library: library '@" << Name
+             << "' defined in both '" << Existing->second.File << "' and '"
+             << File.CanonicalPath << "'";
+    Libraries[Name] = {Lib, File.CanonicalPath};
+    LibraryLoadOrder.push_back(Name);
+    File.LibraryNames.push_back(Name);
+  }
+
+  // The file's own imports may reference libraries from other files; load
+  // those first (this is where cross-file cycles surface), then link and
+  // check this module once — every later interpretation reuses the result.
+  LogicalResult ImportsLoaded = success();
+  Module->walk([&](Operation *Op) {
+    if (failed(ImportsLoaded) || Op->getName() != "transform.import")
+      return;
+    std::string_view ImportFile = Op->getStringAttr("file");
+    if (!ImportFile.empty() &&
+        failed(loadLibraryFileImpl(ImportFile, LoadStack)))
+      ImportsLoaded = failure();
+  });
+  if (failed(ImportsLoaded))
+    return failure();
+
+  if (failed(link(Module)))
+    return failure();
+  if (failed(checkIncludeCycles(Module)))
+    return failure();
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Module);
+  for (const TypeCheckIssue &Issue : Issues)
+    Issue.Op->emitError()
+        << "ill-typed transform library: " << Issue.Message;
+  return Issues.empty() ? success() : failure();
+}
+
+//===----------------------------------------------------------------------===//
+// Linking
+//===----------------------------------------------------------------------===//
+
+bool TransformLibraryManager::isPublicSymbol(Operation *SymbolOp) {
+  return SymbolOp->getStringAttr("visibility") != "private";
+}
+
+LogicalResult TransformLibraryManager::link(Operation *ScriptRoot) {
+  LinkedScope Scope;
+  /// Which library exported each name, for the duplicate diagnostic.
+  std::map<std::string, std::string, std::less<>> ExportedFrom;
+
+  // walk() visits ScriptRoot itself too, so a bare import op as the root
+  // needs no special case.
+  std::vector<Operation *> Imports;
+  ScriptRoot->walk([&](Operation *Op) {
+    if (Op->getName() == "transform.import")
+      Imports.push_back(Op);
+  });
+
+  auto AddExported = [&](Operation *ImportOp, std::string_view Name,
+                         Operation *Def,
+                         std::string_view LibName) -> LogicalResult {
+    auto It = Scope.Exported.find(Name);
+    if (It != Scope.Exported.end()) {
+      if (It->second == Def)
+        return success(); // the same definition imported twice is harmless
+      return ImportOp->emitError()
+             << "transform-library: duplicate public symbol '@" << Name
+             << "' imported from library '@" << ExportedFrom[std::string(Name)]
+             << "' and library '@" << LibName << "'";
+    }
+    Scope.Exported[std::string(Name)] = Def;
+    ExportedFrom[std::string(Name)] = std::string(LibName);
+    return success();
+  };
+
+  for (Operation *ImportOp : Imports) {
+    // `file` imports load lazily through the search path; a script linked
+    // outside the CLI (no --transform-library flags) still resolves.
+    std::string_view ImportFile = ImportOp->getStringAttr("file");
+    if (!ImportFile.empty()) {
+      std::vector<std::string> LoadStack;
+      if (failed(loadLibraryFileImpl(ImportFile, LoadStack)))
+        return failure();
+    }
+    SymbolRefAttr From = ImportOp->getAttrOfType<SymbolRefAttr>("from");
+    if (!From)
+      return ImportOp->emitError()
+             << "transform-library: transform.import requires a 'from' "
+                "library reference";
+    auto LibIt = Libraries.find(From.getValue());
+    if (LibIt == Libraries.end())
+      return ImportOp->emitError()
+             << "transform-library: unknown library '@" << From.getValue()
+             << "'; load it with --transform-library or an import 'file' "
+                "attribute";
+    Operation *Lib = LibIt->second.Op;
+
+    if (SymbolRefAttr Sym = ImportOp->getAttrOfType<SymbolRefAttr>("symbol")) {
+      Operation *Def = lookupSymbol(Lib, Sym.getValue());
+      if (!Def)
+        return ImportOp->emitError()
+               << "transform-library: library '@" << From.getValue()
+               << "' has no symbol '@" << Sym.getValue() << "'";
+      if (!isPublicSymbol(Def))
+        return ImportOp->emitError()
+               << "transform-library: symbol '@" << Sym.getValue()
+               << "' in library '@" << From.getValue()
+               << "' is private and cannot be imported";
+      if (failed(AddExported(ImportOp, Sym.getValue(), Def, From.getValue())))
+        return failure();
+    } else if (Block *Members = libraryBody(Lib)) {
+      // Import-all form: every public symbol of the library.
+      for (Operation *Member : *Members) {
+        std::string_view Name = getSymbolName(Member);
+        if (Name.empty() || !isPublicSymbol(Member))
+          continue;
+        if (failed(AddExported(ImportOp, Name, Member, From.getValue())))
+          return failure();
+      }
+    }
+
+    // Imported libraries contribute their members — private helpers
+    // included — to the internal tier, so a public sequence can include a
+    // private helper across the file boundary. First import wins on a
+    // name clash; the exported tier above is consulted first anyway.
+    if (Block *Members = libraryBody(Lib))
+      for (Operation *Member : *Members) {
+        std::string_view Name = getSymbolName(Member);
+        if (!Name.empty())
+          Scope.Internal.emplace(std::string(Name), Member);
+      }
+  }
+
+  // Search-path tier: public symbols of every loaded library, in load
+  // order, resolve even without an explicit import (CLI convenience). The
+  // exported tier shadows this, so explicit imports disambiguate clashes.
+  for (const std::string &LibName : LibraryLoadOrder) {
+    Block *Members = libraryBody(Libraries[LibName].Op);
+    if (!Members)
+      continue;
+    for (Operation *Member : *Members) {
+      std::string_view Name = getSymbolName(Member);
+      if (!Name.empty() && isPublicSymbol(Member))
+        Scope.Internal.emplace(std::string(Name), Member);
+    }
+  }
+
+  ScopeTable &Table = ScopeTable::instance();
+  {
+    std::lock_guard<std::mutex> Lock(Table.Mutex);
+    Table.Scopes[ScriptRoot] = std::move(Scope);
+  }
+  if (!is_contained(LinkedRoots, ScriptRoot))
+    LinkedRoots.push_back(ScriptRoot);
+  return success();
+}
+
+void TransformLibraryManager::unlink(Operation *ScriptRoot) {
+  ScopeTable &Table = ScopeTable::instance();
+  std::lock_guard<std::mutex> Lock(Table.Mutex);
+  Table.Scopes.erase(ScriptRoot);
+}
+
+TransformLibraryManager::~TransformLibraryManager() {
+  for (Operation *Root : LinkedRoots)
+    unlink(Root);
+}
+
+Operation *TransformLibraryManager::lookupLibrary(std::string_view Name) const {
+  auto It = Libraries.find(Name);
+  return It == Libraries.end() ? nullptr : It->second.Op;
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+std::string TransformLibraryManager::signatureOf(Operation *SequenceOp) {
+  std::string Result = "(";
+  if (SequenceOp->getNumRegions() >= 1 && !SequenceOp->getRegion(0).empty()) {
+    Block &Body = SequenceOp->getRegion(0).front();
+    for (unsigned I = 0; I < Body.getNumArguments(); ++I) {
+      if (I)
+        Result += ", ";
+      Result += Body.getArgument(I).getType().str();
+    }
+    Result += ") -> (";
+    Operation *Yield = Body.getTerminator();
+    if (Yield && Yield->getName() == "transform.yield")
+      for (unsigned I = 0; I < Yield->getNumOperands(); ++I) {
+        if (I)
+          Result += ", ";
+        Result += Yield->getOperand(I).getType().str();
+      }
+  } else {
+    Result += ") -> (";
+  }
+  return Result + ")";
+}
+
+void TransformLibraryManager::dumpSymbols(raw_ostream &OS) const {
+  for (const std::string &LibName : LibraryLoadOrder) {
+    const LibraryEntry &Entry = Libraries.find(LibName)->second;
+    OS << "library '@" << LibName << "' (from " << Entry.File << "):\n";
+    Block *Members = libraryBody(Entry.Op);
+    if (!Members)
+      continue;
+    for (Operation *Member : *Members) {
+      std::string_view Name = getSymbolName(Member);
+      if (Name.empty() || !isPublicSymbol(Member))
+        continue;
+      OS << "  @" << Name << " : " << signatureOf(Member) << "\n";
+    }
+  }
+}

@@ -6,7 +6,8 @@
 ///
 /// \file
 /// Registration and semantics of the built-in transform ops: structural ops
-/// (sequence, named_sequence, yield, include, foreach, alternatives), handle
+/// (sequence, named_sequence, yield, include, foreach, alternatives),
+/// library structure (library, import — see TransformLibrary.h), handle
 /// manipulation (match.op, get_parent_op, merge/split, cast), parameters,
 /// loop transforms (tile/split/unroll/interchange/hoist/vectorize), library
 /// substitution (to_library), pass and pattern application, annotations and
@@ -651,6 +652,74 @@ void tdl::registerTransformDialect(Context &Ctx) {
   }
 
   //===------------------------------------------------------------------===//
+  // Library structure: transform.library owns a flat namespace of named
+  // sequences shared across scripts; transform.import links its symbols
+  // into the enclosing script's resolution scope. Both are declarations —
+  // the TransformLibraryManager (core/TransformLibrary.h) gives them their
+  // cross-file semantics; the interpreter treats them as no-ops.
+  //===------------------------------------------------------------------===//
+
+  {
+    OpInfo Library;
+    Library.Name = "transform.library";
+    Library.Traits = OT_Symbol | OT_SymbolTable | OT_GraphRegion |
+                     OT_SingleBlock;
+    Library.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumRegions() != 1)
+        return Op->emitOpError() << "expects one region";
+      if (Op->getNumOperands() || Op->getNumResults())
+        return Op->emitOpError() << "expects no operands or results";
+      if (Op->getStringAttr("sym_name").empty())
+        return Op->emitOpError() << "requires a 'sym_name'";
+      if (Op->getRegion(0).empty())
+        return success();
+      for (Operation *Member : Op->getRegion(0).front()) {
+        if (Member->getName() != "transform.named_sequence" &&
+            Member->getName() != "transform.import")
+          return Member->emitOpError()
+                 << "transform.library members must be named sequences or "
+                    "imports";
+        std::string_view Visibility = Member->getStringAttr("visibility");
+        if (!Visibility.empty() && Visibility != "public" &&
+            Visibility != "private")
+          return Member->emitOpError()
+                 << "'visibility' must be \"public\" or \"private\", got \""
+                 << Visibility << "\"";
+      }
+      return success();
+    };
+    TransformOpDef Def;
+    Def.MatcherOk = true; // a declaration container; never touches payload
+    Def.Apply = [](Operation *, TransformInterpreter &) {
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Library, Def);
+  }
+
+  {
+    OpInfo Import;
+    Import.Name = "transform.import";
+    Import.Verify = [](Operation *Op) -> LogicalResult {
+      if (Op->getNumOperands() || Op->getNumResults())
+        return Op->emitOpError() << "expects no operands or results";
+      if (!Op->getAttrOfType<SymbolRefAttr>("from"))
+        return Op->emitOpError() << "requires a 'from' library reference";
+      if (Op->hasAttr("symbol") && !Op->getAttrOfType<SymbolRefAttr>("symbol"))
+        return Op->emitOpError() << "'symbol' must be a symbol reference";
+      if (Op->hasAttr("file") && !Op->getAttrOfType<StringAttr>("file"))
+        return Op->emitOpError() << "'file' must be a string path";
+      return success();
+    };
+    TransformOpDef Def;
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::Import;
+    Def.MatcherOk = true; // a declaration; never touches payload
+    Def.Apply = [](Operation *, TransformInterpreter &) {
+      return DSF::success();
+    };
+    registerTransformOp(Ctx, Import, Def);
+  }
+
+  //===------------------------------------------------------------------===//
   // Matching and handle manipulation
   //===------------------------------------------------------------------===//
 
@@ -1200,6 +1269,14 @@ void tdl::registerTransformDialect(Context &Ctx) {
     registerTransformOp(Ctx, Vectorize, Def);
   }
 
+  // `transform.to_library` predates the transform *library subsystem*
+  // (core/TransformLibrary.h) and is unrelated to it despite the name: it
+  // substitutes matched payload loop nests with calls into a precompiled
+  // *microkernel* library such as libxsmm (the paper's Fig. 8 / Case Study
+  // 4 workflow), whereas `transform.library`/`transform.import` share
+  // *transform scripts* across files. The name is kept for paper fidelity;
+  // its semantics are unchanged by the subsystem (regression-tested in
+  // tests/core/TransformLibraryTest.cpp).
   {
     OpInfo ToLibrary;
     ToLibrary.Name = "transform.to_library";

@@ -8,6 +8,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 using namespace tdl;
 
@@ -90,4 +92,14 @@ raw_ostream &tdl::errs() {
 raw_ostream &tdl::nulls() {
   static raw_null_ostream Stream;
   return Stream;
+}
+
+bool tdl::readFileToString(const std::string &Path, std::string &Out) {
+  std::ifstream Stream(Path);
+  if (!Stream)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  Out = Buffer.str();
+  return true;
 }

@@ -89,6 +89,11 @@ raw_ostream &errs();
 /// Returns a stream that discards everything written to it.
 raw_ostream &nulls();
 
+/// Reads the whole file at \p Path into \p Out. Returns false (leaving
+/// \p Out untouched) when the file cannot be opened. The one reader shared
+/// by the CLI driver and the transform library loader.
+bool readFileToString(const std::string &Path, std::string &Out);
+
 } // namespace tdl
 
 #endif // TDL_SUPPORT_STREAM_H

@@ -1,0 +1,8 @@
+"builtin.module"() ({
+  "transform.import"() {from = @dup_a} : () -> ()
+  "transform.import"() {from = @dup_b} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,16 @@
+"builtin.module"() ({
+  "transform.import"() {from = @tdl_stdlib, symbol = @is_loop} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%loop: !transform.op<"scf.for">):
+    "transform.annotate"(%loop) {name = "library_marked_loop"}
+      : (!transform.op<"scf.for">) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "mark_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %u = "transform.foreach_match"(%root)
+      {matchers = [@is_loop], actions = [@mark_loop]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

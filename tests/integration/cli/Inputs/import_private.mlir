@@ -1,0 +1,7 @@
+"builtin.module"() ({
+  "transform.import"() {from = @tdl_stdlib, symbol = @helper} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()

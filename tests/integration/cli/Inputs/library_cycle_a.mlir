@@ -1,0 +1,9 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.import"() {from = @cyc_b, file = "library_cycle_b.mlir"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "a_seq"} : () -> ()
+  }) {sym_name = "cyc_a"} : () -> ()
+}) : () -> ()

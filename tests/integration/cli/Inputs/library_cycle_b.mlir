@@ -1,0 +1,9 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.import"() {from = @cyc_a, file = "library_cycle_a.mlir"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "b_seq"} : () -> ()
+  }) {sym_name = "cyc_b"} : () -> ()
+}) : () -> ()

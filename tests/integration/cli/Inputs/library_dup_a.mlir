@@ -1,0 +1,8 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_thing"} : () -> ()
+  }) {sym_name = "dup_a"} : () -> ()
+}) : () -> ()

@@ -20,6 +20,7 @@
 #include "core/Analysis.h"
 #include "core/Conditions.h"
 #include "core/Transform.h"
+#include "core/TransformLibrary.h"
 #include "dialect/Dialects.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
@@ -29,28 +30,27 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 using namespace tdl;
 
 namespace {
 
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream Stream(Path);
-  if (!Stream)
-    return false;
-  std::ostringstream Buffer;
-  Buffer << Stream.rdbuf();
-  Out = Buffer.str();
-  return true;
-}
-
 int usage(const char *Argv0) {
   errs() << "usage: " << Argv0 << " <payload.mlir> [options]\n"
          << "  --pass-pipeline=<pipeline>   run a textual pass pipeline\n"
          << "  --transform=<script.mlir>    interpret a transform script\n"
+         << "  --transform-library=<path>   load a transform library file\n"
+         << "                               (repeatable); its public symbols\n"
+         << "                               become importable/resolvable from\n"
+         << "                               the script\n"
+         << "  --library-path=<dir>         add a library search directory\n"
+         << "                               (repeatable; searched for\n"
+         << "                               --transform-library paths and\n"
+         << "                               import 'file' attributes)\n"
+         << "  --dump-library-symbols       print each loaded library's\n"
+         << "                               public symbols with their\n"
+         << "                               handle-type signatures\n"
          << "  --check-invalidation         statically analyze the script\n"
          << "  --check-types                statically type-check the script\n"
          << "                               handles (also run before any\n"
@@ -79,10 +79,13 @@ int main(int argc, char **argv) {
   std::string ScriptPath;
   std::string CheckPipeline;
   std::string MatchShardsText;
+  std::vector<std::string> LibraryPaths;
+  std::vector<std::string> LibrarySearchDirs;
   unsigned MatchShards = 1;
   bool CheckInvalidation = false;
   bool CheckTypes = false;
   bool CheckConditions = false;
+  bool DumpLibrarySymbols = false;
   bool Verify = true;
   bool Quiet = false;
 
@@ -98,6 +101,15 @@ int main(int argc, char **argv) {
         Consume("--transform=", ScriptPath) ||
         Consume("--check-pipeline=", CheckPipeline))
       continue;
+    std::string Repeatable;
+    if (Consume("--transform-library=", Repeatable)) {
+      LibraryPaths.push_back(std::move(Repeatable));
+      continue;
+    }
+    if (Consume("--library-path=", Repeatable)) {
+      LibrarySearchDirs.push_back(std::move(Repeatable));
+      continue;
+    }
     if (Consume("--match-shards=", MatchShardsText)) {
       char *End = nullptr;
       unsigned long Parsed = std::strtoul(MatchShardsText.c_str(), &End, 10);
@@ -110,7 +122,9 @@ int main(int argc, char **argv) {
       MatchShards = static_cast<unsigned>(Parsed);
       continue;
     }
-    if (Arg == "--check-invalidation")
+    if (Arg == "--dump-library-symbols")
+      DumpLibrarySymbols = true;
+    else if (Arg == "--check-invalidation")
       CheckInvalidation = true;
     else if (Arg == "--check-types")
       CheckTypes = true;
@@ -140,13 +154,27 @@ int main(int argc, char **argv) {
   registerBuiltinIRDLConstraints();
 
   std::string PayloadText;
-  if (!readFile(PayloadPath, PayloadText)) {
+  if (!readFileToString(PayloadPath, PayloadText)) {
     errs() << "error: cannot read '" << PayloadPath << "'\n";
     return 1;
   }
   OwningOpRef Payload = parseSourceString(Ctx, PayloadText, PayloadPath);
   if (!Payload)
     return 1;
+
+  // Load transform libraries before the script: link() resolves the
+  // script's imports against them, and the static analyses run against the
+  // merged scope. Each file is parsed, verified, and type-checked once and
+  // cached in the manager, which owns the library modules for the rest of
+  // the process.
+  TransformLibraryManager Libraries(Ctx);
+  for (const std::string &Dir : LibrarySearchDirs)
+    Libraries.addSearchDir(Dir);
+  for (const std::string &LibraryPath : LibraryPaths)
+    if (failed(Libraries.loadLibraryFile(LibraryPath)))
+      return 1;
+  if (DumpLibrarySymbols)
+    Libraries.dumpSymbols(outs());
 
   if (!CheckPipeline.empty()) {
     std::vector<std::string> Passes;
@@ -176,12 +204,18 @@ int main(int argc, char **argv) {
 
   if (!ScriptPath.empty()) {
     std::string ScriptText;
-    if (!readFile(ScriptPath, ScriptText)) {
+    if (!readFileToString(ScriptPath, ScriptText)) {
       errs() << "error: cannot read '" << ScriptPath << "'\n";
       return 1;
     }
     OwningOpRef Script = parseSourceString(Ctx, ScriptText, ScriptPath);
     if (!Script)
+      return 1;
+    // Link the script's imports into its resolution scope before any
+    // analysis or interpretation: the type checker validates calls against
+    // imported signatures, and the interpreter resolves matchers/includes
+    // through the same merged scope.
+    if (failed(Libraries.link(Script.get())))
       return 1;
     if (CheckTypes) {
       std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
