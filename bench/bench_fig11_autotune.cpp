@@ -103,8 +103,12 @@ double evaluateConfig(Context &Ctx, const Sizes &S,
 
 int main(int argc, char **argv) {
   bool Quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  Sizes S{4, 32, 32, 64};
-  int Budget = Quick ? 40 : 200;
+  // --smoke: CI-sized run (tiny budget, small payload) so the bench-smoke
+  // job exercises the tuner end-to-end without dominating the job's wall
+  // clock; timings land in the uploaded artifact either way.
+  bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Sizes S = Smoke ? Sizes{2, 16, 16, 32} : Sizes{4, 32, 32, 64};
+  int Budget = Smoke ? 12 : Quick ? 40 : 200;
 
   Context Ctx;
   registerAllDialects(Ctx);
@@ -147,7 +151,7 @@ int main(int argc, char **argv) {
   int Step = 0;
   double BestSoFar = 1e300;
   std::printf("Figure 11 series (evaluation -> best-so-far speedup):\n");
-  std::vector<autotune::Evaluation> History = Tuner.optimize(
+  FailureOr<std::vector<autotune::Evaluation>> History = Tuner.optimize(
       [&](const std::vector<int64_t> &Config) {
         double Cost = evaluateConfig(Ctx, S, Config);
         ++Step;
@@ -158,9 +162,14 @@ int main(int argc, char **argv) {
         return Cost;
       },
       Budget);
+  if (failed(History)) {
+    std::printf("tuning space is degenerate or infeasible\n");
+    return 1;
+  }
 
   const autotune::Evaluation &Best = Tuner.getBest();
-  std::printf("\nbest configuration after %d evaluations:\n", Budget);
+  std::printf("\nbest configuration after %d evaluations (%d unique):\n",
+              Budget, static_cast<int>(History->size()));
   std::printf("  tile_sizes = [%lld, %lld, %lld, %lld], vect = %lld\n",
               (long long)Best.Config[0], (long long)Best.Config[1],
               (long long)Best.Config[2], (long long)Best.Config[3],

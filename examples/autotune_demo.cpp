@@ -66,9 +66,14 @@ int main() {
   };
 
   autotune::AutoTuner Tuner(Space);
-  std::vector<autotune::Evaluation> History = Tuner.optimize(Evaluate, 30);
+  FailureOr<std::vector<autotune::Evaluation>> History =
+      Tuner.optimize(Evaluate, 30);
+  if (failed(History)) {
+    errs() << "tuning space is degenerate or infeasible\n";
+    return 1;
+  }
   const autotune::Evaluation &Best = Tuner.getBest();
-  outs() << "evaluations: " << (unsigned long long)History.size() << "\n";
+  outs() << "evaluations: " << (unsigned long long)History->size() << "\n";
   outs() << "best tile sizes: [" << Best.Config[0] << ", " << Best.Config[1]
          << "] at " << (long long)(Best.Cost * 1e6) << " us\n";
   return 0;

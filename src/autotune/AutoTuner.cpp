@@ -7,7 +7,6 @@
 #include "autotune/AutoTuner.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace tdl;
 using namespace tdl::autotune;
@@ -31,26 +30,28 @@ uint64_t AutoTuner::nextRandom() {
   return RngState * 0x2545F4914F6CDD1Dull;
 }
 
-std::vector<int64_t> AutoTuner::proposeRandom() {
+AutoTuner::ProposeStatus AutoTuner::proposeRandom(std::vector<int64_t> &Out) {
+  // isSearchable() was checked by optimize(): every candidate list is
+  // non-empty here, so the modulus below is never by zero.
   for (int Attempt = 0; Attempt < 256; ++Attempt) {
     std::vector<int64_t> Config;
     Config.reserve(Space.Params.size());
-    for (const TuningParam &Param : Space.Params) {
-      assert(!Param.Candidates.empty() && "parameter without candidates");
+    for (const TuningParam &Param : Space.Params)
       Config.push_back(
           Param.Candidates[nextRandom() % Param.Candidates.size()]);
+    if (Space.isFeasible(Config)) {
+      Out = std::move(Config);
+      return ProposeStatus::Ok;
     }
-    if (Space.isFeasible(Config))
-      return Config;
   }
-  // Degenerate space: fall back to the first candidates.
-  std::vector<int64_t> Config;
-  for (const TuningParam &Param : Space.Params)
-    Config.push_back(Param.Candidates.front());
-  return Config;
+  // 256 uniform draws without a feasible hit: treat the space as infeasible
+  // instead of silently handing back a constraint-violating config (the old
+  // fallback) — the caller surfaces this as an optimize() failure.
+  return ProposeStatus::Infeasible;
 }
 
-std::vector<int64_t> AutoTuner::mutate(const std::vector<int64_t> &Base) {
+AutoTuner::ProposeStatus
+AutoTuner::mutate(const std::vector<int64_t> &Base, std::vector<int64_t> &Out) {
   for (int Attempt = 0; Attempt < 64; ++Attempt) {
     std::vector<int64_t> Config = Base;
     size_t ParamIdx = nextRandom() % Space.Params.size();
@@ -71,29 +72,29 @@ std::vector<int64_t> AutoTuner::mutate(const std::vector<int64_t> &Base) {
         --Pos;
     }
     Config[ParamIdx] = Candidates[Pos];
-    if (Space.isFeasible(Config))
-      return Config;
+    if (Space.isFeasible(Config)) {
+      Out = std::move(Config);
+      return ProposeStatus::Ok;
+    }
   }
-  return proposeRandom();
+  return proposeRandom(Out);
 }
 
-std::vector<Evaluation> AutoTuner::optimize(
-    const std::function<double(const std::vector<int64_t> &)> &Objective,
-    int Budget) {
-  History.clear();
-  Best = Evaluation();
-  Best.Cost = 1e300;
-
-  for (int Step = 0; Step < Budget; ++Step) {
+AutoTuner::ProposeStatus AutoTuner::proposeUnseen(bool Explore,
+                                                  std::vector<int64_t> &Out) {
+  // Memoization: re-measuring a configuration already in the history wastes
+  // budget (the objective is the expensive part — it compiles and runs the
+  // payload), so proposals are deduplicated against everything seen this
+  // run. The later retries fall back to uniform sampling so a nearly
+  // exhausted neighborhood cannot trap the mutation path; when even uniform
+  // draws only land on seen configs the space is (with overwhelming
+  // probability) exhausted and the search stops early, successfully.
+  for (int Attempt = 0; Attempt < 64; ++Attempt) {
     std::vector<int64_t> Config;
-    bool Explore =
-        History.size() < 4 ||
-        (nextRandom() % 1000) < Options.ExploreFraction * 1000;
-    if (Explore) {
-      Config = proposeRandom();
+    ProposeStatus Status;
+    if (Explore || Attempt >= 32 || History.empty()) {
+      Status = proposeRandom(Config);
     } else {
-      // Mutate one of the elite configurations (cheap surrogate: the
-      // empirical best-k set approximates the promising region).
       std::vector<const Evaluation *> Sorted;
       for (const Evaluation &E : History)
         Sorted.push_back(&E);
@@ -102,12 +103,55 @@ std::vector<Evaluation> AutoTuner::optimize(
                   return A->Cost < B->Cost;
                 });
       size_t Elites = std::min<size_t>(Options.EliteCount, Sorted.size());
-      Config = mutate(Sorted[nextRandom() % Elites]->Config);
+      Status = mutate(Sorted[nextRandom() % Elites]->Config, Config);
     }
+    if (Status != ProposeStatus::Ok)
+      return Status;
+    if (!Seen.count(Config)) {
+      Out = std::move(Config);
+      return ProposeStatus::Ok;
+    }
+  }
+  return ProposeStatus::Exhausted;
+}
+
+FailureOr<std::vector<Evaluation>> AutoTuner::optimize(
+    const std::function<double(const std::vector<int64_t> &)> &Objective,
+    int Budget) {
+  History.clear();
+  Seen.clear();
+  Best = Evaluation();
+  Best.Cost = 1e300;
+
+  // Degenerate spaces (no parameters, or a parameter without candidates)
+  // used to reach `nextRandom() % 0` in Release builds; fail up front with
+  // an empty history instead of sampling UB.
+  if (!Space.isSearchable())
+    return failure();
+
+  for (int Step = 0; Step < Budget; ++Step) {
+    bool Explore =
+        History.size() < 4 ||
+        (nextRandom() % 1000) < Options.ExploreFraction * 1000;
+    std::vector<int64_t> Config;
+    ProposeStatus Status = proposeUnseen(Explore, Config);
+    if (Status == ProposeStatus::Infeasible) {
+      // A history of successful evaluations is proof the space is not
+      // infeasible — a late proposal drought (tightly constrained spaces
+      // can exhaust proposeRandom's 256 draws by bad luck) must not
+      // discard the results already paid for. Only a drought before the
+      // first evaluation is a definite failure.
+      if (History.empty())
+        return failure();
+      break;
+    }
+    if (Status == ProposeStatus::Exhausted)
+      break; // every reachable config measured; return the budget unspent
 
     Evaluation E;
     E.Config = Config;
     E.Cost = Objective(Config);
+    Seen.insert(std::move(Config));
     History.push_back(E);
     if (E.Cost < Best.Cost)
       Best = E;

@@ -17,8 +17,11 @@
 #ifndef TDL_AUTOTUNE_AUTOTUNER_H
 #define TDL_AUTOTUNE_AUTOTUNER_H
 
+#include "support/LogicalResult.h"
+
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,6 +43,19 @@ struct TuningSpace {
 
   bool isFeasible(const std::vector<int64_t> &Config) const {
     return !Constraint || Constraint(Config);
+  }
+
+  /// A space the tuner can search at all: at least one parameter, every
+  /// parameter with at least one candidate. Degenerate spaces used to be
+  /// `% 0` UB in Release builds; now they are a checkable property and an
+  /// optimize() failure.
+  bool isSearchable() const {
+    if (Params.empty())
+      return false;
+    for (const TuningParam &Param : Params)
+      if (Param.Candidates.empty())
+        return false;
+    return true;
   }
 
   /// Returns the divisors of \p N in increasing order (helper for tile-size
@@ -65,18 +81,35 @@ class AutoTuner {
 public:
   AutoTuner(TuningSpace Space, TunerOptions Options = {});
 
-  /// Runs \p Budget evaluations of \p Objective (cost in seconds; lower is
-  /// better). Returns the full evaluation history in order.
-  std::vector<Evaluation>
+  /// Runs up to \p Budget evaluations of \p Objective (cost in seconds;
+  /// lower is better) and returns the evaluation history in order.
+  /// Evaluations are memoized: a configuration already in the history is
+  /// never re-measured, so on a small space the search stops early once
+  /// every reachable feasible configuration has been evaluated (the
+  /// remaining budget is returned unspent rather than wasted on repeats).
+  /// Fails — with an empty history and no Objective call — when the space
+  /// is degenerate (no parameters, or a parameter with an empty candidate
+  /// list) or no feasible configuration can be found under the constraint.
+  FailureOr<std::vector<Evaluation>>
   optimize(const std::function<double(const std::vector<int64_t> &)> &Objective,
            int Budget);
 
-  /// Best evaluation of the last optimize() call.
+  /// Best evaluation of the last successful optimize() call.
   const Evaluation &getBest() const { return Best; }
 
 private:
-  std::vector<int64_t> proposeRandom();
-  std::vector<int64_t> mutate(const std::vector<int64_t> &Config);
+  /// Proposal outcomes: a fresh feasible config, a space where feasible
+  /// configs cannot be found at all (a definite optimize() failure), or
+  /// one where every reachable config has already been evaluated (an early,
+  /// successful stop).
+  enum class ProposeStatus { Ok, Infeasible, Exhausted };
+
+  ProposeStatus proposeRandom(std::vector<int64_t> &Out);
+  ProposeStatus mutate(const std::vector<int64_t> &Config,
+                       std::vector<int64_t> &Out);
+  /// Wraps the raw proposers with the memoization retry loop: only configs
+  /// not yet evaluated are returned.
+  ProposeStatus proposeUnseen(bool Explore, std::vector<int64_t> &Out);
   uint64_t nextRandom();
 
   TuningSpace Space;
@@ -84,6 +117,8 @@ private:
   uint64_t RngState;
   Evaluation Best;
   std::vector<Evaluation> History;
+  /// Every configuration already evaluated this optimize() run.
+  std::set<std::vector<int64_t>> Seen;
 };
 
 } // namespace autotune

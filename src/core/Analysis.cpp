@@ -9,6 +9,7 @@
 #include "core/Conditions.h"
 #include "core/MatcherEngine.h"
 #include "core/Transform.h"
+#include "core/TransformLibrary.h"
 #include "ir/SymbolTable.h"
 #include "support/STLExtras.h"
 
@@ -201,6 +202,9 @@ private:
       break;
     case TransformTypeCheckSpecial::Import:
       checkImport(Op);
+      break;
+    case TransformTypeCheckSpecial::Library:
+      checkLibraryManifest(Op);
       break;
     }
   }
@@ -463,6 +467,22 @@ private:
     // surface later as a misleading "unknown library" error.
     if (Op->hasAttr("file") && !Op->getAttrOfType<StringAttr>("file"))
       report(Op, "transform.import 'file' must be a string path");
+  }
+
+  /// transform.library: a library carrying `strategy.*` manifest attributes
+  /// is a *strategy library* and must satisfy the full manifest contract.
+  /// The rules live in one place (`parseStrategyManifest`, next to the
+  /// dispatch subsystem's consumer) so the static check and the
+  /// StrategyManager can never disagree about what a valid manifest is;
+  /// this pass runs at library load (and before every interpretation), so
+  /// an ill-formed manifest is rejected payload-independently.
+  void checkLibraryManifest(Operation *Op) {
+    if (!isStrategyLibrary(Op))
+      return;
+    std::vector<std::string> Errors;
+    if (failed(parseStrategyManifest(Op, &Errors)))
+      for (std::string &Error : Errors)
+        report(Op, std::move(Error));
   }
 
   /// apply_patterns: named pattern sets (flat or match-driven form) must

@@ -226,6 +226,34 @@ DSF MatcherEngine::addPair(Attribute MatcherRef, Attribute ActionRef) {
 }
 
 //===----------------------------------------------------------------------===//
+// Applicability query
+//===----------------------------------------------------------------------===//
+
+FailureOr<bool> MatcherEngine::evaluateApplicability(
+    Operation *PayloadRoot, Operation *ScriptRoot,
+    std::string_view MatcherName, const TransformOptions &Options,
+    std::string_view DriverName) {
+  // The query owns its interpreter: the match phase only ever binds into
+  // scratch states, so the caller's payload and any ambient driver state
+  // stay untouched no matter what the matcher does.
+  TransformInterpreter Scratch(PayloadRoot, ScriptRoot, Options);
+  MatcherEngine Engine(Scratch, ScriptRoot, DriverName);
+  DSF Added = Engine.addPair(
+      StringAttr::get(ScriptRoot->getContext(), MatcherName), Attribute());
+  if (!Added.succeeded()) {
+    ScriptRoot->emitError() << Added.getMessage();
+    return failure();
+  }
+  std::vector<Match> Matches;
+  DSF Result = Engine.match({PayloadRoot}, /*RestrictRoot=*/false, Matches);
+  if (Result.isDefinite()) {
+    ScriptRoot->emitError() << Result.getMessage();
+    return failure();
+  }
+  return !Matches.empty();
+}
+
+//===----------------------------------------------------------------------===//
 // Match phase
 //===----------------------------------------------------------------------===//
 

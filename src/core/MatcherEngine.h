@@ -191,6 +191,20 @@ public:
     return Pairs[PairIdx].ForwardedTypes;
   }
 
+  /// Applicability query: does the pure matcher \p MatcherName (resolved in
+  /// \p ScriptRoot's scope, linked libraries included) match \p PayloadRoot
+  /// or any op beneath it? Runs the match phase alone against scratch
+  /// states — payload and driver state are never touched — and stops
+  /// nothing short of a definite matcher failure (reported as failure()
+  /// with a diagnostic). This is the gate the strategy-dispatch subsystem
+  /// asks per candidate strategy (`@applies`); \p DriverName labels the
+  /// diagnostics accordingly.
+  static FailureOr<bool> evaluateApplicability(Operation *PayloadRoot,
+                                               Operation *ScriptRoot,
+                                               std::string_view MatcherName,
+                                               const TransformOptions &Options,
+                                               std::string_view DriverName);
+
   /// Match phase. Walks every root (pre-order; only the roots themselves
   /// when \p RestrictRoot), offering each op to the pairs in order, and
   /// appends the matches to \p Out in deterministic walk order. Each payload

@@ -98,6 +98,7 @@ enum class TransformTypeCheckSpecial : uint8_t {
   CollectMatching, ///< collect_matching: matcher yields vs result types.
   ApplyPatterns,   ///< apply_patterns: matcher/pattern-set pairing.
   Import,          ///< transform.import: well-formed library reference.
+  Library,         ///< transform.library: strategy-manifest well-formedness.
 };
 
 /// Runtime behavior of a transform op: which operands it consumes (a

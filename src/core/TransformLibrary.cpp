@@ -8,6 +8,7 @@
 
 #include "core/Analysis.h"
 #include "core/MatcherEngine.h"
+#include "core/Transform.h"
 #include "ir/Parser.h"
 #include "ir/SymbolTable.h"
 #include "ir/Verifier.h"
@@ -78,9 +79,7 @@ Operation *tdl::lookupLinkedLibrarySymbol(Operation *ScriptRoot,
 // File reading and hashing
 //===----------------------------------------------------------------------===//
 
-/// FNV-1a over the file bytes: cheap, deterministic, and good enough to
-/// detect content changes behind an unchanged canonical path.
-static uint64_t hashContent(std::string_view Content) {
+uint64_t tdl::hashContent(std::string_view Content) {
   uint64_t Hash = 1469598103934665603ull;
   for (unsigned char C : Content) {
     Hash ^= C;
@@ -399,6 +398,260 @@ TransformLibraryManager::~TransformLibraryManager() {
 Operation *TransformLibraryManager::lookupLibrary(std::string_view Name) const {
   auto It = Libraries.find(Name);
   return It == Libraries.end() ? nullptr : It->second.Op;
+}
+
+std::vector<TransformLibraryManager::LibraryInfo>
+TransformLibraryManager::getLibraries() const {
+  std::vector<LibraryInfo> Result;
+  Result.reserve(LibraryLoadOrder.size());
+  for (const std::string &Name : LibraryLoadOrder) {
+    const LibraryEntry &Entry = Libraries.find(Name)->second;
+    Result.push_back({Name, Entry.Op, Entry.File});
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Strategy manifests
+//===----------------------------------------------------------------------===//
+
+bool tdl::isStrategyLibrary(Operation *LibraryOp) {
+  return LibraryOp->hasAttr("strategy.target") ||
+         LibraryOp->hasAttr("strategy.priority") ||
+         LibraryOp->hasAttr("strategy.params");
+}
+
+namespace {
+
+/// Appends \p Message to \p Errors when collecting; either way the caller
+/// treats any appended message as fatal for the manifest.
+void manifestError(std::vector<std::string> *Errors, std::string Message) {
+  if (Errors)
+    Errors->push_back(std::move(Message));
+}
+
+/// The library member named \p Name, or null (library body may be absent).
+Operation *manifestMember(Operation *Lib, std::string_view Name) {
+  if (Lib->getNumRegions() < 1 || Lib->getRegion(0).empty())
+    return nullptr;
+  for (Operation *Member : Lib->getRegion(0).front())
+    if (getSymbolName(Member) == Name)
+      return Member;
+  return nullptr;
+}
+
+/// Validates the `@applies` matcher shape (exactly one op-handle argument)
+/// and purity (only side-effect-free, non-consuming transform ops in the
+/// body — the dispatch query runs it in matcher mode, so an impure matcher
+/// would be a runtime error on every dispatch; reject it statically).
+void checkAppliesMatcher(Operation *Applies, std::string_view LibName,
+                         std::vector<std::string> *Errors, bool &Failed) {
+  if (Applies->getName() != "transform.named_sequence" ||
+      Applies->getNumRegions() != 1 || Applies->getRegion(0).empty()) {
+    manifestError(Errors, "strategy library '@" + std::string(LibName) +
+                              "': '@applies' must be a named sequence with a "
+                              "body");
+    Failed = true;
+    return;
+  }
+  Block &Body = Applies->getRegion(0).front();
+  if (Body.getNumArguments() != 1 ||
+      !isTransformHandleType(Body.getArgument(0).getType())) {
+    manifestError(Errors,
+                  "strategy library '@" + std::string(LibName) +
+                      "': '@applies' must take exactly one op-handle "
+                      "argument (the candidate payload op)");
+    Failed = true;
+  }
+  // The walk is recursive: an impure op hidden inside a nested region
+  // (e.g. under a transform.sequence) must not slip past the load-time
+  // check only to abort every dispatch at runtime. Impurity reached only
+  // through transform.include stays a runtime (matcher-mode) error — the
+  // manifest check has no link scope to resolve callees through.
+  for (Operation *BodyOp : Body)
+    BodyOp->walk([&](Operation *Nested) {
+      if (Nested->getDialectName() != "transform")
+        return;
+      const TransformOpDef *Def = lookupTransformOpDef(Nested);
+      if (Def && (!Def->MatcherOk || !Def->ConsumedOperands.empty())) {
+        manifestError(Errors, "strategy library '@" + std::string(LibName) +
+                                  "': '@applies' is impure: op '" +
+                                  std::string(Nested->getName()) +
+                                  "' may mutate or consume payload and "
+                                  "cannot run in an applicability query");
+        Failed = true;
+      }
+    });
+}
+
+/// Decodes one `strategy.params` entry: ["name", c0, c1, ...] or
+/// ["name", "divisors_of_dim", dim].
+bool parseParamSpec(Attribute Entry, std::string_view LibName, size_t Index,
+                    StrategyParamSpec &Out,
+                    std::vector<std::string> *Errors) {
+  std::string Prefix = "strategy library '@" + std::string(LibName) +
+                       "': strategy.params entry " + std::to_string(Index);
+  ArrayAttr Spec = Entry.dyn_cast<ArrayAttr>();
+  if (!Spec || Spec.size() < 2 || !Spec[0].isa<StringAttr>() ||
+      Spec[0].cast<StringAttr>().getValue().empty()) {
+    manifestError(Errors,
+                  Prefix + " must be an array [\"name\", <candidates...>] or "
+                           "[\"name\", \"divisors_of_dim\", <dim>]");
+    return false;
+  }
+  Out.Name = Spec[0].cast<StringAttr>().getValue();
+  if (StringAttr Kind = Spec[1].dyn_cast<StringAttr>()) {
+    if (Kind.getValue() != "divisors_of_dim" || Spec.size() != 3 ||
+        !Spec[2].isa<IntegerAttr>() ||
+        Spec[2].cast<IntegerAttr>().getValue() < 0) {
+      manifestError(Errors, Prefix + " ('" + Out.Name +
+                                "'): the only spec keyword is "
+                                "\"divisors_of_dim\" followed by a "
+                                "non-negative loop depth");
+      return false;
+    }
+    Out.DivisorsOfDim = Spec[2].cast<IntegerAttr>().getValue();
+    return true;
+  }
+  for (size_t I = 1; I < Spec.size(); ++I) {
+    IntegerAttr Candidate = Spec[I].dyn_cast<IntegerAttr>();
+    if (!Candidate) {
+      manifestError(Errors, Prefix + " ('" + Out.Name +
+                                "'): candidates must all be integers");
+      return false;
+    }
+    Out.Candidates.push_back(Candidate.getValue());
+  }
+  return true;
+}
+
+} // namespace
+
+FailureOr<StrategyManifest>
+tdl::parseStrategyManifest(Operation *LibraryOp,
+                           std::vector<std::string> *Errors) {
+  StrategyManifest Manifest;
+  Manifest.Library = LibraryOp;
+  Manifest.LibraryName = getSymbolName(LibraryOp);
+  bool Failed = false;
+
+  StringAttr Target = LibraryOp->getAttrOfType<StringAttr>("strategy.target");
+  if (!Target || Target.getValue().empty()) {
+    manifestError(Errors, "strategy library '@" + Manifest.LibraryName +
+                              "': requires a string 'strategy.target' (the "
+                              "dispatch key, e.g. \"avx2\" or \"generic\")");
+    Failed = true;
+  } else {
+    Manifest.Target = Target.getValue();
+  }
+
+  if (LibraryOp->hasAttr("strategy.priority")) {
+    IntegerAttr Priority =
+        LibraryOp->getAttrOfType<IntegerAttr>("strategy.priority");
+    if (!Priority) {
+      manifestError(Errors, "strategy library '@" + Manifest.LibraryName +
+                                "': 'strategy.priority' must be an integer");
+      Failed = true;
+    } else {
+      Manifest.Priority = Priority.getValue();
+    }
+  }
+
+  // The entry: a *public* `@strategy` member (dispatch runs it through the
+  // interpreter exactly like an imported sequence; private entries would be
+  // unreachable by the convention the manifest documents).
+  Manifest.Entry = manifestMember(LibraryOp, "strategy");
+  if (!Manifest.Entry) {
+    manifestError(Errors, "strategy library '@" + Manifest.LibraryName +
+                              "': missing the public '@strategy' entry "
+                              "sequence");
+    Failed = true;
+  } else if (!TransformLibraryManager::isPublicSymbol(Manifest.Entry)) {
+    manifestError(Errors, "strategy library '@" + Manifest.LibraryName +
+                              "': '@strategy' must be public, not private");
+    Failed = true;
+    Manifest.Entry = nullptr;
+  }
+
+  if (Operation *Applies = manifestMember(LibraryOp, "applies")) {
+    Manifest.Applies = Applies;
+    checkAppliesMatcher(Applies, Manifest.LibraryName, Errors, Failed);
+  }
+
+  if (LibraryOp->hasAttr("strategy.params")) {
+    ArrayAttr Params = LibraryOp->getAttrOfType<ArrayAttr>("strategy.params");
+    if (!Params) {
+      manifestError(Errors, "strategy library '@" + Manifest.LibraryName +
+                                "': 'strategy.params' must be an array of "
+                                "per-parameter arrays");
+      Failed = true;
+    } else {
+      for (size_t I = 0; I < Params.size(); ++I) {
+        StrategyParamSpec Spec;
+        if (!parseParamSpec(Params[I], Manifest.LibraryName, I, Spec,
+                            Errors)) {
+          Failed = true;
+          continue;
+        }
+        for (const StrategyParamSpec &Existing : Manifest.Params)
+          if (Existing.Name == Spec.Name) {
+            manifestError(Errors, "strategy library '@" +
+                                      Manifest.LibraryName +
+                                      "': duplicate parameter '" + Spec.Name +
+                                      "' in strategy.params");
+            Failed = true;
+          }
+        Manifest.Params.push_back(std::move(Spec));
+      }
+    }
+  }
+
+  // Entry signature: payload root first, then one `!transform.param` per
+  // declared parameter — the binding contract dispatch and the tuner rely
+  // on (configurations bind positionally through the readIntParams path).
+  if (Manifest.Entry) {
+    if (Manifest.Entry->getNumRegions() != 1 ||
+        Manifest.Entry->getRegion(0).empty()) {
+      manifestError(Errors, "strategy library '@" + Manifest.LibraryName +
+                                "': '@strategy' has no body");
+      Failed = true;
+    } else {
+      Block &Body = Manifest.Entry->getRegion(0).front();
+      size_t Expected = 1 + Manifest.Params.size();
+      if (Body.getNumArguments() != Expected) {
+        manifestError(
+            Errors,
+            "strategy library '@" + Manifest.LibraryName +
+                "': '@strategy' must take " + std::to_string(Expected) +
+                " arguments (the payload root, then one !transform.param "
+                "per declared parameter) but takes " +
+                std::to_string(Body.getNumArguments()));
+        Failed = true;
+      } else {
+        if (!isTransformHandleType(Body.getArgument(0).getType())) {
+          manifestError(Errors,
+                        "strategy library '@" + Manifest.LibraryName +
+                            "': '@strategy' argument 0 must be an op handle "
+                            "(the payload root)");
+          Failed = true;
+        }
+        for (unsigned I = 1; I < Body.getNumArguments(); ++I)
+          if (!Body.getArgument(I).getType().isa<TransformParamType>()) {
+            manifestError(Errors,
+                          "strategy library '@" + Manifest.LibraryName +
+                              "': '@strategy' argument " + std::to_string(I) +
+                              " binds parameter '" +
+                              Manifest.Params[I - 1].Name +
+                              "' and must be !transform.param");
+            Failed = true;
+          }
+      }
+    }
+  }
+
+  if (Failed)
+    return failure();
+  return Manifest;
 }
 
 //===----------------------------------------------------------------------===//

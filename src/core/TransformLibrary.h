@@ -63,6 +63,11 @@ class raw_ostream;
 // Linked-scope lookup (consulted by resolveTransformSequence)
 //===----------------------------------------------------------------------===//
 
+/// FNV-1a over \p Content: cheap, deterministic content hashing shared by
+/// the library manager's reload detection and the strategy dispatcher's
+/// payload fingerprints (one scheme, so the two caches can never diverge).
+uint64_t hashContent(std::string_view Content);
+
 /// Resolves \p Name among the library symbols linked into \p ScriptRoot's
 /// scope by a TransformLibraryManager: explicitly imported symbols first,
 /// then the imported libraries' private helpers, then the public symbols of
@@ -70,6 +75,68 @@ class raw_ostream;
 /// has no linked scope or the scope has no such symbol. Thread-safe.
 Operation *lookupLinkedLibrarySymbol(Operation *ScriptRoot,
                                      std::string_view Name);
+
+//===----------------------------------------------------------------------===//
+// Strategy manifests
+//===----------------------------------------------------------------------===//
+
+/// One tunable parameter declared by a strategy manifest: either an explicit
+/// candidate list, or a `divisors_of_dim` spec resolved against the payload's
+/// loop-nest extents at dispatch time (Fig. 10's "tile divides its dimension"
+/// constraint, encoded in the candidate set instead of a reject predicate).
+struct StrategyParamSpec {
+  std::string Name;
+  /// Explicit candidates (empty for a divisors_of_dim spec).
+  std::vector<int64_t> Candidates;
+  /// When >= 0, the candidates are the divisors of the payload loop nest's
+  /// trip count at this depth; mutually exclusive with Candidates.
+  int64_t DivisorsOfDim = -1;
+};
+
+/// The parsed manifest of a *strategy library*: a `transform.library` that
+/// additionally describes when and how it lowers a payload for one target.
+/// Manifest attributes on the library op:
+///
+///   strategy.target   = "avx2"        (string, required; dispatch key)
+///   strategy.priority = 10 : index    (integer, optional; higher wins)
+///   strategy.params   = [["tile_i", 1, 2, 4],
+///                        ["tile_j", "divisors_of_dim", 1]]   (optional)
+///
+/// Required members: a public named sequence `@strategy` (the entry; first
+/// argument is the payload root handle, then one `!transform.param` argument
+/// per declared parameter, in declaration order). Optional: a pure matcher
+/// `@applies` (one op-handle argument, side-effect-free body) gating
+/// applicability — the strategy is a dispatch candidate only when `@applies`
+/// matches some op of the payload.
+struct StrategyManifest {
+  Operation *Library = nullptr;
+  std::string LibraryName;
+  std::string Target;
+  int64_t Priority = 0;
+  /// The public `@strategy` entry sequence.
+  Operation *Entry = nullptr;
+  /// The optional `@applies` matcher (null when always applicable).
+  Operation *Applies = nullptr;
+  std::vector<StrategyParamSpec> Params;
+};
+
+/// Whether \p LibraryOp carries any `strategy.*` manifest attribute (and must
+/// therefore satisfy the full manifest rules).
+bool isStrategyLibrary(Operation *LibraryOp);
+
+/// Parses and validates the strategy manifest of \p LibraryOp. On failure
+/// every problem found is appended to \p Errors (when non-null); no
+/// diagnostics are emitted — the static analysis (`analyzeHandleTypes`) and
+/// the StrategyManager both report through their own channels. The checks
+/// here are the single statement of manifest well-formedness: attribute
+/// kinds, the `@strategy` entry's existence/visibility/signature (params
+/// bind as trailing `!transform.param` arguments), `@applies` shape and
+/// purity (only MatcherOk, non-consuming transform ops), and the
+/// `strategy.params` encoding (named, non-empty, unique candidate lists or
+/// well-formed divisors_of_dim specs).
+FailureOr<StrategyManifest>
+parseStrategyManifest(Operation *LibraryOp,
+                      std::vector<std::string> *Errors = nullptr);
 
 //===----------------------------------------------------------------------===//
 // TransformLibraryManager
@@ -119,6 +186,19 @@ public:
 
   /// Number of distinct loaded library ops.
   size_t getNumLibraries() const { return Libraries.size(); }
+
+  /// One loaded library surfaced for clients that scan the manager (the
+  /// StrategyManager walks this to find strategy manifests).
+  struct LibraryInfo {
+    std::string Name;
+    Operation *Op = nullptr;
+    /// Canonical path of the defining file.
+    std::string File;
+  };
+
+  /// Every loaded library in load order (the deterministic order dispatch
+  /// tie-breaks and dumps rely on).
+  std::vector<LibraryInfo> getLibraries() const;
 
   /// Load-count probes: every loadLibraryFile call counts as a request;
   /// only cache misses count as parses. The acceptance guarantee that a

@@ -689,6 +689,11 @@ void tdl::registerTransformDialect(Context &Ctx) {
       return success();
     };
     TransformOpDef Def;
+    // A library carrying strategy.* manifest attributes must satisfy the
+    // full manifest contract (public @strategy entry, pure @applies,
+    // well-formed strategy.params) — checked statically so an ill-formed
+    // strategy library is rejected at load, before any dispatch.
+    Def.TypeCheckSpecial = TransformTypeCheckSpecial::Library;
     Def.MatcherOk = true; // a declaration container; never touches payload
     Def.Apply = [](Operation *, TransformInterpreter &) {
       return DSF::success();

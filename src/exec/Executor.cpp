@@ -9,6 +9,8 @@
 #include "dialect/Dialects.h"
 #include "ir/SymbolTable.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -760,3 +762,67 @@ Executor::run(std::string_view Name, std::vector<RuntimeValue> Args) {
 }
 
 int64_t Executor::getLastOpCount() const { return TheImpl->LastOpCount; }
+
+//===----------------------------------------------------------------------===//
+// Objective hook
+//===----------------------------------------------------------------------===//
+
+FailureOr<double> exec::measureExecutionSeconds(Operation *Module,
+                                                std::string_view FuncName,
+                                                int Repeats) {
+  Operation *Func = nullptr;
+  if (FuncName.empty()) {
+    Module->walk([&](Operation *Op) {
+      if (!Func && Op->getName() == "func.func")
+        Func = Op;
+    });
+    if (!Func)
+      return Module->emitError()
+             << "executor: module has no func.func to measure";
+    FuncName = getSymbolName(Func);
+  } else {
+    Func = lookupSymbol(Module, FuncName);
+    if (!Func || Func->getName() != "func.func")
+      return Module->emitError()
+             << "executor: no function '" << FuncName << "' to measure";
+  }
+
+  // Synthesize deterministic arguments from the signature: the objective
+  // must reflect the schedule, so the data is the same fixed pattern every
+  // run (and every tuning evaluation).
+  FunctionType FuncTy = func::getFunctionType(Func);
+  std::vector<RuntimeValue> Args;
+  for (Type Input : FuncTy.getInputs()) {
+    if (MemRefType MemTy = Input.dyn_cast<MemRefType>()) {
+      if (!MemTy.hasStaticShape())
+        return Func->emitError()
+               << "executor: cannot synthesize a dynamically shaped memref "
+                  "argument for measurement";
+      Buffer Buf = Buffer::alloc(MemTy.getShape());
+      for (size_t I = 0; I < Buf.Data->size(); ++I)
+        (*Buf.Data)[I] = 0.25 + static_cast<double>(I % 7) * 0.125;
+      Args.push_back(RuntimeValue::makeBuffer(std::move(Buf)));
+    } else if (Input.isa<FloatType>()) {
+      Args.push_back(RuntimeValue::makeFloat(1.5));
+    } else if (Input.isa<IndexType>() || Input.isa<IntegerType>()) {
+      Args.push_back(RuntimeValue::makeInt(1));
+    } else {
+      return Func->emitError()
+             << "executor: cannot synthesize an argument of type '"
+             << Input.str() << "' for measurement";
+    }
+  }
+
+  Executor Exec(Module);
+  double BestSeconds = 1e300;
+  for (int I = 0; I < std::max(1, Repeats); ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    if (failed(Exec.run(FuncName, Args)))
+      return failure(); // diagnostics already emitted
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    BestSeconds = std::min(BestSeconds, Seconds);
+  }
+  return BestSeconds;
+}

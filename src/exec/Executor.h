@@ -76,6 +76,22 @@ private:
   std::unique_ptr<Impl> TheImpl;
 };
 
+/// Objective hook for autotuned strategy dispatch (Section 4.5): compiles
+/// \p Module and times one run of the function named \p FuncName (the first
+/// `func.func` when empty) with deterministic arguments derived from the
+/// function signature — statically shaped memrefs are allocated and filled
+/// with a fixed pattern, scalars get fixed values — so callers (the
+/// StrategyManager's AutoTuner loop, benchmarks) need no per-payload
+/// plumbing to turn "run the schedule" into a cost. Returns the minimum
+/// wall-clock seconds over \p Repeats runs (compilation is cached inside
+/// the Executor, so with Repeats >= 2 the reported cost reflects execution,
+/// not compilation). Fails with a diagnostic when the function is missing,
+/// an argument type cannot be synthesized (dynamic shapes), or execution
+/// fails.
+FailureOr<double> measureExecutionSeconds(Operation *Module,
+                                          std::string_view FuncName = {},
+                                          int Repeats = 2);
+
 /// The natively compiled xsmm-lite microkernel:
 /// C[pc.., i, j] += A[pa.., i, k] * B[pb.., k, j] over the given ranges.
 void xsmmMatmulKernel(Buffer &A, Buffer &B, Buffer &C, int64_t ILo,

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 #include <set>
 
+using namespace tdl;
 using namespace tdl::autotune;
 
 namespace {
@@ -35,13 +36,17 @@ TuningSpace makeSpace() {
 
 TEST(AutoTunerTest, RespectsConstraints) {
   AutoTuner Tuner(makeSpace(), {/*Seed=*/7});
-  std::vector<Evaluation> History = Tuner.optimize(
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
       [](const std::vector<int64_t> &Config) {
         return static_cast<double>(Config[0] + Config[1]);
       },
       100);
-  ASSERT_EQ(History.size(), 100u);
-  for (const Evaluation &E : History) {
+  ASSERT_TRUE(succeeded(History));
+  // Memoization: the space holds only 60 feasible configurations, so a
+  // budget of 100 stops once the space is exhausted.
+  ASSERT_FALSE(History->empty());
+  ASSERT_LE(History->size(), 100u);
+  for (const Evaluation &E : *History) {
     if (E.Config[2]) {
       EXPECT_EQ(E.Config[1] % 4, 0) << "constraint violated";
     }
@@ -56,19 +61,23 @@ TEST(AutoTunerTest, DeterministicPerSeed) {
   AutoTuner A(makeSpace(), {/*Seed=*/11});
   AutoTuner B(makeSpace(), {/*Seed=*/11});
   AutoTuner C(makeSpace(), {/*Seed=*/12});
-  std::vector<Evaluation> HA = A.optimize(Objective, 50);
-  std::vector<Evaluation> HB = B.optimize(Objective, 50);
-  std::vector<Evaluation> HC = C.optimize(Objective, 50);
-  for (size_t I = 0; I < HA.size(); ++I)
-    EXPECT_EQ(HA[I].Config, HB[I].Config);
-  bool AnyDifferent = false;
-  for (size_t I = 0; I < HA.size(); ++I)
-    AnyDifferent |= HA[I].Config != HC[I].Config;
+  FailureOr<std::vector<Evaluation>> HA = A.optimize(Objective, 50);
+  FailureOr<std::vector<Evaluation>> HB = B.optimize(Objective, 50);
+  FailureOr<std::vector<Evaluation>> HC = C.optimize(Objective, 50);
+  ASSERT_TRUE(succeeded(HA) && succeeded(HB) && succeeded(HC));
+  ASSERT_EQ(HA->size(), HB->size());
+  for (size_t I = 0; I < HA->size(); ++I)
+    EXPECT_EQ((*HA)[I].Config, (*HB)[I].Config);
+  bool AnyDifferent = HA->size() != HC->size();
+  for (size_t I = 0; !AnyDifferent && I < HA->size(); ++I)
+    AnyDifferent |= (*HA)[I].Config != (*HC)[I].Config;
   EXPECT_TRUE(AnyDifferent);
 }
 
 TEST(AutoTunerTest, FindsOptimum) {
-  // Objective with a unique optimum at (8, 16, 1).
+  // Objective with a unique optimum at (8, 16, 1). The budget exceeds the
+  // feasible-space size, so memoized search enumerates everything and must
+  // land exactly on the optimum.
   auto Objective = [](const std::vector<int64_t> &Config) {
     double Cost = std::fabs(static_cast<double>(Config[0]) - 8.0) +
                   std::fabs(static_cast<double>(Config[1]) - 16.0);
@@ -77,7 +86,7 @@ TEST(AutoTunerTest, FindsOptimum) {
     return Cost;
   };
   AutoTuner Tuner(makeSpace(), {/*Seed=*/3});
-  Tuner.optimize(Objective, 150);
+  ASSERT_TRUE(succeeded(Tuner.optimize(Objective, 150)));
   const Evaluation &Best = Tuner.getBest();
   EXPECT_EQ(Best.Config[0], 8);
   EXPECT_EQ(Best.Config[1], 16);
@@ -100,14 +109,14 @@ TEST(AutoTunerTest, ExploitationBeatsPureRandom) {
     Guided.Seed = Seed;
     Guided.ExploreFraction = 0.3;
     AutoTuner G(makeSpace(), Guided);
-    G.optimize(Objective, 40);
+    ASSERT_TRUE(succeeded(G.optimize(Objective, 40)));
     GuidedTotal += G.getBest().Cost;
 
     TunerOptions Random;
     Random.Seed = Seed;
     Random.ExploreFraction = 1.0;
     AutoTuner R(makeSpace(), Random);
-    R.optimize(Objective, 40);
+    ASSERT_TRUE(succeeded(R.optimize(Objective, 40)));
     RandomTotal += R.getBest().Cost;
   }
   EXPECT_LE(GuidedTotal, RandomTotal);
@@ -115,31 +124,138 @@ TEST(AutoTunerTest, ExploitationBeatsPureRandom) {
 
 TEST(AutoTunerTest, BestSoFarIsMonotone) {
   AutoTuner Tuner(makeSpace(), {/*Seed=*/21});
-  std::vector<Evaluation> History = Tuner.optimize(
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
       [](const std::vector<int64_t> &Config) {
         return 100.0 - Config[0] - Config[1];
       },
       60);
+  ASSERT_TRUE(succeeded(History));
   double Best = 1e300;
-  for (const Evaluation &E : History) {
+  for (const Evaluation &E : *History) {
     Best = std::min(Best, E.Cost);
     EXPECT_LE(Tuner.getBest().Cost, Best + 1e-12);
   }
   EXPECT_DOUBLE_EQ(Tuner.getBest().Cost, Best);
 }
 
-TEST(AutoTunerTest, DegenerateSpaceStillRuns) {
-  TuningSpace Space;
-  Space.Params = {{"only", {5}}};
+//===----------------------------------------------------------------------===//
+// Degenerate spaces: a FailureOr signal, never % 0 UB or an infeasible
+// fallback config.
+//===----------------------------------------------------------------------===//
+
+TEST(AutoTunerTest, EmptyParameterListFails) {
+  TuningSpace Space; // no parameters at all
   AutoTuner Tuner(Space, {/*Seed=*/1});
-  std::vector<Evaluation> History = Tuner.optimize(
+  int Calls = 0;
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+      [&](const std::vector<int64_t> &) {
+        ++Calls;
+        return 0.0;
+      },
+      10);
+  EXPECT_TRUE(failed(History));
+  EXPECT_EQ(Calls, 0) << "objective must not run on a degenerate space";
+}
+
+TEST(AutoTunerTest, EmptyCandidateListFails) {
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2}}, {"empty", {}}};
+  AutoTuner Tuner(Space, {/*Seed=*/1});
+  int Calls = 0;
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+      [&](const std::vector<int64_t> &) {
+        ++Calls;
+        return 0.0;
+      },
+      10);
+  EXPECT_TRUE(failed(History));
+  EXPECT_EQ(Calls, 0);
+}
+
+TEST(AutoTunerTest, InfeasibleConstraintFails) {
+  // The old 256-attempt fallback silently returned an infeasible config
+  // here; now the search reports failure and never calls the objective.
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2, 4}}};
+  Space.Constraint = [](const std::vector<int64_t> &) { return false; };
+  AutoTuner Tuner(Space, {/*Seed=*/5});
+  int Calls = 0;
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+      [&](const std::vector<int64_t> &) {
+        ++Calls;
+        return 0.0;
+      },
+      10);
+  EXPECT_TRUE(failed(History));
+  EXPECT_EQ(Calls, 0);
+}
+
+TEST(AutoTunerTest, LateProposalDroughtKeepsHistory) {
+  // A constraint that admits exactly one early proposal and then dries up:
+  // the evaluations already paid for must be returned (early stop), not
+  // discarded as a failure — only a drought before the *first* evaluation
+  // means the space is infeasible.
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2, 3, 4}}};
+  int Allowed = 1;
+  Space.Constraint = [&](const std::vector<int64_t> &) {
+    return Allowed-- > 0;
+  };
+  AutoTuner Tuner(Space, {/*Seed=*/3});
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
       [](const std::vector<int64_t> &Config) {
         return static_cast<double>(Config[0]);
       },
       10);
-  ASSERT_EQ(History.size(), 10u);
-  for (const Evaluation &E : History)
-    EXPECT_EQ(E.Config, (std::vector<int64_t>{5}));
+  ASSERT_TRUE(succeeded(History));
+  EXPECT_EQ(History->size(), 1u);
+  EXPECT_EQ(Tuner.getBest().Config, (*History)[0].Config);
+}
+
+TEST(AutoTunerTest, SingletonSpaceEvaluatesOnce) {
+  TuningSpace Space;
+  Space.Params = {{"only", {5}}};
+  AutoTuner Tuner(Space, {/*Seed=*/1});
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+      [](const std::vector<int64_t> &Config) {
+        return static_cast<double>(Config[0]);
+      },
+      10);
+  ASSERT_TRUE(succeeded(History));
+  // Memoization: the single config is measured once, not ten times.
+  ASSERT_EQ(History->size(), 1u);
+  EXPECT_EQ((*History)[0].Config, (std::vector<int64_t>{5}));
+  EXPECT_EQ(Tuner.getBest().Config, (std::vector<int64_t>{5}));
+}
+
+//===----------------------------------------------------------------------===//
+// Memoized evaluations
+//===----------------------------------------------------------------------===//
+
+TEST(AutoTunerTest, MemoizesEvaluationsOverSmallSpace) {
+  // Budget 30 over an 8-config space: every config is measured at most
+  // once, so the objective runs at most 8 times and the search stops as
+  // soon as the space is exhausted.
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2, 4, 8}}, {"b", {0, 1}}};
+  AutoTuner Tuner(Space, {/*Seed=*/9});
+  int Calls = 0;
+  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+      [&](const std::vector<int64_t> &Config) {
+        ++Calls;
+        return static_cast<double>(Config[0] * 2 + Config[1]);
+      },
+      30);
+  ASSERT_TRUE(succeeded(History));
+  EXPECT_LE(Calls, 8);
+  EXPECT_EQ(static_cast<size_t>(Calls), History->size());
+  std::set<std::vector<int64_t>> Unique;
+  for (const Evaluation &E : *History)
+    EXPECT_TRUE(Unique.insert(E.Config).second)
+        << "config re-measured despite memoization";
+  // With a budget well above the space size the whole space is enumerated,
+  // so the known optimum (a=1, b=0) must be found exactly.
+  EXPECT_EQ(Tuner.getBest().Config, (std::vector<int64_t>{1, 0}));
 }
 
 } // namespace

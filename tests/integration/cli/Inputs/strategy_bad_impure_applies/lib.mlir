@@ -1,0 +1,15 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      "transform.annotate"(%op) {name = "impure_side_effect"}
+        : (!transform.any_op) -> ()
+      "transform.yield"(%op) : (!transform.any_op) -> ()
+    }) {sym_name = "applies", visibility = "private"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "impure_applies",
+      strategy.target = "avx2"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,9 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy", visibility = "private"} : () -> ()
+  }) {sym_name = "private_entry",
+      strategy.target = "avx2"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,23 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "applies", visibility = "private"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.op<"scf.for">):
+      "transform.annotate"(%loop) {name = "avx2_schedule"}
+        : (!transform.op<"scf.for">) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "mark", visibility = "private"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@applies], actions = [@mark]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "avx2_loop_schedule",
+      strategy.target = "avx2",
+      strategy.priority = 10 : index} : () -> ()
+}) : () -> ()

@@ -1,0 +1,11 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.annotate"(%root) {name = "generic_schedule"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "generic_baseline",
+      strategy.target = "generic"} : () -> ()
+}) : () -> ()

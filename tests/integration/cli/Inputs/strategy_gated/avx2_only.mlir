@@ -1,0 +1,15 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "applies", visibility = "private"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.annotate"(%root) {name = "avx2_schedule"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "avx2_gated",
+      strategy.target = "avx2"} : () -> ()
+}) : () -> ()

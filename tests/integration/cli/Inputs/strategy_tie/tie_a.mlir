@@ -1,0 +1,12 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      "transform.annotate"(%root) {name = "tie_a_schedule"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "tie_a",
+      strategy.target = "avx2",
+      strategy.priority = 5 : index} : () -> ()
+}) : () -> ()

@@ -1,0 +1,23 @@
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%m: memref<8x8xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 8 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^bi(%i: index):
+      "scf.for"(%lb, %ub, %step) ({
+      ^bj(%j: index):
+        %v = "memref.load"(%m, %i, %j)
+          : (memref<8x8xf64>, index, index) -> (f64)
+        %w = "arith.mulf"(%v, %v) : (f64, f64) -> (f64)
+        "memref.store"(%w, %m, %i, %j)
+          : (f64, memref<8x8xf64>, index, index) -> ()
+        "scf.yield"() : () -> ()
+      }) : (index, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "square_all",
+      function_type = (memref<8x8xf64>) -> ()} : () -> ()
+}) : () -> ()

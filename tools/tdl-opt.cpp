@@ -25,6 +25,7 @@
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
 #include "pass/Pass.h"
+#include "strategy/StrategyManager.h"
 #include "support/STLExtras.h"
 #include "support/Stream.h"
 
@@ -51,6 +52,21 @@ int usage(const char *Argv0) {
          << "  --dump-library-symbols       print each loaded library's\n"
          << "                               public symbols with their\n"
          << "                               handle-type signatures\n"
+         << "  --strategy-dir=<dir>         load every *.mlir strategy\n"
+         << "                               library in <dir> (repeatable);\n"
+         << "                               see --target\n"
+         << "  --target=<name>              dispatch the payload to the best\n"
+         << "                               applicable strategy for <name>\n"
+         << "                               (fallback chain e.g. avx2 ->\n"
+         << "                               generic) and run its @strategy\n"
+         << "                               entry\n"
+         << "  --tune-budget=<N>            autotune declared strategy\n"
+         << "                               parameters with N objective\n"
+         << "                               evaluations before the final run\n"
+         << "                               (default 0: first candidates)\n"
+         << "  --dump-strategies            print every registered strategy\n"
+         << "                               (target, priority, entry\n"
+         << "                               signature, params)\n"
          << "  --check-invalidation         statically analyze the script\n"
          << "  --check-types                statically type-check the script\n"
          << "                               handles (also run before any\n"
@@ -79,13 +95,18 @@ int main(int argc, char **argv) {
   std::string ScriptPath;
   std::string CheckPipeline;
   std::string MatchShardsText;
+  std::string Target;
+  std::string TuneBudgetText;
   std::vector<std::string> LibraryPaths;
   std::vector<std::string> LibrarySearchDirs;
+  std::vector<std::string> StrategyDirs;
   unsigned MatchShards = 1;
+  int TuneBudget = 0;
   bool CheckInvalidation = false;
   bool CheckTypes = false;
   bool CheckConditions = false;
   bool DumpLibrarySymbols = false;
+  bool DumpStrategies = false;
   bool Verify = true;
   bool Quiet = false;
 
@@ -99,7 +120,8 @@ int main(int argc, char **argv) {
     };
     if (Consume("--pass-pipeline=", Pipeline) ||
         Consume("--transform=", ScriptPath) ||
-        Consume("--check-pipeline=", CheckPipeline))
+        Consume("--check-pipeline=", CheckPipeline) ||
+        Consume("--target=", Target))
       continue;
     std::string Repeatable;
     if (Consume("--transform-library=", Repeatable)) {
@@ -108,6 +130,22 @@ int main(int argc, char **argv) {
     }
     if (Consume("--library-path=", Repeatable)) {
       LibrarySearchDirs.push_back(std::move(Repeatable));
+      continue;
+    }
+    if (Consume("--strategy-dir=", Repeatable)) {
+      StrategyDirs.push_back(std::move(Repeatable));
+      continue;
+    }
+    if (Consume("--tune-budget=", TuneBudgetText)) {
+      char *End = nullptr;
+      unsigned long Parsed = std::strtoul(TuneBudgetText.c_str(), &End, 10);
+      if (TuneBudgetText.empty() || *End != '\0' || Parsed > 1000000) {
+        errs() << "error: --tune-budget expects an integer in [0, 1000000], "
+                  "got '"
+               << TuneBudgetText << "'\n";
+        return usage(argv[0]);
+      }
+      TuneBudget = static_cast<int>(Parsed);
       continue;
     }
     if (Consume("--match-shards=", MatchShardsText)) {
@@ -124,6 +162,8 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--dump-library-symbols")
       DumpLibrarySymbols = true;
+    else if (Arg == "--dump-strategies")
+      DumpStrategies = true;
     else if (Arg == "--check-invalidation")
       CheckInvalidation = true;
     else if (Arg == "--check-types")
@@ -146,6 +186,10 @@ int main(int argc, char **argv) {
   }
   if (PayloadPath.empty())
     return usage(argv[0]);
+  if (!Target.empty() && StrategyDirs.empty()) {
+    errs() << "error: --target requires at least one --strategy-dir\n";
+    return usage(argv[0]);
+  }
 
   Context Ctx;
   registerAllDialects(Ctx);
@@ -175,6 +219,15 @@ int main(int argc, char **argv) {
       return 1;
   if (DumpLibrarySymbols)
     Libraries.dumpSymbols(outs());
+
+  // Strategy libraries load through the same parse-once cache; registration
+  // happens before any dispatch so --dump-strategies works standalone.
+  strategy::StrategyManager Strategies(Ctx, Libraries);
+  for (const std::string &Dir : StrategyDirs)
+    if (failed(Strategies.addStrategyDir(Dir)))
+      return 1;
+  if (DumpStrategies)
+    Strategies.dumpStrategies(outs());
 
   if (!CheckPipeline.empty()) {
     std::vector<std::string> Passes;
@@ -241,6 +294,37 @@ int main(int argc, char **argv) {
     Options.MatchShards = MatchShards;
     if (failed(applyTransforms(Payload.get(), Script.get(), Options)))
       return 1;
+  }
+
+  // Strategy dispatch (after any explicit --transform script): pick the
+  // best applicable strategy for the target and run its entry, autotuning
+  // declared parameters when a budget is given.
+  if (!Target.empty()) {
+    strategy::DispatchOptions DispatchOpts;
+    DispatchOpts.Transform.CheckConditions = CheckConditions;
+    DispatchOpts.Transform.MatchShards = MatchShards;
+    DispatchOpts.TuneBudget = TuneBudget;
+    FailureOr<strategy::DispatchResult> Result =
+        Strategies.dispatch(Payload.get(), Target, DispatchOpts);
+    if (failed(Result))
+      return 1;
+    outs() << "strategy: selected '@" << Result->Strategy->Manifest.LibraryName
+           << "' (target '" << Result->MatchedTarget << "') for target '"
+           << Target << "'\n";
+    if (!Result->Config.empty()) {
+      outs() << "strategy: bound config [";
+      for (size_t I = 0; I < Result->Config.size(); ++I) {
+        if (I)
+          outs() << ", ";
+        outs() << Result->Strategy->Manifest.Params[I].Name << " = "
+               << Result->Config[I];
+      }
+      outs() << "]";
+      if (Result->TuneEvaluations > 0)
+        outs() << " after " << Result->TuneEvaluations
+               << " tuning evaluations";
+      outs() << "\n";
+    }
   }
 
   if (Verify && failed(verify(Payload.get())))
