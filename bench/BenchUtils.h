@@ -10,7 +10,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace tdl {
@@ -46,6 +50,55 @@ inline void printHeader(const char *Title) {
   std::printf("%s\n", Title);
   std::printf("================================================================\n");
 }
+
+/// Machine-readable companion to the textual bench output. When the
+/// `TDL_BENCH_JSON_DIR` environment variable names a directory, the report
+/// is written there as `BENCH_<name>.json` (one flat object of numeric
+/// metrics) on destruction; when unset, every call is a no-op, so benches
+/// can emit unconditionally. Keys appear in insertion order.
+class JsonReport {
+public:
+  explicit JsonReport(std::string Name) : Name(std::move(Name)) {
+    const char *Dir = std::getenv("TDL_BENCH_JSON_DIR");
+    if (Dir && *Dir)
+      this->Dir = Dir;
+  }
+
+  JsonReport(const JsonReport &) = delete;
+  JsonReport &operator=(const JsonReport &) = delete;
+
+  void metric(const std::string &Key, double Value) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
+    Metrics.emplace_back(Key, Buf);
+  }
+
+  void metric(const std::string &Key, long long Value) {
+    Metrics.emplace_back(Key, std::to_string(Value));
+  }
+
+  void metric(const std::string &Key, int Value) {
+    metric(Key, (long long)Value);
+  }
+
+  ~JsonReport() {
+    if (Dir.empty())
+      return;
+    std::string Path = Dir + "/BENCH_" + Name + ".json";
+    std::ofstream Out(Path, std::ios::trunc);
+    if (!Out)
+      return;
+    Out << "{\n  \"bench\": \"" << Name << "\"";
+    for (const auto &[Key, Value] : Metrics)
+      Out << ",\n  \"" << Key << "\": " << Value;
+    Out << "\n}\n";
+  }
+
+private:
+  std::string Name;
+  std::string Dir;
+  std::vector<std::pair<std::string, std::string>> Metrics;
+};
 
 } // namespace benchutil
 } // namespace tdl

@@ -180,5 +180,12 @@ int main(int argc, char **argv) {
   std::printf("\npaper (Fig. 11): speedup rises over ~200 evaluations and "
               "settles around 1.68x.\nshape check: the search discovers "
               "monotonically better schedules and ends well above 1x.\n");
+
+  JsonReport Report("fig11_autotune");
+  Report.metric("budget", Budget);
+  Report.metric("unique_evaluations", (long long)History->size());
+  Report.metric("baseline_s", Baseline);
+  Report.metric("best_s", Best.Cost);
+  Report.metric("speedup", Baseline / Best.Cost);
   return 0;
 }

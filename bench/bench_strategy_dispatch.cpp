@@ -166,6 +166,14 @@ int main(int argc, char **argv) {
               MissSeconds / HitSeconds, Repeats,
               (long long)Libraries.getNumParses());
 
+  JsonReport Report("strategy_dispatch");
+  Report.metric("strategies", NumStrategies);
+  Report.metric("payload_funcs", NumFuncs);
+  Report.metric("repeats", Repeats);
+  Report.metric("miss_us_per_dispatch", MissSeconds / Repeats * 1e6);
+  Report.metric("hit_us_per_dispatch", HitSeconds / Repeats * 1e6);
+  Report.metric("cache_speedup", MissSeconds / HitSeconds);
+
   for (const std::string &Path : Written)
     std::remove(Path.c_str());
   ::rmdir(Dir.c_str());

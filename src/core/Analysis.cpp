@@ -13,6 +13,7 @@
 #include "ir/SymbolTable.h"
 #include "support/STLExtras.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -117,6 +118,25 @@ namespace {
 
 bool isParamType(Type Ty) { return Ty.isa<TransformParamType>(); }
 
+/// True when every concrete op name \p E can denote is also denoted by
+/// \p R — the subsumption order of the abstract op-set domain. Conservative
+/// (false) where an element's extent is not syntactically known.
+bool covers(const OpSetElement &R, const OpSetElement &E) {
+  using Kind = OpSetElement::ElementKind;
+  if (R.Kind == Kind::DialectWildcard) {
+    if (E.Kind == Kind::DialectWildcard)
+      return R.Name == E.Name;
+    if (E.Kind == Kind::Cast)
+      return R.matches("cast");
+    if (E.Kind == Kind::Exact || E.Kind == Kind::Constrained)
+      return R.matches(E.abstractName());
+    return false; // Interface: extent unknown without a Context.
+  }
+  if (R.Kind == Kind::Interface || E.Kind == Kind::Interface)
+    return false;
+  return R.abstractName() == E.abstractName();
+}
+
 // Matcher/action symbol resolution and reference decoding are shared with
 // the runtime (`resolveTransformSequence` / `transformSequenceRefName` in
 // MatcherEngine.h), so this analysis can never disagree with the
@@ -141,17 +161,76 @@ private:
     // The per-OpInfo Def cache makes this a pointer read for registered
     // transform ops; non-transform ops (nested payload or library modules)
     // are filtered by dialect before probing the registry.
-    if (Op->getDialectName() == "transform")
+    bool IsTransform = Op->getDialectName() == "transform";
+    if (IsTransform)
       if (const TransformOpDef *Def = lookupTransformOpDef(Op))
         checkOp(Op, Def);
     for (unsigned R = 0; R < Op->getNumRegions(); ++R)
-      for (Block &B : Op->getRegion(R))
+      for (Block &B : Op->getRegion(R)) {
+        // Sequence bodies execute their ops in order, so each transform
+        // block gets an abstract-set pass over the lowering contracts.
+        if (IsTransform)
+          checkContractOrdering(B);
         for (Operation *Nested : B)
           visit(Nested);
+      }
   }
 
   void report(Operation *Op, std::string Message) {
     Issues.push_back({Op, std::move(Message)});
+  }
+
+  /// Abstract-set pass over one sequence block: interprets the lowering
+  /// contracts (Section 3.3) of the block's transforms in execution order,
+  /// tracking which op patterns earlier transforms have lowered away. A
+  /// transform whose contract requires its pre-condition ops to exist
+  /// (PreMustExist, e.g. tiling requires scf loops) is reported when every
+  /// Pre element is already subsumed — before any payload is touched.
+  void checkContractOrdering(Block &B) {
+    std::vector<OpSetElement> Removed;
+    for (Operation *Op : B) {
+      if (Op->getDialectName() != "transform")
+        continue;
+      std::string PassName = contractedPassNameFor(Op);
+      if (PassName.empty())
+        continue;
+      const LoweringContract *Contract =
+          ContractRegistry::instance().lookup(PassName);
+      if (!Contract)
+        continue;
+      if (Contract->PreMustExist && !Contract->Pre.empty()) {
+        bool AllGone = true;
+        for (const std::string &PreText : Contract->Pre) {
+          OpSetElement Pre = OpSetElement::parse(PreText);
+          bool Gone = false;
+          for (const OpSetElement &R : Removed)
+            Gone |= covers(R, Pre);
+          AllGone &= Gone;
+        }
+        if (AllGone)
+          report(Op, "phase-ordering violation: '" +
+                         std::string(Op->getName()) +
+                         "' requires ops matching {" +
+                         join(Contract->Pre, ", ") +
+                         "} but earlier transforms in this sequence lowered "
+                         "them all away");
+      }
+      if (!Contract->PreservesPre)
+        for (const std::string &PreText : Contract->Pre)
+          Removed.push_back(OpSetElement::parse(PreText));
+      // Post-condition ops are (re-)introduced: forget any removal either
+      // side of which overlaps them. Erasing the whole overlapping element
+      // over-approximates what survives, so the check stays sound.
+      for (const std::string &PostText : Contract->Post) {
+        OpSetElement Post = OpSetElement::parse(PostText);
+        Removed.erase(std::remove_if(Removed.begin(), Removed.end(),
+                                     [&](const OpSetElement &R) {
+                                       return covers(R, Post) ||
+                                              covers(Post, R);
+                                     }),
+                      Removed.end());
+      }
+    }
   }
 
   /// Produced-type-flows-into-expected-type check shared by every binding
@@ -745,18 +824,9 @@ std::vector<std::string> tdl::collectPrecedingTransforms(Operation *Point) {
   for (Operation *Op : *B) {
     if (Op == Point)
       break;
-    std::string_view Name = Op->getName();
-    if (Name == "transform.apply_registered_pass") {
-      Result.push_back(std::string(Op->getStringAttr("pass_name")));
-      continue;
-    }
-    if (Name.substr(0, 10) == "transform.") {
-      std::string PassName(Name.substr(10));
-      for (char &C : PassName)
-        if (C == '_')
-          C = '-';
-      Result.push_back(PassName);
-    }
+    std::string PassName = contractedPassNameFor(Op);
+    if (!PassName.empty())
+      Result.push_back(std::move(PassName));
   }
   return Result;
 }

@@ -233,6 +233,22 @@ tdl::checkLoweringPipeline(const std::vector<std::string> &PassNames,
   return Issues;
 }
 
+std::string tdl::contractedPassNameFor(Operation *Op) {
+  std::string_view Name = Op->getName();
+  if (Name.substr(0, 10) != "transform.")
+    return "";
+  if (Name == "transform.apply_registered_pass")
+    return std::string(Op->getStringAttr("pass_name"));
+  // Dedicated lowering ops whose mangled spelling differs from the pass.
+  if (Name == "transform.lower_scf_to_cf")
+    return "convert-scf-to-cf";
+  std::string PassName(Name.substr(10));
+  for (char &C : PassName)
+    if (C == '_')
+      C = '-';
+  return PassName;
+}
+
 std::vector<PipelineCheckIssue>
 tdl::checkTransformScript(Operation *Script, AbstractOpSet Initial,
                           const std::vector<std::string> &TargetSpec) {
@@ -243,13 +259,9 @@ tdl::checkTransformScript(Operation *Script, AbstractOpSet Initial,
   std::vector<std::string> PassNames;
   std::vector<PipelineCheckIssue> TypedIssues;
   Script->walkPre([&](Operation *Op) {
-    std::string_view Name = Op->getName();
-    if (Name.substr(0, 10) != "transform.")
+    std::string PassName = contractedPassNameFor(Op);
+    if (PassName.empty())
       return WalkResult::Advance;
-    std::string PassName(Name.substr(10));
-    for (char &C : PassName)
-      if (C == '_')
-        C = '-';
     const LoweringContract *Contract =
         ContractRegistry::instance().lookup(PassName);
     if (!Contract)
@@ -263,11 +275,14 @@ tdl::checkTransformScript(Operation *Script, AbstractOpSet Initial,
         // handle to a region-bearing container (func.func, scf.for, ...)
         // may still satisfy Pre through nested ops; only a handle to a
         // leaf op can be ruled out from its type alone. Unknown ops are
-        // conservatively treated as containers.
+        // conservatively treated as containers. func.func deliberately
+        // carries no OT_SingleBlock (its body may be a CFG), so
+        // OT_IsolatedFromAbove stands in as the region-bearing signal.
         const OpInfo *Info =
             Script->getContext().lookupOpInfo(Typed.getOpName());
         bool MayContainNested = !Info || Info->hasTrait(OT_SingleBlock) ||
-                                Info->hasTrait(OT_GraphRegion);
+                                Info->hasTrait(OT_GraphRegion) ||
+                                Info->hasTrait(OT_IsolatedFromAbove);
         bool AnyPreMatches = MayContainNested;
         for (const std::string &PreText : Contract->Pre)
           AnyPreMatches |= OpSetElement::parse(PreText).matches(

@@ -122,6 +122,15 @@ checkLoweringPipeline(const std::vector<std::string> &PassNames,
                       const std::vector<std::string> &TargetSpec,
                       Context *Ctx = nullptr);
 
+/// Maps a transform op to the name of the registered pass it applies:
+/// the `pass_name` attribute of `transform.apply_registered_pass`, the
+/// dedicated-op aliases (`transform.lower_scf_to_cf` applies
+/// "convert-scf-to-cf"), or the op's own mangled name
+/// (`transform.expand_forall` -> "expand-forall"). Returns "" for
+/// non-transform ops; for transform ops that apply no pass the mangled
+/// name simply misses every registry, so callers filter by lookup.
+std::string contractedPassNameFor(Operation *Op);
+
 /// Runs the same check over a transform script: collects the contracted
 /// `transform.<pass>` ops of the entry sequence in order. Additionally uses
 /// statically typed handles: a contracted transform applied through an

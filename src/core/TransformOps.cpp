@@ -133,6 +133,41 @@ static void bindResult(TransformInterpreter &Interp, Operation *Op,
     Interp.getState().setPayload(Op->getResult(Idx), std::move(Ops));
 }
 
+/// Shared payload path of every pass-backed transform op
+/// (apply_registered_pass, expand_forall, lower_scf_to_cf, and the
+/// auto-generated per-contract ops): applies the registered pass to each
+/// payload op of the consumed handle — through the dynamic contract checker
+/// when --check-conditions is active and the pass has a contract — and
+/// rebinds the surviving payload to result 0. An unknown pass name is a
+/// definite failure carrying the name, not a generic "pass failed".
+static DSF applyContractedPassToPayload(Operation *Op,
+                                        TransformInterpreter &Interp,
+                                        const std::string &PassName,
+                                        std::string_view Options = {}) {
+  if (!PassRegistry::instance().lookup(PassName))
+    return DSF::definite("unknown pass '" + PassName +
+                         "': no such pass is registered");
+  const LoweringContract *Contract =
+      ContractRegistry::instance().lookup(PassName);
+  std::vector<Operation *> Payload =
+      Interp.getState().getPayloadOps(Op->getOperand(0));
+  for (Operation *Target : Payload) {
+    if (Interp.getOptions().CheckConditions && Contract && Options.empty()) {
+      FailureOr<std::string> CheckResult =
+          runPassWithDynamicContractCheck(PassName, *Contract, Target);
+      if (failed(CheckResult))
+        return DSF::definite("pass '" + PassName + "' failed on payload op");
+      if (!CheckResult->empty())
+        return DSF::definite("dynamic contract violation in '" + PassName +
+                             "': " + *CheckResult);
+    } else if (failed(runRegisteredPass(PassName, Target, Options))) {
+      return DSF::definite("pass '" + PassName + "' failed on payload op");
+    }
+  }
+  bindResult(Interp, Op, 0, std::move(Payload));
+  return DSF::success();
+}
+
 /// Shared skeleton of the matcher predicate ops: every payload op of
 /// operand 0 must satisfy \p Pred (which returns success or a silenceable
 /// failure); on success the payload is forwarded through result 0.
@@ -1274,6 +1309,21 @@ void tdl::registerTransformDialect(Context &Ctx) {
     registerTransformOp(Ctx, Vectorize, Def);
   }
 
+  {
+    // Phase-ordering contracts (Section 3.3) for the structured-loop
+    // transforms above: they require scf loops to still exist and only
+    // read them. Both the static checkers (`checkTransformScript`,
+    // `analyzeHandleTypes`) use these to reject scripts that tile or
+    // vectorize after the loops were lowered to cf branches.
+    LoweringContract LoopContract;
+    LoopContract.Pre = {"scf.for", "scf.forall"};
+    LoopContract.PreMustExist = true;
+    LoopContract.PreservesPre = true;
+    for (const char *Name : {"loop.hoist", "loop.split", "loop.tile",
+                             "loop.unroll", "loop.interchange", "vectorize"})
+      ContractRegistry::instance().registerContract(Name, LoopContract);
+  }
+
   // `transform.to_library` predates the transform *library subsystem*
   // (core/TransformLibrary.h) and is unrelated to it despite the name: it
   // substitutes matched payload loop nests with calls into a precompiled
@@ -1342,17 +1392,40 @@ void tdl::registerTransformDialect(Context &Ctx) {
       std::string_view PassName = Op->getStringAttr("pass_name");
       if (PassName.empty())
         return DSF::definite("apply_registered_pass requires 'pass_name'");
-      std::string_view Options = Op->getStringAttr("options");
-      std::vector<Operation *> Payload =
-          Interp.getState().getPayloadOps(Op->getOperand(0));
-      for (Operation *Target : Payload)
-        if (failed(runRegisteredPass(PassName, Target, Options)))
-          return DSF::definite("pass '" + std::string(PassName) +
-                               "' failed on payload op");
-      bindResult(Interp, Op, 0, std::move(Payload));
-      return DSF::success();
+      return applyContractedPassToPayload(Op, Interp, std::string(PassName),
+                                          Op->getStringAttr("options"));
     };
     registerTransformOp(Ctx, ApplyPass, Def);
+  }
+
+  // Dedicated lowering steps of the deep pipeline, so a strategy reads as
+  // match -> tile -> expand_forall -> lower_scf_to_cf -> (execute). Both
+  // consume their handle and rebind the surviving payload like every other
+  // pass-backed transform op.
+  {
+    OpInfo ExpandForall;
+    ExpandForall.Name = "transform.expand_forall";
+    TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {0};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      return applyContractedPassToPayload(Op, Interp, "expand-forall");
+    };
+    registerTransformOp(Ctx, ExpandForall, Def);
+  }
+
+  {
+    OpInfo LowerScf;
+    LowerScf.Name = "transform.lower_scf_to_cf";
+    TransformOpDef Def;
+    Def.OperandKinds = {TransformValueKind::Handle};
+    Def.ConsumedOperands = {0};
+    Def.ResultNestedInOperand = {0};
+    Def.Apply = [](Operation *Op, TransformInterpreter &Interp) -> DSF {
+      return applyContractedPassToPayload(Op, Interp, "convert-scf-to-cf");
+    };
+    registerTransformOp(Ctx, LowerScf, Def);
   }
 
   {
@@ -1515,6 +1588,11 @@ void tdl::registerTransformDialect(Context &Ctx) {
     for (char &C : OpName)
       if (C == '-')
         C = '_';
+    // Dedicated registrations above win over the auto-generated form (e.g.
+    // the "expand-forall" contract would otherwise re-register
+    // transform.expand_forall).
+    if (Ctx.lookupOpInfo(OpName))
+      continue;
     OpInfo Info;
     Info.Name = OpName;
     TransformOpDef Def;
@@ -1524,26 +1602,7 @@ void tdl::registerTransformDialect(Context &Ctx) {
     std::string PassNameCopy = PassName;
     Def.Apply = [PassNameCopy](Operation *Op,
                                TransformInterpreter &Interp) -> DSF {
-      const LoweringContract *Contract =
-          ContractRegistry::instance().lookup(PassNameCopy);
-      std::vector<Operation *> Payload =
-          Interp.getState().getPayloadOps(Op->getOperand(0));
-      for (Operation *Target : Payload) {
-        if (Interp.getOptions().CheckConditions && Contract) {
-          FailureOr<std::string> CheckResult =
-              runPassWithDynamicContractCheck(PassNameCopy, *Contract,
-                                              Target);
-          if (failed(CheckResult))
-            return DSF::definite("lowering '" + PassNameCopy + "' failed");
-          if (!CheckResult->empty())
-            return DSF::definite("dynamic contract violation in '" +
-                                 PassNameCopy + "': " + *CheckResult);
-        } else if (failed(runRegisteredPass(PassNameCopy, Target))) {
-          return DSF::definite("lowering '" + PassNameCopy + "' failed");
-        }
-      }
-      bindResult(Interp, Op, 0, std::move(Payload));
-      return DSF::success();
+      return applyContractedPassToPayload(Op, Interp, PassNameCopy);
     };
     registerTransformOp(Ctx, Info, Def);
   }

@@ -45,7 +45,13 @@ static LogicalResult foldIntBinary(std::string_view Name, int64_t Lhs,
     Out = Lhs / Rhs;
     if ((Lhs % Rhs) != 0 && ((Lhs < 0) == (Rhs < 0)))
       ++Out;
-  } else
+  } else if (Name == "arith.andi")
+    Out = Lhs & Rhs;
+  else if (Name == "arith.ori")
+    Out = Lhs | Rhs;
+  else if (Name == "arith.xori")
+    Out = Lhs ^ Rhs;
+  else
     return failure();
   return success();
 }
@@ -138,13 +144,17 @@ void tdl::registerArithDialect(Context &Ctx) {
   const char *IntBinaryOps[] = {
       "arith.addi",   "arith.subi",       "arith.muli",
       "arith.divsi",  "arith.remsi",      "arith.minsi",
-      "arith.maxsi",  "arith.floordivsi", "arith.ceildivsi"};
+      "arith.maxsi",  "arith.floordivsi", "arith.ceildivsi",
+      "arith.andi",   "arith.ori",        "arith.xori"};
   for (const char *Name : IntBinaryOps) {
     OpInfo Info;
     Info.Name = Name;
     Info.Traits = OT_Pure;
     if (std::string_view(Name) == "arith.addi" ||
-        std::string_view(Name) == "arith.muli")
+        std::string_view(Name) == "arith.muli" ||
+        std::string_view(Name) == "arith.andi" ||
+        std::string_view(Name) == "arith.ori" ||
+        std::string_view(Name) == "arith.xori")
       Info.Traits |= OT_Commutative;
     Info.Verify = verifySameOperandAndResultType;
     Info.Fold = binaryFolder;

@@ -14,7 +14,10 @@ void tdl::registerFuncDialect(Context &Ctx) {
 
   OpInfo Func;
   Func.Name = "func.func";
-  Func.Traits = OT_Symbol | OT_IsolatedFromAbove | OT_SingleBlock;
+  // No OT_SingleBlock: a function body is single-block in structured form
+  // but becomes a multi-block CFG after convert-scf-to-cf, and both forms
+  // must verify (the executor runs both).
+  Func.Traits = OT_Symbol | OT_IsolatedFromAbove;
   Func.Verify = [](Operation *Op) -> LogicalResult {
     if (Op->getNumRegions() != 1)
       return Op->emitOpError() << "expects exactly one region";

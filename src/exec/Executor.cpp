@@ -139,8 +139,33 @@ struct Slot {
   unsigned Index = 0;
 };
 
+/// One (source slot, destination block-argument slot) edge of a branch.
+/// Branches copy with parallel semantics: all sources are read before any
+/// destination is written, so `cf.br ^bb(%y, %x)` into `^bb(%x, %y)` swaps.
+struct BranchCopy {
+  Slot Src;
+  Slot Dst;
+};
+
+/// A compiled basic block of a CFG-form (`cf.*`) function body: the
+/// straight-line program plus a terminator descriptor interpreted by the
+/// invoke loop.
+struct CompiledBlock {
+  Program Body;
+  enum class Term { Return, Br, CondBr } Kind = Term::Return;
+  /// Return: the slots holding the function results.
+  std::vector<Slot> ReturnSlots;
+  /// Br/CondBr: successor indices into CompiledFunction::Blocks and the
+  /// block-argument copies to perform on each edge. Br uses the True pair.
+  Slot Cond;
+  int TrueDest = -1, FalseDest = -1;
+  std::vector<BranchCopy> TrueCopies, FalseCopies;
+};
+
 struct CompiledFunction {
   Program Body;
+  /// Non-empty for multi-block (CFG form) bodies; Body is unused then.
+  std::vector<CompiledBlock> Blocks;
   std::vector<Slot> ArgSlots;
   std::vector<Slot> ResultSlots;
   unsigned NumInts = 0, NumFloats = 0, NumBufs = 0;
@@ -171,11 +196,18 @@ public:
   FailureOr<std::shared_ptr<CompiledFunction>> compile() {
     auto Result = std::make_shared<CompiledFunction>();
     Fn = Result.get();
-    Block *Body = func::getBody(Func);
+    Region &Top = Func->getRegion(0);
+    Block *Body = &Top.front();
     for (Value Arg : Body->getArguments())
       Result->ArgSlots.push_back(assignSlot(Arg));
-    if (failed(compileBlock(*Body, Result->Body)))
+    if (Top.getNumBlocks() > 1) {
+      // CFG form (after convert-scf-to-cf): one compiled block per basic
+      // block, dispatched by the invoke loop.
+      if (failed(compileCfg(Top, *Result)))
+        return failure();
+    } else if (failed(compileBlock(*Body, Result->Body))) {
       return failure();
+    }
     Result->NumInts = NumInts;
     Result->NumFloats = NumFloats;
     Result->NumBufs = NumBufs;
@@ -214,6 +246,72 @@ private:
         return success(); // scf.yield
       if (failed(compileOp(Op, Out)))
         return failure();
+    }
+    return success();
+  }
+
+  /// Compiles a multi-block (CFG form) function body: every basic block
+  /// becomes a straight-line Program plus a terminator descriptor. Branch
+  /// operands are bound to successor block arguments as parallel copies.
+  LogicalResult compileCfg(Region &Top, CompiledFunction &Result) {
+    std::map<Block *, int> BlockIndex;
+    std::vector<Block *> Order;
+    for (Block &B : Top) {
+      BlockIndex[&B] = static_cast<int>(Order.size());
+      Order.push_back(&B);
+      // Pre-assign block-argument slots so branch edges can target them.
+      for (Value Arg : B.getArguments())
+        (void)assignSlot(Arg);
+    }
+    for (Block *B : Order) {
+      CompiledBlock Rec;
+      Operation *Terminator = nullptr;
+      for (Operation *Op : *B) {
+        if (Op->hasTrait(OT_IsTerminator)) {
+          Terminator = Op;
+          break;
+        }
+        if (failed(compileOp(Op, Rec.Body)))
+          return failure();
+      }
+      if (!Terminator)
+        return Func->emitOpError()
+               << "executor: CFG block without a terminator";
+      std::string_view TermName = Terminator->getName();
+      if (TermName == "func.return") {
+        Rec.Kind = CompiledBlock::Term::Return;
+        for (Value Operand : Terminator->getOperands())
+          Rec.ReturnSlots.push_back(assignSlot(Operand));
+      } else if (TermName == "cf.br") {
+        Rec.Kind = CompiledBlock::Term::Br;
+        Block *Dest = Terminator->getSuccessor(0);
+        Rec.TrueDest = BlockIndex.at(Dest);
+        for (unsigned I = 0; I < Terminator->getNumOperands(); ++I)
+          Rec.TrueCopies.push_back({assignSlot(Terminator->getOperand(I)),
+                                    assignSlot(Dest->getArgument(I))});
+      } else if (TermName == "cf.cond_br") {
+        Rec.Kind = CompiledBlock::Term::CondBr;
+        Rec.Cond = assignSlot(Terminator->getOperand(0));
+        Block *TrueDest = Terminator->getSuccessor(0);
+        Block *FalseDest = Terminator->getSuccessor(1);
+        Rec.TrueDest = BlockIndex.at(TrueDest);
+        Rec.FalseDest = BlockIndex.at(FalseDest);
+        unsigned TrueCount = static_cast<unsigned>(
+            Terminator->getIntAttr("true_count", 0));
+        for (unsigned I = 0; I < TrueCount; ++I)
+          Rec.TrueCopies.push_back(
+              {assignSlot(Terminator->getOperand(1 + I)),
+               assignSlot(TrueDest->getArgument(I))});
+        for (unsigned I = 1 + TrueCount; I < Terminator->getNumOperands();
+             ++I)
+          Rec.FalseCopies.push_back(
+              {assignSlot(Terminator->getOperand(I)),
+               assignSlot(FalseDest->getArgument(I - 1 - TrueCount))});
+      } else {
+        return Terminator->emitOpError()
+               << "executor: unsupported CFG terminator";
+      }
+      Result.Blocks.push_back(std::move(Rec));
     }
     return success();
   }
@@ -260,7 +358,8 @@ LogicalResult FunctionCompiler::compileOp(Operation *Op, Program &Out) {
       {"arith.addi", 0},       {"arith.subi", 1},  {"arith.muli", 2},
       {"arith.divsi", 3},      {"arith.remsi", 4}, {"arith.minsi", 5},
       {"arith.maxsi", 6},      {"arith.floordivsi", 7},
-      {"arith.ceildivsi", 8}};
+      {"arith.ceildivsi", 8},  {"arith.andi", 9},
+      {"arith.ori", 10},       {"arith.xori", 11}};
   if (auto It = IntBinKind.find(Name); It != IntBinKind.end()) {
     Slot L = assignSlot(Op->getOperand(0)), R = assignSlot(Op->getOperand(1));
     Slot Dst = assignSlot(Op->getResult(0));
@@ -286,6 +385,9 @@ LogicalResult FunctionCompiler::compileOp(Operation *Op, Program &Out) {
         if (B && (A % B) != 0 && ((A < 0) == (B < 0)))
           ++V;
         break;
+      case 9: V = A & B; break;
+      case 10: V = A | B; break;
+      case 11: V = A ^ B; break;
       }
       F.Ints[Dst.Index] = V;
     });
@@ -724,10 +826,66 @@ Executor::Impl::invoke(const CompiledFunction &Fn,
       break;
     }
   }
-  for (const CompiledOp &Op : Fn.Body)
-    Op(F);
+  std::vector<Slot> ResultSlots = Fn.ResultSlots;
+  if (Fn.Blocks.empty()) {
+    for (const CompiledOp &Op : Fn.Body)
+      Op(F);
+  } else {
+    // CFG dispatch loop. Branch copies have parallel semantics: all edge
+    // sources are read before any destination block argument is written.
+    auto RunCopies = [&F](const std::vector<BranchCopy> &Copies) {
+      std::vector<int64_t> TmpInts(Copies.size());
+      std::vector<double> TmpFloats(Copies.size());
+      std::vector<Buffer> TmpBufs(Copies.size());
+      for (size_t I = 0; I < Copies.size(); ++I) {
+        switch (Copies[I].Src.Kind) {
+        case Slot::Kind::Int:
+          TmpInts[I] = F.Ints[Copies[I].Src.Index];
+          break;
+        case Slot::Kind::Float:
+          TmpFloats[I] = F.Floats[Copies[I].Src.Index];
+          break;
+        case Slot::Kind::Mem:
+          TmpBufs[I] = F.Bufs[Copies[I].Src.Index];
+          break;
+        }
+      }
+      for (size_t I = 0; I < Copies.size(); ++I) {
+        switch (Copies[I].Dst.Kind) {
+        case Slot::Kind::Int:
+          F.Ints[Copies[I].Dst.Index] = TmpInts[I];
+          break;
+        case Slot::Kind::Float:
+          F.Floats[Copies[I].Dst.Index] = TmpFloats[I];
+          break;
+        case Slot::Kind::Mem:
+          F.Bufs[Copies[I].Dst.Index] = std::move(TmpBufs[I]);
+          break;
+        }
+      }
+    };
+    int Current = 0;
+    while (true) {
+      const CompiledBlock &B = Fn.Blocks[Current];
+      for (const CompiledOp &Op : B.Body)
+        Op(F);
+      ++F.OpCount; // the terminator
+      if (B.Kind == CompiledBlock::Term::Return) {
+        ResultSlots = B.ReturnSlots;
+        break;
+      }
+      if (B.Kind == CompiledBlock::Term::Br) {
+        RunCopies(B.TrueCopies);
+        Current = B.TrueDest;
+        continue;
+      }
+      bool Taken = F.Ints[B.Cond.Index] != 0;
+      RunCopies(Taken ? B.TrueCopies : B.FalseCopies);
+      Current = Taken ? B.TrueDest : B.FalseDest;
+    }
+  }
   std::vector<RuntimeValue> Results;
-  for (const Slot &S : Fn.ResultSlots) {
+  for (const Slot &S : ResultSlots) {
     switch (S.Kind) {
     case Slot::Kind::Int:
       Results.push_back(RuntimeValue::makeInt(F.Ints[S.Index]));

@@ -243,7 +243,55 @@ LogicalResult convertByNameMap(Operation *Root,
 // arith/cf/func -> llvm
 //===----------------------------------------------------------------------===//
 
+LogicalResult tdl::expandFloorCeilDivOps(Operation *Root) {
+  // arith.floordivsi / arith.ceildivsi round toward negative/positive
+  // infinity, but llvm.sdiv truncates toward zero, so a name-map conversion
+  // is wrong for operands of mixed sign (e.g. floordiv(-7, 2) is -4, sdiv
+  // gives -3). Expand into truncating ops plus a sign-aware adjustment:
+  //   q = divsi(a, b); adjust = (q * b != a) && ((a < 0) != (b < 0))
+  //   floordiv = select(adjust, q - 1, q)   (ceildiv mirrors with ==, q + 1)
+  std::vector<Operation *> Targets;
+  Root->walk([&](Operation *Op) {
+    if (Op->getName() == "arith.floordivsi" ||
+        Op->getName() == "arith.ceildivsi")
+      Targets.push_back(Op);
+  });
+  for (Operation *Op : Targets) {
+    bool IsFloor = Op->getName() == "arith.floordivsi";
+    Context &Ctx = Op->getContext();
+    OpBuilder B(Ctx);
+    B.setInsertionPoint(Op);
+    Location Loc = Op->getLoc();
+    Value A = Op->getOperand(0), Divisor = Op->getOperand(1);
+    Value Quot = arith::buildBinary(B, Loc, "arith.divsi", A, Divisor);
+    Value Prod = arith::buildBinary(B, Loc, "arith.muli", Quot, Divisor);
+    Value Inexact = arith::buildCmpI(B, Loc, "ne", Prod, A);
+    Value Zero = arith::buildConstantInt(B, Loc, 0, A.getType());
+    Value ANeg = arith::buildCmpI(B, Loc, "slt", A, Zero);
+    Value BNeg = arith::buildCmpI(B, Loc, "slt", Divisor, Zero);
+    // floordiv adjusts when the signs differ, ceildiv when they agree.
+    Value SignTest =
+        arith::buildCmpI(B, Loc, IsFloor ? "ne" : "eq", ANeg, BNeg);
+    Value Adjust =
+        arith::buildBinary(B, Loc, "arith.andi", Inexact, SignTest);
+    Value One = arith::buildConstantInt(B, Loc, 1, A.getType());
+    Value Adjusted = arith::buildBinary(
+        B, Loc, IsFloor ? "arith.subi" : "arith.addi", Quot, One);
+    OperationState State(Loc, "arith.select");
+    State.Operands = {Adjust, Adjusted, Quot};
+    State.ResultTypes = {A.getType()};
+    Operation *Select = B.create(State);
+    Op->getResult(0).replaceAllUsesWith(Select->getResult(0));
+    Op->erase();
+  }
+  return success();
+}
+
 static LogicalResult convertArithToLlvm(Operation *Func) {
+  // Rounding divisions cannot be name-mapped onto llvm.sdiv; expand them
+  // into sign-correct sequences first.
+  if (failed(expandFloorCeilDivOps(Func)))
+    return failure();
   // arith.constant needs its value attribute retyped (index -> i64).
   std::vector<Operation *> Constants;
   Func->walk([&](Operation *Op) {
@@ -264,8 +312,9 @@ static LogicalResult convertArithToLlvm(Operation *Func) {
       {"arith.addi", "llvm.add"},        {"arith.subi", "llvm.sub"},
       {"arith.muli", "llvm.mul"},        {"arith.divsi", "llvm.sdiv"},
       {"arith.remsi", "llvm.srem"},      {"arith.minsi", "llvm.smin"},
-      {"arith.maxsi", "llvm.smax"},      {"arith.floordivsi", "llvm.sdiv"},
-      {"arith.ceildivsi", "llvm.sdiv"},  {"arith.addf", "llvm.fadd"},
+      {"arith.maxsi", "llvm.smax"},      {"arith.andi", "llvm.and"},
+      {"arith.ori", "llvm.or"},          {"arith.xori", "llvm.xor"},
+      {"arith.addf", "llvm.fadd"},
       {"arith.subf", "llvm.fsub"},       {"arith.mulf", "llvm.fmul"},
       {"arith.divf", "llvm.fdiv"},       {"arith.minf", "llvm.fmin"},
       {"arith.maxf", "llvm.fmax"},       {"arith.cmpi", "llvm.icmp"},
@@ -626,6 +675,12 @@ void registerConversionPasses() {
                             return runCse(Target);
                           });
 
+  Registry.registerFnPass("expand-forall",
+                          "Expand scf.forall into nested scf.for loops",
+                          "", [](Operation *Target, Pass &) {
+                            return expandForallToFor(Target);
+                          });
+
   Registry.registerFnPass("convert-scf-to-cf",
                           "Lower structured control flow to branches",
                           "", [](Operation *Target, Pass &) {
@@ -677,6 +732,9 @@ void registerConversionPasses() {
   // Pre-/post-condition contracts (Table 2 of the paper).
   ContractRegistry &Contracts = ContractRegistry::instance();
   Contracts.registerContract(
+      "expand-forall",
+      {{"scf.forall"}, {"scf.for", "scf.yield", "arith.constant"}});
+  Contracts.registerContract(
       "convert-scf-to-cf",
       {{"scf.*"},
        {"cf.br", "cf.cond_br", "arith.cmpi", "arith.addi", "arith.constant",
@@ -687,7 +745,8 @@ void registerConversionPasses() {
        {"llvm.add", "llvm.sub", "llvm.mul", "llvm.sdiv", "llvm.srem",
         "llvm.smin", "llvm.smax", "llvm.fadd", "llvm.fsub", "llvm.fmul",
         "llvm.fdiv", "llvm.fmin", "llvm.fmax", "llvm.icmp", "llvm.select",
-        "llvm.sext", "llvm.sitofp", "llvm.constant", "cast"}});
+        "llvm.and", "llvm.or", "llvm.xor", "llvm.sext", "llvm.sitofp",
+        "llvm.constant", "cast"}});
   Contracts.registerContract(
       "convert-cf-to-llvm",
       {{"cf.*"}, {"llvm.br", "llvm.cond_br", "llvm.switch", "cast"}});

@@ -63,6 +63,12 @@ LogicalResult expandForallToFor(Operation *Root);
 /// Lowers all structured control flow under \p Func to cf branches.
 LogicalResult convertScfToCf(Operation *Func);
 
+/// Expands every `arith.floordivsi` / `arith.ceildivsi` under \p Root into a
+/// sign-correct divsi/muli/cmpi/select sequence. llvm.sdiv truncates toward
+/// zero, so mapping the rounding divisions onto it directly is wrong for
+/// operands of mixed sign; convert-arith-to-llvm runs this first.
+LogicalResult expandFloorCeilDivOps(Operation *Root);
+
 /// Runs the named registered pass on \p Target directly (no pass manager).
 LogicalResult runRegisteredPass(std::string_view Name, Operation *Target,
                                 std::string_view Options = "");

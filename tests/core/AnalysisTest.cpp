@@ -288,4 +288,98 @@ TEST_F(AnalysisTest, CollectPrecedingTransforms) {
   EXPECT_EQ(Names[1], "convert-scf-to-cf");
 }
 
+TEST_F(AnalysisTest, CollectPrecedingTransformsResolvesDedicatedOps) {
+  // The dedicated lowering ops alias to the pass they apply; the scf
+  // lowering op's mangled spelling differs from the registered pass name.
+  Ctx.setAllowUnregisteredOps(true);
+  OwningOpRef Script = makeScript(R"(
+    %a = "transform.expand_forall"(%root)
+      : (!transform.any_op) -> (!transform.any_op)
+    %b = "transform.lower_scf_to_cf"(%a)
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.probe_point"(%b) : (!transform.any_op) -> ()
+  )");
+  ASSERT_TRUE(Script);
+  Operation *Probe = nullptr;
+  Script->walk([&](Operation *Op) {
+    if (Op->getName() == "transform.probe_point")
+      Probe = Op;
+  });
+  ASSERT_NE(Probe, nullptr);
+  std::vector<std::string> Names = collectPrecedingTransforms(Probe);
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "expand-forall");
+  EXPECT_EQ(Names[1], "convert-scf-to-cf");
+}
+
+TEST_F(AnalysisTest, TypeAnalysisRejectsTileAfterLowering) {
+  // The contract-ordering pass interprets the lowering contracts over the
+  // sequence: once the scf lowering removed every structured loop, a tiling
+  // transform can never find its pre-condition ops.
+  OwningOpRef Script = makeScript(R"(
+    %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+      : (!transform.any_op) -> (!transform.any_op)
+    %lowered = "transform.lower_scf_to_cf"(%root)
+      : (!transform.any_op) -> (!transform.any_op)
+    %t, %p = "transform.loop.tile"(%loops) {tile_sizes = [4 : index]}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  )");
+  ASSERT_TRUE(Script);
+  std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+  bool FoundOrdering = false;
+  for (const TypeCheckIssue &Issue : Issues) {
+    if (Issue.Message.find("phase-ordering") == std::string::npos)
+      continue;
+    FoundOrdering = true;
+    EXPECT_EQ(Issue.Op->getName(), "transform.loop.tile");
+  }
+  EXPECT_TRUE(FoundOrdering);
+}
+
+TEST_F(AnalysisTest, TypeAnalysisAcceptsTileBeforeLowering) {
+  OwningOpRef Script = makeScript(R"(
+    %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+      : (!transform.any_op) -> (!transform.any_op)
+    %t, %p = "transform.loop.tile"(%loops) {tile_sizes = [4 : index]}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+    %lowered = "transform.lower_scf_to_cf"(%root)
+      : (!transform.any_op) -> (!transform.any_op)
+  )");
+  ASSERT_TRUE(Script);
+  for (const TypeCheckIssue &Issue : analyzeHandleTypes(Script.get()))
+    EXPECT_EQ(Issue.Message.find("phase-ordering"), std::string::npos)
+        << Issue.Message;
+}
+
+TEST_F(AnalysisTest, TypeAnalysisHonorsReintroducedPostOps) {
+  // expand-forall consumes scf.forall but reintroduces scf.for; tiling
+  // after it is legal, and tiling after the full scf lowering is not, even
+  // through apply_registered_pass.
+  OwningOpRef Legal = makeScript(R"(
+    %e = "transform.expand_forall"(%root)
+      : (!transform.any_op) -> (!transform.any_op)
+    %loops = "transform.match.op"(%e) {op_name = "scf.for"}
+      : (!transform.any_op) -> (!transform.any_op)
+    %t, %p = "transform.loop.tile"(%loops) {tile_sizes = [4 : index]}
+      : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  )");
+  ASSERT_TRUE(Legal);
+  for (const TypeCheckIssue &Issue : analyzeHandleTypes(Legal.get()))
+    EXPECT_EQ(Issue.Message.find("phase-ordering"), std::string::npos)
+        << Issue.Message;
+
+  OwningOpRef Broken = makeScript(R"(
+    %lowered = "transform.apply_registered_pass"(%root)
+      {pass_name = "convert-scf-to-cf"}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.vectorize"(%lowered) : (!transform.any_op) -> ()
+  )");
+  ASSERT_TRUE(Broken);
+  bool FoundOrdering = false;
+  for (const TypeCheckIssue &Issue : analyzeHandleTypes(Broken.get()))
+    FoundOrdering |=
+        Issue.Message.find("phase-ordering") != std::string::npos;
+  EXPECT_TRUE(FoundOrdering);
+}
+
 } // namespace

@@ -10,6 +10,7 @@
 #include "exec/Workloads.h"
 #include "ir/Builder.h"
 #include "ir/Parser.h"
+#include "ir/Verifier.h"
 #include "loops/LoopUtils.h"
 #include "lowering/Passes.h"
 
@@ -222,6 +223,149 @@ TEST_F(ExecutorTest, UnsupportedOpIsAnError) {
   EXPECT_TRUE(failed(Exec.run("f", {})));
   EXPECT_TRUE(Capture.contains("unsupported operation"));
   EXPECT_TRUE(failed(Exec.run("no_such_function", {})));
+}
+
+//===----------------------------------------------------------------------===//
+// CFG form: cf.br / cf.cond_br with block arguments
+//===----------------------------------------------------------------------===//
+
+TEST_F(ExecutorTest, CfgConditionalBranches) {
+  // abs(x) as a hand-written CFG: the false edge carries x directly to the
+  // exit block argument, the true edge negates first.
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%x: index):
+        %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+        %neg = "arith.cmpi"(%x, %zero) {predicate = "slt"}
+          : (index, index) -> (i1)
+        "cf.cond_br"(%neg, %x)[^negate, ^exit] {true_count = 0 : i64}
+          : (i1, index) -> ()
+      ^negate:
+        %m = "arith.subi"(%zero, %x) : (index, index) -> (index)
+        "cf.br"(%m)[^exit] : (index) -> ()
+      ^exit(%r: index):
+        "func.return"(%r) : (index) -> ()
+      }) {sym_name = "abs", function_type = (index) -> index} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Module);
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  exec::Executor Exec(Module.get());
+  auto Result = Exec.run("abs", {RuntimeValue::makeInt(-9)});
+  ASSERT_TRUE(succeeded(Result));
+  EXPECT_EQ((*Result)[0].I, 9);
+  Result = Exec.run("abs", {RuntimeValue::makeInt(4)});
+  ASSERT_TRUE(succeeded(Result));
+  EXPECT_EQ((*Result)[0].I, 4);
+}
+
+TEST_F(ExecutorTest, CfgBlockArgSwapUsesParallelCopies) {
+  // The loop back-edge swaps its two block arguments every iteration.
+  // Sequential copies (x <- y, then y <- x) would return (20, 20) for one
+  // iteration; the required parallel semantics returns (20, 10).
+  OwningOpRef Module = parseSourceString(Ctx, R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%n: index):
+        %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+        %one = "arith.constant"() {value = 1 : index} : () -> (index)
+        %a = "arith.constant"() {value = 10 : index} : () -> (index)
+        %b = "arith.constant"() {value = 20 : index} : () -> (index)
+        "cf.br"(%a, %b, %zero)[^loop] : (index, index, index) -> ()
+      ^loop(%x: index, %y: index, %i: index):
+        %c = "arith.cmpi"(%i, %n) {predicate = "slt"}
+          : (index, index) -> (i1)
+        %next = "arith.addi"(%i, %one) : (index, index) -> (index)
+        "cf.cond_br"(%c, %y, %x, %next, %x, %y)[^loop, ^exit]
+          {true_count = 3 : i64}
+          : (i1, index, index, index, index, index) -> ()
+      ^exit(%rx: index, %ry: index):
+        "func.return"(%rx, %ry) : (index, index) -> ()
+      }) {sym_name = "swap",
+          function_type = (index) -> (index, index)} : () -> ()
+    }) : () -> ()
+  )");
+  ASSERT_TRUE(Module);
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  exec::Executor Exec(Module.get());
+  auto Result = Exec.run("swap", {RuntimeValue::makeInt(1)});
+  ASSERT_TRUE(succeeded(Result));
+  EXPECT_EQ((*Result)[0].I, 20);
+  EXPECT_EQ((*Result)[1].I, 10);
+  // Even number of swaps restores the original order.
+  Result = Exec.run("swap", {RuntimeValue::makeInt(4)});
+  ASSERT_TRUE(succeeded(Result));
+  EXPECT_EQ((*Result)[0].I, 10);
+  EXPECT_EQ((*Result)[1].I, 20);
+}
+
+TEST_F(ExecutorTest, StructuredAndLoweredFormsAgree) {
+  // The same payload in structured (scf) and lowered (cf) form must produce
+  // identical numbers: the lowered form executes the same arithmetic in the
+  // same order, only the control flow is rewritten.
+  const char *Source = R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%m: memref<4x4xf64>, %out: memref<1xf64>):
+        %zero = "arith.constant"() {value = 0 : index} : () -> (index)
+        %ub = "arith.constant"() {value = 4 : index} : () -> (index)
+        %one = "arith.constant"() {value = 1 : index} : () -> (index)
+        "scf.forall"() ({
+        ^body(%i: index, %j: index):
+          %v = "memref.load"(%m, %i, %j) : (memref<4x4xf64>, index, index) -> (f64)
+          %w = "arith.mulf"(%v, %v) : (f64, f64) -> (f64)
+          "memref.store"(%w, %m, %i, %j) : (f64, memref<4x4xf64>, index, index) -> ()
+          "scf.yield"() : () -> ()
+        }) {lowerBound = [0 : index, 0 : index],
+            upperBound = [4 : index, 4 : index]} : () -> ()
+        "scf.for"(%zero, %ub, %one) ({
+        ^bi(%i: index):
+          "scf.for"(%zero, %ub, %one) ({
+          ^bj(%j: index):
+            %v = "memref.load"(%m, %i, %j) : (memref<4x4xf64>, index, index) -> (f64)
+            %acc = "memref.load"(%out, %zero) : (memref<1xf64>, index) -> (f64)
+            %s = "arith.addf"(%acc, %v) : (f64, f64) -> (f64)
+            "memref.store"(%s, %out, %zero) : (f64, memref<1xf64>, index) -> ()
+            "scf.yield"() : () -> ()
+          }) : (index, index, index) -> ()
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "square_sum",
+          function_type = (memref<4x4xf64>, memref<1xf64>) -> ()} : () -> ()
+    }) : () -> ()
+  )";
+
+  auto Run = [&](bool Lower, Buffer &M, Buffer &Out) {
+    OwningOpRef Module = parseSourceString(Ctx, Source);
+    ASSERT_TRUE(Module);
+    if (Lower) {
+      ASSERT_TRUE(succeeded(convertScfToCf(Module.get())));
+      ASSERT_TRUE(succeeded(verify(Module.get())));
+      bool SawCondBr = false, SawScf = false;
+      Module->walk([&](Operation *Op) {
+        SawCondBr |= Op->getName() == "cf.cond_br";
+        SawScf |= Op->getDialectName() == "scf";
+      });
+      EXPECT_TRUE(SawCondBr);
+      EXPECT_FALSE(SawScf);
+    }
+    exec::Executor Exec(Module.get());
+    ASSERT_TRUE(succeeded(Exec.run("square_sum",
+                                   {RuntimeValue::makeBuffer(M),
+                                    RuntimeValue::makeBuffer(Out)})));
+  };
+
+  Buffer M1 = Buffer::alloc({4, 4}), M2 = Buffer::alloc({4, 4});
+  for (int I = 0; I < 16; ++I)
+    (*M1.Data)[I] = (*M2.Data)[I] = 0.25 * I - 1.5;
+  Buffer Out1 = Buffer::alloc({1}), Out2 = Buffer::alloc({1});
+  Run(false, M1, Out1);
+  Run(true, M2, Out2);
+  EXPECT_DOUBLE_EQ(Out1.at({0}), Out2.at({0}));
+  for (int I = 0; I < 16; ++I)
+    EXPECT_DOUBLE_EQ((*M1.Data)[I], (*M2.Data)[I]) << "element " << I;
 }
 
 //===----------------------------------------------------------------------===//

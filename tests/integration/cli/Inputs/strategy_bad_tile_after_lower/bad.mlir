@@ -1,0 +1,15 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match.op"(%root) {op_name = "scf.for"}
+        : (!transform.any_op) -> (!transform.any_op)
+      %lowered = "transform.lower_scf_to_cf"(%root)
+        : (!transform.any_op) -> (!transform.any_op)
+      %t, %p = "transform.loop.tile"(%loops) {tile_sizes = [4 : index]}
+        : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "bad_deep",
+      strategy.target = "cfg"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,26 @@
+"builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      %p = "transform.get_parent_op"(%op)
+        : (!transform.op<"scf.for">) -> (!transform.any_op)
+      %f = "transform.match.operation_name"(%p) {op_names = ["func.func"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "outer_loop", visibility = "private"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op, %ti: !transform.param, %tj: !transform.param):
+      %loops = "transform.collect_matching"(%root) {matcher = @outer_loop}
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      %tiles, %points = "transform.loop.tile"(%loops, %ti, %tj)
+        : (!transform.op<"scf.for">, !transform.param, !transform.param)
+          -> (!transform.any_op, !transform.any_op)
+      %lowered = "transform.lower_scf_to_cf"(%root)
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "deep_lowering",
+      strategy.target = "cfg",
+      strategy.params = [["tile_i", 2, 4, 8],
+                         ["tile_j", "divisors_of_dim", 1]]} : () -> ()
+}) : () -> ()

@@ -1,0 +1,6 @@
+"transform.named_sequence"() ({
+^bb0(%root: !transform.any_op):
+  %r = "transform.apply_registered_pass"(%root) {pass_name = "no-such-pass"}
+    : (!transform.any_op) -> (!transform.any_op)
+  "transform.yield"() : () -> ()
+}) {sym_name = "__transform_main"} : () -> ()

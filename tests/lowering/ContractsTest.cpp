@@ -1,0 +1,145 @@
+//===- ContractsTest.cpp - Lowering-contract semantics tests --------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for the `LoweringContract` / `ContractRegistry` semantics that
+// the static checkers interpret (Section 3.3): pre-condition removal vs.
+// preservation, the PreMustExist phase-ordering requirement, and dialect
+// wildcards in contract sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lowering/Passes.h"
+
+#include "core/Conditions.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace tdl;
+
+namespace {
+
+class ContractsTest : public ::testing::Test {
+protected:
+  ContractsTest() {
+    registerAllDialects(Ctx);
+    registerTransformDialect(Ctx); // registers passes + builtin contracts
+  }
+
+  static bool anyMessageContains(const std::vector<PipelineCheckIssue> &Issues,
+                                 std::string_view Needle) {
+    return std::any_of(Issues.begin(), Issues.end(),
+                       [&](const PipelineCheckIssue &Issue) {
+                         return Issue.Message.find(Needle) !=
+                                std::string::npos;
+                       });
+  }
+
+  Context Ctx;
+};
+
+TEST_F(ContractsTest, RegistryRoundTrip) {
+  ContractRegistry &Registry = ContractRegistry::instance();
+  EXPECT_EQ(Registry.lookup("no-such-contract"), nullptr);
+
+  Registry.registerContract(
+      "test-roundtrip",
+      {{"scf.forall"}, {"scf.for"}, /*PreMustExist=*/true,
+       /*PreservesPre=*/false});
+  const LoweringContract *Contract = Registry.lookup("test-roundtrip");
+  ASSERT_NE(Contract, nullptr);
+  EXPECT_EQ(Contract->Pre, std::vector<std::string>{"scf.forall"});
+  EXPECT_EQ(Contract->Post, std::vector<std::string>{"scf.for"});
+  EXPECT_TRUE(Contract->PreMustExist);
+  EXPECT_FALSE(Contract->PreservesPre);
+
+  std::vector<std::string> Names = Registry.getContractedPasses();
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "test-roundtrip"),
+            Names.end());
+}
+
+TEST_F(ContractsTest, BuiltinLoopTransformContracts) {
+  // The structured-loop transforms read scf loops and require them to still
+  // exist; the scf lowering consumes them and requires nothing.
+  for (const char *Name : {"loop.hoist", "loop.split", "loop.tile",
+                           "loop.unroll", "loop.interchange", "vectorize"}) {
+    const LoweringContract *Contract =
+        ContractRegistry::instance().lookup(Name);
+    ASSERT_NE(Contract, nullptr) << Name;
+    EXPECT_TRUE(Contract->PreMustExist) << Name;
+    EXPECT_TRUE(Contract->PreservesPre) << Name;
+  }
+  const LoweringContract *Lower =
+      ContractRegistry::instance().lookup("convert-scf-to-cf");
+  ASSERT_NE(Lower, nullptr);
+  EXPECT_FALSE(Lower->PreMustExist);
+  EXPECT_FALSE(Lower->PreservesPre);
+}
+
+TEST_F(ContractsTest, DialectWildcardRemovesWholeDialect) {
+  // "scf.*" in a Pre set abstracts over every scf op: after the lowering
+  // runs, no scf op survives, whatever its exact name was.
+  AbstractOpSet Initial = AbstractOpSet::fromNames(
+      {"scf.for", "scf.forall", "scf.if", "scf.yield", "memref.load"});
+  std::vector<PipelineCheckIssue> Issues = checkLoweringPipeline(
+      {"convert-scf-to-cf"}, Initial,
+      {"cf.*", "arith.*", "memref.*", "cast"}, &Ctx);
+  for (const PipelineCheckIssue &Issue : Issues)
+    EXPECT_EQ(Issue.Message.find("scf."), std::string::npos) << Issue.Message;
+}
+
+TEST_F(ContractsTest, PreMustExistOrderingIsDirectional) {
+  AbstractOpSet Initial =
+      AbstractOpSet::fromNames({"scf.for", "memref.load", "arith.addf"});
+  std::vector<std::string> Target = {"cf.*", "arith.*", "memref.*", "cast",
+                                     "scf.*"};
+  // Tiling after the loops were lowered away: phase-ordering violation.
+  std::vector<PipelineCheckIssue> Broken = checkLoweringPipeline(
+      {"convert-scf-to-cf", "loop.tile"}, Initial, Target, &Ctx);
+  EXPECT_TRUE(anyMessageContains(Broken, "phase-ordering"));
+  // The same transforms in the legal order are clean.
+  std::vector<PipelineCheckIssue> Fixed = checkLoweringPipeline(
+      {"loop.tile", "convert-scf-to-cf"}, Initial, Target, &Ctx);
+  EXPECT_FALSE(anyMessageContains(Fixed, "phase-ordering"));
+}
+
+TEST_F(ContractsTest, PreservesPreKeepsOpsInTheAbstractSet) {
+  // A reading transform (PreservesPre) leaves its pre-condition ops for
+  // later transforms; a consuming one removes them.
+  ContractRegistry::instance().registerContract(
+      "test-reader", {{"scf.for"}, {}, /*PreMustExist=*/true,
+                      /*PreservesPre=*/true});
+  ContractRegistry::instance().registerContract(
+      "test-consumer", {{"scf.for"}, {}, /*PreMustExist=*/true,
+                        /*PreservesPre=*/false});
+  AbstractOpSet Initial = AbstractOpSet::fromNames({"scf.for"});
+  std::vector<std::string> Target = {"scf.*"};
+  // reader; reader: both see the loop.
+  EXPECT_FALSE(anyMessageContains(
+      checkLoweringPipeline({"test-reader", "test-reader"}, Initial, Target,
+                            &Ctx),
+      "phase-ordering"));
+  // consumer; reader: the consumer removed the loop first.
+  EXPECT_TRUE(anyMessageContains(
+      checkLoweringPipeline({"test-consumer", "test-reader"}, Initial, Target,
+                            &Ctx),
+      "phase-ordering"));
+}
+
+TEST_F(ContractsTest, PostConditionReintroducesOps) {
+  // expand-forall consumes scf.forall but its post-condition reintroduces
+  // scf.for, so tiling after it is still legal.
+  AbstractOpSet Initial =
+      AbstractOpSet::fromNames({"scf.forall", "memref.store"});
+  std::vector<PipelineCheckIssue> Issues = checkLoweringPipeline(
+      {"expand-forall", "loop.tile"}, Initial,
+      {"scf.*", "arith.*", "memref.*"}, &Ctx);
+  EXPECT_FALSE(anyMessageContains(Issues, "phase-ordering"));
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- FloorCeilDivTest.cpp - Rounding-division lowering tests ------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// llvm.sdiv truncates toward zero, so `arith.floordivsi` / `arith.ceildivsi`
+// must be expanded into a sign-correct sequence before the LLVM mapping —
+// mapping them onto llvm.sdiv directly is wrong whenever the operands have
+// mixed signs and the division is inexact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lowering/Passes.h"
+
+#include "dialect/Dialects.h"
+#include "exec/Executor.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace tdl;
+using exec::RuntimeValue;
+
+namespace {
+
+class FloorCeilDivTest : public ::testing::Test {
+protected:
+  FloorCeilDivTest() {
+    registerAllDialects(Ctx);
+    registerAllPasses();
+  }
+
+  static constexpr const char *Source = R"(
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%a: index, %b: index):
+        %f = "arith.floordivsi"(%a, %b) : (index, index) -> (index)
+        %c = "arith.ceildivsi"(%a, %b) : (index, index) -> (index)
+        "func.return"(%f, %c) : (index, index) -> ()
+      }) {sym_name = "divs",
+          function_type = (index, index) -> (index, index)} : () -> ()
+    }) : () -> ()
+  )";
+
+  Context Ctx;
+};
+
+TEST_F(FloorCeilDivTest, ExpansionIsSignCorrect) {
+  OwningOpRef Module = parseSourceString(Ctx, Source);
+  ASSERT_TRUE(Module);
+  ASSERT_TRUE(succeeded(expandFloorCeilDivOps(Module.get())));
+  ASSERT_TRUE(succeeded(verify(Module.get())));
+  exec::Executor Exec(Module.get());
+
+  auto Check = [&](int64_t A, int64_t B, int64_t Floor, int64_t Ceil) {
+    auto Result =
+        Exec.run("divs", {RuntimeValue::makeInt(A), RuntimeValue::makeInt(B)});
+    ASSERT_TRUE(succeeded(Result));
+    EXPECT_EQ((*Result)[0].I, Floor) << "floordiv(" << A << ", " << B << ")";
+    EXPECT_EQ((*Result)[1].I, Ceil) << "ceildiv(" << A << ", " << B << ")";
+  };
+  // The mixed-sign cases are exactly where a bare sdiv mapping was wrong:
+  // sdiv truncates -7/2 to -3, but floordiv(-7, 2) = -4.
+  Check(-7, 2, -4, -3);
+  Check(7, 2, 3, 4);
+  Check(7, -2, -4, -3);
+  Check(-7, -2, 3, 4);
+  // Exact divisions need no adjustment in either direction.
+  Check(-8, 2, -4, -4);
+  Check(8, 2, 4, 4);
+  Check(0, 3, 0, 0);
+}
+
+TEST_F(FloorCeilDivTest, ExpansionMatchesInterpreterSweep) {
+  // The executor interprets the rounding divisions directly; the expanded
+  // arithmetic must agree with it on a full sign/divisibility sweep.
+  OwningOpRef Reference = parseSourceString(Ctx, Source);
+  OwningOpRef Expanded = parseSourceString(Ctx, Source);
+  ASSERT_TRUE(Reference && Expanded);
+  ASSERT_TRUE(succeeded(expandFloorCeilDivOps(Expanded.get())));
+  exec::Executor RefExec(Reference.get());
+  exec::Executor ExpExec(Expanded.get());
+  for (int64_t A = -9; A <= 9; ++A) {
+    for (int64_t B : {-4, -3, -2, -1, 1, 2, 3, 4}) {
+      auto Ref = RefExec.run(
+          "divs", {RuntimeValue::makeInt(A), RuntimeValue::makeInt(B)});
+      auto Exp = ExpExec.run(
+          "divs", {RuntimeValue::makeInt(A), RuntimeValue::makeInt(B)});
+      ASSERT_TRUE(succeeded(Ref) && succeeded(Exp));
+      EXPECT_EQ((*Exp)[0].I, (*Ref)[0].I)
+          << "floordiv(" << A << ", " << B << ")";
+      EXPECT_EQ((*Exp)[1].I, (*Ref)[1].I)
+          << "ceildiv(" << A << ", " << B << ")";
+    }
+  }
+}
+
+TEST_F(FloorCeilDivTest, ExpansionRemovesRoundingDivisions) {
+  OwningOpRef Module = parseSourceString(Ctx, Source);
+  ASSERT_TRUE(Module);
+  ASSERT_TRUE(succeeded(expandFloorCeilDivOps(Module.get())));
+  bool SawRounding = false, SawSelect = false, SawDiv = false;
+  Module->walk([&](Operation *Op) {
+    std::string_view Name = Op->getName();
+    SawRounding |=
+        Name == "arith.floordivsi" || Name == "arith.ceildivsi";
+    SawSelect |= Name == "arith.select";
+    SawDiv |= Name == "arith.divsi";
+  });
+  EXPECT_FALSE(SawRounding);
+  EXPECT_TRUE(SawSelect);
+  EXPECT_TRUE(SawDiv);
+}
+
+TEST_F(FloorCeilDivTest, LlvmConversionEmitsAdjustedDivision) {
+  // Regression: convert-arith-to-llvm used to name-map both rounding
+  // divisions straight onto llvm.sdiv. It must now expand them, leaving an
+  // llvm.select-adjusted quotient instead of a bare division.
+  OwningOpRef Module = parseSourceString(Ctx, Source);
+  ASSERT_TRUE(Module);
+  Operation *Func = nullptr;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() == "func.func")
+      Func = Op;
+  });
+  ASSERT_NE(Func, nullptr);
+  ASSERT_TRUE(succeeded(runRegisteredPass("convert-arith-to-llvm", Func)));
+  bool SawArithRounding = false, SawLlvmSelect = false;
+  Module->walk([&](Operation *Op) {
+    std::string_view Name = Op->getName();
+    SawArithRounding |=
+        Name == "arith.floordivsi" || Name == "arith.ceildivsi";
+    SawLlvmSelect |= Name == "llvm.select";
+  });
+  EXPECT_FALSE(SawArithRounding);
+  EXPECT_TRUE(SawLlvmSelect);
+}
+
+} // namespace
