@@ -147,21 +147,24 @@ int main(int argc, char **argv) {
 
   autotune::TunerOptions Options;
   Options.Seed = 2026;
-  autotune::AutoTuner Tuner(Space, Options);
+  autotune::AutoTuner Tuner(Options);
   int Step = 0;
   double BestSoFar = 1e300;
   std::printf("Figure 11 series (evaluation -> best-so-far speedup):\n");
-  FailureOr<std::vector<autotune::Evaluation>> History = Tuner.optimize(
-      [&](const std::vector<int64_t> &Config) {
-        double Cost = evaluateConfig(Ctx, S, Config);
-        ++Step;
-        if (Cost < BestSoFar)
-          BestSoFar = Cost;
-        if (Step % 10 == 0 || Step == 1)
-          std::printf("  %3d  %.3fx\n", Step, Baseline / BestSoFar);
-        return Cost;
-      },
-      Budget);
+  autotune::TuningRequest Request;
+  Request.Space = Space;
+  Request.Budget = Budget;
+  Request.Objective = [&](const std::vector<int64_t> &Config) {
+    double Cost = evaluateConfig(Ctx, S, Config);
+    ++Step;
+    if (Cost < BestSoFar)
+      BestSoFar = Cost;
+    if (Step % 10 == 0 || Step == 1)
+      std::printf("  %3d  %.3fx\n", Step, Baseline / BestSoFar);
+    return Cost;
+  };
+  FailureOr<std::vector<autotune::Evaluation>> History =
+      Tuner.optimize(Request);
   if (failed(History)) {
     std::printf("tuning space is degenerate or infeasible\n");
     return 1;

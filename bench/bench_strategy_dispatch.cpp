@@ -13,17 +13,26 @@
 /// identically shaped payloads (the "millions of users" serving scenario)
 /// pockets per request after the first.
 ///
-///   ./build/bench_strategy_dispatch [--smoke]
+/// A second phase measures the persistent tuning database: a tuned dispatch
+/// against a cold store pays the full autotuning search; the same dispatch
+/// against the warmed store is one key lookup (zero objective evaluations).
+/// Pass `--tuning-db=<path>` to persist the store across invocations — the
+/// CI bench-smoke job runs cold then warm against one path and asserts the
+/// warm hit through the JSON counters.
+///
+///   ./build/bench_strategy_dispatch [--smoke] [--tuning-db=<path>]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtils.h"
 
+#include "autotune/TuningDB.h"
 #include "dialect/Dialects.h"
 #include "ir/Parser.h"
 #include "strategy/StrategyManager.h"
 #include "support/Stream.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sys/stat.h>
@@ -87,10 +96,89 @@ std::string makePayload(int NumFuncs) {
   return Text;
 }
 
+/// A tuned strategy for the persistent-autotuning phase: one explicit
+/// tile-size parameter bound as a !transform.param, the entry tiles the
+/// outermost loop by it.
+const char *const TunedStrategyText = R"("builtin.module"() ({
+  "transform.library"() ({
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.op<"scf.for">):
+      %p = "transform.get_parent_op"(%op)
+        : (!transform.op<"scf.for">) -> (!transform.any_op)
+      %f = "transform.match.operation_name"(%p) {op_names = ["func.func"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"(%op) : (!transform.op<"scf.for">) -> ()
+    }) {sym_name = "outer_loop", visibility = "private"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op, %ti: !transform.param):
+      %loops = "transform.collect_matching"(%root) {matcher = @outer_loop}
+        : (!transform.any_op) -> (!transform.op<"scf.for">)
+      %tiles, %points = "transform.loop.tile"(%loops, %ti)
+        : (!transform.op<"scf.for">, !transform.param)
+          -> (!transform.any_op, !transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "strategy"} : () -> ()
+  }) {sym_name = "tuned_tiling",
+      strategy.target = "generic",
+      strategy.params = [["tile_i", 1, 2, 4, 8]]} : () -> ()
+}) : () -> ()
+)";
+
+/// An 8x8 double loop nest for the tuned phase (the tile parameter's
+/// candidates all divide 8).
+const char *const TunedPayloadText = R"("builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%m: memref<8x8xf64>):
+    %lb = "arith.constant"() {value = 0 : index} : () -> (index)
+    %ub = "arith.constant"() {value = 8 : index} : () -> (index)
+    %step = "arith.constant"() {value = 1 : index} : () -> (index)
+    "scf.for"(%lb, %ub, %step) ({
+    ^bi(%i: index):
+      "scf.for"(%lb, %ub, %step) ({
+      ^bj(%j: index):
+        %v = "memref.load"(%m, %i, %j)
+          : (memref<8x8xf64>, index, index) -> (f64)
+        %w = "arith.mulf"(%v, %v) : (f64, f64) -> (f64)
+        "memref.store"(%w, %m, %i, %j)
+          : (f64, memref<8x8xf64>, index, index) -> ()
+        "scf.yield"() : () -> ()
+      }) : (index, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "square_all",
+      function_type = (memref<8x8xf64>) -> ()} : () -> ()
+}) : () -> ()
+)";
+
+/// Deterministic synthetic objective with a unique optimum: the tiled outer
+/// loop's step constant equals the tile size, so the nearest index constant
+/// to 3.9 makes tile_i = 4 the unique best configuration.
+FailureOr<double> nearestConstantTo39(Operation *Module) {
+  double Best = 1e9;
+  Module->walk([&](Operation *Op) {
+    if (Op->getName() != "arith.constant")
+      return;
+    IntegerAttr Value = Op->getAttrOfType<IntegerAttr>("value");
+    if (!Value)
+      return;
+    double Distance = std::abs(static_cast<double>(Value.getValue()) - 3.9);
+    Best = std::min(Best, Distance);
+  });
+  return Best;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool Smoke = false;
+  std::string TuningDBPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else if (std::strncmp(argv[I], "--tuning-db=", 12) == 0)
+      TuningDBPath = argv[I] + 12;
+  }
   const int NumStrategies = Smoke ? 4 : 12;
   const int NumFuncs = Smoke ? 20 : 100;
   const int Repeats = Smoke ? 20 : 200;
@@ -166,6 +254,69 @@ int main(int argc, char **argv) {
               MissSeconds / HitSeconds, Repeats,
               (long long)Libraries.getNumParses());
 
+  // Phase 2: persistent autotuning. One tuned dispatch against the store
+  // at --tuning-db (or a process-private in-memory store): cold it pays
+  // the search, warm it is a single exact-key lookup with zero objective
+  // evaluations.
+  std::printf("\npersistent autotuning (tuning-db %s):\n",
+              TuningDBPath.empty() ? "<in-memory>" : TuningDBPath.c_str());
+  std::string TunedDir = Dir + "/tuned";
+  ::mkdir(TunedDir.c_str(), 0755);
+  std::string TunedPath = TunedDir + "/tuned.mlir";
+  {
+    std::ofstream Stream(TunedPath, std::ios::trunc);
+    Stream << TunedStrategyText;
+  }
+  Written.push_back(TunedPath);
+
+  OwningOpRef TunedPayload =
+      parseSourceString(Ctx, TunedPayloadText, "tuned-payload");
+  if (!TunedPayload) {
+    std::fprintf(stderr, "tuned payload parse failed\n");
+    return 1;
+  }
+
+  autotune::TuningDB DB;
+  std::vector<std::string> DBDiags;
+  if (!TuningDBPath.empty() && failed(DB.open(TuningDBPath, &DBDiags))) {
+    std::fprintf(stderr, "cannot open tuning db '%s'\n",
+                 TuningDBPath.c_str());
+    return 1;
+  }
+  for (const std::string &Diag : DBDiags)
+    std::fprintf(stderr, "warning: %s\n", Diag.c_str());
+
+  strategy::StrategyManager TunedStrategies(Ctx, Libraries);
+  TunedStrategies.setTuningDB(&DB);
+  if (failed(TunedStrategies.addStrategyDir(TunedDir))) {
+    std::fprintf(stderr, "tuned strategy load failed\n");
+    return 1;
+  }
+  strategy::DispatchOptions TunedOpts;
+  TunedOpts.TuneBudget = Smoke ? 4 : 8;
+  TunedOpts.Objective = nearestConstantTo39;
+  int64_t TunedEvaluations = 0;
+  double TunedSeconds = timeSeconds([&] {
+    FailureOr<strategy::DispatchResult> Result = TunedStrategies.dispatch(
+        TunedPayload.get(), "generic", TunedOpts);
+    if (failed(Result)) {
+      std::fprintf(stderr, "tuned dispatch failed\n");
+      std::exit(1);
+    }
+    TunedEvaluations = Result->TuneEvaluations;
+  });
+  if (!TuningDBPath.empty() && DB.isDirty() && failed(DB.save())) {
+    std::fprintf(stderr, "cannot save tuning db '%s'\n",
+                 TuningDBPath.c_str());
+    return 1;
+  }
+  std::printf("tuned dispatch: %9.2f us (%lld objective evaluations)\n",
+              TunedSeconds * 1e6, (long long)TunedEvaluations);
+  std::printf("tuning-db counters: %lld hit / %lld stale / %lld miss\n",
+              (long long)TunedStrategies.getNumTuningDBHits(),
+              (long long)TunedStrategies.getNumTuningDBStale(),
+              (long long)TunedStrategies.getNumTuningDBMisses());
+
   JsonReport Report("strategy_dispatch");
   Report.metric("strategies", NumStrategies);
   Report.metric("payload_funcs", NumFuncs);
@@ -173,9 +324,18 @@ int main(int argc, char **argv) {
   Report.metric("miss_us_per_dispatch", MissSeconds / Repeats * 1e6);
   Report.metric("hit_us_per_dispatch", HitSeconds / Repeats * 1e6);
   Report.metric("cache_speedup", MissSeconds / HitSeconds);
+  Report.metric("tuned_dispatch_us", TunedSeconds * 1e6);
+  Report.metric("tuned_evaluations", (long long)TunedEvaluations);
+  Report.metric("tuning_db_hits",
+                (long long)TunedStrategies.getNumTuningDBHits());
+  Report.metric("tuning_db_stale",
+                (long long)TunedStrategies.getNumTuningDBStale());
+  Report.metric("tuning_db_misses",
+                (long long)TunedStrategies.getNumTuningDBMisses());
 
   for (const std::string &Path : Written)
     std::remove(Path.c_str());
+  ::rmdir(TunedDir.c_str());
   ::rmdir(Dir.c_str());
   return 0;
 }

@@ -65,9 +65,13 @@ int main() {
         .count();
   };
 
-  autotune::AutoTuner Tuner(Space);
+  autotune::AutoTuner Tuner;
+  autotune::TuningRequest Request;
+  Request.Space = std::move(Space);
+  Request.Objective = Evaluate;
+  Request.Budget = 30;
   FailureOr<std::vector<autotune::Evaluation>> History =
-      Tuner.optimize(Evaluate, 30);
+      Tuner.optimize(Request);
   if (failed(History)) {
     errs() << "tuning space is degenerate or infeasible\n";
     return 1;

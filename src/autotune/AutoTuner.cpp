@@ -19,9 +19,8 @@ std::vector<int64_t> TuningSpace::divisorsOf(int64_t N) {
   return Divisors;
 }
 
-AutoTuner::AutoTuner(TuningSpace Space, TunerOptions Options)
-    : Space(std::move(Space)), Options(Options),
-      RngState(Options.Seed ? Options.Seed : 1) {}
+AutoTuner::AutoTuner(TunerOptions Options)
+    : Options(Options), RngState(Options.Seed ? Options.Seed : 1) {}
 
 uint64_t AutoTuner::nextRandom() {
   RngState ^= RngState >> 12;
@@ -30,10 +29,13 @@ uint64_t AutoTuner::nextRandom() {
   return RngState * 0x2545F4914F6CDD1Dull;
 }
 
-AutoTuner::ProposeStatus AutoTuner::proposeRandom(std::vector<int64_t> &Out) {
+AutoTuner::ProposeStatus
+AutoTuner::proposeRandom(const TuningRequest &Request,
+                         std::vector<int64_t> &Out) {
+  const TuningSpace &Space = Request.Space;
   // isSearchable() was checked by optimize(): every candidate list is
   // non-empty here, so the modulus below is never by zero.
-  for (int Attempt = 0; Attempt < 256; ++Attempt) {
+  for (int Attempt = 0; Attempt < Request.RandomProposalRetries; ++Attempt) {
     std::vector<int64_t> Config;
     Config.reserve(Space.Params.size());
     for (const TuningParam &Param : Space.Params)
@@ -44,15 +46,17 @@ AutoTuner::ProposeStatus AutoTuner::proposeRandom(std::vector<int64_t> &Out) {
       return ProposeStatus::Ok;
     }
   }
-  // 256 uniform draws without a feasible hit: treat the space as infeasible
-  // instead of silently handing back a constraint-violating config (the old
-  // fallback) — the caller surfaces this as an optimize() failure.
+  // The uniform draws ran out without a feasible hit: treat the space as
+  // infeasible instead of silently handing back a constraint-violating
+  // config — the caller surfaces this as an optimize() failure.
   return ProposeStatus::Infeasible;
 }
 
-AutoTuner::ProposeStatus
-AutoTuner::mutate(const std::vector<int64_t> &Base, std::vector<int64_t> &Out) {
-  for (int Attempt = 0; Attempt < 64; ++Attempt) {
+AutoTuner::ProposeStatus AutoTuner::mutate(const TuningRequest &Request,
+                                           const std::vector<int64_t> &Base,
+                                           std::vector<int64_t> &Out) {
+  const TuningSpace &Space = Request.Space;
+  for (int Attempt = 0; Attempt < Request.MutationRetries; ++Attempt) {
     std::vector<int64_t> Config = Base;
     size_t ParamIdx = nextRandom() % Space.Params.size();
     const std::vector<int64_t> &Candidates =
@@ -77,10 +81,11 @@ AutoTuner::mutate(const std::vector<int64_t> &Base, std::vector<int64_t> &Out) {
       return ProposeStatus::Ok;
     }
   }
-  return proposeRandom(Out);
+  return proposeRandom(Request, Out);
 }
 
-AutoTuner::ProposeStatus AutoTuner::proposeUnseen(bool Explore,
+AutoTuner::ProposeStatus AutoTuner::proposeUnseen(const TuningRequest &Request,
+                                                  bool Explore,
                                                   std::vector<int64_t> &Out) {
   // Memoization: re-measuring a configuration already in the history wastes
   // budget (the objective is the expensive part — it compiles and runs the
@@ -89,11 +94,12 @@ AutoTuner::ProposeStatus AutoTuner::proposeUnseen(bool Explore,
   // exhausted neighborhood cannot trap the mutation path; when even uniform
   // draws only land on seen configs the space is (with overwhelming
   // probability) exhausted and the search stops early, successfully.
-  for (int Attempt = 0; Attempt < 64; ++Attempt) {
+  int Retries = Request.UnseenProposalRetries;
+  for (int Attempt = 0; Attempt < Retries; ++Attempt) {
     std::vector<int64_t> Config;
     ProposeStatus Status;
-    if (Explore || Attempt >= 32 || History.empty()) {
-      Status = proposeRandom(Config);
+    if (Explore || Attempt >= Retries / 2 || History.empty()) {
+      Status = proposeRandom(Request, Config);
     } else {
       std::vector<const Evaluation *> Sorted;
       for (const Evaluation &E : History)
@@ -103,7 +109,7 @@ AutoTuner::ProposeStatus AutoTuner::proposeUnseen(bool Explore,
                   return A->Cost < B->Cost;
                 });
       size_t Elites = std::min<size_t>(Options.EliteCount, Sorted.size());
-      Status = mutate(Sorted[nextRandom() % Elites]->Config, Config);
+      Status = mutate(Request, Sorted[nextRandom() % Elites]->Config, Config);
     }
     if (Status != ProposeStatus::Ok)
       return Status;
@@ -115,9 +121,8 @@ AutoTuner::ProposeStatus AutoTuner::proposeUnseen(bool Explore,
   return ProposeStatus::Exhausted;
 }
 
-FailureOr<std::vector<Evaluation>> AutoTuner::optimize(
-    const std::function<double(const std::vector<int64_t> &)> &Objective,
-    int Budget) {
+FailureOr<std::vector<Evaluation>>
+AutoTuner::optimize(const TuningRequest &Request) {
   History.clear();
   Seen.clear();
   Best = Evaluation();
@@ -125,22 +130,52 @@ FailureOr<std::vector<Evaluation>> AutoTuner::optimize(
 
   // Degenerate spaces (no parameters, or a parameter without candidates)
   // used to reach `nextRandom() % 0` in Release builds; fail up front with
-  // an empty history instead of sampling UB.
-  if (!Space.isSearchable())
+  // an empty history instead of sampling UB. Degenerate retry bounds would
+  // make every proposal round a drought, so they fail the same way.
+  if (!Request.Space.isSearchable() || !Request.Objective ||
+      Request.RandomProposalRetries < 1 || Request.MutationRetries < 1 ||
+      Request.UnseenProposalRetries < 1)
     return failure();
 
-  for (int Step = 0; Step < Budget; ++Step) {
+  auto Evaluate = [&](std::vector<int64_t> Config) {
+    Evaluation E;
+    E.Config = Config;
+    E.Cost = Request.Objective(Config);
+    Seen.insert(std::move(Config));
+    History.push_back(E);
+    if (E.Cost < Best.Cost)
+      Best = E;
+  };
+
+  int Spent = 0;
+
+  // Warm-start seeds run before any search proposal: a stale tuning-db
+  // configuration is usually near-optimal for the edited library too, so
+  // measuring it first anchors the elite pool. Seeds the current space
+  // cannot express (wrong arity, now-infeasible, duplicates) are skipped
+  // for free — they spend no budget.
+  for (const std::vector<int64_t> &Seed : Request.SeedConfigs) {
+    if (Spent >= Request.Budget)
+      break;
+    if (!Request.Space.containsConfig(Seed) ||
+        !Request.Space.isFeasible(Seed) || Seen.count(Seed))
+      continue;
+    Evaluate(Seed);
+    ++Spent;
+  }
+
+  for (; Spent < Request.Budget; ++Spent) {
     bool Explore =
         History.size() < 4 ||
         (nextRandom() % 1000) < Options.ExploreFraction * 1000;
     std::vector<int64_t> Config;
-    ProposeStatus Status = proposeUnseen(Explore, Config);
+    ProposeStatus Status = proposeUnseen(Request, Explore, Config);
     if (Status == ProposeStatus::Infeasible) {
       // A history of successful evaluations is proof the space is not
       // infeasible — a late proposal drought (tightly constrained spaces
-      // can exhaust proposeRandom's 256 draws by bad luck) must not
-      // discard the results already paid for. Only a drought before the
-      // first evaluation is a definite failure.
+      // can exhaust the uniform draws by bad luck) must not discard the
+      // results already paid for. Only a drought before the first
+      // evaluation is a definite failure.
       if (History.empty())
         return failure();
       break;
@@ -148,13 +183,7 @@ FailureOr<std::vector<Evaluation>> AutoTuner::optimize(
     if (Status == ProposeStatus::Exhausted)
       break; // every reachable config measured; return the budget unspent
 
-    Evaluation E;
-    E.Config = Config;
-    E.Cost = Objective(Config);
-    Seen.insert(std::move(Config));
-    History.push_back(E);
-    if (E.Cost < Best.Cost)
-      Best = E;
+    Evaluate(std::move(Config));
   }
   return History;
 }

@@ -19,6 +19,7 @@
 
 #include "support/LogicalResult.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <set>
@@ -45,6 +46,22 @@ struct TuningSpace {
     return !Constraint || Constraint(Config);
   }
 
+  /// True when \p Config has this space's arity and every value is drawn
+  /// from its parameter's candidate list. Seed configurations from a
+  /// persistent store can predate a space change, so they are validated
+  /// against the *current* space before being trusted.
+  bool containsConfig(const std::vector<int64_t> &Config) const {
+    if (Config.size() != Params.size())
+      return false;
+    for (size_t I = 0; I < Config.size(); ++I) {
+      const std::vector<int64_t> &Candidates = Params[I].Candidates;
+      if (std::find(Candidates.begin(), Candidates.end(), Config[I]) ==
+          Candidates.end())
+        return false;
+    }
+    return true;
+  }
+
   /// A space the tuner can search at all: at least one parameter, every
   /// parameter with at least one candidate. Degenerate spaces used to be
   /// `% 0` UB in Release builds; now they are a checkable property and an
@@ -68,6 +85,30 @@ struct Evaluation {
   double Cost = 0; // lower is better (seconds)
 };
 
+/// One complete tuning problem — the single argument of
+/// AutoTuner::optimize. Grew out of an ever-widening positional signature;
+/// callers now name exactly the pieces they set.
+struct TuningRequest {
+  /// The constrained space to search (required, must be searchable).
+  TuningSpace Space;
+  /// Cost of a configuration in seconds; lower is better (required).
+  std::function<double(const std::vector<int64_t> &)> Objective;
+  /// Maximum number of Objective evaluations, seeds included.
+  int Budget = 0;
+  /// Warm-start configurations evaluated (in order) before any search
+  /// proposal and memoized as usual. Infeasible, malformed (wrong arity),
+  /// or duplicate seeds are skipped without spending budget — a stale
+  /// tuning-db entry may predate a space change.
+  std::vector<std::vector<int64_t>> SeedConfigs;
+  /// Uniform draws before a feasible-configuration drought is declared.
+  int RandomProposalRetries = 256;
+  /// Local mutation attempts before falling back to uniform sampling.
+  int MutationRetries = 64;
+  /// Proposals discarded as already-seen before the space is declared
+  /// exhausted (an early, successful stop).
+  int UnseenProposalRetries = 64;
+};
+
 struct TunerOptions {
   uint64_t Seed = 42;
   /// Fraction of proposals drawn uniformly at random (exploration); the
@@ -76,23 +117,23 @@ struct TunerOptions {
   int EliteCount = 5;
 };
 
-/// Budgeted minimization over a constrained space.
+/// Budgeted minimization over a constrained space. The space and objective
+/// travel in the TuningRequest, so one tuner (one RNG stream, one set of
+/// exploration options) can serve successive requests.
 class AutoTuner {
 public:
-  AutoTuner(TuningSpace Space, TunerOptions Options = {});
+  explicit AutoTuner(TunerOptions Options = {});
 
-  /// Runs up to \p Budget evaluations of \p Objective (cost in seconds;
-  /// lower is better) and returns the evaluation history in order.
-  /// Evaluations are memoized: a configuration already in the history is
-  /// never re-measured, so on a small space the search stops early once
-  /// every reachable feasible configuration has been evaluated (the
-  /// remaining budget is returned unspent rather than wasted on repeats).
-  /// Fails — with an empty history and no Objective call — when the space
-  /// is degenerate (no parameters, or a parameter with an empty candidate
+  /// Runs up to Request.Budget evaluations of Request.Objective and returns
+  /// the evaluation history in order, seed evaluations first. Evaluations
+  /// are memoized: a configuration already in the history is never
+  /// re-measured, so on a small space the search stops early once every
+  /// reachable feasible configuration has been evaluated (the remaining
+  /// budget is returned unspent rather than wasted on repeats). Fails —
+  /// with an empty history and no Objective call — when the space is
+  /// degenerate (no parameters, or a parameter with an empty candidate
   /// list) or no feasible configuration can be found under the constraint.
-  FailureOr<std::vector<Evaluation>>
-  optimize(const std::function<double(const std::vector<int64_t> &)> &Objective,
-           int Budget);
+  FailureOr<std::vector<Evaluation>> optimize(const TuningRequest &Request);
 
   /// Best evaluation of the last successful optimize() call.
   const Evaluation &getBest() const { return Best; }
@@ -104,15 +145,17 @@ private:
   /// successful stop).
   enum class ProposeStatus { Ok, Infeasible, Exhausted };
 
-  ProposeStatus proposeRandom(std::vector<int64_t> &Out);
-  ProposeStatus mutate(const std::vector<int64_t> &Config,
+  ProposeStatus proposeRandom(const TuningRequest &Request,
+                              std::vector<int64_t> &Out);
+  ProposeStatus mutate(const TuningRequest &Request,
+                       const std::vector<int64_t> &Config,
                        std::vector<int64_t> &Out);
   /// Wraps the raw proposers with the memoization retry loop: only configs
   /// not yet evaluated are returned.
-  ProposeStatus proposeUnseen(bool Explore, std::vector<int64_t> &Out);
+  ProposeStatus proposeUnseen(const TuningRequest &Request, bool Explore,
+                              std::vector<int64_t> &Out);
   uint64_t nextRandom();
 
-  TuningSpace Space;
   TunerOptions Options;
   uint64_t RngState;
   Evaluation Best;

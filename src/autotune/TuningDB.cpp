@@ -1,0 +1,312 @@
+//===- TuningDB.cpp - Persistent best-known-configuration store -----------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/TuningDB.h"
+
+#include "support/STLExtras.h"
+#include "support/Stream.h"
+
+#include <cstdlib>
+#include <sys/utsname.h>
+#include <thread>
+#include <tuple>
+
+using namespace tdl;
+using namespace tdl::autotune;
+
+//===----------------------------------------------------------------------===//
+// Keys
+//===----------------------------------------------------------------------===//
+
+bool TuningKey::operator<(const TuningKey &Other) const {
+  return std::tie(PayloadFingerprint, Target, LibraryHash, HardwareId) <
+         std::tie(Other.PayloadFingerprint, Other.Target, Other.LibraryHash,
+                  Other.HardwareId);
+}
+
+bool TuningKey::operator==(const TuningKey &Other) const {
+  return PayloadFingerprint == Other.PayloadFingerprint &&
+         Target == Other.Target && LibraryHash == Other.LibraryHash &&
+         HardwareId == Other.HardwareId;
+}
+
+std::string TuningDB::detectHardwareId() {
+  if (const char *Override = std::getenv("TDL_HARDWARE_ID"))
+    if (*Override)
+      return Override;
+  struct utsname Info;
+  std::string Arch =
+      ::uname(&Info) == 0 ? std::string(Info.machine) : std::string("unknown");
+  unsigned Cores = std::thread::hardware_concurrency();
+  return Arch + "-" + std::to_string(Cores ? Cores : 1) + "c";
+}
+
+//===----------------------------------------------------------------------===//
+// Record serialization
+//===----------------------------------------------------------------------===//
+
+/// String fields are single whitespace-free tokens on the line; anything
+/// else would shift every following token.
+static std::string sanitizeToken(std::string_view Text) {
+  std::string Out(Text.empty() ? std::string_view("_") : Text);
+  for (char &C : Out)
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+      C = '_';
+  return Out;
+}
+
+std::string TuningDB::formatRecord(const TuningRecord &Record) {
+  std::string Line = hexString(Record.Key.PayloadFingerprint);
+  Line += ' ';
+  Line += sanitizeToken(Record.Key.Target);
+  Line += ' ';
+  Line += hexString(Record.Key.LibraryHash);
+  Line += ' ';
+  Line += sanitizeToken(Record.Key.HardwareId);
+  Line += ' ';
+  Line += sanitizeToken(Record.StrategyName);
+  Line += ' ';
+  Line += doubleToString(Record.Cost);
+  Line += ' ';
+  Line += std::to_string(Record.Evaluations);
+  Line += ' ';
+  Line += std::to_string(Record.Config.size());
+  for (int64_t Value : Record.Config) {
+    Line += ' ';
+    Line += std::to_string(Value);
+  }
+  return Line;
+}
+
+static bool parseInt64Token(std::string_view Text, int64_t &Out) {
+  if (Text.empty())
+    return false;
+  std::string Token(Text);
+  char *End = nullptr;
+  long long Value = std::strtoll(Token.c_str(), &End, 10);
+  if (End != Token.c_str() + Token.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+/// Splits \p Line into whitespace-separated tokens (split() is
+/// single-separator, so runs of spaces produce empty parts to drop).
+static std::vector<std::string_view> tokenize(std::string_view Line) {
+  std::vector<std::string_view> Tokens;
+  for (std::string_view Part : split(Line, ' '))
+    if (!Part.empty())
+      Tokens.push_back(Part);
+  return Tokens;
+}
+
+bool TuningDB::parseRecord(std::string_view Line, TuningRecord &Out,
+                           std::string *Error) {
+  auto Fail = [&](const char *Reason) {
+    if (Error)
+      *Error = Reason;
+    return false;
+  };
+  std::vector<std::string_view> Tokens = tokenize(Line);
+  if (Tokens.size() < 8)
+    return Fail("truncated record (expected at least 8 fields)");
+
+  TuningRecord Record;
+  if (!parseHexString(Tokens[0], Record.Key.PayloadFingerprint))
+    return Fail("malformed payload fingerprint (not a hex hash)");
+  Record.Key.Target = std::string(Tokens[1]);
+  if (!parseHexString(Tokens[2], Record.Key.LibraryHash))
+    return Fail("malformed library hash (not a hex hash)");
+  Record.Key.HardwareId = std::string(Tokens[3]);
+  Record.StrategyName = std::string(Tokens[4]);
+  if (!parseDoubleString(Tokens[5], Record.Cost))
+    return Fail("malformed cost (not a decimal number)");
+  if (!parseInt64Token(Tokens[6], Record.Evaluations) ||
+      Record.Evaluations < 0)
+    return Fail("malformed evaluation count");
+  int64_t ConfigSize = 0;
+  if (!parseInt64Token(Tokens[7], ConfigSize) || ConfigSize < 0 ||
+      ConfigSize > 4096)
+    return Fail("malformed configuration arity");
+  if (Tokens.size() != static_cast<size_t>(8 + ConfigSize))
+    return Fail("configuration arity does not match the value count");
+  for (int64_t I = 0; I < ConfigSize; ++I) {
+    int64_t Value = 0;
+    if (!parseInt64Token(Tokens[8 + I], Value))
+      return Fail("malformed configuration value");
+    Record.Config.push_back(Value);
+  }
+  Out = std::move(Record);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Load / save
+//===----------------------------------------------------------------------===//
+
+static void appendDiag(std::vector<std::string> *Diags, std::string Message) {
+  if (Diags)
+    Diags->push_back(std::move(Message));
+}
+
+LogicalResult
+TuningDB::loadInto(const std::string &FromPath,
+                   std::map<TuningKey, TuningRecord> &Into,
+                   std::vector<std::string> *Diags) {
+  std::string Content;
+  if (!readFileToString(FromPath, Content))
+    return success(); // missing store: empty, filled by this process
+
+  std::vector<std::string_view> Lines = split(Content, '\n');
+  // Header: `tdl-tuning-db <version>`. Any mismatch — wrong magic, wrong
+  // version, empty file — drops every record: a version bump must force a
+  // full re-tune, never a misparse of records in an older layout.
+  std::vector<std::string_view> Header =
+      Lines.empty() ? std::vector<std::string_view>{} : tokenize(Lines[0]);
+  uint64_t Version = 0;
+  if (Header.size() != 2 || Header[0] != "tdl-tuning-db" ||
+      !parseInt64Token(Header[1], reinterpret_cast<int64_t &>(Version)) ||
+      Version != FormatVersion) {
+    appendDiag(Diags, "tuning-db: '" + FromPath +
+                          "' has an unsupported header (expected "
+                          "'tdl-tuning-db " +
+                          std::to_string(FormatVersion) +
+                          "'); ignoring every stored record (full re-tune)");
+    return success();
+  }
+
+  for (size_t LineNo = 1; LineNo < Lines.size(); ++LineNo) {
+    std::string_view Line = Lines[LineNo];
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    TuningRecord Record;
+    std::string Error;
+    if (!parseRecord(Line, Record, &Error)) {
+      appendDiag(Diags, "tuning-db: skipping record at " + FromPath + ":" +
+                            std::to_string(LineNo + 1) + ": " + Error);
+      continue;
+    }
+    mergeRecord(Into, std::move(Record));
+  }
+  return success();
+}
+
+LogicalResult TuningDB::open(std::string OpenPath,
+                             std::vector<std::string> *Diags) {
+  Path = std::move(OpenPath);
+  Records.clear();
+  Dirty = false;
+  return loadInto(Path, Records, Diags);
+}
+
+std::string TuningDB::render(const std::map<TuningKey, TuningRecord> &Entries) {
+  std::string Content =
+      "tdl-tuning-db " + std::to_string(FormatVersion) + "\n";
+  for (const auto &[Key, Record] : Entries) {
+    Content += formatRecord(Record);
+    Content += '\n';
+  }
+  return Content;
+}
+
+LogicalResult TuningDB::save(std::vector<std::string> *Diags) const {
+  if (ReadOnly)
+    return success();
+  if (Path.empty()) {
+    appendDiag(Diags, "tuning-db: cannot save a store that was never opened");
+    return failure();
+  }
+  if (!writeFileAtomic(Path, render(Records))) {
+    appendDiag(Diags, "tuning-db: cannot write '" + Path + "'");
+    return failure();
+  }
+  return success();
+}
+
+//===----------------------------------------------------------------------===//
+// Lookup and recording
+//===----------------------------------------------------------------------===//
+
+const TuningRecord *TuningDB::lookup(const TuningKey &Key) const {
+  auto It = Records.find(Key);
+  return It == Records.end() ? nullptr : &It->second;
+}
+
+const TuningRecord *TuningDB::lookupStale(const TuningKey &Key) const {
+  // Key order is (fingerprint, target, hash, hardware): every edition of
+  // this (fingerprint, target) pair lives in one contiguous range.
+  const TuningRecord *Best = nullptr;
+  TuningKey Lower = Key;
+  Lower.LibraryHash = 0;
+  Lower.HardwareId.clear();
+  for (auto It = Records.lower_bound(Lower); It != Records.end(); ++It) {
+    const TuningKey &Candidate = It->first;
+    if (Candidate.PayloadFingerprint != Key.PayloadFingerprint ||
+        Candidate.Target != Key.Target)
+      break;
+    if (Candidate.LibraryHash == Key.LibraryHash ||
+        Candidate.HardwareId != Key.HardwareId)
+      continue;
+    if (!Best || It->second.Cost < Best->Cost)
+      Best = &It->second;
+  }
+  return Best;
+}
+
+void TuningDB::mergeRecord(std::map<TuningKey, TuningRecord> &Into,
+                           TuningRecord Record) {
+  auto [It, Inserted] = Into.emplace(Record.Key, Record);
+  if (!Inserted && Record.Cost < It->second.Cost)
+    It->second = std::move(Record);
+}
+
+void TuningDB::record(TuningRecord Record) {
+  // A fresh result supersedes every other edition of the same
+  // (fingerprint, target, hardware): stale entries of edited libraries are
+  // invalidated here and only here, so unrelated payloads/targets keep
+  // their records.
+  TuningKey Lower = Record.Key;
+  Lower.LibraryHash = 0;
+  Lower.HardwareId.clear();
+  for (auto It = Records.lower_bound(Lower); It != Records.end();) {
+    const TuningKey &Candidate = It->first;
+    if (Candidate.PayloadFingerprint != Record.Key.PayloadFingerprint ||
+        Candidate.Target != Record.Key.Target)
+      break;
+    if (Candidate.LibraryHash != Record.Key.LibraryHash &&
+        Candidate.HardwareId == Record.Key.HardwareId)
+      It = Records.erase(It);
+    else
+      ++It;
+  }
+  mergeRecord(Records, std::move(Record));
+  Dirty = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Offline merge
+//===----------------------------------------------------------------------===//
+
+LogicalResult TuningDB::merge(const std::string &PathA,
+                              const std::string &PathB,
+                              const std::string &OutPath,
+                              std::vector<std::string> *Diags,
+                              size_t *MergedSize) {
+  std::map<TuningKey, TuningRecord> Merged;
+  // A loads first: mergeRecord keeps the incumbent on a cost tie, so equal-
+  // cost conflicts resolve deterministically in A's favor.
+  if (failed(loadInto(PathA, Merged, Diags)) ||
+      failed(loadInto(PathB, Merged, Diags)))
+    return failure();
+  if (!writeFileAtomic(OutPath, render(Merged))) {
+    appendDiag(Diags, "tuning-db: cannot write merged store '" + OutPath +
+                          "'");
+    return failure();
+  }
+  if (MergedSize)
+    *MergedSize = Merged.size();
+  return success();
+}

@@ -406,7 +406,10 @@ TransformLibraryManager::getLibraries() const {
   Result.reserve(LibraryLoadOrder.size());
   for (const std::string &Name : LibraryLoadOrder) {
     const LibraryEntry &Entry = Libraries.find(Name)->second;
-    Result.push_back({Name, Entry.Op, Entry.File});
+    auto FileIt = Files.find(Entry.File);
+    uint64_t Hash =
+        FileIt == Files.end() ? 0 : FileIt->second.ContentHash;
+    Result.push_back({Name, Entry.Op, Entry.File, Hash});
   }
   return Result;
 }

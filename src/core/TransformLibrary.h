@@ -194,6 +194,11 @@ public:
     Operation *Op = nullptr;
     /// Canonical path of the defining file.
     std::string File;
+    /// hashContent() of the defining file's bytes at load time — the
+    /// edition identity the tuning database keys on: editing the file
+    /// changes the hash, which invalidates (marks stale) its stored
+    /// configurations.
+    uint64_t ContentHash = 0;
   };
 
   /// Every loaded library in load order (the deterministic order dispatch

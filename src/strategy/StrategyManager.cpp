@@ -76,6 +76,7 @@ LogicalResult StrategyManager::refreshRegistrations() {
     auto Registered = std::make_unique<RegisteredStrategy>();
     Registered->Manifest = *Manifest;
     Registered->File = Info.File;
+    Registered->LibraryHash = Info.ContentHash;
     TargetIndex[Registered->Manifest.Target].push_back(Strategies.size());
     RegisteredOps.insert(Info.Op);
     Strategies.push_back(std::move(Registered));
@@ -348,55 +349,110 @@ StrategyManager::dispatch(Operation *Payload, std::string_view Target,
     if (failed(Space))
       return failure();
     if (Options.TuneBudget > 0) {
-      // Tuning runs against clones: every evaluation parses a fresh copy
-      // of the payload, applies the entry with the proposed configuration,
-      // and measures the transformed clone — the real payload is only
-      // touched by the final, winning configuration.
-      std::string PayloadText;
-      {
-        raw_string_ostream OS(PayloadText);
-        Payload->print(OS);
+      // Consult the persistent store before searching. An exact key match
+      // (same payload, target, library edition, hardware) is trusted
+      // outright: the stored configuration binds with zero objective
+      // evaluations. A stale match (library edited since) is reported and
+      // demoted to a warm-start seed for the re-tune below.
+      autotune::TuningRequest Request;
+      uint64_t PayloadFp = fingerprintPayload(Payload);
+      autotune::TuningKey DBKey;
+      if (TuningDB) {
+        DBKey = makeTuningKey(S, PayloadFp);
+        if (const autotune::TuningRecord *Hit = TuningDB->lookup(DBKey)) {
+          if (Space->containsConfig(Hit->Config) &&
+              Space->isFeasible(Hit->Config)) {
+            ++NumTuningDBHits;
+            Result.Config = Hit->Config;
+            Result.BestCost = Hit->Cost;
+            Result.TuneEvaluations = 0;
+            Result.TuningDBHit = true;
+          }
+        }
+        if (!Result.TuningDBHit) {
+          if (const autotune::TuningRecord *Stale =
+                  TuningDB->lookupStale(DBKey)) {
+            ++NumTuningDBStale;
+            Result.TuningDBStale = true;
+            Request.SeedConfigs.push_back(Stale->Config);
+            S.Manifest.Library->emitWarning()
+                << "strategy-dispatch: tuning-db entry for strategy '@"
+                << S.Manifest.LibraryName << "' (target '"
+                << S.Manifest.Target
+                << "') is stale: the library was edited since it was "
+                   "tuned; re-tuning with the stale configuration as a "
+                   "seed";
+          } else {
+            ++NumTuningDBMisses;
+          }
+        }
       }
-      std::function<FailureOr<double>(Operation *)> Objective =
-          Options.Objective;
-      if (!Objective)
-        Objective = [](Operation *Transformed) {
-          return exec::measureExecutionSeconds(Transformed);
+      if (!Result.TuningDBHit) {
+        // Tuning runs against clones: every evaluation parses a fresh copy
+        // of the payload, applies the entry with the proposed
+        // configuration, and measures the transformed clone — the real
+        // payload is only touched by the final, winning configuration.
+        std::string PayloadText;
+        {
+          raw_string_ostream OS(PayloadText);
+          Payload->print(OS);
+        }
+        std::function<FailureOr<double>(Operation *)> Objective =
+            Options.Objective;
+        if (!Objective)
+          Objective = [](Operation *Transformed) {
+            return exec::measureExecutionSeconds(Transformed);
+          };
+        TransformOptions EvalOptions = Options.Transform;
+        EvalOptions.Trace = false;
+        autotune::TunerOptions TunerOpts;
+        TunerOpts.Seed = Options.TuneSeed;
+        autotune::AutoTuner Tuner(TunerOpts);
+        Request.Space = *Space;
+        Request.Budget = Options.TuneBudget;
+        Request.Objective =
+            [&](const std::vector<int64_t> &Config) -> double {
+          OwningOpRef Clone =
+              parseSourceString(Ctx, PayloadText, "strategy-tune");
+          if (!Clone)
+            return 1e9;
+          // A config the strategy rejects (e.g. a tile that does not
+          // divide) is infeasible, not an error: cost it out of the
+          // search instead of aborting the dispatch.
+          if (!executeEntry(S, Clone.get(), EvalOptions, Config)
+                   .succeeded())
+            return 1e9;
+          FailureOr<double> Cost = Objective(Clone.get());
+          return failed(Cost) ? 1e9 : *Cost;
         };
-      TransformOptions EvalOptions = Options.Transform;
-      EvalOptions.Trace = false;
-      autotune::TunerOptions TunerOpts;
-      TunerOpts.Seed = Options.TuneSeed;
-      autotune::AutoTuner Tuner(*Space, TunerOpts);
-      FailureOr<std::vector<autotune::Evaluation>> History = Tuner.optimize(
-          [&](const std::vector<int64_t> &Config) -> double {
-            OwningOpRef Clone =
-                parseSourceString(Ctx, PayloadText, "strategy-tune");
-            if (!Clone)
-              return 1e9;
-            // A config the strategy rejects (e.g. a tile that does not
-            // divide) is infeasible, not an error: cost it out of the
-            // search instead of aborting the dispatch.
-            if (!executeEntry(S, Clone.get(), EvalOptions, Config)
-                     .succeeded())
-              return 1e9;
-            FailureOr<double> Cost = Objective(Clone.get());
-            return failed(Cost) ? 1e9 : *Cost;
-          },
-          Options.TuneBudget);
-      if (failed(History))
-        return S.Manifest.Library->emitError()
-               << "strategy-dispatch: tuning space of strategy '@"
-               << S.Manifest.LibraryName
-               << "' is degenerate or infeasible";
-      if (Tuner.getBest().Cost >= 1e9)
-        return S.Manifest.Library->emitError()
-               << "strategy-dispatch: every tuning configuration of "
-                  "strategy '@"
-               << S.Manifest.LibraryName << "' failed on this payload";
-      Result.Config = Tuner.getBest().Config;
-      Result.BestCost = Tuner.getBest().Cost;
-      Result.TuneEvaluations = static_cast<int64_t>(History->size());
+        FailureOr<std::vector<autotune::Evaluation>> History =
+            Tuner.optimize(Request);
+        if (failed(History))
+          return S.Manifest.Library->emitError()
+                 << "strategy-dispatch: tuning space of strategy '@"
+                 << S.Manifest.LibraryName
+                 << "' is degenerate or infeasible";
+        if (Tuner.getBest().Cost >= 1e9)
+          return S.Manifest.Library->emitError()
+                 << "strategy-dispatch: every tuning configuration of "
+                    "strategy '@"
+                 << S.Manifest.LibraryName << "' failed on this payload";
+        Result.Config = Tuner.getBest().Config;
+        Result.BestCost = Tuner.getBest().Cost;
+        Result.TuneEvaluations = static_cast<int64_t>(History->size());
+        if (TuningDB) {
+          // Record the re-tuned winner. record() also erases this key's
+          // superseded editions, so a stale entry is invalidated exactly
+          // when its replacement exists.
+          autotune::TuningRecord Winner;
+          Winner.Key = DBKey;
+          Winner.StrategyName = S.Manifest.LibraryName;
+          Winner.Config = Result.Config;
+          Winner.Cost = Result.BestCost;
+          Winner.Evaluations = Result.TuneEvaluations;
+          TuningDB->record(std::move(Winner));
+        }
+      }
     } else {
       // No budget: the deterministic default configuration is the first
       // declared candidate of every parameter.
@@ -414,7 +470,25 @@ StrategyManager::dispatch(Operation *Payload, std::string_view Target,
 // Introspection
 //===----------------------------------------------------------------------===//
 
-void StrategyManager::dumpStrategies(raw_ostream &OS) const {
+autotune::TuningKey
+StrategyManager::makeTuningKey(const RegisteredStrategy &S,
+                               uint64_t PayloadFingerprint) const {
+  autotune::TuningKey Key;
+  Key.PayloadFingerprint = PayloadFingerprint;
+  // The strategy's own manifest target, not the requested alias: a payload
+  // dispatched to 'avx2' that falls back to a 'generic' strategy must share
+  // its entry with a direct 'generic' dispatch.
+  Key.Target = S.Manifest.Target;
+  Key.LibraryHash = S.LibraryHash;
+  Key.HardwareId = TuningDB ? TuningDB->getHardwareId()
+                            : autotune::TuningDB::detectHardwareId();
+  return Key;
+}
+
+void StrategyManager::dumpStrategies(raw_ostream &OS,
+                                     Operation *Payload) const {
+  uint64_t PayloadFp =
+      Payload && TuningDB ? fingerprintPayload(Payload) : 0;
   for (const std::unique_ptr<RegisteredStrategy> &S : Strategies) {
     const StrategyManifest &M = S->Manifest;
     OS << "strategy '@" << M.LibraryName << "' (target '" << M.Target
@@ -422,6 +496,17 @@ void StrategyManager::dumpStrategies(raw_ostream &OS) const {
     OS << "  entry @strategy : "
        << TransformLibraryManager::signatureOf(M.Entry) << "\n";
     OS << "  applies: " << (M.Applies ? "@applies" : "always") << "\n";
+    if (Payload && TuningDB) {
+      autotune::TuningKey Key = makeTuningKey(*S, PayloadFp);
+      if (const autotune::TuningRecord *Hit = TuningDB->lookup(Key)) {
+        OS << "  tuning-db: hit (cost " << doubleToString(Hit->Cost)
+           << ", " << Hit->Evaluations << " evaluations recorded)\n";
+      } else if (TuningDB->lookupStale(Key)) {
+        OS << "  tuning-db: stale (library edited since tuning)\n";
+      } else {
+        OS << "  tuning-db: absent\n";
+      }
+    }
     for (const StrategyParamSpec &Spec : M.Params) {
       OS << "  param " << Spec.Name;
       if (Spec.DivisorsOfDim >= 0) {

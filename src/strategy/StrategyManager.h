@@ -45,6 +45,7 @@
 #define TDL_STRATEGY_STRATEGYMANAGER_H
 
 #include "autotune/AutoTuner.h"
+#include "autotune/TuningDB.h"
 #include "core/Transform.h"
 #include "core/TransformLibrary.h"
 
@@ -64,6 +65,10 @@ struct RegisteredStrategy {
   StrategyManifest Manifest;
   /// Canonical path of the defining file (diagnostics and dumps).
   std::string File;
+  /// Content hash of the defining file at load time — the library-edition
+  /// component of the tuning-database key. Editing the file changes this
+  /// hash and thereby marks the library's stored configurations stale.
+  uint64_t LibraryHash = 0;
 };
 
 /// Options for one dispatch.
@@ -97,6 +102,12 @@ struct DispatchResult {
   /// Objective evaluations actually spent (<= TuneBudget; memoization
   /// returns unused budget on small spaces).
   int64_t TuneEvaluations = 0;
+  /// Whether the configuration came from an exact tuning-database hit
+  /// (zero objective evaluations this run).
+  bool TuningDBHit = false;
+  /// Whether a stale tuning-database entry (earlier library edition)
+  /// seeded the search.
+  bool TuningDBStale = false;
 };
 
 /// Loads, selects, parameterizes, and runs per-target strategy libraries.
@@ -174,10 +185,36 @@ public:
   int64_t getNumSelectQueries() const { return NumSelectQueries; }
   int64_t getNumSelectComputations() const { return NumSelectComputations; }
 
+  /// Attaches (or detaches, with null) the persistent tuning database.
+  /// Tuned dispatches consult it before searching: an exact-key hit binds
+  /// the stored configuration with zero objective evaluations, a stale hit
+  /// (library edited since the entry was tuned) is reported and seeds the
+  /// re-tune, and the re-tuned winner is recorded back. Not owned; must
+  /// outlive the manager's use of it.
+  void setTuningDB(autotune::TuningDB *DB) { TuningDB = DB; }
+  autotune::TuningDB *getTuningDB() const { return TuningDB; }
+
+  /// Tuning-database probes: one of the three counters moves per tuned
+  /// dispatch that consulted the database (exact hit / stale hit / miss).
+  /// They flow into the BENCH_*.json artifacts via bench_strategy_dispatch.
+  int64_t getNumTuningDBHits() const { return NumTuningDBHits; }
+  int64_t getNumTuningDBStale() const { return NumTuningDBStale; }
+  int64_t getNumTuningDBMisses() const { return NumTuningDBMisses; }
+
+  /// The tuning-database key of strategy \p S for the payload fingerprint
+  /// \p PayloadFingerprint: the strategy's own manifest target (not the
+  /// requested alias — fallback dispatches share entries) plus its library
+  /// content hash and the database's hardware id.
+  autotune::TuningKey makeTuningKey(const RegisteredStrategy &S,
+                                    uint64_t PayloadFingerprint) const;
+
   /// Prints every registered strategy with target, priority, entry
   /// signature, applicability gate, and declared parameters
-  /// (`tdl-opt --dump-strategies`).
-  void dumpStrategies(raw_ostream &OS) const;
+  /// (`tdl-opt --dump-strategies`). With a payload and an attached tuning
+  /// database, each strategy also reports its database status for that
+  /// payload: hit (trusted stored configuration), stale (entry from an
+  /// earlier library edition), or absent.
+  void dumpStrategies(raw_ostream &OS, Operation *Payload = nullptr) const;
 
 private:
   /// Registers every not-yet-registered strategy library the library
@@ -212,6 +249,11 @@ private:
   std::map<std::pair<uint64_t, std::string>, Selection> SelectionCache;
   int64_t NumSelectQueries = 0;
   int64_t NumSelectComputations = 0;
+  /// Persistent best-known-configuration store (optional, not owned).
+  autotune::TuningDB *TuningDB = nullptr;
+  int64_t NumTuningDBHits = 0;
+  int64_t NumTuningDBStale = 0;
+  int64_t NumTuningDBMisses = 0;
 };
 
 } // namespace strategy

@@ -1,0 +1,203 @@
+//===- Session.cpp - Reusable driver facade -------------------------------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Session.h"
+
+#include "ad/AutoDiff.h"
+#include "core/Analysis.h"
+#include "core/Conditions.h"
+#include "core/Transform.h"
+#include "dialect/Dialects.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "pass/Pass.h"
+#include "support/STLExtras.h"
+
+using namespace tdl;
+
+Session::Session(RunOptions Options, raw_ostream &OS, raw_ostream &ES)
+    : Options(std::move(Options)), OS(OS), ES(ES), Libraries(Ctx),
+      Strategies(Ctx, Libraries) {
+  registerAllDialects(Ctx);
+  registerTransformDialect(Ctx);
+  registerAutoDiffSupport(Ctx);
+  registerBuiltinIRDLConstraints();
+}
+
+LogicalResult Session::loadLibraries() {
+  // Libraries load before the script: link() resolves the script's imports
+  // against them, and the static analyses run against the merged scope.
+  // Each file is parsed, verified, and type-checked once and cached in the
+  // manager, which owns the library modules for the session's lifetime.
+  for (const std::string &Dir : Options.LibrarySearchDirs)
+    Libraries.addSearchDir(Dir);
+  for (const std::string &LibraryPath : Options.TransformLibraries)
+    if (failed(Libraries.loadLibraryFile(LibraryPath)))
+      return failure();
+  if (Options.DumpLibrarySymbols)
+    Libraries.dumpSymbols(OS);
+  return success();
+}
+
+LogicalResult Session::scanStrategies() {
+  for (const std::string &Dir : Options.StrategyDirs)
+    if (failed(Strategies.addStrategyDir(Dir)))
+      return failure();
+  return success();
+}
+
+LogicalResult Session::openTuningDB() {
+  if (Options.TuningDBPath.empty())
+    return success();
+  std::vector<std::string> Diags;
+  LogicalResult Result = TuningDB.open(Options.TuningDBPath, &Diags);
+  for (const std::string &Diag : Diags)
+    ES << "warning: " << Diag << "\n";
+  if (failed(Result)) {
+    ES << "error: cannot open tuning database '" << Options.TuningDBPath
+       << "'\n";
+    return failure();
+  }
+  TuningDB.setReadOnly(Options.TuningDBReadOnly);
+  Strategies.setTuningDB(&TuningDB);
+  return success();
+}
+
+LogicalResult Session::run() {
+  std::string PayloadText;
+  if (!readFileToString(Options.PayloadPath, PayloadText)) {
+    ES << "error: cannot read '" << Options.PayloadPath << "'\n";
+    return failure();
+  }
+  Payload = parseSourceString(Ctx, PayloadText, Options.PayloadPath);
+  if (!Payload)
+    return failure();
+
+  // The dump runs after the tuning database is attached and the payload is
+  // parsed, so each strategy can report its per-payload database status.
+  if (Options.DumpStrategies)
+    Strategies.dumpStrategies(
+        OS, Strategies.getTuningDB() ? Payload.get() : nullptr);
+
+  if (!Options.CheckPipeline.empty()) {
+    std::vector<std::string> Passes;
+    for (std::string_view Part : split(Options.CheckPipeline, ','))
+      Passes.push_back(std::string(Part));
+    AbstractOpSet Initial = AbstractOpSet::fromPayload(Payload.get());
+    std::vector<PipelineCheckIssue> Issues =
+        checkLoweringPipeline(Passes, Initial, {"llvm.*"}, &Ctx);
+    for (const PipelineCheckIssue &Issue : Issues)
+      OS << "check: [" << Issue.TransformName << "] " << Issue.Message
+         << "\n";
+    OS << "static check: " << (Issues.empty() ? "OK" : "ISSUES FOUND")
+       << "\n";
+    if (!Issues.empty())
+      return failure();
+  }
+
+  if (!Options.PassPipeline.empty()) {
+    PassManager PM(Ctx);
+    FailureOr<std::vector<PipelineElement>> Elements =
+        parsePassPipeline(Ctx, Options.PassPipeline);
+    if (failed(Elements) || failed(buildPassManager(PM, *Elements)))
+      return failure();
+    if (failed(PM.run(Payload.get())))
+      return failure();
+  }
+
+  if (!Options.TransformScript.empty()) {
+    std::string ScriptText;
+    if (!readFileToString(Options.TransformScript, ScriptText)) {
+      ES << "error: cannot read '" << Options.TransformScript << "'\n";
+      return failure();
+    }
+    OwningOpRef Script =
+        parseSourceString(Ctx, ScriptText, Options.TransformScript);
+    if (!Script)
+      return failure();
+    // Link the script's imports into its resolution scope before any
+    // analysis or interpretation: the type checker validates calls against
+    // imported signatures, and the interpreter resolves matchers/includes
+    // through the same merged scope.
+    if (failed(Libraries.link(Script.get())))
+      return failure();
+    if (Options.CheckTypes) {
+      std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+      for (const TypeCheckIssue &Issue : Issues)
+        OS << "type: " << Issue.Message << "\n";
+      OS << "static type check: " << (Issues.empty() ? "OK" : "ILL-TYPED")
+         << "\n";
+      if (!Issues.empty())
+        return failure();
+    }
+    if (Options.CheckInvalidation) {
+      std::vector<InvalidationIssue> Issues =
+          analyzeHandleInvalidation(Script.get());
+      for (const InvalidationIssue &Issue : Issues)
+        OS << "invalidation: " << Issue.Message << "\n";
+      if (!Issues.empty())
+        return failure();
+    }
+    if (failed(checkIncludeCycles(Script.get())))
+      return failure();
+    TransformOptions TransformOpts;
+    TransformOpts.CheckConditions = Options.CheckConditions;
+    TransformOpts.MatchShards = Options.MatchShards;
+    if (failed(applyTransforms(Payload.get(), Script.get(), TransformOpts)))
+      return failure();
+  }
+
+  // Strategy dispatch (after any explicit transform script): pick the best
+  // applicable strategy for the target and run its entry, autotuning
+  // declared parameters when a budget is given.
+  if (!Options.Target.empty()) {
+    strategy::DispatchOptions DispatchOpts;
+    DispatchOpts.Transform.CheckConditions = Options.CheckConditions;
+    DispatchOpts.Transform.MatchShards = Options.MatchShards;
+    DispatchOpts.TuneBudget = Options.TuneBudget;
+    FailureOr<strategy::DispatchResult> Result =
+        Strategies.dispatch(Payload.get(), Options.Target, DispatchOpts);
+    if (failed(Result))
+      return failure();
+    OS << "strategy: selected '@" << Result->Strategy->Manifest.LibraryName
+       << "' (target '" << Result->MatchedTarget << "') for target '"
+       << Options.Target << "'\n";
+    if (Result->TuningDBHit)
+      OS << "strategy: tuning-db hit (0 tuning evaluations)\n";
+    if (!Result->Config.empty()) {
+      OS << "strategy: bound config [";
+      for (size_t I = 0; I < Result->Config.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << Result->Strategy->Manifest.Params[I].Name << " = "
+           << Result->Config[I];
+      }
+      OS << "]";
+      if (Result->TuneEvaluations > 0)
+        OS << " after " << Result->TuneEvaluations << " tuning evaluations";
+      OS << "\n";
+    }
+  }
+
+  if (Options.Verify && failed(verify(Payload.get())))
+    return failure();
+  if (!Options.Quiet) {
+    Payload->print(OS);
+    OS << "\n";
+  }
+
+  // Persist what this run learned. Read-only mode never reaches the
+  // filesystem (save() is a no-op); an unchanged store is not rewritten.
+  if (!Options.TuningDBPath.empty() && TuningDB.isDirty()) {
+    std::vector<std::string> Diags;
+    if (failed(TuningDB.save(&Diags))) {
+      for (const std::string &Diag : Diags)
+        ES << "error: " << Diag << "\n";
+      return failure();
+    }
+  }
+  return success();
+}

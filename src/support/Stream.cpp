@@ -8,8 +8,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 using namespace tdl;
 
@@ -101,5 +104,74 @@ bool tdl::readFileToString(const std::string &Path, std::string &Out) {
   std::ostringstream Buffer;
   Buffer << Stream.rdbuf();
   Out = Buffer.str();
+  return true;
+}
+
+bool tdl::writeFileAtomic(const std::string &Path, std::string_view Content) {
+  // The temporary must live in the target's directory: rename(2) is only
+  // atomic within one filesystem.
+  std::string Temp = Path + ".tmp.XXXXXX";
+  int Fd = ::mkstemp(Temp.data());
+  if (Fd < 0)
+    return false;
+  size_t Written = 0;
+  while (Written < Content.size()) {
+    ssize_t N = ::write(Fd, Content.data() + Written, Content.size() - Written);
+    if (N < 0) {
+      ::close(Fd);
+      std::remove(Temp.c_str());
+      return false;
+    }
+    Written += static_cast<size_t>(N);
+  }
+  if (::close(Fd) != 0 || std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    std::remove(Temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string tdl::hexString(uint64_t Value) {
+  char Buffer[17];
+  std::snprintf(Buffer, sizeof(Buffer), "%016" PRIx64, Value);
+  return Buffer;
+}
+
+bool tdl::parseHexString(std::string_view Text, uint64_t &Out) {
+  if (Text.empty() || Text.size() > 16)
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      return false;
+    Value = (Value << 4) | static_cast<uint64_t>(Digit);
+  }
+  Out = Value;
+  return true;
+}
+
+std::string tdl::doubleToString(double Value) {
+  // %.17g is the shortest precision guaranteed to round-trip any double.
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  return Buffer;
+}
+
+bool tdl::parseDoubleString(std::string_view Text, double &Out) {
+  if (Text.empty())
+    return false;
+  std::string Token(Text);
+  char *End = nullptr;
+  double Value = std::strtod(Token.c_str(), &End);
+  if (End != Token.c_str() + Token.size())
+    return false;
+  Out = Value;
   return true;
 }

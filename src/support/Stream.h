@@ -94,6 +94,31 @@ raw_ostream &nulls();
 /// by the CLI driver and the transform library loader.
 bool readFileToString(const std::string &Path, std::string &Out);
 
+/// Writes \p Content to \p Path atomically: the bytes land in a temporary
+/// sibling file first and are renamed over the target, so a concurrent
+/// reader (or a crash mid-write) sees either the old complete file or the
+/// new complete file, never a truncated one. Returns false when the
+/// temporary cannot be created, written, or renamed.
+bool writeFileAtomic(const std::string &Path, std::string_view Content);
+
+/// Fixed-width lowercase hex rendering of \p Value (16 digits, no prefix):
+/// the serialization used for content hashes and payload fingerprints.
+std::string hexString(uint64_t Value);
+
+/// Parses a hexString()-style token (1-16 lowercase/uppercase hex digits,
+/// no prefix) into \p Out. Returns false on an empty, overlong, or
+/// non-hex token, leaving \p Out untouched.
+bool parseHexString(std::string_view Text, uint64_t &Out);
+
+/// Shortest decimal rendering of \p Value that parses back to exactly the
+/// same double (round-trip safe, unlike raw_ostream's display-oriented
+/// formatting). Used by line-oriented serialization of measured costs.
+std::string doubleToString(double Value);
+
+/// Parses a full token as a double. Returns false when the token is empty
+/// or has trailing garbage, leaving \p Out untouched.
+bool parseDoubleString(std::string_view Text, double &Out);
+
 } // namespace tdl
 
 #endif // TDL_SUPPORT_STREAM_H

@@ -15,6 +15,19 @@ using namespace tdl::autotune;
 
 namespace {
 
+/// Assembles the one-argument TuningRequest most tests need.
+FailureOr<std::vector<Evaluation>>
+runTuner(AutoTuner &Tuner, TuningSpace Space,
+         std::function<double(const std::vector<int64_t> &)> Objective,
+         int Budget, std::vector<std::vector<int64_t>> Seeds = {}) {
+  TuningRequest Request;
+  Request.Space = std::move(Space);
+  Request.Objective = std::move(Objective);
+  Request.Budget = Budget;
+  Request.SeedConfigs = std::move(Seeds);
+  return Tuner.optimize(Request);
+}
+
 TEST(AutoTunerTest, Divisors) {
   EXPECT_EQ(TuningSpace::divisorsOf(1), (std::vector<int64_t>{1}));
   EXPECT_EQ(TuningSpace::divisorsOf(12),
@@ -35,8 +48,9 @@ TuningSpace makeSpace() {
 }
 
 TEST(AutoTunerTest, RespectsConstraints) {
-  AutoTuner Tuner(makeSpace(), {/*Seed=*/7});
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  AutoTuner Tuner({/*Seed=*/7});
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, makeSpace(),
       [](const std::vector<int64_t> &Config) {
         return static_cast<double>(Config[0] + Config[1]);
       },
@@ -58,12 +72,15 @@ TEST(AutoTunerTest, DeterministicPerSeed) {
     return std::fabs(static_cast<double>(Config[0]) - 8.0) +
            std::fabs(static_cast<double>(Config[1]) - 16.0);
   };
-  AutoTuner A(makeSpace(), {/*Seed=*/11});
-  AutoTuner B(makeSpace(), {/*Seed=*/11});
-  AutoTuner C(makeSpace(), {/*Seed=*/12});
-  FailureOr<std::vector<Evaluation>> HA = A.optimize(Objective, 50);
-  FailureOr<std::vector<Evaluation>> HB = B.optimize(Objective, 50);
-  FailureOr<std::vector<Evaluation>> HC = C.optimize(Objective, 50);
+  AutoTuner A({/*Seed=*/11});
+  AutoTuner B({/*Seed=*/11});
+  AutoTuner C({/*Seed=*/12});
+  FailureOr<std::vector<Evaluation>> HA =
+      runTuner(A, makeSpace(), Objective, 50);
+  FailureOr<std::vector<Evaluation>> HB =
+      runTuner(B, makeSpace(), Objective, 50);
+  FailureOr<std::vector<Evaluation>> HC =
+      runTuner(C, makeSpace(), Objective, 50);
   ASSERT_TRUE(succeeded(HA) && succeeded(HB) && succeeded(HC));
   ASSERT_EQ(HA->size(), HB->size());
   for (size_t I = 0; I < HA->size(); ++I)
@@ -85,8 +102,8 @@ TEST(AutoTunerTest, FindsOptimum) {
       Cost += 3.0;
     return Cost;
   };
-  AutoTuner Tuner(makeSpace(), {/*Seed=*/3});
-  ASSERT_TRUE(succeeded(Tuner.optimize(Objective, 150)));
+  AutoTuner Tuner({/*Seed=*/3});
+  ASSERT_TRUE(succeeded(runTuner(Tuner, makeSpace(), Objective, 150)));
   const Evaluation &Best = Tuner.getBest();
   EXPECT_EQ(Best.Config[0], 8);
   EXPECT_EQ(Best.Config[1], 16);
@@ -108,23 +125,24 @@ TEST(AutoTunerTest, ExploitationBeatsPureRandom) {
     TunerOptions Guided;
     Guided.Seed = Seed;
     Guided.ExploreFraction = 0.3;
-    AutoTuner G(makeSpace(), Guided);
-    ASSERT_TRUE(succeeded(G.optimize(Objective, 40)));
+    AutoTuner G(Guided);
+    ASSERT_TRUE(succeeded(runTuner(G, makeSpace(), Objective, 40)));
     GuidedTotal += G.getBest().Cost;
 
     TunerOptions Random;
     Random.Seed = Seed;
     Random.ExploreFraction = 1.0;
-    AutoTuner R(makeSpace(), Random);
-    ASSERT_TRUE(succeeded(R.optimize(Objective, 40)));
+    AutoTuner R(Random);
+    ASSERT_TRUE(succeeded(runTuner(R, makeSpace(), Objective, 40)));
     RandomTotal += R.getBest().Cost;
   }
   EXPECT_LE(GuidedTotal, RandomTotal);
 }
 
 TEST(AutoTunerTest, BestSoFarIsMonotone) {
-  AutoTuner Tuner(makeSpace(), {/*Seed=*/21});
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  AutoTuner Tuner({/*Seed=*/21});
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, makeSpace(),
       [](const std::vector<int64_t> &Config) {
         return 100.0 - Config[0] - Config[1];
       },
@@ -145,9 +163,10 @@ TEST(AutoTunerTest, BestSoFarIsMonotone) {
 
 TEST(AutoTunerTest, EmptyParameterListFails) {
   TuningSpace Space; // no parameters at all
-  AutoTuner Tuner(Space, {/*Seed=*/1});
+  AutoTuner Tuner({/*Seed=*/1});
   int Calls = 0;
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
       [&](const std::vector<int64_t> &) {
         ++Calls;
         return 0.0;
@@ -160,9 +179,10 @@ TEST(AutoTunerTest, EmptyParameterListFails) {
 TEST(AutoTunerTest, EmptyCandidateListFails) {
   TuningSpace Space;
   Space.Params = {{"a", {1, 2}}, {"empty", {}}};
-  AutoTuner Tuner(Space, {/*Seed=*/1});
+  AutoTuner Tuner({/*Seed=*/1});
   int Calls = 0;
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
       [&](const std::vector<int64_t> &) {
         ++Calls;
         return 0.0;
@@ -172,15 +192,34 @@ TEST(AutoTunerTest, EmptyCandidateListFails) {
   EXPECT_EQ(Calls, 0);
 }
 
+TEST(AutoTunerTest, MissingObjectiveFails) {
+  TuningRequest Request;
+  Request.Space = makeSpace();
+  Request.Budget = 10; // no Objective set
+  AutoTuner Tuner({/*Seed=*/1});
+  EXPECT_TRUE(failed(Tuner.optimize(Request)));
+}
+
+TEST(AutoTunerTest, DegenerateRetryBoundsFail) {
+  TuningRequest Request;
+  Request.Space = makeSpace();
+  Request.Objective = [](const std::vector<int64_t> &) { return 0.0; };
+  Request.Budget = 10;
+  Request.RandomProposalRetries = 0;
+  AutoTuner Tuner({/*Seed=*/1});
+  EXPECT_TRUE(failed(Tuner.optimize(Request)));
+}
+
 TEST(AutoTunerTest, InfeasibleConstraintFails) {
   // The old 256-attempt fallback silently returned an infeasible config
   // here; now the search reports failure and never calls the objective.
   TuningSpace Space;
   Space.Params = {{"a", {1, 2, 4}}};
   Space.Constraint = [](const std::vector<int64_t> &) { return false; };
-  AutoTuner Tuner(Space, {/*Seed=*/5});
+  AutoTuner Tuner({/*Seed=*/5});
   int Calls = 0;
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
       [&](const std::vector<int64_t> &) {
         ++Calls;
         return 0.0;
@@ -201,8 +240,9 @@ TEST(AutoTunerTest, LateProposalDroughtKeepsHistory) {
   Space.Constraint = [&](const std::vector<int64_t> &) {
     return Allowed-- > 0;
   };
-  AutoTuner Tuner(Space, {/*Seed=*/3});
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  AutoTuner Tuner({/*Seed=*/3});
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
       [](const std::vector<int64_t> &Config) {
         return static_cast<double>(Config[0]);
       },
@@ -215,8 +255,9 @@ TEST(AutoTunerTest, LateProposalDroughtKeepsHistory) {
 TEST(AutoTunerTest, SingletonSpaceEvaluatesOnce) {
   TuningSpace Space;
   Space.Params = {{"only", {5}}};
-  AutoTuner Tuner(Space, {/*Seed=*/1});
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  AutoTuner Tuner({/*Seed=*/1});
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
       [](const std::vector<int64_t> &Config) {
         return static_cast<double>(Config[0]);
       },
@@ -238,9 +279,10 @@ TEST(AutoTunerTest, MemoizesEvaluationsOverSmallSpace) {
   // soon as the space is exhausted.
   TuningSpace Space;
   Space.Params = {{"a", {1, 2, 4, 8}}, {"b", {0, 1}}};
-  AutoTuner Tuner(Space, {/*Seed=*/9});
+  AutoTuner Tuner({/*Seed=*/9});
   int Calls = 0;
-  FailureOr<std::vector<Evaluation>> History = Tuner.optimize(
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
       [&](const std::vector<int64_t> &Config) {
         ++Calls;
         return static_cast<double>(Config[0] * 2 + Config[1]);
@@ -256,6 +298,92 @@ TEST(AutoTunerTest, MemoizesEvaluationsOverSmallSpace) {
   // With a budget well above the space size the whole space is enumerated,
   // so the known optimum (a=1, b=0) must be found exactly.
   EXPECT_EQ(Tuner.getBest().Config, (std::vector<int64_t>{1, 0}));
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-start seed configurations
+//===----------------------------------------------------------------------===//
+
+TEST(AutoTunerTest, SeedConfigsEvaluateFirstInOrder) {
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2, 4, 8}}, {"b", {0, 1}}};
+  AutoTuner Tuner({/*Seed=*/13});
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
+      [](const std::vector<int64_t> &Config) {
+        return static_cast<double>(Config[0] + Config[1]);
+      },
+      10, {{8, 1}, {4, 0}});
+  ASSERT_TRUE(succeeded(History));
+  ASSERT_GE(History->size(), 2u);
+  EXPECT_EQ((*History)[0].Config, (std::vector<int64_t>{8, 1}));
+  EXPECT_EQ((*History)[1].Config, (std::vector<int64_t>{4, 0}));
+}
+
+TEST(AutoTunerTest, SeedConfigsAreMemoized) {
+  // A seed is an evaluation like any other: the search must never
+  // re-measure it, and duplicate seeds collapse to one evaluation.
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2, 4, 8}}};
+  AutoTuner Tuner({/*Seed=*/17});
+  int Calls = 0;
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
+      [&](const std::vector<int64_t> &Config) {
+        ++Calls;
+        return static_cast<double>(Config[0]);
+      },
+      30, {{4}, {4}, {4}});
+  ASSERT_TRUE(succeeded(History));
+  EXPECT_EQ(Calls, 4) << "4-config space: each config exactly once";
+  EXPECT_EQ((*History)[0].Config, (std::vector<int64_t>{4}));
+  EXPECT_EQ(Tuner.getBest().Config, (std::vector<int64_t>{1}));
+}
+
+TEST(AutoTunerTest, MalformedSeedsAreSkippedForFree) {
+  // Wrong-arity and infeasible seeds (a stale tuning-db entry can predate
+  // a space change) are dropped without calling the objective or spending
+  // budget.
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2, 4, 8}}};
+  Space.Constraint = [](const std::vector<int64_t> &Config) {
+    return Config[0] != 8;
+  };
+  AutoTuner Tuner({/*Seed=*/19});
+  std::vector<std::vector<int64_t>> Evaluated;
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
+      [&](const std::vector<int64_t> &Config) {
+        Evaluated.push_back(Config);
+        return static_cast<double>(Config[0]);
+      },
+      30, {{4, 4}, {8}, {16}, {2}});
+  ASSERT_TRUE(succeeded(History));
+  // Only {2} survives as a seed; the rest of the history is the search.
+  ASSERT_FALSE(Evaluated.empty());
+  EXPECT_EQ(Evaluated[0], (std::vector<int64_t>{2}));
+  for (const std::vector<int64_t> &Config : Evaluated)
+    EXPECT_NE(Config[0], 8) << "infeasible seed must not be evaluated";
+  EXPECT_EQ(History->size(), 3u) << "feasible space {1,2,4} fully explored";
+}
+
+TEST(AutoTunerTest, SeedsCountAgainstBudget) {
+  TuningSpace Space;
+  Space.Params = {{"a", {1, 2, 4, 8}}};
+  AutoTuner Tuner({/*Seed=*/23});
+  int Calls = 0;
+  FailureOr<std::vector<Evaluation>> History = runTuner(
+      Tuner, Space,
+      [&](const std::vector<int64_t> &Config) {
+        ++Calls;
+        return static_cast<double>(Config[0]);
+      },
+      2, {{8}, {4}, {2}});
+  ASSERT_TRUE(succeeded(History));
+  // Budget 2 is consumed entirely by the first two seeds.
+  EXPECT_EQ(Calls, 2);
+  EXPECT_EQ((*History)[0].Config, (std::vector<int64_t>{8}));
+  EXPECT_EQ((*History)[1].Config, (std::vector<int64_t>{4}));
 }
 
 } // namespace

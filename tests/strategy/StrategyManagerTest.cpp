@@ -503,6 +503,136 @@ TEST_F(StrategyTest, DivisorsOfDimOutOfRangeFails) {
 }
 
 //===----------------------------------------------------------------------===//
+// Persistent tuning database integration
+//===----------------------------------------------------------------------===//
+
+TEST_F(StrategyTest, WarmDispatchSkipsTuningEntirely) {
+  TempStrategyDir Dir;
+  Dir.write("tuned.mlir", TunedStrategyText);
+  ASSERT_TRUE(succeeded(Strategies.addStrategyDir(Dir.Path)));
+
+  autotune::TuningDB DB; // in-memory: the warm-start logic needs no file
+  Strategies.setTuningDB(&DB);
+
+  int ObjectiveCalls = 0;
+  DispatchOptions Options;
+  Options.TuneBudget = 30;
+  Options.Objective = [&](Operation *Module) {
+    ++ObjectiveCalls;
+    return nearestConstantTo39(Module);
+  };
+
+  // Cold dispatch: a miss that tunes and records the winner.
+  OwningOpRef Cold = parsePayload(LoopPayloadText);
+  FailureOr<DispatchResult> ColdResult =
+      Strategies.dispatch(Cold.get(), "generic", Options);
+  ASSERT_TRUE(succeeded(ColdResult));
+  EXPECT_FALSE(ColdResult->TuningDBHit);
+  EXPECT_GT(ColdResult->TuneEvaluations, 0);
+  EXPECT_EQ(Strategies.getNumTuningDBMisses(), 1);
+  EXPECT_EQ(Strategies.getNumTuningDBHits(), 0);
+  EXPECT_EQ(DB.size(), 1u);
+  EXPECT_TRUE(DB.isDirty());
+  int ColdCalls = ObjectiveCalls;
+  EXPECT_GT(ColdCalls, 0);
+
+  // Warm dispatch of the same payload text: the probe — the objective
+  // must run zero times, and the bound configuration is the stored one.
+  OwningOpRef Warm = parsePayload(LoopPayloadText);
+  FailureOr<DispatchResult> WarmResult =
+      Strategies.dispatch(Warm.get(), "generic", Options);
+  ASSERT_TRUE(succeeded(WarmResult));
+  EXPECT_TRUE(WarmResult->TuningDBHit);
+  EXPECT_EQ(WarmResult->TuneEvaluations, 0);
+  EXPECT_EQ(ObjectiveCalls, ColdCalls) << "warm hit must not re-evaluate";
+  EXPECT_EQ(WarmResult->Config, ColdResult->Config);
+  EXPECT_DOUBLE_EQ(WarmResult->BestCost, ColdResult->BestCost);
+  EXPECT_EQ(Strategies.getNumTuningDBHits(), 1);
+  EXPECT_EQ(Strategies.getNumTuningDBMisses(), 1);
+
+  // Acceptance gate: cold and warm transformed payloads are byte-identical.
+  EXPECT_EQ(printOp(Warm.get()), printOp(Cold.get()));
+}
+
+TEST_F(StrategyTest, EditedLibraryInvalidatesAndSeedsReTune) {
+  // Tune once against the original library edition...
+  TempStrategyDir DirV1;
+  DirV1.write("tuned.mlir", TunedStrategyText);
+  autotune::TuningDB DB;
+  DispatchOptions Options;
+  Options.TuneBudget = 30;
+  Options.Objective = nearestConstantTo39;
+  {
+    ASSERT_TRUE(succeeded(Strategies.addStrategyDir(DirV1.Path)));
+    Strategies.setTuningDB(&DB);
+    OwningOpRef Payload = parsePayload(LoopPayloadText);
+    ASSERT_TRUE(
+        succeeded(Strategies.dispatch(Payload.get(), "generic", Options)));
+    ASSERT_EQ(DB.size(), 1u);
+  }
+  autotune::TuningKey V1Key = DB.getRecords().begin()->first;
+
+  // ... then edit the library (a priority tweak changes the content hash
+  // but not the schedule) and dispatch through a fresh manager.
+  std::string Edited = TunedStrategyText;
+  size_t At = Edited.find("strategy.target");
+  ASSERT_NE(At, std::string::npos);
+  Edited.insert(At, "strategy.priority = 3, ");
+  TempStrategyDir DirV2;
+  DirV2.write("tuned.mlir", Edited);
+
+  TransformLibraryManager LibrariesV2(Ctx);
+  StrategyManager StrategiesV2(Ctx, LibrariesV2);
+  ASSERT_TRUE(succeeded(StrategiesV2.addStrategyDir(DirV2.Path)));
+  StrategiesV2.setTuningDB(&DB);
+  ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+  OwningOpRef Payload = parsePayload(LoopPayloadText);
+  FailureOr<DispatchResult> Result =
+      StrategiesV2.dispatch(Payload.get(), "generic", Options);
+  ASSERT_TRUE(succeeded(Result));
+
+  // The stored entry no longer matches exactly: reported stale, used as a
+  // re-tune seed, and superseded by the re-tuned winner.
+  EXPECT_TRUE(Result->TuningDBStale);
+  EXPECT_FALSE(Result->TuningDBHit);
+  EXPECT_GT(Result->TuneEvaluations, 0);
+  EXPECT_EQ(Result->Config, (std::vector<int64_t>{4}));
+  EXPECT_EQ(StrategiesV2.getNumTuningDBStale(), 1);
+  EXPECT_TRUE(Capture.contains("is stale"));
+  EXPECT_TRUE(Capture.contains("re-tuning with the stale configuration"));
+  EXPECT_EQ(DB.size(), 1u) << "the stale edition must be superseded";
+  EXPECT_EQ(DB.lookup(V1Key), nullptr);
+  EXPECT_NE(DB.getRecords().begin()->first.LibraryHash, V1Key.LibraryHash);
+}
+
+TEST_F(StrategyTest, DumpStrategiesReportsTuningDBStatus) {
+  TempStrategyDir Dir;
+  Dir.write("avx2.mlir", Avx2StrategyText);
+  Dir.write("tuned.mlir", TunedStrategyText);
+  ASSERT_TRUE(succeeded(Strategies.addStrategyDir(Dir.Path)));
+  autotune::TuningDB DB;
+  Strategies.setTuningDB(&DB);
+
+  DispatchOptions Options;
+  Options.TuneBudget = 30;
+  Options.Objective = nearestConstantTo39;
+  OwningOpRef Payload = parsePayload(LoopPayloadText);
+  ASSERT_TRUE(
+      succeeded(Strategies.dispatch(Payload.get(), "generic", Options)));
+
+  // Dispatch transformed `Payload` in place; status is keyed by the
+  // *pre-transform* fingerprint, so dump against a fresh parse.
+  OwningOpRef Fresh = parsePayload(LoopPayloadText);
+  std::string Text;
+  raw_string_ostream OS(Text);
+  Strategies.dumpStrategies(OS, Fresh.get());
+  // The tuned strategy has a stored entry; the avx2 strategy was never
+  // tuned for this payload.
+  EXPECT_NE(Text.find("tuning-db: hit"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("tuning-db: absent"), std::string::npos) << Text;
+}
+
+//===----------------------------------------------------------------------===//
 // Loading and registration
 //===----------------------------------------------------------------------===//
 

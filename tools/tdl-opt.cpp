@@ -5,31 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Command-line driver: reads payload IR, optionally runs a textual pass
-/// pipeline and/or a transform script, and prints the result. The two
-/// compilation-control styles the paper compares, in one tool:
+/// Command-line driver: a thin argv-to-RunOptions parser over the Session
+/// facade (support/Session.h), which owns the context, library manager,
+/// strategy manager, and tuning database. The two compilation-control
+/// styles the paper compares, in one tool:
 ///
 ///   tdl-opt payload.mlir --pass-pipeline='builtin.module(canonicalize)'
 ///   tdl-opt payload.mlir --transform=script.mlir
 ///   tdl-opt payload.mlir --transform=script.mlir --check-invalidation
 ///   tdl-opt payload.mlir --check-pipeline='convert-scf-to-cf,...'
+///   tdl-opt payload.mlir --strategy-dir=... --target=avx2
+///       --tune-budget=32 --tuning-db=tuned.tdb
 ///
 //===----------------------------------------------------------------------===//
 
-#include "ad/AutoDiff.h"
-#include "core/Analysis.h"
-#include "core/Conditions.h"
-#include "core/Transform.h"
-#include "core/TransformLibrary.h"
-#include "dialect/Dialects.h"
-#include "ir/Parser.h"
-#include "ir/Verifier.h"
-#include "pass/Pass.h"
-#include "strategy/StrategyManager.h"
-#include "support/STLExtras.h"
-#include "support/Stream.h"
+#include "support/Session.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -64,9 +55,21 @@ int usage(const char *Argv0) {
          << "                               parameters with N objective\n"
          << "                               evaluations before the final run\n"
          << "                               (default 0: first candidates)\n"
+         << "  --tuning-db=<path>           persist best-known tuned\n"
+         << "                               configurations at <path>: exact\n"
+         << "                               hits skip tuning, stale entries\n"
+         << "                               (edited library) seed the\n"
+         << "                               re-tune, winners are recorded\n"
+         << "  --tuning-db-readonly         consult the tuning database but\n"
+         << "                               never rewrite it\n"
+         << "  --merge-tuning-db=<a>,<b>    standalone mode: union the two\n"
+         << "                               stores keeping the lower-cost\n"
+         << "                               entry per key, write the result\n"
+         << "                               to --tuning-db=<path>, and exit\n"
          << "  --dump-strategies            print every registered strategy\n"
          << "                               (target, priority, entry\n"
-         << "                               signature, params)\n"
+         << "                               signature, params, tuning-db\n"
+         << "                               status)\n"
          << "  --check-invalidation         statically analyze the script\n"
          << "  --check-types                statically type-check the script\n"
          << "                               handles (also run before any\n"
@@ -84,31 +87,51 @@ int usage(const char *Argv0) {
   return 2;
 }
 
+/// `--merge-tuning-db=<a>,<b>`: offline union into the --tuning-db path,
+/// no payload involved.
+int runMergeMode(const std::string &MergeSpec, const std::string &OutPath,
+                 const char *Argv0) {
+  size_t Comma = MergeSpec.find(',');
+  if (Comma == std::string::npos || Comma == 0 ||
+      Comma + 1 == MergeSpec.size()) {
+    errs() << "error: --merge-tuning-db expects two comma-separated store "
+              "paths, got '"
+           << MergeSpec << "'\n";
+    return usage(Argv0);
+  }
+  if (OutPath.empty()) {
+    errs() << "error: --merge-tuning-db requires --tuning-db=<path> as the "
+              "merge destination\n";
+    return usage(Argv0);
+  }
+  std::string PathA = MergeSpec.substr(0, Comma);
+  std::string PathB = MergeSpec.substr(Comma + 1);
+  std::vector<std::string> Diags;
+  size_t MergedSize = 0;
+  LogicalResult Result =
+      autotune::TuningDB::merge(PathA, PathB, OutPath, &Diags, &MergedSize);
+  for (const std::string &Diag : Diags)
+    errs() << "warning: " << Diag << "\n";
+  if (failed(Result)) {
+    errs() << "error: cannot merge tuning databases '" << PathA << "' and '"
+           << PathB << "' into '" << OutPath << "'\n";
+    return 1;
+  }
+  outs() << "tuning-db: merged " << MergedSize << " record"
+         << (MergedSize == 1 ? "" : "s") << " into '" << OutPath << "'\n";
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage(argv[0]);
 
-  std::string PayloadPath;
-  std::string Pipeline;
-  std::string ScriptPath;
-  std::string CheckPipeline;
-  std::string MatchShardsText;
-  std::string Target;
+  RunOptions Options;
+  std::string MergeSpec;
   std::string TuneBudgetText;
-  std::vector<std::string> LibraryPaths;
-  std::vector<std::string> LibrarySearchDirs;
-  std::vector<std::string> StrategyDirs;
-  unsigned MatchShards = 1;
-  int TuneBudget = 0;
-  bool CheckInvalidation = false;
-  bool CheckTypes = false;
-  bool CheckConditions = false;
-  bool DumpLibrarySymbols = false;
-  bool DumpStrategies = false;
-  bool Verify = true;
-  bool Quiet = false;
+  std::string MatchShardsText;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -118,22 +141,24 @@ int main(int argc, char **argv) {
       Out = Arg.substr(Prefix.size());
       return true;
     };
-    if (Consume("--pass-pipeline=", Pipeline) ||
-        Consume("--transform=", ScriptPath) ||
-        Consume("--check-pipeline=", CheckPipeline) ||
-        Consume("--target=", Target))
+    if (Consume("--pass-pipeline=", Options.PassPipeline) ||
+        Consume("--transform=", Options.TransformScript) ||
+        Consume("--check-pipeline=", Options.CheckPipeline) ||
+        Consume("--target=", Options.Target) ||
+        Consume("--tuning-db=", Options.TuningDBPath) ||
+        Consume("--merge-tuning-db=", MergeSpec))
       continue;
     std::string Repeatable;
     if (Consume("--transform-library=", Repeatable)) {
-      LibraryPaths.push_back(std::move(Repeatable));
+      Options.TransformLibraries.push_back(std::move(Repeatable));
       continue;
     }
     if (Consume("--library-path=", Repeatable)) {
-      LibrarySearchDirs.push_back(std::move(Repeatable));
+      Options.LibrarySearchDirs.push_back(std::move(Repeatable));
       continue;
     }
     if (Consume("--strategy-dir=", Repeatable)) {
-      StrategyDirs.push_back(std::move(Repeatable));
+      Options.StrategyDirs.push_back(std::move(Repeatable));
       continue;
     }
     if (Consume("--tune-budget=", TuneBudgetText)) {
@@ -145,7 +170,7 @@ int main(int argc, char **argv) {
                << TuneBudgetText << "'\n";
         return usage(argv[0]);
       }
-      TuneBudget = static_cast<int>(Parsed);
+      Options.TuneBudget = static_cast<int>(Parsed);
       continue;
     }
     if (Consume("--match-shards=", MatchShardsText)) {
@@ -157,181 +182,49 @@ int main(int argc, char **argv) {
                << MatchShardsText << "'\n";
         return usage(argv[0]);
       }
-      MatchShards = static_cast<unsigned>(Parsed);
+      Options.MatchShards = static_cast<unsigned>(Parsed);
       continue;
     }
     if (Arg == "--dump-library-symbols")
-      DumpLibrarySymbols = true;
+      Options.DumpLibrarySymbols = true;
     else if (Arg == "--dump-strategies")
-      DumpStrategies = true;
+      Options.DumpStrategies = true;
     else if (Arg == "--check-invalidation")
-      CheckInvalidation = true;
+      Options.CheckInvalidation = true;
     else if (Arg == "--check-types")
-      CheckTypes = true;
+      Options.CheckTypes = true;
     else if (Arg == "--check-conditions")
-      CheckConditions = true;
+      Options.CheckConditions = true;
+    else if (Arg == "--tuning-db-readonly")
+      Options.TuningDBReadOnly = true;
     else if (Arg == "--no-verify")
-      Verify = false;
+      Options.Verify = false;
     else if (Arg == "--quiet")
-      Quiet = true;
+      Options.Quiet = true;
     else if (Arg.empty() || Arg[0] == '-') {
       errs() << "error: unknown option '" << Arg << "'\n";
       return usage(argv[0]);
-    } else if (!PayloadPath.empty()) {
+    } else if (!Options.PayloadPath.empty()) {
       errs() << "error: duplicate payload file '" << Arg << "' ('"
-             << PayloadPath << "' was already given)\n";
+             << Options.PayloadPath << "' was already given)\n";
       return usage(argv[0]);
     } else
-      PayloadPath = Arg;
+      Options.PayloadPath = Arg;
   }
-  if (PayloadPath.empty())
+
+  if (!MergeSpec.empty())
+    return runMergeMode(MergeSpec, Options.TuningDBPath, argv[0]);
+
+  if (Options.PayloadPath.empty())
     return usage(argv[0]);
-  if (!Target.empty() && StrategyDirs.empty()) {
+  if (!Options.Target.empty() && Options.StrategyDirs.empty()) {
     errs() << "error: --target requires at least one --strategy-dir\n";
     return usage(argv[0]);
   }
 
-  Context Ctx;
-  registerAllDialects(Ctx);
-  registerTransformDialect(Ctx);
-  registerAutoDiffSupport(Ctx);
-  registerBuiltinIRDLConstraints();
-
-  std::string PayloadText;
-  if (!readFileToString(PayloadPath, PayloadText)) {
-    errs() << "error: cannot read '" << PayloadPath << "'\n";
+  Session S(std::move(Options));
+  if (failed(S.loadLibraries()) || failed(S.scanStrategies()) ||
+      failed(S.openTuningDB()) || failed(S.run()))
     return 1;
-  }
-  OwningOpRef Payload = parseSourceString(Ctx, PayloadText, PayloadPath);
-  if (!Payload)
-    return 1;
-
-  // Load transform libraries before the script: link() resolves the
-  // script's imports against them, and the static analyses run against the
-  // merged scope. Each file is parsed, verified, and type-checked once and
-  // cached in the manager, which owns the library modules for the rest of
-  // the process.
-  TransformLibraryManager Libraries(Ctx);
-  for (const std::string &Dir : LibrarySearchDirs)
-    Libraries.addSearchDir(Dir);
-  for (const std::string &LibraryPath : LibraryPaths)
-    if (failed(Libraries.loadLibraryFile(LibraryPath)))
-      return 1;
-  if (DumpLibrarySymbols)
-    Libraries.dumpSymbols(outs());
-
-  // Strategy libraries load through the same parse-once cache; registration
-  // happens before any dispatch so --dump-strategies works standalone.
-  strategy::StrategyManager Strategies(Ctx, Libraries);
-  for (const std::string &Dir : StrategyDirs)
-    if (failed(Strategies.addStrategyDir(Dir)))
-      return 1;
-  if (DumpStrategies)
-    Strategies.dumpStrategies(outs());
-
-  if (!CheckPipeline.empty()) {
-    std::vector<std::string> Passes;
-    for (std::string_view Part : split(CheckPipeline, ','))
-      Passes.push_back(std::string(Part));
-    AbstractOpSet Initial = AbstractOpSet::fromPayload(Payload.get());
-    std::vector<PipelineCheckIssue> Issues =
-        checkLoweringPipeline(Passes, Initial, {"llvm.*"}, &Ctx);
-    for (const PipelineCheckIssue &Issue : Issues)
-      outs() << "check: [" << Issue.TransformName << "] " << Issue.Message
-             << "\n";
-    outs() << "static check: " << (Issues.empty() ? "OK" : "ISSUES FOUND")
-           << "\n";
-    if (!Issues.empty())
-      return 1;
-  }
-
-  if (!Pipeline.empty()) {
-    PassManager PM(Ctx);
-    FailureOr<std::vector<PipelineElement>> Elements =
-        parsePassPipeline(Ctx, Pipeline);
-    if (failed(Elements) || failed(buildPassManager(PM, *Elements)))
-      return 1;
-    if (failed(PM.run(Payload.get())))
-      return 1;
-  }
-
-  if (!ScriptPath.empty()) {
-    std::string ScriptText;
-    if (!readFileToString(ScriptPath, ScriptText)) {
-      errs() << "error: cannot read '" << ScriptPath << "'\n";
-      return 1;
-    }
-    OwningOpRef Script = parseSourceString(Ctx, ScriptText, ScriptPath);
-    if (!Script)
-      return 1;
-    // Link the script's imports into its resolution scope before any
-    // analysis or interpretation: the type checker validates calls against
-    // imported signatures, and the interpreter resolves matchers/includes
-    // through the same merged scope.
-    if (failed(Libraries.link(Script.get())))
-      return 1;
-    if (CheckTypes) {
-      std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
-      for (const TypeCheckIssue &Issue : Issues)
-        outs() << "type: " << Issue.Message << "\n";
-      outs() << "static type check: " << (Issues.empty() ? "OK" : "ILL-TYPED")
-             << "\n";
-      if (!Issues.empty())
-        return 1;
-    }
-    if (CheckInvalidation) {
-      std::vector<InvalidationIssue> Issues =
-          analyzeHandleInvalidation(Script.get());
-      for (const InvalidationIssue &Issue : Issues)
-        outs() << "invalidation: " << Issue.Message << "\n";
-      if (!Issues.empty())
-        return 1;
-    }
-    if (failed(checkIncludeCycles(Script.get())))
-      return 1;
-    TransformOptions Options;
-    Options.CheckConditions = CheckConditions;
-    Options.MatchShards = MatchShards;
-    if (failed(applyTransforms(Payload.get(), Script.get(), Options)))
-      return 1;
-  }
-
-  // Strategy dispatch (after any explicit --transform script): pick the
-  // best applicable strategy for the target and run its entry, autotuning
-  // declared parameters when a budget is given.
-  if (!Target.empty()) {
-    strategy::DispatchOptions DispatchOpts;
-    DispatchOpts.Transform.CheckConditions = CheckConditions;
-    DispatchOpts.Transform.MatchShards = MatchShards;
-    DispatchOpts.TuneBudget = TuneBudget;
-    FailureOr<strategy::DispatchResult> Result =
-        Strategies.dispatch(Payload.get(), Target, DispatchOpts);
-    if (failed(Result))
-      return 1;
-    outs() << "strategy: selected '@" << Result->Strategy->Manifest.LibraryName
-           << "' (target '" << Result->MatchedTarget << "') for target '"
-           << Target << "'\n";
-    if (!Result->Config.empty()) {
-      outs() << "strategy: bound config [";
-      for (size_t I = 0; I < Result->Config.size(); ++I) {
-        if (I)
-          outs() << ", ";
-        outs() << Result->Strategy->Manifest.Params[I].Name << " = "
-               << Result->Config[I];
-      }
-      outs() << "]";
-      if (Result->TuneEvaluations > 0)
-        outs() << " after " << Result->TuneEvaluations
-               << " tuning evaluations";
-      outs() << "\n";
-    }
-  }
-
-  if (Verify && failed(verify(Payload.get())))
-    return 1;
-  if (!Quiet) {
-    Payload->print(outs());
-    outs() << "\n";
-  }
   return 0;
 }
