@@ -207,10 +207,96 @@ deepForeachMatchScript(const std::vector<Category> &Categories) {
 )";
 }
 
-/// Shard sweep: the same deep-matcher foreach_match over a \p NumFuncs
-/// payload at 1/2/4(/...) match shards. The match phase is pure, so shard
-/// results merge back into serial walk order and the printed IR is
-/// byte-identical at every shard count; only the wall-clock changes.
+/// A match-only control for the commit sweep: the same matchers run through
+/// `transform.collect_matching`, which has no commit phase at all. The gap
+/// between this and a full foreach_match run is (roughly) the commit cost
+/// the commit shards attack.
+static std::string
+collectMatchingScript(const std::vector<Category> &Categories) {
+  std::string Sequences, Collects;
+  for (const Category &C : Categories) {
+    const std::string &Tag = C.Tag;
+    Sequences += R"(
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.any_op):
+    %0 = "transform.match.operation_name"(%op) {op_names = [")" +
+                 std::string(C.OpName) + R"("]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "is_)" +
+                 Tag + R"("} : () -> ()
+)";
+    Collects += R"(    %)" + Tag +
+                R"( = "transform.collect_matching"(%root) {matcher = @is_)" +
+                Tag + R"(}
+      : (!transform.any_op) -> (!transform.any_op)
+)";
+  }
+  return R"("builtin.module"() ({)" + Sequences + R"(
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+)" + Collects +
+         R"(    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()
+)";
+}
+
+/// A foreach_match whose actions reach *outside* their own match via
+/// `transform.get_parent_op` — the conflict analysis cannot bound the
+/// escaping handle, so every partition falls back to the serial commit
+/// path. The forced-conflict control of the commit sweep.
+static std::string
+conflictForeachMatchScript(const std::vector<Category> &Categories) {
+  std::string Sequences;
+  std::string Matchers, Actions;
+  for (const Category &C : Categories) {
+    const std::string &Tag = C.Tag;
+    Sequences += R"(
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.any_op):
+    %0 = "transform.match.operation_name"(%op) {op_names = [")" +
+                 std::string(C.OpName) + R"("]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "conflict_is_)" +
+                 Tag + R"("} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.any_op):
+    %parent = "transform.get_parent_op"(%op)
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.annotate"(%parent) {name = "parent_)" +
+                 Tag + R"("} : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "conflict_mark_)" +
+                 Tag + R"("} : () -> ()
+)";
+    if (!Matchers.empty()) {
+      Matchers += ", ";
+      Actions += ", ";
+    }
+    Matchers += "@conflict_is_" + Tag;
+    Actions += "@conflict_mark_" + Tag;
+  }
+  return R"("builtin.module"() ({)" + Sequences + R"(
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %u = "transform.foreach_match"(%root) {matchers = [)" +
+         Matchers + R"(], actions = [)" + Actions + R"(]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+}) : () -> ()
+)";
+}
+
+/// Shard sweep: the match side (deep-matcher foreach_match at 1/2/4(/...)
+/// match shards) followed by the commit side (annotate-action foreach_match
+/// at 1/2/4(/...) commit shards, on a conflict-free and on a
+/// forced-conflict payload/script pairing, against a match-only
+/// collect_matching control). Both phases merge worker results back into
+/// serial walk order, so the printed IR is byte-identical at every shard
+/// count; only the wall-clock and the conflict counters change.
 static void runShardSweep(int NumFuncs, const std::vector<unsigned> &Shards,
                           int Repeats) {
   Context Ctx;
@@ -224,6 +310,11 @@ static void runShardSweep(int NumFuncs, const std::vector<unsigned> &Shards,
     std::printf("script parse error\n");
     return;
   }
+
+  JsonReport Report("cs2_foreach_match");
+  Report.metric("funcs", NumFuncs);
+  Report.metric("hardware_threads",
+                static_cast<long long>(std::thread::hardware_concurrency()));
 
   std::string Title = "Shard sweep: deep-matcher foreach_match dispatch, " +
                       std::to_string(NumFuncs) + "-function payload";
@@ -253,6 +344,71 @@ static void runShardSweep(int NumFuncs, const std::vector<unsigned> &Shards,
       Baseline = Seconds;
     std::printf("%8u | %14.6f | %8.2fx | %12lld\n", NumShards, Seconds,
                 Baseline / Seconds, static_cast<long long>(MatcherRuns));
+    Report.metric("match_shards_" + std::to_string(NumShards) + "_seconds",
+                  Seconds);
+  }
+
+  // --- Commit side. The annotate actions are cheap and idempotent, so the
+  // parsed module can be reused across timed runs here too. The prefiltered
+  // (non-deep) matchers keep the match phase small so the commit phase is a
+  // visible fraction of the total.
+  OwningOpRef FreeScript =
+      parseSourceString(Ctx, foreachMatchScript(Categories));
+  OwningOpRef ConflictScript =
+      parseSourceString(Ctx, conflictForeachMatchScript(Categories));
+  OwningOpRef CollectScript =
+      parseSourceString(Ctx, collectMatchingScript(Categories));
+  if (!FreeScript || !ConflictScript || !CollectScript) {
+    std::printf("commit-sweep script parse error\n");
+    return;
+  }
+
+  Title = "Commit sweep: annotate-action foreach_match commit, " +
+          std::to_string(NumFuncs) + "-function payload";
+  printHeader(Title.c_str());
+  {
+    OwningOpRef Mod = parseSourceString(Ctx, Payload);
+    double MatchOnly = minSeconds(Repeats, [&] {
+      TransformInterpreter Interp(Mod.get(), CollectScript.get());
+      if (failed(Interp.run()))
+        std::printf("collect_matching script failed\n");
+    });
+    std::printf("match-only control (collect_matching): %.6f s\n", MatchOnly);
+    Report.metric("match_only_seconds", MatchOnly);
+  }
+  std::printf("%-15s | %8s | %16s | %9s | %9s | %8s\n", "payload", "shards",
+              "match+commit (s)", "speedup", "parallel", "serial");
+  for (bool Conflict : {false, true}) {
+    Operation *Used = Conflict ? ConflictScript.get() : FreeScript.get();
+    const char *Label = Conflict ? "forced-conflict" : "conflict-free";
+    const char *Key = Conflict ? "commit_conflict" : "commit_free";
+    double CommitBaseline = 0.0;
+    for (unsigned NumShards : Shards) {
+      OwningOpRef Mod = parseSourceString(Ctx, Payload);
+      TransformOptions Options;
+      Options.CommitShards = NumShards;
+      int64_t Parallel = 0, Serial = 0;
+      double Seconds = minSeconds(Repeats, [&] {
+        TransformInterpreter Interp(Mod.get(), Used, Options);
+        if (failed(Interp.run()))
+          std::printf("commit-sweep script failed\n");
+        Parallel = Interp.NumParallelCommitPartitions;
+        Serial = Interp.NumSerialCommitPartitions;
+      });
+      if (CommitBaseline == 0.0)
+        CommitBaseline = Seconds;
+      std::printf("%-15s | %8u | %16.6f | %8.2fx | %9lld | %8lld\n", Label,
+                  NumShards, Seconds, CommitBaseline / Seconds,
+                  static_cast<long long>(Parallel),
+                  static_cast<long long>(Serial));
+      std::string Prefix =
+          std::string(Key) + "_shards_" + std::to_string(NumShards);
+      Report.metric(Prefix + "_seconds", Seconds);
+      Report.metric(Prefix + "_parallel_partitions",
+                    static_cast<long long>(Parallel));
+      Report.metric(Prefix + "_serial_partitions",
+                    static_cast<long long>(Serial));
+    }
   }
 }
 

@@ -9,6 +9,8 @@
 #include "core/TransformLibrary.h"
 #include "ir/SymbolTable.h"
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
 
 using namespace tdl;
@@ -511,9 +513,169 @@ Value MatcherEngine::pin(std::vector<Operation *> Ops) {
   return Handle;
 }
 
-DSF MatcherEngine::commit(
-    std::vector<Match> &Matches,
-    const std::function<DSF(const PinnedMatch &)> &Act) {
+/// Whether the pinned match no longer reflects what the matcher approved:
+/// the candidate was consumed/erased or replaced by an op the matcher never
+/// saw (tracking rewired the pin), or an earlier action invalidated/erased a
+/// forwarded op even though the candidate itself survived. Stale matches are
+/// skipped rather than handed dangling/empty payload.
+static bool isStaleMatch(const TransformState &State,
+                         const MatcherEngine::PinnedMatch &PM) {
+  const std::vector<Operation *> &CandOps =
+      State.getPayloadOps(PM.CandidateHandle);
+  if (State.isInvalidated(PM.CandidateHandle) || CandOps.size() != 1 ||
+      CandOps[0] != PM.OriginalCandidate)
+    return true;
+  for (const MatcherEngine::PinnedSlot &Slot : PM.Slots) {
+    if (!Slot.Handle)
+      continue;
+    if (State.isInvalidated(Slot.Handle) ||
+        State.getPayloadOps(Slot.Handle).empty())
+      return true;
+  }
+  return false;
+}
+
+/// The conflict-partition key of a commit candidate: its ancestor that is a
+/// direct child of the payload root — the same per-root-child unit the
+/// sharded match walk distributes. Returns the root itself when the
+/// candidate *is* the root or is not nested beneath it; the root key always
+/// forces the serial path.
+static Operation *commitPartitionKey(Operation *Candidate,
+                                     Operation *PayloadRoot) {
+  Operation *Cur = Candidate;
+  while (Cur != PayloadRoot) {
+    Operation *Parent = Cur->getParentOp();
+    if (!Parent)
+      return PayloadRoot;
+    if (Parent == PayloadRoot)
+      return Cur;
+    Cur = Parent;
+  }
+  return PayloadRoot;
+}
+
+/// The transform ops whose execution can touch payload outside any single
+/// candidate subtree no matter what they are applied to: payload
+/// substitution against an external library, engine re-entry (nested
+/// matcher walks), process-global output, and region semantics the
+/// analysis does not model. Pass-running ops (apply_registered_pass,
+/// expand_forall, lower_scf_to_cf, and the auto-generated per-contract
+/// lowering ops) are excluded through TransformOpDef::RunsRegisteredPass
+/// instead of by name, so contracts registered after startup are covered
+/// without pinning local structured transforms that merely *have* a
+/// phase-ordering contract (loop.unroll, loop.tile, vectorize, ...).
+static std::set<std::string> serialOnlyTransformOps() {
+  return {
+      "transform.to_library",
+      "transform.print",
+      "transform.alternatives",
+      "transform.include",
+      "transform.foreach_match",
+      "transform.collect_matching",
+  };
+}
+
+/// The locality dataflow behind the commit-phase conflict analysis. A value
+/// is *bounded* when every payload op it can name is nested in the payload
+/// the action was handed (and therefore inside the partition's subtree).
+/// Entry block arguments are bounded by construction; parameters are always
+/// bounded. The analysis requires every handle an op reads to be bounded —
+/// even a pure read races with a concurrent writer in another partition —
+/// and propagates boundedness through results using the same
+/// ResultNestedInOperand metadata the static invalidation analysis trusts.
+/// Returns "" when the block is local, else the reason it is not.
+static std::string analyzeBlockLocality(Block &Body,
+                                        std::set<const ValueImpl *> &Bounded,
+                                        const std::set<std::string> &SerialOps) {
+  for (Operation *BodyOp : Body) {
+    std::string_view Name = BodyOp->getName();
+    if (Name == "transform.yield")
+      continue;
+    if (SerialOps.count(std::string(Name)))
+      return "op '" + std::string(Name) +
+             "' can touch payload outside the partition";
+    if (Name == "transform.apply_patterns" && BodyOp->getAttr("matchers"))
+      return "match-driven 'transform.apply_patterns' re-enters the engine";
+    const TransformOpDef *Def = lookupTransformOpDef(BodyOp);
+    if (!Def)
+      return "unregistered transform op '" + std::string(Name) +
+             "' in the action body";
+    if (Def->RunsRegisteredPass)
+      return "op '" + std::string(Name) +
+             "' runs a registered pass over shared pass infrastructure";
+    for (unsigned I = 0; I < BodyOp->getNumOperands(); ++I) {
+      Value Operand = BodyOp->getOperand(I);
+      if (Operand.getType().isa<TransformParamType>())
+        continue;
+      if (!Bounded.count(Operand.getImpl()))
+        return "op '" + std::string(Name) +
+               "' uses a handle that may reach payload outside the partition";
+    }
+    bool Consuming = !Def->ConsumedOperands.empty();
+    for (unsigned R = 0; R < BodyOp->getNumResults(); ++R) {
+      Value Result = BodyOp->getResult(R);
+      if (Result.getType().isa<TransformParamType>()) {
+        Bounded.insert(Result.getImpl());
+        continue;
+      }
+      int NestedIn = Def->AllResultsNestedInOperand >= 0
+                         ? Def->AllResultsNestedInOperand
+                         : (R < Def->ResultNestedInOperand.size()
+                                ? Def->ResultNestedInOperand[R]
+                                : -1);
+      // Nested results stay inside a bounded operand's payload. Consuming
+      // ops' "fresh" results replace their operand's payload in place (tile,
+      // split, unroll, interchange, vectorize), so they stay inside the
+      // partition too. merge_handles/split_handle only regroup bounded
+      // payload. Everything else fresh — get_parent_op — may escape the
+      // partition: leave it unbounded so any downstream *use* forces serial.
+      if (NestedIn >= 0 || Consuming || Name == "transform.merge_handles" ||
+          Name == "transform.split_handle")
+        Bounded.insert(Result.getImpl());
+    }
+    if (Def->TypeCheckSpecial == TransformTypeCheckSpecial::BodyBinding) {
+      // sequence / foreach: the body's entry arguments bind operand 0's
+      // payload, which the operand check above already proved bounded.
+      if (BodyOp->getNumRegions() >= 1 && !BodyOp->getRegion(0).empty()) {
+        Block &Nested = BodyOp->getRegion(0).front();
+        for (unsigned A = 0; A < Nested.getNumArguments(); ++A)
+          Bounded.insert(Nested.getArgument(A).getImpl());
+        std::string Reason = analyzeBlockLocality(Nested, Bounded, SerialOps);
+        if (!Reason.empty())
+          return Reason;
+      }
+    } else if (BodyOp->getNumRegions() > 0 &&
+               Def->TypeCheckSpecial !=
+                   TransformTypeCheckSpecial::ApplyPatterns) {
+      // Pattern regions of a flat apply_patterns hold pattern-name ops, not
+      // transform ops; any other region-carrying op is unknown territory.
+      return "op '" + std::string(Name) +
+             "' carries a region with unknown binding semantics";
+    }
+  }
+  return {};
+}
+
+const std::string &MatcherEngine::actionSerialReason(size_t PairIdx) {
+  Pair &P = Pairs[PairIdx];
+  if (P.SerialReasonAnalyzed)
+    return P.SerialReason;
+  P.SerialReasonAnalyzed = true;
+  // Match-only clients (apply_patterns per match) have no action sequence;
+  // their rewrites are anchored at the candidate by construction.
+  if (P.Action && !P.Action->getRegion(0).empty()) {
+    Block &ActionBody = P.Action->getRegion(0).front();
+    std::set<const ValueImpl *> Bounded;
+    for (unsigned A = 0; A < ActionBody.getNumArguments(); ++A)
+      Bounded.insert(ActionBody.getArgument(A).getImpl());
+    P.SerialReason =
+        analyzeBlockLocality(ActionBody, Bounded, serialOnlyTransformOps());
+  }
+  return P.SerialReason;
+}
+
+DSF MatcherEngine::commit(std::vector<Match> &Matches, const CommitAction &Act,
+                          bool ClientRequiresSerial) {
   TransformState &State = Interp.getState();
 
   // Pin every match before the first action runs: an early action may
@@ -537,34 +699,274 @@ DSF MatcherEngine::commit(
     Pinned.push_back(std::move(PM));
   }
 
-  for (const PinnedMatch &PM : Pinned) {
-    // Skip when the candidate was consumed/erased, or replaced by an op
-    // the matcher never approved (tracking rewired the pin).
-    const std::vector<Operation *> &CandOps =
-        State.getPayloadOps(PM.CandidateHandle);
-    if (State.isInvalidated(PM.CandidateHandle) || CandOps.size() != 1 ||
-        CandOps[0] != PM.OriginalCandidate)
-      continue;
-    // Every forwarded op handle must still be live too: an earlier action
-    // may have consumed (invalidated) or erased ops a matcher yielded for
-    // this match even though the candidate itself survived. Such a match
-    // is stale; skip it rather than hand dangling/empty payload to the
-    // client.
-    bool SlotsLive = true;
-    for (const PinnedSlot &Slot : PM.Slots) {
-      if (!Slot.Handle)
+  // Serial fast path: requested shard count, trace mode (interleaved traces
+  // are useless), a client whose callback is not thread-safe, or too few
+  // matches to partition. The conflict-analysis probe counters stay
+  // untouched here — they describe the partitioned path only.
+  unsigned NumShards = std::max(1u, Interp.getOptions().CommitShards);
+  if (NumShards <= 1 || Interp.getOptions().Trace || ClientRequiresSerial ||
+      Pinned.size() <= 1) {
+    for (const PinnedMatch &PM : Pinned) {
+      if (isStaleMatch(State, PM))
         continue;
-      if (State.isInvalidated(Slot.Handle) ||
-          State.getPayloadOps(Slot.Handle).empty()) {
-        SlotsLive = false;
-        break;
+      DSF Result = Act(Interp, PM);
+      if (!Result.succeeded())
+        return Result;
+    }
+    return DSF::success();
+  }
+  return commitPartitioned(Pinned, Act, NumShards);
+}
+
+DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
+                                     const CommitAction &Act,
+                                     unsigned NumShards) {
+  TransformState &State = Interp.getState();
+  Operation *PayloadRoot = State.getPayloadRoot();
+  Operation *ScriptRoot = Interp.getScriptRoot();
+  DiagnosticEngine &DiagEngine = DriverOp->getContext().getDiagEngine();
+
+  // --- Build the conflict partition: maximal contiguous runs of matches
+  // sharing a partition key, in walk order.
+  struct Partition {
+    Operation *Key = nullptr;
+    size_t Begin = 0; ///< [Begin, End) into Pinned.
+    size_t End = 0;
+    std::string SerialReason; ///< Non-empty: run as an in-order barrier.
+  };
+  std::vector<Partition> Partitions;
+  for (size_t I = 0; I < Pinned.size(); ++I) {
+    Operation *Key =
+        commitPartitionKey(Pinned[I].OriginalCandidate, PayloadRoot);
+    if (!Partitions.empty() && Partitions.back().Key == Key) {
+      Partitions.back().End = I + 1;
+      continue;
+    }
+    Partition Part;
+    Part.Key = Key;
+    Part.Begin = I;
+    Part.End = I + 1;
+    Partitions.push_back(std::move(Part));
+  }
+
+  // --- Decide which partitions may commit concurrently.
+  std::set<Operation *> SeenKeys;
+  for (Partition &Part : Partitions) {
+    // A key recurring in a later, non-adjacent run shares payload with the
+    // earlier partition; only the later run needs to serialize (barriers
+    // execute in walk order, so the first occurrence stays parallel-safe).
+    if (!SeenKeys.insert(Part.Key).second) {
+      Part.SerialReason = "its payload subtree recurs in earlier matches";
+      continue;
+    }
+    if (Part.Key == PayloadRoot) {
+      Part.SerialReason =
+          "its candidate is not nested below a top-level child of the "
+          "payload root";
+      continue;
+    }
+    for (size_t I = Part.Begin; I < Part.End && Part.SerialReason.empty();
+         ++I) {
+      const PinnedMatch &PM = Pinned[I];
+      // An action handed the top-level child itself may erase or replace
+      // it, splicing the payload root's own block — structure every
+      // partition shares.
+      if (PM.OriginalCandidate == Part.Key) {
+        Part.SerialReason =
+            "its action runs on a top-level child of the payload root";
+        continue;
+      }
+      const std::string &ActionReason = actionSerialReason(PM.PairIdx);
+      if (!ActionReason.empty()) {
+        Part.SerialReason = ActionReason;
+        continue;
+      }
+      // Matcher-forwarded payload must stay inside the partition's subtree
+      // too (checked against the pins before any action has run).
+      for (const PinnedSlot &Slot : PM.Slots) {
+        if (!Slot.Handle)
+          continue;
+        for (Operation *Fwd : State.getPayloadOps(Slot.Handle)) {
+          if (Fwd == Part.Key) {
+            Part.SerialReason =
+                "its action runs on a top-level child of the payload root";
+            break;
+          }
+          if (!Part.Key->isAncestorOf(Fwd)) {
+            Part.SerialReason =
+                "matcher-forwarded payload crosses the partition boundary";
+            break;
+          }
+        }
+        if (!Part.SerialReason.empty())
+          break;
       }
     }
-    if (!SlotsLive)
+  }
+
+  // Warm the per-OpInfo TransformOpDef cache for every op an action can
+  // execute, exactly as the sharded match walk warms its matchers: the lazy
+  // fill in lookupTransformOpDef must not race across workers.
+  for (Pair &P : Pairs)
+    if (P.Action)
+      P.Action->walk([](Operation *Nested) {
+        if (Nested->getDialectName() == "transform")
+          (void)lookupTransformOpDef(Nested);
+      });
+
+  TransformOptions ScratchOptions = Interp.getOptions();
+  ScratchOptions.Trace = false;
+  ScratchOptions.MatchShards = 1;  // No nested parallelism inside a worker.
+  ScratchOptions.CommitShards = 1;
+
+  // Runs one partition on the driver interpreter (pins live in the driver
+  // state already); used for barriers and single-partition waves.
+  auto RunSerialPartition = [&](const Partition &Part) -> DSF {
+    ++Interp.NumSerialCommitPartitions;
+    for (size_t I = Part.Begin; I < Part.End; ++I) {
+      const PinnedMatch &PM = Pinned[I];
+      if (isStaleMatch(State, PM))
+        continue;
+      DSF Result = Act(Interp, PM);
+      if (!Result.succeeded())
+        return Result;
+    }
+    return DSF::success();
+  };
+
+  // Runs the maximal run of parallel-safe partitions [WaveBegin, WaveEnd)
+  // concurrently: round-robin partitions over workers, each with a scratch
+  // interpreter whose state records payload-tracking events; after the join,
+  // per-partition diagnostics and events are replayed into the driver in
+  // walk order, so the merged outcome is byte-identical to serial.
+  auto RunWave = [&](size_t WaveBegin, size_t WaveEnd) -> DSF {
+    size_t WaveSize = WaveEnd - WaveBegin;
+    unsigned NumWorkers =
+        static_cast<unsigned>(std::min<size_t>(NumShards, WaveSize));
+
+    std::vector<std::unique_ptr<TransformInterpreter>> Workers;
+    for (unsigned W = 0; W < NumWorkers; ++W) {
+      Workers.push_back(std::make_unique<TransformInterpreter>(
+          PayloadRoot, ScriptRoot, ScratchOptions));
+      Workers.back()->getState().enableEventLog();
+    }
+    // Transfer the wave's pinned handles into the owning worker's state
+    // (single-threaded, before any worker starts): the staleness check and
+    // the client callback read them through the worker.
+    for (size_t K = 0; K < WaveSize; ++K) {
+      TransformState &WState = Workers[K % NumWorkers]->getState();
+      const Partition &Part = Partitions[WaveBegin + K];
+      for (size_t I = Part.Begin; I < Part.End; ++I) {
+        const PinnedMatch &PM = Pinned[I];
+        WState.adoptBinding(PM.CandidateHandle, State);
+        for (const PinnedSlot &Slot : PM.Slots)
+          if (Slot.Handle)
+            WState.adoptBinding(Slot.Handle, State);
+      }
+    }
+
+    // Each slot is written by exactly one worker; the merge reads them after
+    // the join.
+    std::vector<std::vector<Diagnostic>> PartDiags(WaveSize);
+    std::vector<std::vector<PayloadEvent>> PartEvents(WaveSize);
+    std::vector<DSF> PartResults(WaveSize, DSF::success());
+    // Earliest failed partition (wave-relative); workers skip partitions
+    // past it. Partitions *before* it always complete, so the merge can
+    // replay exactly what the serial commit would have done up to the
+    // failure point.
+    std::atomic<size_t> MinFailed{WaveSize};
+
+    auto RunWorker = [&](unsigned W) {
+      TransformInterpreter &Worker = *Workers[W];
+      ThreadDiagnosticCapture Capture;
+      for (size_t K = W; K < WaveSize; K += NumWorkers) {
+        if (K > MinFailed.load(std::memory_order_acquire))
+          continue;
+        Capture.clear();
+        const Partition &Part = Partitions[WaveBegin + K];
+        DSF PartResult = DSF::success();
+        for (size_t I = Part.Begin; I < Part.End; ++I) {
+          const PinnedMatch &PM = Pinned[I];
+          if (isStaleMatch(Worker.getState(), PM))
+            continue;
+          PartResult = Act(Worker, PM);
+          if (!PartResult.succeeded())
+            break;
+        }
+        PartDiags[K] = Capture.takeDiagnostics();
+        PartEvents[K] = Worker.getState().takeEvents();
+        if (!PartResult.succeeded()) {
+          PartResults[K] = std::move(PartResult);
+          size_t Cur = MinFailed.load(std::memory_order_acquire);
+          while (K < Cur && !MinFailed.compare_exchange_weak(
+                                Cur, K, std::memory_order_acq_rel))
+            ;
+        }
+      }
+    };
+
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumWorkers);
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Threads.emplace_back([&, W] { RunWorker(W); });
+    for (std::thread &T : Threads)
+      T.join();
+
+    for (std::unique_ptr<TransformInterpreter> &Worker : Workers) {
+      Interp.NumExecutedOps += Worker->NumExecutedOps;
+      Interp.NumMatcherInvocations += Worker->NumMatcherInvocations;
+    }
+
+    // Replay per-partition diagnostics and payload-tracking events into the
+    // driver in walk order, up to and including the earliest failing
+    // partition (its action ran, exactly as it would have serially; later
+    // partitions that raced ahead are dropped — the run aborts anyway).
+    size_t Failed = MinFailed.load(std::memory_order_acquire);
+    size_t ReplayEnd = Failed == WaveSize ? WaveSize : Failed + 1;
+    for (size_t K = 0; K < ReplayEnd; ++K) {
+      ++Interp.NumParallelCommitPartitions;
+      for (const Diagnostic &Diag : PartDiags[K])
+        DiagEngine.report(Diag);
+      for (const PayloadEvent &Event : PartEvents[K]) {
+        if (Event.EventKind == PayloadEvent::Kind::Replace)
+          State.replacePayloadOp(Event.Old, Event.Ops);
+        else
+          State.invalidateAliasesByIdentity(Event.Ops);
+      }
+    }
+    if (Failed != WaveSize)
+      return PartResults[Failed];
+    return DSF::success();
+  };
+
+  // --- Execute: serial partitions are in-order barriers; maximal runs of
+  // parallel-safe partitions form one concurrent wave each. A lone
+  // parallel-safe partition gains nothing from a worker thread and runs
+  // inline on the driver.
+  size_t P = 0;
+  while (P < Partitions.size()) {
+    if (!Partitions[P].SerialReason.empty()) {
+      DSF Result = RunSerialPartition(Partitions[P]);
+      if (!Result.succeeded())
+        return Result;
+      ++P;
       continue;
-    DSF Result = Act(PM);
-    if (!Result.succeeded())
-      return Result;
+    }
+    size_t WaveEnd = P;
+    while (WaveEnd < Partitions.size() &&
+           Partitions[WaveEnd].SerialReason.empty())
+      ++WaveEnd;
+    if (WaveEnd - P == 1) {
+      DSF Result = RunSerialPartition(Partitions[P]);
+      if (!Result.succeeded())
+        return Result;
+      ++P;
+      continue;
+    }
+    DSF WaveResult = RunWave(P, WaveEnd);
+    if (!WaveResult.succeeded())
+      return WaveResult;
+    P = WaveEnd;
   }
   return DSF::success();
 }

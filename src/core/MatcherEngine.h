@@ -25,14 +25,25 @@
 ///    returned, so the match set — and everything downstream — is
 ///    byte-identical to the single-threaded walk.
 ///
-///  * The **commit phase** is single-threaded. Every match is pinned under
-///    tracked synthetic handles *before* the first action runs, so the
-///    interpreter's consumption/invalidation rules and the TrackingListener
-///    pathway keep pending matches consistent while earlier actions rewrite
-///    payload. Matches whose candidate (or any forwarded op) was consumed,
-///    erased, or replaced by an earlier action are skipped as stale; each
-///    surviving match is handed to a per-client callback (execute an action
-///    sequence, apply a pattern set, ...).
+///  * The **commit phase** mutates payload and is parallel for the
+///    conflict-free common case. Every match is pinned under tracked
+///    synthetic handles *before* the first action runs, so the interpreter's
+///    consumption/invalidation rules and the TrackingListener pathway keep
+///    pending matches consistent while earlier actions rewrite payload.
+///    Matches whose candidate (or any forwarded op) was consumed, erased, or
+///    replaced by an earlier action are skipped as stale; each surviving
+///    match is handed to a per-client callback (execute an action sequence,
+///    apply a pattern set, ...). When `TransformOptions::CommitShards` > 1,
+///    the pinned matches are grouped into a *conflict partition*: contiguous
+///    runs of matches sharing the same top-level ancestor (the same
+///    per-root-child units the sharded walk distributes). A static locality
+///    analysis over each action body decides whether every action run stays
+///    inside its own partition's payload subtree; partitions that pass
+///    commit concurrently on worker threads, partitions that do not fall
+///    back to the serial path as in-order barriers. Per-worker diagnostics
+///    and payload-tracking events are merged back into serial walk order, so
+///    remarks, errors, and payload output are byte-identical to the serial
+///    commit at any shard count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -221,15 +232,31 @@ public:
   /// use this for driver-specific pins (root handles, forwarded results).
   Value pin(std::vector<Operation *> Ops);
 
+  /// Per-match commit callback. \p Worker is the interpreter whose state
+  /// holds the pinned handles for this invocation: the driver's own
+  /// interpreter on the serial path, a worker-thread scratch interpreter in
+  /// the parallel commit phase. Clients must read handles and execute action
+  /// bodies through \p Worker — never through a captured driver state — or
+  /// parallel commits would race on the driver's TransformState.
+  using CommitAction = std::function<DiagnosedSilenceableFailure(
+      TransformInterpreter &Worker, const PinnedMatch &PM)>;
+
   /// Commit phase. Pins every match (candidate + forwarded op values) up
-  /// front, then invokes \p Act on each match, in order, whose candidate
-  /// still maps to exactly the op the matcher approved and whose forwarded
-  /// op handles are all still live; stale matches are skipped. Stops at the
-  /// first failing action.
-  DiagnosedSilenceableFailure
-  commit(std::vector<Match> &Matches,
-         const std::function<DiagnosedSilenceableFailure(const PinnedMatch &)>
-             &Act);
+  /// front, then invokes \p Act on each match, in walk order, whose
+  /// candidate still maps to exactly the op the matcher approved and whose
+  /// forwarded op handles are all still live; stale matches are skipped.
+  /// Stops at the first failing action.
+  ///
+  /// With `TransformOptions::CommitShards` > 1 the matches are committed via
+  /// the conflict partition described in the file comment; the result —
+  /// payload, diagnostics, and failure — is byte-identical to the serial
+  /// commit. Clients whose callback mutates client-owned state that is not
+  /// safe to touch from worker threads (e.g. foreach_match pinning forwarded
+  /// results mid-commit) pass \p ClientRequiresSerial to force the serial
+  /// path regardless of the shard count.
+  DiagnosedSilenceableFailure commit(std::vector<Match> &Matches,
+                                     const CommitAction &Act,
+                                     bool ClientRequiresSerial = false);
 
 private:
   struct Pair {
@@ -244,7 +271,23 @@ private:
     /// the single walk cheap even with many pairs.
     std::vector<std::vector<OpSetElement>> PrefilterConjuncts;
     std::vector<Type> ForwardedTypes;
+    /// Lazily computed verdict of the commit-phase locality analysis over
+    /// the action body: empty when every run of the action provably stays
+    /// inside its candidate's payload subtree, otherwise the human-readable
+    /// reason partitions committing this pair must run serially.
+    std::string SerialReason;
+    bool SerialReasonAnalyzed = false;
   };
+
+  /// Returns (computing and caching on first use) the pair's locality
+  /// verdict; see Pair::SerialReason.
+  const std::string &actionSerialReason(size_t PairIdx);
+
+  /// The partitioned (parallel) commit path; only called when the shard
+  /// count, trace mode, client constraints, and match count all permit it.
+  DiagnosedSilenceableFailure
+  commitPartitioned(std::vector<PinnedMatch> &Pinned, const CommitAction &Act,
+                    unsigned NumShards);
 
   /// Offers \p Candidate to the pairs in order using the scratch
   /// interpreter \p Scratch and the walk worker's diagnostic capture;

@@ -96,30 +96,61 @@ void TransformState::consume(Value Handle) {
   Invalidated.insert(Handle.getImpl());
   if (It == HandleMap.end())
     return;
-  const std::vector<Operation *> &Consumed = It->second;
-  // Invalidate every handle pointing to the same payload ops or to ops
-  // nested within them (computed while the payload IR is still intact).
-  for (auto &[OtherImpl, OtherOps] : HandleMap) {
-    if (OtherImpl == Handle.getImpl() || Invalidated.count(OtherImpl))
-      continue;
-    bool Aliases = false;
-    for (Operation *Other : OtherOps) {
-      for (Operation *Mine : Consumed) {
-        if (Mine == Other || Mine->isAncestorOf(Other)) {
-          Aliases = true;
-          break;
-        }
-      }
-      if (Aliases)
-        break;
-    }
-    if (Aliases)
-      Invalidated.insert(OtherImpl);
+  // Snapshot the closure of the consumed payload — the ops themselves and
+  // everything nested within them — while the IR is still intact. Alias
+  // invalidation (and, on worker states, the replayable Consume event) then
+  // works by pointer identity over this set, so it never dereferences the
+  // ops again after the consuming transform may have freed them.
+  std::vector<Operation *> Closure;
+  for (Operation *Mine : It->second)
+    Mine->walk([&](Operation *Nested) { Closure.push_back(Nested); });
+  invalidateAliasesByIdentity(Closure);
+  if (EventLogEnabled) {
+    PayloadEvent Event;
+    Event.EventKind = PayloadEvent::Kind::Consume;
+    Event.Ops = std::move(Closure);
+    Events.push_back(std::move(Event));
   }
+}
+
+void TransformState::invalidateAliasesByIdentity(
+    const std::vector<Operation *> &Closure) {
+  std::set<const Operation *> InClosure(Closure.begin(), Closure.end());
+  for (auto &[OtherImpl, OtherOps] : HandleMap) {
+    if (Invalidated.count(OtherImpl))
+      continue;
+    for (Operation *Other : OtherOps) {
+      if (InClosure.count(Other)) {
+        Invalidated.insert(OtherImpl);
+        break;
+      }
+    }
+  }
+}
+
+void TransformState::adoptBinding(Value Handle, const TransformState &From) {
+  ValueImpl *Impl = Handle.getImpl();
+  auto HandleIt = From.HandleMap.find(Impl);
+  if (HandleIt != From.HandleMap.end())
+    HandleMap[Impl] = HandleIt->second;
+  auto ParamIt = From.ParamMap.find(Impl);
+  if (ParamIt != From.ParamMap.end())
+    ParamMap[Impl] = ParamIt->second;
+  if (From.Invalidated.count(Impl))
+    Invalidated.insert(Impl);
+  else
+    Invalidated.erase(Impl);
 }
 
 void TransformState::replacePayloadOp(
     Operation *Old, const std::vector<Operation *> &Replacements) {
+  if (EventLogEnabled) {
+    PayloadEvent Event;
+    Event.EventKind = PayloadEvent::Kind::Replace;
+    Event.Old = Old;
+    Event.Ops = Replacements;
+    Events.push_back(std::move(Event));
+  }
   for (auto &[Impl, Ops] : HandleMap) {
     if (Invalidated.count(Impl))
       continue;

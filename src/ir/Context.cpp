@@ -13,6 +13,7 @@ Context::~Context() = default;
 
 Dialect *Context::registerDialect(std::string_view Name,
                                   bool AllowsUnknownOps) {
+  std::unique_lock<std::shared_mutex> Lock(OpsMutex);
   auto [It, Inserted] = Dialects.try_emplace(std::string(Name));
   if (Inserted) {
     It->second.Name = std::string(Name);
@@ -24,6 +25,7 @@ Dialect *Context::registerDialect(std::string_view Name,
 }
 
 Dialect *Context::getDialect(std::string_view Name) {
+  std::shared_lock<std::shared_mutex> Lock(OpsMutex);
   auto It = Dialects.find(std::string(Name));
   return It == Dialects.end() ? nullptr : &It->second;
 }
@@ -33,12 +35,14 @@ const OpInfo *Context::registerOp(OpInfo Info) {
          "op name must be dialect-qualified");
   registerDialect(Info.getDialectName());
   std::string Name = Info.Name;
+  std::unique_lock<std::shared_mutex> Lock(OpsMutex);
   OpInfo &Slot = Ops[Name];
   Slot = std::move(Info);
   return &Slot;
 }
 
 const OpInfo *Context::lookupOpInfo(std::string_view Name) const {
+  std::shared_lock<std::shared_mutex> Lock(OpsMutex);
   auto It = Ops.find(Name);
   return It == Ops.end() ? nullptr : &It->second;
 }
@@ -59,12 +63,16 @@ const OpInfo *Context::getOrCreateOpInfo(std::string_view Name) {
   OpInfo Synth;
   Synth.Name = std::string(Name);
   Synth.IsUnregistered = true;
+  // try_emplace resolves the synthesize race: a concurrent thread that also
+  // failed the lookup above inserts first and we return its record.
+  std::unique_lock<std::shared_mutex> Lock(OpsMutex);
   auto [It, Inserted] = Ops.try_emplace(Synth.Name, std::move(Synth));
   (void)Inserted;
   return &It->second;
 }
 
 std::vector<std::string> Context::getRegisteredOpNames() const {
+  std::shared_lock<std::shared_mutex> Lock(OpsMutex);
   std::vector<std::string> Names;
   for (const auto &[Name, Info] : Ops)
     if (!Info.IsUnregistered)
@@ -72,9 +80,15 @@ std::vector<std::string> Context::getRegisteredOpNames() const {
   return Names;
 }
 
+// The four uniquers share one lock: keys are strings, storages are owned by
+// the pool, and the emplace below re-checks under the lock so a losing
+// concurrent Make() is simply discarded. Make() runs under the lock — storage
+// constructors never re-enter the uniquer with the same pool.
+
 const TypeStorage *Context::uniqueType(
     const std::string &Key,
     const std::function<std::unique_ptr<TypeStorage>()> &Make) {
+  std::lock_guard<std::mutex> Lock(UniquerMutex);
   auto It = TypePool.find(Key);
   if (It != TypePool.end())
     return It->second.get();
@@ -87,6 +101,7 @@ const TypeStorage *Context::uniqueType(
 const AttrStorage *Context::uniqueAttr(
     const std::string &Key,
     const std::function<std::unique_ptr<AttrStorage>()> &Make) {
+  std::lock_guard<std::mutex> Lock(UniquerMutex);
   auto It = AttrPool.find(Key);
   if (It != AttrPool.end())
     return It->second.get();
@@ -99,6 +114,7 @@ const AttrStorage *Context::uniqueAttr(
 const AffineExprStorage *Context::uniqueAffineExpr(
     const std::string &Key,
     const std::function<std::unique_ptr<AffineExprStorage>()> &Make) {
+  std::lock_guard<std::mutex> Lock(UniquerMutex);
   auto It = AffineExprPool.find(Key);
   if (It != AffineExprPool.end())
     return It->second.get();
@@ -111,6 +127,7 @@ const AffineExprStorage *Context::uniqueAffineExpr(
 const AffineMapStorage *Context::uniqueAffineMap(
     const std::string &Key,
     const std::function<std::unique_ptr<AffineMapStorage>()> &Make) {
+  std::lock_guard<std::mutex> Lock(UniquerMutex);
   auto It = AffineMapPool.find(Key);
   if (It != AffineMapPool.end())
     return It->second.get();

@@ -22,10 +22,13 @@
 #include "support/Diagnostics.h"
 #include "support/LogicalResult.h"
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -160,8 +163,10 @@ public:
       const std::function<std::unique_ptr<AffineMapStorage>()> &Make);
 
   /// Number of Operation objects currently alive in this context; used by
-  /// tests to detect leaks and double frees.
-  int64_t NumLiveOperations = 0;
+  /// tests to detect leaks and double frees. Atomic: worker threads in the
+  /// matcher engine's parallel commit phase create and destroy operations
+  /// concurrently.
+  std::atomic<int64_t> NumLiveOperations{0};
 
 private:
   DiagnosticEngine DiagEngine;
@@ -169,6 +174,11 @@ private:
 
   std::map<std::string, Dialect> Dialects;
   std::map<std::string, OpInfo, std::less<>> Ops;
+  /// Guards Ops (and Dialects, mutated only through registration). std::map
+  /// nodes are pointer-stable, so readers may keep OpInfo pointers across
+  /// unlock; the lock only protects the map structure itself. Shared: the
+  /// hot path (Operation::create -> getOrCreateOpInfo) is read-mostly.
+  mutable std::shared_mutex OpsMutex;
 
   std::unordered_map<std::string, std::unique_ptr<TypeStorage>> TypePool;
   std::unordered_map<std::string, std::unique_ptr<AttrStorage>> AttrPool;
@@ -176,6 +186,9 @@ private:
       AffineExprPool;
   std::unordered_map<std::string, std::unique_ptr<AffineMapStorage>>
       AffineMapPool;
+  /// One lock for all four uniquing pools: parallel commit workers intern
+  /// attributes/types while building replacement IR.
+  std::mutex UniquerMutex;
 };
 
 } // namespace tdl

@@ -8,6 +8,7 @@
 
 #include <deque>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 using namespace tdl;
@@ -31,10 +32,15 @@ struct LocationPool {
   std::map<std::tuple<int, std::string, unsigned, unsigned>,
            const Location::Storage *>
       Interned;
+  /// Worker threads intern locations (every InFlightDiagnostic and every op
+  /// created in the parallel commit phase carries one); the deque keeps
+  /// storage addresses stable, the lock keeps the index consistent.
+  std::mutex Lock;
 
   const Location::Storage *intern(Location::Storage Value) {
     auto Key = std::make_tuple(static_cast<int>(Value.Kind), Value.File,
                                Value.Line, Value.Col);
+    std::lock_guard<std::mutex> Guard(Lock);
     auto It = Interned.find(Key);
     if (It != Interned.end())
       return It->second;

@@ -193,6 +193,18 @@ public:
   const std::vector<Diagnostic> &getDiagnostics() const { return Captured; }
   /// Moves the captured diagnostics out (for replay after the capture ends).
   std::vector<Diagnostic> takeDiagnostics() { return std::move(Captured); }
+  /// Returns all captured messages joined with newlines (mirrors
+  /// ScopedDiagnosticCapture::allMessages for call sites that fold captured
+  /// text into a composed failure message).
+  std::string allMessages() const {
+    std::string Result;
+    for (const Diagnostic &Diag : Captured) {
+      if (!Result.empty())
+        Result += '\n';
+      Result += Diag.str();
+    }
+    return Result;
+  }
   /// Drops everything captured so far; a long-lived capture (one per walk
   /// worker) can be reset between matcher invocations instead of being
   /// reconstructed per invocation.

@@ -146,6 +146,7 @@ LogicalResult Session::run() {
     TransformOptions TransformOpts;
     TransformOpts.CheckConditions = Options.CheckConditions;
     TransformOpts.MatchShards = Options.MatchShards;
+    TransformOpts.CommitShards = Options.CommitShards;
     if (failed(applyTransforms(Payload.get(), Script.get(), TransformOpts)))
       return failure();
   }
@@ -157,6 +158,7 @@ LogicalResult Session::run() {
     strategy::DispatchOptions DispatchOpts;
     DispatchOpts.Transform.CheckConditions = Options.CheckConditions;
     DispatchOpts.Transform.MatchShards = Options.MatchShards;
+    DispatchOpts.Transform.CommitShards = Options.CommitShards;
     DispatchOpts.TuneBudget = Options.TuneBudget;
     FailureOr<strategy::DispatchResult> Result =
         Strategies.dispatch(Payload.get(), Options.Target, DispatchOpts);

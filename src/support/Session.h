@@ -62,6 +62,8 @@ struct RunOptions {
   int TuneBudget = 0;
   /// Matcher-engine walk shards (`--match-shards=`).
   unsigned MatchShards = 1;
+  /// Matcher-engine commit shards (`--commit-shards=`).
+  unsigned CommitShards = 1;
   /// Persistent tuning database (`--tuning-db=`; empty = none).
   std::string TuningDBPath;
   /// Never rewrite the tuning database (`--tuning-db-readonly`).

@@ -789,4 +789,277 @@ TEST_F(MatcherEngineTest, ApplyPatternsPerMatchSkipsStaleMatches) {
   EXPECT_EQ(countOps(Payload.get(), "arith.mulf"), 1);
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel commit phase
+//===----------------------------------------------------------------------===//
+
+/// One pair whose action annotates the matched loop and emits a remark: the
+/// payload edit and the diagnostic must both come back in serial walk order
+/// from the parallel commit.
+static const char *const CommitRemarkPairs = R"(
+  "transform.named_sequence"() ({
+  ^bb0(%op: !transform.any_op):
+    %0 = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "is_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%loop: !transform.any_op):
+    "transform.annotate"(%loop) {name = "committed_loop"}
+      : (!transform.any_op) -> ()
+    "transform.debug.emit_remark"(%loop) {message = "committed a loop"}
+      : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }) {sym_name = "mark_loop"} : () -> ()
+  "transform.named_sequence"() ({
+  ^bb0(%root: !transform.any_op):
+    %u = "transform.foreach_match"(%root)
+      {matchers = [@is_loop], actions = [@mark_loop]}
+      : (!transform.any_op) -> (!transform.any_op)
+    "transform.yield"() : () -> ()
+  }) {sym_name = "__transform_main"} : () -> ()
+)";
+
+TEST_F(MatcherEngineTest, CommitShardedOutputAndDiagnosticsByteIdentical) {
+  // Twelve conflict-free partitions (one per function): the printed module
+  // AND the full diagnostic stream must be byte-identical to the serial
+  // commit at every shard count, and the probe counters must show that the
+  // partitions actually committed on worker threads.
+  OwningOpRef Script = makeScriptModule(CommitRemarkPairs);
+  ASSERT_TRUE(Script);
+
+  std::string SerialText;
+  std::vector<std::string> SerialDiags;
+  {
+    OwningOpRef Payload = makeManyFuncPayload(12);
+    ASSERT_TRUE(Payload);
+    TransformOptions Options;
+    Options.CommitShards = 1;
+    ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+    TransformInterpreter Interp(Payload.get(), Script.get(), Options);
+    ASSERT_TRUE(succeeded(Interp.run()));
+    // Shards == 1 is the serial fast path: no partitioning at all.
+    EXPECT_EQ(Interp.NumParallelCommitPartitions, 0);
+    EXPECT_EQ(Interp.NumSerialCommitPartitions, 0);
+    EXPECT_EQ(countAttr(Payload.get(), "committed_loop"), 12);
+    SerialText = printed(Payload.get());
+    for (const Diagnostic &Diag : Capture.getDiagnostics())
+      SerialDiags.push_back(Diag.Message);
+    EXPECT_EQ(SerialDiags.size(), 12u);
+  }
+  for (unsigned NumShards : {2u, 4u, 7u}) {
+    OwningOpRef Payload = makeManyFuncPayload(12);
+    TransformOptions Options;
+    Options.CommitShards = NumShards;
+    ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+    TransformInterpreter Interp(Payload.get(), Script.get(), Options);
+    ASSERT_TRUE(succeeded(Interp.run()));
+    EXPECT_EQ(Interp.NumParallelCommitPartitions, 12)
+        << "conflict-free partitions must commit in parallel at shard count "
+        << NumShards;
+    EXPECT_EQ(Interp.NumSerialCommitPartitions, 0);
+    EXPECT_EQ(printed(Payload.get()), SerialText)
+        << "commit shard count " << NumShards
+        << " diverged from the serial commit";
+    std::vector<std::string> Diags;
+    for (const Diagnostic &Diag : Capture.getDiagnostics())
+      Diags.push_back(Diag.Message);
+    EXPECT_EQ(Diags, SerialDiags)
+        << "diagnostic replay at commit shard count " << NumShards
+        << " diverged from the serial commit";
+  }
+}
+
+TEST_F(MatcherEngineTest, CommitShardedConsumingActionsAreDeterministic) {
+  // Full unroll consumes the matched loop and splices new ops into its
+  // function: a payload-rewriting, handle-consuming action committed on a
+  // worker thread, with the consume/replace events replayed into the
+  // driver's state. Final IR must be byte-identical at every shard count.
+  static const char *const UnrollingPairs = R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.any_op):
+      "transform.loop.unroll"(%loop) {full} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "unroll_it"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@is_loop], actions = [@unroll_it]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )";
+  OwningOpRef Script = makeScriptModule(UnrollingPairs);
+  ASSERT_TRUE(Script);
+
+  std::string SerialText;
+  {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.CommitShards = 1;
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_TRUE(succeeded(verify(Payload.get())));
+    EXPECT_EQ(countOps(Payload.get(), "scf.for"), 0);
+    SerialText = printed(Payload.get());
+  }
+  for (unsigned NumShards : {2u, 4u, 7u}) {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.CommitShards = NumShards;
+    TransformInterpreter Interp(Payload.get(), Script.get(), Options);
+    ASSERT_TRUE(succeeded(Interp.run()));
+    EXPECT_TRUE(succeeded(verify(Payload.get())));
+    EXPECT_EQ(Interp.NumParallelCommitPartitions, 6)
+        << "consuming actions inside a partition are still conflict-free";
+    EXPECT_EQ(Interp.NumSerialCommitPartitions, 0);
+    EXPECT_EQ(printed(Payload.get()), SerialText)
+        << "commit shard count " << NumShards
+        << " diverged from the serial commit";
+  }
+}
+
+TEST_F(MatcherEngineTest, CommitCrossPartitionHandleForcesSerialFallback) {
+  // get_parent_op escapes the static locality analysis (its result can
+  // reach any ancestor, including ops outside the partition's subtree), so
+  // every partition must fall back to the in-order serial commit — and the
+  // output must still match the serial run exactly.
+  static const char *const ParentMarkingPairs = R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["scf.for"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_loop"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%loop: !transform.any_op):
+      %parent = "transform.get_parent_op"(%loop)
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.annotate"(%parent) {name = "parent_marked"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "mark_parent"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@is_loop], actions = [@mark_parent]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )";
+  OwningOpRef Script = makeScriptModule(ParentMarkingPairs);
+  ASSERT_TRUE(Script);
+
+  std::string SerialText;
+  {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.CommitShards = 1;
+    ASSERT_TRUE(
+        succeeded(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_EQ(countAttr(Payload.get(), "parent_marked"), 6);
+    SerialText = printed(Payload.get());
+  }
+  {
+    OwningOpRef Payload = makeManyFuncPayload(6);
+    TransformOptions Options;
+    Options.CommitShards = 4;
+    TransformInterpreter Interp(Payload.get(), Script.get(), Options);
+    ASSERT_TRUE(succeeded(Interp.run()));
+    EXPECT_EQ(Interp.NumParallelCommitPartitions, 0)
+        << "a cross-partition handle must disqualify parallel commit";
+    EXPECT_EQ(Interp.NumSerialCommitPartitions, 6);
+    EXPECT_EQ(countAttr(Payload.get(), "parent_marked"), 6);
+    EXPECT_EQ(printed(Payload.get()), SerialText);
+  }
+}
+
+TEST_F(MatcherEngineTest, CommitShardedErrorReplaysEarlierPartitionRemarks) {
+  // Six functions: three addf functions (remark action), then one mulf
+  // function whose action is a definite error, then two more addf
+  // functions. The serial commit emits three remarks and stops at the
+  // error; the parallel commit may race ahead on workers, but its replay
+  // must surface exactly the same three remarks and the error — nothing
+  // from partitions after the failure point.
+  auto MakeAddFunc = [](int N) {
+    return R"(
+      "func.func"() ({
+      ^bb0(%x: f64):
+        %a = "arith.addf"(%x, %x) : (f64, f64) -> (f64)
+        "func.return"(%a) : (f64) -> ()
+      }) {sym_name = "f)" +
+           std::to_string(N) + R"(", function_type = (f64) -> f64} : () -> ()
+    )";
+  };
+  std::string Funcs = MakeAddFunc(0) + MakeAddFunc(1) + MakeAddFunc(2) + R"(
+    "func.func"() ({
+    ^bb0(%x: f64):
+      %m = "arith.mulf"(%x, %x) : (f64, f64) -> (f64)
+      "func.return"(%m) : (f64) -> ()
+    }) {sym_name = "boom", function_type = (f64) -> f64} : () -> ()
+  )" + MakeAddFunc(3) + MakeAddFunc(4);
+
+  static const char *const RemarkThenBrokenAction = R"(
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["arith.addf"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_add"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%add: !transform.any_op):
+      "transform.debug.emit_remark"(%add) {message = "acting on an add"}
+        : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) {sym_name = "remark_add"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%op: !transform.any_op):
+      %0 = "transform.match.operation_name"(%op) {op_names = ["arith.mulf"]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "is_mul"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%mul: !transform.any_op):
+      %0 = "transform.match.operation_name"(%mul) {}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "broken_action"} : () -> ()
+    "transform.named_sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %u = "transform.foreach_match"(%root)
+        {matchers = [@is_add, @is_mul],
+         actions = [@remark_add, @broken_action]}
+        : (!transform.any_op) -> (!transform.any_op)
+      "transform.yield"() : () -> ()
+    }) {sym_name = "__transform_main"} : () -> ()
+  )";
+  OwningOpRef Script = makeScriptModule(RemarkThenBrokenAction);
+  ASSERT_TRUE(Script);
+
+  for (unsigned NumShards : {1u, 2u, 4u, 7u}) {
+    OwningOpRef Payload = parseSourceString(
+        Ctx, "\"builtin.module\"() ({" + Funcs + "}) : () -> ()");
+    ASSERT_TRUE(Payload);
+    TransformOptions Options;
+    Options.CommitShards = NumShards;
+    ScopedDiagnosticCapture Capture(Ctx.getDiagEngine());
+    EXPECT_TRUE(
+        failed(applyTransforms(Payload.get(), Script.get(), Options)));
+    EXPECT_TRUE(Capture.contains("op_names"))
+        << "commit shard count " << NumShards;
+    int64_t Remarks = 0;
+    for (const Diagnostic &Diag : Capture.getDiagnostics())
+      Remarks += Diag.Message.find("acting on an add") != std::string::npos;
+    EXPECT_EQ(Remarks, 3)
+        << "commit shard count " << NumShards
+        << " must replay exactly the remarks before the failure point";
+  }
+}
+
 } // namespace

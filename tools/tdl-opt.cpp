@@ -23,6 +23,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 using namespace tdl;
 
@@ -77,11 +78,19 @@ int usage(const char *Argv0) {
          << "  --check-pipeline=<p1,p2,..>  static pre/post-condition check\n"
          << "  --check-conditions           dynamic contract checks while\n"
          << "                               interpreting lowering transforms\n"
-         << "  --match-shards=<N>           shard the matcher-engine payload\n"
+         << "  --match-shards=<N|auto>      shard the matcher-engine payload\n"
          << "                               walk (foreach_match,\n"
          << "                               collect_matching) across N worker\n"
-         << "                               threads; output is identical to\n"
-         << "                               the serial walk (default 1)\n"
+         << "                               threads ('auto' = hardware\n"
+         << "                               concurrency); output is identical\n"
+         << "                               to the serial walk (default 1)\n"
+         << "  --commit-shards=<N|auto>     commit conflict-free matcher-\n"
+         << "                               engine partitions (grouped per\n"
+         << "                               top-level payload child) on N\n"
+         << "                               worker threads ('auto' = hardware\n"
+         << "                               concurrency); payload and\n"
+         << "                               diagnostics stay byte-identical\n"
+         << "                               to the serial commit (default 1)\n"
          << "  --no-verify                  skip the final verifier run\n"
          << "  --quiet                      do not print the final IR\n";
   return 2;
@@ -122,6 +131,25 @@ int runMergeMode(const std::string &MergeSpec, const std::string &OutPath,
   return 0;
 }
 
+/// Parses a shard-count option value: a plain integer or 'auto', which
+/// resolves to the hardware concurrency (clamped to the accepted range, and
+/// to 1 when the runtime cannot tell). Returns false on malformed or
+/// out-of-range input.
+bool parseShardCount(const std::string &Text, unsigned &Out) {
+  constexpr unsigned MaxShards = 256;
+  if (Text == "auto") {
+    unsigned Detected = std::thread::hardware_concurrency();
+    Out = std::min(std::max(Detected, 1u), MaxShards);
+    return true;
+  }
+  char *End = nullptr;
+  unsigned long Parsed = std::strtoul(Text.c_str(), &End, 10);
+  if (Text.empty() || *End != '\0' || Parsed == 0 || Parsed > MaxShards)
+    return false;
+  Out = static_cast<unsigned>(Parsed);
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -132,6 +160,7 @@ int main(int argc, char **argv) {
   std::string MergeSpec;
   std::string TuneBudgetText;
   std::string MatchShardsText;
+  std::string CommitShardsText;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -174,15 +203,21 @@ int main(int argc, char **argv) {
       continue;
     }
     if (Consume("--match-shards=", MatchShardsText)) {
-      char *End = nullptr;
-      unsigned long Parsed = std::strtoul(MatchShardsText.c_str(), &End, 10);
-      if (MatchShardsText.empty() || *End != '\0' || Parsed == 0 ||
-          Parsed > 256) {
-        errs() << "error: --match-shards expects an integer in [1, 256], got '"
+      if (!parseShardCount(MatchShardsText, Options.MatchShards)) {
+        errs() << "error: --match-shards expects an integer in [1, 256] or "
+                  "'auto', got '"
                << MatchShardsText << "'\n";
         return usage(argv[0]);
       }
-      Options.MatchShards = static_cast<unsigned>(Parsed);
+      continue;
+    }
+    if (Consume("--commit-shards=", CommitShardsText)) {
+      if (!parseShardCount(CommitShardsText, Options.CommitShards)) {
+        errs() << "error: --commit-shards expects an integer in [1, 256] or "
+                  "'auto', got '"
+               << CommitShardsText << "'\n";
+        return usage(argv[0]);
+      }
       continue;
     }
     if (Arg == "--dump-library-symbols")
