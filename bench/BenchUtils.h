@@ -7,6 +7,8 @@
 #ifndef TDL_BENCH_BENCHUTILS_H
 #define TDL_BENCH_BENCHUTILS_H
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -79,6 +81,24 @@ public:
 
   void metric(const std::string &Key, int Value) {
     metric(Key, (long long)Value);
+  }
+
+  /// Folds a metrics snapshot into the report: every counter under its
+  /// registry name, every duration as `<name>.count` / `<name>.total_ms`.
+  /// The shared path for bench counter emission — benches stop hand-copying
+  /// probe fields one by one.
+  void addMetricsSnapshot(const telemetry::MetricsSnapshot &Snapshot) {
+    for (const auto &[Key, Value] : Snapshot.Counters)
+      metric(Key, (long long)Value);
+    for (const auto &[Key, Value] : Snapshot.Durations) {
+      metric(Key + ".count", (long long)Value.Count);
+      metric(Key + ".total_ms", (double)Value.TotalNanos / 1e6);
+    }
+  }
+
+  /// Convenience: snapshot the process-wide registry right now.
+  void addMetricsSnapshot() {
+    addMetricsSnapshot(telemetry::MetricsRegistry::instance().snapshot());
   }
 
   ~JsonReport() {

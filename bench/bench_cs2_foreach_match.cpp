@@ -410,6 +410,10 @@ static void runShardSweep(int NumFuncs, const std::vector<unsigned> &Shards,
                     static_cast<long long>(Serial));
     }
   }
+
+  // Process-wide registry totals across the whole sweep, alongside the
+  // per-configuration instance counters above.
+  Report.addMetricsSnapshot();
 }
 
 /// The hot-category matchers alone, packaged as a transform library the
@@ -660,8 +664,15 @@ int main(int argc, char **argv) {
               "matcher runs");
 
   if (Smoke) {
+    // The smoke rows double as the observability check: collect spans
+    // across both rows and print the --profile-style attribution table
+    // (CI greps the transform-op rows and the attribution percentage).
+    telemetry::SpanCollector::instance().start();
     runRow(/*NumFuncs=*/2, /*NumCold=*/0, /*Repeats=*/1);
     runRow(/*NumFuncs=*/2, /*NumCold=*/5, /*Repeats=*/1);
+    std::vector<telemetry::Span> Spans =
+        telemetry::SpanCollector::instance().finish();
+    telemetry::renderProfile(Spans, outs());
     return 0;
   }
 

@@ -214,6 +214,7 @@ int main(int argc, char **argv) {
   Report.metric("structured_us_per_run", *StructuredCost * 1e6);
   Report.metric("lowered_us_per_run", *LoweredCost * 1e6);
   Report.metric("lowered_over_structured", *LoweredCost / *StructuredCost);
+  Report.addMetricsSnapshot();
 
   std::remove(LibPath.c_str());
   ::rmdir(Dir.c_str());

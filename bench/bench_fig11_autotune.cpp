@@ -190,5 +190,6 @@ int main(int argc, char **argv) {
   Report.metric("baseline_s", Baseline);
   Report.metric("best_s", Best.Cost);
   Report.metric("speedup", Baseline / Best.Cost);
+  Report.addMetricsSnapshot();
   return 0;
 }

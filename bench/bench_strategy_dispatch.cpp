@@ -326,12 +326,10 @@ int main(int argc, char **argv) {
   Report.metric("cache_speedup", MissSeconds / HitSeconds);
   Report.metric("tuned_dispatch_us", TunedSeconds * 1e6);
   Report.metric("tuned_evaluations", (long long)TunedEvaluations);
-  Report.metric("tuning_db_hits",
-                (long long)TunedStrategies.getNumTuningDBHits());
-  Report.metric("tuning_db_stale",
-                (long long)TunedStrategies.getNumTuningDBStale());
-  Report.metric("tuning_db_misses",
-                (long long)TunedStrategies.getNumTuningDBMisses());
+  // The tuning-db counters (strategy.tuning_db.hits / .stale / .misses) and
+  // every other probe come from the shared registry snapshot instead of
+  // being hand-copied field by field.
+  Report.addMetricsSnapshot();
 
   for (const std::string &Path : Written)
     std::remove(Path.c_str());

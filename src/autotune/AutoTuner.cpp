@@ -6,6 +6,8 @@
 
 #include "autotune/AutoTuner.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 
 using namespace tdl;
@@ -140,7 +142,18 @@ AutoTuner::optimize(const TuningRequest &Request) {
   auto Evaluate = [&](std::vector<int64_t> Config) {
     Evaluation E;
     E.Config = Config;
-    E.Cost = Request.Objective(Config);
+    {
+      static telemetry::Counter &Evaluations =
+          telemetry::counter("autotune.evaluations");
+      Evaluations.add();
+      static telemetry::DurationStat &EvalStat =
+          telemetry::duration("autotune.evaluation");
+      telemetry::ScopedTimer EvalTimer(EvalStat);
+      telemetry::ScopedSpan EvalSpan("autotune:evaluation", "autotune");
+      EvalSpan.arg("evaluation",
+                   static_cast<int64_t>(History.size()));
+      E.Cost = Request.Objective(Config);
+    }
     Seen.insert(std::move(Config));
     History.push_back(E);
     if (E.Cost < Best.Cost)

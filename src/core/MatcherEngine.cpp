@@ -8,6 +8,7 @@
 
 #include "core/TransformLibrary.h"
 #include "ir/SymbolTable.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <atomic>
@@ -246,8 +247,14 @@ FailureOr<bool> MatcherEngine::evaluateApplicability(
     ScriptRoot->emitError() << Added.getMessage();
     return failure();
   }
+  static telemetry::Counter &ApplicabilityQueries =
+      telemetry::counter("engine.applicability_queries");
+  ApplicabilityQueries.add();
   std::vector<Match> Matches;
   DSF Result = Engine.match({PayloadRoot}, /*RestrictRoot=*/false, Matches);
+  // The query never commits, so run()'s end-of-interpretation flush is not
+  // reached; drain the merged matcher trace here.
+  Scratch.flushTraceLog();
   if (Result.isDefinite()) {
     ScriptRoot->emitError() << Result.getMessage();
     return failure();
@@ -290,9 +297,18 @@ DSF MatcherEngine::tryCandidate(TransformInterpreter &Scratch,
     Block &MatcherBody = ThePair.Matcher->getRegion(0).front();
     Scratch.getState().setPayload(MatcherBody.getArgument(0), {Candidate});
     ++Scratch.NumMatcherInvocations;
+    static telemetry::Counter &MatcherInvocations =
+        telemetry::counter("interp.matcher_invocations");
+    MatcherInvocations.add();
     DSF MatchResult = DSF::success();
     std::vector<Diagnostic> MatcherDiags;
     {
+      std::string SpanName;
+      if (telemetry::spansActive())
+        SpanName =
+            "matcher:@" + std::string(getSymbolName(ThePair.Matcher));
+      telemetry::ScopedSpan MatcherSpan(SpanName, "matcher");
+      MatcherSpan.arg("payload_op", Candidate->getName());
       TransformInterpreter::MatcherScope Scope(Scratch);
       // Matcher failures are the expected "not this op" signal, so their
       // diagnostics are silenced; diagnostics of a matcher that succeeds
@@ -387,10 +403,18 @@ DSF MatcherEngine::match(const std::vector<Operation *> &Roots,
   NumShards = static_cast<unsigned>(
       std::min<size_t>(NumShards, Units.size()));
 
-  // Per-unit match lists are written by exactly one worker each, so the
-  // sharded walk needs no locking; the merge below reassembles serial walk
-  // order deterministically from them.
+  static telemetry::DurationStat &MatchStat =
+      telemetry::duration("engine.match");
+  telemetry::ScopedTimer MatchTimer(MatchStat);
+  telemetry::ScopedSpan MatchSpan("engine:match", "engine");
+  MatchSpan.arg("units", static_cast<int64_t>(Units.size()));
+  MatchSpan.arg("shards", static_cast<int64_t>(NumShards));
+
+  // Per-unit match lists (and trace-line buffers) are written by exactly
+  // one worker each, so the sharded walk needs no locking; the merge below
+  // reassembles serial walk order deterministically from them.
   std::vector<std::vector<Match>> PerUnit(Units.size());
+  std::vector<std::string> PerUnitTrace(Units.size());
   std::vector<WorkerOutcome> Outcomes(NumShards);
 
   Operation *PayloadRoot = Interp.getState().getPayloadRoot();
@@ -398,6 +422,8 @@ DSF MatcherEngine::match(const std::vector<Operation *> &Roots,
   TransformOptions ScratchOptions = Interp.getOptions();
 
   auto RunWorker = [&](unsigned Shard, TransformInterpreter &Scratch) {
+    telemetry::ScopedSpan ShardSpan("match:walk-shard", "engine");
+    ShardSpan.arg("shard", static_cast<int64_t>(Shard));
     // Visited spans all of this worker's units: an op reachable from two of
     // them (nested or duplicate roots) is offered once, like the serial
     // walk; cross-worker duplicates are dropped at merge time.
@@ -424,12 +450,15 @@ DSF MatcherEngine::match(const std::vector<Operation *> &Roots,
         }
         return WalkResult::Advance;
       };
-      if (!Units[U].Recurse) {
-        if (Offer(Units[U].Root) == WalkResult::Interrupt)
-          return;
-      } else if (Units[U].Root->walkPre(Offer) == WalkResult::Interrupt) {
+      WalkResult UnitResult = Units[U].Recurse
+                                  ? Units[U].Root->walkPre(Offer)
+                                  : Offer(Units[U].Root);
+      // Drain after the walk outcome is known: an erroring unit's partial
+      // trace is exactly what the serial walk would have printed before the
+      // failure, and the merge replays it up to StopUnit.
+      PerUnitTrace[U] = Scratch.takeTraceLog();
+      if (UnitResult == WalkResult::Interrupt)
         return;
-      }
     }
   };
 
@@ -450,8 +479,6 @@ DSF MatcherEngine::match(const std::vector<Operation *> &Roots,
         if (Nested->getDialectName() == "transform")
           (void)lookupTransformOpDef(Nested);
       });
-    // Tracing interleaves arbitrarily across workers; keep it serial-only.
-    ScratchOptions.Trace = false;
     std::vector<std::unique_ptr<TransformInterpreter>> Scratches;
     for (unsigned S = 0; S < NumShards; ++S)
       Scratches.push_back(std::make_unique<TransformInterpreter>(
@@ -483,6 +510,7 @@ DSF MatcherEngine::match(const std::vector<Operation *> &Roots,
   DiagnosticEngine &DiagEngine = DriverOp->getContext().getDiagEngine();
   std::set<Operation *> Claimed;
   for (size_t U = 0; U < Units.size() && U <= StopUnit; ++U) {
+    Interp.appendTraceLog(PerUnitTrace[U]);
     for (Match &M : PerUnit[U]) {
       if (!Claimed.insert(M.Candidate).second)
         continue;
@@ -677,6 +705,11 @@ const std::string &MatcherEngine::actionSerialReason(size_t PairIdx) {
 DSF MatcherEngine::commit(std::vector<Match> &Matches, const CommitAction &Act,
                           bool ClientRequiresSerial) {
   TransformState &State = Interp.getState();
+  static telemetry::DurationStat &CommitStat =
+      telemetry::duration("engine.commit");
+  telemetry::ScopedTimer CommitTimer(CommitStat);
+  telemetry::ScopedSpan CommitSpan("engine:commit", "engine");
+  CommitSpan.arg("matches", static_cast<int64_t>(Matches.size()));
 
   // Pin every match before the first action runs: an early action may
   // consume, erase, or replace ops of a later match, and only pinned
@@ -699,13 +732,13 @@ DSF MatcherEngine::commit(std::vector<Match> &Matches, const CommitAction &Act,
     Pinned.push_back(std::move(PM));
   }
 
-  // Serial fast path: requested shard count, trace mode (interleaved traces
-  // are useless), a client whose callback is not thread-safe, or too few
-  // matches to partition. The conflict-analysis probe counters stay
-  // untouched here — they describe the partitioned path only.
+  // Serial fast path: requested shard count, a client whose callback is not
+  // thread-safe, or too few matches to partition. Tracing no longer forces
+  // this path: worker trace lines are buffered per partition and replayed
+  // in walk order, exactly like diagnostics. The conflict-analysis probe
+  // counters stay untouched here — they describe the partitioned path only.
   unsigned NumShards = std::max(1u, Interp.getOptions().CommitShards);
-  if (NumShards <= 1 || Interp.getOptions().Trace || ClientRequiresSerial ||
-      Pinned.size() <= 1) {
+  if (NumShards <= 1 || ClientRequiresSerial || Pinned.size() <= 1) {
     for (const PinnedMatch &PM : Pinned) {
       if (isStaleMatch(State, PM))
         continue;
@@ -815,7 +848,6 @@ DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
       });
 
   TransformOptions ScratchOptions = Interp.getOptions();
-  ScratchOptions.Trace = false;
   ScratchOptions.MatchShards = 1;  // No nested parallelism inside a worker.
   ScratchOptions.CommitShards = 1;
 
@@ -823,6 +855,11 @@ DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
   // state already); used for barriers and single-partition waves.
   auto RunSerialPartition = [&](const Partition &Part) -> DSF {
     ++Interp.NumSerialCommitPartitions;
+    static telemetry::Counter &SerialPartitions =
+        telemetry::counter("engine.commit.serial_partitions");
+    SerialPartitions.add();
+    telemetry::ScopedSpan PartSpan("commit:serial-partition", "engine");
+    PartSpan.arg("matches", static_cast<int64_t>(Part.End - Part.Begin));
     for (size_t I = Part.Begin; I < Part.End; ++I) {
       const PinnedMatch &PM = Pinned[I];
       if (isStaleMatch(State, PM))
@@ -843,6 +880,9 @@ DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
     size_t WaveSize = WaveEnd - WaveBegin;
     unsigned NumWorkers =
         static_cast<unsigned>(std::min<size_t>(NumShards, WaveSize));
+    telemetry::ScopedSpan WaveSpan("commit:wave", "engine");
+    WaveSpan.arg("partitions", static_cast<int64_t>(WaveSize));
+    WaveSpan.arg("workers", static_cast<int64_t>(NumWorkers));
 
     std::vector<std::unique_ptr<TransformInterpreter>> Workers;
     for (unsigned W = 0; W < NumWorkers; ++W) {
@@ -868,6 +908,7 @@ DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
     // Each slot is written by exactly one worker; the merge reads them after
     // the join.
     std::vector<std::vector<Diagnostic>> PartDiags(WaveSize);
+    std::vector<std::string> PartTrace(WaveSize);
     std::vector<std::vector<PayloadEvent>> PartEvents(WaveSize);
     std::vector<DSF> PartResults(WaveSize, DSF::success());
     // Earliest failed partition (wave-relative); workers skip partitions
@@ -878,12 +919,16 @@ DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
 
     auto RunWorker = [&](unsigned W) {
       TransformInterpreter &Worker = *Workers[W];
+      telemetry::ScopedSpan WorkerSpan("commit:worker", "engine");
+      WorkerSpan.arg("worker", static_cast<int64_t>(W));
       ThreadDiagnosticCapture Capture;
       for (size_t K = W; K < WaveSize; K += NumWorkers) {
         if (K > MinFailed.load(std::memory_order_acquire))
           continue;
         Capture.clear();
         const Partition &Part = Partitions[WaveBegin + K];
+        telemetry::ScopedSpan PartSpan("commit:partition", "engine");
+        PartSpan.arg("matches", static_cast<int64_t>(Part.End - Part.Begin));
         DSF PartResult = DSF::success();
         for (size_t I = Part.Begin; I < Part.End; ++I) {
           const PinnedMatch &PM = Pinned[I];
@@ -894,6 +939,7 @@ DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
             break;
         }
         PartDiags[K] = Capture.takeDiagnostics();
+        PartTrace[K] = Worker.takeTraceLog();
         PartEvents[K] = Worker.getState().takeEvents();
         if (!PartResult.succeeded()) {
           PartResults[K] = std::move(PartResult);
@@ -925,6 +971,10 @@ DSF MatcherEngine::commitPartitioned(std::vector<PinnedMatch> &Pinned,
     size_t ReplayEnd = Failed == WaveSize ? WaveSize : Failed + 1;
     for (size_t K = 0; K < ReplayEnd; ++K) {
       ++Interp.NumParallelCommitPartitions;
+      static telemetry::Counter &ParallelPartitions =
+          telemetry::counter("engine.commit.parallel_partitions");
+      ParallelPartitions.add();
+      Interp.appendTraceLog(PartTrace[K]);
       for (const Diagnostic &Diag : PartDiags[K])
         DiagEngine.report(Diag);
       for (const PayloadEvent &Event : PartEvents[K]) {

@@ -34,6 +34,7 @@
 namespace tdl {
 
 class TransformInterpreter;
+class raw_ostream;
 
 //===----------------------------------------------------------------------===//
 // DiagnosedSilenceableFailure
@@ -302,8 +303,12 @@ struct TransformOptions {
   /// Dynamically check lowering-transform pre-/post-conditions (Section
   /// 3.3, "Checking Pre- and Post-Conditions Dynamically").
   bool CheckConditions = false;
-  /// Print each transform op before applying it.
+  /// Print each transform op before applying it. Trace lines are buffered
+  /// per interpreter and merged back into serial walk order by the engine's
+  /// sharded phases, so the output is byte-identical at any shard count.
   bool Trace = false;
+  /// Where trace lines go. Null means errs().
+  raw_ostream *TraceStream = nullptr;
   /// Treat a silenceable failure surviving to the top level as an error.
   bool FailOnSilenceable = true;
   /// Number of worker threads for the MatcherEngine's payload walk
@@ -383,10 +388,21 @@ public:
   /// Conflict-analysis probe counters for the parallel commit phase
   /// (CommitShards > 1): partitions committed concurrently on worker
   /// threads vs. partitions that fell back to the serial in-order path.
-  /// Untouched when the serial fast path runs (shards <= 1, tracing, or a
-  /// client that requires serial commit).
+  /// Untouched when the serial fast path runs (shards <= 1 or a client
+  /// that requires serial commit).
   int64_t NumParallelCommitPartitions = 0;
   int64_t NumSerialCommitPartitions = 0;
+
+  /// Buffered `[transform] <op>` lines (TransformOptions::Trace). Scratch
+  /// interpreters on engine worker threads buffer privately; the engine
+  /// drains per-unit (match) or per-partition (commit) and replays the
+  /// pieces in serial walk order, so the merged trace is byte-identical to
+  /// the single-threaded run. The driver flushes once at the end of run().
+  std::string takeTraceLog() { return std::move(TraceLog); }
+  void appendTraceLog(std::string_view Text) { TraceLog += Text; }
+  /// Writes the buffered lines to TransformOptions::TraceStream (errs()
+  /// when unset) and clears the buffer.
+  void flushTraceLog();
 
 private:
   Operation *PayloadRoot;
@@ -394,6 +410,7 @@ private:
   TransformOptions Options;
   TransformState State;
   bool MatcherMode = false;
+  std::string TraceLog;
 };
 
 /// One-call entry point: interprets \p Script (a named_sequence /sequence op

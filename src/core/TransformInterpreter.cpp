@@ -12,6 +12,7 @@
 #include "ir/SymbolTable.h"
 #include "pass/Pass.h"
 #include "support/STLExtras.h"
+#include "support/Telemetry.h"
 
 using namespace tdl;
 
@@ -258,7 +259,14 @@ LogicalResult TransformInterpreter::run() {
     State.setPayload(Body.getArgument(0), {PayloadRoot});
   }
 
-  DiagnosedSilenceableFailure Result = executeBlock(Body);
+  DiagnosedSilenceableFailure Result = DiagnosedSilenceableFailure::success();
+  {
+    static telemetry::DurationStat &RunStat = telemetry::duration("interp.run");
+    telemetry::ScopedTimer Timer(RunStat);
+    telemetry::ScopedSpan RunSpan("interp:run", "interp");
+    Result = executeBlock(Body);
+  }
+  flushTraceLog();
   if (Result.succeeded())
     return success();
   if (Result.isSilenceable() && !Options.FailOnSilenceable) {
@@ -282,10 +290,43 @@ DiagnosedSilenceableFailure TransformInterpreter::executeBlock(Block &B) {
   return DiagnosedSilenceableFailure::success();
 }
 
+void TransformInterpreter::flushTraceLog() {
+  if (TraceLog.empty())
+    return;
+  raw_ostream &OS = Options.TraceStream ? *Options.TraceStream : errs();
+  OS << TraceLog;
+  TraceLog.clear();
+}
+
 DiagnosedSilenceableFailure TransformInterpreter::executeOp(Operation *Op) {
   ++NumExecutedOps;
-  if (Options.Trace)
-    errs() << "[transform] " << Op->getName() << "\n";
+  static telemetry::Counter &ExecutedOps =
+      telemetry::counter("interp.executed_ops");
+  ExecutedOps.add();
+  if (Options.Trace) {
+    // Buffered, not written: engine shards drain and replay these per
+    // unit/partition so the merged trace is deterministic (see flushTraceLog).
+    TraceLog += "[transform] ";
+    TraceLog += Op->getName();
+    TraceLog += '\n';
+  }
+  telemetry::ScopedSpan OpSpan(Op->getName(), "transform-op");
+  if (OpSpan.isActive()) {
+    int64_t HandleOperands = 0, PayloadOps = 0;
+    for (unsigned I = 0; I < Op->getNumOperands(); ++I) {
+      if (!isTransformHandleType(Op->getOperand(I).getType()))
+        continue;
+      ++HandleOperands;
+      PayloadOps +=
+          static_cast<int64_t>(State.getPayloadOps(Op->getOperand(I)).size());
+    }
+    OpSpan.arg("handles", HandleOperands);
+    OpSpan.arg("payload_ops", PayloadOps);
+    if (Op->getNumOperands() > 0 &&
+        !State.getPayloadOps(Op->getOperand(0)).empty())
+      OpSpan.arg("payload_op",
+                 State.getPayloadOps(Op->getOperand(0)).front()->getName());
+  }
 
   const TransformOpDef *Def = lookupTransformOpDef(Op);
   if (!Def || !Def->Apply)

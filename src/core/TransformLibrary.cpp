@@ -14,6 +14,7 @@
 #include "ir/Verifier.h"
 #include "support/STLExtras.h"
 #include "support/Stream.h"
+#include "support/Telemetry.h"
 
 #include <cstdlib>
 #include <mutex>
@@ -132,6 +133,11 @@ LogicalResult
 TransformLibraryManager::loadLibraryFileImpl(std::string_view Path,
                                              std::vector<std::string> &LoadStack) {
   ++NumLoadRequests;
+  static telemetry::Counter &LoadRequests =
+      telemetry::counter("library.load_requests");
+  LoadRequests.add();
+  telemetry::ScopedSpan LoadSpan("library:load", "library");
+  LoadSpan.arg("path", Path);
   std::string Content;
   std::string Found = findAndRead(std::string(Path), Content);
   if (Found.empty())
@@ -157,8 +163,18 @@ TransformLibraryManager::loadLibraryFileImpl(std::string_view Path,
   if (It != Files.end() && It->second.ContentHash == Hash)
     return success(); // cache hit: parsed and checked once already
 
-  OwningOpRef Module = parseSourceString(Ctx, Content, Found);
+  OwningOpRef Module;
+  {
+    static telemetry::DurationStat &ParseStat =
+        telemetry::duration("library.parse");
+    telemetry::ScopedTimer ParseTimer(ParseStat);
+    telemetry::ScopedSpan ParseSpan("library:parse", "library");
+    ParseSpan.arg("path", Found);
+    Module = parseSourceString(Ctx, Content, Found);
+  }
   ++NumParses;
+  static telemetry::Counter &Parses = telemetry::counter("library.parses");
+  Parses.add();
   if (!Module)
     return failure(); // parse diagnostics already emitted
   if (failed(verify(Module.get())))

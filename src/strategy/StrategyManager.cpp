@@ -12,6 +12,7 @@
 #include "loops/LoopUtils.h"
 #include "support/STLExtras.h"
 #include "support/Stream.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <dirent.h>
@@ -147,6 +148,9 @@ StrategyManager::rankApplicable(Operation *Payload, std::string_view Target,
   for (size_t Idx : It->second) {
     const RegisteredStrategy *S = Strategies[Idx].get();
     if (S->Manifest.Applies) {
+      static telemetry::Counter &ApplicabilityQueries =
+          telemetry::counter("strategy.applicability_queries");
+      ApplicabilityQueries.add();
       FailureOr<bool> Applicable = MatcherEngine::evaluateApplicability(
           Payload, S->Manifest.Library, "applies", Options,
           "strategy-dispatch");
@@ -174,6 +178,9 @@ FailureOr<StrategyManager::Selection>
 StrategyManager::select(Operation *Payload, std::string_view Target,
                         const TransformOptions &Options) {
   ++NumSelectQueries;
+  static telemetry::Counter &SelectQueries =
+      telemetry::counter("strategy.select_queries");
+  SelectQueries.add();
   std::pair<uint64_t, std::string> Key{fingerprintPayload(Payload),
                                        std::string(Target)};
   auto Cached = SelectionCache.find(Key);
@@ -183,6 +190,9 @@ StrategyManager::select(Operation *Payload, std::string_view Target,
     return Result;
   }
   ++NumSelectComputations;
+  static telemetry::Counter &SelectComputations =
+      telemetry::counter("strategy.select_computations");
+  SelectComputations.add();
 
   std::vector<std::string> Chain = getFallbackChain(Target);
   for (const std::string &ChainTarget : Chain) {
@@ -255,7 +265,15 @@ DSF StrategyManager::executeEntry(const RegisteredStrategy &S,
     Interp.getState().setParams(
         Body.getArgument(I + 1),
         {IntegerAttr::getIndex(Ctx, Config[I])});
-  return Interp.executeBlock(Body);
+  DSF Result = DSF::success();
+  {
+    telemetry::ScopedSpan EntrySpan("strategy:entry", "strategy");
+    EntrySpan.arg("strategy", S.Manifest.LibraryName);
+    Result = Interp.executeBlock(Body);
+  }
+  // This interpreter never reaches run()'s end-of-interpretation flush.
+  Interp.flushTraceLog();
+  return Result;
 }
 
 LogicalResult StrategyManager::runStrategy(const RegisteredStrategy &S,
@@ -334,6 +352,11 @@ StrategyManager::buildTuningSpace(const RegisteredStrategy &S,
 FailureOr<DispatchResult>
 StrategyManager::dispatch(Operation *Payload, std::string_view Target,
                           const DispatchOptions &Options) {
+  static telemetry::DurationStat &DispatchStat =
+      telemetry::duration("strategy.dispatch");
+  telemetry::ScopedTimer DispatchTimer(DispatchStat);
+  telemetry::ScopedSpan DispatchSpan("strategy:dispatch", "strategy");
+  DispatchSpan.arg("target", Target);
   FailureOr<Selection> Selected = select(Payload, Target, Options.Transform);
   if (failed(Selected))
     return failure();
@@ -363,6 +386,7 @@ StrategyManager::dispatch(Operation *Payload, std::string_view Target,
           if (Space->containsConfig(Hit->Config) &&
               Space->isFeasible(Hit->Config)) {
             ++NumTuningDBHits;
+            telemetry::counter("strategy.tuning_db.hits").add();
             Result.Config = Hit->Config;
             Result.BestCost = Hit->Cost;
             Result.TuneEvaluations = 0;
@@ -373,6 +397,7 @@ StrategyManager::dispatch(Operation *Payload, std::string_view Target,
           if (const autotune::TuningRecord *Stale =
                   TuningDB->lookupStale(DBKey)) {
             ++NumTuningDBStale;
+            telemetry::counter("strategy.tuning_db.stale").add();
             Result.TuningDBStale = true;
             Request.SeedConfigs.push_back(Stale->Config);
             S.Manifest.Library->emitWarning()
@@ -384,6 +409,7 @@ StrategyManager::dispatch(Operation *Payload, std::string_view Target,
                    "seed";
           } else {
             ++NumTuningDBMisses;
+            telemetry::counter("strategy.tuning_db.misses").add();
           }
         }
       }
@@ -425,8 +451,15 @@ StrategyManager::dispatch(Operation *Payload, std::string_view Target,
           FailureOr<double> Cost = Objective(Clone.get());
           return failed(Cost) ? 1e9 : *Cost;
         };
-        FailureOr<std::vector<autotune::Evaluation>> History =
-            Tuner.optimize(Request);
+        FailureOr<std::vector<autotune::Evaluation>> History = [&] {
+          static telemetry::DurationStat &TuneStat =
+              telemetry::duration("strategy.tune");
+          telemetry::ScopedTimer TuneTimer(TuneStat);
+          telemetry::ScopedSpan TuneSpan("strategy:tune", "strategy");
+          TuneSpan.arg("strategy", S.Manifest.LibraryName);
+          TuneSpan.arg("budget", static_cast<int64_t>(Options.TuneBudget));
+          return Tuner.optimize(Request);
+        }();
         if (failed(History))
           return S.Manifest.Library->emitError()
                  << "strategy-dispatch: tuning space of strategy '@"

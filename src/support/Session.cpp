@@ -25,6 +25,12 @@ Session::Session(RunOptions Options, raw_ostream &OS, raw_ostream &ES)
   registerTransformDialect(Ctx);
   registerAutoDiffSupport(Ctx);
   registerBuiltinIRDLConstraints();
+  Baseline = telemetry::MetricsRegistry::instance().snapshot();
+}
+
+telemetry::MetricsSnapshot Session::snapshotMetrics() const {
+  return telemetry::diffSnapshots(
+      telemetry::MetricsRegistry::instance().snapshot(), Baseline);
 }
 
 LogicalResult Session::loadLibraries() {
@@ -67,6 +73,47 @@ LogicalResult Session::openTuningDB() {
 }
 
 LogicalResult Session::run() {
+  telemetry::counter("session.runs").add();
+  bool WantSpans = !Options.TraceJsonPath.empty() || Options.Profile;
+  // Only this run may own the collector; a caller already collecting spans
+  // (an embedding service tracing across requests) keeps its session.
+  bool OwnSpans =
+      WantSpans && !telemetry::SpanCollector::instance().isActive();
+  if (OwnSpans)
+    telemetry::SpanCollector::instance().start();
+
+  // Emits the observability outputs on every return path — including
+  // failed runs, whose partial trace is exactly what debugging needs.
+  // Declared before the run span/timer so those close first: by the time
+  // the guard harvests spans, all of this run's are finished and every
+  // engine worker thread has been joined.
+  struct ObservabilityGuard {
+    Session &S;
+    bool OwnSpans;
+    ~ObservabilityGuard() {
+      if (OwnSpans) {
+        std::vector<telemetry::Span> Spans =
+            telemetry::SpanCollector::instance().finish();
+        if (!S.Options.TraceJsonPath.empty()) {
+          std::string Json;
+          raw_string_ostream JsonOS(Json);
+          telemetry::writeChromeTrace(Spans, JsonOS);
+          if (!writeFileAtomic(S.Options.TraceJsonPath, Json))
+            S.ES << "error: cannot write trace JSON to '"
+                 << S.Options.TraceJsonPath << "'\n";
+        }
+        if (S.Options.Profile)
+          telemetry::renderProfile(Spans, S.OS);
+      }
+      if (S.Options.DumpMetrics)
+        telemetry::renderText(S.snapshotMetrics(), S.OS);
+    }
+  } Guard{*this, OwnSpans};
+
+  static telemetry::DurationStat &RunStat = telemetry::duration("session.run");
+  telemetry::ScopedTimer RunTimer(RunStat);
+  telemetry::ScopedSpan RunSpan("session:run", "session");
+
   std::string PayloadText;
   if (!readFileToString(Options.PayloadPath, PayloadText)) {
     ES << "error: cannot read '" << Options.PayloadPath << "'\n";
@@ -147,6 +194,8 @@ LogicalResult Session::run() {
     TransformOpts.CheckConditions = Options.CheckConditions;
     TransformOpts.MatchShards = Options.MatchShards;
     TransformOpts.CommitShards = Options.CommitShards;
+    TransformOpts.Trace = Options.Trace;
+    TransformOpts.TraceStream = &ES;
     if (failed(applyTransforms(Payload.get(), Script.get(), TransformOpts)))
       return failure();
   }
@@ -159,6 +208,8 @@ LogicalResult Session::run() {
     DispatchOpts.Transform.CheckConditions = Options.CheckConditions;
     DispatchOpts.Transform.MatchShards = Options.MatchShards;
     DispatchOpts.Transform.CommitShards = Options.CommitShards;
+    DispatchOpts.Transform.Trace = Options.Trace;
+    DispatchOpts.Transform.TraceStream = &ES;
     DispatchOpts.TuneBudget = Options.TuneBudget;
     FailureOr<strategy::DispatchResult> Result =
         Strategies.dispatch(Payload.get(), Options.Target, DispatchOpts);

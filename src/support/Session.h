@@ -32,6 +32,7 @@
 #include "core/TransformLibrary.h"
 #include "strategy/StrategyManager.h"
 #include "support/Stream.h"
+#include "support/Telemetry.h"
 
 #include <string>
 #include <vector>
@@ -68,6 +69,17 @@ struct RunOptions {
   std::string TuningDBPath;
   /// Never rewrite the tuning database (`--tuning-db-readonly`).
   bool TuningDBReadOnly = false;
+  /// Print each transform op as it executes (`--trace`). Deterministic at
+  /// any shard count: the engine buffers worker trace lines and replays
+  /// them in serial walk order.
+  bool Trace = false;
+  /// Write a Chrome `trace_event` JSON file of the run's spans
+  /// (`--trace-json=`; empty = off). Load in chrome://tracing or Perfetto.
+  std::string TraceJsonPath;
+  /// Print the post-run attribution table (`--profile`).
+  bool Profile = false;
+  /// Print the end-of-run metrics snapshot as text (`--dump-metrics`).
+  bool DumpMetrics = false;
   bool CheckInvalidation = false; // --check-invalidation
   bool CheckTypes = false;        // --check-types
   bool CheckConditions = false;   // --check-conditions
@@ -115,6 +127,11 @@ public:
   /// The payload module of the last run() (null before).
   Operation *getPayload() const { return Payload.get(); }
 
+  /// Everything the process-wide metrics registry recorded since this
+  /// Session was constructed: the per-request observability seam (a compile
+  /// server snapshots per request what the CLI reports per run).
+  telemetry::MetricsSnapshot snapshotMetrics() const;
+
 private:
   RunOptions Options;
   raw_ostream &OS;
@@ -124,6 +141,8 @@ private:
   strategy::StrategyManager Strategies;
   autotune::TuningDB TuningDB;
   OwningOpRef Payload;
+  /// Construction-time metrics baseline for snapshotMetrics().
+  telemetry::MetricsSnapshot Baseline;
 };
 
 } // namespace tdl

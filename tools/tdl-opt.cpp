@@ -91,6 +91,18 @@ int usage(const char *Argv0) {
          << "                               concurrency); payload and\n"
          << "                               diagnostics stay byte-identical\n"
          << "                               to the serial commit (default 1)\n"
+         << "  --trace                      print each transform op to stderr\n"
+         << "                               as it executes (deterministic at\n"
+         << "                               any shard count)\n"
+         << "  --trace-json=<path>          write the run's spans as Chrome\n"
+         << "                               trace_event JSON; load in\n"
+         << "                               chrome://tracing or Perfetto\n"
+         << "  --profile                    print a post-run attribution\n"
+         << "                               table (time per transform op\n"
+         << "                               kind, hottest matchers,\n"
+         << "                               match-vs-commit split)\n"
+         << "  --dump-metrics               print the end-of-run metrics\n"
+         << "                               snapshot (counters + durations)\n"
          << "  --no-verify                  skip the final verifier run\n"
          << "  --quiet                      do not print the final IR\n";
   return 2;
@@ -175,6 +187,7 @@ int main(int argc, char **argv) {
         Consume("--check-pipeline=", Options.CheckPipeline) ||
         Consume("--target=", Options.Target) ||
         Consume("--tuning-db=", Options.TuningDBPath) ||
+        Consume("--trace-json=", Options.TraceJsonPath) ||
         Consume("--merge-tuning-db=", MergeSpec))
       continue;
     std::string Repeatable;
@@ -232,6 +245,12 @@ int main(int argc, char **argv) {
       Options.CheckConditions = true;
     else if (Arg == "--tuning-db-readonly")
       Options.TuningDBReadOnly = true;
+    else if (Arg == "--trace")
+      Options.Trace = true;
+    else if (Arg == "--profile")
+      Options.Profile = true;
+    else if (Arg == "--dump-metrics")
+      Options.DumpMetrics = true;
     else if (Arg == "--no-verify")
       Options.Verify = false;
     else if (Arg == "--quiet")
