@@ -84,15 +84,21 @@ public:
   }
 
   /// Folds a metrics snapshot into the report: every counter under its
-  /// registry name, every duration as `<name>.count` / `<name>.total_ms`.
-  /// The shared path for bench counter emission — benches stop hand-copying
-  /// probe fields one by one.
+  /// registry name, every duration as `<name>.count` / `<name>.total_ms`
+  /// plus lossless `<name>.total_nanos` and histogram-derived
+  /// `<name>.p50/p90/p99_nanos` (so tdl-bench-diff never compares through
+  /// float rounding). The shared path for bench counter emission — benches
+  /// stop hand-copying probe fields one by one.
   void addMetricsSnapshot(const telemetry::MetricsSnapshot &Snapshot) {
     for (const auto &[Key, Value] : Snapshot.Counters)
       metric(Key, (long long)Value);
     for (const auto &[Key, Value] : Snapshot.Durations) {
       metric(Key + ".count", (long long)Value.Count);
       metric(Key + ".total_ms", (double)Value.TotalNanos / 1e6);
+      metric(Key + ".total_nanos", (long long)Value.TotalNanos);
+      metric(Key + ".p50_nanos", (long long)telemetry::percentileNanos(Value, 50));
+      metric(Key + ".p90_nanos", (long long)telemetry::percentileNanos(Value, 90));
+      metric(Key + ".p99_nanos", (long long)telemetry::percentileNanos(Value, 99));
     }
   }
 

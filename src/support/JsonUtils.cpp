@@ -1,0 +1,348 @@
+//===- JsonUtils.cpp - Flattening JSON reader and key globbing ------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonUtils.h"
+
+#include "support/Stream.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+using namespace tdl;
+using namespace tdl::json;
+
+std::string FlatValue::render() const {
+  switch (K) {
+  case Kind::Number:
+    return IsInt ? std::to_string(Int) : doubleToString(Num);
+  case Kind::String:
+    return "\"" + Str + "\"";
+  case Kind::Bool:
+    return B ? "true" : "false";
+  case Kind::Null:
+    return "null";
+  }
+  return "null";
+}
+
+bool FlatValue::operator==(const FlatValue &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Number:
+    if (IsInt && O.IsInt)
+      return Int == O.Int;
+    return asDouble() == O.asDouble();
+  case Kind::String:
+    return Str == O.Str;
+  case Kind::Bool:
+    return B == O.B;
+  case Kind::Null:
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursive-descent parser flattening as it goes. Depth-capped so hostile
+/// nesting can't overflow the stack.
+class Parser {
+public:
+  Parser(std::string_view Text, std::map<std::string, FlatValue> &Out,
+         std::string &Err)
+      : Text(Text), Out(Out), Err(Err) {}
+
+  bool run() {
+    skipWs();
+    if (!parseValue(""))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 100;
+
+  std::string_view Text;
+  std::map<std::string, FlatValue> &Out;
+  std::string &Err;
+  size_t Pos = 0;
+  int Depth = 0;
+
+  bool fail(std::string_view Msg) {
+    Err = std::string(Msg) + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    if (Text.substr(Pos, W.size()) != W)
+      return false;
+    Pos += W.size();
+    return true;
+  }
+
+  /// \p Path is the dot-joined key prefix of the value being parsed; ""
+  /// for the document root (a root-level scalar lands under key "").
+  bool parseValue(const std::string &Path) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Path);
+    if (C == '[')
+      return parseArray(Path);
+    if (C == '"') {
+      FlatValue V;
+      V.K = FlatValue::Kind::String;
+      if (!parseString(V.Str))
+        return false;
+      Out[Path] = std::move(V);
+      return true;
+    }
+    if (consumeWord("true")) {
+      FlatValue V;
+      V.K = FlatValue::Kind::Bool;
+      V.B = true;
+      Out[Path] = V;
+      return true;
+    }
+    if (consumeWord("false")) {
+      FlatValue V;
+      V.K = FlatValue::Kind::Bool;
+      V.B = false;
+      Out[Path] = V;
+      return true;
+    }
+    if (consumeWord("null")) {
+      Out[Path] = FlatValue();
+      return true;
+    }
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber(Path);
+    return fail("unexpected character");
+  }
+
+  bool parseObject(const std::string &Path) {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
+    ++Pos; // '{'
+    skipWs();
+    if (consume('}')) {
+      --Depth;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipWs();
+      if (!parseValue(Path.empty() ? Key : Path + "." + Key))
+        return false;
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}')) {
+        --Depth;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(const std::string &Path) {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
+    ++Pos; // '['
+    skipWs();
+    if (consume(']')) {
+      --Depth;
+      return true;
+    }
+    size_t Index = 0;
+    while (true) {
+      skipWs();
+      std::string Key = std::to_string(Index++);
+      if (!parseValue(Path.empty() ? Key : Path + "." + Key))
+        return false;
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']')) {
+        --Depth;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Into) {
+    ++Pos; // '"'
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Into += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Into += E;
+        break;
+      case 'n':
+        Into += '\n';
+        break;
+      case 't':
+        Into += '\t';
+        break;
+      case 'r':
+        Into += '\r';
+        break;
+      case 'b':
+        Into += '\b';
+        break;
+      case 'f':
+        Into += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("invalid \\u escape");
+        }
+        // Our emitters only produce \u00XX control escapes; anything wider
+        // degrades to '?' rather than growing a UTF-16 decoder here.
+        Into += Code < 0x80 ? static_cast<char>(Code) : '?';
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(const std::string &Path) {
+    size_t Begin = Pos;
+    consume('-');
+    bool HasFrac = false, HasExp = false;
+    // Digits seen in the current section (integer, fraction, exponent);
+    // each section must be non-empty, so "12." and "1e" are rejected.
+    int SectionDigits = 0;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C >= '0' && C <= '9') {
+        ++SectionDigits;
+        ++Pos;
+      } else if (C == '.' && !HasFrac && !HasExp && SectionDigits > 0) {
+        HasFrac = true;
+        SectionDigits = 0;
+        ++Pos;
+      } else if ((C == 'e' || C == 'E') && !HasExp && SectionDigits > 0) {
+        HasExp = true;
+        SectionDigits = 0;
+        ++Pos;
+        if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    std::string Tok(Text.substr(Begin, Pos - Begin));
+    if (Tok.empty() || Tok == "-" || SectionDigits == 0)
+      return fail("malformed number");
+    FlatValue V;
+    V.K = FlatValue::Kind::Number;
+    if (!HasFrac && !HasExp) {
+      errno = 0;
+      char *End = nullptr;
+      long long Int = std::strtoll(Tok.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        V.IsInt = true;
+        V.Int = Int;
+      }
+    }
+    char *End = nullptr;
+    V.Num = std::strtod(Tok.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number");
+    Out[Path] = std::move(V);
+    return true;
+  }
+};
+
+} // namespace
+
+bool json::flattenJson(std::string_view Text,
+                       std::map<std::string, FlatValue> &Out,
+                       std::string &Err) {
+  Out.clear();
+  Err.clear();
+  return Parser(Text, Out, Err).run();
+}
+
+bool json::globMatch(std::string_view Pattern, std::string_view Text) {
+  // Iterative '*' backtracking: remember the last star and the text
+  // position it matched to, and extend its span on mismatch.
+  size_t P = 0, T = 0;
+  size_t StarP = std::string_view::npos, StarT = 0;
+  while (T < Text.size()) {
+    if (P < Pattern.size() && Pattern[P] == '*') {
+      StarP = P++;
+      StarT = T;
+    } else if (P < Pattern.size() && Pattern[P] == Text[T]) {
+      ++P;
+      ++T;
+    } else if (StarP != std::string_view::npos) {
+      P = StarP + 1;
+      T = ++StarT;
+    } else {
+      return false;
+    }
+  }
+  while (P < Pattern.size() && Pattern[P] == '*')
+    ++P;
+  return P == Pattern.size();
+}

@@ -1,0 +1,64 @@
+//===- JsonUtils.h - Flattening JSON reader and key globbing ----*- C++ -*-===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON reader for the machine-readable files this repo *emits*
+/// (`BENCH_*.json`, run reports, metrics dumps): parses a document and
+/// flattens every leaf into a dot-joined path -> scalar map, the shape
+/// `tdl-bench-diff` compares. Not a general-purpose JSON library — numbers
+/// that fit int64 stay exact (so counter diffs never go through float
+/// rounding), `\uXXXX` escapes outside ASCII decode to `?`, and duplicate
+/// keys keep the last value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TDL_SUPPORT_JSONUTILS_H
+#define TDL_SUPPORT_JSONUTILS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tdl {
+namespace json {
+
+/// One JSON leaf value.
+struct FlatValue {
+  enum class Kind { Number, String, Bool, Null };
+  Kind K = Kind::Null;
+  /// Valid for Kind::Number.
+  double Num = 0;
+  /// Set when the number had no fraction/exponent and fits int64; Int then
+  /// holds the exact value.
+  bool IsInt = false;
+  int64_t Int = 0;
+  /// Valid for Kind::String.
+  std::string Str;
+  bool B = false;
+
+  bool isNumber() const { return K == Kind::Number; }
+  double asDouble() const { return IsInt ? static_cast<double>(Int) : Num; }
+  /// Rendering for delta tables: exact integers, shortest-round-trip
+  /// doubles, quoted strings, true/false/null.
+  std::string render() const;
+  bool operator==(const FlatValue &O) const;
+};
+
+/// Parses \p Text and flattens every leaf into \p Out: object members join
+/// with '.', array elements with their 0-based index ("a.b.0.c"). Returns
+/// false and sets \p Err (with a byte offset) on malformed input.
+bool flattenJson(std::string_view Text, std::map<std::string, FlatValue> &Out,
+                 std::string &Err);
+
+/// Glob match where '*' matches any (possibly empty) run of characters and
+/// every other character is literal. No escapes, no character classes.
+bool globMatch(std::string_view Pattern, std::string_view Text);
+
+} // namespace json
+} // namespace tdl
+
+#endif // TDL_SUPPORT_JSONUTILS_H

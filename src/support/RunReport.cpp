@@ -1,0 +1,109 @@
+//===- RunReport.cpp - Structured per-run observability report ------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RunReport.h"
+
+using namespace tdl;
+using namespace tdl::telemetry;
+
+/// `<whole>.<3 digits>` milliseconds of \p Nanos — same fixed form the
+/// telemetry renderers use, so report and registry JSON agree.
+static std::string reportMillisStr(int64_t Nanos) {
+  bool Neg = Nanos < 0;
+  uint64_t Abs = Neg ? -static_cast<uint64_t>(Nanos) : Nanos;
+  uint64_t Scaled = Abs / 1000; // microseconds = thousandths of a ms
+  std::string Frac = std::to_string(Scaled % 1000);
+  while (Frac.size() < 3)
+    Frac.insert(Frac.begin(), '0');
+  return (Neg ? "-" : "") + std::to_string(Scaled / 1000) + "." + Frac;
+}
+
+void tdl::writeRunReportJson(const RunReport &Report, raw_ostream &OS) {
+  OS << "{\n";
+  OS << "  \"schema_version\": " << Report.SchemaVersion << ",\n";
+  OS << "  \"tool\": " << jsonQuoted(Report.Tool) << ",\n";
+  OS << "  \"tool_version\": " << jsonQuoted(Report.ToolVersion) << ",\n";
+  OS << "  \"start_unix_ms\": " << static_cast<long long>(Report.StartUnixMs)
+     << ",\n";
+
+  OS << "  \"payload\": {\n";
+  OS << "    \"path\": " << jsonQuoted(Report.PayloadPath) << ",\n";
+  OS << "    \"fingerprint\": " << jsonQuoted(Report.PayloadFingerprint)
+     << "\n";
+  OS << "  },\n";
+
+  OS << "  \"options\": {";
+  for (size_t I = 0; I < Report.Options.size(); ++I) {
+    OS << (I ? ",\n    " : "\n    ") << jsonQuoted(Report.Options[I].first)
+       << ": " << Report.Options[I].second;
+  }
+  OS << (Report.Options.empty() ? "},\n" : "\n  },\n");
+
+  OS << "  \"phases\": [";
+  for (size_t I = 0; I < Report.Phases.size(); ++I) {
+    const RunReport::Phase &P = Report.Phases[I];
+    OS << (I ? ",\n    " : "\n    ") << "{\"name\": " << jsonQuoted(P.Name)
+       << ", \"wall_ms\": " << reportMillisStr(P.WallNanos)
+       << ", \"wall_nanos\": " << static_cast<long long>(P.WallNanos) << "}";
+  }
+  OS << (Report.Phases.empty() ? "],\n" : "\n  ],\n");
+
+  const RunReport::StrategyDecision &S = Report.Strategy;
+  OS << "  \"strategy\": {\n";
+  OS << "    \"dispatched\": " << (S.Dispatched ? "true" : "false") << ",\n";
+  OS << "    \"requested_target\": " << jsonQuoted(S.RequestedTarget) << ",\n";
+  OS << "    \"matched_target\": " << jsonQuoted(S.MatchedTarget) << ",\n";
+  OS << "    \"strategy_library\": " << jsonQuoted(S.StrategyLibrary) << ",\n";
+  OS << "    \"fallback_chain\": [";
+  for (size_t I = 0; I < S.FallbackChain.size(); ++I)
+    OS << (I ? ", " : "") << jsonQuoted(S.FallbackChain[I]);
+  OS << "],\n";
+  OS << "    \"selection_cache_hit\": "
+     << (S.SelectionCacheHit ? "true" : "false") << ",\n";
+  OS << "    \"tuning_db\": " << jsonQuoted(S.TuningDB) << ",\n";
+  OS << "    \"tune_evaluations\": "
+     << static_cast<long long>(S.TuneEvaluations) << ",\n";
+  OS << "    \"config\": {";
+  for (size_t I = 0; I < S.Config.size(); ++I)
+    OS << (I ? ", " : "") << jsonQuoted(S.Config[I].first) << ": "
+       << static_cast<long long>(S.Config[I].second);
+  OS << "}\n";
+  OS << "  },\n";
+
+  OS << "  \"diagnostics\": {\"errors\": "
+     << static_cast<long long>(Report.Diagnostics.Errors) << ", \"warnings\": "
+     << static_cast<long long>(Report.Diagnostics.Warnings)
+     << ", \"remarks\": " << static_cast<long long>(Report.Diagnostics.Remarks)
+     << ", \"notes\": " << static_cast<long long>(Report.Diagnostics.Notes)
+     << "},\n";
+
+  OS << "  \"metrics\": {\n";
+  OS << "    \"counters\": {";
+  {
+    bool First = true;
+    for (const auto &Entry : Report.Metrics.Counters) {
+      OS << (First ? "\n      " : ",\n      ") << jsonQuoted(Entry.first)
+         << ": " << static_cast<long long>(Entry.second);
+      First = false;
+    }
+    OS << (First ? "},\n" : "\n    },\n");
+  }
+  OS << "    \"durations\": {";
+  {
+    bool First = true;
+    for (const auto &Entry : Report.Metrics.Durations) {
+      OS << (First ? "\n      " : ",\n      ") << jsonQuoted(Entry.first)
+         << ": ";
+      renderDurationValueJson(Entry.second, OS);
+      First = false;
+    }
+    OS << (First ? "}\n" : "\n    }\n");
+  }
+  OS << "  },\n";
+
+  OS << "  \"exit\": " << jsonQuoted(Report.ExitStatus) << "\n";
+  OS << "}\n";
+}

@@ -16,7 +16,44 @@
 #include "pass/Pass.h"
 #include "support/STLExtras.h"
 
+#include <chrono>
+#include <memory>
+
 using namespace tdl;
+
+static int64_t steadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+static int64_t wallNowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+/// Records one RunReport phase entry for the enclosing scope, on every exit
+/// path.
+struct PhaseTimer {
+  RunReport &Report;
+  const char *Name;
+  int64_t StartNanos;
+  PhaseTimer(RunReport &Report, const char *Name)
+      : Report(Report), Name(Name), StartNanos(steadyNanos()) {}
+  ~PhaseTimer() {
+    Report.Phases.push_back({Name, steadyNanos() - StartNanos});
+  }
+};
+} // namespace
+
+static std::string jsonStringArray(const std::vector<std::string> &Items) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Items.size(); ++I)
+    Out += (I ? ", " : "") + telemetry::jsonQuoted(Items[I]);
+  return Out + "]";
+}
 
 Session::Session(RunOptions Options, raw_ostream &OS, raw_ostream &ES)
     : Options(std::move(Options)), OS(OS), ES(ES), Libraries(Ctx),
@@ -38,20 +75,24 @@ LogicalResult Session::loadLibraries() {
   // against them, and the static analyses run against the merged scope.
   // Each file is parsed, verified, and type-checked once and cached in the
   // manager, which owns the library modules for the session's lifetime.
+  int64_t Start = steadyNanos();
   for (const std::string &Dir : Options.LibrarySearchDirs)
     Libraries.addSearchDir(Dir);
   for (const std::string &LibraryPath : Options.TransformLibraries)
     if (failed(Libraries.loadLibraryFile(LibraryPath)))
       return failure();
+  LibraryLoadNanos = steadyNanos() - Start;
   if (Options.DumpLibrarySymbols)
     Libraries.dumpSymbols(OS);
   return success();
 }
 
 LogicalResult Session::scanStrategies() {
+  int64_t Start = steadyNanos();
   for (const std::string &Dir : Options.StrategyDirs)
     if (failed(Strategies.addStrategyDir(Dir)))
       return failure();
+  StrategyScanNanos = steadyNanos() - Start;
   return success();
 }
 
@@ -72,8 +113,79 @@ LogicalResult Session::openTuningDB() {
   return success();
 }
 
+void Session::echoOptionsIntoReport() {
+  using telemetry::jsonQuoted;
+  auto Add = [&](const char *Key, std::string Value) {
+    Report.Options.emplace_back(Key, std::move(Value));
+  };
+  auto Flag = [](bool B) { return std::string(B ? "true" : "false"); };
+  Add("payload", jsonQuoted(Options.PayloadPath));
+  Add("pass_pipeline", jsonQuoted(Options.PassPipeline));
+  Add("transform", jsonQuoted(Options.TransformScript));
+  Add("check_pipeline", jsonQuoted(Options.CheckPipeline));
+  Add("transform_libraries", jsonStringArray(Options.TransformLibraries));
+  Add("library_paths", jsonStringArray(Options.LibrarySearchDirs));
+  Add("strategy_dirs", jsonStringArray(Options.StrategyDirs));
+  Add("target", jsonQuoted(Options.Target));
+  Add("tune_budget", std::to_string(Options.TuneBudget));
+  Add("match_shards", std::to_string(Options.MatchShards));
+  Add("commit_shards", std::to_string(Options.CommitShards));
+  Add("tuning_db", jsonQuoted(Options.TuningDBPath));
+  Add("tuning_db_readonly", Flag(Options.TuningDBReadOnly));
+  Add("trace", Flag(Options.Trace));
+  Add("trace_json", jsonQuoted(Options.TraceJsonPath));
+  Add("profile", Flag(Options.Profile));
+  Add("dump_metrics", Flag(Options.DumpMetrics));
+  Add("dump_metrics_json", jsonQuoted(Options.DumpMetricsJsonPath));
+  Add("report_json", jsonQuoted(Options.ReportJsonPath));
+  Add("check_invalidation", Flag(Options.CheckInvalidation));
+  Add("check_types", Flag(Options.CheckTypes));
+  Add("check_conditions", Flag(Options.CheckConditions));
+  Add("verify", Flag(Options.Verify));
+  Add("quiet", Flag(Options.Quiet));
+}
+
 LogicalResult Session::run() {
+  // Re-open the metrics window per run: a second run() on the same Session
+  // must not re-report the first run's metrics. The run counter bumps after
+  // the baseline so it lands inside its own window.
+  Baseline = telemetry::MetricsRegistry::instance().snapshot();
   telemetry::counter("session.runs").add();
+
+  Report = RunReport();
+  Report.StartUnixMs = wallNowUnixMs();
+  Report.PayloadPath = Options.PayloadPath;
+  echoOptionsIntoReport();
+  // The setup steps ran once per Session; every run's report echoes their
+  // cost so a warm server session shows what it amortized.
+  if (LibraryLoadNanos >= 0)
+    Report.Phases.push_back({"setup:load-libraries", LibraryLoadNanos});
+  if (StrategyScanNanos >= 0)
+    Report.Phases.push_back({"setup:scan-strategies", StrategyScanNanos});
+
+  // Count diagnostics by severity for the report, forwarding each one to
+  // whatever handler was installed (the default stderr printer included).
+  DiagnosticEngine &DiagEngine = Ctx.getDiagEngine();
+  auto Previous = std::make_shared<DiagnosticEngine::HandlerTy>();
+  *Previous = DiagEngine.setHandler([this, Previous](const Diagnostic &Diag) {
+    switch (Diag.Severity) {
+    case DiagnosticSeverity::Error:
+      ++Report.Diagnostics.Errors;
+      break;
+    case DiagnosticSeverity::Warning:
+      ++Report.Diagnostics.Warnings;
+      break;
+    case DiagnosticSeverity::Remark:
+      ++Report.Diagnostics.Remarks;
+      break;
+    case DiagnosticSeverity::Note:
+      ++Report.Diagnostics.Notes;
+      break;
+    }
+    if (*Previous)
+      (*Previous)(Diag);
+  });
+
   bool WantSpans = !Options.TraceJsonPath.empty() || Options.Profile;
   // Only this run may own the collector; a caller already collecting spans
   // (an embedding service tracing across requests) keeps its session.
@@ -82,46 +194,78 @@ LogicalResult Session::run() {
   if (OwnSpans)
     telemetry::SpanCollector::instance().start();
 
-  // Emits the observability outputs on every return path — including
-  // failed runs, whose partial trace is exactly what debugging needs.
-  // Declared before the run span/timer so those close first: by the time
-  // the guard harvests spans, all of this run's are finished and every
-  // engine worker thread has been joined.
-  struct ObservabilityGuard {
-    Session &S;
-    bool OwnSpans;
-    ~ObservabilityGuard() {
-      if (OwnSpans) {
-        std::vector<telemetry::Span> Spans =
-            telemetry::SpanCollector::instance().finish();
-        if (!S.Options.TraceJsonPath.empty()) {
-          std::string Json;
-          raw_string_ostream JsonOS(Json);
-          telemetry::writeChromeTrace(Spans, JsonOS);
-          if (!writeFileAtomic(S.Options.TraceJsonPath, Json))
-            S.ES << "error: cannot write trace JSON to '"
-                 << S.Options.TraceJsonPath << "'\n";
-        }
-        if (S.Options.Profile)
-          telemetry::renderProfile(Spans, S.OS);
-      }
-      if (S.Options.DumpMetrics)
-        telemetry::renderText(S.snapshotMetrics(), S.OS);
-    }
-  } Guard{*this, OwnSpans};
-
-  static telemetry::DurationStat &RunStat = telemetry::duration("session.run");
-  telemetry::ScopedTimer RunTimer(RunStat);
-  telemetry::ScopedSpan RunSpan("session:run", "session");
-
-  std::string PayloadText;
-  if (!readFileToString(Options.PayloadPath, PayloadText)) {
-    ES << "error: cannot read '" << Options.PayloadPath << "'\n";
-    return failure();
+  LogicalResult Result = success();
+  {
+    // The run span/timer close at this scope's end, before the spans are
+    // harvested below; every engine worker thread has been joined by then.
+    static telemetry::DurationStat &RunStat =
+        telemetry::duration("session.run");
+    telemetry::ScopedTimer RunTimer(RunStat);
+    telemetry::ScopedSpan RunSpan("session:run", "session");
+    Result = runPayload();
   }
-  Payload = parseSourceString(Ctx, PayloadText, Options.PayloadPath);
-  if (!Payload)
-    return failure();
+
+  DiagEngine.setHandler(std::move(*Previous));
+  Report.ExitStatus = succeeded(Result) ? "success" : "failure";
+  Report.Metrics = snapshotMetrics();
+
+  // The observability outputs are emitted on every return path — including
+  // failed runs, whose partial trace and report are exactly what debugging
+  // needs.
+  if (OwnSpans) {
+    std::vector<telemetry::Span> Spans =
+        telemetry::SpanCollector::instance().finish();
+    if (!Options.TraceJsonPath.empty()) {
+      std::string Json;
+      raw_string_ostream JsonOS(Json);
+      telemetry::writeChromeTrace(Spans, JsonOS);
+      if (!writeFileAtomic(Options.TraceJsonPath, Json))
+        ES << "error: cannot write trace JSON to '" << Options.TraceJsonPath
+           << "'\n";
+    }
+    if (Options.Profile) {
+      telemetry::renderProfile(Spans, OS);
+      telemetry::renderLatencySummary(Report.Metrics, OS);
+    }
+  }
+  if (Options.DumpMetrics)
+    telemetry::renderText(Report.Metrics, OS);
+  if (!Options.DumpMetricsJsonPath.empty()) {
+    std::string Json;
+    raw_string_ostream JsonOS(Json);
+    telemetry::renderJson(Report.Metrics, JsonOS);
+    if (!writeFileAtomic(Options.DumpMetricsJsonPath, Json)) {
+      ES << "error: cannot write metrics JSON to '"
+         << Options.DumpMetricsJsonPath << "'\n";
+      Result = failure();
+    }
+  }
+  if (!Options.ReportJsonPath.empty()) {
+    std::string Json;
+    raw_string_ostream JsonOS(Json);
+    writeRunReportJson(Report, JsonOS);
+    if (!writeFileAtomic(Options.ReportJsonPath, Json)) {
+      ES << "error: cannot write run report to '" << Options.ReportJsonPath
+         << "'\n";
+      Result = failure();
+    }
+  }
+  return Result;
+}
+
+LogicalResult Session::runPayload() {
+  {
+    PhaseTimer Phase(Report, "load");
+    std::string PayloadText;
+    if (!readFileToString(Options.PayloadPath, PayloadText)) {
+      ES << "error: cannot read '" << Options.PayloadPath << "'\n";
+      return failure();
+    }
+    Report.PayloadFingerprint = hexString(hashContent(PayloadText));
+    Payload = parseSourceString(Ctx, PayloadText, Options.PayloadPath);
+    if (!Payload)
+      return failure();
+  }
 
   // The dump runs after the tuning database is attached and the payload is
   // parsed, so each strategy can report its per-payload database status.
@@ -130,6 +274,7 @@ LogicalResult Session::run() {
         OS, Strategies.getTuningDB() ? Payload.get() : nullptr);
 
   if (!Options.CheckPipeline.empty()) {
+    PhaseTimer Phase(Report, "check");
     std::vector<std::string> Passes;
     for (std::string_view Part : split(Options.CheckPipeline, ','))
       Passes.push_back(std::string(Part));
@@ -146,6 +291,7 @@ LogicalResult Session::run() {
   }
 
   if (!Options.PassPipeline.empty()) {
+    PhaseTimer Phase(Report, "pass-pipeline");
     PassManager PM(Ctx);
     FailureOr<std::vector<PipelineElement>> Elements =
         parsePassPipeline(Ctx, Options.PassPipeline);
@@ -156,40 +302,44 @@ LogicalResult Session::run() {
   }
 
   if (!Options.TransformScript.empty()) {
-    std::string ScriptText;
-    if (!readFileToString(Options.TransformScript, ScriptText)) {
-      ES << "error: cannot read '" << Options.TransformScript << "'\n";
-      return failure();
-    }
-    OwningOpRef Script =
-        parseSourceString(Ctx, ScriptText, Options.TransformScript);
-    if (!Script)
-      return failure();
-    // Link the script's imports into its resolution scope before any
-    // analysis or interpretation: the type checker validates calls against
-    // imported signatures, and the interpreter resolves matchers/includes
-    // through the same merged scope.
-    if (failed(Libraries.link(Script.get())))
-      return failure();
-    if (Options.CheckTypes) {
-      std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
-      for (const TypeCheckIssue &Issue : Issues)
-        OS << "type: " << Issue.Message << "\n";
-      OS << "static type check: " << (Issues.empty() ? "OK" : "ILL-TYPED")
-         << "\n";
-      if (!Issues.empty())
+    OwningOpRef Script;
+    {
+      PhaseTimer Phase(Report, "check");
+      std::string ScriptText;
+      if (!readFileToString(Options.TransformScript, ScriptText)) {
+        ES << "error: cannot read '" << Options.TransformScript << "'\n";
+        return failure();
+      }
+      Script = parseSourceString(Ctx, ScriptText, Options.TransformScript);
+      if (!Script)
+        return failure();
+      // Link the script's imports into its resolution scope before any
+      // analysis or interpretation: the type checker validates calls against
+      // imported signatures, and the interpreter resolves matchers/includes
+      // through the same merged scope.
+      if (failed(Libraries.link(Script.get())))
+        return failure();
+      if (Options.CheckTypes) {
+        std::vector<TypeCheckIssue> Issues = analyzeHandleTypes(Script.get());
+        for (const TypeCheckIssue &Issue : Issues)
+          OS << "type: " << Issue.Message << "\n";
+        OS << "static type check: " << (Issues.empty() ? "OK" : "ILL-TYPED")
+           << "\n";
+        if (!Issues.empty())
+          return failure();
+      }
+      if (Options.CheckInvalidation) {
+        std::vector<InvalidationIssue> Issues =
+            analyzeHandleInvalidation(Script.get());
+        for (const InvalidationIssue &Issue : Issues)
+          OS << "invalidation: " << Issue.Message << "\n";
+        if (!Issues.empty())
+          return failure();
+      }
+      if (failed(checkIncludeCycles(Script.get())))
         return failure();
     }
-    if (Options.CheckInvalidation) {
-      std::vector<InvalidationIssue> Issues =
-          analyzeHandleInvalidation(Script.get());
-      for (const InvalidationIssue &Issue : Issues)
-        OS << "invalidation: " << Issue.Message << "\n";
-      if (!Issues.empty())
-        return failure();
-    }
-    if (failed(checkIncludeCycles(Script.get())))
-      return failure();
+    PhaseTimer Phase(Report, "transform");
     TransformOptions TransformOpts;
     TransformOpts.CheckConditions = Options.CheckConditions;
     TransformOpts.MatchShards = Options.MatchShards;
@@ -204,6 +354,9 @@ LogicalResult Session::run() {
   // applicable strategy for the target and run its entry, autotuning
   // declared parameters when a budget is given.
   if (!Options.Target.empty()) {
+    PhaseTimer Phase(Report, "dispatch");
+    Report.Strategy.RequestedTarget = Options.Target;
+    Report.Strategy.FallbackChain = Strategies.getFallbackChain(Options.Target);
     strategy::DispatchOptions DispatchOpts;
     DispatchOpts.Transform.CheckConditions = Options.CheckConditions;
     DispatchOpts.Transform.MatchShards = Options.MatchShards;
@@ -215,6 +368,18 @@ LogicalResult Session::run() {
         Strategies.dispatch(Payload.get(), Options.Target, DispatchOpts);
     if (failed(Result))
       return failure();
+    Report.Strategy.Dispatched = true;
+    Report.Strategy.MatchedTarget = Result->MatchedTarget;
+    Report.Strategy.StrategyLibrary = Result->Strategy->Manifest.LibraryName;
+    Report.Strategy.SelectionCacheHit = Result->SelectionCacheHit;
+    Report.Strategy.TuneEvaluations = Result->TuneEvaluations;
+    if (Strategies.getTuningDB() && !Result->Config.empty())
+      Report.Strategy.TuningDB = Result->TuningDBHit     ? "hit"
+                                 : Result->TuningDBStale ? "stale"
+                                                         : "miss";
+    for (size_t I = 0; I < Result->Config.size(); ++I)
+      Report.Strategy.Config.emplace_back(
+          Result->Strategy->Manifest.Params[I].Name, Result->Config[I]);
     OS << "strategy: selected '@" << Result->Strategy->Manifest.LibraryName
        << "' (target '" << Result->MatchedTarget << "') for target '"
        << Options.Target << "'\n";
@@ -235,11 +400,14 @@ LogicalResult Session::run() {
     }
   }
 
-  if (Options.Verify && failed(verify(Payload.get())))
-    return failure();
-  if (!Options.Quiet) {
-    Payload->print(OS);
-    OS << "\n";
+  {
+    PhaseTimer Phase(Report, "print");
+    if (Options.Verify && failed(verify(Payload.get())))
+      return failure();
+    if (!Options.Quiet) {
+      Payload->print(OS);
+      OS << "\n";
+    }
   }
 
   // Persist what this run learned. Read-only mode never reaches the

@@ -31,6 +31,7 @@
 #include "autotune/TuningDB.h"
 #include "core/TransformLibrary.h"
 #include "strategy/StrategyManager.h"
+#include "support/RunReport.h"
 #include "support/Stream.h"
 #include "support/Telemetry.h"
 
@@ -76,10 +77,17 @@ struct RunOptions {
   /// Write a Chrome `trace_event` JSON file of the run's spans
   /// (`--trace-json=`; empty = off). Load in chrome://tracing or Perfetto.
   std::string TraceJsonPath;
-  /// Print the post-run attribution table (`--profile`).
+  /// Print the post-run attribution table (`--profile`), followed by the
+  /// per-duration latency percentile summary.
   bool Profile = false;
   /// Print the end-of-run metrics snapshot as text (`--dump-metrics`).
   bool DumpMetrics = false;
+  /// Write the end-of-run metrics snapshot as JSON (`--dump-metrics-json=`;
+  /// empty = off) — the machine-readable twin of --dump-metrics.
+  std::string DumpMetricsJsonPath;
+  /// Write the structured run report as JSON (`--report-json=`; empty =
+  /// off). Written on success and failure alike.
+  std::string ReportJsonPath;
   bool CheckInvalidation = false; // --check-invalidation
   bool CheckTypes = false;        // --check-types
   bool CheckConditions = false;   // --check-conditions
@@ -127,12 +135,22 @@ public:
   /// The payload module of the last run() (null before).
   Operation *getPayload() const { return Payload.get(); }
 
-  /// Everything the process-wide metrics registry recorded since this
-  /// Session was constructed: the per-request observability seam (a compile
-  /// server snapshots per request what the CLI reports per run).
+  /// Everything the process-wide metrics registry recorded since the
+  /// current (or last finished) run() began — before the first run, since
+  /// construction. The per-request observability seam: a compile server
+  /// snapshots per request what the CLI reports per run, and a second run
+  /// on the same Session never re-reports the first run's metrics.
   telemetry::MetricsSnapshot snapshotMetrics() const;
 
+  /// The report assembled by the last run() (default-constructed before).
+  const RunReport &getLastRunReport() const { return Report; }
+
 private:
+  /// The payload pipeline proper (parse through tuning-db save); run()
+  /// wraps it with the per-run observability bookkeeping.
+  LogicalResult runPayload();
+  void echoOptionsIntoReport();
+
   RunOptions Options;
   raw_ostream &OS;
   raw_ostream &ES;
@@ -141,8 +159,14 @@ private:
   strategy::StrategyManager Strategies;
   autotune::TuningDB TuningDB;
   OwningOpRef Payload;
-  /// Construction-time metrics baseline for snapshotMetrics().
+  /// Metrics baseline for snapshotMetrics(): construction time until the
+  /// first run(), then re-captured at each run() entry.
   telemetry::MetricsSnapshot Baseline;
+  RunReport Report;
+  /// Wall time of the setup steps, echoed into every run's report
+  /// (negative = step not executed yet).
+  int64_t LibraryLoadNanos = -1;
+  int64_t StrategyScanNanos = -1;
 };
 
 } // namespace tdl

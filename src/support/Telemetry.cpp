@@ -77,6 +77,7 @@ static void writeJsonEscaped(raw_ostream &OS, std::string_view Str) {
 void DurationStat::recordNanos(int64_t Nanos) {
   Count.fetch_add(1, std::memory_order_relaxed);
   TotalNanos.fetch_add(Nanos, std::memory_order_relaxed);
+  Buckets[histogramBucketIndex(Nanos)].fetch_add(1, std::memory_order_relaxed);
   int64_t Cur = MinNanos.load(std::memory_order_relaxed);
   while (Nanos < Cur &&
          !MinNanos.compare_exchange_weak(Cur, Nanos,
@@ -151,6 +152,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     int64_t Min = Entry.second->MinNanos.load(std::memory_order_relaxed);
     V.MinNanos = V.Count == 0 ? 0 : Min;
     V.MaxNanos = Entry.second->MaxNanos.load(std::memory_order_relaxed);
+    for (int B = 0; B < NumHistogramBuckets; ++B)
+      V.Buckets[B] = Entry.second->Buckets[B].load(std::memory_order_relaxed);
     Snap.Durations[Entry.first] = V;
   }
   return Snap;
@@ -166,6 +169,8 @@ void MetricsRegistry::reset() {
     Entry.second->TotalNanos.store(0, std::memory_order_relaxed);
     Entry.second->MinNanos.store(INT64_MAX, std::memory_order_relaxed);
     Entry.second->MaxNanos.store(0, std::memory_order_relaxed);
+    for (int B = 0; B < NumHistogramBuckets; ++B)
+      Entry.second->Buckets[B].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -191,10 +196,40 @@ MetricsSnapshot telemetry::diffSnapshots(const MetricsSnapshot &After,
     if (It != Before.Durations.end()) {
       V.Count = std::max<int64_t>(0, V.Count - It->second.Count);
       V.TotalNanos = std::max<int64_t>(0, V.TotalNanos - It->second.TotalNanos);
+      for (int B = 0; B < NumHistogramBuckets; ++B)
+        V.Buckets[B] =
+            std::max<int64_t>(0, V.Buckets[B] - It->second.Buckets[B]);
     }
     Diff.Durations[Entry.first] = V;
   }
   return Diff;
+}
+
+int64_t telemetry::percentileNanos(const MetricsSnapshot::DurationValue &V,
+                                   double Pct) {
+  int64_t Sum = 0;
+  for (int64_t B : V.Buckets)
+    Sum += B;
+  if (Sum <= 0)
+    return 0;
+  // Rank of the target sample, 1-based: ceil(Pct/100 * Sum), at least 1.
+  int64_t Target = static_cast<int64_t>(Pct / 100.0 * static_cast<double>(Sum));
+  if (static_cast<double>(Target) < Pct / 100.0 * static_cast<double>(Sum))
+    ++Target;
+  Target = std::max<int64_t>(1, std::min(Target, Sum));
+  int64_t Cum = 0;
+  for (int B = 0; B < NumHistogramBuckets; ++B) {
+    Cum += V.Buckets[B];
+    if (Cum >= Target) {
+      int64_t Est = histogramBucketUpperNanos(B);
+      if (V.MaxNanos > 0)
+        Est = std::min(Est, V.MaxNanos);
+      if (V.Count > 0)
+        Est = std::max(Est, V.MinNanos);
+      return Est;
+    }
+  }
+  return V.MaxNanos;
 }
 
 void telemetry::renderText(const MetricsSnapshot &Snapshot, raw_ostream &OS) {
@@ -208,8 +243,31 @@ void telemetry::renderText(const MetricsSnapshot &Snapshot, raw_ostream &OS) {
     OS << "  " << Entry.first << ": count "
        << static_cast<long long>(V.Count) << ", total "
        << millisStr(V.TotalNanos) << " ms, min " << millisStr(V.MinNanos)
-       << " ms, max " << millisStr(V.MaxNanos) << " ms\n";
+       << " ms, max " << millisStr(V.MaxNanos) << " ms, p50 "
+       << millisStr(percentileNanos(V, 50)) << " ms, p90 "
+       << millisStr(percentileNanos(V, 90)) << " ms, p99 "
+       << millisStr(percentileNanos(V, 99)) << " ms\n";
   }
+}
+
+void telemetry::renderDurationValueJson(const MetricsSnapshot::DurationValue &V,
+                                        raw_ostream &OS) {
+  int64_t P50 = percentileNanos(V, 50);
+  int64_t P90 = percentileNanos(V, 90);
+  int64_t P99 = percentileNanos(V, 99);
+  OS << "{\"count\": " << static_cast<long long>(V.Count)
+     << ", \"total_ms\": " << millisStr(V.TotalNanos)
+     << ", \"total_nanos\": " << static_cast<long long>(V.TotalNanos)
+     << ", \"min_ms\": " << millisStr(V.MinNanos)
+     << ", \"min_nanos\": " << static_cast<long long>(V.MinNanos)
+     << ", \"max_ms\": " << millisStr(V.MaxNanos)
+     << ", \"max_nanos\": " << static_cast<long long>(V.MaxNanos)
+     << ", \"p50_ms\": " << millisStr(P50)
+     << ", \"p50_nanos\": " << static_cast<long long>(P50)
+     << ", \"p90_ms\": " << millisStr(P90)
+     << ", \"p90_nanos\": " << static_cast<long long>(P90)
+     << ", \"p99_ms\": " << millisStr(P99)
+     << ", \"p99_nanos\": " << static_cast<long long>(P99) << "}";
 }
 
 void telemetry::renderJson(const MetricsSnapshot &Snapshot, raw_ostream &OS) {
@@ -228,16 +286,37 @@ void telemetry::renderJson(const MetricsSnapshot &Snapshot, raw_ostream &OS) {
     OS << "\": " << static_cast<long long>(Entry.second);
   }
   for (const auto &Entry : Snapshot.Durations) {
-    const MetricsSnapshot::DurationValue &V = Entry.second;
     Sep();
     OS << "\"";
     writeJsonEscaped(OS, Entry.first);
-    OS << "\": {\"count\": " << static_cast<long long>(V.Count)
-       << ", \"total_ms\": " << millisStr(V.TotalNanos)
-       << ", \"min_ms\": " << millisStr(V.MinNanos)
-       << ", \"max_ms\": " << millisStr(V.MaxNanos) << "}";
+    OS << "\": ";
+    renderDurationValueJson(Entry.second, OS);
   }
   OS << "\n}\n";
+}
+
+void telemetry::renderLatencySummary(const MetricsSnapshot &Snapshot,
+                                     raw_ostream &OS) {
+  OS << "latency percentiles:\n";
+  for (const auto &Entry : Snapshot.Durations) {
+    const MetricsSnapshot::DurationValue &V = Entry.second;
+    if (V.Count == 0)
+      continue;
+    OS << "  " << Entry.first << ": count "
+       << static_cast<long long>(V.Count) << ", p50 "
+       << millisStr(percentileNanos(V, 50)) << " ms, p90 "
+       << millisStr(percentileNanos(V, 90)) << " ms, p99 "
+       << millisStr(percentileNanos(V, 99)) << " ms\n";
+  }
+}
+
+std::string telemetry::jsonQuoted(std::string_view S) {
+  std::string Out;
+  raw_string_ostream OS(Out);
+  OS << "\"";
+  writeJsonEscaped(OS, S);
+  OS << "\"";
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//

@@ -34,6 +34,7 @@
 
 #include "support/Stream.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -61,9 +62,33 @@ private:
   std::atomic<int64_t> V{0};
 };
 
-/// Histogram-style duration accumulator: count, total, min, max in
-/// nanoseconds. Thread-safe; min/max are CAS loops, count/total relaxed
-/// adds.
+/// Number of fixed log2-scale latency buckets per DurationStat. Bucket 0
+/// holds samples of <= 0 ns; bucket k (k >= 1) holds samples in
+/// [2^(k-1), 2^k) ns, with the last bucket open-ended — 64 buckets span
+/// every representable int64 nanosecond value.
+inline constexpr int NumHistogramBuckets = 64;
+
+/// The bucket a sample of \p Nanos lands in (see NumHistogramBuckets).
+inline int histogramBucketIndex(int64_t Nanos) {
+  if (Nanos <= 0)
+    return 0;
+  return 64 - __builtin_clzll(static_cast<uint64_t>(Nanos));
+}
+
+/// Inclusive upper bound of bucket \p Index in nanoseconds (INT64_MAX for
+/// the open-ended last bucket).
+inline int64_t histogramBucketUpperNanos(int Index) {
+  if (Index <= 0)
+    return 0;
+  if (Index >= 63)
+    return INT64_MAX;
+  return (int64_t(1) << Index) - 1;
+}
+
+/// Histogram-style duration accumulator: count, total, min, max plus fixed
+/// log-scale latency buckets, all in nanoseconds. Thread-safe; min/max are
+/// CAS loops, everything else relaxed adds — the hot path stays three
+/// relaxed atomics plus the two extrema CAS ops.
 class DurationStat {
 public:
   void recordNanos(int64_t Nanos);
@@ -79,6 +104,7 @@ private:
   std::atomic<int64_t> TotalNanos{0};
   std::atomic<int64_t> MinNanos{INT64_MAX};
   std::atomic<int64_t> MaxNanos{0};
+  std::atomic<int64_t> Buckets[NumHistogramBuckets]{};
 };
 
 /// A point-in-time copy of every registered metric. Plain values: diffable,
@@ -89,10 +115,18 @@ struct MetricsSnapshot {
     int64_t TotalNanos = 0;
     int64_t MinNanos = 0;
     int64_t MaxNanos = 0;
+    std::array<int64_t, NumHistogramBuckets> Buckets{};
   };
   std::map<std::string, int64_t> Counters;
   std::map<std::string, DurationValue> Durations;
 };
+
+/// Estimates the \p Pct-th percentile (0 < Pct <= 100) from the log-scale
+/// buckets: the inclusive upper bound of the bucket holding the target
+/// rank, clamped into [MinNanos, MaxNanos] so single-sample and
+/// extremum-adjacent estimates are exact. Returns 0 when the buckets are
+/// empty (e.g. a snapshot populated by hand).
+int64_t percentileNanos(const MetricsSnapshot::DurationValue &V, double Pct);
 
 /// The process-wide metric store. Metric handles are created on first use
 /// of a name and never move or die, so call sites can cache the reference
@@ -118,17 +152,33 @@ Counter &counter(std::string_view Name);
 DurationStat &duration(std::string_view Name);
 
 /// `After - Before`, entry-wise. Entries only present in \p After are kept
-/// as-is (registered mid-window); counters never go negative. Duration min
-/// and max are taken from \p After — extrema are not subtractable.
+/// as-is (registered mid-window); counters, duration counts, and histogram
+/// buckets never go negative (a reset() between snapshots clamps to zero).
+/// Duration min and max are taken from \p After — extrema are not
+/// subtractable — so window percentiles come from the diffed buckets while
+/// the clamp range stays process-lifetime.
 MetricsSnapshot diffSnapshots(const MetricsSnapshot &After,
                               const MetricsSnapshot &Before);
 
 /// Human-readable rendering: `counters:` / `durations:` sections with one
-/// `  <name>: <value>` line each (durations as count/total/min/max ms).
+/// `  <name>: <value>` line each (durations as count/total/min/max plus
+/// p50/p90/p99 ms).
 void renderText(const MetricsSnapshot &Snapshot, raw_ostream &OS);
-/// One flat JSON object: counters as integers, durations as
-/// `{count,total_ms,min_ms,max_ms}` objects.
+/// One flat JSON object: counters as integers, durations as objects with
+/// rounded `*_ms` floats and lossless `*_nanos` integers for
+/// total/min/max/p50/p90/p99.
 void renderJson(const MetricsSnapshot &Snapshot, raw_ostream &OS);
+/// The duration-object half of renderJson, reusable by other JSON
+/// emitters (run reports, bench reports).
+void renderDurationValueJson(const MetricsSnapshot::DurationValue &V,
+                             raw_ostream &OS);
+/// Compact per-duration percentile table (`latency percentiles:` header,
+/// one `  <name>: count N, p50/p90/p99 ms` line per nonzero duration).
+/// Printed after the `--profile` attribution table.
+void renderLatencySummary(const MetricsSnapshot &Snapshot, raw_ostream &OS);
+
+/// \p S JSON-escaped and double-quoted.
+std::string jsonQuoted(std::string_view S);
 
 /// RAII wall-clock timer recording into a DurationStat on destruction.
 class ScopedTimer {

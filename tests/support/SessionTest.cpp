@@ -16,6 +16,7 @@
 
 #include "support/Stream.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
@@ -282,6 +283,142 @@ TEST(SessionTest, MissingPayloadFails) {
   Session S(std::move(Options), OS, ES);
   EXPECT_TRUE(failed(runSession(S)));
   EXPECT_NE(Err.find("error: cannot read"), std::string::npos) << Err;
+  // The report is assembled on failures too.
+  EXPECT_EQ(S.getLastRunReport().ExitStatus, "failure");
+  EXPECT_GE(S.getLastRunReport().Diagnostics.Errors, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Run reports and the per-run metrics window
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, SecondRunOnOneSessionReportsOnlyItsOwnMetrics) {
+  // Regression: the metrics baseline used to be captured at construction,
+  // so a second run() reported the first run's metrics too.
+  SessionWorkspace WS;
+  RunOptions Options = WS.dispatchOptions();
+  Options.Quiet = true;
+  std::string Out, Err;
+  raw_string_ostream OS(Out), ES(Err);
+  Session S(std::move(Options), OS, ES);
+  ASSERT_TRUE(succeeded(runSession(S)));
+  ASSERT_TRUE(succeeded(S.run())); // steps 1-3 are already done
+  telemetry::MetricsSnapshot Window = S.snapshotMetrics();
+  EXPECT_EQ(Window.Counters.at("session.runs"), 1)
+      << "the window must cover the last run only, not the session lifetime";
+  EXPECT_EQ(Window.Durations.at("session.run").Count, 1);
+  EXPECT_EQ(S.getLastRunReport().Metrics.Counters.at("session.runs"), 1);
+}
+
+TEST(SessionTest, RunReportRecordsPhasesStrategyAndFingerprint) {
+  SessionWorkspace WS;
+  RunOptions Options = WS.dispatchOptions();
+  Options.Quiet = true;
+  std::string Out, Err;
+  raw_string_ostream OS(Out), ES(Err);
+  Session S(std::move(Options), OS, ES);
+  ASSERT_TRUE(succeeded(runSession(S)));
+  const RunReport &Report = S.getLastRunReport();
+
+  EXPECT_EQ(Report.ExitStatus, "success");
+  EXPECT_EQ(Report.SchemaVersion, 1);
+  EXPECT_GT(Report.StartUnixMs, 0);
+  EXPECT_EQ(Report.PayloadFingerprint.size(), 16u);
+
+  std::vector<std::string> Names;
+  for (const RunReport::Phase &Phase : Report.Phases)
+    Names.push_back(Phase.Name);
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "setup:scan-strategies"),
+            Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "load"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "dispatch"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "print"), Names.end());
+
+  // Cold dispatch against an empty store: a miss that tunes.
+  EXPECT_TRUE(Report.Strategy.Dispatched);
+  EXPECT_EQ(Report.Strategy.RequestedTarget, "generic");
+  EXPECT_EQ(Report.Strategy.MatchedTarget, "generic");
+  EXPECT_EQ(Report.Strategy.StrategyLibrary, "tuned_tiling");
+  EXPECT_EQ(Report.Strategy.TuningDB, "miss");
+  EXPECT_GT(Report.Strategy.TuneEvaluations, 0);
+  ASSERT_EQ(Report.Strategy.Config.size(), 1u);
+  EXPECT_EQ(Report.Strategy.Config[0].first, "tile_i");
+  ASSERT_FALSE(Report.Strategy.FallbackChain.empty());
+  EXPECT_EQ(Report.Strategy.FallbackChain.back(), "generic");
+
+  // Warm session: the decision record flips to a hit.
+  std::string WarmOut, WarmErr;
+  raw_string_ostream WarmOS(WarmOut), WarmES(WarmErr);
+  RunOptions WarmOptions = WS.dispatchOptions();
+  WarmOptions.Quiet = true;
+  Session Warm(std::move(WarmOptions), WarmOS, WarmES);
+  ASSERT_TRUE(succeeded(runSession(Warm)));
+  EXPECT_EQ(Warm.getLastRunReport().Strategy.TuningDB, "hit");
+  EXPECT_EQ(Warm.getLastRunReport().Strategy.TuneEvaluations, 0);
+}
+
+TEST(SessionTest, RunReportJsonSerializationIsStable) {
+  // A handcrafted report pins the serialized schema: if this test needs
+  // updating, README's schema section (and SchemaVersion on breaking
+  // changes) must move in lockstep.
+  RunReport Report;
+  Report.StartUnixMs = 1700000000000;
+  Report.PayloadPath = "payload.mlir";
+  Report.PayloadFingerprint = "00000000deadbeef";
+  Report.Options.emplace_back("target", "\"avx2\"");
+  Report.Options.emplace_back("tune_budget", "4");
+  Report.Phases.push_back({"load", 1500000});
+  Report.Strategy.Dispatched = true;
+  Report.Strategy.RequestedTarget = "avx2";
+  Report.Strategy.MatchedTarget = "generic";
+  Report.Strategy.StrategyLibrary = "tuned_tiling";
+  Report.Strategy.FallbackChain = {"avx2", "generic"};
+  Report.Strategy.TuningDB = "hit";
+  Report.Strategy.Config.emplace_back("tile_i", 8);
+  Report.Diagnostics.Warnings = 2;
+  Report.Metrics.Counters["interp.executed_ops"] = 12;
+  std::string Json;
+  raw_string_ostream OS(Json);
+  writeRunReportJson(Report, OS);
+  EXPECT_EQ(Json,
+            "{\n"
+            "  \"schema_version\": 1,\n"
+            "  \"tool\": \"tdl-opt\",\n"
+            "  \"tool_version\": \"0.10.0\",\n"
+            "  \"start_unix_ms\": 1700000000000,\n"
+            "  \"payload\": {\n"
+            "    \"path\": \"payload.mlir\",\n"
+            "    \"fingerprint\": \"00000000deadbeef\"\n"
+            "  },\n"
+            "  \"options\": {\n"
+            "    \"target\": \"avx2\",\n"
+            "    \"tune_budget\": 4\n"
+            "  },\n"
+            "  \"phases\": [\n"
+            "    {\"name\": \"load\", \"wall_ms\": 1.500, "
+            "\"wall_nanos\": 1500000}\n"
+            "  ],\n"
+            "  \"strategy\": {\n"
+            "    \"dispatched\": true,\n"
+            "    \"requested_target\": \"avx2\",\n"
+            "    \"matched_target\": \"generic\",\n"
+            "    \"strategy_library\": \"tuned_tiling\",\n"
+            "    \"fallback_chain\": [\"avx2\", \"generic\"],\n"
+            "    \"selection_cache_hit\": false,\n"
+            "    \"tuning_db\": \"hit\",\n"
+            "    \"tune_evaluations\": 0,\n"
+            "    \"config\": {\"tile_i\": 8}\n"
+            "  },\n"
+            "  \"diagnostics\": {\"errors\": 0, \"warnings\": 2, "
+            "\"remarks\": 0, \"notes\": 0},\n"
+            "  \"metrics\": {\n"
+            "    \"counters\": {\n"
+            "      \"interp.executed_ops\": 12\n"
+            "    },\n"
+            "    \"durations\": {}\n"
+            "  },\n"
+            "  \"exit\": \"success\"\n"
+            "}\n");
 }
 
 } // namespace

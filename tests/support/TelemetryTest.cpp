@@ -105,6 +105,8 @@ TEST(MetricsRegistryTest, RenderTextIsStable) {
   V.TotalNanos = 3500000; // 3.5 ms
   V.MinNanos = 1000000;
   V.MaxNanos = 2500000;
+  V.Buckets[histogramBucketIndex(1000000)] = 1; // bucket 20, upper 1.048 ms
+  V.Buckets[histogramBucketIndex(2500000)] = 1; // bucket 22, clamped to max
   Snap.Durations["engine.match"] = V;
   std::string Text;
   raw_string_ostream OS(Text);
@@ -113,7 +115,7 @@ TEST(MetricsRegistryTest, RenderTextIsStable) {
                   "  engine.commit.parallel_partitions: 8\n"
                   "durations:\n"
                   "  engine.match: count 2, total 3.500 ms, min 1.000 ms, "
-                  "max 2.500 ms\n");
+                  "max 2.500 ms, p50 1.048 ms, p90 2.500 ms, p99 2.500 ms\n");
 }
 
 TEST(MetricsRegistryTest, RenderJsonIsStable) {
@@ -124,15 +126,158 @@ TEST(MetricsRegistryTest, RenderJsonIsStable) {
   V.TotalNanos = 250000; // 0.25 ms
   V.MinNanos = 250000;
   V.MaxNanos = 250000;
+  V.Buckets[histogramBucketIndex(250000)] = 1;
   Snap.Durations["interp.run"] = V;
   std::string Text;
   raw_string_ostream OS(Text);
   renderJson(Snap, OS);
-  EXPECT_EQ(Text, "{\n"
-                  "  \"interp.executed_ops\": 12,\n"
-                  "  \"interp.run\": {\"count\": 1, \"total_ms\": 0.250, "
-                  "\"min_ms\": 0.250, \"max_ms\": 0.250}\n"
-                  "}\n");
+  EXPECT_EQ(Text,
+            "{\n"
+            "  \"interp.executed_ops\": 12,\n"
+            "  \"interp.run\": {\"count\": 1, \"total_ms\": 0.250, "
+            "\"total_nanos\": 250000, \"min_ms\": 0.250, "
+            "\"min_nanos\": 250000, \"max_ms\": 0.250, "
+            "\"max_nanos\": 250000, \"p50_ms\": 0.250, "
+            "\"p50_nanos\": 250000, \"p90_ms\": 0.250, "
+            "\"p90_nanos\": 250000, \"p99_ms\": 0.250, "
+            "\"p99_nanos\": 250000}\n"
+            "}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Latency histograms
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyHistogramTest, BucketIndexAndUpperBoundsAreConsistent) {
+  EXPECT_EQ(histogramBucketIndex(0), 0);
+  EXPECT_EQ(histogramBucketIndex(-5), 0);
+  EXPECT_EQ(histogramBucketIndex(1), 1);
+  EXPECT_EQ(histogramBucketIndex(1023), 10);
+  EXPECT_EQ(histogramBucketIndex(1024), 11);
+  EXPECT_EQ(histogramBucketIndex(INT64_MAX), 63);
+  EXPECT_EQ(histogramBucketUpperNanos(0), 0);
+  EXPECT_EQ(histogramBucketUpperNanos(10), 1023);
+  EXPECT_EQ(histogramBucketUpperNanos(63), INT64_MAX);
+  // Every sample lands in the bucket whose range covers it.
+  for (int64_t Nanos : {int64_t(1), int64_t(999), int64_t(1000000),
+                        int64_t(123456789), INT64_MAX}) {
+    int B = histogramBucketIndex(Nanos);
+    EXPECT_LE(Nanos, histogramBucketUpperNanos(B));
+    if (B > 1) {
+      EXPECT_GT(Nanos, histogramBucketUpperNanos(B - 1));
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesSeparateFastAndSlowSamples) {
+  DurationStat &D = duration("test.histogram.bimodal");
+  for (int I = 0; I < 95; ++I)
+    D.recordNanos(1000000); // 1 ms
+  for (int I = 0; I < 5; ++I)
+    D.recordNanos(1000000000); // 1 s
+  const MetricsSnapshot::DurationValue &V =
+      MetricsRegistry::instance().snapshot().Durations.at(
+          "test.histogram.bimodal");
+  // p50/p90 sit in the 1 ms bucket (upper bound 2^20-1 ns), p99 reaches the
+  // slow mode and clamps to the observed max.
+  EXPECT_EQ(percentileNanos(V, 50), 1048575);
+  EXPECT_EQ(percentileNanos(V, 90), 1048575);
+  EXPECT_EQ(percentileNanos(V, 99), 1000000000);
+}
+
+TEST(LatencyHistogramTest, PercentileOfEmptyBucketsIsZero) {
+  MetricsSnapshot::DurationValue V;
+  V.Count = 3; // a hand-built snapshot without bucket data
+  V.TotalNanos = 3000;
+  EXPECT_EQ(percentileNanos(V, 50), 0);
+  EXPECT_EQ(percentileNanos(V, 99), 0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsExactViaClamping) {
+  DurationStat &D = duration("test.histogram.single");
+  D.recordNanos(1500);
+  const MetricsSnapshot::DurationValue &V =
+      MetricsRegistry::instance().snapshot().Durations.at(
+          "test.histogram.single");
+  EXPECT_EQ(percentileNanos(V, 50), 1500);
+  EXPECT_EQ(percentileNanos(V, 99), 1500);
+}
+
+TEST(LatencyHistogramTest, DiffSubtractsBuckets) {
+  DurationStat &D = duration("test.histogram.diff");
+  D.recordNanos(1000); // bucket 10
+  D.recordNanos(1000);
+  MetricsSnapshot Before = MetricsRegistry::instance().snapshot();
+  D.recordNanos(1000000); // bucket 20
+  D.recordNanos(1000000);
+  D.recordNanos(1000000);
+  MetricsSnapshot After = MetricsRegistry::instance().snapshot();
+  MetricsSnapshot Diff = diffSnapshots(After, Before);
+  const MetricsSnapshot::DurationValue &V =
+      Diff.Durations.at("test.histogram.diff");
+  EXPECT_EQ(V.Count, 3);
+  EXPECT_EQ(V.Buckets[histogramBucketIndex(1000)], 0);
+  EXPECT_EQ(V.Buckets[histogramBucketIndex(1000000)], 3);
+  // Window percentiles come from the diffed buckets: every in-window
+  // sample was 1 ms, and the bucket upper bound (2^20-1 ns) clamps to the
+  // observed process-lifetime max, making the estimate exact here.
+  EXPECT_EQ(percentileNanos(V, 50), 1000000);
+}
+
+TEST(LatencyHistogramTest, ResetBetweenSnapshotsClampsAtZero) {
+  Counter &C = counter("test.histogram.reset_counter");
+  DurationStat &D = duration("test.histogram.reset_duration");
+  C.add(4);
+  D.recordNanos(2000);
+  MetricsSnapshot Before = MetricsRegistry::instance().snapshot();
+  MetricsRegistry::instance().reset();
+  MetricsSnapshot After = MetricsRegistry::instance().snapshot();
+  MetricsSnapshot Diff = diffSnapshots(After, Before);
+  EXPECT_EQ(Diff.Counters.at("test.histogram.reset_counter"), 0);
+  const MetricsSnapshot::DurationValue &V =
+      Diff.Durations.at("test.histogram.reset_duration");
+  EXPECT_EQ(V.Count, 0);
+  int64_t BucketSum = 0;
+  for (int64_t B : V.Buckets)
+    BucketSum += B;
+  EXPECT_EQ(BucketSum, 0); // clamped, not negative
+}
+
+TEST(LatencyHistogramTest, DiffKeepsDurationRegisteredMidWindow) {
+  MetricsSnapshot Before; // the duration does not exist yet
+  MetricsSnapshot After;
+  MetricsSnapshot::DurationValue V;
+  V.Count = 2;
+  V.TotalNanos = 2000;
+  V.MinNanos = 1000;
+  V.MaxNanos = 1000;
+  V.Buckets[histogramBucketIndex(1000)] = 2;
+  After.Durations["test.histogram.fresh"] = V;
+  MetricsSnapshot Diff = diffSnapshots(After, Before);
+  EXPECT_EQ(Diff.Durations.at("test.histogram.fresh").Count, 2);
+  EXPECT_EQ(Diff.Durations.at("test.histogram.fresh")
+                .Buckets[histogramBucketIndex(1000)],
+            2);
+}
+
+TEST(LatencyHistogramTest, RenderLatencySummarySkipsZeroCountDurations) {
+  MetricsSnapshot Snap;
+  MetricsSnapshot::DurationValue Hot;
+  Hot.Count = 2;
+  Hot.TotalNanos = 3500000;
+  Hot.MinNanos = 1000000;
+  Hot.MaxNanos = 2500000;
+  Hot.Buckets[histogramBucketIndex(1000000)] = 1;
+  Hot.Buckets[histogramBucketIndex(2500000)] = 1;
+  Snap.Durations["engine.match"] = Hot;
+  Snap.Durations["engine.commit"] = MetricsSnapshot::DurationValue();
+  std::string Text;
+  raw_string_ostream OS(Text);
+  renderLatencySummary(Snap, OS);
+  EXPECT_EQ(Text,
+            "latency percentiles:\n"
+            "  engine.match: count 2, p50 1.048 ms, p90 2.500 ms, "
+            "p99 2.500 ms\n");
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,368 @@
+//===- tdl-bench-diff.cpp - Bench/report regression differ ----------------===//
+//
+// Part of the transform-dialect reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diffs two machine-readable result files (`BENCH_*.json` bench reports,
+/// `--report-json` run reports, `--dump-metrics-json` dumps) or two
+/// directories of them, prints a per-key delta table, and exit-code-gates
+/// regressions: keys matching a `--gate=<glob>[:<tolerance>]` spec fail the
+/// run when they drift beyond the tolerance. The CI bench-smoke job runs it
+/// against the checked-in `bench/baselines/` — gated on deterministic
+/// counters only, because timings on shared runners are noise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/JsonUtils.h"
+#include "support/Stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <map>
+#include <set>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+using namespace tdl;
+
+namespace {
+
+int usage(const char *Argv0) {
+  errs()
+      << "usage: " << Argv0 << " <baseline> <current> [options]\n"
+      << "  <baseline>/<current>: two JSON files, or two directories whose\n"
+      << "  *.json files are compared pairwise by filename\n"
+      << "  --gate=<glob>[:<tol>]  keys matching <glob> ('*' wildcard) gate\n"
+      << "                         the exit code; <tol> is an absolute\n"
+      << "                         numeric tolerance, or relative with a\n"
+      << "                         trailing '%' (default 0: exact). First\n"
+      << "                         matching --gate wins. A gated key missing\n"
+      << "                         on either side is a regression.\n"
+      << "  --update-baselines     copy every current file over its baseline\n"
+      << "                         and exit 0 (review the diff, then commit)\n"
+      << "  --quiet                print regressions and the summary only\n"
+      << "exit status: 0 = no gated regression, 1 = regressions found,\n"
+      << "2 = usage or I/O error\n";
+  return 2;
+}
+
+struct GateSpec {
+  std::string Glob;
+  double Tolerance = 0;
+  bool Relative = false;
+};
+
+/// `<glob>[:<tol>[%]]` — the last ':' splits glob from tolerance so globs
+/// may not contain ':' (key names never do).
+bool parseGate(const std::string &Text, GateSpec &Out) {
+  size_t Colon = Text.rfind(':');
+  if (Colon == std::string::npos) {
+    Out.Glob = Text;
+    return !Out.Glob.empty();
+  }
+  Out.Glob = Text.substr(0, Colon);
+  std::string Tol = Text.substr(Colon + 1);
+  if (Out.Glob.empty() || Tol.empty())
+    return false;
+  if (Tol.back() == '%') {
+    Out.Relative = true;
+    Tol.pop_back();
+  }
+  char *End = nullptr;
+  Out.Tolerance = std::strtod(Tol.c_str(), &End);
+  return End && *End == '\0' && Out.Tolerance >= 0;
+}
+
+const GateSpec *matchGate(const std::vector<GateSpec> &Gates,
+                          const std::string &Key) {
+  for (const GateSpec &G : Gates)
+    if (json::globMatch(G.Glob, Key))
+      return &G;
+  return nullptr;
+}
+
+bool isDirectory(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+bool isRegularFile(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode);
+}
+
+/// Sorted *.json filenames directly inside \p Dir.
+std::vector<std::string> listJsonFiles(const std::string &Dir) {
+  std::vector<std::string> Names;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return Names;
+  while (struct dirent *Entry = ::readdir(D)) {
+    std::string Name = Entry->d_name;
+    if (Name.size() > 5 && Name.substr(Name.size() - 5) == ".json" &&
+        isRegularFile(Dir + "/" + Name))
+      Names.push_back(Name);
+  }
+  ::closedir(D);
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+std::string padTo(std::string Str, size_t Width) {
+  while (Str.size() < Width)
+    Str += ' ';
+  return Str;
+}
+
+std::string padLeft(std::string Str, size_t Width) {
+  // Keep at least two spaces of separation when a cell overflows its
+  // column, so neighbouring cells never run together.
+  size_t Target = Str.size() < Width ? Width : Str.size() + 2;
+  while (Str.size() < Target)
+    Str.insert(Str.begin(), ' ');
+  return Str;
+}
+
+/// Table-cell rendering: display-width doubles (6 significant digits)
+/// instead of FlatValue::render()'s round-trip form — the table is for
+/// humans, the gates compare the exact parsed values.
+std::string displayNumber(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  return Buf;
+}
+
+std::string displayValue(const json::FlatValue &V) {
+  if (V.K == json::FlatValue::Kind::Number && !V.IsInt)
+    return displayNumber(V.Num);
+  return V.render();
+}
+
+struct DiffStats {
+  int64_t KeysCompared = 0;
+  int64_t Regressions = 0;
+};
+
+/// Diffs one (baseline, current) flattened-file pair into \p OS and folds
+/// the tallies into \p Stats.
+void diffMaps(const std::string &Label,
+              const std::map<std::string, json::FlatValue> &Base,
+              const std::map<std::string, json::FlatValue> &Cur,
+              const std::vector<GateSpec> &Gates, bool Quiet, DiffStats &Stats,
+              raw_ostream &OS) {
+  std::set<std::string> Keys;
+  for (const auto &Entry : Base)
+    Keys.insert(Entry.first);
+  for (const auto &Entry : Cur)
+    Keys.insert(Entry.first);
+
+  bool WroteHeader = false;
+  auto Header = [&] {
+    if (WroteHeader)
+      return;
+    WroteHeader = true;
+    OS << "=== " << Label << " ===\n";
+    OS << "  " << padTo("key", 52) << padLeft("baseline", 16)
+       << padLeft("current", 16) << padLeft("delta", 16) << "  note\n";
+  };
+
+  for (const std::string &Key : Keys) {
+    ++Stats.KeysCompared;
+    auto BaseIt = Base.find(Key);
+    auto CurIt = Cur.find(Key);
+    const GateSpec *Gate = matchGate(Gates, Key);
+
+    std::string BaseStr =
+        BaseIt == Base.end() ? "-" : displayValue(BaseIt->second);
+    std::string CurStr =
+        CurIt == Cur.end() ? "-" : displayValue(CurIt->second);
+    std::string DeltaStr = "-";
+    std::string Note;
+    bool Regressed = false;
+    bool Changed = false;
+
+    if (BaseIt == Base.end() || CurIt == Cur.end()) {
+      Changed = true;
+      Note = BaseIt == Base.end() ? "new key" : "missing key";
+      Regressed = Gate != nullptr;
+    } else if (BaseIt->second.isNumber() && CurIt->second.isNumber()) {
+      const json::FlatValue &B = BaseIt->second;
+      const json::FlatValue &C = CurIt->second;
+      double Delta = C.asDouble() - B.asDouble();
+      Changed = !(B == C);
+      if (Changed)
+        DeltaStr = (B.IsInt && C.IsInt) ? std::to_string(C.Int - B.Int)
+                                        : displayNumber(Delta);
+      if (Gate) {
+        double Allowed = Gate->Relative
+                             ? Gate->Tolerance / 100.0 * std::fabs(B.asDouble())
+                             : Gate->Tolerance;
+        Regressed = std::fabs(Delta) > Allowed;
+      }
+    } else {
+      Changed = !(BaseIt->second == CurIt->second);
+      if (Changed)
+        Note = "value changed";
+      Regressed = Gate && Changed;
+    }
+
+    if (Regressed) {
+      ++Stats.Regressions;
+      Note = "REGRESSION (gate " + Gate->Glob +
+             (Gate->Tolerance > 0
+                  ? ":" + doubleToString(Gate->Tolerance) +
+                        (Gate->Relative ? "%" : "")
+                  : "") +
+             ")";
+    }
+    if (!Changed || (Quiet && !Regressed))
+      continue;
+    Header();
+    OS << "  " << padTo(Key, 52) << padLeft(BaseStr, 16)
+       << padLeft(CurStr, 16) << padLeft(DeltaStr, 16) << "  " << Note
+       << "\n";
+  }
+}
+
+/// Loads and flattens \p Path; returns false (with a message) on I/O or
+/// parse errors.
+bool loadFlattened(const std::string &Path,
+                   std::map<std::string, json::FlatValue> &Out) {
+  std::string Text;
+  if (!readFileToString(Path, Text)) {
+    errs() << "error: cannot read '" << Path << "'\n";
+    return false;
+  }
+  std::string Err;
+  if (!json::flattenJson(Text, Out, Err)) {
+    errs() << "error: malformed JSON in '" << Path << "': " << Err << "\n";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BasePath, CurPath;
+  std::vector<GateSpec> Gates;
+  bool UpdateBaselines = false;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--gate=", 0) == 0) {
+      GateSpec Gate;
+      if (!parseGate(Arg.substr(7), Gate)) {
+        errs() << "error: malformed gate spec '" << Arg << "'\n";
+        return usage(argv[0]);
+      }
+      Gates.push_back(std::move(Gate));
+    } else if (Arg == "--update-baselines") {
+      UpdateBaselines = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      errs() << "error: unknown option '" << Arg << "'\n";
+      return usage(argv[0]);
+    } else if (BasePath.empty()) {
+      BasePath = Arg;
+    } else if (CurPath.empty()) {
+      CurPath = Arg;
+    } else {
+      errs() << "error: extra positional argument '" << Arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (BasePath.empty() || CurPath.empty())
+    return usage(argv[0]);
+
+  bool DirMode = isDirectory(CurPath);
+  if (DirMode != isDirectory(BasePath) && !(UpdateBaselines && DirMode)) {
+    errs() << "error: '" << BasePath << "' and '" << CurPath
+           << "' must both be files or both directories\n";
+    return 2;
+  }
+
+  // (baseline path, current path, label) pairs to compare.
+  struct FilePair {
+    std::string Base, Cur, Label;
+    bool MissingCurrent = false;
+  };
+  std::vector<FilePair> Pairs;
+  if (DirMode) {
+    std::set<std::string> Names;
+    for (const std::string &Name : listJsonFiles(BasePath))
+      Names.insert(Name);
+    std::vector<std::string> CurNames = listJsonFiles(CurPath);
+    for (const std::string &Name : CurNames)
+      Names.insert(Name);
+    for (const std::string &Name : Names) {
+      FilePair P;
+      P.Label = Name;
+      P.Base = BasePath + "/" + Name;
+      P.Cur = CurPath + "/" + Name;
+      P.MissingCurrent =
+          std::find(CurNames.begin(), CurNames.end(), Name) == CurNames.end();
+      Pairs.push_back(std::move(P));
+    }
+  } else {
+    Pairs.push_back({BasePath, CurPath, CurPath, false});
+  }
+
+  if (UpdateBaselines) {
+    size_t Updated = 0;
+    for (const FilePair &P : Pairs) {
+      if (!isRegularFile(P.Cur)) {
+        if (isRegularFile(P.Base))
+          errs() << "note: stale baseline '" << P.Base
+                 << "' has no current counterpart; delete it by hand\n";
+        continue;
+      }
+      std::string Text;
+      if (!readFileToString(P.Cur, Text) || !writeFileAtomic(P.Base, Text)) {
+        errs() << "error: cannot update baseline '" << P.Base << "'\n";
+        return 2;
+      }
+      ++Updated;
+    }
+    outs() << "tdl-bench-diff: updated " << Updated << " baseline file"
+           << (Updated == 1 ? "" : "s") << " in '" << BasePath << "'\n";
+    return 0;
+  }
+
+  DiffStats Stats;
+  size_t Files = 0;
+  for (const FilePair &P : Pairs) {
+    if (P.MissingCurrent) {
+      ++Stats.Regressions;
+      outs() << "=== " << P.Label << " ===\n"
+             << "  MISSING: baseline exists but no current file was "
+                "produced\n";
+      continue;
+    }
+    if (!isRegularFile(P.Base)) {
+      outs() << "=== " << P.Label << " ===\n"
+             << "  new result (no baseline; record one with "
+                "--update-baselines)\n";
+      continue;
+    }
+    std::map<std::string, json::FlatValue> Base, Cur;
+    if (!loadFlattened(P.Base, Base) || !loadFlattened(P.Cur, Cur))
+      return 2;
+    ++Files;
+    diffMaps(P.Label, Base, Cur, Gates, Quiet, Stats, outs());
+  }
+
+  outs() << "tdl-bench-diff: " << Stats.Regressions << " gated regression"
+         << (Stats.Regressions == 1 ? "" : "s") << " across " << Files
+         << " file" << (Files == 1 ? "" : "s") << " ("
+         << Stats.KeysCompared << " keys compared)\n";
+  return Stats.Regressions > 0 ? 1 : 0;
+}

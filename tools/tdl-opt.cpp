@@ -102,7 +102,17 @@ int usage(const char *Argv0) {
          << "                               kind, hottest matchers,\n"
          << "                               match-vs-commit split)\n"
          << "  --dump-metrics               print the end-of-run metrics\n"
-         << "                               snapshot (counters + durations)\n"
+         << "                               snapshot (counters + durations\n"
+         << "                               with p50/p90/p99)\n"
+         << "  --dump-metrics-json=<path>   write the end-of-run metrics\n"
+         << "                               snapshot as JSON (lossless\n"
+         << "                               *_nanos fields included)\n"
+         << "  --report-json=<path>         write the structured run report\n"
+         << "                               (options echo, payload\n"
+         << "                               fingerprint, phase wall times,\n"
+         << "                               run-scoped metrics, strategy\n"
+         << "                               decision, diagnostics, exit\n"
+         << "                               status); written on failures too\n"
          << "  --no-verify                  skip the final verifier run\n"
          << "  --quiet                      do not print the final IR\n";
   return 2;
@@ -188,6 +198,8 @@ int main(int argc, char **argv) {
         Consume("--target=", Options.Target) ||
         Consume("--tuning-db=", Options.TuningDBPath) ||
         Consume("--trace-json=", Options.TraceJsonPath) ||
+        Consume("--dump-metrics-json=", Options.DumpMetricsJsonPath) ||
+        Consume("--report-json=", Options.ReportJsonPath) ||
         Consume("--merge-tuning-db=", MergeSpec))
       continue;
     std::string Repeatable;
